@@ -1,0 +1,25 @@
+"""Small helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+from repro.evaluation.reporting import ExperimentResult
+
+__all__ = ["errors_of", "times_of"]
+
+
+def errors_of(result: ExperimentResult, **criteria) -> list[float]:
+    """Collect the non-null relative errors of the rows matching ``criteria``."""
+    return [
+        row["relative_error_pct"]
+        for row in result.filter(**criteria).rows
+        if row.get("relative_error_pct") is not None
+    ]
+
+
+def times_of(result: ExperimentResult, **criteria) -> list[float]:
+    """Collect the non-null mean running times of the rows matching ``criteria``."""
+    return [
+        row["mean_time_s"]
+        for row in result.filter(**criteria).rows
+        if row.get("mean_time_s") is not None
+    ]

@@ -1,0 +1,130 @@
+"""Ablation benchmarks for the design decisions called out in DESIGN.md.
+
+Three ablations:
+
+* **Range-perturbation mode** — the width-preserving ``shift`` default versus
+  the literal Algorithm-2 ``endpoints`` variant, on the range-dominated query
+  Qc4.  This quantifies the interpretation decision documented in
+  ``repro.core.pma``.
+* **WD strategy choice** — distinct-rows / identity / hierarchical strategy
+  matrices on the W2 workload.
+* **Truncation threshold** — the bias/variance trade-off of the TM baseline as
+  the threshold grows (Section 4's discussion).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.matrix_decomposition import MatrixDecomposition
+from repro.core.predicate_mechanism import PredicateMechanism
+from repro.core.workload import WorkloadDecomposition, answer_workload_exact
+from repro.baselines import TruncationMechanism
+from repro.datagen.ssb import generate_ssb
+from repro.db.executor import QueryExecutor
+from repro.dp.neighboring import PrivacyScenario
+from repro.evaluation.metrics import relative_error, workload_relative_error
+from repro.evaluation.reporting import ExperimentResult
+from repro.workloads.ssb_queries import ssb_query
+from repro.workloads.workload_matrices import workload_w2
+
+
+@pytest.fixture(scope="module")
+def ablation_database():
+    return generate_ssb(scale_factor=1.0, seed=99, rows_per_scale_factor=120_000)
+
+
+def test_range_mode_ablation(benchmark, ablation_database, record_result):
+    """Shift-mode PM should dominate endpoint-mode PM on narrow-range queries."""
+    database = ablation_database
+    executor = QueryExecutor(database)
+    query = ssb_query("Qc4")
+    exact = executor.execute(query)
+
+    def run() -> ExperimentResult:
+        result = ExperimentResult(title="Ablation: PMA range perturbation mode on Qc4")
+        for mode in ("shift", "endpoints"):
+            for epsilon in (0.1, 0.5, 1.0):
+                errors = [
+                    relative_error(
+                        exact,
+                        PredicateMechanism(
+                            epsilon=epsilon, rng=seed, range_mode=mode
+                        ).answer_value(database, query),
+                    )
+                    for seed in range(5)
+                ]
+                result.add_row(
+                    range_mode=mode, epsilon=epsilon, relative_error_pct=float(np.mean(errors))
+                )
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(result, "ablation_range_mode")
+
+    shift = np.mean([r["relative_error_pct"] for r in result.filter(range_mode="shift").rows])
+    endpoints = np.mean(
+        [r["relative_error_pct"] for r in result.filter(range_mode="endpoints").rows]
+    )
+    assert shift < endpoints
+
+
+def test_wd_strategy_ablation(benchmark, ablation_database, record_result):
+    """Compare the three strategy families on the cumulative workload W2."""
+    database = ablation_database
+    queries = workload_w2()
+    exact = answer_workload_exact(database, queries)
+
+    def run() -> ExperimentResult:
+        result = ExperimentResult(title="Ablation: WD strategy matrices on W2")
+        for strategy in MatrixDecomposition.CANDIDATES:
+            errors = []
+            for seed in range(5):
+                mechanism = WorkloadDecomposition(
+                    epsilon=0.5,
+                    rng=seed,
+                    decomposer=MatrixDecomposition(candidates=(strategy,)),
+                )
+                answer = mechanism.answer(database, queries)
+                errors.append(workload_relative_error(exact, answer.values))
+            result.add_row(strategy=strategy, relative_error_pct=float(np.mean(errors)))
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(result, "ablation_wd_strategy")
+    assert len(result) == len(MatrixDecomposition.CANDIDATES)
+    assert all(row["relative_error_pct"] >= 0 for row in result.rows)
+
+
+def test_truncation_threshold_ablation(benchmark, ablation_database, record_result):
+    """TM's bias falls and its noise rises as the threshold grows (Section 4)."""
+    database = ablation_database
+    scenario = PrivacyScenario.dimensions("Customer", "Supplier", "Part")
+    executor = QueryExecutor(database)
+    query = ssb_query("Qc2")
+    exact = executor.execute(query)
+    thresholds = (1.0, 4.0, 16.0, 64.0, 256.0)
+
+    def run() -> ExperimentResult:
+        result = ExperimentResult(title="Ablation: TM truncation threshold on Qc2")
+        for threshold in thresholds:
+            mechanism = TruncationMechanism(
+                epsilon=0.5, scenario=scenario, threshold=threshold
+            )
+            bias = mechanism.truncation_bias(database, query, threshold=threshold)
+            errors = [
+                relative_error(exact, mechanism.answer_value(database, query, rng=seed))
+                for seed in range(5)
+            ]
+            result.add_row(
+                threshold=threshold,
+                truncation_bias=bias,
+                relative_error_pct=float(np.mean(errors)),
+            )
+        return result
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(result, "ablation_tm_threshold")
+
+    biases = [row["truncation_bias"] for row in result.rows]
+    assert biases == sorted(biases, reverse=True)
+    assert biases[-1] <= biases[0]

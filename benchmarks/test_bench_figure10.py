@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 10 (snowflake queries Qtc / Qts).
+
+Expected shape (paper Figure 10): PM extends to snowflake queries unchanged
+and outperforms the baselines; LS cannot answer the SUM query Qts.
+"""
+
+import numpy as np
+
+from _bench_utils import errors_of
+from repro.evaluation.experiments import figure10
+
+
+def test_figure10(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(lambda: figure10.run(bench_config), rounds=1, iterations=1)
+    record_result(result, "figure10")
+
+    # LS cannot answer the SUM snowflake query.
+    assert errors_of(result, query="Qts", mechanism="LS") == []
+
+    # PM answers both queries at every ε and beats LS on the count query.
+    assert len(errors_of(result, mechanism="PM")) == 2 * len(figure10.SNOWFLAKE_EPSILONS)
+    pm_count = np.mean(errors_of(result, query="Qtc", mechanism="PM"))
+    ls_count = np.mean(errors_of(result, query="Qtc", mechanism="LS"))
+    assert pm_count < ls_count
+
+    # PM stays at its predicate-domain-driven error level on the SUM query too.
+    pm_sum = np.mean(errors_of(result, query="Qts", mechanism="PM"))
+    assert pm_sum < 100.0

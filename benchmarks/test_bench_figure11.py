@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 11 (error under Gaussian-mixture skew).
+
+Expected shape (paper Figure 11): the more separated / unbalanced the mixture
+components, the larger PM's error, and the counting query Qc3 suffers more
+from the skew than the sum query Qs3; PM still stays below LS everywhere.
+"""
+
+import numpy as np
+
+from _bench_utils import errors_of
+from repro.evaluation.experiments import figure11
+
+
+def test_figure11(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(lambda: figure11.run(bench_config), rounds=1, iterations=1)
+    record_result(result, "figure11")
+
+    mixture_names = [name for name, _ in figure11.MIXTURES]
+    pm_count = [
+        np.mean(errors_of(result, mechanism="PM", query="Qc3", mixture=name))
+        for name in mixture_names
+    ]
+    # Stronger skew does not make PM more accurate on counts.
+    assert pm_count[-1] >= pm_count[0] - 5.0
+
+    pm_overall = np.mean(
+        [e for name in mixture_names for e in errors_of(result, mechanism="PM", query="Qc3", mixture=name)]
+    )
+    ls_overall = np.mean(
+        [e for name in mixture_names for e in errors_of(result, mechanism="LS", query="Qc3", mixture=name)]
+    )
+    assert pm_overall < ls_overall

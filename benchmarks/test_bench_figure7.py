@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 7 (error under different data distributions).
+
+Expected shape (paper Figure 7): PM does best on uniform data and its error
+grows as the data becomes more skewed (Exponential, Gamma), with count
+queries affected more strongly than sum queries.
+"""
+
+import numpy as np
+
+from _bench_utils import errors_of
+from repro.evaluation.experiments import figure7
+
+
+def test_figure7(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        lambda: figure7.run(bench_config, scales=(0.5, 1.0)), rounds=1, iterations=1
+    )
+    record_result(result, "figure7")
+
+    # The series for all three distributions must be present; the paper's
+    # skew ordering (uniform best) is reported in EXPERIMENTS.md — at benchmark
+    # scale it is within run-to-run noise, so it is not asserted here.
+    for distribution in figure7.DISTRIBUTIONS:
+        assert errors_of(result, mechanism="PM", distribution=distribution)
+
+    # PM remains below the baselines on average across the sweep.
+    pm_all = np.mean(errors_of(result, mechanism="PM"))
+    r2t_all = np.mean(errors_of(result, mechanism="R2T"))
+    ls_all = np.mean(errors_of(result, mechanism="LS"))
+    assert pm_all < r2t_all
+    assert pm_all < ls_all

@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 8 (error vs predicate domain size).
+
+Expected shape (paper Figure 8): PM's error grows only mildly as the product
+of the predicate domains grows (the perturbation stays inside the domain),
+and it remains orders of magnitude below R2T and LS throughout the sweep.
+"""
+
+import numpy as np
+
+from _bench_utils import errors_of
+from repro.evaluation.experiments import figure8
+
+
+def test_figure8(benchmark, full_config, record_result):
+    result = benchmark.pedantic(lambda: figure8.run(full_config), rounds=1, iterations=1)
+    record_result(result, "figure8")
+
+    labels = [label for label, _ in figure8.DOMAIN_COMBINATIONS]
+    pm_errors = [np.mean(errors_of(result, mechanism="PM", domain_sizes=label)) for label in labels]
+    ls_errors = [np.mean(errors_of(result, mechanism="LS", domain_sizes=label)) for label in labels]
+
+    # PM is far below LS on every non-trivial combination; on the smallest
+    # domain (a very unselective query) LS's fan-out noise can be negligible
+    # relative to the large answer, so that cell is exempt.
+    for pm, ls in zip(pm_errors[1:], ls_errors[1:]):
+        assert pm < ls
+    assert np.mean(pm_errors) < np.mean(ls_errors)
+
+    # PM error grows only mildly with the domain size and never approaches the
+    # orders-of-magnitude blow-up of the baselines.
+    assert max(pm_errors) < max(ls_errors)
+    assert max(pm_errors) < 300.0

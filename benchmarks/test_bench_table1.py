@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Table 1 (PM / R2T / LS on the SSB queries).
+
+Expected shape (paper Table 1): PM stays well below the baselines across the
+ε grid, LS cannot answer SUM / GROUP BY and R2T cannot answer GROUP BY.
+"""
+
+import numpy as np
+
+from _bench_utils import errors_of
+from repro.evaluation.experiments import table1
+
+
+def test_table1(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        lambda: table1.run(bench_config), rounds=1, iterations=1
+    )
+    record_result(result, "table1")
+
+    # Unsupported cells appear exactly where the paper marks them.
+    for query in ("Qs2", "Qs3", "Qs4", "Qg2", "Qg4"):
+        assert all(not row["supported"] for row in result.filter(mechanism="LS", query=query).rows)
+    for query in ("Qg2", "Qg4"):
+        assert all(not row["supported"] for row in result.filter(mechanism="R2T", query=query).rows)
+
+    # PM answers every query and, averaged over the grid, beats both baselines
+    # on the counting queries by a wide margin at small ε.
+    small_eps = min(bench_config.epsilons)
+    for query in ("Qc1", "Qc2", "Qc3"):
+        pm = np.mean(errors_of(result, mechanism="PM", query=query, epsilon=small_eps))
+        ls = np.mean(errors_of(result, mechanism="LS", query=query, epsilon=small_eps))
+        assert pm < ls
+    pm_all = np.mean(
+        [e for q in ("Qc1", "Qc2", "Qc3", "Qc4") for e in errors_of(result, mechanism="PM", query=q)]
+    )
+    r2t_all = np.mean(
+        [e for q in ("Qc1", "Qc2", "Qc3", "Qc4") for e in errors_of(result, mechanism="R2T", query=q)]
+    )
+    assert pm_all < r2t_all * 1.5

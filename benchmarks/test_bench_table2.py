@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Table 2 (PM / R2T / TM on k-star queries).
+
+Expected shape (paper Table 2): PM's relative error is far below TM's, PM is
+the fastest of the three mechanisms, and errors shrink as ε grows for the
+truncation-based baselines.
+"""
+
+import numpy as np
+
+from _bench_utils import errors_of
+from repro.evaluation.experiments import table2
+
+
+def test_table2(benchmark, bench_config, record_result):
+    result = benchmark.pedantic(
+        lambda: table2.run(bench_config, graph_scale=0.1), rounds=1, iterations=1
+    )
+    record_result(result, "table2")
+
+    for dataset in ("Deezer", "Amazon"):
+        pm = np.mean(errors_of(result, dataset=dataset, mechanism="PM"))
+        tm = np.mean(errors_of(result, dataset=dataset, mechanism="TM"))
+        assert pm < tm
+
+        pm_time = np.mean(
+            [row["mean_time_s"] for row in result.filter(dataset=dataset, mechanism="PM").rows]
+        )
+        tm_time = np.mean(
+            [row["mean_time_s"] for row in result.filter(dataset=dataset, mechanism="TM").rows]
+        )
+        r2t_time = np.mean(
+            [row["mean_time_s"] for row in result.filter(dataset=dataset, mechanism="R2T").rows]
+        )
+        assert pm_time <= tm_time
+        assert pm_time <= r2t_time * 2.0

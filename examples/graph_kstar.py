@@ -1,0 +1,64 @@
+"""k-star counting on a social-network-like graph under DP (paper Section 6).
+
+A k-star (a centre user with k distinct friends) is the self-join query the
+paper uses to stress mechanisms on graph data.  The script builds a
+Deezer-like power-law graph, counts 2-stars and 3-stars exactly, and compares
+the Predicate Mechanism against R2T and the truncation-with-smooth-sensitivity
+baseline (TM) on both utility and running time — a Table-2-style comparison.
+
+Run it with ``python examples/graph_kstar.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import deezer_like, kstar_count
+from repro.evaluation.reporting import format_table
+from repro.evaluation.runner import evaluate_kstar_mechanism, make_kstar_mechanism
+from repro.workloads.kstar_queries import q2star, q3star
+
+GRAPH_SCALE = 0.25  # fraction of the original Deezer size; raise to 1.0 for full size
+EPSILONS = (0.1, 0.5, 1.0)
+TRIALS = 5
+
+
+def main() -> None:
+    print(f"Generating a Deezer-like power-law graph at scale {GRAPH_SCALE}...")
+    start = time.perf_counter()
+    graph = deezer_like(rng=2023, scale=GRAPH_SCALE)
+    print(
+        f"  {graph.num_nodes} nodes, {graph.num_edges} edges, "
+        f"max degree {graph.max_degree()} ({time.perf_counter() - start:.1f}s)"
+    )
+
+    rows = []
+    for query in (q2star(graph), q3star(graph)):
+        exact = kstar_count(graph, query)
+        print(f"\n{query.label}: exact count = {exact:,.0f}")
+        for epsilon in EPSILONS:
+            for mechanism_name in ("PM", "R2T", "TM"):
+                mechanism = make_kstar_mechanism(mechanism_name, epsilon)
+                evaluation = evaluate_kstar_mechanism(
+                    mechanism, graph, query, trials=TRIALS, rng=7, exact_answer=exact
+                )
+                rows.append(
+                    [
+                        query.label,
+                        epsilon,
+                        mechanism_name,
+                        f"{evaluation.mean_relative_error:.1f}%",
+                        f"{evaluation.mean_time * 1000:.1f} ms",
+                    ]
+                )
+
+    print("\nRelative error and time per run:")
+    print(format_table(["query", "epsilon", "mechanism", "rel. error", "time"], rows))
+    print(
+        "\nNote: PM answers the noisy node-range predicate exactly and needs no "
+        "truncation pass, which is why it is the fastest of the three."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so the
+package can be installed in environments whose setuptools/pip combination
+cannot build editable installs through PEP 517 alone (e.g. offline machines
+without the ``wheel`` package, where ``pip install -e . --no-build-isolation``
+falls back to the legacy ``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

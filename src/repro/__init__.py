@@ -1,0 +1,135 @@
+"""repro — a reproduction of DP-starJ (SIGMOD 2023).
+
+DP-starJ answers analytical star-join queries under differential privacy by
+perturbing the query's *predicates* (inside each attribute's finite domain)
+instead of its result, sidestepping the unbounded global sensitivity that
+foreign-key constraints impose on output-perturbation mechanisms.
+
+The package layout mirrors the paper:
+
+* :mod:`repro.db` — the star-schema relational substrate (tables, predicates,
+  star-join execution, a small SQL parser);
+* :mod:`repro.dp` — DP primitives (noise, sensitivities, accounting,
+  neighbouring-instance definitions);
+* :mod:`repro.core` — the DP-starJ framework: the Predicate Mechanism
+  (Algorithms 1–3), workload decomposition (Algorithm 4), snowflake support;
+* :mod:`repro.baselines` — LM, LS, TM and R2T output-perturbation baselines;
+* :mod:`repro.graph` — the graph substrate and k-star counting mechanisms;
+* :mod:`repro.datagen` — SSB / snowflake / skewed-data generators;
+* :mod:`repro.workloads` — the paper's evaluation queries;
+* :mod:`repro.evaluation` — the experiment harness regenerating every table
+  and figure.
+
+Quickstart::
+
+    from repro import DPStarJoin, generate_ssb, ssb_query
+
+    database = generate_ssb(scale_factor=0.25, seed=7)
+    session = DPStarJoin(database, total_epsilon=2.0, rng=7)
+    answer = session.answer(ssb_query("Qc3"), epsilon=0.5)
+    print(answer.value, session.exact(ssb_query("Qc3")))
+"""
+
+from repro.core.dp_starj import DPStarJoin
+from repro.core.pma import PredicateMechanismForAttribute, perturb_predicate
+from repro.core.predicate_mechanism import PredicateMechanism
+from repro.core.snowflake import SnowflakePredicateMechanism
+from repro.core.workload import IndependentPMWorkload, WorkloadDecomposition
+from repro.baselines import (
+    LocalSensitivityMechanism,
+    OutputLaplaceMechanism,
+    RaceToTheTop,
+    TruncationMechanism,
+)
+from repro.datagen.ssb import SSBConfig, SSBGenerator, generate_ssb, ssb_schema
+from repro.datagen.tpch import SnowflakeConfig, SnowflakeGenerator, snowflake_schema
+from repro.db import (
+    AttributeDomain,
+    PointPredicate,
+    QueryExecutor,
+    RangePredicate,
+    SetPredicate,
+    StarDatabase,
+    StarJoinQuery,
+    StarSchema,
+    Table,
+    TableSchema,
+    parse_star_join_sql,
+)
+from repro.dp.neighboring import PrivacyScenario, generate_neighbor
+from repro.graph import (
+    Graph,
+    KStarPM,
+    KStarQuery,
+    KStarR2T,
+    KStarTM,
+    amazon_like,
+    deezer_like,
+    kstar_count,
+    powerlaw_graph,
+)
+from repro.workloads import (
+    all_ssb_queries,
+    snowflake_queries,
+    ssb_query,
+    workload_w1,
+    workload_w2,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "DPStarJoin",
+    "PredicateMechanism",
+    "PredicateMechanismForAttribute",
+    "perturb_predicate",
+    "SnowflakePredicateMechanism",
+    "IndependentPMWorkload",
+    "WorkloadDecomposition",
+    # baselines
+    "OutputLaplaceMechanism",
+    "LocalSensitivityMechanism",
+    "TruncationMechanism",
+    "RaceToTheTop",
+    # db substrate
+    "AttributeDomain",
+    "Table",
+    "TableSchema",
+    "StarSchema",
+    "StarDatabase",
+    "StarJoinQuery",
+    "QueryExecutor",
+    "PointPredicate",
+    "RangePredicate",
+    "SetPredicate",
+    "parse_star_join_sql",
+    # privacy model
+    "PrivacyScenario",
+    "generate_neighbor",
+    # data generation
+    "SSBConfig",
+    "SSBGenerator",
+    "generate_ssb",
+    "ssb_schema",
+    "SnowflakeConfig",
+    "SnowflakeGenerator",
+    "snowflake_schema",
+    # graphs
+    "Graph",
+    "KStarQuery",
+    "KStarPM",
+    "KStarR2T",
+    "KStarTM",
+    "kstar_count",
+    "powerlaw_graph",
+    "deezer_like",
+    "amazon_like",
+    # workloads
+    "ssb_query",
+    "all_ssb_queries",
+    "workload_w1",
+    "workload_w2",
+    "snowflake_queries",
+]

@@ -1,0 +1,32 @@
+"""Baseline DP mechanisms for star-join queries (paper Section 4).
+
+These are the output-perturbation approaches DP-starJ is compared against:
+
+* :class:`~repro.baselines.output_perturbation.OutputLaplaceMechanism` (LM) —
+  plain Laplace output perturbation; only applicable in the (1, 0)-private
+  scenario where the global sensitivity is bounded.
+* :class:`~repro.baselines.truncation.TruncationMechanism` (TM) — naive
+  truncation of per-entity contributions at a threshold τ, then calibrated
+  noise (bias/variance trade-off discussed in Section 4).
+* :class:`~repro.baselines.local_sensitivity.LocalSensitivityMechanism` (LS) —
+  data-dependent noise calibrated to an upper bound of the local sensitivity,
+  via the general Cauchy mechanism (pure ε-DP) or Laplace ((ε, δ)-DP).
+* :class:`~repro.baselines.r2t.RaceToTheTop` (R2T) — instance-optimal
+  truncation with geometrically increasing thresholds (Eq. 9).
+
+All mechanisms expose ``answer_value(database, query, rng=None)`` and raise
+:class:`~repro.exceptions.UnsupportedQueryError` for the query types the paper
+marks "Not supported".
+"""
+
+from repro.baselines.output_perturbation import OutputLaplaceMechanism
+from repro.baselines.local_sensitivity import LocalSensitivityMechanism
+from repro.baselines.truncation import TruncationMechanism
+from repro.baselines.r2t import RaceToTheTop
+
+__all__ = [
+    "OutputLaplaceMechanism",
+    "LocalSensitivityMechanism",
+    "TruncationMechanism",
+    "RaceToTheTop",
+]

@@ -1,0 +1,45 @@
+"""DP-starJ: the paper's primary contribution.
+
+* :mod:`~repro.core.pma` — Algorithm 2: the Predicate Mechanism for a single
+  Attribute (point and range constraints).
+* :mod:`~repro.core.predicate_mechanism` — Algorithms 1 and 3: the Predicate
+  Mechanism for aggregate star-join queries (COUNT / SUM / GROUP BY).
+* :mod:`~repro.core.dp_starj` — the DP-starJ framework facade (extract
+  predicates → perturb → answer), Figure 2.
+* :mod:`~repro.core.workload` — Algorithm 4: star-join workload queries with
+  the Workload Decomposition (WD) strategy.
+* :mod:`~repro.core.matrix_decomposition` — strategy-matrix selection and the
+  P = XA decomposition used by WD (Definition 5.1).
+* :mod:`~repro.core.snowflake` — PM applied to snowflake queries (Section 5.3).
+"""
+
+from repro.core.pma import PredicateMechanismForAttribute, perturb_predicate
+from repro.core.predicate_mechanism import PredicateMechanism
+from repro.core.dp_starj import DPStarJoin
+from repro.core.workload import (
+    IndependentPMWorkload,
+    WorkloadDecomposition,
+    answer_workload_exact,
+    build_data_cube,
+)
+from repro.core.matrix_decomposition import (
+    MatrixDecomposition,
+    StrategyChoice,
+    predicate_from_indicator,
+)
+from repro.core.snowflake import SnowflakePredicateMechanism
+
+__all__ = [
+    "PredicateMechanismForAttribute",
+    "perturb_predicate",
+    "PredicateMechanism",
+    "DPStarJoin",
+    "IndependentPMWorkload",
+    "WorkloadDecomposition",
+    "answer_workload_exact",
+    "build_data_cube",
+    "MatrixDecomposition",
+    "StrategyChoice",
+    "predicate_from_indicator",
+    "SnowflakePredicateMechanism",
+]

@@ -1,0 +1,137 @@
+"""The DP-starJ framework facade (paper Section 5.1, Figure 2).
+
+DP-starJ answers star-join queries under ε-DP in three phases:
+
+1. **Extract predicates** — the star-join query (given as a
+   :class:`~repro.db.query.StarJoinQuery` or as SQL text) is decomposed into
+   one predicate per dimension table.
+2. **Perturbation query** — each predicate is perturbed with the Predicate
+   Mechanism (budget ε/n per predicate).
+3. **Answering** — the noisy query is executed exactly against the database
+   instance.
+
+:class:`DPStarJoin` packages the three phases behind a small, session-like
+API: construct it once over a database with a total budget, then ask it
+queries; a :class:`~repro.dp.accountant.PrivacyAccountant` tracks cumulative
+spend across queries and refuses to exceed the session budget.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.predicate_mechanism import PMAnswer, PredicateMechanism
+from repro.core.workload import (
+    IndependentPMWorkload,
+    WorkloadAnswer,
+    WorkloadDecomposition,
+)
+from repro.db.database import StarDatabase
+from repro.db.executor import GroupedResult, QueryExecutor
+from repro.db.query import AggregateKind, StarJoinQuery
+from repro.db.sql import parse_star_join_sql
+from repro.dp.accountant import PrivacyAccountant, PrivacyBudget
+from repro.dp.neighboring import PrivacyScenario
+from repro.rng import RngLike, ensure_rng
+
+__all__ = ["DPStarJoin"]
+
+AnswerValue = Union[float, GroupedResult]
+
+
+class DPStarJoin:
+    """A DP-starJ session over one star database.
+
+    Parameters
+    ----------
+    database:
+        The star-schema instance to answer queries on.
+    total_epsilon:
+        Total privacy budget available to this session; every answered query
+        is charged against it.
+    scenario:
+        Which tables are private.  Informational for PM (whose noise is data
+        independent) but recorded so reports can state the privacy model; by
+        default all dimension tables are considered private — the hardest and,
+        per the paper, most realistic case.
+    rng:
+        Seed or generator for reproducible perturbation.
+    """
+
+    def __init__(
+        self,
+        database: StarDatabase,
+        total_epsilon: float,
+        scenario: Optional[PrivacyScenario] = None,
+        rng: RngLike = None,
+    ):
+        self.database = database
+        self.accountant = PrivacyAccountant(PrivacyBudget(total_epsilon))
+        self.scenario = scenario or PrivacyScenario.dimensions(
+            *database.schema.dimension_names
+        )
+        self._rng = ensure_rng(rng)
+        self._executor = QueryExecutor(database)
+
+    # ------------------------------------------------------------------
+    # phase 1: predicate extraction
+    # ------------------------------------------------------------------
+    def parse(self, sql: str, name: str = "query") -> StarJoinQuery:
+        """Parse SQL text into a star-join query against this database's schema."""
+        return parse_star_join_sql(sql, self.database.schema, name=name)
+
+    # ------------------------------------------------------------------
+    # phases 2 + 3: perturb and answer
+    # ------------------------------------------------------------------
+    def answer(
+        self, query: StarJoinQuery, epsilon: float, rng: RngLike = None
+    ) -> PMAnswer:
+        """Answer one star-join query with budget ``epsilon`` (charged to the session)."""
+        self.accountant.charge(PrivacyBudget(epsilon), label=query.name)
+        mechanism = PredicateMechanism(epsilon=epsilon, rng=rng if rng is not None else self._rng)
+        return mechanism.answer(self.database, query, executor=self._executor)
+
+    def answer_sql(self, sql: str, epsilon: float, name: str = "query") -> PMAnswer:
+        """Parse and answer a SQL star-join query in one call."""
+        return self.answer(self.parse(sql, name=name), epsilon=epsilon)
+
+    def answer_workload(
+        self,
+        queries: Sequence[StarJoinQuery],
+        epsilon: float,
+        use_decomposition: bool = True,
+        kind: AggregateKind = AggregateKind.COUNT,
+        measure: Optional[str] = None,
+        rng: RngLike = None,
+    ) -> WorkloadAnswer:
+        """Answer a workload of star-join queries (Algorithm 4).
+
+        With ``use_decomposition=True`` the Workload Decomposition strategy is
+        used; otherwise each query is answered independently with PM.
+        """
+        self.accountant.charge(PrivacyBudget(epsilon), label=f"workload[{len(queries)}]")
+        generator = rng if rng is not None else self._rng
+        if use_decomposition:
+            mechanism = WorkloadDecomposition(epsilon=epsilon, rng=generator)
+            return mechanism.answer(self.database, queries, kind=kind, measure=measure)
+        baseline = IndependentPMWorkload(epsilon=epsilon, rng=generator)
+        return baseline.answer(self.database, queries)
+
+    # ------------------------------------------------------------------
+    # non-private reference (for evaluation only)
+    # ------------------------------------------------------------------
+    def exact(self, query: StarJoinQuery) -> AnswerValue:
+        """The exact (non-private) answer; used by evaluations, never released."""
+        return self._executor.execute(query)
+
+    def exact_workload(self, queries: Sequence[StarJoinQuery]) -> np.ndarray:
+        return np.array(
+            [float(self._executor.execute(query)) for query in queries], dtype=np.float64
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def remaining_epsilon(self) -> float:
+        return self.accountant.remaining_epsilon

@@ -1,0 +1,179 @@
+"""Strategy-matrix decomposition for workload queries (Definition 5.1).
+
+The Workload Decomposition strategy of Section 5.3 represents the workload's
+per-dimension predicate matrix ``P`` (one row per query, one column per
+domain value) as ``P = X A`` where ``A`` is a *strategy matrix* whose rows are
+themselves predicates over the same attribute.  The strategy rows are the
+only thing that gets perturbed; the workload answers are then reconstructed
+through ``X``, so a strategy with fewer rows than the workload receives a
+larger per-row privacy budget and yields lower error.
+
+Three strategy families are provided:
+
+* ``distinct_rows`` — the distinct rows of P (always supports P with a 0/1
+  selection matrix X; optimal when queries repeat predicates, as in W1);
+* ``identity`` — one point predicate per domain value (always supports any P);
+* ``hierarchical`` — dyadic ranges over the domain (good for cumulative /
+  range-heavy workloads such as W2).
+
+:class:`MatrixDecomposition` picks, per attribute, the candidate strategy with
+the smallest estimated reconstruction variance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.db.domains import AttributeDomain
+from repro.db.predicates import (
+    PointPredicate,
+    Predicate,
+    RangePredicate,
+    SetPredicate,
+    TruePredicate,
+)
+from repro.exceptions import QueryError
+
+__all__ = ["StrategyChoice", "MatrixDecomposition", "predicate_from_indicator"]
+
+
+def predicate_from_indicator(
+    vector: np.ndarray, domain: AttributeDomain, table: str, attribute: str
+) -> Predicate:
+    """Rebuild a predicate from a 0/1 indicator vector over ``domain``.
+
+    Contiguous single runs become point/range predicates (what PMA knows how
+    to perturb); the full domain becomes the always-true predicate; anything
+    else becomes a set predicate over the selected values.
+    """
+    vector = np.asarray(vector)
+    selected = np.flatnonzero(vector > 0.5)
+    if selected.size == 0:
+        raise QueryError("cannot build a predicate from an all-zero indicator")
+    if selected.size == domain.size:
+        return TruePredicate(table=table, attribute=attribute, domain=domain)
+    if selected.size == 1:
+        return PointPredicate(
+            table=table, attribute=attribute, domain=domain, value=domain.decode(int(selected[0]))
+        )
+    contiguous = bool(np.all(np.diff(selected) == 1))
+    if contiguous:
+        return RangePredicate(
+            table=table,
+            attribute=attribute,
+            domain=domain,
+            low=domain.decode(int(selected[0])),
+            high=domain.decode(int(selected[-1])),
+        )
+    return SetPredicate(
+        table=table,
+        attribute=attribute,
+        domain=domain,
+        values=tuple(domain.decode(int(code)) for code in selected),
+    )
+
+
+@dataclass(frozen=True)
+class StrategyChoice:
+    """One candidate decomposition ``P = X A`` for a per-attribute workload."""
+
+    name: str
+    strategy: np.ndarray  # A: (r × m) 0/1 matrix
+    solution: np.ndarray  # X: (l × r) real matrix with P = X A
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.strategy.shape[0])
+
+    def reconstruction_error(self, workload: np.ndarray) -> float:
+        """Max-abs error of X A against the workload (0 for exact supports)."""
+        return float(np.max(np.abs(self.solution @ self.strategy - workload), initial=0.0))
+
+    def estimated_variance(self) -> float:
+        """Rough per-query noise variance proxy used to rank strategies.
+
+        Each strategy row is perturbed with budget ε/r, so its noise variance
+        scales with r²; reconstruction mixes rows with weights X, contributing
+        the squared row norms of X.  Constant factors common to all candidates
+        are dropped.
+        """
+        row_norms = np.sum(self.solution**2, axis=1)
+        return float(self.num_rows**2 * np.mean(row_norms)) if row_norms.size else 0.0
+
+
+def _distinct_rows_strategy(workload: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    unique_rows, inverse = np.unique(workload, axis=0, return_inverse=True)
+    solution = np.zeros((workload.shape[0], unique_rows.shape[0]))
+    solution[np.arange(workload.shape[0]), inverse] = 1.0
+    return unique_rows.astype(np.float64), solution
+
+
+def _identity_strategy(workload: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    size = workload.shape[1]
+    strategy = np.eye(size)
+    return strategy, workload.astype(np.float64).copy()
+
+
+def _hierarchical_strategy(workload: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Dyadic-interval strategy rows plus least-squares solution."""
+    size = workload.shape[1]
+    rows = []
+    width = size
+    while width >= 1:
+        start = 0
+        while start < size:
+            row = np.zeros(size)
+            row[start : min(start + width, size)] = 1.0
+            rows.append(row)
+            start += width
+        if width == 1:
+            break
+        width = max(width // 2, 1)
+    strategy = np.unique(np.vstack(rows), axis=0)
+    solution, *_ = np.linalg.lstsq(strategy.T, workload.T, rcond=None)
+    return strategy, solution.T
+
+
+class MatrixDecomposition:
+    """Pick and apply the best strategy decomposition for a predicate matrix."""
+
+    CANDIDATES = ("distinct_rows", "identity", "hierarchical")
+
+    def __init__(self, candidates: Sequence[str] = CANDIDATES):
+        unknown = set(candidates) - set(self.CANDIDATES)
+        if unknown:
+            raise QueryError(f"unknown strategy candidates: {sorted(unknown)}")
+        self.candidates = tuple(candidates)
+
+    def decompose(self, workload: np.ndarray) -> StrategyChoice:
+        """Return the best exact decomposition of ``workload``.
+
+        The workload must be a non-empty ``l × m`` matrix.  Candidates that do
+        not reconstruct the workload exactly (within numerical tolerance) are
+        discarded; the remaining one with the smallest estimated variance
+        wins.
+        """
+        workload = np.asarray(workload, dtype=np.float64)
+        if workload.ndim != 2 or workload.size == 0:
+            raise QueryError("workload matrix must be a non-empty 2-D array")
+        builders = {
+            "distinct_rows": _distinct_rows_strategy,
+            "identity": _identity_strategy,
+            "hierarchical": _hierarchical_strategy,
+        }
+        choices: list[StrategyChoice] = []
+        for name in self.candidates:
+            strategy, solution = builders[name](workload)
+            choice = StrategyChoice(name=name, strategy=strategy, solution=solution)
+            if choice.reconstruction_error(workload) < 1e-8:
+                choices.append(choice)
+        if not choices:
+            raise QueryError("no candidate strategy reconstructs the workload exactly")
+        return min(choices, key=lambda choice: choice.estimated_variance())
+
+    def decompose_with(self, workload: np.ndarray, name: str) -> StrategyChoice:
+        """Decompose using a specific named strategy (used by ablations)."""
+        return MatrixDecomposition(candidates=(name,)).decompose(workload)

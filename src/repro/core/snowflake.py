@@ -1,0 +1,65 @@
+"""Predicate Mechanism for snowflake queries (paper Section 5.3).
+
+Snowflake schemas normalise the dimension tables of a star schema into
+hierarchies (the paper's example decomposes ``Date`` into ``Month`` / ``Year``
+tables).  A snowflake query is a star-join query whose predicates may sit on
+those *outer* dimension tables — e.g. ``Month.month < 7`` instead of
+``Date.month < 7``.
+
+PM extends to this setting unchanged: each predicate is still a constraint on
+one finite attribute domain and is perturbed with PMA; the executor follows
+the snowflake foreign keys (``Date.MK → Month.MK``) when translating the
+noisy predicate into a fact-row selection.  This module packages that as a
+thin subclass so experiments and users can state their intent explicitly.
+"""
+
+from __future__ import annotations
+
+from repro.core.predicate_mechanism import PMAnswer, PredicateMechanism
+from repro.db.database import StarDatabase
+from repro.db.query import StarJoinQuery
+from repro.exceptions import QueryError
+from repro.rng import RngLike
+
+__all__ = ["SnowflakePredicateMechanism"]
+
+
+class SnowflakePredicateMechanism(PredicateMechanism):
+    """PM applied to snowflake queries.
+
+    Behaviourally identical to :class:`~repro.core.predicate_mechanism.PredicateMechanism`
+    (the perturbation is per-attribute and schema-agnostic); the subclass only
+    adds a validation step that the target database actually declares
+    snowflake edges for the outer tables the query references, giving a clear
+    error instead of a failed join otherwise.
+    """
+
+    name = "PM-snowflake"
+
+    def answer(
+        self,
+        database: StarDatabase,
+        query: StarJoinQuery,
+        rng: RngLike = None,
+        executor=None,
+    ) -> PMAnswer:
+        self._validate_snowflake_query(database, query)
+        return super().answer(database, query, rng=rng, executor=executor)
+
+    @staticmethod
+    def _validate_snowflake_query(database: StarDatabase, query: StarJoinQuery) -> None:
+        schema = database.schema
+        direct = set(schema.foreign_keys)
+        for predicate in query.predicates:
+            table = predicate.table
+            if table == schema.fact.name or table in direct:
+                continue
+            if table not in schema.dimensions:
+                raise QueryError(
+                    f"snowflake query {query.name!r} references unknown table {table!r}"
+                )
+            if not any(edge.parent_table == table for edge in schema.snowflake_edges):
+                raise QueryError(
+                    f"table {table!r} is not reachable from the fact table: the "
+                    "schema declares no snowflake edge with it as parent"
+                )

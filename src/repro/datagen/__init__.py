@@ -1,0 +1,28 @@
+"""Synthetic data generators.
+
+* :mod:`~repro.datagen.distributions` — reusable key/measure samplers
+  (uniform, exponential, gamma, Zipf, Gaussian mixtures) used to control the
+  data skew in the Figure 7 / Figure 11 experiments.
+* :mod:`~repro.datagen.ssb` — the Star Schema Benchmark generator (fact table
+  ``Lineorder`` plus ``Date``, ``Customer``, ``Supplier``, ``Part``), the
+  substitute for the paper's dbgen-produced SSB data.
+* :mod:`~repro.datagen.tpch` — a snowflake variant (``Date`` normalised into a
+  ``Month`` dimension) standing in for the TPC-H snowflake experiments.
+"""
+
+from repro.datagen.distributions import KeySampler, MeasureSampler, key_sampler, measure_sampler
+from repro.datagen.ssb import SSBConfig, SSBGenerator, generate_ssb, ssb_schema
+from repro.datagen.tpch import SnowflakeConfig, SnowflakeGenerator, snowflake_schema
+
+__all__ = [
+    "KeySampler",
+    "MeasureSampler",
+    "key_sampler",
+    "measure_sampler",
+    "SSBConfig",
+    "SSBGenerator",
+    "ssb_schema",
+    "SnowflakeConfig",
+    "SnowflakeGenerator",
+    "snowflake_schema",
+]

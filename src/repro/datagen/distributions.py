@@ -1,0 +1,230 @@
+"""Key and measure samplers with controllable skew.
+
+The paper studies how PM behaves as the data distribution departs from
+uniform (Figures 7 and 11): it constructs SSB instances whose values follow
+Uniform, Exponential, Gamma and Gaussian-mixture distributions.  This module
+provides the corresponding samplers in two flavours:
+
+* :class:`KeySampler` — draws *ordinal codes* in ``[0, size)``; used for the
+  fact table's foreign keys and dictionary-encoded dimension attributes, which
+  is what drives the distribution dependence of COUNT queries.
+* :class:`MeasureSampler` — draws continuous measure values; drives the
+  distribution dependence of SUM queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+from scipy import stats
+
+from repro.exceptions import DataGenerationError
+from repro.rng import RngLike, ensure_rng
+
+__all__ = [
+    "KeySampler",
+    "MeasureSampler",
+    "key_sampler",
+    "measure_sampler",
+    "GaussianMixtureSpec",
+    "KEY_DISTRIBUTIONS",
+    "MEASURE_DISTRIBUTIONS",
+]
+
+
+@dataclass(frozen=True)
+class GaussianMixtureSpec:
+    """A two-component Gaussian mixture used by the Figure 11 experiments.
+
+    ``means`` / ``stds`` are expressed as fractions of the domain size (or of
+    the measure range), so the same spec is reusable across differently sized
+    domains; ``weights`` are the mixture weights.
+    """
+
+    means: tuple[float, float]
+    stds: tuple[float, float]
+    weights: tuple[float, float] = (0.5, 0.5)
+
+    def __post_init__(self) -> None:
+        if len(self.means) != 2 or len(self.stds) != 2 or len(self.weights) != 2:
+            raise DataGenerationError("Gaussian mixtures here use exactly two components")
+        if any(s <= 0 for s in self.stds):
+            raise DataGenerationError("mixture standard deviations must be positive")
+        if abs(sum(self.weights) - 1.0) > 1e-9:
+            raise DataGenerationError("mixture weights must sum to one")
+
+
+class KeySampler:
+    """Samples ordinal codes in ``[0, size)`` according to a fixed shape."""
+
+    def __init__(self, name: str, probability_fn: Callable[[int], np.ndarray]):
+        self.name = name
+        self._probability_fn = probability_fn
+
+    def probabilities(self, size: int) -> np.ndarray:
+        """The probability vector over ``size`` codes."""
+        if size <= 0:
+            raise DataGenerationError("domain size must be positive")
+        probabilities = np.asarray(self._probability_fn(size), dtype=np.float64)
+        probabilities = np.clip(probabilities, 1e-12, None)
+        return probabilities / probabilities.sum()
+
+    def sample(self, size: int, count: int, rng: RngLike = None) -> np.ndarray:
+        """Draw ``count`` codes from ``[0, size)``."""
+        generator = ensure_rng(rng)
+        return generator.choice(size, size=count, p=self.probabilities(size)).astype(np.int64)
+
+
+class MeasureSampler:
+    """Samples continuous measure values in a configurable positive range."""
+
+    def __init__(self, name: str, draw_fn: Callable[[np.random.Generator, int], np.ndarray]):
+        self.name = name
+        self._draw_fn = draw_fn
+
+    def sample(self, count: int, rng: RngLike = None, low: float = 1.0, high: float = 100.0) -> np.ndarray:
+        """Draw ``count`` values, rescaled into ``[low, high]``."""
+        if high <= low:
+            raise DataGenerationError("measure range must satisfy high > low")
+        generator = ensure_rng(rng)
+        raw = np.asarray(self._draw_fn(generator, count), dtype=np.float64)
+        if raw.size == 0:
+            return raw
+        spread = raw.max() - raw.min()
+        if spread == 0:
+            normalised = np.zeros_like(raw)
+        else:
+            normalised = (raw - raw.min()) / spread
+        return low + normalised * (high - low)
+
+
+# ----------------------------------------------------------------------
+# key-distribution shapes (probability over ordinal positions)
+# ----------------------------------------------------------------------
+def _uniform_probabilities(size: int) -> np.ndarray:
+    return np.full(size, 1.0 / size)
+
+
+def _exponential_probabilities(size: int, scale_fraction: float = 0.25) -> np.ndarray:
+    positions = np.arange(size)
+    return np.exp(-positions / max(size * scale_fraction, 1.0))
+
+
+def _gamma_probabilities(size: int, shape: float = 2.0, scale_fraction: float = 0.15) -> np.ndarray:
+    positions = np.arange(size) + 0.5
+    return stats.gamma.pdf(positions, a=shape, scale=max(size * scale_fraction, 1.0))
+
+
+def _zipf_probabilities(size: int, exponent: float = 1.2) -> np.ndarray:
+    positions = np.arange(1, size + 1, dtype=np.float64)
+    return positions**-exponent
+
+
+def _gaussian_mixture_probabilities(size: int, spec: GaussianMixtureSpec) -> np.ndarray:
+    positions = np.arange(size, dtype=np.float64)
+    density = np.zeros(size, dtype=np.float64)
+    for weight, mean_fraction, std_fraction in zip(spec.weights, spec.means, spec.stds):
+        mean = mean_fraction * size
+        std = max(std_fraction * size, 0.5)
+        density += weight * stats.norm.pdf(positions, loc=mean, scale=std)
+    return density
+
+
+KEY_DISTRIBUTIONS: dict[str, Callable[..., KeySampler]] = {}
+
+
+def _register_key(name: str, builder: Callable[..., KeySampler]) -> None:
+    KEY_DISTRIBUTIONS[name] = builder
+
+
+_register_key("uniform", lambda: KeySampler("uniform", _uniform_probabilities))
+_register_key(
+    "exponential",
+    lambda scale_fraction=0.25: KeySampler(
+        "exponential", lambda size: _exponential_probabilities(size, scale_fraction)
+    ),
+)
+_register_key(
+    "gamma",
+    lambda shape=2.0, scale_fraction=0.15: KeySampler(
+        "gamma", lambda size: _gamma_probabilities(size, shape, scale_fraction)
+    ),
+)
+_register_key(
+    "zipf",
+    lambda exponent=1.2: KeySampler("zipf", lambda size: _zipf_probabilities(size, exponent)),
+)
+_register_key(
+    "gaussian_mixture",
+    lambda spec=GaussianMixtureSpec(means=(0.3, 0.7), stds=(0.1, 0.1)): KeySampler(
+        "gaussian_mixture", lambda size: _gaussian_mixture_probabilities(size, spec)
+    ),
+)
+
+
+def key_sampler(name: str, **params) -> KeySampler:
+    """Build a :class:`KeySampler` by name (``uniform`` / ``exponential`` /
+    ``gamma`` / ``zipf`` / ``gaussian_mixture``)."""
+    try:
+        builder = KEY_DISTRIBUTIONS[name]
+    except KeyError:
+        raise DataGenerationError(
+            f"unknown key distribution {name!r}; available: {sorted(KEY_DISTRIBUTIONS)}"
+        ) from None
+    return builder(**params)
+
+
+# ----------------------------------------------------------------------
+# measure-distribution shapes (continuous draws, rescaled by the caller)
+# ----------------------------------------------------------------------
+MEASURE_DISTRIBUTIONS: dict[str, Callable[..., MeasureSampler]] = {}
+
+
+def _register_measure(name: str, builder: Callable[..., MeasureSampler]) -> None:
+    MEASURE_DISTRIBUTIONS[name] = builder
+
+
+_register_measure(
+    "uniform", lambda: MeasureSampler("uniform", lambda rng, n: rng.uniform(0.0, 1.0, size=n))
+)
+_register_measure(
+    "exponential",
+    lambda scale=1.0: MeasureSampler(
+        "exponential", lambda rng, n: rng.exponential(scale, size=n)
+    ),
+)
+_register_measure(
+    "gamma",
+    lambda shape=2.0, scale=1.0: MeasureSampler(
+        "gamma", lambda rng, n: rng.gamma(shape, scale, size=n)
+    ),
+)
+_register_measure(
+    "gaussian_mixture",
+    lambda spec=GaussianMixtureSpec(means=(0.3, 0.7), stds=(0.1, 0.1)): MeasureSampler(
+        "gaussian_mixture",
+        lambda rng, n, _spec=spec: _draw_gaussian_mixture(rng, n, _spec),
+    ),
+)
+
+
+def _draw_gaussian_mixture(
+    rng: np.random.Generator, count: int, spec: GaussianMixtureSpec
+) -> np.ndarray:
+    component = rng.choice(2, size=count, p=np.asarray(spec.weights))
+    means = np.asarray(spec.means)[component]
+    stds = np.asarray(spec.stds)[component]
+    return rng.normal(means, stds)
+
+
+def measure_sampler(name: str, **params) -> MeasureSampler:
+    """Build a :class:`MeasureSampler` by name."""
+    try:
+        builder = MEASURE_DISTRIBUTIONS[name]
+    except KeyError:
+        raise DataGenerationError(
+            f"unknown measure distribution {name!r}; available: {sorted(MEASURE_DISTRIBUTIONS)}"
+        ) from None
+    return builder(**params)

@@ -1,0 +1,344 @@
+"""Star Schema Benchmark (SSB) generator.
+
+The paper evaluates DP-starJ on SSB [O'Neil et al. 2007]: a star schema with
+one fact table (``Lineorder``) and four dimension tables (``Date``,
+``Customer``, ``Supplier``, ``Part``).  The official dbgen tool and its data
+are not available offline, so this module generates a synthetic instance with
+
+* the same schema, foreign-key structure and attribute hierarchies
+  (region → nation → city, mfgr → category → brand, year → month);
+* the same predicate domain sizes the paper's queries rely on
+  (|region| = 5, |nation| = 25, |city| = 250, |mfgr| = 5, |category| = 25,
+  |brand| = 1000, |year| = 7, |month| = 12);
+* a configurable scale factor, with ``rows_per_scale_factor`` fact rows per
+  unit of scale so laptop-scale experiments stay fast (the paper varies scale
+  0.25–1, which maps directly onto this knob);
+* configurable key/measure distributions (uniform, exponential, gamma,
+  Gaussian mixture) for the skew experiments of Figures 7 and 11.
+
+See DESIGN.md for why this substitution preserves the behaviour the paper
+measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.datagen.distributions import KeySampler, MeasureSampler, key_sampler, measure_sampler
+from repro.db.database import StarDatabase
+from repro.db.domains import AttributeDomain
+from repro.db.schema import ForeignKey, StarSchema, TableSchema
+from repro.db.table import Column, Table
+from repro.exceptions import DataGenerationError
+from repro.rng import RngLike, ensure_rng
+
+__all__ = [
+    "SSBConfig",
+    "SSBGenerator",
+    "ssb_schema",
+    "REGIONS",
+    "NATIONS_BY_REGION",
+    "YEARS",
+]
+
+# ----------------------------------------------------------------------
+# attribute hierarchies (matching SSB's domain sizes)
+# ----------------------------------------------------------------------
+REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+
+NATIONS_BY_REGION = {
+    "AFRICA": ("ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE"),
+    "AMERICA": ("ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES"),
+    "ASIA": ("CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM"),
+    "EUROPE": ("FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM"),
+    "MIDDLE EAST": ("EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA"),
+}
+
+NATIONS = tuple(nation for region in REGIONS for nation in NATIONS_BY_REGION[region])
+
+#: 10 cities per nation — 250 cities, matching SSB's city domain size.
+CITIES = tuple(f"{nation[:9]}#{index}" for nation in NATIONS for index in range(10))
+
+MFGRS = tuple(f"MFGR#{index}" for index in range(1, 6))
+#: 5 categories per manufacturer — 25 categories (e.g. "MFGR#12").
+CATEGORIES = tuple(f"MFGR#{mfgr}{index}" for mfgr in range(1, 6) for index in range(1, 6))
+#: 40 brands per category — 1000 brands (e.g. "MFGR#1221").
+BRANDS = tuple(
+    f"MFGR#{mfgr}{category}{brand:02d}"
+    for mfgr in range(1, 6)
+    for category in range(1, 6)
+    for brand in range(1, 41)
+)
+
+YEARS = tuple(range(1992, 1999))  # 7 years, as in SSB
+MONTHS = tuple(range(1, 13))
+DAYS_PER_YEAR = 365
+
+QUANTITY_RANGE = (1, 50)
+REVENUE_RANGE = (1.0, 100.0)
+SUPPLYCOST_RANGE = (1.0, 60.0)
+
+
+# ----------------------------------------------------------------------
+# domains and schema
+# ----------------------------------------------------------------------
+def _domains() -> dict[str, AttributeDomain]:
+    return {
+        "region": AttributeDomain.categorical("region", REGIONS),
+        "nation": AttributeDomain.categorical("nation", NATIONS),
+        "city": AttributeDomain.categorical("city", CITIES),
+        "mfgr": AttributeDomain.categorical("mfgr", MFGRS),
+        "category": AttributeDomain.categorical("category", CATEGORIES),
+        "brand": AttributeDomain.categorical("brand", BRANDS),
+        "year": AttributeDomain.from_values("year", YEARS),
+        "month": AttributeDomain.from_values("month", MONTHS),
+    }
+
+
+def ssb_schema() -> StarSchema:
+    """The SSB star schema (shared by the generator, the workloads and tests)."""
+    domains = _domains()
+    date = TableSchema(
+        name="Date",
+        key="DK",
+        attributes={"year": domains["year"], "month": domains["month"]},
+    )
+    customer = TableSchema(
+        name="Customer",
+        key="CK",
+        attributes={
+            "region": domains["region"],
+            "nation": domains["nation"],
+            "city": domains["city"],
+        },
+    )
+    supplier = TableSchema(
+        name="Supplier",
+        key="SK",
+        attributes={
+            "region": domains["region"],
+            "nation": domains["nation"],
+            "city": domains["city"],
+        },
+    )
+    part = TableSchema(
+        name="Part",
+        key="PK",
+        attributes={
+            "mfgr": domains["mfgr"],
+            "category": domains["category"],
+            "brand": domains["brand"],
+        },
+    )
+    lineorder = TableSchema(
+        name="Lineorder",
+        key=None,
+        attributes={},
+        measures=("quantity", "revenue", "supplycost"),
+    )
+    return StarSchema(
+        fact=lineorder,
+        dimensions=[date, customer, supplier, part],
+        foreign_keys=[
+            ForeignKey(fact_column="DK", dimension_table="Date", dimension_key="DK"),
+            ForeignKey(fact_column="CK", dimension_table="Customer", dimension_key="CK"),
+            ForeignKey(fact_column="SK", dimension_table="Supplier", dimension_key="SK"),
+            ForeignKey(fact_column="PK", dimension_table="Part", dimension_key="PK"),
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# generator configuration
+# ----------------------------------------------------------------------
+@dataclass
+class SSBConfig:
+    """Knobs of the SSB generator.
+
+    Parameters
+    ----------
+    scale_factor:
+        Relative data volume (the paper's 0.25–1.0 sweep).
+    rows_per_scale_factor:
+        Fact rows generated per unit of scale factor.  The official SSB uses
+        6 000 000; the default keeps laptop experiments fast while preserving
+        the fan-out structure.
+    key_distribution:
+        How fact-table foreign keys are distributed over dimension keys —
+        ``"uniform"`` / ``"exponential"`` / ``"gamma"`` / ``"zipf"`` /
+        ``"gaussian_mixture"`` or a ready :class:`KeySampler`.  This is the
+        knob the skew experiments (Figures 7 and 11) turn.
+    measure_distribution:
+        Distribution of the fact measures (``revenue`` etc.), same options.
+    dimension_distribution:
+        How dimension attributes (cities, brands) are assigned to dimension
+        rows.  Kept uniform by default so every predicate region stays
+        populated even under heavy fact-table skew.
+    seed:
+        Seed for reproducible instances.
+    """
+
+    scale_factor: float = 1.0
+    rows_per_scale_factor: int = 60_000
+    key_distribution: Union[str, KeySampler] = "uniform"
+    measure_distribution: Union[str, MeasureSampler] = "uniform"
+    dimension_distribution: Union[str, KeySampler] = "uniform"
+    seed: Optional[int] = None
+    customers_per_fact_row: float = 1.0 / 20.0
+    suppliers_per_fact_row: float = 1.0 / 200.0
+    parts_per_fact_row: float = 1.0 / 30.0
+
+    def __post_init__(self) -> None:
+        if self.scale_factor <= 0:
+            raise DataGenerationError("scale_factor must be positive")
+        if self.rows_per_scale_factor <= 0:
+            raise DataGenerationError("rows_per_scale_factor must be positive")
+
+
+class SSBGenerator:
+    """Generate a synthetic SSB :class:`~repro.db.database.StarDatabase`."""
+
+    def __init__(self, config: Optional[SSBConfig] = None, rng: RngLike = None):
+        self.config = config or SSBConfig()
+        seed = self.config.seed
+        self._rng = ensure_rng(seed if seed is not None else rng)
+        self.schema = ssb_schema()
+        self._domains = _domains()
+        key_dist = self.config.key_distribution
+        self._key_sampler = (
+            key_dist if isinstance(key_dist, KeySampler) else key_sampler(key_dist)
+        )
+        measure_dist = self.config.measure_distribution
+        self._measure_sampler = (
+            measure_dist
+            if isinstance(measure_dist, MeasureSampler)
+            else measure_sampler(measure_dist)
+        )
+        dimension_dist = self.config.dimension_distribution
+        self._dimension_sampler = (
+            dimension_dist
+            if isinstance(dimension_dist, KeySampler)
+            else key_sampler(dimension_dist)
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def fact_rows(self) -> int:
+        return max(int(self.config.rows_per_scale_factor * self.config.scale_factor), 10)
+
+    def _dimension_rows(self) -> dict[str, int]:
+        fact_rows = self.fact_rows
+        return {
+            "Date": len(YEARS) * DAYS_PER_YEAR,
+            "Customer": max(int(fact_rows * self.config.customers_per_fact_row), 100),
+            "Supplier": max(int(fact_rows * self.config.suppliers_per_fact_row), 50),
+            "Part": max(int(fact_rows * self.config.parts_per_fact_row), 200),
+        }
+
+    # ------------------------------------------------------------------
+    # dimension tables
+    # ------------------------------------------------------------------
+    def _build_date(self, rows: int) -> Table:
+        day_index = np.arange(rows)
+        year_codes = (day_index // DAYS_PER_YEAR).clip(0, len(YEARS) - 1)
+        day_of_year = day_index % DAYS_PER_YEAR
+        month_codes = np.minimum(day_of_year // 31, 11)
+        return Table(
+            "Date",
+            [
+                Column(name="DK", values=day_index.astype(np.int64)),
+                Column(name="year", values=year_codes, domain=self._domains["year"]),
+                Column(name="month", values=month_codes, domain=self._domains["month"]),
+            ],
+        )
+
+    def _build_geo_dimension(self, name: str, key_name: str, rows: int) -> Table:
+        city_codes = self._dimension_sampler.sample(len(CITIES), rows, rng=self._rng)
+        nation_codes = city_codes // 10
+        region_codes = nation_codes // 5
+        return Table(
+            name,
+            [
+                Column(name=key_name, values=np.arange(rows, dtype=np.int64)),
+                Column(name="region", values=region_codes, domain=self._domains["region"]),
+                Column(name="nation", values=nation_codes, domain=self._domains["nation"]),
+                Column(name="city", values=city_codes, domain=self._domains["city"]),
+            ],
+        )
+
+    def _build_part(self, rows: int) -> Table:
+        brand_codes = self._dimension_sampler.sample(len(BRANDS), rows, rng=self._rng)
+        category_codes = brand_codes // 40
+        mfgr_codes = category_codes // 5
+        return Table(
+            "Part",
+            [
+                Column(name="PK", values=np.arange(rows, dtype=np.int64)),
+                Column(name="mfgr", values=mfgr_codes, domain=self._domains["mfgr"]),
+                Column(name="category", values=category_codes, domain=self._domains["category"]),
+                Column(name="brand", values=brand_codes, domain=self._domains["brand"]),
+            ],
+        )
+
+    # ------------------------------------------------------------------
+    # fact table
+    # ------------------------------------------------------------------
+    def _build_fact(self, dimension_rows: dict[str, int]) -> Table:
+        rows = self.fact_rows
+        fk_columns = {
+            "DK": self._key_sampler.sample(dimension_rows["Date"], rows, rng=self._rng),
+            "CK": self._key_sampler.sample(dimension_rows["Customer"], rows, rng=self._rng),
+            "SK": self._key_sampler.sample(dimension_rows["Supplier"], rows, rng=self._rng),
+            "PK": self._key_sampler.sample(dimension_rows["Part"], rows, rng=self._rng),
+        }
+        quantity = self._rng.integers(QUANTITY_RANGE[0], QUANTITY_RANGE[1] + 1, size=rows)
+        revenue = self._measure_sampler.sample(
+            rows, rng=self._rng, low=REVENUE_RANGE[0], high=REVENUE_RANGE[1]
+        )
+        supplycost = self._measure_sampler.sample(
+            rows, rng=self._rng, low=SUPPLYCOST_RANGE[0], high=SUPPLYCOST_RANGE[1]
+        )
+        columns = [
+            Column(name="DK", values=fk_columns["DK"]),
+            Column(name="CK", values=fk_columns["CK"]),
+            Column(name="SK", values=fk_columns["SK"]),
+            Column(name="PK", values=fk_columns["PK"]),
+            Column(name="quantity", values=quantity.astype(np.float64)),
+            Column(name="revenue", values=revenue),
+            Column(name="supplycost", values=supplycost),
+        ]
+        return Table("Lineorder", columns)
+
+    # ------------------------------------------------------------------
+    def build(self) -> StarDatabase:
+        """Generate the full star database instance."""
+        dimension_rows = self._dimension_rows()
+        dimensions = {
+            "Date": self._build_date(dimension_rows["Date"]),
+            "Customer": self._build_geo_dimension("Customer", "CK", dimension_rows["Customer"]),
+            "Supplier": self._build_geo_dimension("Supplier", "SK", dimension_rows["Supplier"]),
+            "Part": self._build_part(dimension_rows["Part"]),
+        }
+        fact = self._build_fact(dimension_rows)
+        return StarDatabase(schema=self.schema, fact=fact, dimensions=dimensions)
+
+
+def generate_ssb(
+    scale_factor: float = 1.0,
+    seed: Optional[int] = None,
+    rows_per_scale_factor: int = 60_000,
+    key_distribution: Union[str, KeySampler] = "uniform",
+    measure_distribution: Union[str, MeasureSampler] = "uniform",
+) -> StarDatabase:
+    """One-call convenience wrapper around :class:`SSBGenerator`."""
+    config = SSBConfig(
+        scale_factor=scale_factor,
+        rows_per_scale_factor=rows_per_scale_factor,
+        key_distribution=key_distribution,
+        measure_distribution=measure_distribution,
+        seed=seed,
+    )
+    return SSBGenerator(config).build()

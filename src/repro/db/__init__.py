@@ -1,0 +1,62 @@
+"""Relational substrate: columnar tables, star schemas and star-join execution.
+
+The subpackage provides everything the DP mechanisms need from a database
+engine:
+
+* :class:`~repro.db.domains.AttributeDomain` — finite, ordered attribute
+  domains with value/ordinal-code codecs (the unit the Predicate Mechanism
+  perturbs over).
+* :class:`~repro.db.table.Table` / :class:`~repro.db.table.Column` — columnar,
+  numpy-backed tables.
+* :class:`~repro.db.schema.TableSchema`, :class:`~repro.db.schema.ForeignKey`,
+  :class:`~repro.db.schema.StarSchema` — schema metadata including the
+  fact → dimension foreign-key constraints central to the paper.
+* :class:`~repro.db.database.StarDatabase` — a concrete star-schema instance.
+* :mod:`~repro.db.predicates` — the predicate AST (point / range / set /
+  conjunction) that star-join queries are decomposed into.
+* :class:`~repro.db.query.StarJoinQuery` — aggregate star-join queries
+  (COUNT / SUM / AVG, optional GROUP BY).
+* :class:`~repro.db.executor.QueryExecutor` — exact query evaluation using a
+  semi-join plan (with a reference hash-join implementation in
+  :mod:`~repro.db.join` used for cross-validation in tests).
+* :mod:`~repro.db.sql` — a minimal SQL parser covering the paper's appendix
+  queries.
+"""
+
+from repro.db.domains import AttributeDomain
+from repro.db.table import Column, Table
+from repro.db.schema import ForeignKey, StarSchema, TableSchema
+from repro.db.database import StarDatabase
+from repro.db.predicates import (
+    ConjunctionPredicate,
+    PointPredicate,
+    Predicate,
+    RangePredicate,
+    SetPredicate,
+    TruePredicate,
+)
+from repro.db.query import Aggregate, AggregateKind, GroupBy, StarJoinQuery
+from repro.db.executor import QueryExecutor
+from repro.db.sql import parse_star_join_sql
+
+__all__ = [
+    "AttributeDomain",
+    "Column",
+    "Table",
+    "ForeignKey",
+    "StarSchema",
+    "TableSchema",
+    "StarDatabase",
+    "Predicate",
+    "PointPredicate",
+    "RangePredicate",
+    "SetPredicate",
+    "ConjunctionPredicate",
+    "TruePredicate",
+    "Aggregate",
+    "AggregateKind",
+    "GroupBy",
+    "StarJoinQuery",
+    "QueryExecutor",
+    "parse_star_join_sql",
+]

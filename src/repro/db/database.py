@@ -1,0 +1,214 @@
+"""A concrete star-schema database instance.
+
+:class:`StarDatabase` binds a :class:`~repro.db.schema.StarSchema` to actual
+:class:`~repro.db.table.Table` data and provides the navigation primitives
+everything else builds on:
+
+* foreign-key traversal from dimension-row selections to fact-row selections
+  (the semi-join at the heart of star-join execution);
+* snowflake traversal from an outer dimension (e.g. ``Month``) down to the
+  dimension directly referenced by the fact table (e.g. ``Date``);
+* fan-out statistics (how many fact tuples reference each dimension key),
+  which the truncation- and sensitivity-based baselines are calibrated on.
+
+Foreign-key columns in the fact table store the *row position* of the
+referenced dimension tuple, which keeps joins to a single fancy-indexing
+operation and makes the foreign-key constraints of the paper's neighbouring
+definitions explicit.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.db.predicates import Predicate
+from repro.db.schema import StarSchema
+from repro.db.table import Table
+from repro.exceptions import SchemaError
+
+__all__ = ["StarDatabase"]
+
+
+class StarDatabase:
+    """A star-schema database: one fact table plus its dimension tables."""
+
+    def __init__(self, schema: StarSchema, fact: Table, dimensions: Mapping[str, Table]):
+        self.schema = schema
+        self.fact = fact
+        self.dimensions: dict[str, Table] = dict(dimensions)
+        self._validate()
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if self.fact.name != self.schema.fact.name:
+            raise SchemaError(
+                f"fact table name {self.fact.name!r} does not match schema "
+                f"{self.schema.fact.name!r}"
+            )
+        missing = set(self.schema.dimension_names) - set(self.dimensions)
+        if missing:
+            raise SchemaError(f"missing dimension tables: {sorted(missing)}")
+        for dim_name, fk in self.schema.foreign_keys.items():
+            if fk.fact_column not in self.fact:
+                raise SchemaError(
+                    f"fact table lacks foreign-key column {fk.fact_column!r} "
+                    f"for dimension {dim_name!r}"
+                )
+            codes = self.fact.codes(fk.fact_column)
+            dim_rows = self.dimensions[dim_name].num_rows
+            if codes.size and (codes.min() < 0 or codes.max() >= dim_rows):
+                raise SchemaError(
+                    f"foreign-key column {fk.fact_column!r} references rows outside "
+                    f"dimension {dim_name!r} (which has {dim_rows} rows)"
+                )
+        for edge in self.schema.snowflake_edges:
+            child = self.dimensions[edge.child_table]
+            parent = self.dimensions[edge.parent_table]
+            if edge.child_column not in child:
+                raise SchemaError(
+                    f"snowflake child {edge.child_table!r} lacks column "
+                    f"{edge.child_column!r}"
+                )
+            codes = child.codes(edge.child_column)
+            if codes.size and (codes.min() < 0 or codes.max() >= parent.num_rows):
+                raise SchemaError(
+                    f"snowflake column {edge.child_table}.{edge.child_column} "
+                    f"references rows outside {edge.parent_table!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_fact_rows(self) -> int:
+        return self.fact.num_rows
+
+    @property
+    def size(self) -> int:
+        """Total number of tuples in the instance (``N = |D_s|``)."""
+        return self.fact.num_rows + sum(t.num_rows for t in self.dimensions.values())
+
+    def dimension(self, name: str) -> Table:
+        try:
+            return self.dimensions[name]
+        except KeyError:
+            raise SchemaError(
+                f"database has no dimension table {name!r}; "
+                f"available: {sorted(self.dimensions)}"
+            ) from None
+
+    def table(self, name: str) -> Table:
+        if name == self.fact.name:
+            return self.fact
+        return self.dimension(name)
+
+    def fact_foreign_key_codes(self, dimension_name: str) -> np.ndarray:
+        """Fact-table foreign-key codes (dimension row positions) for a dimension."""
+        fk = self.schema.foreign_key_for(dimension_name)
+        return self.fact.codes(fk.fact_column)
+
+    # ------------------------------------------------------------------
+    # snowflake traversal
+    # ------------------------------------------------------------------
+    def _child_edge(self, parent_table: str):
+        for edge in self.schema.snowflake_edges:
+            if edge.parent_table == parent_table:
+                return edge
+        return None
+
+    def resolve_to_direct_dimension(
+        self, table_name: str, row_mask: np.ndarray
+    ) -> tuple[str, np.ndarray]:
+        """Push a row mask from an outer (snowflaked) dimension to a direct one.
+
+        If ``table_name`` is directly referenced by the fact table the mask is
+        returned unchanged.  Otherwise the snowflake foreign keys are followed
+        child-ward (e.g. a mask over ``Month`` rows becomes a mask over
+        ``Date`` rows) until a direct dimension is reached.
+        """
+        current_table = table_name
+        current_mask = np.asarray(row_mask, dtype=bool)
+        visited = set()
+        while current_table not in self.schema.foreign_keys:
+            if current_table in visited:
+                raise SchemaError(f"snowflake cycle detected at table {current_table!r}")
+            visited.add(current_table)
+            edge = self._child_edge(current_table)
+            if edge is None:
+                raise SchemaError(
+                    f"table {current_table!r} is neither a direct dimension nor a "
+                    f"snowflake parent"
+                )
+            child = self.dimension(edge.child_table)
+            child_codes = child.codes(edge.child_column)
+            current_mask = current_mask[child_codes]
+            current_table = edge.child_table
+        return current_table, current_mask
+
+    # ------------------------------------------------------------------
+    # dimension → fact navigation
+    # ------------------------------------------------------------------
+    def dimension_mask(self, predicate: Predicate) -> np.ndarray:
+        """Boolean mask over the rows of the predicate's (possibly outer) table."""
+        table = self.table(predicate.table)
+        return predicate.evaluate(table)
+
+    def fact_mask_for_dimension_mask(
+        self, dimension_name: str, dimension_mask: np.ndarray
+    ) -> np.ndarray:
+        """Translate a dimension-row mask into a fact-row mask via the FK."""
+        codes = self.fact_foreign_key_codes(dimension_name)
+        return np.asarray(dimension_mask, dtype=bool)[codes]
+
+    def fact_mask_for_predicate(self, predicate: Predicate) -> np.ndarray:
+        """Boolean fact-row mask selecting rows whose joined tuple satisfies
+        ``predicate``.
+
+        Handles predicates on direct dimensions, on snowflaked dimensions and
+        on fact-table attributes uniformly.
+        """
+        if predicate.table == self.fact.name:
+            return predicate.evaluate(self.fact)
+        mask = self.dimension_mask(predicate)
+        direct_name, direct_mask = self.resolve_to_direct_dimension(predicate.table, mask)
+        return self.fact_mask_for_dimension_mask(direct_name, direct_mask)
+
+    # ------------------------------------------------------------------
+    # fan-out statistics (for LS / TM / R2T calibration)
+    # ------------------------------------------------------------------
+    def fan_out(
+        self, dimension_name: str, fact_mask: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Number of (selected) fact tuples referencing each dimension key.
+
+        Parameters
+        ----------
+        dimension_name:
+            A dimension directly referenced by the fact table.
+        fact_mask:
+            Optional boolean mask restricting which fact rows are counted
+            (e.g. the rows satisfying the query's other predicates).
+        """
+        codes = self.fact_foreign_key_codes(dimension_name)
+        if fact_mask is not None:
+            codes = codes[np.asarray(fact_mask, dtype=bool)]
+        dim_rows = self.dimension(dimension_name).num_rows
+        return np.bincount(codes, minlength=dim_rows)
+
+    def max_fan_out(
+        self, dimension_name: str, fact_mask: Optional[np.ndarray] = None
+    ) -> int:
+        """Maximum fan-out of any key of ``dimension_name`` (the local sensitivity
+        of a star-join count w.r.t. that private dimension)."""
+        counts = self.fan_out(dimension_name, fact_mask)
+        return int(counts.max()) if counts.size else 0
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        dims = {name: table.num_rows for name, table in self.dimensions.items()}
+        return (
+            f"StarDatabase(fact={self.fact.name!r} rows={self.fact.num_rows}, "
+            f"dimensions={dims})"
+        )

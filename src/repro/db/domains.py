@@ -1,0 +1,169 @@
+"""Finite, ordered attribute domains.
+
+The Predicate Mechanism (paper Section 5.2, Algorithm 2) perturbs predicates
+*inside the ordinal domain of each attribute*: a point constraint ``a = v``
+is moved to a nearby domain value, and a range constraint ``a ∈ [l, r]`` has
+its endpoints moved.  The scale of the Laplace noise is the domain size
+``|dom(a)|``.  :class:`AttributeDomain` is the codec between attribute values
+and their ordinal codes ``0 .. |dom(a)| - 1`` that makes this possible for
+both categorical attributes (regions, categories, brands) and integer
+attributes (years, node identifiers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import DomainError
+
+__all__ = ["AttributeDomain"]
+
+
+@dataclass(frozen=True)
+class AttributeDomain:
+    """An ordered, finite domain for a single attribute.
+
+    Parameters
+    ----------
+    name:
+        Attribute name (``"region"``, ``"year"``, ...).
+    values:
+        Ordered tuple of the domain values.  Order matters: range predicates
+        and predicate perturbation operate on the positions in this tuple.
+    """
+
+    name: str
+    values: tuple[Any, ...]
+    _index: dict[Any, int] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(self.values) == 0:
+            raise DomainError(f"domain {self.name!r} must not be empty")
+        index = {}
+        for position, value in enumerate(self.values):
+            if value in index:
+                raise DomainError(
+                    f"domain {self.name!r} contains duplicate value {value!r}"
+                )
+            index[value] = position
+        object.__setattr__(self, "_index", index)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_values(cls, name: str, values: Iterable[Any]) -> "AttributeDomain":
+        """Build a domain from an iterable of (already ordered) values."""
+        return cls(name=name, values=tuple(values))
+
+    @classmethod
+    def integer_range(cls, name: str, low: int, high: int) -> "AttributeDomain":
+        """Build an integer domain covering ``low .. high`` inclusive."""
+        if high < low:
+            raise DomainError(f"integer domain {name!r}: high < low ({high} < {low})")
+        return cls(name=name, values=tuple(range(int(low), int(high) + 1)))
+
+    @classmethod
+    def categorical(cls, name: str, labels: Sequence[str]) -> "AttributeDomain":
+        """Build a categorical domain from a sequence of labels."""
+        return cls(name=name, values=tuple(labels))
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of values in the domain, i.e. ``|dom(a)|``."""
+        return len(self.values)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __contains__(self, value: Any) -> bool:
+        return value in self._index
+
+    def __iter__(self):
+        return iter(self.values)
+
+    # ------------------------------------------------------------------
+    # encode / decode
+    # ------------------------------------------------------------------
+    def encode(self, value: Any) -> int:
+        """Return the ordinal code of ``value``.
+
+        Raises :class:`~repro.exceptions.DomainError` for unknown values.
+        """
+        try:
+            return self._index[value]
+        except KeyError:
+            raise DomainError(
+                f"value {value!r} is not in domain {self.name!r} "
+                f"(size {self.size})"
+            ) from None
+
+    def decode(self, code: int) -> Any:
+        """Return the value at ordinal position ``code``."""
+        if not 0 <= int(code) < self.size:
+            raise DomainError(
+                f"code {code} is outside domain {self.name!r} of size {self.size}"
+            )
+        return self.values[int(code)]
+
+    def encode_array(self, values: Iterable[Any]) -> np.ndarray:
+        """Vectorised :meth:`encode` returning an ``int64`` array."""
+        return np.asarray([self.encode(v) for v in values], dtype=np.int64)
+
+    def decode_array(self, codes: Iterable[int]) -> list[Any]:
+        """Vectorised :meth:`decode`."""
+        return [self.decode(int(c)) for c in codes]
+
+    # ------------------------------------------------------------------
+    # clamping (used by predicate perturbation)
+    # ------------------------------------------------------------------
+    def clamp_code(self, code: float) -> int:
+        """Round ``code`` to the nearest integer and clamp into the domain.
+
+        The paper observes that "when PM perturbs the predicate, its
+        perturbation result is still within the domain value range"; this is
+        the operation that enforces it.
+        """
+        rounded = int(np.rint(code))
+        return min(max(rounded, 0), self.size - 1)
+
+    def clamp_value(self, code: float) -> Any:
+        """Clamp a (possibly fractional, out-of-range) code and decode it."""
+        return self.decode(self.clamp_code(code))
+
+    # ------------------------------------------------------------------
+    # helpers for range predicates
+    # ------------------------------------------------------------------
+    def code_interval(self, low: Any, high: Any) -> tuple[int, int]:
+        """Return the ordinal interval ``(encode(low), encode(high))``.
+
+        Raises :class:`~repro.exceptions.DomainError` if the interval is
+        reversed.
+        """
+        lo = self.encode(low)
+        hi = self.encode(high)
+        if lo > hi:
+            raise DomainError(
+                f"range [{low!r}, {high!r}] is reversed in domain {self.name!r}"
+            )
+        return lo, hi
+
+    def slice_values(self, low_code: int, high_code: int) -> tuple[Any, ...]:
+        """Return domain values with codes in ``[low_code, high_code]``."""
+        if low_code > high_code:
+            return ()
+        low_code = max(0, int(low_code))
+        high_code = min(self.size - 1, int(high_code))
+        return self.values[low_code : high_code + 1]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        preview = ", ".join(repr(v) for v in self.values[:4])
+        if self.size > 4:
+            preview += ", ..."
+        return f"AttributeDomain({self.name!r}, size={self.size}, [{preview}])"

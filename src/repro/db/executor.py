@@ -1,0 +1,207 @@
+"""Exact star-join query execution.
+
+The executor evaluates a :class:`~repro.db.query.StarJoinQuery` against a
+:class:`~repro.db.database.StarDatabase` using the classical OLAP semi-join
+plan: each dimension predicate is turned into a fact-row selection through
+the foreign key, the selections are intersected, and the aggregate is
+computed over the surviving fact rows.  This is the exact (non-private)
+answer ``Q(D_s)`` that every mechanism's error is measured against, and it is
+also the engine the Predicate Mechanism uses to answer the *noisy* query.
+
+A reference materialise-then-filter implementation lives in
+:mod:`repro.db.join` and is used in tests to cross-validate this plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.db.database import StarDatabase
+from repro.db.predicates import ConjunctionPredicate
+from repro.db.query import Aggregate, AggregateKind, GroupBy, Measure, StarJoinQuery
+from repro.exceptions import QueryError
+
+__all__ = ["GroupedResult", "QueryExecutor"]
+
+
+@dataclass
+class GroupedResult:
+    """Result of a GROUP BY star-join query.
+
+    ``groups`` maps decoded group-key tuples to aggregate values.  Helper
+    methods align two grouped results over the union of their keys so the
+    evaluation harness can compute relative errors between a private answer
+    and the exact one.
+    """
+
+    keys: tuple[tuple[str, str], ...]
+    groups: dict[tuple[Any, ...], float]
+
+    def total(self) -> float:
+        """Sum of the aggregate over all groups."""
+        return float(sum(self.groups.values()))
+
+    def as_vectors(self, other: "GroupedResult") -> tuple[np.ndarray, np.ndarray]:
+        """Return aligned value vectors of ``self`` and ``other``.
+
+        The vectors are aligned on the sorted union of both key sets, with
+        missing groups treated as 0.
+        """
+        all_keys = sorted(set(self.groups) | set(other.groups))
+        mine = np.array([self.groups.get(k, 0.0) for k in all_keys], dtype=np.float64)
+        theirs = np.array([other.groups.get(k, 0.0) for k in all_keys], dtype=np.float64)
+        return mine, theirs
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+
+class QueryExecutor:
+    """Evaluate star-join queries exactly on a :class:`StarDatabase`."""
+
+    def __init__(self, database: StarDatabase):
+        self.database = database
+
+    # ------------------------------------------------------------------
+    # selection
+    # ------------------------------------------------------------------
+    def fact_selection_mask(self, predicates: ConjunctionPredicate) -> np.ndarray:
+        """Boolean mask over fact rows whose joined tuple satisfies Φ."""
+        mask = np.ones(self.database.num_fact_rows, dtype=bool)
+        for predicate in predicates:
+            mask &= self.database.fact_mask_for_predicate(predicate)
+        return mask
+
+    def selected_count(self, predicates: ConjunctionPredicate) -> int:
+        """Number of fact rows selected by Φ (COUNT(*) of the star join)."""
+        return int(self.fact_selection_mask(predicates).sum())
+
+    # ------------------------------------------------------------------
+    # measures
+    # ------------------------------------------------------------------
+    def measure_values(self, measure: Measure) -> np.ndarray:
+        """The measure expression evaluated over every fact row."""
+        values = np.asarray(self.database.fact.codes(measure.column), dtype=np.float64)
+        if measure.subtract is not None:
+            values = values - np.asarray(
+                self.database.fact.codes(measure.subtract), dtype=np.float64
+            )
+        return values
+
+    def _aggregate_masked(self, aggregate: Aggregate, mask: np.ndarray) -> float:
+        if aggregate.kind is AggregateKind.COUNT:
+            return float(mask.sum())
+        values = self.measure_values(aggregate.measure)[mask]
+        if aggregate.kind is AggregateKind.SUM:
+            return float(values.sum())
+        if aggregate.kind is AggregateKind.AVG:
+            return float(values.mean()) if values.size else 0.0
+        raise QueryError(f"unsupported aggregate kind {aggregate.kind!r}")
+
+    # ------------------------------------------------------------------
+    # group by
+    # ------------------------------------------------------------------
+    def _group_codes(self, group_by: GroupBy, mask: np.ndarray) -> list[np.ndarray]:
+        """Per-key arrays of group codes for the selected fact rows."""
+        per_key = []
+        for table_name, attribute in group_by:
+            if table_name == self.database.fact.name:
+                codes = self.database.fact.codes(attribute)[mask]
+            else:
+                table = self.database.table(table_name)
+                column_codes = table.codes(attribute)
+                direct_name, _ = self.database.resolve_to_direct_dimension(
+                    table_name, np.ones(table.num_rows, dtype=bool)
+                )
+                if direct_name != table_name:
+                    raise QueryError(
+                        "GROUP BY over snowflaked (non-direct) dimension attributes "
+                        "is not supported"
+                    )
+                fk_codes = self.database.fact_foreign_key_codes(table_name)[mask]
+                codes = column_codes[fk_codes]
+            per_key.append(np.asarray(codes))
+        return per_key
+
+    def _grouped(self, query: StarJoinQuery, mask: np.ndarray) -> GroupedResult:
+        group_by = query.group_by
+        per_key_codes = self._group_codes(group_by, mask)
+        if query.kind is AggregateKind.COUNT:
+            weights = np.ones(int(mask.sum()), dtype=np.float64)
+        else:
+            weights = self.measure_values(query.aggregate.measure)[mask]
+
+        # Combine the per-key code arrays into a single composite group id.
+        if per_key_codes:
+            stacked = np.stack(per_key_codes, axis=1)
+        else:
+            stacked = np.zeros((int(mask.sum()), 0), dtype=np.int64)
+        unique_rows, inverse = np.unique(stacked, axis=0, return_inverse=True)
+        sums = np.bincount(inverse, weights=weights, minlength=unique_rows.shape[0])
+        if query.kind is AggregateKind.AVG:
+            counts = np.bincount(inverse, minlength=unique_rows.shape[0])
+            sums = np.divide(sums, np.maximum(counts, 1))
+
+        groups: dict[tuple[Any, ...], float] = {}
+        for row, value in zip(unique_rows, sums):
+            decoded = []
+            for (table_name, attribute), code in zip(group_by, row):
+                domain = self.database.table(table_name).domain(attribute)
+                decoded.append(domain.decode(int(code)) if domain is not None else int(code))
+            groups[tuple(decoded)] = float(value)
+        return GroupedResult(keys=tuple(group_by.keys), groups=groups)
+
+    # ------------------------------------------------------------------
+    # public entry point
+    # ------------------------------------------------------------------
+    def execute(self, query: StarJoinQuery):
+        """Execute ``query`` exactly.
+
+        Returns a ``float`` for scalar aggregates and a :class:`GroupedResult`
+        for GROUP BY queries.
+        """
+        mask = self.fact_selection_mask(query.predicates)
+        if query.is_grouped:
+            return self._grouped(query, mask)
+        return self._aggregate_masked(query.aggregate, mask)
+
+    # ------------------------------------------------------------------
+    # helpers for truncation-based mechanisms
+    # ------------------------------------------------------------------
+    def contribution_per_key(
+        self, query: StarJoinQuery, dimension_name: str
+    ) -> np.ndarray:
+        """Per-dimension-key contribution to the query answer.
+
+        For COUNT queries this is the number of selected fact rows joining to
+        each key of ``dimension_name``; for SUM queries it is the summed
+        measure.  Truncation-based mechanisms (TM, R2T) cap these
+        contributions at a threshold τ.
+        """
+        mask = self.fact_selection_mask(query.predicates)
+        codes = self.database.fact_foreign_key_codes(dimension_name)[mask]
+        dim_rows = self.database.dimension(dimension_name).num_rows
+        if query.kind is AggregateKind.COUNT:
+            return np.bincount(codes, minlength=dim_rows).astype(np.float64)
+        weights = self.measure_values(query.aggregate.measure)[mask]
+        return np.bincount(codes, weights=weights, minlength=dim_rows)
+
+    def truncated_answer(
+        self,
+        query: StarJoinQuery,
+        dimension_name: str,
+        threshold: float,
+        per_key: Optional[np.ndarray] = None,
+    ) -> float:
+        """Answer with each key's contribution truncated at ``threshold``.
+
+        This is ``Q(D_s, τ)`` in the paper's description of the truncation
+        mechanism and R2T (Eq. 9): entities contributing more than τ have
+        their contribution capped.
+        """
+        if per_key is None:
+            per_key = self.contribution_per_key(query, dimension_name)
+        return float(np.minimum(per_key, threshold).sum())

@@ -1,0 +1,171 @@
+"""Reference join implementations.
+
+The production plan in :mod:`repro.db.executor` answers star-join queries via
+semi-joins.  To make sure that plan is correct, this module provides an
+independent reference implementation that *materialises* the star join
+(fact ⋈ R1 ⋈ ... ⋈ Rn) as a wide table and then filters it — the classic
+hash-join / denormalisation plan.  The two plans must agree on every query;
+the test suite checks that, including on GROUP BY and SUM queries.
+
+It also exposes the join-size helpers used in sensitivity analyses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.db.database import StarDatabase
+from repro.db.predicates import ConjunctionPredicate
+from repro.db.query import AggregateKind, StarJoinQuery
+from repro.exceptions import QueryError
+
+__all__ = [
+    "materialise_star_join",
+    "execute_by_materialised_join",
+    "join_result_size",
+]
+
+
+def materialise_star_join(database: StarDatabase) -> dict[str, np.ndarray]:
+    """Materialise the full star join as a mapping ``"table.attribute" → array``.
+
+    Every returned array has one entry per fact row; dimension attributes are
+    gathered onto fact rows through the foreign keys (and through snowflake
+    edges, so outer-dimension attributes are also available).  Because every
+    foreign key references a primary key, the join result has exactly one row
+    per fact row.
+    """
+    wide: dict[str, np.ndarray] = {}
+    fact = database.fact
+    for column_name in fact.column_names:
+        wide[f"{fact.name}.{column_name}"] = fact.codes(column_name)
+
+    # Direct dimensions.
+    dimension_row_of_fact: dict[str, np.ndarray] = {}
+    for dim_name in database.schema.dimension_names:
+        if dim_name not in database.schema.foreign_keys:
+            continue
+        fk_codes = database.fact_foreign_key_codes(dim_name)
+        dimension_row_of_fact[dim_name] = fk_codes
+        dim = database.dimension(dim_name)
+        for column_name in dim.column_names:
+            wide[f"{dim_name}.{column_name}"] = dim.codes(column_name)[fk_codes]
+
+    # Snowflaked dimensions: repeatedly resolve parents whose child is known.
+    remaining = [
+        name
+        for name in database.schema.dimension_names
+        if name not in dimension_row_of_fact
+    ]
+    progress = True
+    while remaining and progress:
+        progress = False
+        for parent_name in list(remaining):
+            edge = next(
+                (
+                    e
+                    for e in database.schema.snowflake_edges
+                    if e.parent_table == parent_name
+                    and e.child_table in dimension_row_of_fact
+                ),
+                None,
+            )
+            if edge is None:
+                continue
+            child_rows = dimension_row_of_fact[edge.child_table]
+            child = database.dimension(edge.child_table)
+            parent_rows = child.codes(edge.child_column)[child_rows]
+            dimension_row_of_fact[parent_name] = parent_rows
+            parent = database.dimension(parent_name)
+            for column_name in parent.column_names:
+                wide[f"{parent_name}.{column_name}"] = parent.codes(column_name)[parent_rows]
+            remaining.remove(parent_name)
+            progress = True
+    if remaining:
+        raise QueryError(f"could not materialise snowflaked dimensions: {remaining}")
+    return wide
+
+
+def _selection_mask(
+    wide: dict[str, np.ndarray],
+    predicates: ConjunctionPredicate,
+    num_rows: int,
+) -> np.ndarray:
+    mask = np.ones(num_rows, dtype=bool)
+    for predicate in predicates:
+        key = f"{predicate.table}.{predicate.attribute}"
+        if key not in wide:
+            raise QueryError(f"materialised join has no column {key!r}")
+        mask &= predicate.evaluate_codes(wide[key])
+    return mask
+
+
+def execute_by_materialised_join(
+    database: StarDatabase, query: StarJoinQuery
+) -> Any:
+    """Execute ``query`` on the materialised join (reference implementation).
+
+    Returns a float for scalar aggregates, or a ``dict`` mapping decoded group
+    keys to values for GROUP BY queries (matching
+    :class:`repro.db.executor.GroupedResult.groups`).
+    """
+    wide = materialise_star_join(database)
+    num_rows = database.num_fact_rows
+    mask = _selection_mask(wide, query.predicates, num_rows)
+
+    if query.kind is AggregateKind.COUNT:
+        weights = np.ones(num_rows, dtype=np.float64)
+    else:
+        measure = query.aggregate.measure
+        weights = np.asarray(
+            wide[f"{database.fact.name}.{measure.column}"], dtype=np.float64
+        )
+        if measure.subtract is not None:
+            weights = weights - np.asarray(
+                wide[f"{database.fact.name}.{measure.subtract}"], dtype=np.float64
+            )
+
+    if not query.is_grouped:
+        selected = weights[mask]
+        if query.kind is AggregateKind.AVG:
+            return float(selected.mean()) if selected.size else 0.0
+        return float(selected.sum())
+
+    group_arrays = []
+    for table_name, attribute in query.group_by:
+        group_arrays.append(wide[f"{table_name}.{attribute}"][mask])
+    stacked = (
+        np.stack(group_arrays, axis=1)
+        if group_arrays
+        else np.zeros((int(mask.sum()), 0), dtype=np.int64)
+    )
+    unique_rows, inverse = np.unique(stacked, axis=0, return_inverse=True)
+    sums = np.bincount(inverse, weights=weights[mask], minlength=unique_rows.shape[0])
+    if query.kind is AggregateKind.AVG:
+        counts = np.bincount(inverse, minlength=unique_rows.shape[0])
+        sums = np.divide(sums, np.maximum(counts, 1))
+
+    groups: dict[tuple[Any, ...], float] = {}
+    for row, value in zip(unique_rows, sums):
+        decoded = []
+        for (table_name, attribute), code in zip(query.group_by, row):
+            domain = database.table(table_name).domain(attribute)
+            decoded.append(domain.decode(int(code)) if domain is not None else int(code))
+        groups[tuple(decoded)] = float(value)
+    return groups
+
+
+def join_result_size(
+    database: StarDatabase, predicates: Optional[ConjunctionPredicate] = None
+) -> int:
+    """Number of tuples in the (filtered) star-join result.
+
+    With primary-key foreign keys the unfiltered join has exactly one tuple
+    per fact row; with a filter Φ it is the number of selected fact rows.
+    """
+    if predicates is None or len(predicates) == 0:
+        return database.num_fact_rows
+    wide = materialise_star_join(database)
+    return int(_selection_mask(wide, predicates, database.num_fact_rows).sum())

@@ -1,0 +1,253 @@
+"""Predicate AST for star-join queries.
+
+Section 3.1 of the paper observes that a star-join query "can be converted
+into a predicate query": a conjunction Φ of single-table predicates φ_{a_i}
+over the attributes of the dimension tables, each being either a *point
+constraint* ``a_i = v`` or a *range constraint* ``a_i ∈ [l, r]``.  This module
+implements exactly that class of predicates, plus the small extensions the
+appendix queries need (OR over a small value set, the always-true predicate),
+and the operations the rest of the library relies on:
+
+* ``evaluate_codes`` / ``evaluate`` — boolean selection vectors over encoded
+  columns and tables (used by the exact executor);
+* ``indicator_vector`` — the 0/1 one-hot encoding over the attribute domain
+  (used by the Workload Decomposition strategy of Section 5.3);
+* ``selectivity`` — fraction of the domain selected (used in analyses and
+  tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.db.domains import AttributeDomain
+from repro.db.table import Table
+from repro.exceptions import DomainError, QueryError
+
+__all__ = [
+    "Predicate",
+    "PointPredicate",
+    "RangePredicate",
+    "SetPredicate",
+    "TruePredicate",
+    "ConjunctionPredicate",
+]
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """Base class for single-attribute predicates.
+
+    Parameters
+    ----------
+    table:
+        Name of the table the attribute lives in (a dimension table for
+        star-join predicates).
+    attribute:
+        Attribute (column) name.
+    domain:
+        The attribute's finite domain.  Carried on the predicate itself so
+        that mechanisms can perturb predicates without schema access.
+    """
+
+    table: str
+    attribute: str
+    domain: AttributeDomain
+
+    # -- interface -----------------------------------------------------
+    def evaluate_codes(self, codes: np.ndarray) -> np.ndarray:
+        """Return a boolean mask over an array of ordinal codes."""
+        raise NotImplementedError
+
+    def evaluate(self, table: Table) -> np.ndarray:
+        """Return a boolean mask over the rows of ``table``."""
+        column = table.column(self.attribute)
+        return self.evaluate_codes(column.values)
+
+    def indicator_vector(self) -> np.ndarray:
+        """Return the 0/1 indicator of the predicate over its domain codes."""
+        return self.evaluate_codes(np.arange(self.domain.size, dtype=np.int64)).astype(
+            np.float64
+        )
+
+    @property
+    def domain_size(self) -> int:
+        """``|dom(a_i)|`` — the global sensitivity of the predicate (Thm 5.2)."""
+        return self.domain.size
+
+    def selectivity(self) -> float:
+        """Fraction of the domain selected by the predicate."""
+        return float(self.indicator_vector().mean())
+
+    def describe(self) -> str:
+        """Human-readable one-line description (used in reports/examples)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PointPredicate(Predicate):
+    """Point constraint ``attribute = value``."""
+
+    value: Any = None
+
+    def __post_init__(self) -> None:
+        if self.value not in self.domain:
+            raise DomainError(
+                f"point predicate value {self.value!r} is not in the domain of "
+                f"{self.table}.{self.attribute}"
+            )
+
+    @property
+    def code(self) -> int:
+        return self.domain.encode(self.value)
+
+    def evaluate_codes(self, codes: np.ndarray) -> np.ndarray:
+        return np.asarray(codes) == self.code
+
+    def describe(self) -> str:
+        return f"{self.table}.{self.attribute} = {self.value!r}"
+
+
+@dataclass(frozen=True)
+class RangePredicate(Predicate):
+    """Range constraint ``attribute ∈ [low, high]`` (inclusive, domain order)."""
+
+    low: Any = None
+    high: Any = None
+
+    def __post_init__(self) -> None:
+        # Validates membership and ordering.
+        self.domain.code_interval(self.low, self.high)
+
+    @property
+    def low_code(self) -> int:
+        return self.domain.encode(self.low)
+
+    @property
+    def high_code(self) -> int:
+        return self.domain.encode(self.high)
+
+    def evaluate_codes(self, codes: np.ndarray) -> np.ndarray:
+        codes = np.asarray(codes)
+        return (codes >= self.low_code) & (codes <= self.high_code)
+
+    def describe(self) -> str:
+        return f"{self.table}.{self.attribute} BETWEEN {self.low!r} AND {self.high!r}"
+
+
+@dataclass(frozen=True)
+class SetPredicate(Predicate):
+    """Membership constraint ``attribute ∈ {v1, v2, ...}``.
+
+    Used for the appendix queries that OR two point constraints on the same
+    attribute (e.g. ``Part.mfgr = 'MFGR#1' OR Part.mfgr = 'MFGR#2'``).
+    """
+
+    values: tuple[Any, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise QueryError("set predicate requires at least one value")
+        for value in self.values:
+            if value not in self.domain:
+                raise DomainError(
+                    f"set predicate value {value!r} is not in the domain of "
+                    f"{self.table}.{self.attribute}"
+                )
+
+    @property
+    def codes(self) -> np.ndarray:
+        return np.asarray(sorted(self.domain.encode(v) for v in self.values), dtype=np.int64)
+
+    def evaluate_codes(self, codes: np.ndarray) -> np.ndarray:
+        return np.isin(np.asarray(codes), self.codes)
+
+    def describe(self) -> str:
+        return f"{self.table}.{self.attribute} IN {tuple(self.values)!r}"
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """The always-true predicate over an attribute (selects the full domain)."""
+
+    def evaluate_codes(self, codes: np.ndarray) -> np.ndarray:
+        return np.ones(np.asarray(codes).shape, dtype=bool)
+
+    def describe(self) -> str:
+        return f"{self.table}.{self.attribute} IS ANY"
+
+
+@dataclass(frozen=True)
+class ConjunctionPredicate:
+    """The composite predicate Φ of a star-join query.
+
+    A conjunction of single-table predicates; the paper writes it
+    ``Φ := φ_{a_1} ∧ ... ∧ φ_{a_n}``.  Each member predicate concerns one
+    attribute of one (dimension) table.
+    """
+
+    predicates: tuple[Predicate, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "predicates", tuple(self.predicates))
+
+    def __iter__(self):
+        return iter(self.predicates)
+
+    def __len__(self) -> int:
+        return len(self.predicates)
+
+    @property
+    def tables(self) -> list[str]:
+        """Tables referenced by the conjunction, in predicate order."""
+        return [predicate.table for predicate in self.predicates]
+
+    def by_table(self) -> dict[str, list[Predicate]]:
+        """Group member predicates by the table they filter."""
+        grouped: dict[str, list[Predicate]] = {}
+        for predicate in self.predicates:
+            grouped.setdefault(predicate.table, []).append(predicate)
+        return grouped
+
+    def domain_sizes(self) -> list[int]:
+        """``|dom(a_i)|`` of each member predicate (Figure 8's x-axis)."""
+        return [predicate.domain_size for predicate in self.predicates]
+
+    def domain_product(self) -> int:
+        """Size of the composite predicate's domain, ``Π_i |dom(a_i)|``."""
+        product = 1
+        for size in self.domain_sizes():
+            product *= size
+        return product
+
+    def describe(self) -> str:
+        if not self.predicates:
+            return "TRUE"
+        return " AND ".join(predicate.describe() for predicate in self.predicates)
+
+    @classmethod
+    def of(cls, predicates: Iterable[Predicate]) -> "ConjunctionPredicate":
+        return cls(predicates=tuple(predicates))
+
+
+def one_hot_workload(
+    predicates: Sequence[Predicate], domain: AttributeDomain
+) -> np.ndarray:
+    """Stack the indicator vectors of ``predicates`` into a workload matrix.
+
+    Every predicate must concern the same attribute/domain; the result is an
+    ``l × |dom(a)|`` 0/1 matrix — the per-dimension predicate matrix P_i^L of
+    Section 5.3.
+    """
+    rows = []
+    for predicate in predicates:
+        if predicate.domain.size != domain.size or predicate.domain.name != domain.name:
+            raise QueryError(
+                "all predicates in a per-attribute workload matrix must share "
+                f"the same domain; got {predicate.domain.name!r} vs {domain.name!r}"
+            )
+        rows.append(predicate.indicator_vector())
+    return np.vstack(rows) if rows else np.zeros((0, domain.size))

@@ -1,0 +1,209 @@
+"""Star-join query objects: aggregates, GROUP BY and the query itself.
+
+A :class:`StarJoinQuery` is the library's representation of the paper's
+query template::
+
+    SELECT Aggr(*) FROM R WHERE Φ [GROUP BY g1, g2, ...]
+
+where ``Aggr`` is COUNT, SUM or AVG over a fact-table measure and Φ is a
+conjunction of single-table predicates on dimension attributes
+(:class:`~repro.db.predicates.ConjunctionPredicate`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.db.predicates import ConjunctionPredicate, Predicate
+from repro.exceptions import QueryError
+
+__all__ = ["AggregateKind", "Measure", "Aggregate", "GroupBy", "StarJoinQuery"]
+
+
+class AggregateKind(enum.Enum):
+    """Supported aggregate functions over the fact table."""
+
+    COUNT = "count"
+    SUM = "sum"
+    AVG = "avg"
+
+
+@dataclass(frozen=True)
+class Measure:
+    """A fact-table measure expression.
+
+    Either a single measure column, or the difference of two measure columns
+    (needed for the appendix query Qg4, ``sum(revenue - supplycost)``).
+    """
+
+    column: str
+    subtract: Optional[str] = None
+
+    def describe(self) -> str:
+        if self.subtract is None:
+            return self.column
+        return f"{self.column} - {self.subtract}"
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate function applied to the join result.
+
+    COUNT ignores the measure (``w(t) = 1`` in Eq. 2); SUM and AVG require
+    one (``w(t)`` is the measure value of tuple ``t``).
+    """
+
+    kind: AggregateKind
+    measure: Optional[Measure] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is AggregateKind.COUNT:
+            return
+        if self.measure is None:
+            raise QueryError(f"{self.kind.value.upper()} aggregate requires a measure")
+
+    @classmethod
+    def count(cls) -> "Aggregate":
+        return cls(kind=AggregateKind.COUNT)
+
+    @classmethod
+    def sum(cls, column: str, subtract: Optional[str] = None) -> "Aggregate":
+        return cls(kind=AggregateKind.SUM, measure=Measure(column, subtract))
+
+    @classmethod
+    def avg(cls, column: str) -> "Aggregate":
+        return cls(kind=AggregateKind.AVG, measure=Measure(column))
+
+    def describe(self) -> str:
+        if self.kind is AggregateKind.COUNT:
+            return "COUNT(*)"
+        return f"{self.kind.value.upper()}({self.measure.describe()})"
+
+
+@dataclass(frozen=True)
+class GroupBy:
+    """GROUP BY keys: (table, attribute) pairs over dimension tables."""
+
+    keys: tuple[tuple[str, str], ...]
+
+    def __post_init__(self) -> None:
+        if not self.keys:
+            raise QueryError("GROUP BY requires at least one key")
+
+    def __iter__(self):
+        return iter(self.keys)
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def describe(self) -> str:
+        return ", ".join(f"{table}.{attribute}" for table, attribute in self.keys)
+
+
+@dataclass(frozen=True)
+class StarJoinQuery:
+    """An aggregate star-join query.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reports (e.g. ``"Qc3"``).
+    aggregate:
+        The aggregate function over the fact table.
+    predicates:
+        The composite predicate Φ — a conjunction of single-table predicates
+        on dimension attributes.  An empty conjunction means "no filter".
+    group_by:
+        Optional GROUP BY clause.
+    """
+
+    name: str
+    aggregate: Aggregate
+    predicates: ConjunctionPredicate = field(default_factory=ConjunctionPredicate)
+    group_by: Optional[GroupBy] = None
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def count(
+        cls,
+        name: str,
+        predicates: Iterable[Predicate] = (),
+        group_by: Optional[Sequence[tuple[str, str]]] = None,
+    ) -> "StarJoinQuery":
+        return cls(
+            name=name,
+            aggregate=Aggregate.count(),
+            predicates=ConjunctionPredicate.of(predicates),
+            group_by=GroupBy(tuple(group_by)) if group_by else None,
+        )
+
+    @classmethod
+    def sum(
+        cls,
+        name: str,
+        measure: str,
+        predicates: Iterable[Predicate] = (),
+        measure_subtract: Optional[str] = None,
+        group_by: Optional[Sequence[tuple[str, str]]] = None,
+    ) -> "StarJoinQuery":
+        return cls(
+            name=name,
+            aggregate=Aggregate.sum(measure, measure_subtract),
+            predicates=ConjunctionPredicate.of(predicates),
+            group_by=GroupBy(tuple(group_by)) if group_by else None,
+        )
+
+    @classmethod
+    def avg(
+        cls,
+        name: str,
+        measure: str,
+        predicates: Iterable[Predicate] = (),
+    ) -> "StarJoinQuery":
+        return cls(
+            name=name,
+            aggregate=Aggregate.avg(measure),
+            predicates=ConjunctionPredicate.of(predicates),
+        )
+
+    # ------------------------------------------------------------------
+    # structural helpers used by the DP mechanisms
+    # ------------------------------------------------------------------
+    @property
+    def is_grouped(self) -> bool:
+        return self.group_by is not None
+
+    @property
+    def kind(self) -> AggregateKind:
+        return self.aggregate.kind
+
+    @property
+    def num_predicates(self) -> int:
+        """Number of member predicates (``n`` in the per-predicate budget split)."""
+        return len(self.predicates)
+
+    @property
+    def predicate_tables(self) -> list[str]:
+        return self.predicates.tables
+
+    def domain_sizes(self) -> list[int]:
+        return self.predicates.domain_sizes()
+
+    def with_predicates(self, predicates: Iterable[Predicate]) -> "StarJoinQuery":
+        """Return a copy of the query with Φ replaced (used after perturbation)."""
+        return StarJoinQuery(
+            name=self.name,
+            aggregate=self.aggregate,
+            predicates=ConjunctionPredicate.of(predicates),
+            group_by=self.group_by,
+        )
+
+    def describe(self) -> str:
+        text = f"SELECT {self.aggregate.describe()} WHERE {self.predicates.describe()}"
+        if self.group_by is not None:
+            text += f" GROUP BY {self.group_by.describe()}"
+        return text

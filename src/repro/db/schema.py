@@ -1,0 +1,216 @@
+"""Schema metadata for star (and snowflake) schemas.
+
+A star schema (paper Definition 1.1) has a single fact table ``R0`` whose
+foreign keys reference the primary keys of ``n`` dimension tables
+``R1 .. Rn``.  The schema objects here carry exactly the metadata the DP
+mechanisms need:
+
+* which table owns which attribute and what its domain is (the Predicate
+  Mechanism calibrates noise to ``|dom(a_i)|``);
+* the foreign-key constraints (the neighbouring-instance definitions of
+  Section 3.2 and the fan-out based sensitivities of the baselines both hinge
+  on them);
+* optional snowflake edges between dimension tables (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional
+
+from repro.db.domains import AttributeDomain
+from repro.exceptions import SchemaError
+
+__all__ = ["TableSchema", "ForeignKey", "StarSchema"]
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Schema of a single table.
+
+    Parameters
+    ----------
+    name:
+        Table name.
+    key:
+        Primary-key column name, or ``None`` for tables without a surrogate
+        key (e.g. a graph edge table).
+    attributes:
+        Mapping from attribute name to its domain for every dictionary-encoded
+        attribute.  Measure attributes (plain numeric columns) are listed in
+        ``measures`` instead.
+    measures:
+        Names of raw numeric columns (no domain), typically the fact table's
+        measure attributes such as ``quantity`` or ``revenue``.
+    """
+
+    name: str
+    key: Optional[str]
+    attributes: Mapping[str, AttributeDomain] = field(default_factory=dict)
+    measures: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        overlap = set(self.attributes) & set(self.measures)
+        if overlap:
+            raise SchemaError(
+                f"table {self.name!r}: attributes and measures overlap: {sorted(overlap)}"
+            )
+
+    @property
+    def column_names(self) -> list[str]:
+        names: list[str] = []
+        if self.key is not None:
+            names.append(self.key)
+        names.extend(name for name in self.attributes if name != self.key)
+        names.extend(self.measures)
+        return names
+
+    def domain_of(self, attribute: str) -> AttributeDomain:
+        try:
+            return self.attributes[attribute]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r} has no dictionary-encoded attribute "
+                f"{attribute!r}; available: {sorted(self.attributes)}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-key constraint from the fact table to one dimension table.
+
+    ``fact_column`` in the fact table references ``dimension_key`` (the
+    primary key) of ``dimension_table``.
+    """
+
+    fact_column: str
+    dimension_table: str
+    dimension_key: str
+
+
+@dataclass(frozen=True)
+class SnowflakeEdge:
+    """A foreign-key edge between two dimension tables (snowflake schemas).
+
+    ``child_table.child_column`` references ``parent_table.parent_key``;
+    e.g. ``Date.MK -> Month.MK`` in the paper's snowflake example.
+    """
+
+    child_table: str
+    child_column: str
+    parent_table: str
+    parent_key: str
+
+
+class StarSchema:
+    """A star (or snowflake) schema: one fact table plus dimension tables."""
+
+    def __init__(
+        self,
+        fact: TableSchema,
+        dimensions: Iterable[TableSchema],
+        foreign_keys: Iterable[ForeignKey],
+        snowflake_edges: Iterable[SnowflakeEdge] = (),
+    ):
+        self.fact = fact
+        self.dimensions: dict[str, TableSchema] = {}
+        for dimension in dimensions:
+            if dimension.name in self.dimensions or dimension.name == fact.name:
+                raise SchemaError(f"duplicate table name {dimension.name!r} in schema")
+            if dimension.key is None:
+                raise SchemaError(
+                    f"dimension table {dimension.name!r} must declare a primary key"
+                )
+            self.dimensions[dimension.name] = dimension
+
+        self.foreign_keys: dict[str, ForeignKey] = {}
+        for fk in foreign_keys:
+            if fk.dimension_table not in self.dimensions:
+                raise SchemaError(
+                    f"foreign key references unknown dimension table "
+                    f"{fk.dimension_table!r}"
+                )
+            expected_key = self.dimensions[fk.dimension_table].key
+            if fk.dimension_key != expected_key:
+                raise SchemaError(
+                    f"foreign key to {fk.dimension_table!r} must reference its "
+                    f"primary key {expected_key!r}, got {fk.dimension_key!r}"
+                )
+            self.foreign_keys[fk.dimension_table] = fk
+
+        self.snowflake_edges: tuple[SnowflakeEdge, ...] = tuple(snowflake_edges)
+        for edge in self.snowflake_edges:
+            if edge.child_table not in self.dimensions or edge.parent_table not in self.dimensions:
+                raise SchemaError(
+                    f"snowflake edge {edge} references an unknown dimension table"
+                )
+
+        # Every dimension must be reachable from the fact table, either through
+        # a direct foreign key or (snowflake schemas) as the parent of another
+        # dimension.
+        snowflake_parents = {edge.parent_table for edge in self.snowflake_edges}
+        missing = set(self.dimensions) - set(self.foreign_keys) - snowflake_parents
+        if missing:
+            raise SchemaError(
+                f"dimension tables not reachable from the fact table (no foreign "
+                f"key and not a snowflake parent): {sorted(missing)}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def dimension_names(self) -> list[str]:
+        return list(self.dimensions)
+
+    @property
+    def num_dimensions(self) -> int:
+        return len(self.dimensions)
+
+    @property
+    def is_snowflake(self) -> bool:
+        return bool(self.snowflake_edges)
+
+    def foreign_key_for(self, dimension_name: str) -> ForeignKey:
+        try:
+            return self.foreign_keys[dimension_name]
+        except KeyError:
+            raise SchemaError(
+                f"schema has no dimension table {dimension_name!r}; "
+                f"available: {self.dimension_names}"
+            ) from None
+
+    def table_schema(self, table_name: str) -> TableSchema:
+        if table_name == self.fact.name:
+            return self.fact
+        if table_name in self.dimensions:
+            return self.dimensions[table_name]
+        raise SchemaError(f"schema has no table named {table_name!r}")
+
+    def locate_attribute(self, attribute: str) -> tuple[str, AttributeDomain]:
+        """Return ``(table_name, domain)`` of the unique table holding ``attribute``.
+
+        Star-join predicates name dimension attributes without qualifying the
+        table (the SQL parser resolves qualified names before calling this);
+        the lookup errors out if the attribute is ambiguous or unknown.
+        """
+        owners = []
+        for table in [self.fact, *self.dimensions.values()]:
+            if attribute in table.attributes:
+                owners.append((table.name, table.attributes[attribute]))
+        if not owners:
+            raise SchemaError(f"no table in the schema has attribute {attribute!r}")
+        if len(owners) > 1:
+            names = [name for name, _ in owners]
+            raise SchemaError(
+                f"attribute {attribute!r} is ambiguous; present in tables {names}"
+            )
+        return owners[0]
+
+    def parents_of(self, dimension_name: str) -> list[SnowflakeEdge]:
+        """Return the snowflake edges whose child is ``dimension_name``."""
+        return [edge for edge in self.snowflake_edges if edge.child_table == dimension_name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StarSchema(fact={self.fact.name!r}, "
+            f"dimensions={self.dimension_names}, snowflake={self.is_snowflake})"
+        )

@@ -1,0 +1,358 @@
+"""A minimal SQL parser for star-join SELECT statements.
+
+The parser covers exactly the query shape the paper works with (and lists in
+its appendix): a single SELECT with ``COUNT(*)`` / ``SUM(measure)`` /
+``AVG(measure)``, a FROM list of star-schema tables, a WHERE clause that mixes
+foreign-key join conditions with single-table filter predicates (equality,
+comparison, BETWEEN, OR of equalities), and an optional GROUP BY.
+
+Join conditions are recognised and dropped — the star schema already declares
+them — and the remaining filter conditions become the query's composite
+predicate Φ.  The parser is intentionally small; it is a convenience so the
+examples can run the appendix queries verbatim, not a general SQL engine.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Optional
+
+from repro.db.predicates import (
+    ConjunctionPredicate,
+    PointPredicate,
+    Predicate,
+    RangePredicate,
+    SetPredicate,
+)
+from repro.db.query import Aggregate, GroupBy, StarJoinQuery
+from repro.db.schema import StarSchema
+from repro.exceptions import QueryError
+
+__all__ = ["parse_star_join_sql"]
+
+_SELECT_RE = re.compile(
+    r"select\s+(?P<select>.+?)\s+from\s+(?P<from>.+?)"
+    r"(?:\s+where\s+(?P<where>.+?))?"
+    r"(?:\s+group\s+by\s+(?P<group>.+?))?"
+    r"(?:\s+order\s+by\s+(?P<order>.+?))?\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+_AGG_RE = re.compile(
+    r"(?P<func>count|sum|avg)\s*\(\s*(?P<arg>[^)]*)\s*\)", re.IGNORECASE
+)
+
+_COLUMN_RE = re.compile(r"^(?:(?P<table>\w+)\s*\.\s*)?(?P<column>\w+)$")
+
+
+def _normalise_whitespace(text: str) -> str:
+    return re.sub(r"\s+", " ", text).strip()
+
+
+def _strip_quotes(token: str) -> tuple[str, bool]:
+    token = token.strip()
+    if len(token) >= 2 and token[0] == token[-1] and token[0] in {"'", '"'}:
+        return token[1:-1].strip(), True
+    return token, False
+
+
+class _SchemaResolver:
+    """Case-insensitive table/attribute resolution against a star schema."""
+
+    def __init__(self, schema: StarSchema):
+        self.schema = schema
+        self._tables = {schema.fact.name.lower(): schema.fact.name}
+        for name in schema.dimension_names:
+            self._tables[name.lower()] = name
+
+    def table_name(self, token: str) -> str:
+        try:
+            return self._tables[token.lower()]
+        except KeyError:
+            raise QueryError(f"unknown table {token!r} in SQL text") from None
+
+    def locate(self, table_token: Optional[str], attribute: str) -> tuple[str, Any]:
+        """Return ``(table_name, domain)`` for a possibly unqualified column."""
+        if table_token is not None:
+            table = self.table_name(table_token)
+            schema = self.schema.table_schema(table)
+            if attribute in schema.attributes:
+                return table, schema.attributes[attribute]
+            # Case-insensitive attribute match.
+            for name, domain in schema.attributes.items():
+                if name.lower() == attribute.lower():
+                    return table, domain
+            raise QueryError(
+                f"table {table!r} has no dictionary-encoded attribute {attribute!r}"
+            )
+        return self.schema.locate_attribute(attribute)
+
+    def coerce(self, domain, raw: str, quoted: bool) -> Any:
+        """Convert a SQL literal into a domain value."""
+        if raw in domain:
+            return raw
+        if not quoted:
+            try:
+                as_int = int(raw)
+                if as_int in domain:
+                    return as_int
+            except ValueError:
+                pass
+            try:
+                as_float = float(raw)
+                if as_float in domain:
+                    return as_float
+            except ValueError:
+                pass
+        # Fall back to a case-insensitive string match.
+        for value in domain.values:
+            if isinstance(value, str) and value.lower() == raw.lower():
+                return value
+        raise QueryError(f"literal {raw!r} is not in domain {domain.name!r}")
+
+
+def _parse_aggregate(select_clause: str, resolver: _SchemaResolver) -> Aggregate:
+    match = _AGG_RE.search(select_clause)
+    if match is None:
+        raise QueryError(f"could not find an aggregate in SELECT clause {select_clause!r}")
+    func = match.group("func").lower()
+    arg = _normalise_whitespace(match.group("arg"))
+    if func == "count":
+        return Aggregate.count()
+    # SUM / AVG of a measure, possibly "a - b".
+    parts = [p.strip() for p in arg.split("-")]
+
+    def column_of(token: str) -> str:
+        col_match = _COLUMN_RE.match(token)
+        if col_match is None:
+            raise QueryError(f"cannot parse measure expression {token!r}")
+        return col_match.group("column")
+
+    column = column_of(parts[0])
+    subtract = column_of(parts[1]) if len(parts) > 1 else None
+    if func == "sum":
+        return Aggregate.sum(column, subtract)
+    return Aggregate.avg(column)
+
+
+def _split_top_level(clause: str, keyword: str) -> list[str]:
+    """Split on a keyword (AND/OR) outside of quotes.
+
+    The AND that belongs to a ``BETWEEN x AND y`` construct is not a
+    separator; it is recognised by tracking a pending BETWEEN.
+    """
+    parts: list[str] = []
+    tokens = re.split(r"(\s+)", clause)
+    in_quote: Optional[str] = None
+    pending_between = False
+    buffer = ""
+    for token in tokens:
+        for char in token:
+            if in_quote:
+                if char == in_quote:
+                    in_quote = None
+            elif char in {"'", '"'}:
+                in_quote = char
+        stripped = token.strip().lower()
+        if in_quote is None and stripped == "between":
+            pending_between = True
+        is_separator = (
+            in_quote is None and stripped == keyword.lower() and not (
+                keyword.lower() == "and" and pending_between
+            )
+        )
+        if in_quote is None and stripped == "and" and pending_between:
+            pending_between = False
+        buffer += token
+        if is_separator:
+            joined = buffer[: -len(token)]
+            parts.append(joined)
+            buffer = ""
+    parts.append(buffer)
+    cleaned = [part.strip() for part in parts if part.strip()]
+    return cleaned if cleaned else [clause.strip()]
+
+
+def _is_join_condition(left: str, right: str) -> bool:
+    return bool(_COLUMN_RE.match(left)) and bool(_COLUMN_RE.match(right)) and not any(
+        q in right for q in ("'", '"')
+    ) and not right.strip().lstrip("-").replace(".", "", 1).isdigit()
+
+
+def _parse_condition(
+    text: str, resolver: _SchemaResolver
+) -> Optional[Predicate]:
+    """Parse one WHERE condition into a predicate (or None for join conditions)."""
+    text = _normalise_whitespace(text)
+
+    between = re.match(
+        r"^(?P<col>[\w.]+)\s+between\s+(?P<lo>\S+)\s+and\s+(?P<hi>\S+)$",
+        text,
+        re.IGNORECASE,
+    )
+    if between:
+        col_match = _COLUMN_RE.match(between.group("col"))
+        table, domain = resolver.locate(col_match.group("table"), col_match.group("column"))
+        lo_raw, lo_quoted = _strip_quotes(between.group("lo"))
+        hi_raw, hi_quoted = _strip_quotes(between.group("hi"))
+        low = resolver.coerce(domain, lo_raw, lo_quoted)
+        high = resolver.coerce(domain, hi_raw, hi_quoted)
+        attribute = _attr_name(resolver, table, col_match.group("column"))
+        return RangePredicate(table=table, attribute=attribute, domain=domain, low=low, high=high)
+
+    comparison = re.match(
+        r"^(?P<left>[^<>=!]+?)\s*(?P<op><=|>=|<|>|=)\s*(?P<right>.+)$", text
+    )
+    if comparison is None:
+        raise QueryError(f"cannot parse WHERE condition {text!r}")
+    left = comparison.group("left").strip()
+    op = comparison.group("op")
+    right = comparison.group("right").strip()
+
+    if op == "=" and _is_join_condition(left, right):
+        left_match = _COLUMN_RE.match(left)
+        right_match = _COLUMN_RE.match(right)
+        if left_match and right_match and left_match.group("table") and right_match.group("table"):
+            return None  # foreign-key join condition; implied by the schema
+
+    col_match = _COLUMN_RE.match(left)
+    if col_match is None:
+        raise QueryError(f"cannot parse column reference {left!r}")
+    table, domain = resolver.locate(col_match.group("table"), col_match.group("column"))
+    attribute = _attr_name(resolver, table, col_match.group("column"))
+    raw, quoted = _strip_quotes(right)
+    if op == "=":
+        value = resolver.coerce(domain, raw, quoted)
+        return PointPredicate(table=table, attribute=attribute, domain=domain, value=value)
+
+    # Inequalities become ranges against the domain boundary.
+    boundary = resolver.coerce(domain, raw, quoted) if raw in domain or quoted else None
+    if boundary is None:
+        try:
+            boundary = resolver.coerce(domain, raw, quoted)
+        except QueryError:
+            # Allow numeric comparisons against values outside the domain by
+            # clamping to the nearest boundary (e.g. "month < 7" on a 1..12
+            # domain parses to [1, 6]).
+            numeric = float(raw)
+            numeric_values = [v for v in domain.values if isinstance(v, (int, float))]
+            if not numeric_values:
+                raise
+            candidates = [v for v in numeric_values if v < numeric] if op in {"<", "<="} else [
+                v for v in numeric_values if v > numeric
+            ]
+            if not candidates:
+                raise QueryError(f"comparison {text!r} selects nothing in the domain")
+            boundary = max(candidates) if op in {"<", "<="} else min(candidates)
+            op = "<=" if op in {"<", "<="} else ">="
+
+    boundary_code = domain.encode(boundary)
+    if op == "<":
+        hi = domain.decode(max(boundary_code - 1, 0))
+        return RangePredicate(table=table, attribute=attribute, domain=domain,
+                              low=domain.decode(0), high=hi)
+    if op == "<=":
+        return RangePredicate(table=table, attribute=attribute, domain=domain,
+                              low=domain.decode(0), high=boundary)
+    if op == ">":
+        lo = domain.decode(min(boundary_code + 1, domain.size - 1))
+        return RangePredicate(table=table, attribute=attribute, domain=domain,
+                              low=lo, high=domain.decode(domain.size - 1))
+    if op == ">=":
+        return RangePredicate(table=table, attribute=attribute, domain=domain,
+                              low=boundary, high=domain.decode(domain.size - 1))
+    raise QueryError(f"unsupported operator {op!r} in {text!r}")
+
+
+def _attr_name(resolver: _SchemaResolver, table: str, attribute_token: str) -> str:
+    schema = resolver.schema.table_schema(table)
+    if attribute_token in schema.attributes:
+        return attribute_token
+    for name in schema.attributes:
+        if name.lower() == attribute_token.lower():
+            return name
+    return attribute_token
+
+
+def _parse_where(
+    where_clause: str, resolver: _SchemaResolver
+) -> ConjunctionPredicate:
+    predicates: list[Predicate] = []
+    for conjunct in _split_top_level(where_clause, "and"):
+        or_parts = _split_top_level(conjunct, "or")
+        if len(or_parts) == 1:
+            predicate = _parse_condition(or_parts[0], resolver)
+            if predicate is not None:
+                predicates.append(predicate)
+            continue
+        # OR of equalities on the same attribute becomes a set predicate.
+        parsed = [_parse_condition(part, resolver) for part in or_parts]
+        parsed = [p for p in parsed if p is not None]
+        if not parsed:
+            continue
+        first = parsed[0]
+        same_attribute = all(
+            isinstance(p, PointPredicate)
+            and p.table == first.table
+            and p.attribute == first.attribute
+            for p in parsed
+        )
+        if not same_attribute:
+            raise QueryError(
+                f"OR is only supported between equalities on one attribute: {conjunct!r}"
+            )
+        values = tuple(p.value for p in parsed)  # type: ignore[union-attr]
+        predicates.append(
+            SetPredicate(
+                table=first.table,
+                attribute=first.attribute,
+                domain=first.domain,
+                values=values,
+            )
+        )
+    return ConjunctionPredicate.of(predicates)
+
+
+def _parse_group_by(clause: str, resolver: _SchemaResolver) -> GroupBy:
+    keys = []
+    for item in clause.split(","):
+        col_match = _COLUMN_RE.match(_normalise_whitespace(item))
+        if col_match is None:
+            raise QueryError(f"cannot parse GROUP BY item {item!r}")
+        table, _ = resolver.locate(col_match.group("table"), col_match.group("column"))
+        keys.append((table, _attr_name(resolver, table, col_match.group("column"))))
+    return GroupBy(tuple(keys))
+
+
+def parse_star_join_sql(
+    sql: str, schema: StarSchema, name: str = "query"
+) -> StarJoinQuery:
+    """Parse a star-join SELECT statement into a :class:`StarJoinQuery`.
+
+    Parameters
+    ----------
+    sql:
+        The SQL text (a single SELECT statement).
+    schema:
+        The star schema the query runs against; used to resolve table and
+        attribute names and their domains.
+    name:
+        Identifier given to the resulting query object.
+    """
+    text = _normalise_whitespace(sql)
+    match = _SELECT_RE.match(text)
+    if match is None:
+        raise QueryError(f"cannot parse SQL statement: {sql!r}")
+    resolver = _SchemaResolver(schema)
+    aggregate = _parse_aggregate(match.group("select"), resolver)
+    predicates = (
+        _parse_where(match.group("where"), resolver)
+        if match.group("where")
+        else ConjunctionPredicate()
+    )
+    group_by = (
+        _parse_group_by(match.group("group"), resolver) if match.group("group") else None
+    )
+    return StarJoinQuery(
+        name=name, aggregate=aggregate, predicates=predicates, group_by=group_by
+    )

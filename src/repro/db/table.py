@@ -1,0 +1,222 @@
+"""Columnar, numpy-backed tables.
+
+Tables in the reproduction are deliberately simple: a named collection of
+equally sized columns.  Columns over attributes with a declared
+:class:`~repro.db.domains.AttributeDomain` store *ordinal codes* (``int64``)
+rather than raw values, which keeps predicate evaluation, semi-joins and the
+Predicate Mechanism's domain arithmetic purely numerical.  Columns without a
+domain (e.g. the fact table's measure attributes) store their values
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.db.domains import AttributeDomain
+from repro.exceptions import DomainError, SchemaError
+
+__all__ = ["Column", "Table"]
+
+
+@dataclass
+class Column:
+    """A single named column.
+
+    Parameters
+    ----------
+    name:
+        Column name.
+    values:
+        1-D numpy array.  When ``domain`` is given, the array must contain
+        ordinal codes in ``[0, domain.size)``.
+    domain:
+        Optional attribute domain.  Present for dictionary-encoded columns
+        (dimension attributes, foreign keys over enumerable key spaces).
+    """
+
+    name: str
+    values: np.ndarray
+    domain: Optional[AttributeDomain] = None
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values)
+        if self.values.ndim != 1:
+            raise SchemaError(f"column {self.name!r} must be one-dimensional")
+        if self.domain is not None:
+            self.values = self.values.astype(np.int64, copy=False)
+            if self.values.size:
+                lo = int(self.values.min())
+                hi = int(self.values.max())
+                if lo < 0 or hi >= self.domain.size:
+                    raise DomainError(
+                        f"column {self.name!r} contains codes outside its "
+                        f"domain of size {self.domain.size} (min={lo}, max={hi})"
+                    )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_raw(
+        cls, name: str, raw_values: Iterable[Any], domain: Optional[AttributeDomain] = None
+    ) -> "Column":
+        """Build a column from raw values, encoding them if a domain is given."""
+        if domain is None:
+            return cls(name=name, values=np.asarray(list(raw_values)))
+        codes = domain.encode_array(raw_values)
+        return cls(name=name, values=codes, domain=domain)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return int(self.values.shape[0])
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def decoded(self) -> list[Any]:
+        """Return the raw values (decoding codes when a domain is attached)."""
+        if self.domain is None:
+            return list(self.values)
+        return self.domain.decode_array(self.values)
+
+    def take(self, indices: np.ndarray) -> "Column":
+        """Return a new column containing only the rows in ``indices``."""
+        return Column(name=self.name, values=self.values[indices], domain=self.domain)
+
+    def mask(self, row_mask: np.ndarray) -> "Column":
+        """Return a new column containing only rows where ``row_mask`` is True."""
+        return Column(name=self.name, values=self.values[row_mask], domain=self.domain)
+
+
+class Table:
+    """A named collection of equally sized columns."""
+
+    def __init__(self, name: str, columns: Sequence[Column]):
+        if not columns:
+            raise SchemaError(f"table {name!r} must have at least one column")
+        lengths = {column.num_rows for column in columns}
+        if len(lengths) != 1:
+            raise SchemaError(
+                f"table {name!r} has columns of differing lengths: {sorted(lengths)}"
+            )
+        names = [column.name for column in columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"table {name!r} has duplicate column names: {names}")
+        self.name = name
+        self._columns: dict[str, Column] = {column.name: column for column in columns}
+        self._num_rows = columns[0].num_rows
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_arrays(
+        cls,
+        name: str,
+        arrays: Mapping[str, np.ndarray],
+        domains: Optional[Mapping[str, AttributeDomain]] = None,
+    ) -> "Table":
+        """Build a table from a mapping of column name to pre-encoded array."""
+        domains = domains or {}
+        columns = [
+            Column(name=col_name, values=np.asarray(values), domain=domains.get(col_name))
+            for col_name, values in arrays.items()
+        ]
+        return cls(name=name, columns=columns)
+
+    @classmethod
+    def from_records(
+        cls,
+        name: str,
+        records: Sequence[Mapping[str, Any]],
+        domains: Optional[Mapping[str, AttributeDomain]] = None,
+    ) -> "Table":
+        """Build a table from row dictionaries (convenience for tests/examples)."""
+        if not records:
+            raise SchemaError(f"table {name!r} cannot be built from zero records")
+        domains = domains or {}
+        column_names = list(records[0].keys())
+        columns = []
+        for col_name in column_names:
+            raw = [record[col_name] for record in records]
+            columns.append(Column.from_raw(col_name, raw, domain=domains.get(col_name)))
+        return cls(name=name, columns=columns)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._columns)
+
+    def __contains__(self, column_name: str) -> bool:
+        return column_name in self._columns
+
+    def column(self, column_name: str) -> Column:
+        try:
+            return self._columns[column_name]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r} has no column {column_name!r}; "
+                f"available: {self.column_names}"
+            ) from None
+
+    def codes(self, column_name: str) -> np.ndarray:
+        """Return the raw numpy array backing ``column_name``."""
+        return self.column(column_name).values
+
+    def domain(self, column_name: str) -> Optional[AttributeDomain]:
+        """Return the attribute domain of ``column_name`` (if any)."""
+        return self.column(column_name).domain
+
+    # ------------------------------------------------------------------
+    # row-level operations
+    # ------------------------------------------------------------------
+    def filter(self, row_mask: np.ndarray) -> "Table":
+        """Return a new table with only the rows where ``row_mask`` is True."""
+        row_mask = np.asarray(row_mask, dtype=bool)
+        if row_mask.shape[0] != self._num_rows:
+            raise SchemaError(
+                f"mask of length {row_mask.shape[0]} does not match table "
+                f"{self.name!r} with {self._num_rows} rows"
+            )
+        return Table(self.name, [col.mask(row_mask) for col in self._columns.values()])
+
+    def take(self, indices: np.ndarray) -> "Table":
+        """Return a new table with the rows at ``indices`` (in that order)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return Table(self.name, [col.take(indices) for col in self._columns.values()])
+
+    def head(self, count: int = 5) -> "Table":
+        """Return the first ``count`` rows (for examples and debugging)."""
+        count = min(count, self._num_rows)
+        return self.take(np.arange(count))
+
+    def row(self, index: int) -> dict[str, Any]:
+        """Return row ``index`` as a dictionary of decoded values."""
+        if not 0 <= index < self._num_rows:
+            raise IndexError(f"row {index} out of range for table {self.name!r}")
+        out: dict[str, Any] = {}
+        for column in self._columns.values():
+            value = column.values[index]
+            if column.domain is not None:
+                value = column.domain.decode(int(value))
+            out[column.name] = value
+        return out
+
+    def to_records(self) -> list[dict[str, Any]]:
+        """Materialise the table as a list of row dictionaries (small tables only)."""
+        return [self.row(i) for i in range(self._num_rows)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.name!r}, rows={self._num_rows}, columns={self.column_names})"

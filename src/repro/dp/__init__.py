@@ -1,0 +1,53 @@
+"""Differential-privacy primitives.
+
+* :mod:`~repro.dp.noise` — seeded Laplace / Cauchy / geometric samplers.
+* :mod:`~repro.dp.mechanisms` — the basic output-perturbation mechanisms
+  (Laplace and Cauchy) used as building blocks by both the baselines and
+  DP-starJ.
+* :mod:`~repro.dp.sensitivity` — global, local, local-at-distance-t and
+  smooth sensitivity (Definitions 3.3–3.5) for star-join and k-star queries.
+* :mod:`~repro.dp.accountant` — privacy budgets and sequential/parallel
+  composition accounting.
+* :mod:`~repro.dp.neighboring` — the scenario-dependent (a, b)-private
+  neighbouring-instance definitions of Section 3.2, with concrete neighbour
+  generation for star databases.
+"""
+
+from repro.dp.noise import (
+    cauchy_noise,
+    cauchy_scale_for_epsilon,
+    laplace_noise,
+    laplace_scale,
+)
+from repro.dp.mechanisms import CauchyMechanism, LaplaceMechanism, Mechanism
+from repro.dp.accountant import PrivacyAccountant, PrivacyBudget
+from repro.dp.sensitivity import (
+    SensitivityBound,
+    count_query_global_sensitivity,
+    local_sensitivity_at_distance,
+    local_sensitivity_star_count,
+    smooth_sensitivity_from_local,
+    smooth_sensitivity_kstar,
+)
+from repro.dp.neighboring import NeighborhoodPolicy, PrivacyScenario, generate_neighbor
+
+__all__ = [
+    "laplace_noise",
+    "laplace_scale",
+    "cauchy_noise",
+    "cauchy_scale_for_epsilon",
+    "Mechanism",
+    "LaplaceMechanism",
+    "CauchyMechanism",
+    "PrivacyBudget",
+    "PrivacyAccountant",
+    "SensitivityBound",
+    "count_query_global_sensitivity",
+    "local_sensitivity_star_count",
+    "local_sensitivity_at_distance",
+    "smooth_sensitivity_from_local",
+    "smooth_sensitivity_kstar",
+    "PrivacyScenario",
+    "NeighborhoodPolicy",
+    "generate_neighbor",
+]

@@ -1,0 +1,125 @@
+"""Privacy budgets and composition accounting.
+
+The paper's mechanisms rely on the two classical composition rules:
+
+* **Sequential composition** — running k mechanisms with budgets ε_1..ε_k on
+  the same data costs ε_1 + ... + ε_k (used when the Predicate Mechanism
+  splits ε over the n dimension-table predicates, Theorem 5.4, and when R2T
+  runs log(GS_Q) truncated trials).
+* **Parallel composition** — mechanisms run on disjoint partitions of the
+  data compose at max(ε_i) (used by GROUP BY analyses).
+
+:class:`PrivacyBudget` is a small value object; :class:`PrivacyAccountant`
+tracks cumulative spend and refuses to exceed the total budget, which the
+tests use to assert that every mechanism's internal budget split adds up to
+exactly ε.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.exceptions import PrivacyBudgetError
+
+__all__ = ["PrivacyBudget", "PrivacyAccountant", "split_budget"]
+
+_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class PrivacyBudget:
+    """An (ε, δ) privacy budget; δ defaults to 0 (pure DP)."""
+
+    epsilon: float
+    delta: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 0:
+            raise PrivacyBudgetError(f"ε must be positive, got {self.epsilon!r}")
+        if self.delta < 0 or self.delta >= 1:
+            raise PrivacyBudgetError(f"δ must lie in [0, 1), got {self.delta!r}")
+
+    @property
+    def is_pure(self) -> bool:
+        return self.delta == 0.0
+
+    def split(self, parts: int) -> "PrivacyBudget":
+        """Return the per-part budget of an even sequential split into ``parts``."""
+        if parts <= 0:
+            raise PrivacyBudgetError(f"cannot split a budget into {parts} parts")
+        return PrivacyBudget(self.epsilon / parts, self.delta / parts)
+
+    def __mul__(self, factor: float) -> "PrivacyBudget":
+        return PrivacyBudget(self.epsilon * factor, self.delta * factor)
+
+
+def split_budget(epsilon: float, parts: int) -> float:
+    """Per-part ε of an even sequential split (``ε_i = ε / n`` in Algorithm 1)."""
+    if parts <= 0:
+        raise PrivacyBudgetError(f"cannot split a budget into {parts} parts")
+    if epsilon <= 0:
+        raise PrivacyBudgetError(f"ε must be positive, got {epsilon!r}")
+    return epsilon / parts
+
+
+class PrivacyAccountant:
+    """Tracks the cumulative privacy spend of a sequence of mechanism calls."""
+
+    def __init__(self, total: PrivacyBudget):
+        self.total = total
+        self._spent_epsilon = 0.0
+        self._spent_delta = 0.0
+        self._ledger: list[tuple[str, PrivacyBudget]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def spent_epsilon(self) -> float:
+        return self._spent_epsilon
+
+    @property
+    def spent_delta(self) -> float:
+        return self._spent_delta
+
+    @property
+    def remaining_epsilon(self) -> float:
+        return max(self.total.epsilon - self._spent_epsilon, 0.0)
+
+    @property
+    def ledger(self) -> list[tuple[str, PrivacyBudget]]:
+        return list(self._ledger)
+
+    # ------------------------------------------------------------------
+    def charge(self, budget: PrivacyBudget, label: str = "mechanism") -> None:
+        """Record a sequential-composition charge; refuse to exceed the total."""
+        new_epsilon = self._spent_epsilon + budget.epsilon
+        new_delta = self._spent_delta + budget.delta
+        if new_epsilon > self.total.epsilon + _TOLERANCE:
+            raise PrivacyBudgetError(
+                f"charging {budget.epsilon:.6g} would exceed the total ε budget "
+                f"({new_epsilon:.6g} > {self.total.epsilon:.6g})"
+            )
+        if new_delta > self.total.delta + _TOLERANCE:
+            raise PrivacyBudgetError(
+                f"charging δ={budget.delta:.3g} would exceed the total δ budget"
+            )
+        self._spent_epsilon = new_epsilon
+        self._spent_delta = new_delta
+        self._ledger.append((label, budget))
+
+    def charge_parallel(self, budgets: Iterable[PrivacyBudget], label: str = "parallel") -> None:
+        """Record a parallel-composition charge (cost = max over the partitions)."""
+        budgets = list(budgets)
+        if not budgets:
+            return
+        epsilon = max(b.epsilon for b in budgets)
+        delta = max(b.delta for b in budgets)
+        self.charge(PrivacyBudget(epsilon, delta), label=label)
+
+    def assert_exhausted(self, tolerance: float = 1e-6) -> None:
+        """Assert that exactly the total ε has been spent (used in tests)."""
+        if abs(self._spent_epsilon - self.total.epsilon) > tolerance:
+            raise PrivacyBudgetError(
+                f"budget not exactly consumed: spent {self._spent_epsilon:.6g} of "
+                f"{self.total.epsilon:.6g}"
+            )

@@ -1,0 +1,81 @@
+"""Basic output-perturbation mechanisms.
+
+These are the generic DP building blocks (Section 4 of the paper calls them
+the "basic mechanism"): add calibrated noise to a real-valued query answer.
+The star-join-specific baselines in :mod:`repro.baselines` and the Predicate
+Mechanism in :mod:`repro.core` are built on top of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.dp.noise import cauchy_noise, laplace_noise, laplace_variance
+from repro.rng import RngLike
+
+__all__ = ["Mechanism", "LaplaceMechanism", "CauchyMechanism"]
+
+
+class Mechanism(Protocol):
+    """Protocol for scalar output-perturbation mechanisms."""
+
+    def randomise(self, true_value: float, rng: RngLike = None) -> float:
+        """Return a privatised version of ``true_value``."""
+        ...
+
+
+@dataclass(frozen=True)
+class LaplaceMechanism:
+    """The Laplace mechanism (Theorem 3.2): ``A(D) = Q(D) + Lap(Δ/ε)``.
+
+    Parameters
+    ----------
+    sensitivity:
+        The (global or smooth upper-bound) L1 sensitivity Δ.
+    epsilon:
+        The privacy budget ε.
+    """
+
+    sensitivity: float
+    epsilon: float
+
+    def randomise(self, true_value: float, rng: RngLike = None) -> float:
+        return float(true_value) + laplace_noise(self.sensitivity, self.epsilon, rng=rng)
+
+    def randomise_vector(self, true_values: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        values = np.asarray(true_values, dtype=np.float64)
+        return values + laplace_noise(self.sensitivity, self.epsilon, size=values.shape, rng=rng)
+
+    @property
+    def variance(self) -> float:
+        """Noise variance ``2 (Δ/ε)²``."""
+        return laplace_variance(self.sensitivity, self.epsilon)
+
+
+@dataclass(frozen=True)
+class CauchyMechanism:
+    """The general Cauchy mechanism calibrated to a smooth sensitivity bound.
+
+    With γ = 4 (the paper's choice) the mechanism adds
+    ``Cauchy(2(γ+1)·S/ε) = Cauchy(10·S/ε)`` noise and satisfies pure ε-DP when
+    ``S`` is a β-smooth upper bound with β = ε / (2(γ+1)).
+    """
+
+    smooth_sensitivity: float
+    epsilon: float
+    gamma: float = 4.0
+
+    def randomise(self, true_value: float, rng: RngLike = None) -> float:
+        return float(true_value) + cauchy_noise(
+            self.smooth_sensitivity, self.epsilon, gamma=self.gamma, rng=rng
+        )
+
+    def randomise_vector(self, true_values: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        values = np.asarray(true_values, dtype=np.float64)
+        noise = cauchy_noise(
+            self.smooth_sensitivity, self.epsilon, gamma=self.gamma, size=values.shape, rng=rng
+        )
+        return values + noise

@@ -1,0 +1,180 @@
+"""Scenario-dependent neighbouring database instances (paper Section 3.2).
+
+The paper's Definition 3.7 ((a, b)-private) distinguishes which tables of the
+star schema are sensitive:
+
+* ``(1, 0)``-private — only the fact table is private; neighbours differ in a
+  single fact tuple.
+* ``(0, k)``-private — k dimension tables are private; neighbours are obtained
+  by deleting one tuple from each private dimension table *and* every fact
+  tuple referencing (the conjunction of) those tuples, to preserve the
+  foreign-key constraints.
+* ``(1, k)``-private — both: a fact tuple may additionally differ.
+
+:class:`PrivacyScenario` captures the (a, b) choice; :func:`generate_neighbor`
+materialises a concrete neighbouring :class:`~repro.db.database.StarDatabase`,
+which the tests use both to validate the asymmetry the paper describes and to
+empirically check mechanism behaviour on neighbouring instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.db.database import StarDatabase
+from repro.db.table import Column, Table
+from repro.exceptions import SchemaError
+from repro.rng import RngLike, ensure_rng
+
+__all__ = ["PrivacyScenario", "NeighborhoodPolicy", "generate_neighbor"]
+
+
+@dataclass(frozen=True)
+class PrivacyScenario:
+    """Which tables of the star schema are private ((a, b)-private).
+
+    Parameters
+    ----------
+    fact_private:
+        ``a = 1`` when True.
+    private_dimensions:
+        Names of the private dimension tables (``b`` of them).
+    """
+
+    fact_private: bool = False
+    private_dimensions: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.fact_private and not self.private_dimensions:
+            raise SchemaError("at least one table must be private (a + b >= 1)")
+
+    @property
+    def a(self) -> int:
+        return 1 if self.fact_private else 0
+
+    @property
+    def b(self) -> int:
+        return len(self.private_dimensions)
+
+    @property
+    def label(self) -> str:
+        return f"({self.a}, {self.b})-private"
+
+    @classmethod
+    def fact_only(cls) -> "PrivacyScenario":
+        """The (1, 0)-private scenario."""
+        return cls(fact_private=True)
+
+    @classmethod
+    def dimensions(cls, *names: str) -> "PrivacyScenario":
+        """The (0, k)-private scenario over the named dimension tables."""
+        return cls(fact_private=False, private_dimensions=tuple(names))
+
+    @classmethod
+    def full(cls, *names: str) -> "PrivacyScenario":
+        """The (1, k)-private scenario."""
+        return cls(fact_private=True, private_dimensions=tuple(names))
+
+
+@dataclass(frozen=True)
+class NeighborhoodPolicy:
+    """How to pick the differing tuples when materialising a neighbour.
+
+    ``dimension_keys`` optionally pins the deleted key (row position) of each
+    private dimension; ``fact_row`` pins the deleted fact row in scenarios with
+    a private fact table.  Unpinned choices are drawn uniformly at random.
+    """
+
+    dimension_keys: dict[str, int] = field(default_factory=dict)
+    fact_row: Optional[int] = None
+
+
+def _drop_dimension_row(table: Table, row: int) -> Table:
+    """Return ``table`` with ``row`` removed."""
+    keep = np.ones(table.num_rows, dtype=bool)
+    keep[row] = False
+    return table.filter(keep)
+
+
+def _remap_codes_after_drop(codes: np.ndarray, dropped_row: int) -> np.ndarray:
+    """Shift foreign-key codes after a dimension row has been removed."""
+    remapped = codes.copy()
+    remapped[codes > dropped_row] -= 1
+    return remapped
+
+
+def generate_neighbor(
+    database: StarDatabase,
+    scenario: PrivacyScenario,
+    policy: Optional[NeighborhoodPolicy] = None,
+    rng: RngLike = None,
+) -> StarDatabase:
+    """Materialise a neighbouring instance of ``database`` under ``scenario``.
+
+    The returned database satisfies all foreign-key constraints: deleting a
+    private dimension tuple also deletes every fact tuple referencing it (the
+    conjunction of the chosen tuples when several dimensions are private), as
+    the paper's (0, k) / (1, k) definitions require.
+    """
+    policy = policy or NeighborhoodPolicy()
+    generator = ensure_rng(rng)
+
+    new_dimensions = dict(database.dimensions)
+    fact_keep = np.ones(database.num_fact_rows, dtype=bool)
+    fk_remaps: dict[str, int] = {}
+
+    if scenario.private_dimensions:
+        # Fact rows referencing the conjunction of all chosen private tuples
+        # are removed (the paper assigns a unique identifier to the
+        # conjunction of foreign keys).
+        reference_mask = np.ones(database.num_fact_rows, dtype=bool)
+        for dim_name in scenario.private_dimensions:
+            dim_table = database.dimension(dim_name)
+            if dim_table.num_rows == 0:
+                raise SchemaError(f"cannot pick a tuple from empty dimension {dim_name!r}")
+            row = policy.dimension_keys.get(dim_name)
+            if row is None:
+                row = int(generator.integers(0, dim_table.num_rows))
+            if not 0 <= row < dim_table.num_rows:
+                raise SchemaError(
+                    f"pinned row {row} outside dimension {dim_name!r} "
+                    f"({dim_table.num_rows} rows)"
+                )
+            reference_mask &= database.fact_foreign_key_codes(dim_name) == row
+            new_dimensions[dim_name] = _drop_dimension_row(dim_table, row)
+            fk_remaps[dim_name] = row
+        fact_keep &= ~reference_mask
+
+    if scenario.fact_private:
+        surviving = np.flatnonzero(fact_keep)
+        if surviving.size:
+            if policy.fact_row is not None:
+                fact_row = policy.fact_row
+                if not fact_keep[fact_row]:
+                    raise SchemaError(
+                        f"pinned fact row {fact_row} was already removed by the "
+                        "dimension deletion"
+                    )
+            else:
+                fact_row = int(generator.choice(surviving))
+            fact_keep[fact_row] = False
+
+    new_fact = database.fact.filter(fact_keep)
+
+    # Remap foreign-key codes for the dimensions that lost a row.
+    if fk_remaps:
+        columns = []
+        for column_name in new_fact.column_names:
+            column = new_fact.column(column_name)
+            values = column.values
+            for dim_name, dropped_row in fk_remaps.items():
+                fk = database.schema.foreign_key_for(dim_name)
+                if column_name == fk.fact_column:
+                    values = _remap_codes_after_drop(values, dropped_row)
+            columns.append(Column(name=column_name, values=values, domain=column.domain))
+        new_fact = Table(new_fact.name, columns)
+
+    return StarDatabase(schema=database.schema, fact=new_fact, dimensions=new_dimensions)

@@ -1,0 +1,250 @@
+"""Sensitivity notions used by the paper (Definitions 3.3–3.5).
+
+This module computes the quantities the output-perturbation baselines are
+calibrated with:
+
+* **Global sensitivity** of a star-join aggregate, which is 1 (COUNT) or the
+  measure bound (SUM) in the (1, 0)-private scenario and *unbounded* once any
+  dimension table is private (Remark 1 — this is exactly why the paper needs
+  something better than the Laplace mechanism).
+* **Local sensitivity** of a star-join count/sum w.r.t. a private dimension
+  table: the largest contribution of any single dimension key, i.e. its
+  fan-out into the (filtered) fact table.
+* **Local sensitivity at distance t** and the **β-smooth sensitivity** built
+  from it, for both star-join counts and k-star counting queries on graphs
+  (the latter is what the TM baseline of Section 6 uses).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.db.database import StarDatabase
+from repro.db.predicates import ConjunctionPredicate
+from repro.db.query import AggregateKind, StarJoinQuery
+from repro.exceptions import SensitivityError
+
+__all__ = [
+    "SensitivityBound",
+    "count_query_global_sensitivity",
+    "sum_query_global_sensitivity",
+    "local_sensitivity_star_count",
+    "local_sensitivity_at_distance",
+    "smooth_sensitivity_from_local",
+    "binomial",
+    "kstar_local_sensitivity",
+    "kstar_local_sensitivity_at_distance",
+    "smooth_sensitivity_kstar",
+    "smooth_sensitivity_truncated_kstar",
+]
+
+
+@dataclass(frozen=True)
+class SensitivityBound:
+    """A named sensitivity bound with provenance."""
+
+    value: float
+    kind: str
+    description: str = ""
+
+    @property
+    def is_bounded(self) -> bool:
+        return math.isfinite(self.value)
+
+
+# ----------------------------------------------------------------------
+# star-join queries
+# ----------------------------------------------------------------------
+def count_query_global_sensitivity(
+    fact_private: bool, private_dimensions: tuple[str, ...] | list[str]
+) -> SensitivityBound:
+    """Global sensitivity of a star-join COUNT query.
+
+    When only the fact table is private ((1, 0)-private), adding or removing
+    one fact tuple changes the count by at most 1.  As soon as a dimension
+    table is private the foreign-key constraints make a single dimension
+    tuple responsible for arbitrarily many fact tuples, so the global
+    sensitivity is unbounded (∞).
+    """
+    if private_dimensions:
+        return SensitivityBound(
+            value=math.inf,
+            kind="global",
+            description="unbounded: a private dimension tuple may be referenced by "
+            "arbitrarily many fact tuples",
+        )
+    if not fact_private:
+        raise SensitivityError("at least one table must be private")
+    return SensitivityBound(value=1.0, kind="global", description="(1,0)-private COUNT")
+
+
+def sum_query_global_sensitivity(
+    fact_private: bool,
+    private_dimensions: tuple[str, ...] | list[str],
+    measure_bound: float,
+) -> SensitivityBound:
+    """Global sensitivity of a star-join SUM query (measure values in [0, bound])."""
+    if measure_bound < 0:
+        raise SensitivityError("measure bound must be non-negative")
+    if private_dimensions:
+        return SensitivityBound(
+            value=math.inf,
+            kind="global",
+            description="unbounded: private dimension under foreign-key constraints",
+        )
+    if not fact_private:
+        raise SensitivityError("at least one table must be private")
+    return SensitivityBound(
+        value=float(measure_bound), kind="global", description="(1,0)-private SUM"
+    )
+
+
+def local_sensitivity_star_count(
+    database: StarDatabase,
+    query: StarJoinQuery,
+    private_dimension: str,
+) -> float:
+    """Local sensitivity of a star-join aggregate w.r.t. one private dimension.
+
+    Removing a tuple of ``private_dimension`` (and, by the foreign-key
+    constraint, every fact tuple referencing it) changes the answer by that
+    key's total contribution.  The local sensitivity on the given instance is
+    therefore the maximum contribution over the dimension's keys, where the
+    contribution is a row count for COUNT queries and a measure sum for SUM
+    queries.  Predicates on the *other* dimensions still restrict which fact
+    rows count; the private dimension's own predicate is dropped because a
+    neighbouring instance may contain a tuple satisfying it.
+    """
+    other_predicates = ConjunctionPredicate.of(
+        p for p in query.predicates if p.table != private_dimension
+    )
+    mask = np.ones(database.num_fact_rows, dtype=bool)
+    for predicate in other_predicates:
+        mask &= database.fact_mask_for_predicate(predicate)
+    codes = database.fact_foreign_key_codes(private_dimension)[mask]
+    dim_rows = database.dimension(private_dimension).num_rows
+    if query.kind is AggregateKind.COUNT:
+        contributions = np.bincount(codes, minlength=dim_rows)
+    else:
+        measure = query.aggregate.measure
+        weights = np.asarray(database.fact.codes(measure.column), dtype=np.float64)
+        if measure.subtract is not None:
+            weights = weights - np.asarray(
+                database.fact.codes(measure.subtract), dtype=np.float64
+            )
+        contributions = np.bincount(codes, weights=np.abs(weights[mask]), minlength=dim_rows)
+    return float(contributions.max()) if contributions.size else 0.0
+
+
+def local_sensitivity_at_distance(
+    local_sensitivity: float, distance: int, growth_per_step: float = 1.0
+) -> float:
+    """Upper bound on LS^(t): ``LS(D') ≤ LS(D) + t · growth`` for d(D, D') ≤ t.
+
+    For star-join counts, each modification step can increase a key's fan-out
+    by at most one fact tuple, so ``growth_per_step = 1``; SUM queries pass
+    the measure bound.
+    """
+    if distance < 0:
+        raise SensitivityError("distance must be non-negative")
+    return float(local_sensitivity) + float(distance) * float(growth_per_step)
+
+
+def smooth_sensitivity_from_local(
+    local_at_distance: Callable[[int], float],
+    beta: float,
+    max_distance: Optional[int] = None,
+) -> float:
+    """β-smooth sensitivity ``max_t e^{-βt} LS^{(t)}(D)`` (Definition 3.5).
+
+    ``local_at_distance(t)`` must be a non-decreasing upper bound on the local
+    sensitivity at distance ``t``.  The maximisation stops once the geometric
+    decay provably dominates any further (at most linear or given) growth, or
+    at ``max_distance``.
+    """
+    if beta <= 0:
+        raise SensitivityError(f"β must be positive, got {beta!r}")
+    best = 0.0
+    previous_term = -math.inf
+    stall = 0
+    limit = max_distance if max_distance is not None else 10_000
+    for t in range(limit + 1):
+        value = float(local_at_distance(t))
+        term = math.exp(-beta * t) * value
+        best = max(best, term)
+        # Stop when the weighted terms have been decreasing for a while; the
+        # combination of exponential decay and (sub-)linear growth makes the
+        # sequence eventually monotone decreasing.
+        if term < previous_term:
+            stall += 1
+            if stall >= max(10, int(5.0 / beta)):
+                break
+        else:
+            stall = 0
+        previous_term = term
+    return best
+
+
+# ----------------------------------------------------------------------
+# k-star counting queries on graphs
+# ----------------------------------------------------------------------
+def binomial(n: float, k: int) -> float:
+    """``C(n, k)`` extended with ``C(n, k) = 0`` for n < k (float-safe)."""
+    n = int(n)
+    if k < 0 or n < k:
+        return 0.0
+    return float(math.comb(n, k))
+
+
+def kstar_local_sensitivity(degrees: np.ndarray, k: int) -> float:
+    """Local sensitivity of the k-star count under edge neighbouring.
+
+    The k-star count is ``f(G) = Σ_v C(deg(v), k)``.  Adding or removing one
+    edge (u, v) changes it by ``C(deg(u), k) - C(deg(u)∓1, k)`` plus the same
+    for v, which is at most ``2 · C(d_max, k-1)`` where ``d_max`` is the
+    maximum degree (after the change).
+    """
+    if k < 1:
+        raise SensitivityError("k must be at least 1 for k-star counting")
+    degrees = np.asarray(degrees)
+    d_max = int(degrees.max()) if degrees.size else 0
+    return 2.0 * binomial(d_max, k - 1)
+
+
+def kstar_local_sensitivity_at_distance(degrees: np.ndarray, k: int, distance: int) -> float:
+    """LS^{(t)} for the k-star count: t extra edges can raise the max degree by t."""
+    degrees = np.asarray(degrees)
+    d_max = int(degrees.max()) if degrees.size else 0
+    return 2.0 * binomial(d_max + distance, k - 1)
+
+
+def smooth_sensitivity_kstar(degrees: np.ndarray, k: int, beta: float) -> float:
+    """β-smooth sensitivity of the k-star count under edge neighbouring."""
+    degrees = np.asarray(degrees)
+
+    def local_at(t: int) -> float:
+        return kstar_local_sensitivity_at_distance(degrees, k, t)
+
+    # The growth of C(d_max + t, k-1) is polynomial in t, so the exponential
+    # decay dominates; cap the search generously.
+    return smooth_sensitivity_from_local(local_at, beta, max_distance=int(degrees.size) + 1000)
+
+
+def smooth_sensitivity_truncated_kstar(threshold: int, k: int, beta: float) -> float:
+    """Smooth sensitivity of the *truncated* k-star count (TM baseline).
+
+    After naive truncation every node has degree at most τ, so adding or
+    removing one node changes the count by at most
+    ``C(τ, k) + τ · C(τ-1, k-1)`` (its own stars plus its effect on at most τ
+    neighbours), and this bound holds at every distance — hence it is its own
+    smooth bound.
+    """
+    if threshold < 0:
+        raise SensitivityError("truncation threshold must be non-negative")
+    if beta <= 0:
+        raise SensitivityError("β must be positive")
+    return binomial(threshold, k) + threshold * binomial(threshold - 1, k - 1)

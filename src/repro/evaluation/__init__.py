@@ -1,0 +1,35 @@
+"""Evaluation harness: metrics, experiment runner and per-figure experiments.
+
+The :mod:`repro.evaluation.experiments` package contains one module per table
+or figure of the paper's evaluation section; each exposes a ``run`` function
+returning an :class:`~repro.evaluation.reporting.ExperimentResult` whose rows
+mirror the paper's layout.  ``benchmarks/`` wires every experiment into
+pytest-benchmark, and ``EXPERIMENTS.md`` records paper-vs-measured values.
+"""
+
+from repro.evaluation.metrics import (
+    grouped_relative_error,
+    relative_error,
+    workload_relative_error,
+)
+from repro.evaluation.runner import (
+    EvaluationResult,
+    evaluate_kstar_mechanism,
+    evaluate_mechanism,
+    make_kstar_mechanism,
+    make_star_mechanism,
+)
+from repro.evaluation.reporting import ExperimentResult, format_table
+
+__all__ = [
+    "relative_error",
+    "grouped_relative_error",
+    "workload_relative_error",
+    "EvaluationResult",
+    "evaluate_mechanism",
+    "evaluate_kstar_mechanism",
+    "make_star_mechanism",
+    "make_kstar_mechanism",
+    "ExperimentResult",
+    "format_table",
+]

@@ -1,0 +1,141 @@
+"""Command-line entry point that regenerates every table and figure.
+
+Usage::
+
+    python -m repro.evaluation.cli                 # quick configuration
+    python -m repro.evaluation.cli --full          # higher-fidelity configuration
+    python -m repro.evaluation.cli --only table1 figure9
+    python -m repro.evaluation.cli --output-dir results/
+
+Each experiment prints its text table and, when ``--output-dir`` is given,
+writes a CSV with the same rows.  The experiment set and configurations are
+the ones documented in DESIGN.md and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from repro.evaluation.experiments import (
+    ExperimentConfig,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    table1,
+    table2,
+)
+from repro.evaluation.reporting import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "main", "run_experiments"]
+
+#: Registry of experiment name → callable(config) → ExperimentResult.
+EXPERIMENTS: dict[str, Callable[[ExperimentConfig], ExperimentResult]] = {
+    "table1": lambda config: table1.run(config),
+    "table2": lambda config: table2.run(config),
+    "figure4": lambda config: figure4.run(config),
+    "figure5": lambda config: figure5.run(config),
+    "figure6": lambda config: figure6.run(config),
+    "figure7": lambda config: figure7.run(config),
+    "figure8": lambda config: figure8.run(config),
+    "figure9": lambda config: figure9.run(config),
+    "figure10": lambda config: figure10.run(config),
+    "figure11": lambda config: figure11.run(config),
+}
+
+
+def run_experiments(
+    names: Sequence[str],
+    config: ExperimentConfig,
+    output_dir: Optional[Path] = None,
+    echo: Callable[[str], None] = print,
+) -> dict[str, ExperimentResult]:
+    """Run the named experiments and return their results.
+
+    Unknown names raise ``KeyError`` before anything is executed so a typo in
+    one name does not waste the time already spent on earlier experiments.
+    """
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments: {unknown}; available: {sorted(EXPERIMENTS)}")
+
+    results: dict[str, ExperimentResult] = {}
+    for name in names:
+        started = time.perf_counter()
+        echo(f"\n=== running {name} ===")
+        result = EXPERIMENTS[name](config)
+        elapsed = time.perf_counter() - started
+        echo(result.to_text())
+        echo(f"[{name} finished in {elapsed:.1f}s]")
+        if output_dir is not None:
+            path = result.to_csv(Path(output_dir) / f"{name}.csv")
+            echo(f"[rows written to {path}]")
+        results[name] = result
+    return results
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of the DP-starJ evaluation.",
+    )
+    parser.add_argument(
+        "--only",
+        nargs="+",
+        metavar="NAME",
+        default=sorted(EXPERIMENTS),
+        help="experiments to run (default: all)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the higher-fidelity configuration (larger data, 10 trials)",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=None, help="override the number of trials per cell"
+    )
+    parser.add_argument(
+        "--rows-per-scale-factor",
+        type=int,
+        default=None,
+        help="override the fact rows generated per unit of scale factor",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="override the master seed")
+    parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=None,
+        help="directory to write one CSV per experiment",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    config = ExperimentConfig.paper_scale() if args.full else ExperimentConfig.quick()
+    if args.trials is not None:
+        config.trials = args.trials
+    if args.rows_per_scale_factor is not None:
+        config.rows_per_scale_factor = args.rows_per_scale_factor
+    if args.seed is not None:
+        config.seed = args.seed
+
+    try:
+        run_experiments(args.only, config, output_dir=args.output_dir)
+    except KeyError as error:
+        print(error, file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,54 @@
+"""Per-table / per-figure experiment drivers.
+
+Each module regenerates one table or figure of the paper's evaluation
+section and returns an :class:`~repro.evaluation.reporting.ExperimentResult`
+whose rows mirror the paper's layout:
+
+=============  =====================================================
+Module         Paper artefact
+=============  =====================================================
+``table1``     Table 1 — relative error of PM / R2T / LS on SSB queries
+``table2``     Table 2 — error and time of PM / R2T / TM on k-star queries
+``figure4``    Figure 4 — error and time vs data scale (COUNT queries)
+``figure5``    Figure 5 — error and time vs data scale (SUM queries)
+``figure6``    Figure 6 — error vs global-sensitivity bound GS_Q
+``figure7``    Figure 7 — error under Uniform / Exponential / Gamma data
+``figure8``    Figure 8 — error vs predicate domain size
+``figure9``    Figure 9 — error of PM vs WD on workloads W1 / W2
+``figure10``   Figure 10 — error on snowflake queries Qtc / Qts
+``figure11``   Figure 11 — error under Gaussian-mixture skew
+=============  =====================================================
+
+All drivers share :class:`~repro.evaluation.experiments.common.ExperimentConfig`
+(scale, trials, ε grid, seed), default to a laptop-friendly configuration and
+accept a larger one for higher-fidelity runs.
+"""
+
+from repro.evaluation.experiments.common import DEFAULT_PRIVATE_DIMENSIONS, ExperimentConfig
+from repro.evaluation.experiments import (  # noqa: F401
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    table1,
+    table2,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "DEFAULT_PRIVATE_DIMENSIONS",
+    "table1",
+    "table2",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "figure10",
+    "figure11",
+]

@@ -1,0 +1,110 @@
+"""Shared configuration and helpers for the experiment drivers.
+
+The paper's setup (Section 6.1): relative error averaged over 10 independent
+runs, privacy budgets ε ∈ {0.1, 0.2, 0.5, 0.8, 1}, SSB data at scale factors
+0.25–1, and the Customer / Supplier / Part dimension tables as the realistic
+private relations (the paper notes "sensitive information is mostly contained
+in the dimension tables ... e.g. Customer").
+
+:class:`ExperimentConfig` bundles those knobs; the defaults favour quick
+laptop runs (smaller fact tables, 5 trials) and every driver accepts a custom
+configuration (``ExperimentConfig.paper_scale()``) for higher-fidelity runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.datagen.ssb import SSBConfig, SSBGenerator
+from repro.db.database import StarDatabase
+from repro.dp.neighboring import PrivacyScenario
+
+__all__ = ["ExperimentConfig", "DEFAULT_PRIVATE_DIMENSIONS", "build_ssb_database"]
+
+#: The dimension tables treated as private in the evaluation: the entity
+#: tables.  Date carries no personal information and is treated as public.
+DEFAULT_PRIVATE_DIMENSIONS: tuple[str, ...] = ("Customer", "Supplier", "Part")
+
+#: The privacy budgets of Table 1 / Figure 9 / Figure 11.
+PAPER_EPSILONS: tuple[float, ...] = (0.1, 0.2, 0.5, 0.8, 1.0)
+
+#: The scale factors of Figures 4 and 5.
+PAPER_SCALES: tuple[float, ...] = (0.25, 0.5, 0.75, 1.0)
+
+
+@dataclass
+class ExperimentConfig:
+    """Common experiment knobs.
+
+    Parameters
+    ----------
+    epsilons:
+        Privacy budgets to sweep.
+    trials:
+        Independent runs per (mechanism, query, ε) cell; the paper uses 10.
+    scale_factor:
+        SSB scale factor for single-scale experiments.
+    rows_per_scale_factor:
+        Fact rows per unit of scale factor (see
+        :class:`repro.datagen.ssb.SSBConfig`).
+    seed:
+        Master seed; every cell derives its own stream from it.
+    private_dimensions:
+        The dimension tables considered private (drives R2T / LS / TM
+        calibration).
+    """
+
+    epsilons: tuple[float, ...] = PAPER_EPSILONS
+    trials: int = 5
+    scale_factor: float = 1.0
+    rows_per_scale_factor: int = 240_000
+    seed: int = 20230711
+    private_dimensions: tuple[str, ...] = DEFAULT_PRIVATE_DIMENSIONS
+
+    @classmethod
+    def quick(cls) -> "ExperimentConfig":
+        """A minutes-scale configuration for CI and pytest-benchmark runs."""
+        return cls(epsilons=(0.1, 0.5, 1.0), trials=3, rows_per_scale_factor=60_000)
+
+    @classmethod
+    def paper_scale(cls) -> "ExperimentConfig":
+        """A higher-fidelity configuration (larger fact table, 10 trials)."""
+        return cls(trials=10, rows_per_scale_factor=1_200_000)
+
+    @property
+    def scenario(self) -> PrivacyScenario:
+        return PrivacyScenario.dimensions(*self.private_dimensions)
+
+    def ssb_config(
+        self,
+        scale_factor: Optional[float] = None,
+        key_distribution: str = "uniform",
+        measure_distribution: str = "uniform",
+        seed_offset: int = 0,
+    ) -> SSBConfig:
+        return SSBConfig(
+            scale_factor=scale_factor if scale_factor is not None else self.scale_factor,
+            rows_per_scale_factor=self.rows_per_scale_factor,
+            key_distribution=key_distribution,
+            measure_distribution=measure_distribution,
+            seed=self.seed + seed_offset,
+        )
+
+
+def build_ssb_database(
+    config: ExperimentConfig,
+    scale_factor: Optional[float] = None,
+    key_distribution: str = "uniform",
+    measure_distribution: str = "uniform",
+    seed_offset: int = 0,
+) -> StarDatabase:
+    """Generate the SSB instance an experiment runs on."""
+    return SSBGenerator(
+        config.ssb_config(
+            scale_factor=scale_factor,
+            key_distribution=key_distribution,
+            measure_distribution=measure_distribution,
+            seed_offset=seed_offset,
+        )
+    ).build()

@@ -1,0 +1,83 @@
+"""Figure 7: error of PM, R2T and LS under different data distributions.
+
+The paper regenerates the SSB instance with values following Uniform,
+Exponential and Gamma distributions and reports the error of Qc3 (COUNT) and
+Qs3 (SUM) across data scales.  The observation to reproduce: PM performs best
+on uniform data and degrades as the data becomes more skewed — because PM
+answers a *shifted* predicate exactly, its error is exactly the difference in
+mass between the true and the shifted predicate region, which grows with
+skew — while the baselines' behaviour is dominated by their noise scales.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.datagen.ssb import ssb_schema
+from repro.db.executor import QueryExecutor
+from repro.evaluation.experiments.common import ExperimentConfig, build_ssb_database
+from repro.evaluation.reporting import ExperimentResult
+from repro.evaluation.runner import evaluate_mechanism, make_star_mechanism
+from repro.workloads.ssb_queries import ssb_query
+
+__all__ = ["run", "DISTRIBUTIONS", "QUERIES", "MECHANISMS"]
+
+DISTRIBUTIONS = ("uniform", "exponential", "gamma")
+QUERIES = ("Qc3", "Qs3")
+MECHANISMS = ("PM", "R2T", "LS")
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    distributions: Sequence[str] = DISTRIBUTIONS,
+    scales: Sequence[float] = (0.25, 0.5, 0.75, 1.0),
+    epsilon: float = 0.5,
+    query_names: Sequence[str] = QUERIES,
+    mechanisms: Sequence[str] = MECHANISMS,
+) -> ExperimentResult:
+    """Regenerate Figure 7 (error under different distributions and scales)."""
+    config = config or ExperimentConfig()
+    schema = ssb_schema()
+    result = ExperimentResult(
+        title="Figure 7: error level for different data distributions (Qc3 / Qs3)",
+        notes=f"epsilon = {epsilon}, {config.trials} trials per cell.",
+    )
+    from repro.datagen.distributions import MEASURE_DISTRIBUTIONS
+
+    for distribution in distributions:
+        # Key-only distributions (e.g. Zipf) fall back to uniform measures.
+        measure_distribution = distribution if distribution in MEASURE_DISTRIBUTIONS else "uniform"
+        for scale in scales:
+            database = build_ssb_database(
+                config,
+                scale_factor=scale,
+                key_distribution=distribution,
+                measure_distribution=measure_distribution,
+                seed_offset=hash((distribution, scale)) % 1000,
+            )
+            executor = QueryExecutor(database)
+            for query_name in query_names:
+                query = ssb_query(query_name, schema)
+                exact = executor.execute(query)
+                for mechanism_name in mechanisms:
+                    mechanism = make_star_mechanism(
+                        mechanism_name, epsilon, scenario=config.scenario
+                    )
+                    evaluation = evaluate_mechanism(
+                        mechanism,
+                        database,
+                        query,
+                        trials=config.trials,
+                        rng=config.seed + hash((distribution, scale, query_name, mechanism_name)) % 10_000,
+                        exact_answer=exact,
+                    )
+                    result.add_row(
+                        distribution=distribution,
+                        scale=scale,
+                        query=query_name,
+                        mechanism=mechanism_name,
+                        relative_error_pct=(
+                            None if evaluation.unsupported else evaluation.mean_relative_error
+                        ),
+                    )
+    return result

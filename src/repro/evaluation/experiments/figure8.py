@@ -1,0 +1,100 @@
+"""Figure 8: error of PM, R2T and LS for different predicate domain sizes.
+
+The paper extends the SSB counting query to five two-dimension predicate
+combinations of growing domain size (5×7, 5×10², 250×10², 5×366, 250×366) and
+shows that PM's error grows only mildly with the domain size (the
+perturbation stays inside the domain, which dampens the noise) while
+remaining orders of magnitude below R2T and LS.
+
+Our SSB schema carries the standard SSB hierarchies, so the sweep uses the
+analogous two-attribute combinations of increasing domain product available
+in it (region×year up to nation×city).  The largest products are kept
+proportional to the (scaled-down) fact-table size so each query still selects
+a meaningful number of rows — the paper's sweep tops out at 250×366 on a 6M
+row fact table, i.e. roughly 65 rows per domain cell, and the combinations
+below preserve that ratio.  The row label records the attributes and the
+exact product so the series remains directly comparable with the paper's
+trend.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.datagen.ssb import ssb_schema
+from repro.db.executor import QueryExecutor
+from repro.db.predicates import PointPredicate
+from repro.db.query import StarJoinQuery
+from repro.evaluation.experiments.common import ExperimentConfig, build_ssb_database
+from repro.evaluation.reporting import ExperimentResult
+from repro.evaluation.runner import evaluate_mechanism, make_star_mechanism
+
+__all__ = ["run", "DOMAIN_COMBINATIONS"]
+
+#: (label, [(table, attribute, value), (table, attribute, value)]) pairs of
+#: growing domain-size product.
+DOMAIN_COMBINATIONS: tuple[tuple[str, tuple[tuple[str, str, object], ...]], ...] = (
+    ("5x7", (("Customer", "region", "ASIA"), ("Date", "year", 1994))),
+    ("25x7", (("Customer", "nation", "CHINA"), ("Date", "year", 1994))),
+    ("250x7", (("Customer", "city", "CHINA#3"), ("Date", "year", 1994))),
+    ("5x1000", (("Customer", "region", "ASIA"), ("Part", "brand", "MFGR#1205"))),
+    ("25x250", (("Customer", "nation", "CHINA"), ("Supplier", "city", "PERU#1"))),
+)
+
+MECHANISMS = ("PM", "R2T", "LS")
+
+
+def build_domain_query(
+    label: str, spec: Sequence[tuple[str, str, object]], schema=None
+) -> StarJoinQuery:
+    """Build one of the two-dimension counting queries of the sweep."""
+    schema = schema or ssb_schema()
+    predicates = []
+    for table, attribute, value in spec:
+        domain = schema.table_schema(table).domain_of(attribute)
+        predicates.append(
+            PointPredicate(table=table, attribute=attribute, domain=domain, value=value)
+        )
+    return StarJoinQuery.count(f"Qdom[{label}]", predicates)
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    epsilon: float = 0.5,
+    combinations: Sequence[tuple[str, tuple[tuple[str, str, object], ...]]] = DOMAIN_COMBINATIONS,
+    mechanisms: Sequence[str] = MECHANISMS,
+) -> ExperimentResult:
+    """Regenerate Figure 8 (error vs predicate domain size)."""
+    config = config or ExperimentConfig()
+    database = build_ssb_database(config)
+    schema = ssb_schema()
+    executor = QueryExecutor(database)
+    result = ExperimentResult(
+        title="Figure 8: error level for different predicate domain sizes",
+        notes=f"epsilon = {epsilon}, {config.trials} trials per cell.",
+    )
+    for label, spec in combinations:
+        query = build_domain_query(label, spec, schema)
+        domain_product = 1
+        for predicate in query.predicates:
+            domain_product *= predicate.domain_size
+        exact = executor.execute(query)
+        for mechanism_name in mechanisms:
+            mechanism = make_star_mechanism(mechanism_name, epsilon, scenario=config.scenario)
+            evaluation = evaluate_mechanism(
+                mechanism,
+                database,
+                query,
+                trials=config.trials,
+                rng=config.seed + hash((label, mechanism_name)) % 10_000,
+                exact_answer=exact,
+            )
+            result.add_row(
+                domain_sizes=label,
+                domain_product=domain_product,
+                mechanism=mechanism_name,
+                relative_error_pct=(
+                    None if evaluation.unsupported else evaluation.mean_relative_error
+                ),
+            )
+    return result

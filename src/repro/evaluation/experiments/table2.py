@@ -1,0 +1,70 @@
+"""Table 2: PM, R2T and TM on k-star counting queries (Deezer / Amazon).
+
+For ε ∈ {0.1, 0.5, 1} the driver reports, per dataset (a Deezer-like and an
+Amazon-like synthetic graph) and per query (Q2*, Q3*), the mean relative
+error and mean running time of the three mechanisms — the same cells as the
+paper's Table 2.  The graph scale defaults to a fraction of the original
+datasets so the whole table regenerates in seconds; pass ``graph_scale=1.0``
+for full-size graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.evaluation.experiments.common import ExperimentConfig
+from repro.evaluation.reporting import ExperimentResult
+from repro.evaluation.runner import evaluate_kstar_mechanism, make_kstar_mechanism
+from repro.graph.generators import amazon_like, deezer_like
+from repro.graph.kstar import kstar_count
+from repro.workloads.kstar_queries import q2star, q3star
+
+__all__ = ["run", "MECHANISMS", "KSTAR_EPSILONS"]
+
+MECHANISMS = ("PM", "R2T", "TM")
+KSTAR_EPSILONS = (0.1, 0.5, 1.0)
+
+
+def run(
+    config: Optional[ExperimentConfig] = None,
+    graph_scale: float = 0.25,
+    epsilons: Sequence[float] = KSTAR_EPSILONS,
+    mechanisms: Sequence[str] = MECHANISMS,
+) -> ExperimentResult:
+    """Regenerate Table 2 (relative error and running time on k-star queries)."""
+    config = config or ExperimentConfig()
+    graphs = {
+        "Deezer": deezer_like(rng=config.seed, scale=graph_scale),
+        "Amazon": amazon_like(rng=config.seed + 1, scale=graph_scale),
+    }
+    result = ExperimentResult(
+        title="Table 2: PM, R2T, TM on k-star queries (relative error % and time)",
+        notes=(
+            f"Synthetic power-law graphs at scale {graph_scale} of the original "
+            "datasets (see DESIGN.md substitutions); "
+            f"{config.trials} trials per cell."
+        ),
+    )
+    for dataset, graph in graphs.items():
+        for query in (q2star(graph), q3star(graph)):
+            exact = kstar_count(graph, query)
+            for epsilon in epsilons:
+                for mechanism_name in mechanisms:
+                    mechanism = make_kstar_mechanism(mechanism_name, epsilon)
+                    evaluation = evaluate_kstar_mechanism(
+                        mechanism,
+                        graph,
+                        query,
+                        trials=config.trials,
+                        rng=config.seed + hash((dataset, query.label, epsilon, mechanism_name)) % 10_000,
+                        exact_answer=exact,
+                    )
+                    result.add_row(
+                        dataset=dataset,
+                        query=query.label,
+                        epsilon=epsilon,
+                        mechanism=mechanism_name,
+                        relative_error_pct=evaluation.mean_relative_error,
+                        mean_time_s=evaluation.mean_time,
+                    )
+    return result

@@ -1,0 +1,100 @@
+"""Utility metrics used by the evaluation (Section 6.1).
+
+The paper reports *relative error* (in percent) as its utility measure, and
+wall-clock running time as its efficiency measure.  Grouped (GROUP BY) answers
+are compared with an L1-norm relative error over the union of groups, and
+workload answers with the mean per-query relative error.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.db.executor import GroupedResult
+
+__all__ = [
+    "relative_error",
+    "grouped_relative_error",
+    "workload_relative_error",
+    "answer_relative_error",
+    "Stopwatch",
+    "stopwatch",
+]
+
+
+def relative_error(true_value: float, noisy_value: float) -> float:
+    """Relative error in percent, ``100 · |noisy − true| / |true|``.
+
+    When the true value is zero the absolute error is returned instead (the
+    conventional fallback; the evaluation queries all have non-zero answers).
+    """
+    true_value = float(true_value)
+    noisy_value = float(noisy_value)
+    if true_value == 0.0:
+        return abs(noisy_value)
+    return 100.0 * abs(noisy_value - true_value) / abs(true_value)
+
+
+def grouped_relative_error(true: GroupedResult, noisy: GroupedResult) -> float:
+    """L1-norm relative error (percent) between two grouped answers.
+
+    The groups are aligned on the union of their keys (missing groups count
+    as zero), so both spurious and missing groups are penalised.
+    """
+    true_vector, noisy_vector = true.as_vectors(noisy)
+    denominator = np.abs(true_vector).sum()
+    if denominator == 0.0:
+        return float(np.abs(noisy_vector).sum())
+    return float(100.0 * np.abs(noisy_vector - true_vector).sum() / denominator)
+
+
+def workload_relative_error(
+    true_values: Sequence[float], noisy_values: Sequence[float]
+) -> float:
+    """Mean per-query relative error (percent) over a workload."""
+    true_array = np.asarray(true_values, dtype=np.float64)
+    noisy_array = np.asarray(noisy_values, dtype=np.float64)
+    if true_array.shape != noisy_array.shape:
+        raise ValueError(
+            f"workload answers have mismatching shapes {true_array.shape} vs "
+            f"{noisy_array.shape}"
+        )
+    errors = [relative_error(t, n) for t, n in zip(true_array, noisy_array)]
+    return float(np.mean(errors)) if errors else 0.0
+
+
+def answer_relative_error(true_answer, noisy_answer) -> float:
+    """Dispatch between scalar and grouped relative error."""
+    if isinstance(true_answer, GroupedResult) and isinstance(noisy_answer, GroupedResult):
+        return grouped_relative_error(true_answer, noisy_answer)
+    return relative_error(float(true_answer), float(noisy_answer))
+
+
+class Stopwatch:
+    """Accumulates elapsed wall-clock time across laps."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self.laps: list[float] = []
+
+    def add(self, seconds: float) -> None:
+        self.elapsed += seconds
+        self.laps.append(seconds)
+
+    @property
+    def mean_lap(self) -> float:
+        return float(np.mean(self.laps)) if self.laps else 0.0
+
+
+@contextmanager
+def stopwatch(watch: Stopwatch) -> Iterator[None]:
+    """Context manager recording one lap into ``watch``."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        watch.add(time.perf_counter() - start)

@@ -1,0 +1,103 @@
+"""Plain-text and CSV reporting of experiment results.
+
+Every experiment in :mod:`repro.evaluation.experiments` returns an
+:class:`ExperimentResult` — a list of row dictionaries plus a title — which
+can be rendered as an aligned text table (the same rows/series the paper's
+tables and figures report) or written to CSV for plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+__all__ = ["ExperimentResult", "format_table"]
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "n/a"
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    if value is None:
+        return "n/a"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    rendered_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        " | ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "-+-".join("-" * width for width in widths),
+    ]
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Rows produced by one experiment (one table or figure of the paper)."""
+
+    title: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, **values: Any) -> None:
+        self.rows.append(dict(values))
+
+    @property
+    def columns(self) -> list[str]:
+        columns: list[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        return columns
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column (missing entries become ``None``)."""
+        return [row.get(name) for row in self.rows]
+
+    def filter(self, **criteria: Any) -> "ExperimentResult":
+        """Rows matching all key=value criteria, as a new result."""
+        matched = [
+            row
+            for row in self.rows
+            if all(row.get(key) == value for key, value in criteria.items())
+        ]
+        return ExperimentResult(title=self.title, rows=matched, notes=self.notes)
+
+    def to_text(self) -> str:
+        """Render the result as a titled text table."""
+        columns = self.columns
+        table = format_table(columns, [[row.get(c) for c in columns] for row in self.rows])
+        parts = [self.title, "=" * len(self.title), table]
+        if self.notes:
+            parts.append("")
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+    def to_csv(self, path: str | Path) -> Path:
+        """Write the rows to a CSV file and return its path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        columns = self.columns
+        with path.open("w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=columns)
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow({column: row.get(column) for column in columns})
+        return path
+
+    def __len__(self) -> int:
+        return len(self.rows)

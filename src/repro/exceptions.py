@@ -1,0 +1,47 @@
+"""Exception hierarchy for the DP-starJ reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch a single base class.  More specific subclasses are used where a caller
+may plausibly want to react differently (e.g. an unsupported query type versus
+an exhausted privacy budget).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """A table or star schema is malformed or referenced inconsistently."""
+
+
+class DomainError(ReproError):
+    """A value or code is outside its attribute domain."""
+
+
+class QueryError(ReproError):
+    """A query is malformed or references unknown tables/attributes."""
+
+
+class UnsupportedQueryError(QueryError):
+    """A mechanism cannot answer the given query type.
+
+    The paper's Table 1 marks several (mechanism, query-type) combinations as
+    "Not supported" (e.g. LS on SUM queries, R2T on GROUP BY).  Mechanisms
+    raise this exception in those cases and the evaluation harness reports
+    the combination as unsupported rather than crashing.
+    """
+
+
+class PrivacyBudgetError(ReproError):
+    """A privacy budget is invalid (non-positive) or has been exhausted."""
+
+
+class SensitivityError(ReproError):
+    """A sensitivity bound could not be computed or is invalid."""
+
+
+class DataGenerationError(ReproError):
+    """A synthetic data generator received inconsistent parameters."""

@@ -1,0 +1,33 @@
+"""Graph substrate for k-star counting queries (paper Section 6).
+
+The paper evaluates DP-starJ not only on warehouse star-joins but also on
+k-star counting queries over graphs — self-joins of an edge table, which are
+"a representative instance of star-join in specific applications".  This
+subpackage provides:
+
+* :class:`~repro.graph.edge_table.Graph` — an undirected graph stored as a
+  numpy edge list, with a relational edge-table view;
+* :mod:`~repro.graph.kstar` — exact k-star counting (degree based, plus a
+  join-based reference used in tests) and the k-star query object;
+* :mod:`~repro.graph.generators` — synthetic power-law graphs standing in for
+  the Deezer and Amazon datasets (see DESIGN.md for the substitution);
+* :mod:`~repro.graph.dp_kstar` — PM, R2T and TM adapted to k-star counting.
+"""
+
+from repro.graph.edge_table import Graph
+from repro.graph.kstar import KStarQuery, kstar_count, kstar_count_by_join
+from repro.graph.generators import amazon_like, deezer_like, powerlaw_graph
+from repro.graph.dp_kstar import KStarPM, KStarR2T, KStarTM
+
+__all__ = [
+    "Graph",
+    "KStarQuery",
+    "kstar_count",
+    "kstar_count_by_join",
+    "powerlaw_graph",
+    "deezer_like",
+    "amazon_like",
+    "KStarPM",
+    "KStarR2T",
+    "KStarTM",
+]

@@ -1,0 +1,134 @@
+"""Graphs as relational edge tables.
+
+The k-star counting queries of the paper are SQL self-joins over an
+``Edge(from_id, to_id)`` table (Appendix A.2).  :class:`Graph` stores an
+undirected simple graph as a numpy edge list, exposes the degree sequence the
+counting algorithms work from, and can materialise the relational edge-table
+view so the self-join formulation can be tested against the degree-based one.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.db.table import Column, Table
+from repro.exceptions import DataGenerationError
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """An undirected simple graph over nodes ``0 .. num_nodes - 1``."""
+
+    def __init__(self, num_nodes: int, edges: np.ndarray, name: str = "graph"):
+        edges = np.asarray(edges, dtype=np.int64)
+        if edges.ndim != 2 or (edges.size and edges.shape[1] != 2):
+            raise DataGenerationError("edges must be an (m, 2) array")
+        if num_nodes <= 0:
+            raise DataGenerationError("a graph needs at least one node")
+        if edges.size:
+            if edges.min() < 0 or edges.max() >= num_nodes:
+                raise DataGenerationError(
+                    f"edge endpoints must lie in [0, {num_nodes}), got "
+                    f"[{edges.min()}, {edges.max()}]"
+                )
+        self.name = name
+        self.num_nodes = int(num_nodes)
+        self.edges = self._canonicalise(edges)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _canonicalise(edges: np.ndarray) -> np.ndarray:
+        """Drop self-loops and duplicate edges; store each edge as (min, max)."""
+        if edges.size == 0:
+            return edges.reshape(0, 2)
+        low = np.minimum(edges[:, 0], edges[:, 1])
+        high = np.maximum(edges[:, 0], edges[:, 1])
+        keep = low != high
+        stacked = np.stack([low[keep], high[keep]], axis=1)
+        return np.unique(stacked, axis=0)
+
+    @classmethod
+    def from_edge_list(
+        cls, edges: Iterable[tuple[int, int]], num_nodes: Optional[int] = None, name: str = "graph"
+    ) -> "Graph":
+        array = np.asarray(list(edges), dtype=np.int64).reshape(-1, 2)
+        if num_nodes is None:
+            num_nodes = int(array.max()) + 1 if array.size else 1
+        return cls(num_nodes=num_nodes, edges=array, name=name)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return int(self.edges.shape[0])
+
+    def degrees(self) -> np.ndarray:
+        """Degree of every node (length ``num_nodes``)."""
+        counts = np.zeros(self.num_nodes, dtype=np.int64)
+        if self.edges.size:
+            counts += np.bincount(self.edges[:, 0], minlength=self.num_nodes)
+            counts += np.bincount(self.edges[:, 1], minlength=self.num_nodes)
+        return counts
+
+    def max_degree(self) -> int:
+        degrees = self.degrees()
+        return int(degrees.max()) if degrees.size else 0
+
+    def adjacency_lists(self) -> list[np.ndarray]:
+        """Neighbour arrays per node (used by the join-based reference count)."""
+        neighbours: list[list[int]] = [[] for _ in range(self.num_nodes)]
+        for u, v in self.edges:
+            neighbours[int(u)].append(int(v))
+            neighbours[int(v)].append(int(u))
+        return [np.asarray(sorted(adj), dtype=np.int64) for adj in neighbours]
+
+    # ------------------------------------------------------------------
+    def truncate_degrees(self, threshold: int, rng: Optional[np.random.Generator] = None) -> "Graph":
+        """Return a subgraph where every node keeps at most ``threshold`` edges.
+
+        This is the naive truncation step of the TM baseline: edges incident
+        to over-threshold nodes are dropped (uniformly at random when an rng
+        is supplied, deterministically by edge order otherwise) until every
+        degree is at most τ.
+        """
+        if threshold < 0:
+            raise DataGenerationError("truncation threshold must be non-negative")
+        order = np.arange(self.num_edges)
+        if rng is not None:
+            order = rng.permutation(self.num_edges)
+        remaining = np.zeros(self.num_nodes, dtype=np.int64)
+        keep = np.zeros(self.num_edges, dtype=bool)
+        for index in order:
+            u, v = self.edges[index]
+            if remaining[u] < threshold and remaining[v] < threshold:
+                keep[index] = True
+                remaining[u] += 1
+                remaining[v] += 1
+        return Graph(self.num_nodes, self.edges[keep], name=f"{self.name}|trunc{threshold}")
+
+    # ------------------------------------------------------------------
+    def as_edge_table(self, symmetric: bool = True) -> Table:
+        """The relational ``Edge(from_id, to_id)`` view of the graph.
+
+        With ``symmetric=True`` every undirected edge produces both directed
+        rows, matching how the SQL self-join queries of the appendix count
+        stars around each centre node.
+        """
+        if symmetric and self.edges.size:
+            from_ids = np.concatenate([self.edges[:, 0], self.edges[:, 1]])
+            to_ids = np.concatenate([self.edges[:, 1], self.edges[:, 0]])
+        else:
+            from_ids = self.edges[:, 0] if self.edges.size else np.zeros(0, dtype=np.int64)
+            to_ids = self.edges[:, 1] if self.edges.size else np.zeros(0, dtype=np.int64)
+        return Table(
+            "Edge",
+            [
+                Column(name="from_id", values=from_ids),
+                Column(name="to_id", values=to_ids),
+            ],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Graph({self.name!r}, nodes={self.num_nodes}, edges={self.num_edges})"

@@ -1,0 +1,101 @@
+"""Synthetic graph generators standing in for the paper's SNAP datasets.
+
+The paper uses two real networks — Deezer (144 000 nodes, 847 000 edges) and
+Amazon co-purchasing (335 000 nodes, 926 000 edges) — which are not available
+offline.  The k-star experiments depend only on the degree sequence and the
+node-id domain, so heavy-tailed synthetic graphs with matching node and edge
+counts reproduce the relevant behaviour (see DESIGN.md, substitutions table).
+
+The generator draws a power-law degree sequence and wires it with a
+configuration-model style stub matching implemented in numpy (fast enough for
+hundreds of thousands of edges), then canonicalises to a simple graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataGenerationError
+from repro.graph.edge_table import Graph
+from repro.rng import RngLike, ensure_rng
+
+__all__ = ["powerlaw_graph", "deezer_like", "amazon_like"]
+
+#: Node/edge counts of the paper's datasets (used at scale=1.0).
+DEEZER_NODES = 144_000
+DEEZER_EDGES = 847_000
+AMAZON_NODES = 335_000
+AMAZON_EDGES = 926_000
+
+
+def _powerlaw_degree_sequence(
+    num_nodes: int, num_edges: int, exponent: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample a degree sequence with a power-law tail and the right total."""
+    # Pareto-distributed weights give the heavy tail; rescale so the expected
+    # number of edges matches the target.
+    weights = (1.0 + rng.pareto(exponent - 1.0, size=num_nodes))
+    weights *= (2.0 * num_edges) / weights.sum()
+    degrees = rng.poisson(weights)
+    # Keep the degree sum even (required for stub matching).
+    if degrees.sum() % 2 == 1:
+        degrees[int(rng.integers(0, num_nodes))] += 1
+    return degrees.astype(np.int64)
+
+
+def powerlaw_graph(
+    num_nodes: int,
+    num_edges: int,
+    exponent: float = 2.5,
+    rng: RngLike = None,
+    name: str = "powerlaw",
+) -> Graph:
+    """Generate a simple graph with a power-law degree distribution.
+
+    Parameters
+    ----------
+    num_nodes, num_edges:
+        Target sizes.  The returned simple graph may have slightly fewer edges
+        because self-loops and multi-edges produced by stub matching are
+        dropped.
+    exponent:
+        Power-law exponent of the degree tail (2–3 for social networks).
+    """
+    if num_nodes < 2:
+        raise DataGenerationError("a power-law graph needs at least two nodes")
+    if num_edges < 1:
+        raise DataGenerationError("a power-law graph needs at least one edge")
+    generator = ensure_rng(rng)
+    degrees = _powerlaw_degree_sequence(num_nodes, num_edges, exponent, generator)
+    stubs = np.repeat(np.arange(num_nodes, dtype=np.int64), degrees)
+    generator.shuffle(stubs)
+    if stubs.size % 2 == 1:
+        stubs = stubs[:-1]
+    edges = stubs.reshape(-1, 2)
+    return Graph(num_nodes=num_nodes, edges=edges, name=name)
+
+
+def deezer_like(rng: RngLike = None, scale: float = 1.0) -> Graph:
+    """A Deezer-like friendship graph (144k nodes / 847k edges at scale 1.0)."""
+    if scale <= 0:
+        raise DataGenerationError("scale must be positive")
+    return powerlaw_graph(
+        num_nodes=max(int(DEEZER_NODES * scale), 10),
+        num_edges=max(int(DEEZER_EDGES * scale), 10),
+        exponent=2.6,
+        rng=rng,
+        name="deezer-like",
+    )
+
+
+def amazon_like(rng: RngLike = None, scale: float = 1.0) -> Graph:
+    """An Amazon-co-purchasing-like graph (335k nodes / 926k edges at scale 1.0)."""
+    if scale <= 0:
+        raise DataGenerationError("scale must be positive")
+    return powerlaw_graph(
+        num_nodes=max(int(AMAZON_NODES * scale), 10),
+        num_edges=max(int(AMAZON_EDGES * scale), 10),
+        exponent=2.9,
+        rng=rng,
+        name="amazon-like",
+    )

@@ -1,0 +1,55 @@
+"""Seeded random-number plumbing shared by every randomized component.
+
+Every mechanism, generator and experiment in the library accepts either an
+integer seed, a :class:`numpy.random.Generator`, or ``None``.  This module
+provides the single helper that normalises those three options, so results
+are reproducible whenever a seed is supplied and independent across
+components when it is not.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``rng``.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` for a fresh nondeterministic generator, an ``int`` seed, or
+        an existing generator (returned unchanged).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"rng must be None, int or numpy Generator, got {type(rng)!r}")
+
+
+def spawn(rng: RngLike, count: int) -> list[np.random.Generator]:
+    """Split ``rng`` into ``count`` independent child generators.
+
+    Used by experiment runners so that each trial has an independent but
+    reproducible stream.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    base = ensure_rng(rng)
+    seeds = base.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def derive_seed(rng: RngLike) -> Optional[int]:
+    """Return an integer seed derived from ``rng`` (or ``None`` if unseeded)."""
+    if rng is None:
+        return None
+    base = ensure_rng(rng)
+    return int(base.integers(0, 2**63 - 1))

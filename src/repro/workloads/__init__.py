@@ -1,0 +1,47 @@
+"""The query workloads used in the paper's evaluation (Section 6, Appendix A).
+
+* :mod:`~repro.workloads.ssb_queries` — the nine SSB star-join queries
+  (Qc1–Qc4, Qs2–Qs4, Qg2, Qg4).
+* :mod:`~repro.workloads.workload_matrices` — the workload matrices W1 and W2
+  and their conversion to star-join query lists.
+* :mod:`~repro.workloads.tpch_queries` — the snowflake queries Qtc and Qts.
+* :mod:`~repro.workloads.kstar_queries` — the k-star counting queries Q2*, Q3*.
+"""
+
+from repro.workloads.ssb_queries import (
+    SSB_QUERY_NAMES,
+    all_ssb_queries,
+    count_queries,
+    groupby_queries,
+    ssb_query,
+    sum_queries,
+)
+from repro.workloads.workload_matrices import (
+    W1_MATRIX,
+    W2_MATRIX,
+    workload_queries_from_matrix,
+    workload_w1,
+    workload_w2,
+)
+from repro.workloads.tpch_queries import snowflake_queries, tpch_count_query, tpch_sum_query
+from repro.workloads.kstar_queries import kstar_query, q2star, q3star
+
+__all__ = [
+    "SSB_QUERY_NAMES",
+    "ssb_query",
+    "all_ssb_queries",
+    "count_queries",
+    "sum_queries",
+    "groupby_queries",
+    "W1_MATRIX",
+    "W2_MATRIX",
+    "workload_queries_from_matrix",
+    "workload_w1",
+    "workload_w2",
+    "snowflake_queries",
+    "tpch_count_query",
+    "tpch_sum_query",
+    "kstar_query",
+    "q2star",
+    "q3star",
+]

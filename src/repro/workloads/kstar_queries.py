@@ -1,0 +1,34 @@
+"""The k-star counting queries Q2* and Q3* (paper Appendix A.2).
+
+Both queries count stars around every centre node whose id lies in the full
+node range of the graph (the predicate ``from_id BETWEEN 1 AND n``), so the
+predicate's domain size equals the number of vertices — 144 000 for the
+Deezer-like graph, 335 000 for the Amazon-like one.
+"""
+
+from __future__ import annotations
+
+from repro.graph.edge_table import Graph
+from repro.graph.kstar import KStarQuery
+
+__all__ = ["kstar_query", "q2star", "q3star"]
+
+
+def kstar_query(k: int, graph: Graph, name: str = "") -> KStarQuery:
+    """A k-star counting query over the full node range of ``graph``."""
+    return KStarQuery(
+        k=k,
+        low=0,
+        high=graph.num_nodes - 1,
+        name=name or f"Q{k}*",
+    )
+
+
+def q2star(graph: Graph) -> KStarQuery:
+    """Q2*: the 2-star (path of length two) counting query."""
+    return kstar_query(2, graph, name="Q2*")
+
+
+def q3star(graph: Graph) -> KStarQuery:
+    """Q3*: the 3-star counting query."""
+    return kstar_query(3, graph, name="Q3*")

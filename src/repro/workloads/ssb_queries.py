@@ -1,0 +1,149 @@
+"""The nine SSB star-join queries of the paper's evaluation (Appendix A.1).
+
+Each query is reproduced from the appendix SQL, with its predicate domain
+sizes annotated:
+
+=======  =====================  =============================================
+Query    Aggregate              Predicates (domain sizes)
+=======  =====================  =============================================
+Qc1      COUNT(*)               Date.year = 1993                        (7)
+Qc2      COUNT(*)               Part.category, Supplier.region          (25×5)
+Qc3      COUNT(*)               Customer.region, Supplier.region,
+                                Date.year ∈ [1992, 1997]                (5×5×7)
+Qc4      COUNT(*)               Customer.region, Supplier.nation,
+                                Date.year ∈ [1997, 1998],
+                                Part.mfgr ∈ {MFGR#1, MFGR#2}            (5×25×7×5)
+Qs2–Qs4  SUM(revenue)           same predicates as Qc2–Qc4
+Qg2      SUM(revenue)           Qc2 predicates, GROUP BY year, brand
+Qg4      SUM(revenue−supplycost) Qc4 predicates, GROUP BY year, category
+=======  =====================  =============================================
+
+Queries are constructed against the SSB schema's attribute domains so their
+noise calibration matches the paper's domain-size table exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.datagen.ssb import ssb_schema
+from repro.db.predicates import PointPredicate, Predicate, RangePredicate, SetPredicate
+from repro.db.query import StarJoinQuery
+from repro.db.schema import StarSchema
+from repro.exceptions import QueryError
+
+__all__ = [
+    "SSB_QUERY_NAMES",
+    "ssb_query",
+    "all_ssb_queries",
+    "count_queries",
+    "sum_queries",
+    "groupby_queries",
+]
+
+SSB_QUERY_NAMES = ("Qc1", "Qc2", "Qc3", "Qc4", "Qs2", "Qs3", "Qs4", "Qg2", "Qg4")
+
+
+def _point(schema: StarSchema, table: str, attribute: str, value) -> PointPredicate:
+    domain = schema.table_schema(table).domain_of(attribute)
+    return PointPredicate(table=table, attribute=attribute, domain=domain, value=value)
+
+
+def _range(schema: StarSchema, table: str, attribute: str, low, high) -> RangePredicate:
+    domain = schema.table_schema(table).domain_of(attribute)
+    return RangePredicate(table=table, attribute=attribute, domain=domain, low=low, high=high)
+
+
+def _set(schema: StarSchema, table: str, attribute: str, values) -> SetPredicate:
+    domain = schema.table_schema(table).domain_of(attribute)
+    return SetPredicate(table=table, attribute=attribute, domain=domain, values=tuple(values))
+
+
+def _predicates_q1(schema: StarSchema) -> list[Predicate]:
+    return [_point(schema, "Date", "year", 1993)]
+
+
+def _predicates_q2(schema: StarSchema) -> list[Predicate]:
+    return [
+        _point(schema, "Part", "category", "MFGR#12"),
+        _point(schema, "Supplier", "region", "AMERICA"),
+    ]
+
+
+def _predicates_q3(schema: StarSchema) -> list[Predicate]:
+    return [
+        _point(schema, "Customer", "region", "ASIA"),
+        _point(schema, "Supplier", "region", "ASIA"),
+        _range(schema, "Date", "year", 1992, 1997),
+    ]
+
+
+def _predicates_q4(schema: StarSchema) -> list[Predicate]:
+    return [
+        _point(schema, "Customer", "region", "AMERICA"),
+        _point(schema, "Supplier", "nation", "UNITED STATES"),
+        _range(schema, "Date", "year", 1997, 1998),
+        _set(schema, "Part", "mfgr", ("MFGR#1", "MFGR#2")),
+    ]
+
+
+def ssb_query(name: str, schema: Optional[StarSchema] = None) -> StarJoinQuery:
+    """Build one of the nine SSB evaluation queries by name."""
+    schema = schema or ssb_schema()
+    builders = {
+        "Qc1": lambda: StarJoinQuery.count("Qc1", _predicates_q1(schema)),
+        "Qc2": lambda: StarJoinQuery.count("Qc2", _predicates_q2(schema)),
+        "Qc3": lambda: StarJoinQuery.count("Qc3", _predicates_q3(schema)),
+        "Qc4": lambda: StarJoinQuery.count("Qc4", _predicates_q4(schema)),
+        "Qs2": lambda: StarJoinQuery.sum("Qs2", "revenue", _predicates_q2(schema)),
+        "Qs3": lambda: StarJoinQuery.sum("Qs3", "revenue", _predicates_q3(schema)),
+        "Qs4": lambda: StarJoinQuery.sum("Qs4", "revenue", _predicates_q4(schema)),
+        "Qg2": lambda: StarJoinQuery.sum(
+            "Qg2",
+            "revenue",
+            _predicates_q2(schema),
+            group_by=[("Date", "year"), ("Part", "brand")],
+        ),
+        "Qg4": lambda: StarJoinQuery.sum(
+            "Qg4",
+            "revenue",
+            _predicates_q4(schema),
+            measure_subtract="supplycost",
+            group_by=[("Date", "year"), ("Part", "category")],
+        ),
+    }
+    try:
+        return builders[name]()
+    except KeyError:
+        raise QueryError(
+            f"unknown SSB query {name!r}; available: {SSB_QUERY_NAMES}"
+        ) from None
+
+
+def all_ssb_queries(schema: Optional[StarSchema] = None) -> list[StarJoinQuery]:
+    """All nine evaluation queries, in the paper's order."""
+    schema = schema or ssb_schema()
+    return [ssb_query(name, schema) for name in SSB_QUERY_NAMES]
+
+
+def count_queries(schema: Optional[StarSchema] = None) -> list[StarJoinQuery]:
+    schema = schema or ssb_schema()
+    return [ssb_query(name, schema) for name in ("Qc1", "Qc2", "Qc3", "Qc4")]
+
+
+def sum_queries(schema: Optional[StarSchema] = None) -> list[StarJoinQuery]:
+    schema = schema or ssb_schema()
+    return [ssb_query(name, schema) for name in ("Qs2", "Qs3", "Qs4")]
+
+
+def groupby_queries(schema: Optional[StarSchema] = None) -> list[StarJoinQuery]:
+    schema = schema or ssb_schema()
+    return [ssb_query(name, schema) for name in ("Qg2", "Qg4")]
+
+
+def queries_by_names(
+    names: Sequence[str], schema: Optional[StarSchema] = None
+) -> list[StarJoinQuery]:
+    """Build several SSB queries at once (evaluation-harness convenience)."""
+    schema = schema or ssb_schema()
+    return [ssb_query(name, schema) for name in names]

@@ -1,0 +1,62 @@
+"""Snowflake queries Qtc and Qts (paper Section 6, Figure 10).
+
+The paper picks one COUNT and one SUM query from TPC-H to evaluate PM on a
+snowflake model.  In this reproduction the snowflake instance is the SSB
+schema with ``Date`` normalised into a ``Month`` dimension
+(:mod:`repro.datagen.tpch`); the two queries below follow the paper's example
+transformation of the star query — ``Date.month < 7`` becomes a predicate on
+the outer ``Month`` table — combined with a region filter, giving a count and
+a sum query whose predicates span a snowflaked and a direct dimension.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.datagen.tpch import snowflake_schema
+from repro.db.predicates import PointPredicate, RangePredicate
+from repro.db.query import StarJoinQuery
+from repro.db.schema import StarSchema
+
+__all__ = ["tpch_count_query", "tpch_sum_query", "snowflake_queries"]
+
+
+def _month_range(schema: StarSchema, low: int, high: int) -> RangePredicate:
+    domain = schema.table_schema("Month").domain_of("month")
+    return RangePredicate(table="Month", attribute="month", domain=domain, low=low, high=high)
+
+
+def _customer_region(schema: StarSchema, region: str) -> PointPredicate:
+    domain = schema.table_schema("Customer").domain_of("region")
+    return PointPredicate(table="Customer", attribute="region", domain=domain, value=region)
+
+
+def tpch_count_query(schema: Optional[StarSchema] = None) -> StarJoinQuery:
+    """Qtc: COUNT of first-half-year orders from ASIA customers (snowflake)."""
+    schema = schema or snowflake_schema()
+    return StarJoinQuery.count(
+        "Qtc",
+        [
+            _month_range(schema, 1, 6),
+            _customer_region(schema, "ASIA"),
+        ],
+    )
+
+
+def tpch_sum_query(schema: Optional[StarSchema] = None) -> StarJoinQuery:
+    """Qts: SUM(revenue) of first-half-year orders from AMERICA customers."""
+    schema = schema or snowflake_schema()
+    return StarJoinQuery.sum(
+        "Qts",
+        "revenue",
+        [
+            _month_range(schema, 1, 6),
+            _customer_region(schema, "AMERICA"),
+        ],
+    )
+
+
+def snowflake_queries(schema: Optional[StarSchema] = None) -> list[StarJoinQuery]:
+    """Both snowflake evaluation queries, Qtc and Qts."""
+    schema = schema or snowflake_schema()
+    return [tpch_count_query(schema), tpch_sum_query(schema)]

@@ -1,0 +1,144 @@
+"""The star-join workload matrices W1 and W2 (paper Section 6.1).
+
+The paper's workload experiments answer two workloads of counting queries
+whose predicates cover three dimension attributes — ``Date.year`` (domain
+size 7), ``Customer.region`` (5) and ``Supplier.region`` (5).  Each workload
+is given as an ``l × 17`` 0/1 matrix whose columns are the concatenated
+one-hot encodings of the three attribute domains; each row is one query.
+
+* ``W1`` (11 queries) mixes point constraints on each attribute.
+* ``W2`` (7 queries) makes the first attribute's constraints cumulative
+  (prefix ranges [1, i]), which is where the Workload Decomposition strategy's
+  advantage is largest.
+
+``workload_queries_from_matrix`` converts a matrix back into
+:class:`~repro.db.query.StarJoinQuery` objects against the SSB schema so both
+the independent-PM baseline and WD can answer them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.matrix_decomposition import predicate_from_indicator
+from repro.datagen.ssb import ssb_schema
+from repro.db.query import StarJoinQuery
+from repro.db.schema import StarSchema
+from repro.exceptions import QueryError
+
+__all__ = [
+    "W1_MATRIX",
+    "W2_MATRIX",
+    "WORKLOAD_ATTRIBUTE_BLOCKS",
+    "workload_queries_from_matrix",
+    "workload_w1",
+    "workload_w2",
+]
+
+#: The attribute blocks of the workload matrices, in column order.
+WORKLOAD_ATTRIBUTE_BLOCKS: tuple[tuple[str, str, int], ...] = (
+    ("Date", "year", 7),
+    ("Customer", "region", 5),
+    ("Supplier", "region", 5),
+)
+
+W1_MATRIX = np.array(
+    [
+        [1, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0],
+        [0, 1, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0],
+        [0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0],
+        [0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0],
+        [0, 0, 0, 0, 1, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0],
+        [0, 0, 0, 0, 0, 1, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0],
+        [0, 0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 0, 1, 0, 0, 0],
+        [0, 0, 1, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0],
+        [0, 0, 0, 1, 1, 0, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0],
+        [0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 1, 0, 0, 1, 0, 0, 0],
+        [0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 1, 0, 1, 0, 0, 0],
+    ],
+    dtype=np.float64,
+)
+
+W2_MATRIX = np.array(
+    [
+        [1, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 1, 0, 0, 0, 0],
+        [1, 1, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 1, 0, 0, 0, 0],
+        [1, 1, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0],
+        [1, 1, 1, 1, 0, 0, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0],
+        [1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0],
+        [1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0],
+        [1, 1, 1, 1, 1, 1, 1, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0],
+    ],
+    dtype=np.float64,
+)
+
+
+def _split_blocks(row: np.ndarray) -> list[np.ndarray]:
+    blocks = []
+    start = 0
+    for _, _, size in WORKLOAD_ATTRIBUTE_BLOCKS:
+        blocks.append(row[start : start + size])
+        start += size
+    if start != row.shape[0]:
+        raise QueryError(
+            f"workload row length {row.shape[0]} does not match the attribute "
+            f"blocks (expected {start})"
+        )
+    return blocks
+
+
+def workload_queries_from_matrix(
+    matrix: np.ndarray,
+    schema: Optional[StarSchema] = None,
+    name_prefix: str = "W",
+) -> list[StarJoinQuery]:
+    """Convert a workload matrix into counting star-join queries.
+
+    Each row becomes one COUNT query whose per-attribute predicates are
+    rebuilt from the row's one-hot blocks.
+    """
+    schema = schema or ssb_schema()
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise QueryError("a workload matrix must be two-dimensional")
+    queries = []
+    for index, row in enumerate(matrix):
+        predicates = []
+        for (table, attribute, _), block in zip(WORKLOAD_ATTRIBUTE_BLOCKS, _split_blocks(row)):
+            domain = schema.table_schema(table).domain_of(attribute)
+            if block.sum() == 0:
+                raise QueryError(
+                    f"workload row {index} selects nothing on {table}.{attribute}"
+                )
+            predicates.append(predicate_from_indicator(block, domain, table, attribute))
+        queries.append(StarJoinQuery.count(f"{name_prefix}{index + 1}", predicates))
+    return queries
+
+
+def workload_w1(schema: Optional[StarSchema] = None) -> list[StarJoinQuery]:
+    """The 11 counting queries of workload W1."""
+    return workload_queries_from_matrix(W1_MATRIX, schema=schema, name_prefix="W1-")
+
+
+def workload_w2(schema: Optional[StarSchema] = None) -> list[StarJoinQuery]:
+    """The 7 counting queries of workload W2 (cumulative year ranges)."""
+    return workload_queries_from_matrix(W2_MATRIX, schema=schema, name_prefix="W2-")
+
+
+def workload_matrix_from_queries(
+    queries: Sequence[StarJoinQuery],
+) -> np.ndarray:
+    """Inverse of :func:`workload_queries_from_matrix` (round-trip tested)."""
+    rows = []
+    for query in queries:
+        blocks = []
+        for table, attribute, size in WORKLOAD_ATTRIBUTE_BLOCKS:
+            indicator = np.ones(size)
+            for predicate in query.predicates:
+                if (predicate.table, predicate.attribute) == (table, attribute):
+                    indicator = predicate.indicator_vector()
+            blocks.append(indicator)
+        rows.append(np.concatenate(blocks))
+    return np.vstack(rows)

@@ -1,0 +1,130 @@
+"""Shared fixtures for the test suite.
+
+The fixtures keep data deliberately small so the whole suite runs in seconds:
+
+* ``tiny_db`` — a hand-built two-dimension star database whose query answers
+  can be verified by hand; used by the executor / mechanism unit tests.
+* ``ssb_small`` — a seeded SSB instance with a few thousand fact rows; used by
+  integration-style tests over the real schema and queries.
+* ``snowflake_small`` — the snowflake (Date → Month) variant.
+* ``small_graph`` — a power-law graph small enough for the join-based k-star
+  reference count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen.ssb import SSBConfig, SSBGenerator, ssb_schema
+from repro.datagen.tpch import SnowflakeConfig, SnowflakeGenerator, snowflake_schema
+from repro.db.database import StarDatabase
+from repro.db.domains import AttributeDomain
+from repro.db.schema import ForeignKey, StarSchema, TableSchema
+from repro.db.table import Column, Table
+from repro.graph.generators import powerlaw_graph
+
+
+# ----------------------------------------------------------------------
+# a tiny, hand-checkable star database
+# ----------------------------------------------------------------------
+def build_tiny_database() -> StarDatabase:
+    """Two dimensions (Color, Size), one fact table with 12 rows.
+
+    Fact rows reference colours [red, red, green, blue, ...] and sizes so that
+    query answers are easy to compute by hand in the tests.
+    """
+    color_domain = AttributeDomain.categorical("color", ("red", "green", "blue"))
+    size_domain = AttributeDomain.from_values("size", (1, 2, 3, 4))
+
+    color_schema = TableSchema(name="Color", key="ColorKey", attributes={"color": color_domain})
+    size_schema = TableSchema(name="Size", key="SizeKey", attributes={"size": size_domain})
+    fact_schema = TableSchema(name="Sales", key=None, measures=("amount",))
+    schema = StarSchema(
+        fact=fact_schema,
+        dimensions=[color_schema, size_schema],
+        foreign_keys=[
+            ForeignKey(fact_column="ColorKey", dimension_table="Color", dimension_key="ColorKey"),
+            ForeignKey(fact_column="SizeKey", dimension_table="Size", dimension_key="SizeKey"),
+        ],
+    )
+
+    # 6 colour rows: two of each colour.
+    color_table = Table(
+        "Color",
+        [
+            Column("ColorKey", np.arange(6)),
+            Column("color", np.array([0, 0, 1, 1, 2, 2]), domain=color_domain),
+        ],
+    )
+    # 4 size rows, one per size.
+    size_table = Table(
+        "Size",
+        [
+            Column("SizeKey", np.arange(4)),
+            Column("size", np.array([0, 1, 2, 3]), domain=size_domain),
+        ],
+    )
+    # 12 fact rows: colour keys cycle 0..5, size keys cycle 0..3.
+    fact_table = Table(
+        "Sales",
+        [
+            Column("ColorKey", np.arange(12) % 6),
+            Column("SizeKey", np.arange(12) % 4),
+            Column("amount", np.arange(12, dtype=np.float64) + 1.0),
+        ],
+    )
+    return StarDatabase(
+        schema=schema,
+        fact=fact_table,
+        dimensions={"Color": color_table, "Size": size_table},
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_db() -> StarDatabase:
+    return build_tiny_database()
+
+
+@pytest.fixture(scope="session")
+def ssb_schema_fixture():
+    return ssb_schema()
+
+
+@pytest.fixture(scope="session")
+def ssb_small() -> StarDatabase:
+    config = SSBConfig(scale_factor=1.0, rows_per_scale_factor=6000, seed=42)
+    return SSBGenerator(config).build()
+
+
+@pytest.fixture(scope="session")
+def ssb_skewed() -> StarDatabase:
+    config = SSBConfig(
+        scale_factor=1.0,
+        rows_per_scale_factor=6000,
+        key_distribution="zipf",
+        measure_distribution="exponential",
+        seed=43,
+    )
+    return SSBGenerator(config).build()
+
+
+@pytest.fixture(scope="session")
+def snowflake_schema_fixture():
+    return snowflake_schema()
+
+
+@pytest.fixture(scope="session")
+def snowflake_small() -> StarDatabase:
+    config = SnowflakeConfig(scale_factor=1.0, rows_per_scale_factor=6000, seed=44)
+    return SnowflakeGenerator(config).build()
+
+
+@pytest.fixture(scope="session")
+def small_graph():
+    return powerlaw_graph(num_nodes=400, num_edges=1200, rng=7, name="test-graph")
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

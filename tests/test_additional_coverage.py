@@ -1,0 +1,163 @@
+"""Additional coverage: less-travelled paths across modules.
+
+Covers the SUM path of Workload Decomposition, snowflake SQL parsing, AVG and
+grouped AVG execution, the rng helpers, the relational edge-table view of
+graphs, and a handful of error paths not exercised elsewhere.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.workload import WorkloadDecomposition, answer_workload_exact
+from repro.db.executor import GroupedResult, QueryExecutor
+from repro.db.predicates import PointPredicate, TruePredicate
+from repro.db.query import Aggregate, AggregateKind, GroupBy, Measure, StarJoinQuery
+from repro.db.sql import parse_star_join_sql
+from repro.datagen.tpch import snowflake_schema
+from repro.exceptions import QueryError
+from repro.graph.kstar import KStarQuery, kstar_count
+from repro.rng import derive_seed, ensure_rng, spawn
+from repro.workloads.workload_matrices import workload_w1
+
+
+class TestRngHelpers:
+    def test_ensure_rng_accepts_all_forms(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+        assert isinstance(ensure_rng(5), np.random.Generator)
+        generator = np.random.default_rng(1)
+        assert ensure_rng(generator) is generator
+
+    def test_ensure_rng_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+    def test_spawn_is_reproducible_and_independent(self):
+        children_a = spawn(7, 3)
+        children_b = spawn(7, 3)
+        assert len(children_a) == 3
+        draws_a = [c.integers(0, 1000) for c in children_a]
+        draws_b = [c.integers(0, 1000) for c in children_b]
+        assert draws_a == draws_b
+        assert len(set(draws_a)) > 1
+
+    def test_spawn_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(1, -1)
+
+    def test_derive_seed(self):
+        assert derive_seed(None) is None
+        assert derive_seed(3) == derive_seed(3)
+
+
+class TestQueryObjects:
+    def test_measure_describe(self):
+        assert Measure("revenue").describe() == "revenue"
+        assert Measure("revenue", "cost").describe() == "revenue - cost"
+
+    def test_sum_requires_measure(self):
+        with pytest.raises(QueryError):
+            Aggregate(kind=AggregateKind.SUM)
+
+    def test_group_by_requires_keys(self):
+        with pytest.raises(QueryError):
+            GroupBy(())
+
+    def test_with_predicates_preserves_everything_else(self, ssb_schema_fixture):
+        domain = ssb_schema_fixture.table_schema("Customer").domain_of("region")
+        original = StarJoinQuery.sum(
+            "q", "revenue", [PointPredicate("Customer", "region", domain, value="ASIA")],
+            group_by=[("Date", "year")],
+        )
+        replaced = original.with_predicates(
+            [PointPredicate("Customer", "region", domain, value="EUROPE")]
+        )
+        assert replaced.aggregate == original.aggregate
+        assert replaced.group_by == original.group_by
+        assert replaced.predicates.predicates[0].value == "EUROPE"
+
+
+class TestExecutorExtras:
+    def test_avg_query(self, ssb_small):
+        query = StarJoinQuery.avg("avg", "revenue")
+        value = QueryExecutor(ssb_small).execute(query)
+        assert 1.0 <= value <= 100.0
+
+    def test_grouped_avg(self, tiny_db):
+        query = StarJoinQuery(
+            name="avg-by-color",
+            aggregate=Aggregate.avg("amount"),
+            predicates=tiny_db_predicates(tiny_db),
+            group_by=GroupBy((("Color", "color"),)),
+        )
+        result = QueryExecutor(tiny_db).execute(query)
+        assert isinstance(result, GroupedResult)
+        # Red rows carry amounts 1, 2, 7, 8 -> average 4.5.
+        assert result.groups[("red",)] == pytest.approx(4.5)
+
+    def test_true_predicate_selects_everything(self, tiny_db):
+        domain = tiny_db.dimension("Color").domain("color")
+        query = StarJoinQuery.count("all", [TruePredicate("Color", "color", domain)])
+        assert QueryExecutor(tiny_db).execute(query) == tiny_db.num_fact_rows
+
+
+def tiny_db_predicates(tiny_db):
+    from repro.db.predicates import ConjunctionPredicate
+
+    return ConjunctionPredicate()
+
+
+class TestSnowflakeSQL:
+    def test_parse_predicate_on_outer_dimension(self, snowflake_small):
+        schema = snowflake_schema()
+        sql = (
+            "SELECT count(*) FROM Lineorder, Date, Month, Customer "
+            "WHERE Lineorder.DK = Date.DK AND Date.MK = Month.MK "
+            "AND Month.month < 7 AND Customer.region = 'ASIA'"
+        )
+        query = parse_star_join_sql(sql, schema, name="Qtc-sql")
+        tables = {p.table for p in query.predicates}
+        assert tables == {"Month", "Customer"}
+        value = QueryExecutor(snowflake_small).execute(query)
+        assert 0 < value < snowflake_small.num_fact_rows
+
+
+class TestWorkloadDecompositionSum:
+    def test_sum_workload_matches_exact_at_high_epsilon(self, ssb_small):
+        queries = [
+            StarJoinQuery.sum(query.name, "revenue", list(query.predicates))
+            for query in workload_w1()[:4]
+        ]
+        exact = answer_workload_exact(ssb_small, queries)
+        mechanism = WorkloadDecomposition(epsilon=1e7, rng=2)
+        answer = mechanism.answer(
+            ssb_small, queries, kind=AggregateKind.SUM, measure="revenue"
+        )
+        assert answer.values == pytest.approx(exact, rel=1e-6)
+
+    def test_sum_workload_with_noise_is_finite(self, ssb_small):
+        queries = [
+            StarJoinQuery.sum(query.name, "revenue", list(query.predicates))
+            for query in workload_w1()[:3]
+        ]
+        answer = WorkloadDecomposition(epsilon=0.5, rng=3).answer(
+            ssb_small, queries, kind=AggregateKind.SUM, measure="revenue"
+        )
+        assert np.all(np.isfinite(answer.values))
+
+
+class TestGraphEdgeTableView:
+    def test_symmetric_edge_table_counts_directed_pairs(self, small_graph):
+        table = small_graph.as_edge_table(symmetric=True)
+        # Every undirected edge contributes two directed rows.
+        assert table.num_rows == 2 * small_graph.num_edges
+        from_ids = table.codes("from_id")
+        degrees = np.bincount(from_ids, minlength=small_graph.num_nodes)
+        assert np.array_equal(degrees, small_graph.degrees())
+
+    def test_degree_view_consistent_with_kstar_count(self, small_graph):
+        """Counting 2-stars from the edge-table degrees reproduces kstar_count —
+        the relational self-join view and the graph view agree."""
+        table = small_graph.as_edge_table(symmetric=True)
+        degrees = np.bincount(table.codes("from_id"), minlength=small_graph.num_nodes)
+        manual = float(sum(d * (d - 1) // 2 for d in degrees))
+        assert manual == kstar_count(small_graph, KStarQuery(k=2))

@@ -1,0 +1,195 @@
+"""Tests for the baseline mechanisms: LM, LS, TM and R2T."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    LocalSensitivityMechanism,
+    OutputLaplaceMechanism,
+    RaceToTheTop,
+    TruncationMechanism,
+)
+from repro.db.executor import GroupedResult, QueryExecutor
+from repro.db.query import StarJoinQuery
+from repro.dp.neighboring import PrivacyScenario
+from repro.exceptions import PrivacyBudgetError, UnsupportedQueryError
+from repro.workloads.ssb_queries import ssb_query
+
+
+@pytest.fixture()
+def private_entities():
+    return PrivacyScenario.dimensions("Customer", "Supplier", "Part")
+
+
+class TestOutputLaplace:
+    def test_fact_only_count(self, ssb_small):
+        mechanism = OutputLaplaceMechanism(epsilon=5.0, scenario=PrivacyScenario.fact_only())
+        exact = QueryExecutor(ssb_small).execute(ssb_query("Qc1"))
+        noisy = mechanism.answer_value(ssb_small, ssb_query("Qc1"), rng=1)
+        assert abs(noisy - exact) < 10.0
+
+    def test_private_dimension_unsupported(self, ssb_small, private_entities):
+        mechanism = OutputLaplaceMechanism(epsilon=1.0, scenario=private_entities)
+        with pytest.raises(UnsupportedQueryError):
+            mechanism.answer_value(ssb_small, ssb_query("Qc1"))
+
+    def test_sum_uses_measure_bound(self, ssb_small):
+        mechanism = OutputLaplaceMechanism(
+            epsilon=1.0, scenario=PrivacyScenario.fact_only(), measure_bound=100.0
+        )
+        value = mechanism.answer_value(ssb_small, ssb_query("Qs2"), rng=2)
+        assert isinstance(value, float)
+
+    def test_group_by_perturbs_every_group(self, ssb_small):
+        mechanism = OutputLaplaceMechanism(epsilon=1.0, scenario=PrivacyScenario.fact_only())
+        exact = QueryExecutor(ssb_small).execute(ssb_query("Qg2"))
+        noisy = mechanism.answer_value(ssb_small, ssb_query("Qg2"), rng=3)
+        assert isinstance(noisy, GroupedResult)
+        assert set(noisy.groups) == set(exact.groups)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(PrivacyBudgetError):
+            OutputLaplaceMechanism(epsilon=0.0)
+
+
+class TestLocalSensitivity:
+    def test_count_answer_is_float(self, ssb_small, private_entities):
+        mechanism = LocalSensitivityMechanism(epsilon=1.0, scenario=private_entities)
+        assert isinstance(mechanism.answer_value(ssb_small, ssb_query("Qc2"), rng=1), float)
+
+    def test_sum_unsupported(self, ssb_small, private_entities):
+        mechanism = LocalSensitivityMechanism(epsilon=1.0, scenario=private_entities)
+        with pytest.raises(UnsupportedQueryError):
+            mechanism.answer_value(ssb_small, ssb_query("Qs2"))
+
+    def test_group_by_unsupported(self, ssb_small, private_entities):
+        mechanism = LocalSensitivityMechanism(epsilon=1.0, scenario=private_entities)
+        with pytest.raises(UnsupportedQueryError):
+            mechanism.answer_value(ssb_small, ssb_query("Qg2"))
+
+    def test_local_bound_is_max_over_private_dimensions(self, tiny_db):
+        scenario = PrivacyScenario.dimensions("Color", "Size")
+        mechanism = LocalSensitivityMechanism(epsilon=1.0, scenario=scenario)
+        query = StarJoinQuery.count("all")
+        # Colour fan-out 2, size fan-out 3.
+        assert mechanism.local_sensitivity_bound(tiny_db, query) == 3.0
+
+    def test_fact_only_scenario_bound_is_one(self, tiny_db):
+        mechanism = LocalSensitivityMechanism(
+            epsilon=1.0, scenario=PrivacyScenario.fact_only()
+        )
+        assert mechanism.local_sensitivity_bound(tiny_db, StarJoinQuery.count("all")) == 1.0
+
+    def test_laplace_variant(self, ssb_small, private_entities):
+        mechanism = LocalSensitivityMechanism(
+            epsilon=1.0, scenario=private_entities, variant="laplace", delta=1e-6
+        )
+        assert isinstance(mechanism.answer_value(ssb_small, ssb_query("Qc3"), rng=2), float)
+
+    def test_invalid_variant(self):
+        with pytest.raises(ValueError):
+            LocalSensitivityMechanism(epsilon=1.0, variant="gauss")
+
+    def test_noise_grows_with_sensitivity(self, ssb_small, private_entities):
+        """Qc1 (Date only, low restricted fan-out) should typically see less
+        noise than Qc4 relative to its answer under the same seed set."""
+        executor = QueryExecutor(ssb_small)
+        exact2 = executor.execute(ssb_query("Qc2"))
+        mech = LocalSensitivityMechanism(epsilon=1.0, scenario=private_entities)
+        deviations = [
+            abs(mech.answer_value(ssb_small, ssb_query("Qc2"), rng=seed) - exact2)
+            for seed in range(10)
+        ]
+        assert np.median(deviations) > 0.0
+
+
+class TestTruncation:
+    def test_count_answer(self, ssb_small, private_entities):
+        mechanism = TruncationMechanism(epsilon=1.0, scenario=private_entities)
+        assert isinstance(mechanism.answer_value(ssb_small, ssb_query("Qc2"), rng=1), float)
+
+    def test_explicit_threshold_and_bias(self, tiny_db):
+        mechanism = TruncationMechanism(
+            epsilon=1.0,
+            scenario=PrivacyScenario.dimensions("Size"),
+            threshold=1.0,
+            truncation_dimension="Size",
+        )
+        query = StarJoinQuery.count("all")
+        # Each of the 4 size keys contributes 3 rows; truncation at 1 keeps 4.
+        assert mechanism.truncation_bias(tiny_db, query, threshold=1.0) == pytest.approx(8.0)
+
+    def test_zero_bias_with_large_threshold(self, tiny_db):
+        mechanism = TruncationMechanism(
+            epsilon=1.0,
+            scenario=PrivacyScenario.dimensions("Size"),
+            truncation_dimension="Size",
+        )
+        assert mechanism.truncation_bias(
+            tiny_db, StarJoinQuery.count("all"), threshold=100.0
+        ) == pytest.approx(0.0)
+
+    def test_group_by_unsupported(self, ssb_small, private_entities):
+        mechanism = TruncationMechanism(epsilon=1.0, scenario=private_entities)
+        with pytest.raises(UnsupportedQueryError):
+            mechanism.answer_value(ssb_small, ssb_query("Qg2"))
+
+    def test_invalid_quantile(self):
+        with pytest.raises(ValueError):
+            TruncationMechanism(epsilon=1.0, threshold_quantile=0.0)
+
+
+class TestRaceToTheTop:
+    def test_answer_close_to_truth_at_large_epsilon(self, ssb_small, private_entities):
+        executor = QueryExecutor(ssb_small)
+        query = ssb_query("Qc1")
+        exact = executor.execute(query)
+        mechanism = RaceToTheTop(epsilon=50.0, scenario=private_entities, rng=1)
+        noisy = mechanism.answer_value(ssb_small, query)
+        assert noisy == pytest.approx(exact, rel=0.2)
+
+    def test_never_negative(self, ssb_small, private_entities):
+        mechanism = RaceToTheTop(epsilon=0.1, scenario=private_entities)
+        for seed in range(5):
+            assert mechanism.answer_value(ssb_small, ssb_query("Qc4"), rng=seed) >= 0.0
+
+    def test_never_wildly_above_truth(self, ssb_small, private_entities):
+        """R2T is downward biased: the winner is a truncated answer plus noise
+        minus a positive penalty, so it should rarely exceed the exact count
+        by a large margin."""
+        executor = QueryExecutor(ssb_small)
+        query = ssb_query("Qc2")
+        exact = executor.execute(query)
+        mechanism = RaceToTheTop(epsilon=1.0, scenario=private_entities)
+        values = [mechanism.answer_value(ssb_small, query, rng=seed) for seed in range(10)]
+        assert np.median(values) <= exact * 1.5
+
+    def test_trace_has_geometric_thresholds(self, ssb_small, private_entities):
+        mechanism = RaceToTheTop(
+            epsilon=1.0, scenario=private_entities, global_sensitivity_bound=1024
+        )
+        trace = mechanism.run(ssb_small, ssb_query("Qc1"), rng=3)
+        assert trace.thresholds == [2.0**j for j in range(1, 11)]
+        assert len(trace.noisy_candidates) == 10
+
+    def test_group_by_unsupported(self, ssb_small, private_entities):
+        mechanism = RaceToTheTop(epsilon=1.0, scenario=private_entities)
+        with pytest.raises(UnsupportedQueryError):
+            mechanism.answer_value(ssb_small, ssb_query("Qg4"))
+
+    def test_requires_private_dimension(self, ssb_small):
+        mechanism = RaceToTheTop(epsilon=1.0, scenario=PrivacyScenario.fact_only())
+        with pytest.raises(UnsupportedQueryError):
+            mechanism.answer_value(ssb_small, ssb_query("Qc1"))
+
+    def test_utility_bound_positive(self, ssb_small, private_entities):
+        mechanism = RaceToTheTop(epsilon=1.0, scenario=private_entities)
+        assert mechanism.utility_bound(ssb_small, ssb_query("Qc1")) > 0.0
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            RaceToTheTop(epsilon=1.0, alpha=1.5)
+
+    def test_sum_queries_supported(self, ssb_small, private_entities):
+        mechanism = RaceToTheTop(epsilon=1.0, scenario=private_entities)
+        assert isinstance(mechanism.answer_value(ssb_small, ssb_query("Qs2"), rng=2), float)

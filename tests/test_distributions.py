@@ -1,0 +1,109 @@
+"""Tests for the key/measure distribution samplers."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.distributions import (
+    GaussianMixtureSpec,
+    KEY_DISTRIBUTIONS,
+    MEASURE_DISTRIBUTIONS,
+    key_sampler,
+    measure_sampler,
+)
+from repro.exceptions import DataGenerationError
+
+
+class TestKeySamplers:
+    @pytest.mark.parametrize("name", sorted(KEY_DISTRIBUTIONS))
+    def test_probabilities_sum_to_one(self, name):
+        sampler = key_sampler(name)
+        probabilities = sampler.probabilities(50)
+        assert probabilities.shape == (50,)
+        assert probabilities.sum() == pytest.approx(1.0)
+        assert (probabilities > 0).all()
+
+    @pytest.mark.parametrize("name", sorted(KEY_DISTRIBUTIONS))
+    def test_samples_in_range(self, name):
+        sampler = key_sampler(name)
+        codes = sampler.sample(size=20, count=1000, rng=1)
+        assert codes.min() >= 0
+        assert codes.max() < 20
+
+    def test_uniform_is_flat(self):
+        probabilities = key_sampler("uniform").probabilities(10)
+        assert np.allclose(probabilities, 0.1)
+
+    def test_exponential_is_decreasing(self):
+        probabilities = key_sampler("exponential").probabilities(30)
+        assert (np.diff(probabilities) <= 1e-12).all()
+
+    def test_zipf_is_heavier_than_uniform_at_head(self):
+        zipf = key_sampler("zipf").probabilities(100)
+        assert zipf[0] > 10 * zipf[-1]
+
+    def test_gamma_is_unimodal_interior(self):
+        probabilities = key_sampler("gamma").probabilities(100)
+        mode = int(np.argmax(probabilities))
+        assert 0 < mode < 99
+
+    def test_gaussian_mixture_is_bimodal(self):
+        spec = GaussianMixtureSpec(means=(0.2, 0.8), stds=(0.05, 0.05))
+        probabilities = key_sampler("gaussian_mixture", spec=spec).probabilities(200)
+        assert probabilities[40] > probabilities[100]
+        assert probabilities[160] > probabilities[100]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DataGenerationError):
+            key_sampler("normalish")
+
+    def test_invalid_domain_size_rejected(self):
+        with pytest.raises(DataGenerationError):
+            key_sampler("uniform").probabilities(0)
+
+    def test_skewed_sampler_concentrates_mass(self):
+        codes = key_sampler("zipf", exponent=2.0).sample(size=1000, count=20_000, rng=2)
+        top_share = np.mean(codes < 10)
+        assert top_share > 0.5
+
+
+class TestMeasureSamplers:
+    @pytest.mark.parametrize("name", sorted(MEASURE_DISTRIBUTIONS))
+    def test_samples_respect_range(self, name):
+        sampler = measure_sampler(name)
+        values = sampler.sample(5000, rng=1, low=1.0, high=100.0)
+        assert values.min() >= 1.0 - 1e-9
+        assert values.max() <= 100.0 + 1e-9
+
+    def test_uniform_measure_spread(self):
+        values = measure_sampler("uniform").sample(20_000, rng=3, low=0.0, high=1.0)
+        assert np.std(values) > 0.2
+
+    def test_exponential_measure_is_right_skewed(self):
+        values = measure_sampler("exponential").sample(20_000, rng=3, low=0.0, high=1.0)
+        assert np.mean(values) < np.median(values) + 0.5
+        assert np.mean(values) < 0.5
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(DataGenerationError):
+            measure_sampler("uniform").sample(10, low=5.0, high=1.0)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DataGenerationError):
+            measure_sampler("weird")
+
+    def test_empty_sample(self):
+        assert measure_sampler("uniform").sample(0, rng=1).size == 0
+
+
+class TestGaussianMixtureSpec:
+    def test_valid_spec(self):
+        spec = GaussianMixtureSpec(means=(0.3, 0.7), stds=(0.1, 0.1), weights=(0.6, 0.4))
+        assert spec.weights == (0.6, 0.4)
+
+    def test_invalid_weights(self):
+        with pytest.raises(DataGenerationError):
+            GaussianMixtureSpec(means=(0.3, 0.7), stds=(0.1, 0.1), weights=(0.6, 0.6))
+
+    def test_invalid_std(self):
+        with pytest.raises(DataGenerationError):
+            GaussianMixtureSpec(means=(0.3, 0.7), stds=(0.1, 0.0))

@@ -1,0 +1,113 @@
+"""Unit tests for attribute domains."""
+
+import pytest
+
+from repro.db.domains import AttributeDomain
+from repro.exceptions import DomainError
+
+
+class TestConstruction:
+    def test_from_values_preserves_order(self):
+        domain = AttributeDomain.from_values("letters", ["b", "a", "c"])
+        assert domain.values == ("b", "a", "c")
+        assert domain.size == 3
+
+    def test_integer_range_inclusive(self):
+        domain = AttributeDomain.integer_range("year", 1992, 1998)
+        assert domain.size == 7
+        assert domain.values[0] == 1992
+        assert domain.values[-1] == 1998
+
+    def test_integer_range_single_value(self):
+        domain = AttributeDomain.integer_range("x", 5, 5)
+        assert domain.size == 1
+
+    def test_integer_range_reversed_raises(self):
+        with pytest.raises(DomainError):
+            AttributeDomain.integer_range("bad", 3, 1)
+
+    def test_empty_domain_raises(self):
+        with pytest.raises(DomainError):
+            AttributeDomain("empty", ())
+
+    def test_duplicate_values_raise(self):
+        with pytest.raises(DomainError):
+            AttributeDomain("dup", ("a", "b", "a"))
+
+    def test_categorical(self):
+        domain = AttributeDomain.categorical("region", ["ASIA", "EUROPE"])
+        assert "ASIA" in domain
+        assert "AFRICA" not in domain
+
+
+class TestCodec:
+    @pytest.fixture()
+    def domain(self):
+        return AttributeDomain.categorical("region", ["AFRICA", "AMERICA", "ASIA"])
+
+    def test_encode_decode_roundtrip(self, domain):
+        for value in domain:
+            assert domain.decode(domain.encode(value)) == value
+
+    def test_encode_unknown_raises(self, domain):
+        with pytest.raises(DomainError):
+            domain.encode("MARS")
+
+    def test_decode_out_of_range_raises(self, domain):
+        with pytest.raises(DomainError):
+            domain.decode(3)
+        with pytest.raises(DomainError):
+            domain.decode(-1)
+
+    def test_encode_array(self, domain):
+        codes = domain.encode_array(["ASIA", "AFRICA"])
+        assert list(codes) == [2, 0]
+
+    def test_decode_array(self, domain):
+        assert domain.decode_array([1, 2]) == ["AMERICA", "ASIA"]
+
+    def test_len_and_iter(self, domain):
+        assert len(domain) == 3
+        assert list(domain) == ["AFRICA", "AMERICA", "ASIA"]
+
+
+class TestClamping:
+    @pytest.fixture()
+    def domain(self):
+        return AttributeDomain.integer_range("year", 1992, 1998)
+
+    def test_clamp_below(self, domain):
+        assert domain.clamp_code(-10.4) == 0
+
+    def test_clamp_above(self, domain):
+        assert domain.clamp_code(99.0) == domain.size - 1
+
+    def test_clamp_rounds_to_nearest(self, domain):
+        assert domain.clamp_code(2.4) == 2
+        assert domain.clamp_code(2.6) == 3
+
+    def test_clamp_value_decodes(self, domain):
+        assert domain.clamp_value(100.0) == 1998
+        assert domain.clamp_value(-3.0) == 1992
+
+
+class TestIntervals:
+    @pytest.fixture()
+    def domain(self):
+        return AttributeDomain.integer_range("month", 1, 12)
+
+    def test_code_interval(self, domain):
+        assert domain.code_interval(3, 7) == (2, 6)
+
+    def test_code_interval_reversed_raises(self, domain):
+        with pytest.raises(DomainError):
+            domain.code_interval(7, 3)
+
+    def test_slice_values(self, domain):
+        assert domain.slice_values(0, 2) == (1, 2, 3)
+
+    def test_slice_values_clamps_bounds(self, domain):
+        assert domain.slice_values(-5, 100) == domain.values
+
+    def test_slice_values_empty_when_reversed(self, domain):
+        assert domain.slice_values(5, 2) == ()

@@ -1,0 +1,108 @@
+"""Tests for the DP k-star mechanisms (PM, R2T, TM on graphs)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.dp_kstar import KStarPM, KStarR2T, KStarTM
+from repro.graph.edge_table import Graph
+from repro.graph.kstar import KStarQuery, kstar_count
+from repro.exceptions import PrivacyBudgetError
+
+
+@pytest.fixture()
+def query(small_graph):
+    return KStarQuery(k=2, low=0, high=small_graph.num_nodes - 1, name="Q2*")
+
+
+class TestKStarPM:
+    def test_requires_positive_epsilon(self):
+        with pytest.raises(PrivacyBudgetError):
+            KStarPM(epsilon=0.0)
+
+    def test_answer_is_a_valid_restricted_count(self, small_graph, query):
+        """PM answers an exact count over some noisy node range, so the value
+        must lie between 0 and the full-range count."""
+        full = kstar_count(small_graph, query)
+        mechanism = KStarPM(epsilon=0.5)
+        for seed in range(10):
+            value = mechanism.answer_value(small_graph, query, rng=seed)
+            assert 0.0 <= value <= full
+
+    def test_reproducible(self, small_graph, query):
+        a = KStarPM(epsilon=0.5).answer_value(small_graph, query, rng=9)
+        b = KStarPM(epsilon=0.5).answer_value(small_graph, query, rng=9)
+        assert a == b
+
+    def test_partial_range_query(self, small_graph):
+        query = KStarQuery(k=2, low=0, high=small_graph.num_nodes // 3)
+        value = KStarPM(epsilon=0.5).answer_value(small_graph, query, rng=4)
+        assert value >= 0.0
+
+
+class TestKStarR2T:
+    def test_never_negative(self, small_graph, query):
+        mechanism = KStarR2T(epsilon=0.5)
+        for seed in range(5):
+            assert mechanism.answer_value(small_graph, query, rng=seed) >= 0.0
+
+    def test_never_far_above_truth(self, small_graph, query):
+        exact = kstar_count(small_graph, query)
+        mechanism = KStarR2T(epsilon=1.0, global_sensitivity_bound=2**20)
+        values = [mechanism.answer_value(small_graph, query, rng=seed) for seed in range(10)]
+        assert np.median(values) <= exact * 1.5
+
+    def test_large_epsilon_approaches_truth(self, small_graph, query):
+        exact = kstar_count(small_graph, query)
+        mechanism = KStarR2T(epsilon=200.0, global_sensitivity_bound=2**16)
+        value = mechanism.answer_value(small_graph, query, rng=3)
+        assert value == pytest.approx(exact, rel=0.25)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            KStarR2T(epsilon=1.0, alpha=0.0)
+
+
+class TestKStarTM:
+    def test_threshold_quantile_validation(self):
+        with pytest.raises(ValueError):
+            KStarTM(epsilon=1.0, threshold_quantile=1.5)
+
+    def test_answer_is_float(self, small_graph, query):
+        value = KStarTM(epsilon=0.5).answer_value(small_graph, query, rng=1)
+        assert isinstance(value, float)
+
+    def test_explicit_threshold_controls_bias(self, small_graph, query):
+        """With a threshold above the maximum degree and a huge ε the
+        truncated count equals the exact count (note that the smooth
+        sensitivity still grows with the threshold, so ε must dominate it)."""
+        exact = kstar_count(small_graph, query)
+        threshold = small_graph.max_degree()
+        mechanism = KStarTM(epsilon=1e9, threshold=threshold)
+        assert mechanism.answer_value(small_graph, query, rng=2) == pytest.approx(exact, rel=0.01)
+
+    def test_small_threshold_is_downward_biased(self, small_graph, query):
+        exact = kstar_count(small_graph, query)
+        mechanism = KStarTM(epsilon=1e6, threshold=1)
+        assert mechanism.answer_value(small_graph, query, rng=2) < exact
+
+
+class TestComparativeBehaviour:
+    def test_pm_is_fastest(self, query):
+        """Table 2's efficiency claim: PM does not need truncation passes."""
+        import time
+
+        graph = Graph(
+            num_nodes=20_000,
+            edges=np.random.default_rng(0).integers(0, 20_000, size=(60_000, 2)),
+            name="timing",
+        )
+        timings = {}
+        for name, mechanism in (
+            ("PM", KStarPM(epsilon=0.5)),
+            ("R2T", KStarR2T(epsilon=0.5)),
+            ("TM", KStarTM(epsilon=0.5)),
+        ):
+            start = time.perf_counter()
+            mechanism.answer_value(graph, KStarQuery(k=2), rng=1)
+            timings[name] = time.perf_counter() - start
+        assert timings["PM"] <= timings["TM"]

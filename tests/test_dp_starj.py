@@ -1,0 +1,88 @@
+"""Tests for the DPStarJoin session facade."""
+
+import pytest
+
+from repro.core.dp_starj import DPStarJoin
+from repro.db.executor import GroupedResult
+from repro.exceptions import PrivacyBudgetError
+from repro.workloads.ssb_queries import ssb_query
+from repro.workloads.workload_matrices import workload_w1
+
+
+class TestSession:
+    def test_answer_charges_budget(self, ssb_small):
+        session = DPStarJoin(ssb_small, total_epsilon=1.0, rng=1)
+        session.answer(ssb_query("Qc1"), epsilon=0.4)
+        assert session.remaining_epsilon == pytest.approx(0.6)
+
+    def test_budget_exhaustion_is_enforced(self, ssb_small):
+        session = DPStarJoin(ssb_small, total_epsilon=0.5, rng=1)
+        session.answer(ssb_query("Qc1"), epsilon=0.4)
+        with pytest.raises(PrivacyBudgetError):
+            session.answer(ssb_query("Qc2"), epsilon=0.2)
+
+    def test_default_scenario_marks_all_dimensions_private(self, ssb_small):
+        session = DPStarJoin(ssb_small, total_epsilon=1.0)
+        assert set(session.scenario.private_dimensions) == set(
+            ssb_small.schema.dimension_names
+        )
+
+    def test_answer_sql_roundtrip(self, ssb_small):
+        session = DPStarJoin(ssb_small, total_epsilon=2.0, rng=3)
+        sql = (
+            "SELECT count(*) FROM Date, Lineorder WHERE Lineorder.DK = Date.DK "
+            "AND Date.year = 1993"
+        )
+        answer = session.answer_sql(sql, epsilon=0.5, name="Qc1-sql")
+        assert isinstance(answer.value, float)
+        assert answer.noisy_query.num_predicates == 1
+
+    def test_exact_answer_matches_executor(self, ssb_small):
+        session = DPStarJoin(ssb_small, total_epsilon=1.0)
+        query = ssb_query("Qc3")
+        from repro.db.executor import QueryExecutor
+
+        assert session.exact(query) == QueryExecutor(ssb_small).execute(query)
+
+    def test_exact_is_free_of_charge(self, ssb_small):
+        session = DPStarJoin(ssb_small, total_epsilon=1.0)
+        session.exact(ssb_query("Qc3"))
+        assert session.remaining_epsilon == pytest.approx(1.0)
+
+    def test_grouped_answer(self, ssb_small):
+        session = DPStarJoin(ssb_small, total_epsilon=1.0, rng=5)
+        answer = session.answer(ssb_query("Qg2"), epsilon=0.5)
+        assert isinstance(answer.value, GroupedResult)
+
+    def test_parse_uses_schema(self, ssb_small):
+        session = DPStarJoin(ssb_small, total_epsilon=1.0)
+        query = session.parse(
+            "SELECT count(*) FROM Customer, Lineorder WHERE Customer.region = 'ASIA'",
+            name="asia",
+        )
+        assert query.name == "asia"
+        assert query.num_predicates == 1
+
+
+class TestWorkloadEntryPoint:
+    def test_workload_with_decomposition(self, ssb_small):
+        session = DPStarJoin(ssb_small, total_epsilon=2.0, rng=7)
+        queries = workload_w1()
+        answer = session.answer_workload(queries, epsilon=1.0, use_decomposition=True)
+        assert answer.values.shape == (len(queries),)
+        assert answer.strategies  # WD records the chosen strategies
+        assert session.remaining_epsilon == pytest.approx(1.0)
+
+    def test_workload_with_independent_pm(self, ssb_small):
+        session = DPStarJoin(ssb_small, total_epsilon=2.0, rng=9)
+        queries = workload_w1()
+        answer = session.answer_workload(queries, epsilon=1.0, use_decomposition=False)
+        assert answer.values.shape == (len(queries),)
+        assert answer.strategies == {}
+
+    def test_exact_workload(self, ssb_small):
+        session = DPStarJoin(ssb_small, total_epsilon=1.0)
+        queries = workload_w1()
+        exact = session.exact_workload(queries)
+        assert exact.shape == (len(queries),)
+        assert (exact >= 0).all()

@@ -1,0 +1,164 @@
+"""Tests for exact star-join execution, including cross-validation against the
+materialise-then-filter reference plan."""
+
+import numpy as np
+import pytest
+
+from repro.db.executor import GroupedResult, QueryExecutor
+from repro.db.join import execute_by_materialised_join, join_result_size, materialise_star_join
+from repro.db.predicates import ConjunctionPredicate, PointPredicate, RangePredicate
+from repro.db.query import StarJoinQuery
+from repro.exceptions import QueryError
+from repro.workloads.ssb_queries import all_ssb_queries
+
+
+def _color_predicate(db, value):
+    domain = db.dimension("Color").domain("color")
+    return PointPredicate("Color", "color", domain, value=value)
+
+
+def _size_predicate(db, low, high):
+    domain = db.dimension("Size").domain("size")
+    return RangePredicate("Size", "size", domain, low=low, high=high)
+
+
+class TestTinyDatabase:
+    """Answers verified by hand on the 12-row fixture."""
+
+    def test_unfiltered_count(self, tiny_db):
+        query = StarJoinQuery.count("all")
+        assert QueryExecutor(tiny_db).execute(query) == 12.0
+
+    def test_count_with_point_predicate(self, tiny_db):
+        query = StarJoinQuery.count("red", [_color_predicate(tiny_db, "red")])
+        assert QueryExecutor(tiny_db).execute(query) == 4.0
+
+    def test_count_with_two_predicates(self, tiny_db):
+        query = StarJoinQuery.count(
+            "red-small",
+            [_color_predicate(tiny_db, "red"), _size_predicate(tiny_db, 1, 2)],
+        )
+        # Red fact rows are 0, 1, 6, 7 with SizeKey 0, 1, 2, 3 -> sizes 1,2,3,4.
+        assert QueryExecutor(tiny_db).execute(query) == 2.0
+
+    def test_sum_query(self, tiny_db):
+        query = StarJoinQuery.sum("red-amount", "amount", [_color_predicate(tiny_db, "red")])
+        # amounts of rows 0,1,6,7 are 1,2,7,8.
+        assert QueryExecutor(tiny_db).execute(query) == 18.0
+
+    def test_sum_with_subtract(self, tiny_db):
+        query = StarJoinQuery.sum(
+            "diff", "amount", [_color_predicate(tiny_db, "red")], measure_subtract="amount"
+        )
+        assert QueryExecutor(tiny_db).execute(query) == 0.0
+
+    def test_avg_query(self, tiny_db):
+        query = StarJoinQuery.avg("avg-red", "amount", [_color_predicate(tiny_db, "red")])
+        assert QueryExecutor(tiny_db).execute(query) == pytest.approx(18.0 / 4)
+
+    def test_avg_of_empty_selection_is_zero(self, tiny_db):
+        query = StarJoinQuery.avg(
+            "avg-none",
+            "amount",
+            [_color_predicate(tiny_db, "red"), _size_predicate(tiny_db, 1, 1)],
+        )
+        executor = QueryExecutor(tiny_db)
+        # red rows have sizes 1,2,3,4 -> size exactly 1 happens once (row 0).
+        assert executor.execute(query) == pytest.approx(1.0)
+
+    def test_group_by_count(self, tiny_db):
+        query = StarJoinQuery.count("by-color", group_by=[("Color", "color")])
+        result = QueryExecutor(tiny_db).execute(query)
+        assert isinstance(result, GroupedResult)
+        assert result.groups == {("red",): 4.0, ("green",): 4.0, ("blue",): 4.0}
+        assert result.total() == 12.0
+
+    def test_group_by_sum_two_keys(self, tiny_db):
+        query = StarJoinQuery.sum(
+            "by-color-size", "amount", group_by=[("Color", "color"), ("Size", "size")]
+        )
+        result = QueryExecutor(tiny_db).execute(query)
+        assert sum(result.groups.values()) == pytest.approx(sum(range(1, 13)))
+
+    def test_selected_count_matches_execute(self, tiny_db):
+        executor = QueryExecutor(tiny_db)
+        predicates = ConjunctionPredicate.of([_color_predicate(tiny_db, "blue")])
+        assert executor.selected_count(predicates) == 4
+
+
+class TestContributions:
+    def test_contribution_per_key_count(self, tiny_db):
+        executor = QueryExecutor(tiny_db)
+        query = StarJoinQuery.count("all")
+        contributions = executor.contribution_per_key(query, "Color")
+        assert list(contributions) == [2, 2, 2, 2, 2, 2]
+
+    def test_contribution_per_key_sum(self, tiny_db):
+        executor = QueryExecutor(tiny_db)
+        query = StarJoinQuery.sum("s", "amount")
+        contributions = executor.contribution_per_key(query, "Size")
+        # Size key k gets amounts k+1, k+5, k+9.
+        assert list(contributions) == [15.0, 18.0, 21.0, 24.0]
+
+    def test_truncated_answer(self, tiny_db):
+        executor = QueryExecutor(tiny_db)
+        query = StarJoinQuery.count("all")
+        assert executor.truncated_answer(query, "Color", threshold=1) == 6.0
+        assert executor.truncated_answer(query, "Color", threshold=10) == 12.0
+
+
+class TestCrossValidationAgainstMaterialisedJoin:
+    """The semi-join plan and the materialised-join plan must agree."""
+
+    def test_all_ssb_queries_agree(self, ssb_small):
+        executor = QueryExecutor(ssb_small)
+        for query in all_ssb_queries():
+            fast = executor.execute(query)
+            reference = execute_by_materialised_join(ssb_small, query)
+            if isinstance(fast, GroupedResult):
+                assert fast.groups == pytest.approx(reference)
+            else:
+                assert fast == pytest.approx(reference)
+
+    def test_join_result_size(self, ssb_small):
+        assert join_result_size(ssb_small) == ssb_small.num_fact_rows
+        query = all_ssb_queries()[2]  # Qc3
+        executor = QueryExecutor(ssb_small)
+        assert join_result_size(ssb_small, query.predicates) == executor.selected_count(
+            query.predicates
+        )
+
+    def test_materialised_join_has_all_dimension_columns(self, ssb_small):
+        wide = materialise_star_join(ssb_small)
+        assert "Customer.region" in wide
+        assert "Part.brand" in wide
+        assert wide["Customer.region"].shape[0] == ssb_small.num_fact_rows
+
+    def test_snowflake_materialisation_includes_outer_dimension(self, snowflake_small):
+        wide = materialise_star_join(snowflake_small)
+        assert "Month.month" in wide
+        assert wide["Month.month"].shape[0] == snowflake_small.num_fact_rows
+
+    def test_snowflake_query_agrees(self, snowflake_small):
+        from repro.workloads.tpch_queries import snowflake_queries
+
+        executor = QueryExecutor(snowflake_small)
+        for query in snowflake_queries():
+            assert executor.execute(query) == pytest.approx(
+                execute_by_materialised_join(snowflake_small, query)
+            )
+
+
+class TestGroupedResult:
+    def test_as_vectors_aligns_union_of_keys(self):
+        left = GroupedResult(keys=(("D", "a"),), groups={("x",): 1.0, ("y",): 2.0})
+        right = GroupedResult(keys=(("D", "a"),), groups={("y",): 3.0, ("z",): 4.0})
+        lv, rv = left.as_vectors(right)
+        assert list(lv) == [1.0, 2.0, 0.0]
+        assert list(rv) == [0.0, 3.0, 4.0]
+
+    def test_group_by_unsupported_on_snowflaked_attribute(self, snowflake_small):
+        month_domain = snowflake_small.dimension("Month").domain("month")
+        query = StarJoinQuery.count("bad", group_by=[("Month", "month")])
+        with pytest.raises(QueryError):
+            QueryExecutor(snowflake_small).execute(query)

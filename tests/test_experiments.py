@@ -1,0 +1,133 @@
+"""Smoke tests for every experiment driver (tiny configurations).
+
+These tests check that each table/figure driver runs end to end, produces the
+expected columns and rows, and exhibits the coarse qualitative behaviour the
+paper reports (e.g. "not supported" cells, PM ≪ LS).  The full-size runs live
+in ``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.experiments import (
+    ExperimentConfig,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    table1,
+    table2,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig(
+        epsilons=(0.1, 1.0),
+        trials=2,
+        scale_factor=1.0,
+        rows_per_scale_factor=8000,
+        seed=7,
+    )
+
+
+def _errors(result, **criteria):
+    rows = result.filter(**criteria).rows
+    return [row["relative_error_pct"] for row in rows if row["relative_error_pct"] is not None]
+
+
+class TestTable1:
+    def test_structure_and_unsupported_cells(self, tiny_config):
+        result = table1.run(tiny_config, query_names=("Qc1", "Qs2", "Qg2"))
+        # 2 epsilons x 3 mechanisms x 3 queries.
+        assert len(result) == 18
+        ls_sum = result.filter(mechanism="LS", query="Qs2").rows
+        assert all(not row["supported"] for row in ls_sum)
+        r2t_group = result.filter(mechanism="R2T", query="Qg2").rows
+        assert all(not row["supported"] for row in r2t_group)
+        pm_rows = result.filter(mechanism="PM").rows
+        assert all(row["supported"] for row in pm_rows)
+
+    def test_pm_beats_ls_on_counts(self, tiny_config):
+        result = table1.run(tiny_config, query_names=("Qc2",), mechanisms=("PM", "LS"))
+        pm = np.mean(_errors(result, mechanism="PM"))
+        ls = np.mean(_errors(result, mechanism="LS"))
+        assert pm < ls
+
+
+class TestTable2:
+    def test_structure(self, tiny_config):
+        result = table2.run(tiny_config, graph_scale=0.01, epsilons=(0.5,))
+        # 2 datasets x 2 queries x 1 epsilon x 3 mechanisms.
+        assert len(result) == 12
+        assert set(result.column("mechanism")) == {"PM", "R2T", "TM"}
+        assert all(row["mean_time_s"] >= 0 for row in result.rows)
+
+
+class TestScalingFigures:
+    def test_figure4_rows(self, tiny_config):
+        result = figure4.run(tiny_config, scales=(0.5, 1.0), query_names=("Qc1",))
+        assert len(result) == 2 * 1 * 3
+        assert {row["scale"] for row in result.rows} == {0.5, 1.0}
+        pm_rows = result.filter(mechanism="PM").rows
+        assert all(row["relative_error_pct"] is not None for row in pm_rows)
+
+    def test_figure5_rows(self, tiny_config):
+        result = figure5.run(tiny_config, scales=(1.0,), query_names=("Qs2",))
+        assert len(result) == 2
+        assert set(result.column("mechanism")) == {"PM", "R2T"}
+
+
+class TestFigure6:
+    def test_pm_flat_ls_grows(self, tiny_config):
+        result = figure6.run(tiny_config, gs_bounds=(1e5, 1e7), query_names=("Qc2",))
+        pm = _errors(result, mechanism="PM")
+        ls = _errors(result, mechanism="LS")
+        # PM does not depend on the bound; LS error grows by orders of magnitude.
+        assert max(pm) < 10 * max(min(pm), 1e-9) or max(pm) < 50
+        assert ls[1] > ls[0]
+
+
+class TestDistributionFigures:
+    def test_figure7_rows(self, tiny_config):
+        result = figure7.run(
+            tiny_config, distributions=("uniform", "zipf"), scales=(1.0,), query_names=("Qc3",)
+        )
+        assert {row["distribution"] for row in result.rows} == {"uniform", "zipf"}
+
+    def test_figure11_rows(self, tiny_config):
+        result = figure11.run(
+            tiny_config,
+            mixtures=figure11.MIXTURES[:2],
+            epsilons=(0.5,),
+            query_names=("Qc3",),
+            mechanisms=("PM",),
+        )
+        assert len(result) == 2
+
+
+class TestFigure8:
+    def test_domain_products_increase(self, tiny_config):
+        result = figure8.run(tiny_config, mechanisms=("PM",))
+        products = [row["domain_product"] for row in result.rows]
+        assert products == sorted(products)
+
+
+class TestFigure9:
+    def test_wd_and_pm_reported(self, tiny_config):
+        result = figure9.run(tiny_config, epsilons=(0.5,))
+        assert {row["mechanism"] for row in result.rows} == {"PM", "WD"}
+        assert {row["workload"] for row in result.rows} == {"W1", "W2"}
+
+
+class TestFigure10:
+    def test_snowflake_queries_reported(self, tiny_config):
+        result = figure10.run(tiny_config, epsilons=(0.5,))
+        assert {row["query"] for row in result.rows} == {"Qtc", "Qts"}
+        assert {row["mechanism"] for row in result.rows} == {"PM", "R2T", "LS"}
+        ls_sum_rows = result.filter(query="Qts", mechanism="LS").rows
+        assert all(row["relative_error_pct"] is None for row in ls_sum_rows)

@@ -1,0 +1,165 @@
+"""End-to-end integration tests across modules.
+
+These tests exercise full pipelines: data generation → SQL parsing → DP-starJ
+session → private answers; empirical privacy behaviour on neighbouring
+instances; and the qualitative claims of the evaluation at small scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import LocalSensitivityMechanism, RaceToTheTop
+from repro.core.dp_starj import DPStarJoin
+from repro.core.predicate_mechanism import PredicateMechanism
+from repro.db.executor import QueryExecutor
+from repro.dp.neighboring import NeighborhoodPolicy, PrivacyScenario, generate_neighbor
+from repro.evaluation.metrics import relative_error
+from repro.workloads.ssb_queries import all_ssb_queries, ssb_query
+
+
+class TestEndToEndSession:
+    def test_sql_to_private_answer_pipeline(self, ssb_small):
+        session = DPStarJoin(ssb_small, total_epsilon=3.0, rng=11)
+        sql = """
+        SELECT count(*) FROM Date, Lineorder, Customer, Supplier
+        WHERE Lineorder.CK = Customer.CK
+          AND Lineorder.SK = Supplier.SK
+          AND Lineorder.DK = Date.DK
+          AND Customer.region = 'ASIA'
+          AND Supplier.region = 'ASIA'
+          AND Date.year between 1992 and 1997
+        """
+        query = session.parse(sql, name="Qc3-sql")
+        exact = session.exact(query)
+        answer = session.answer(query, epsilon=1.0)
+        assert answer.value >= 0.0
+        # The noisy answer is an exact evaluation of some shifted query, so it
+        # stays within the trivially valid range.
+        assert answer.value <= ssb_small.num_fact_rows
+        assert exact == QueryExecutor(ssb_small).execute(ssb_query("Qc3"))
+
+    def test_every_ssb_query_is_answerable_by_pm(self, ssb_small):
+        mechanism = PredicateMechanism(epsilon=1.0, rng=5)
+        for query in all_ssb_queries():
+            value = mechanism.answer_value(ssb_small, query)
+            assert value is not None
+
+    def test_multiple_queries_share_one_budget(self, ssb_small):
+        session = DPStarJoin(ssb_small, total_epsilon=1.0, rng=7)
+        session.answer(ssb_query("Qc1"), epsilon=0.5)
+        session.answer(ssb_query("Qc2"), epsilon=0.5)
+        assert session.remaining_epsilon == pytest.approx(0.0)
+
+
+class TestNeighbourBehaviour:
+    def test_pm_noise_is_data_independent(self, ssb_small):
+        """PM perturbs only the query, so the *perturbation* applied on an
+        instance and on its neighbour is identical under the same seed; the
+        answers differ only through the data themselves."""
+        scenario = PrivacyScenario.dimensions("Customer")
+        neighbor = generate_neighbor(ssb_small, scenario, rng=3)
+        query = ssb_query("Qc3")
+        mech = PredicateMechanism(epsilon=0.5, rng=123)
+        noisy_query_a, _ = mech.perturb_query(query, rng=123)
+        noisy_query_b, _ = mech.perturb_query(query, rng=123)
+        assert [p.describe() for p in noisy_query_a.predicates] == [
+            p.describe() for p in noisy_query_b.predicates
+        ]
+        # And both instances can answer the same noisy query.
+        a = QueryExecutor(ssb_small).execute(noisy_query_a)
+        b = QueryExecutor(neighbor).execute(noisy_query_a)
+        assert abs(a - b) <= ssb_small.max_fan_out("Customer")
+
+    def test_neighbour_count_changes_at_most_by_fanout(self, ssb_small):
+        """The (0,1)-private neighbouring definition: deleting a customer and
+        its orders changes a COUNT(*) by at most that customer's fan-out."""
+        heavy = int(np.argmax(ssb_small.fan_out("Customer")))
+        neighbor = generate_neighbor(
+            ssb_small,
+            PrivacyScenario.dimensions("Customer"),
+            policy=NeighborhoodPolicy(dimension_keys={"Customer": heavy}),
+        )
+        executor_a = QueryExecutor(ssb_small)
+        executor_b = QueryExecutor(neighbor)
+        for name in ("Qc1", "Qc2", "Qc3"):
+            query = ssb_query(name)
+            delta = abs(executor_a.execute(query) - executor_b.execute(query))
+            assert delta <= ssb_small.max_fan_out("Customer")
+
+
+class TestQualitativeEvaluationClaims:
+    """Small-scale versions of the paper's headline comparisons."""
+
+    def test_pm_beats_ls_on_counting_queries(self, ssb_small):
+        scenario = PrivacyScenario.dimensions("Customer", "Supplier", "Part")
+        executor = QueryExecutor(ssb_small)
+        query = ssb_query("Qc2")
+        exact = executor.execute(query)
+        pm_errors, ls_errors = [], []
+        for seed in range(8):
+            pm = PredicateMechanism(epsilon=0.5, rng=seed)
+            ls = LocalSensitivityMechanism(epsilon=0.5, scenario=scenario, rng=seed)
+            pm_errors.append(relative_error(exact, pm.answer_value(ssb_small, query)))
+            ls_errors.append(relative_error(exact, ls.answer_value(ssb_small, query)))
+        assert np.mean(pm_errors) < np.mean(ls_errors)
+
+    def test_pm_error_insensitive_to_scale(self):
+        """Figure 4's claim: PM's error barely changes with the data size."""
+        from repro.datagen.ssb import generate_ssb
+
+        errors = {}
+        for scale, seed in ((0.25, 1), (1.0, 1)):
+            database = generate_ssb(
+                scale_factor=scale, seed=seed, rows_per_scale_factor=8000
+            )
+            executor = QueryExecutor(database)
+            query = ssb_query("Qc2")
+            exact = executor.execute(query)
+            trial_errors = [
+                relative_error(
+                    exact,
+                    PredicateMechanism(epsilon=0.5, rng=s).answer_value(database, query),
+                )
+                for s in range(10)
+            ]
+            errors[scale] = np.mean(trial_errors)
+        assert errors[1.0] < max(4 * errors[0.25], errors[0.25] + 25.0)
+
+    def test_r2t_error_decreases_with_epsilon(self, ssb_small):
+        scenario = PrivacyScenario.dimensions("Customer", "Supplier", "Part")
+        executor = QueryExecutor(ssb_small)
+        query = ssb_query("Qc1")
+        exact = executor.execute(query)
+
+        def mean_error(epsilon):
+            return np.mean(
+                [
+                    relative_error(
+                        exact,
+                        RaceToTheTop(epsilon=epsilon, scenario=scenario, rng=seed).answer_value(
+                            ssb_small, query
+                        ),
+                    )
+                    for seed in range(8)
+                ]
+            )
+
+        assert mean_error(5.0) <= mean_error(0.1) + 1e-9
+
+    def test_pm_runs_faster_than_r2t(self, ssb_small):
+        import time
+
+        scenario = PrivacyScenario.dimensions("Customer", "Supplier", "Part")
+        query = ssb_query("Qc3")
+
+        start = time.perf_counter()
+        for seed in range(5):
+            PredicateMechanism(epsilon=0.5, rng=seed).answer_value(ssb_small, query)
+        pm_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for seed in range(5):
+            RaceToTheTop(epsilon=0.5, scenario=scenario, rng=seed).answer_value(ssb_small, query)
+        r2t_time = time.perf_counter() - start
+        # PM needs one query evaluation; R2T needs one per threshold candidate.
+        assert pm_time < r2t_time * 1.5

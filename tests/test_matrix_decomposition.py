@@ -1,0 +1,107 @@
+"""Tests for the strategy-matrix decomposition used by WD (Definition 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.matrix_decomposition import (
+    MatrixDecomposition,
+    predicate_from_indicator,
+)
+from repro.db.domains import AttributeDomain
+from repro.db.predicates import PointPredicate, RangePredicate, SetPredicate, TruePredicate
+from repro.exceptions import QueryError
+from repro.workloads.workload_matrices import W1_MATRIX, W2_MATRIX
+
+
+@pytest.fixture()
+def year_domain():
+    return AttributeDomain.integer_range("year", 1992, 1998)
+
+
+class TestPredicateFromIndicator:
+    def test_single_one_becomes_point(self, year_domain):
+        predicate = predicate_from_indicator(
+            np.array([0, 0, 1, 0, 0, 0, 0]), year_domain, "Date", "year"
+        )
+        assert isinstance(predicate, PointPredicate)
+        assert predicate.value == 1994
+
+    def test_contiguous_run_becomes_range(self, year_domain):
+        predicate = predicate_from_indicator(
+            np.array([0, 1, 1, 1, 0, 0, 0]), year_domain, "Date", "year"
+        )
+        assert isinstance(predicate, RangePredicate)
+        assert (predicate.low, predicate.high) == (1993, 1995)
+
+    def test_full_domain_becomes_true(self, year_domain):
+        predicate = predicate_from_indicator(np.ones(7), year_domain, "Date", "year")
+        assert isinstance(predicate, TruePredicate)
+
+    def test_scattered_becomes_set(self, year_domain):
+        predicate = predicate_from_indicator(
+            np.array([1, 0, 1, 0, 0, 0, 1]), year_domain, "Date", "year"
+        )
+        assert isinstance(predicate, SetPredicate)
+        assert set(predicate.values) == {1992, 1994, 1998}
+
+    def test_all_zero_rejected(self, year_domain):
+        with pytest.raises(QueryError):
+            predicate_from_indicator(np.zeros(7), year_domain, "Date", "year")
+
+    def test_indicator_roundtrip(self, year_domain):
+        vector = np.array([0, 1, 1, 0, 0, 0, 0], dtype=float)
+        predicate = predicate_from_indicator(vector, year_domain, "Date", "year")
+        assert np.array_equal(predicate.indicator_vector(), vector)
+
+
+class TestDecomposition:
+    def test_exact_reconstruction_for_all_candidates(self):
+        workload = W1_MATRIX[:, :7]  # the Date.year block of W1
+        for name in MatrixDecomposition.CANDIDATES:
+            choice = MatrixDecomposition().decompose_with(workload, name)
+            assert choice.reconstruction_error(workload) < 1e-8
+
+    def test_distinct_rows_strategy_shrinks_repeated_workloads(self):
+        workload = np.array([[1, 0, 0], [1, 0, 0], [0, 1, 1], [0, 1, 1]], dtype=float)
+        choice = MatrixDecomposition().decompose_with(workload, "distinct_rows")
+        assert choice.num_rows == 2
+        assert choice.reconstruction_error(workload) < 1e-12
+
+    def test_identity_strategy_rows_equal_domain(self):
+        workload = np.array([[1, 1, 0, 0]], dtype=float)
+        choice = MatrixDecomposition().decompose_with(workload, "identity")
+        assert choice.num_rows == 4
+
+    def test_hierarchical_strategy_reconstructs_prefix_ranges(self):
+        # Cumulative prefix workload (like W2's year block).
+        size = 8
+        workload = np.tril(np.ones((size, size)))
+        choice = MatrixDecomposition().decompose_with(workload, "hierarchical")
+        assert choice.reconstruction_error(workload) < 1e-8
+
+    def test_best_choice_has_minimal_estimated_variance(self):
+        workload = W2_MATRIX[:, :7]
+        decomposer = MatrixDecomposition()
+        best = decomposer.decompose(workload)
+        for name in MatrixDecomposition.CANDIDATES:
+            candidate = decomposer.decompose_with(workload, name)
+            if candidate.reconstruction_error(workload) < 1e-8:
+                assert best.estimated_variance() <= candidate.estimated_variance() + 1e-12
+
+    def test_invalid_candidate_name_rejected(self):
+        with pytest.raises(QueryError):
+            MatrixDecomposition(candidates=("magic",))
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(QueryError):
+            MatrixDecomposition().decompose(np.zeros((0, 3)))
+
+    def test_one_dimensional_workload_rejected(self):
+        with pytest.raises(QueryError):
+            MatrixDecomposition().decompose(np.ones(5))
+
+    def test_w1_region_block_uses_few_strategy_rows(self):
+        region_block = W1_MATRIX[:, 7:12]
+        choice = MatrixDecomposition().decompose(region_block)
+        # W1 uses only two distinct region predicates.
+        assert choice.num_rows <= 5

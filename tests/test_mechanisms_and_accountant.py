@@ -1,0 +1,131 @@
+"""Tests for the basic DP mechanisms and the privacy accountant."""
+
+import numpy as np
+import pytest
+
+from repro.dp.accountant import PrivacyAccountant, PrivacyBudget, split_budget
+from repro.dp.mechanisms import CauchyMechanism, LaplaceMechanism
+from repro.exceptions import PrivacyBudgetError
+
+
+class TestLaplaceMechanism:
+    def test_unbiasedness(self):
+        mechanism = LaplaceMechanism(sensitivity=1.0, epsilon=1.0)
+        rng = np.random.default_rng(0)
+        values = [mechanism.randomise(100.0, rng=rng) for _ in range(20_000)]
+        assert np.mean(values) == pytest.approx(100.0, abs=0.1)
+
+    def test_variance_property(self):
+        mechanism = LaplaceMechanism(sensitivity=2.0, epsilon=0.5)
+        assert mechanism.variance == pytest.approx(2 * 16.0)
+
+    def test_vector_randomise(self):
+        mechanism = LaplaceMechanism(sensitivity=1.0, epsilon=1.0)
+        noisy = mechanism.randomise_vector(np.zeros(10), rng=1)
+        assert noisy.shape == (10,)
+        assert not np.all(noisy == 0.0)
+
+    def test_empirical_privacy_on_two_counts(self):
+        """Crude ε-DP check: output densities on neighbouring counts 10 vs 11
+        should not differ by more than e^ε (up to sampling slack)."""
+        epsilon = 1.0
+        mechanism = LaplaceMechanism(sensitivity=1.0, epsilon=epsilon)
+        rng = np.random.default_rng(3)
+        a = np.array([mechanism.randomise(10.0, rng=rng) for _ in range(60_000)])
+        b = np.array([mechanism.randomise(11.0, rng=rng) for _ in range(60_000)])
+        bins = np.linspace(5, 16, 23)
+        hist_a, _ = np.histogram(a, bins=bins)
+        hist_b, _ = np.histogram(b, bins=bins)
+        mask = (hist_a > 200) & (hist_b > 200)
+        ratios = hist_a[mask] / hist_b[mask]
+        assert np.all(ratios < np.exp(epsilon) * 1.3)
+        assert np.all(ratios > np.exp(-epsilon) / 1.3)
+
+
+class TestCauchyMechanism:
+    def test_randomise_changes_value(self):
+        mechanism = CauchyMechanism(smooth_sensitivity=1.0, epsilon=1.0)
+        assert mechanism.randomise(5.0, rng=1) != 5.0
+
+    def test_vector_randomise(self):
+        mechanism = CauchyMechanism(smooth_sensitivity=1.0, epsilon=1.0)
+        assert mechanism.randomise_vector(np.ones(4), rng=2).shape == (4,)
+
+    def test_median_tracks_true_value(self):
+        mechanism = CauchyMechanism(smooth_sensitivity=1.0, epsilon=2.0)
+        rng = np.random.default_rng(4)
+        values = [mechanism.randomise(50.0, rng=rng) for _ in range(20_000)]
+        assert np.median(values) == pytest.approx(50.0, abs=1.5)
+
+
+class TestPrivacyBudget:
+    def test_validation(self):
+        with pytest.raises(PrivacyBudgetError):
+            PrivacyBudget(0.0)
+        with pytest.raises(PrivacyBudgetError):
+            PrivacyBudget(1.0, delta=1.0)
+        with pytest.raises(PrivacyBudgetError):
+            PrivacyBudget(1.0, delta=-0.1)
+
+    def test_split(self):
+        budget = PrivacyBudget(1.0, delta=1e-6)
+        part = budget.split(4)
+        assert part.epsilon == pytest.approx(0.25)
+        assert part.delta == pytest.approx(2.5e-7)
+
+    def test_split_invalid(self):
+        with pytest.raises(PrivacyBudgetError):
+            PrivacyBudget(1.0).split(0)
+
+    def test_is_pure(self):
+        assert PrivacyBudget(1.0).is_pure
+        assert not PrivacyBudget(1.0, delta=1e-9).is_pure
+
+    def test_split_budget_helper(self):
+        assert split_budget(1.0, 5) == pytest.approx(0.2)
+        with pytest.raises(PrivacyBudgetError):
+            split_budget(1.0, 0)
+        with pytest.raises(PrivacyBudgetError):
+            split_budget(-1.0, 2)
+
+
+class TestAccountant:
+    def test_sequential_charges_accumulate(self):
+        accountant = PrivacyAccountant(PrivacyBudget(1.0))
+        accountant.charge(PrivacyBudget(0.4), label="a")
+        accountant.charge(PrivacyBudget(0.6), label="b")
+        assert accountant.spent_epsilon == pytest.approx(1.0)
+        assert accountant.remaining_epsilon == pytest.approx(0.0)
+        accountant.assert_exhausted()
+
+    def test_overcharge_rejected(self):
+        accountant = PrivacyAccountant(PrivacyBudget(1.0))
+        accountant.charge(PrivacyBudget(0.9))
+        with pytest.raises(PrivacyBudgetError):
+            accountant.charge(PrivacyBudget(0.2))
+
+    def test_delta_overcharge_rejected(self):
+        accountant = PrivacyAccountant(PrivacyBudget(1.0, delta=1e-6))
+        with pytest.raises(PrivacyBudgetError):
+            accountant.charge(PrivacyBudget(0.5, delta=1e-5))
+
+    def test_parallel_composition_costs_max(self):
+        accountant = PrivacyAccountant(PrivacyBudget(1.0))
+        accountant.charge_parallel([PrivacyBudget(0.3), PrivacyBudget(0.5)])
+        assert accountant.spent_epsilon == pytest.approx(0.5)
+
+    def test_parallel_composition_empty_is_free(self):
+        accountant = PrivacyAccountant(PrivacyBudget(1.0))
+        accountant.charge_parallel([])
+        assert accountant.spent_epsilon == 0.0
+
+    def test_ledger_records_labels(self):
+        accountant = PrivacyAccountant(PrivacyBudget(1.0))
+        accountant.charge(PrivacyBudget(0.5), label="query-1")
+        assert accountant.ledger[0][0] == "query-1"
+
+    def test_assert_exhausted_raises_when_budget_left(self):
+        accountant = PrivacyAccountant(PrivacyBudget(1.0))
+        accountant.charge(PrivacyBudget(0.5))
+        with pytest.raises(PrivacyBudgetError):
+            accountant.assert_exhausted()

@@ -1,0 +1,146 @@
+"""Tests for the evaluation utilities: metrics, reporting and the runner."""
+
+import numpy as np
+import pytest
+
+from repro.db.executor import GroupedResult
+from repro.dp.neighboring import PrivacyScenario
+from repro.evaluation.metrics import (
+    Stopwatch,
+    answer_relative_error,
+    grouped_relative_error,
+    relative_error,
+    stopwatch,
+    workload_relative_error,
+)
+from repro.evaluation.reporting import ExperimentResult, format_table
+from repro.evaluation.runner import (
+    KSTAR_MECHANISMS,
+    STAR_MECHANISMS,
+    evaluate_kstar_mechanism,
+    evaluate_mechanism,
+    make_kstar_mechanism,
+    make_star_mechanism,
+)
+from repro.exceptions import ReproError
+from repro.graph.kstar import KStarQuery
+from repro.workloads.ssb_queries import ssb_query
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(100.0, 110.0) == pytest.approx(10.0)
+        assert relative_error(100.0, 90.0) == pytest.approx(10.0)
+        assert relative_error(100.0, 100.0) == 0.0
+
+    def test_zero_truth_falls_back_to_absolute(self):
+        assert relative_error(0.0, 5.0) == 5.0
+
+    def test_grouped_error_union_alignment(self):
+        true = GroupedResult(keys=(("D", "a"),), groups={("x",): 10.0, ("y",): 10.0})
+        noisy = GroupedResult(keys=(("D", "a"),), groups={("x",): 12.0, ("z",): 3.0})
+        # |12-10| + |0-10| + |3-0| = 15 over a denominator of 20.
+        assert grouped_relative_error(true, noisy) == pytest.approx(75.0)
+
+    def test_workload_error_is_mean_of_per_query_errors(self):
+        assert workload_relative_error([10, 20], [11, 22]) == pytest.approx(10.0)
+
+    def test_workload_error_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            workload_relative_error([1, 2], [1])
+
+    def test_answer_relative_error_dispatch(self):
+        true = GroupedResult(keys=(("D", "a"),), groups={("x",): 10.0})
+        noisy = GroupedResult(keys=(("D", "a"),), groups={("x",): 15.0})
+        assert answer_relative_error(true, noisy) == pytest.approx(50.0)
+        assert answer_relative_error(10.0, 15.0) == pytest.approx(50.0)
+
+    def test_stopwatch(self):
+        watch = Stopwatch()
+        with stopwatch(watch):
+            sum(range(1000))
+        with stopwatch(watch):
+            sum(range(1000))
+        assert watch.elapsed > 0.0
+        assert len(watch.laps) == 2
+        assert watch.mean_lap == pytest.approx(watch.elapsed / 2)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "metric"], [[1, 2.5], ["xx", None]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "n/a" in lines[3]
+
+    def test_experiment_result_round_trip(self, tmp_path):
+        result = ExperimentResult(title="demo", notes="note")
+        result.add_row(epsilon=0.1, mechanism="PM", relative_error_pct=12.5)
+        result.add_row(epsilon=0.1, mechanism="R2T", relative_error_pct=80.0)
+        assert len(result) == 2
+        assert result.columns == ["epsilon", "mechanism", "relative_error_pct"]
+        assert result.column("mechanism") == ["PM", "R2T"]
+        filtered = result.filter(mechanism="PM")
+        assert len(filtered) == 1
+        text = result.to_text()
+        assert "demo" in text and "note" in text
+        path = result.to_csv(tmp_path / "out.csv")
+        assert path.exists()
+        content = path.read_text()
+        assert "relative_error_pct" in content
+        assert "80.0" in content
+
+    def test_float_formatting(self):
+        assert "1.23e+06" in format_table(["x"], [[1_234_567.0]]) or "1.23e+6" in format_table(
+            ["x"], [[1_234_567.0]]
+        )
+
+
+class TestRunner:
+    def test_star_mechanism_factory(self):
+        scenario = PrivacyScenario.dimensions("Customer")
+        for name in STAR_MECHANISMS:
+            mechanism = make_star_mechanism(name, 0.5, scenario=scenario)
+            assert getattr(mechanism, "name") == name
+
+    def test_unknown_star_mechanism(self):
+        with pytest.raises(ReproError):
+            make_star_mechanism("XYZ", 0.5)
+
+    def test_kstar_mechanism_factory(self):
+        for name in KSTAR_MECHANISMS:
+            assert make_kstar_mechanism(name, 0.5).name == name
+        with pytest.raises(ReproError):
+            make_kstar_mechanism("LS", 0.5)
+
+    def test_evaluate_mechanism_collects_trials(self, ssb_small):
+        mechanism = make_star_mechanism("PM", 0.5)
+        result = evaluate_mechanism(mechanism, ssb_small, ssb_query("Qc2"), trials=4, rng=1)
+        assert len(result.relative_errors) == 4
+        assert len(result.times) == 4
+        assert result.mean_relative_error >= 0.0
+        assert result.median_relative_error >= 0.0
+        assert result.std_relative_error >= 0.0
+        assert not result.unsupported
+
+    def test_evaluate_mechanism_reports_unsupported(self, ssb_small):
+        scenario = PrivacyScenario.dimensions("Customer")
+        mechanism = make_star_mechanism("LS", 0.5, scenario=scenario)
+        result = evaluate_mechanism(mechanism, ssb_small, ssb_query("Qs2"), trials=3, rng=1)
+        assert result.unsupported
+        assert result.relative_errors == []
+        assert np.isnan(result.mean_relative_error)
+
+    def test_evaluate_mechanism_reproducible(self, ssb_small):
+        mechanism_a = make_star_mechanism("PM", 0.5)
+        mechanism_b = make_star_mechanism("PM", 0.5)
+        a = evaluate_mechanism(mechanism_a, ssb_small, ssb_query("Qc2"), trials=3, rng=7)
+        b = evaluate_mechanism(mechanism_b, ssb_small, ssb_query("Qc2"), trials=3, rng=7)
+        assert a.relative_errors == b.relative_errors
+
+    def test_evaluate_kstar_mechanism(self, small_graph):
+        mechanism = make_kstar_mechanism("PM", 0.5)
+        query = KStarQuery(k=2, low=0, high=small_graph.num_nodes - 1)
+        result = evaluate_kstar_mechanism(mechanism, small_graph, query, trials=3, rng=2)
+        assert len(result.relative_errors) == 3
+        assert result.query == "Q2*"

@@ -1,0 +1,147 @@
+"""Multi-level snowflake traversal: Fact → Day → Month → Year.
+
+The paper's snowflake discussion normalises ``Date`` one level; the executor
+and the materialised-join reference are written to follow snowflake edges to
+any depth.  This test builds a small two-level hierarchy by hand and checks
+that predicates on the outermost table (``Year``) produce the same answers
+through the semi-join plan, the materialised join and the Predicate
+Mechanism at very large ε.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.snowflake import SnowflakePredicateMechanism
+from repro.db.database import StarDatabase
+from repro.db.domains import AttributeDomain
+from repro.db.executor import QueryExecutor
+from repro.db.join import execute_by_materialised_join
+from repro.db.predicates import PointPredicate, RangePredicate
+from repro.db.query import StarJoinQuery
+from repro.db.schema import ForeignKey, SnowflakeEdge, StarSchema, TableSchema
+from repro.db.table import Column, Table
+
+NUM_YEARS = 3
+MONTHS_PER_YEAR = 4
+DAYS_PER_MONTH = 5
+FACT_ROWS = 600
+
+
+@pytest.fixture(scope="module")
+def deep_snowflake() -> StarDatabase:
+    year_domain = AttributeDomain.integer_range("year", 2001, 2000 + NUM_YEARS)
+    month_domain = AttributeDomain.integer_range("month", 1, MONTHS_PER_YEAR)
+    day_domain = AttributeDomain.integer_range("day", 1, DAYS_PER_MONTH)
+
+    year_schema = TableSchema(name="Year", key="YK", attributes={"year": year_domain})
+    month_schema = TableSchema(name="Month", key="MK", attributes={"month": month_domain})
+    day_schema = TableSchema(name="Day", key="DK", attributes={"day": day_domain})
+    fact_schema = TableSchema(name="Fact", key=None, measures=("amount",))
+
+    schema = StarSchema(
+        fact=fact_schema,
+        dimensions=[day_schema, month_schema, year_schema],
+        foreign_keys=[ForeignKey("DK", "Day", "DK")],
+        snowflake_edges=[
+            SnowflakeEdge("Day", "MK", "Month", "MK"),
+            SnowflakeEdge("Month", "YK", "Year", "YK"),
+        ],
+    )
+
+    num_months = NUM_YEARS * MONTHS_PER_YEAR
+    num_days = num_months * DAYS_PER_MONTH
+
+    year_table = Table(
+        "Year",
+        [
+            Column("YK", np.arange(NUM_YEARS)),
+            Column("year", np.arange(NUM_YEARS), domain=year_domain),
+        ],
+    )
+    month_index = np.arange(num_months)
+    month_table = Table(
+        "Month",
+        [
+            Column("MK", month_index),
+            Column("month", month_index % MONTHS_PER_YEAR, domain=month_domain),
+            Column("YK", month_index // MONTHS_PER_YEAR),
+        ],
+    )
+    day_index = np.arange(num_days)
+    day_table = Table(
+        "Day",
+        [
+            Column("DK", day_index),
+            Column("day", day_index % DAYS_PER_MONTH, domain=day_domain),
+            Column("MK", day_index // DAYS_PER_MONTH),
+        ],
+    )
+    rng = np.random.default_rng(17)
+    fact_table = Table(
+        "Fact",
+        [
+            Column("DK", rng.integers(0, num_days, size=FACT_ROWS)),
+            Column("amount", rng.uniform(1.0, 10.0, size=FACT_ROWS)),
+        ],
+    )
+    return StarDatabase(
+        schema=schema,
+        fact=fact_table,
+        dimensions={"Day": day_table, "Month": month_table, "Year": year_table},
+    )
+
+
+def _year_query(database: StarDatabase, year: int) -> StarJoinQuery:
+    domain = database.dimension("Year").domain("year")
+    return StarJoinQuery.count(
+        "by-year", [PointPredicate("Year", "year", domain, value=year)]
+    )
+
+
+class TestTwoLevelResolution:
+    def test_year_mask_resolves_to_day(self, deep_snowflake):
+        domain = deep_snowflake.dimension("Year").domain("year")
+        predicate = PointPredicate("Year", "year", domain, value=2001)
+        year_mask = deep_snowflake.dimension_mask(predicate)
+        name, day_mask = deep_snowflake.resolve_to_direct_dimension("Year", year_mask)
+        assert name == "Day"
+        # The first year owns the first MONTHS_PER_YEAR * DAYS_PER_MONTH days.
+        assert int(day_mask.sum()) == MONTHS_PER_YEAR * DAYS_PER_MONTH
+        assert bool(day_mask[:DAYS_PER_MONTH].all())
+
+    def test_year_counts_partition_fact_table(self, deep_snowflake):
+        executor = QueryExecutor(deep_snowflake)
+        domain = deep_snowflake.dimension("Year").domain("year")
+        total = sum(
+            executor.execute(_year_query(deep_snowflake, year)) for year in domain
+        )
+        assert total == FACT_ROWS
+
+    def test_semi_join_matches_materialised_join(self, deep_snowflake):
+        month_domain = deep_snowflake.dimension("Month").domain("month")
+        year_domain = deep_snowflake.dimension("Year").domain("year")
+        query = StarJoinQuery.sum(
+            "mixed",
+            "amount",
+            [
+                PointPredicate("Year", "year", year_domain, value=2002),
+                RangePredicate("Month", "month", month_domain, low=1, high=2),
+            ],
+        )
+        executor = QueryExecutor(deep_snowflake)
+        assert executor.execute(query) == pytest.approx(
+            execute_by_materialised_join(deep_snowflake, query)
+        )
+
+    def test_pm_on_outermost_predicate(self, deep_snowflake):
+        executor = QueryExecutor(deep_snowflake)
+        query = _year_query(deep_snowflake, 2003)
+        exact = executor.execute(query)
+        mechanism = SnowflakePredicateMechanism(epsilon=1e6, rng=4)
+        assert mechanism.answer_value(deep_snowflake, query) == pytest.approx(exact)
+
+    def test_pm_with_moderate_budget_returns_valid_count(self, deep_snowflake):
+        query = _year_query(deep_snowflake, 2001)
+        mechanism = SnowflakePredicateMechanism(epsilon=0.5, rng=9)
+        value = mechanism.answer_value(deep_snowflake, query)
+        assert 0.0 <= value <= FACT_ROWS

@@ -1,0 +1,121 @@
+"""Tests for the (a, b)-private neighbouring-instance definitions."""
+
+import numpy as np
+import pytest
+
+from repro.db.executor import QueryExecutor
+from repro.db.query import StarJoinQuery
+from repro.dp.neighboring import NeighborhoodPolicy, PrivacyScenario, generate_neighbor
+from repro.exceptions import SchemaError
+
+
+class TestPrivacyScenario:
+    def test_fact_only(self):
+        scenario = PrivacyScenario.fact_only()
+        assert scenario.a == 1
+        assert scenario.b == 0
+        assert scenario.label == "(1, 0)-private"
+
+    def test_dimensions(self):
+        scenario = PrivacyScenario.dimensions("Customer", "Supplier")
+        assert scenario.a == 0
+        assert scenario.b == 2
+
+    def test_full(self):
+        scenario = PrivacyScenario.full("Customer")
+        assert scenario.a == 1
+        assert scenario.b == 1
+
+    def test_no_private_table_rejected(self):
+        with pytest.raises(SchemaError):
+            PrivacyScenario(fact_private=False, private_dimensions=())
+
+
+class TestFactOnlyNeighbor:
+    def test_differs_by_exactly_one_fact_row(self, tiny_db):
+        neighbor = generate_neighbor(tiny_db, PrivacyScenario.fact_only(), rng=1)
+        assert neighbor.num_fact_rows == tiny_db.num_fact_rows - 1
+        assert neighbor.dimension("Color").num_rows == 6
+        assert neighbor.dimension("Size").num_rows == 4
+
+    def test_pinned_fact_row(self, tiny_db):
+        policy = NeighborhoodPolicy(fact_row=0)
+        neighbor = generate_neighbor(tiny_db, PrivacyScenario.fact_only(), policy=policy)
+        # Row 0 had amount 1.0; it must be gone.
+        assert 1.0 not in list(neighbor.fact.codes("amount"))
+
+    def test_count_changes_by_at_most_one(self, tiny_db):
+        query = StarJoinQuery.count("all")
+        original = QueryExecutor(tiny_db).execute(query)
+        neighbor = generate_neighbor(tiny_db, PrivacyScenario.fact_only(), rng=3)
+        assert abs(QueryExecutor(neighbor).execute(query) - original) <= 1.0
+
+
+class TestDimensionNeighbor:
+    def test_deleting_a_dimension_tuple_cascades(self, tiny_db):
+        policy = NeighborhoodPolicy(dimension_keys={"Color": 0})
+        neighbor = generate_neighbor(
+            tiny_db, PrivacyScenario.dimensions("Color"), policy=policy
+        )
+        # Colour row 0 had fan-out 2, so two fact rows disappear.
+        assert neighbor.num_fact_rows == tiny_db.num_fact_rows - 2
+        assert neighbor.dimension("Color").num_rows == 5
+
+    def test_foreign_keys_remain_valid_after_remap(self, tiny_db):
+        policy = NeighborhoodPolicy(dimension_keys={"Color": 2})
+        neighbor = generate_neighbor(
+            tiny_db, PrivacyScenario.dimensions("Color"), policy=policy
+        )
+        codes = neighbor.fact_foreign_key_codes("Color")
+        assert codes.max() < neighbor.dimension("Color").num_rows
+        # The asymmetry the paper stresses: the count changes by the fan-out,
+        # not by one.
+        assert tiny_db.num_fact_rows - neighbor.num_fact_rows == 2
+
+    def test_multi_dimension_conjunction(self, tiny_db):
+        # Fact rows referencing BOTH Color row 0 and Size row 0: only row 0
+        # (ColorKey cycles mod 6, SizeKey mod 4; both zero only at row 0).
+        policy = NeighborhoodPolicy(dimension_keys={"Color": 0, "Size": 0})
+        neighbor = generate_neighbor(
+            tiny_db, PrivacyScenario.dimensions("Color", "Size"), policy=policy
+        )
+        assert neighbor.num_fact_rows == tiny_db.num_fact_rows - 1
+        assert neighbor.dimension("Color").num_rows == 5
+        assert neighbor.dimension("Size").num_rows == 3
+
+    def test_full_scenario_also_drops_a_fact_row(self, tiny_db):
+        policy = NeighborhoodPolicy(dimension_keys={"Color": 0})
+        neighbor = generate_neighbor(
+            tiny_db, PrivacyScenario.full("Color"), policy=policy, rng=5
+        )
+        # Two rows removed through the FK cascade plus one more fact row.
+        assert neighbor.num_fact_rows == tiny_db.num_fact_rows - 3
+
+    def test_pinned_row_out_of_range_rejected(self, tiny_db):
+        policy = NeighborhoodPolicy(dimension_keys={"Color": 77})
+        with pytest.raises(SchemaError):
+            generate_neighbor(tiny_db, PrivacyScenario.dimensions("Color"), policy=policy)
+
+    def test_neighbor_is_valid_database(self, ssb_small):
+        neighbor = generate_neighbor(
+            ssb_small, PrivacyScenario.dimensions("Customer"), rng=2
+        )
+        # Validation runs in the constructor; additionally check the FK range.
+        codes = neighbor.fact_foreign_key_codes("Customer")
+        assert codes.max() < neighbor.dimension("Customer").num_rows
+
+    def test_asymmetry_between_fact_and_dimension(self, ssb_small):
+        """Deleting a dimension tuple can remove many fact rows; deleting a
+        fact tuple removes exactly one — the asymmetry of Section 3.2."""
+        fact_neighbor = generate_neighbor(ssb_small, PrivacyScenario.fact_only(), rng=1)
+        heavy_customer = int(np.argmax(ssb_small.fan_out("Customer")))
+        dim_neighbor = generate_neighbor(
+            ssb_small,
+            PrivacyScenario.dimensions("Customer"),
+            policy=NeighborhoodPolicy(dimension_keys={"Customer": heavy_customer}),
+        )
+        fact_delta = ssb_small.num_fact_rows - fact_neighbor.num_fact_rows
+        dim_delta = ssb_small.num_fact_rows - dim_neighbor.num_fact_rows
+        assert fact_delta == 1
+        assert dim_delta == ssb_small.max_fan_out("Customer")
+        assert dim_delta > fact_delta

@@ -1,0 +1,99 @@
+"""Tests for the noise primitives (Laplace, Cauchy, geometric)."""
+
+import numpy as np
+import pytest
+
+from repro.dp.noise import (
+    cauchy_noise,
+    cauchy_scale_for_epsilon,
+    geometric_noise,
+    laplace_noise,
+    laplace_scale,
+    laplace_variance,
+)
+from repro.exceptions import PrivacyBudgetError, SensitivityError
+
+
+class TestLaplace:
+    def test_scale(self):
+        assert laplace_scale(5.0, 0.5) == 10.0
+
+    def test_variance(self):
+        assert laplace_variance(1.0, 1.0) == pytest.approx(2.0)
+
+    def test_scalar_draw_is_float(self):
+        value = laplace_noise(1.0, 1.0, rng=1)
+        assert isinstance(value, float)
+
+    def test_vector_draw_shape(self):
+        values = laplace_noise(1.0, 1.0, size=100, rng=1)
+        assert values.shape == (100,)
+
+    def test_zero_sensitivity_is_noiseless(self):
+        assert laplace_noise(0.0, 1.0, rng=1) == 0.0
+        assert np.all(laplace_noise(0.0, 1.0, size=5, rng=1) == 0.0)
+
+    def test_reproducible_with_seed(self):
+        assert laplace_noise(1.0, 1.0, rng=7) == laplace_noise(1.0, 1.0, rng=7)
+
+    def test_empirical_std_matches_theory(self):
+        values = laplace_noise(3.0, 0.5, size=200_000, rng=11)
+        assert np.std(values) == pytest.approx(np.sqrt(2) * 6.0, rel=0.05)
+
+    def test_invalid_epsilon_raises(self):
+        with pytest.raises(PrivacyBudgetError):
+            laplace_noise(1.0, 0.0)
+        with pytest.raises(PrivacyBudgetError):
+            laplace_noise(1.0, -1.0)
+
+    def test_invalid_sensitivity_raises(self):
+        with pytest.raises(SensitivityError):
+            laplace_noise(-1.0, 1.0)
+        with pytest.raises(SensitivityError):
+            laplace_noise(float("inf"), 1.0)
+
+
+class TestCauchy:
+    def test_scale_formula(self):
+        # beta = eps / (2 (gamma+1)); scale = sensitivity / beta.
+        assert cauchy_scale_for_epsilon(2.0, 1.0, gamma=4.0) == pytest.approx(20.0)
+
+    def test_scalar_draw(self):
+        assert isinstance(cauchy_noise(1.0, 1.0, rng=1), float)
+
+    def test_vector_draw(self):
+        assert cauchy_noise(1.0, 1.0, size=10, rng=1).shape == (10,)
+
+    def test_median_absolute_deviation_scales(self):
+        small = np.abs(cauchy_noise(1.0, 1.0, size=100_000, rng=3))
+        large = np.abs(cauchy_noise(10.0, 1.0, size=100_000, rng=3))
+        assert np.median(large) == pytest.approx(10 * np.median(small), rel=0.1)
+
+    def test_invalid_gamma_raises(self):
+        with pytest.raises(SensitivityError):
+            cauchy_noise(1.0, 1.0, gamma=0.0)
+
+    def test_zero_sensitivity_is_noiseless(self):
+        assert cauchy_noise(0.0, 1.0, rng=1) == 0.0
+
+
+class TestGeometric:
+    def test_integer_output(self):
+        value = geometric_noise(1.0, 1.0, rng=5)
+        assert isinstance(value, int)
+
+    def test_vector_output_dtype(self):
+        values = geometric_noise(1.0, 1.0, size=50, rng=5)
+        assert values.dtype == np.int64
+
+    def test_symmetry(self):
+        values = geometric_noise(1.0, 0.5, size=200_000, rng=5)
+        assert abs(float(np.mean(values))) < 0.05
+
+    def test_larger_epsilon_means_smaller_noise(self):
+        loose = np.abs(geometric_noise(1.0, 0.1, size=50_000, rng=5)).mean()
+        tight = np.abs(geometric_noise(1.0, 2.0, size=50_000, rng=5)).mean()
+        assert tight < loose
+
+    def test_zero_sensitivity_is_noiseless(self):
+        assert geometric_noise(0.0, 1.0, rng=1) == 0

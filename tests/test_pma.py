@@ -1,0 +1,150 @@
+"""Tests for PMA — the per-attribute predicate perturbation (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pma import PredicateMechanismForAttribute, expected_point_variance, perturb_predicate
+from repro.db.domains import AttributeDomain
+from repro.db.predicates import (
+    PointPredicate,
+    RangePredicate,
+    SetPredicate,
+    TruePredicate,
+)
+from repro.exceptions import PrivacyBudgetError, UnsupportedQueryError
+
+
+@pytest.fixture()
+def year_domain():
+    return AttributeDomain.integer_range("year", 1992, 1998)
+
+
+@pytest.fixture()
+def region_domain():
+    return AttributeDomain.categorical(
+        "region", ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+    )
+
+
+class TestConstruction:
+    def test_requires_positive_epsilon(self):
+        with pytest.raises(PrivacyBudgetError):
+            PredicateMechanismForAttribute(epsilon=0.0)
+
+    def test_unknown_range_mode_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            PredicateMechanismForAttribute(epsilon=1.0, range_mode="bogus")
+
+
+class TestPointPerturbation:
+    def test_result_stays_in_domain(self, region_domain):
+        pma = PredicateMechanismForAttribute(epsilon=0.1)
+        rng = np.random.default_rng(0)
+        original = PointPredicate("Customer", "region", region_domain, value="ASIA")
+        for _ in range(200):
+            noisy = pma.perturb(original, rng=rng)
+            assert isinstance(noisy, PointPredicate)
+            assert noisy.value in region_domain
+
+    def test_perturbation_actually_moves_sometimes(self, region_domain):
+        pma = PredicateMechanismForAttribute(epsilon=0.5)
+        rng = np.random.default_rng(1)
+        original = PointPredicate("Customer", "region", region_domain, value="ASIA")
+        values = {pma.perturb(original, rng=rng).value for _ in range(100)}
+        assert len(values) > 1
+
+    def test_huge_epsilon_keeps_value(self, region_domain):
+        pma = PredicateMechanismForAttribute(epsilon=10_000.0)
+        original = PointPredicate("Customer", "region", region_domain, value="ASIA")
+        noisy = pma.perturb(original, rng=3)
+        assert noisy.value == "ASIA"
+
+    def test_table_and_attribute_preserved(self, region_domain):
+        noisy = perturb_predicate(
+            PointPredicate("Customer", "region", region_domain, value="ASIA"), epsilon=1.0, rng=2
+        )
+        assert noisy.table == "Customer"
+        assert noisy.attribute == "region"
+
+    def test_expected_point_variance(self, region_domain):
+        assert expected_point_variance(region_domain, 1.0) == pytest.approx(50.0)
+
+
+class TestRangePerturbationShift:
+    def test_width_is_preserved(self, year_domain):
+        pma = PredicateMechanismForAttribute(epsilon=0.2, range_mode="shift")
+        rng = np.random.default_rng(5)
+        original = RangePredicate("Date", "year", year_domain, low=1993, high=1995)
+        for _ in range(200):
+            noisy = pma.perturb(original, rng=rng)
+            assert isinstance(noisy, RangePredicate)
+            width = noisy.high_code - noisy.low_code
+            assert width == original.high_code - original.low_code
+            assert 0 <= noisy.low_code <= noisy.high_code <= year_domain.size - 1
+
+    def test_full_domain_range_is_fixed_point(self, year_domain):
+        pma = PredicateMechanismForAttribute(epsilon=0.1, range_mode="shift")
+        original = RangePredicate("Date", "year", year_domain, low=1992, high=1998)
+        noisy = pma.perturb(original, rng=7)
+        assert noisy.low == 1992
+        assert noisy.high == 1998
+
+    def test_shift_moves_interval_sometimes(self, year_domain):
+        pma = PredicateMechanismForAttribute(epsilon=0.5, range_mode="shift")
+        rng = np.random.default_rng(9)
+        original = RangePredicate("Date", "year", year_domain, low=1993, high=1994)
+        lows = {pma.perturb(original, rng=rng).low for _ in range(100)}
+        assert len(lows) > 1
+
+
+class TestRangePerturbationEndpoints:
+    def test_interval_is_valid(self, year_domain):
+        pma = PredicateMechanismForAttribute(epsilon=0.2, range_mode="endpoints")
+        rng = np.random.default_rng(11)
+        original = RangePredicate("Date", "year", year_domain, low=1993, high=1996)
+        for _ in range(200):
+            noisy = pma.perturb(original, rng=rng)
+            assert noisy.low_code <= noisy.high_code
+            assert 0 <= noisy.low_code
+            assert noisy.high_code <= year_domain.size - 1
+
+    def test_width_can_change(self, year_domain):
+        pma = PredicateMechanismForAttribute(epsilon=0.2, range_mode="endpoints")
+        rng = np.random.default_rng(13)
+        original = RangePredicate("Date", "year", year_domain, low=1994, high=1995)
+        widths = {
+            pma.perturb(original, rng=rng).high_code - pma.perturb(original, rng=rng).low_code
+            for _ in range(100)
+        }
+        assert len(widths) > 1
+
+    def test_single_value_domain_survives(self):
+        domain = AttributeDomain.from_values("only", (42,))
+        pma = PredicateMechanismForAttribute(epsilon=0.5, range_mode="endpoints")
+        original = RangePredicate("T", "only", domain, low=42, high=42)
+        noisy = pma.perturb(original, rng=1)
+        assert noisy.low == 42 and noisy.high == 42
+
+
+class TestSetAndTruePerturbation:
+    def test_set_members_stay_in_domain(self, region_domain):
+        pma = PredicateMechanismForAttribute(epsilon=0.3)
+        original = SetPredicate(
+            "Part", "region", region_domain, values=("ASIA", "EUROPE")
+        )
+        rng = np.random.default_rng(17)
+        for _ in range(100):
+            noisy = pma.perturb(original, rng=rng)
+            assert isinstance(noisy, SetPredicate)
+            assert 1 <= len(noisy.values) <= 2
+            assert all(value in region_domain for value in noisy.values)
+
+    def test_true_predicate_unchanged(self, region_domain):
+        pma = PredicateMechanismForAttribute(epsilon=0.3)
+        original = TruePredicate("Customer", "region", region_domain)
+        assert pma.perturb(original, rng=1) is original
+
+    def test_reproducibility_with_seed(self, region_domain):
+        pma = PredicateMechanismForAttribute(epsilon=0.3)
+        original = PointPredicate("Customer", "region", region_domain, value="ASIA")
+        assert pma.perturb(original, rng=21).value == pma.perturb(original, rng=21).value

@@ -1,0 +1,137 @@
+"""Tests for the Predicate Mechanism (Algorithms 1 and 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.predicate_mechanism import PMAnswer, PredicateMechanism
+from repro.db.executor import GroupedResult, QueryExecutor
+from repro.db.predicates import PointPredicate
+from repro.db.query import StarJoinQuery
+from repro.exceptions import PrivacyBudgetError
+from repro.workloads.ssb_queries import ssb_query
+
+
+def _color_query(db, value="red"):
+    domain = db.dimension("Color").domain("color")
+    return StarJoinQuery.count("q", [PointPredicate("Color", "color", domain, value=value)])
+
+
+class TestConstruction:
+    def test_requires_positive_epsilon(self):
+        with pytest.raises(PrivacyBudgetError):
+            PredicateMechanism(epsilon=0.0)
+
+    def test_capability_flags(self):
+        mechanism = PredicateMechanism(epsilon=1.0)
+        assert mechanism.supports_count
+        assert mechanism.supports_sum
+        assert mechanism.supports_group_by
+
+
+class TestBudgetSplit:
+    def test_budget_split_evenly_and_exhausted(self, ssb_small):
+        mechanism = PredicateMechanism(epsilon=1.0, rng=1)
+        query = ssb_query("Qc3")
+        noisy_query, accountant = mechanism.perturb_query(query)
+        assert accountant.spent_epsilon == pytest.approx(1.0)
+        charges = [budget.epsilon for _, budget in accountant.ledger]
+        assert charges == pytest.approx([1.0 / 3] * 3)
+        assert noisy_query.num_predicates == query.num_predicates
+
+    def test_empty_predicate_query_charges_full_budget(self, tiny_db):
+        mechanism = PredicateMechanism(epsilon=0.7, rng=1)
+        query = StarJoinQuery.count("all")
+        noisy_query, accountant = mechanism.perturb_query(query)
+        assert accountant.spent_epsilon == pytest.approx(0.7)
+        assert noisy_query is query
+
+    def test_noisy_query_has_same_structure(self, ssb_small):
+        mechanism = PredicateMechanism(epsilon=0.5, rng=2)
+        query = ssb_query("Qg4")
+        noisy_query, _ = mechanism.perturb_query(query)
+        assert noisy_query.group_by == query.group_by
+        assert noisy_query.aggregate == query.aggregate
+        assert [p.table for p in noisy_query.predicates] == [
+            p.table for p in query.predicates
+        ]
+
+
+class TestAnswering:
+    def test_answer_returns_pm_answer(self, tiny_db):
+        mechanism = PredicateMechanism(epsilon=1.0, rng=3)
+        answer = mechanism.answer(tiny_db, _color_query(tiny_db))
+        assert isinstance(answer, PMAnswer)
+        assert answer.epsilon == 1.0
+        assert isinstance(answer.value, float)
+
+    def test_answer_is_an_exact_answer_of_some_point_query(self, tiny_db):
+        """PM answers a *shifted* query exactly: the released value must equal
+        the exact count of one of the domain's point predicates."""
+        executor = QueryExecutor(tiny_db)
+        domain = tiny_db.dimension("Color").domain("color")
+        possible = {
+            executor.execute(
+                StarJoinQuery.count("q", [PointPredicate("Color", "color", domain, value=v)])
+            )
+            for v in domain
+        }
+        mechanism = PredicateMechanism(epsilon=0.5, rng=5)
+        for _ in range(20):
+            assert mechanism.answer_value(tiny_db, _color_query(tiny_db)) in possible
+
+    def test_high_epsilon_recovers_exact_answer(self, ssb_small):
+        executor = QueryExecutor(ssb_small)
+        query = ssb_query("Qc3")
+        exact = executor.execute(query)
+        mechanism = PredicateMechanism(epsilon=1e6, rng=7)
+        assert mechanism.answer_value(ssb_small, query) == pytest.approx(exact)
+
+    def test_group_by_answer_is_grouped(self, ssb_small):
+        mechanism = PredicateMechanism(epsilon=1.0, rng=9)
+        answer = mechanism.answer_value(ssb_small, ssb_query("Qg2"))
+        assert isinstance(answer, GroupedResult)
+        assert len(answer) > 0
+
+    def test_sum_query(self, ssb_small):
+        mechanism = PredicateMechanism(epsilon=1.0, rng=11)
+        value = mechanism.answer_value(ssb_small, ssb_query("Qs2"))
+        assert value >= 0.0
+
+    def test_reproducible_with_seed(self, ssb_small):
+        query = ssb_query("Qc2")
+        a = PredicateMechanism(epsilon=0.5, rng=13).answer_value(ssb_small, query)
+        b = PredicateMechanism(epsilon=0.5, rng=13).answer_value(ssb_small, query)
+        assert a == b
+
+    def test_different_seeds_differ_eventually(self, ssb_small):
+        query = ssb_query("Qc2")
+        values = {
+            PredicateMechanism(epsilon=0.2, rng=seed).answer_value(ssb_small, query)
+            for seed in range(25)
+        }
+        assert len(values) > 1
+
+
+class TestVarianceBounds:
+    def test_tight_bound_below_loose_bound(self):
+        query = ssb_query("Qc3")
+        mechanism = PredicateMechanism(epsilon=0.5)
+        assert mechanism.tight_variance_bound(query) <= mechanism.loose_variance_bound(query)
+
+    def test_tight_bound_formula(self):
+        query = ssb_query("Qc3")  # domains 5, 5, 7
+        mechanism = PredicateMechanism(epsilon=1.0)
+        expected = (2 * 9) * (25 + 25 + 49)
+        assert mechanism.tight_variance_bound(query) == pytest.approx(expected)
+
+    def test_loose_bound_formula(self):
+        query = ssb_query("Qc2")  # domains 25, 5
+        mechanism = PredicateMechanism(epsilon=1.0)
+        expected = (2 * 4) ** 2 * (25**2) * (5**2)
+        assert mechanism.loose_variance_bound(query) == pytest.approx(expected)
+
+    def test_bounds_shrink_with_epsilon(self):
+        query = ssb_query("Qc3")
+        loose = PredicateMechanism(epsilon=0.1).tight_variance_bound(query)
+        tight = PredicateMechanism(epsilon=1.0).tight_variance_bound(query)
+        assert tight < loose

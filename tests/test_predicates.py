@@ -1,0 +1,155 @@
+"""Unit tests for the predicate AST."""
+
+import numpy as np
+import pytest
+
+from repro.db.domains import AttributeDomain
+from repro.db.predicates import (
+    ConjunctionPredicate,
+    PointPredicate,
+    RangePredicate,
+    SetPredicate,
+    TruePredicate,
+    one_hot_workload,
+)
+from repro.exceptions import DomainError, QueryError
+
+
+@pytest.fixture()
+def region_domain():
+    return AttributeDomain.categorical(
+        "region", ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+    )
+
+
+@pytest.fixture()
+def year_domain():
+    return AttributeDomain.integer_range("year", 1992, 1998)
+
+
+class TestPointPredicate:
+    def test_evaluate_codes(self, region_domain):
+        predicate = PointPredicate("Customer", "region", region_domain, value="ASIA")
+        mask = predicate.evaluate_codes(np.array([0, 2, 2, 4]))
+        assert list(mask) == [False, True, True, False]
+
+    def test_indicator_vector(self, region_domain):
+        predicate = PointPredicate("Customer", "region", region_domain, value="ASIA")
+        assert list(predicate.indicator_vector()) == [0, 0, 1, 0, 0]
+
+    def test_selectivity(self, region_domain):
+        predicate = PointPredicate("Customer", "region", region_domain, value="ASIA")
+        assert predicate.selectivity() == pytest.approx(0.2)
+
+    def test_unknown_value_rejected(self, region_domain):
+        with pytest.raises(DomainError):
+            PointPredicate("Customer", "region", region_domain, value="MARS")
+
+    def test_domain_size_is_sensitivity(self, region_domain):
+        predicate = PointPredicate("Customer", "region", region_domain, value="ASIA")
+        assert predicate.domain_size == 5
+
+    def test_describe(self, region_domain):
+        predicate = PointPredicate("Customer", "region", region_domain, value="ASIA")
+        assert "Customer.region" in predicate.describe()
+
+
+class TestRangePredicate:
+    def test_evaluate_codes(self, year_domain):
+        predicate = RangePredicate("Date", "year", year_domain, low=1993, high=1995)
+        mask = predicate.evaluate_codes(np.arange(7))
+        assert list(mask) == [False, True, True, True, False, False, False]
+
+    def test_reversed_range_rejected(self, year_domain):
+        with pytest.raises(DomainError):
+            RangePredicate("Date", "year", year_domain, low=1995, high=1993)
+
+    def test_single_value_range(self, year_domain):
+        predicate = RangePredicate("Date", "year", year_domain, low=1994, high=1994)
+        assert predicate.indicator_vector().sum() == 1
+
+    def test_full_range_selectivity(self, year_domain):
+        predicate = RangePredicate("Date", "year", year_domain, low=1992, high=1998)
+        assert predicate.selectivity() == pytest.approx(1.0)
+
+
+class TestSetPredicate:
+    def test_evaluate_codes(self, region_domain):
+        predicate = SetPredicate(
+            "Customer", "region", region_domain, values=("ASIA", "EUROPE")
+        )
+        mask = predicate.evaluate_codes(np.array([2, 3, 0]))
+        assert list(mask) == [True, True, False]
+
+    def test_empty_set_rejected(self, region_domain):
+        with pytest.raises(QueryError):
+            SetPredicate("Customer", "region", region_domain, values=())
+
+    def test_unknown_member_rejected(self, region_domain):
+        with pytest.raises(DomainError):
+            SetPredicate("Customer", "region", region_domain, values=("ASIA", "MARS"))
+
+    def test_codes_sorted(self, region_domain):
+        predicate = SetPredicate(
+            "Customer", "region", region_domain, values=("EUROPE", "AFRICA")
+        )
+        assert list(predicate.codes) == [0, 3]
+
+
+class TestTruePredicate:
+    def test_selects_everything(self, region_domain):
+        predicate = TruePredicate("Customer", "region", region_domain)
+        assert predicate.indicator_vector().sum() == region_domain.size
+        assert predicate.selectivity() == pytest.approx(1.0)
+
+
+class TestConjunction:
+    def test_grouping_and_sizes(self, region_domain, year_domain):
+        conjunction = ConjunctionPredicate.of(
+            [
+                PointPredicate("Customer", "region", region_domain, value="ASIA"),
+                RangePredicate("Date", "year", year_domain, low=1992, high=1997),
+                PointPredicate("Supplier", "region", region_domain, value="ASIA"),
+            ]
+        )
+        assert len(conjunction) == 3
+        assert conjunction.tables == ["Customer", "Date", "Supplier"]
+        assert conjunction.domain_sizes() == [5, 7, 5]
+        assert conjunction.domain_product() == 175
+        grouped = conjunction.by_table()
+        assert set(grouped) == {"Customer", "Date", "Supplier"}
+
+    def test_empty_conjunction(self):
+        conjunction = ConjunctionPredicate()
+        assert len(conjunction) == 0
+        assert conjunction.describe() == "TRUE"
+        assert conjunction.domain_product() == 1
+
+    def test_describe_joins_members(self, region_domain):
+        conjunction = ConjunctionPredicate.of(
+            [PointPredicate("Customer", "region", region_domain, value="ASIA")]
+        )
+        assert "AND" not in conjunction.describe()
+
+
+class TestOneHotWorkload:
+    def test_stacks_indicators(self, region_domain):
+        predicates = [
+            PointPredicate("Customer", "region", region_domain, value="ASIA"),
+            PointPredicate("Customer", "region", region_domain, value="AFRICA"),
+        ]
+        matrix = one_hot_workload(predicates, region_domain)
+        assert matrix.shape == (2, 5)
+        assert matrix[0, 2] == 1.0
+        assert matrix[1, 0] == 1.0
+
+    def test_mixed_domains_rejected(self, region_domain, year_domain):
+        predicates = [
+            PointPredicate("Customer", "region", region_domain, value="ASIA"),
+            PointPredicate("Date", "year", year_domain, value=1994),
+        ]
+        with pytest.raises(QueryError):
+            one_hot_workload(predicates, region_domain)
+
+    def test_empty_workload(self, region_domain):
+        assert one_hot_workload([], region_domain).shape == (0, 5)

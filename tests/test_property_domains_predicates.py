@@ -1,0 +1,115 @@
+"""Property-based tests (hypothesis) for domains and predicates."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.domains import AttributeDomain
+from repro.db.predicates import PointPredicate, RangePredicate, SetPredicate
+from repro.core.matrix_decomposition import predicate_from_indicator
+
+
+@st.composite
+def integer_domains(draw):
+    low = draw(st.integers(min_value=-1000, max_value=1000))
+    size = draw(st.integers(min_value=1, max_value=200))
+    return AttributeDomain.integer_range("attr", low, low + size - 1)
+
+
+@st.composite
+def domain_and_code(draw):
+    domain = draw(integer_domains())
+    code = draw(st.integers(min_value=0, max_value=domain.size - 1))
+    return domain, code
+
+
+@st.composite
+def domain_and_interval(draw):
+    domain = draw(integer_domains())
+    low = draw(st.integers(min_value=0, max_value=domain.size - 1))
+    high = draw(st.integers(min_value=low, max_value=domain.size - 1))
+    return domain, low, high
+
+
+class TestDomainProperties:
+    @given(domain_and_code())
+    def test_encode_decode_roundtrip(self, pair):
+        domain, code = pair
+        assert domain.encode(domain.decode(code)) == code
+
+    @given(integer_domains(), st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    def test_clamp_always_lands_in_domain(self, domain, raw):
+        code = domain.clamp_code(raw)
+        assert 0 <= code < domain.size
+        assert domain.decode(code) in domain
+
+    @given(domain_and_interval())
+    def test_slice_size_matches_interval(self, triple):
+        domain, low, high = triple
+        values = domain.slice_values(low, high)
+        assert len(values) == high - low + 1
+
+
+class TestPredicateProperties:
+    @given(domain_and_code())
+    @settings(max_examples=50)
+    def test_point_indicator_selects_exactly_one(self, pair):
+        domain, code = pair
+        predicate = PointPredicate("T", "attr", domain, value=domain.decode(code))
+        indicator = predicate.indicator_vector()
+        assert indicator.sum() == 1
+        assert indicator[code] == 1
+
+    @given(domain_and_interval())
+    @settings(max_examples=50)
+    def test_range_indicator_is_contiguous_and_sized(self, triple):
+        domain, low, high = triple
+        predicate = RangePredicate(
+            "T", "attr", domain, low=domain.decode(low), high=domain.decode(high)
+        )
+        indicator = predicate.indicator_vector()
+        assert indicator.sum() == high - low + 1
+        selected = np.flatnonzero(indicator)
+        assert np.all(np.diff(selected) == 1)
+
+    @given(domain_and_interval())
+    @settings(max_examples=50)
+    def test_range_selectivity_between_zero_and_one(self, triple):
+        domain, low, high = triple
+        predicate = RangePredicate(
+            "T", "attr", domain, low=domain.decode(low), high=domain.decode(high)
+        )
+        assert 0.0 < predicate.selectivity() <= 1.0
+
+    @given(integer_domains(), st.data())
+    @settings(max_examples=50)
+    def test_set_predicate_matches_membership(self, domain, data):
+        codes = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=domain.size - 1),
+                min_size=1,
+                max_size=min(domain.size, 8),
+                unique=True,
+            )
+        )
+        values = tuple(domain.decode(c) for c in codes)
+        predicate = SetPredicate("T", "attr", domain, values=values)
+        probe = np.arange(domain.size)
+        mask = predicate.evaluate_codes(probe)
+        assert set(np.flatnonzero(mask)) == set(codes)
+
+    @given(integer_domains(), st.data())
+    @settings(max_examples=50)
+    def test_predicate_from_indicator_roundtrip(self, domain, data):
+        codes = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=domain.size - 1),
+                min_size=1,
+                max_size=min(domain.size, 10),
+                unique=True,
+            )
+        )
+        vector = np.zeros(domain.size)
+        vector[codes] = 1.0
+        predicate = predicate_from_indicator(vector, domain, "T", "attr")
+        assert np.array_equal(predicate.indicator_vector(), vector)

@@ -1,0 +1,198 @@
+"""Property-based tests for query execution, k-star identities and
+matrix decomposition on randomly generated inputs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matrix_decomposition import MatrixDecomposition
+from repro.db.database import StarDatabase
+from repro.db.domains import AttributeDomain
+from repro.db.executor import QueryExecutor
+from repro.db.join import execute_by_materialised_join
+from repro.db.predicates import PointPredicate, RangePredicate
+from repro.db.query import StarJoinQuery
+from repro.db.schema import ForeignKey, StarSchema, TableSchema
+from repro.db.table import Column, Table
+from repro.graph.edge_table import Graph
+from repro.graph.kstar import KStarQuery, kstar_count, kstar_count_by_join, per_node_star_counts
+
+
+@st.composite
+def random_star_databases(draw):
+    """A random one-dimension star database plus a random predicate."""
+    domain_size = draw(st.integers(min_value=1, max_value=8))
+    dim_rows = draw(st.integers(min_value=1, max_value=12))
+    fact_rows = draw(st.integers(min_value=1, max_value=60))
+
+    domain = AttributeDomain.integer_range("attr", 0, domain_size - 1)
+    dim_codes = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=domain_size - 1),
+            min_size=dim_rows,
+            max_size=dim_rows,
+        )
+    )
+    fk_codes = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=dim_rows - 1),
+            min_size=fact_rows,
+            max_size=fact_rows,
+        )
+    )
+    amounts = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=100), min_size=fact_rows, max_size=fact_rows
+        )
+    )
+
+    schema = StarSchema(
+        fact=TableSchema(name="F", key=None, measures=("amount",)),
+        dimensions=[TableSchema(name="D", key="DK", attributes={"attr": domain})],
+        foreign_keys=[ForeignKey("DK", "D", "DK")],
+    )
+    dimension = Table(
+        "D",
+        [
+            Column("DK", np.arange(dim_rows)),
+            Column("attr", np.asarray(dim_codes), domain=domain),
+        ],
+    )
+    fact = Table(
+        "F",
+        [
+            Column("DK", np.asarray(fk_codes)),
+            Column("amount", np.asarray(amounts, dtype=np.float64)),
+        ],
+    )
+    database = StarDatabase(schema=schema, fact=fact, dimensions={"D": dimension})
+
+    low = draw(st.integers(min_value=0, max_value=domain_size - 1))
+    high = draw(st.integers(min_value=low, max_value=domain_size - 1))
+    predicate = RangePredicate("D", "attr", domain, low=low, high=high)
+    return database, predicate
+
+
+class TestExecutorProperties:
+    @given(random_star_databases())
+    @settings(max_examples=60, deadline=None)
+    def test_semi_join_matches_materialised_join(self, case):
+        database, predicate = case
+        for query in (
+            StarJoinQuery.count("c", [predicate]),
+            StarJoinQuery.sum("s", "amount", [predicate]),
+        ):
+            fast = QueryExecutor(database).execute(query)
+            assert fast == execute_by_materialised_join(database, query)
+
+    @given(random_star_databases())
+    @settings(max_examples=60, deadline=None)
+    def test_count_bounded_by_fact_rows(self, case):
+        database, predicate = case
+        count = QueryExecutor(database).execute(StarJoinQuery.count("c", [predicate]))
+        assert 0 <= count <= database.num_fact_rows
+
+    @given(random_star_databases())
+    @settings(max_examples=60, deadline=None)
+    def test_point_counts_partition_the_fact_table(self, case):
+        database, _ = case
+        domain = database.dimension("D").domain("attr")
+        executor = QueryExecutor(database)
+        total = sum(
+            executor.execute(
+                StarJoinQuery.count("c", [PointPredicate("D", "attr", domain, value=v)])
+            )
+            for v in domain
+        )
+        assert total == database.num_fact_rows
+
+    @given(random_star_databases())
+    @settings(max_examples=40, deadline=None)
+    def test_truncated_answer_monotone_in_threshold(self, case):
+        database, predicate = case
+        executor = QueryExecutor(database)
+        query = StarJoinQuery.count("c", [predicate])
+        answers = [
+            executor.truncated_answer(query, "D", threshold) for threshold in (0, 1, 2, 5, 10**6)
+        ]
+        assert answers == sorted(answers)
+        assert answers[-1] == executor.execute(query)
+
+
+@st.composite
+def random_graphs(draw):
+    num_nodes = draw(st.integers(min_value=2, max_value=25))
+    num_edges = draw(st.integers(min_value=0, max_value=60))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=num_nodes - 1),
+                st.integers(min_value=0, max_value=num_nodes - 1),
+            ),
+            min_size=num_edges,
+            max_size=num_edges,
+        )
+    )
+    return Graph.from_edge_list(edges, num_nodes=num_nodes)
+
+
+class TestKStarProperties:
+    @given(random_graphs(), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_degree_formula_matches_join_enumeration(self, graph, k):
+        query = KStarQuery(k=k)
+        assert kstar_count(graph, query) == kstar_count_by_join(graph, query)
+
+    @given(random_graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_one_star_count_is_twice_edge_count(self, graph):
+        assert kstar_count(graph, KStarQuery(k=1)) == 2.0 * graph.num_edges
+
+    @given(random_graphs(), st.integers(min_value=1, max_value=3), st.integers(min_value=0, max_value=24))
+    @settings(max_examples=60, deadline=None)
+    def test_range_counts_are_monotone_in_range(self, graph, k, split):
+        split = min(split, graph.num_nodes - 1)
+        prefix = kstar_count(graph, KStarQuery(k=k, low=0, high=split))
+        full = kstar_count(graph, KStarQuery(k=k))
+        assert prefix <= full
+
+    @given(random_graphs(), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=60, deadline=None)
+    def test_truncation_never_increases_star_count(self, graph, threshold):
+        truncated = graph.truncate_degrees(threshold)
+        assert kstar_count(truncated, KStarQuery(k=2)) <= kstar_count(graph, KStarQuery(k=2))
+        assert truncated.max_degree() <= threshold
+
+    @given(random_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_per_node_counts_sum_to_total(self, graph):
+        counts = per_node_star_counts(graph.degrees(), 2)
+        assert counts.sum() == kstar_count(graph, KStarQuery(k=2))
+
+
+@st.composite
+def binary_workloads(draw):
+    rows = draw(st.integers(min_value=1, max_value=10))
+    cols = draw(st.integers(min_value=1, max_value=10))
+    matrix = draw(
+        st.lists(
+            st.lists(st.integers(min_value=0, max_value=1), min_size=cols, max_size=cols),
+            min_size=rows,
+            max_size=rows,
+        )
+    )
+    return np.asarray(matrix, dtype=np.float64)
+
+
+class TestDecompositionProperties:
+    @given(binary_workloads())
+    @settings(max_examples=60, deadline=None)
+    def test_chosen_strategy_reconstructs_exactly(self, workload):
+        choice = MatrixDecomposition().decompose(workload)
+        assert choice.reconstruction_error(workload) < 1e-7
+
+    @given(binary_workloads())
+    @settings(max_examples=60, deadline=None)
+    def test_distinct_rows_never_exceed_workload_rows(self, workload):
+        choice = MatrixDecomposition().decompose_with(workload, "distinct_rows")
+        assert choice.num_rows <= workload.shape[0]

@@ -1,0 +1,117 @@
+"""Property-based tests for the DP building blocks and PM invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pma import PredicateMechanismForAttribute
+from repro.db.domains import AttributeDomain
+from repro.db.predicates import PointPredicate, RangePredicate
+from repro.dp.accountant import PrivacyAccountant, PrivacyBudget
+from repro.dp.noise import laplace_scale, laplace_variance
+from repro.dp.sensitivity import (
+    binomial,
+    kstar_local_sensitivity_at_distance,
+    local_sensitivity_at_distance,
+    smooth_sensitivity_from_local,
+)
+
+epsilons = st.floats(min_value=0.01, max_value=10.0, allow_nan=False)
+sensitivities = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+
+class TestNoiseProperties:
+    @given(sensitivities, epsilons)
+    def test_laplace_scale_is_monotone_in_sensitivity(self, sensitivity, epsilon):
+        assert laplace_scale(sensitivity, epsilon) <= laplace_scale(sensitivity + 1.0, epsilon)
+
+    @given(sensitivities, epsilons)
+    def test_laplace_variance_formula(self, sensitivity, epsilon):
+        assert laplace_variance(sensitivity, epsilon) == pytest.approx(
+            2.0 * (sensitivity / epsilon) ** 2, rel=1e-12
+        )
+
+
+class TestAccountantProperties:
+    @given(st.lists(st.floats(min_value=0.001, max_value=0.2), min_size=1, max_size=20))
+    def test_sequential_composition_sums(self, charges):
+        accountant = PrivacyAccountant(PrivacyBudget(sum(charges) + 1.0))
+        for charge in charges:
+            accountant.charge(PrivacyBudget(charge))
+        assert accountant.spent_epsilon == pytest.approx(sum(charges))
+
+    @given(st.integers(min_value=1, max_value=50), epsilons)
+    def test_even_split_reassembles(self, parts, epsilon):
+        budget = PrivacyBudget(epsilon)
+        assert budget.split(parts).epsilon * parts == pytest.approx(epsilon)
+
+
+class TestSensitivityProperties:
+    @given(st.floats(min_value=0, max_value=1e4), st.integers(min_value=0, max_value=100))
+    def test_local_at_distance_monotone(self, local, distance):
+        assert local_sensitivity_at_distance(local, distance + 1) >= local_sensitivity_at_distance(
+            local, distance
+        )
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=50),
+        st.integers(min_value=1, max_value=4),
+        st.floats(min_value=0.05, max_value=2.0),
+    )
+    @settings(max_examples=50)
+    def test_smooth_at_least_discounted_local(self, degrees, k, beta):
+        degrees = np.asarray(degrees)
+        smooth = smooth_sensitivity_from_local(
+            lambda t: kstar_local_sensitivity_at_distance(degrees, k, t),
+            beta,
+            max_distance=200,
+        )
+        assert smooth >= kstar_local_sensitivity_at_distance(degrees, k, 0) - 1e-9
+
+    @given(st.integers(min_value=0, max_value=60), st.integers(min_value=0, max_value=6))
+    def test_binomial_matches_math_comb(self, n, k):
+        assert binomial(n, k) == float(math.comb(n, k)) if n >= k else binomial(n, k) == 0.0
+
+
+@st.composite
+def point_predicates(draw):
+    size = draw(st.integers(min_value=1, max_value=100))
+    domain = AttributeDomain.integer_range("attr", 0, size - 1)
+    code = draw(st.integers(min_value=0, max_value=size - 1))
+    return PointPredicate("T", "attr", domain, value=code)
+
+
+@st.composite
+def range_predicates(draw):
+    size = draw(st.integers(min_value=1, max_value=100))
+    domain = AttributeDomain.integer_range("attr", 0, size - 1)
+    low = draw(st.integers(min_value=0, max_value=size - 1))
+    high = draw(st.integers(min_value=low, max_value=size - 1))
+    return RangePredicate("T", "attr", domain, low=low, high=high)
+
+
+class TestPMAProperties:
+    @given(point_predicates(), epsilons, st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=80)
+    def test_noisy_point_stays_in_domain(self, predicate, epsilon, seed):
+        pma = PredicateMechanismForAttribute(epsilon=epsilon)
+        noisy = pma.perturb(predicate, rng=seed)
+        assert noisy.value in predicate.domain
+
+    @given(range_predicates(), epsilons, st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=80)
+    def test_shift_mode_preserves_width(self, predicate, epsilon, seed):
+        pma = PredicateMechanismForAttribute(epsilon=epsilon, range_mode="shift")
+        noisy = pma.perturb(predicate, rng=seed)
+        assert noisy.high_code - noisy.low_code == predicate.high_code - predicate.low_code
+        assert 0 <= noisy.low_code <= noisy.high_code < predicate.domain.size
+
+    @given(range_predicates(), epsilons, st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=80)
+    def test_endpoint_mode_yields_valid_interval(self, predicate, epsilon, seed):
+        pma = PredicateMechanismForAttribute(epsilon=epsilon, range_mode="endpoints")
+        noisy = pma.perturb(predicate, rng=seed)
+        assert 0 <= noisy.low_code <= noisy.high_code < predicate.domain.size

@@ -1,0 +1,166 @@
+"""Unit tests for schema metadata (TableSchema, ForeignKey, StarSchema)."""
+
+import pytest
+
+from repro.db.domains import AttributeDomain
+from repro.db.schema import ForeignKey, SnowflakeEdge, StarSchema, TableSchema
+from repro.exceptions import SchemaError
+
+
+@pytest.fixture()
+def domains():
+    return {
+        "color": AttributeDomain.categorical("color", ("red", "green", "blue")),
+        "size": AttributeDomain.from_values("size", (1, 2, 3)),
+    }
+
+
+@pytest.fixture()
+def simple_schema(domains):
+    fact = TableSchema(name="Sales", key=None, measures=("amount",))
+    color = TableSchema(name="Color", key="ColorKey", attributes={"color": domains["color"]})
+    size = TableSchema(name="Size", key="SizeKey", attributes={"size": domains["size"]})
+    return StarSchema(
+        fact=fact,
+        dimensions=[color, size],
+        foreign_keys=[
+            ForeignKey("ColorKey", "Color", "ColorKey"),
+            ForeignKey("SizeKey", "Size", "SizeKey"),
+        ],
+    )
+
+
+class TestTableSchema:
+    def test_column_names_order(self, domains):
+        schema = TableSchema(
+            name="Color",
+            key="ColorKey",
+            attributes={"color": domains["color"]},
+            measures=("weight",),
+        )
+        assert schema.column_names == ["ColorKey", "color", "weight"]
+
+    def test_domain_of(self, domains):
+        schema = TableSchema(name="Color", key="k", attributes={"color": domains["color"]})
+        assert schema.domain_of("color").size == 3
+        with pytest.raises(SchemaError):
+            schema.domain_of("size")
+
+    def test_overlapping_attributes_and_measures_rejected(self, domains):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                name="Bad", key=None, attributes={"x": domains["color"]}, measures=("x",)
+            )
+
+
+class TestStarSchema:
+    def test_dimension_names(self, simple_schema):
+        assert simple_schema.dimension_names == ["Color", "Size"]
+        assert simple_schema.num_dimensions == 2
+        assert not simple_schema.is_snowflake
+
+    def test_foreign_key_lookup(self, simple_schema):
+        fk = simple_schema.foreign_key_for("Color")
+        assert fk.fact_column == "ColorKey"
+        with pytest.raises(SchemaError):
+            simple_schema.foreign_key_for("Missing")
+
+    def test_table_schema_lookup(self, simple_schema):
+        assert simple_schema.table_schema("Sales").name == "Sales"
+        assert simple_schema.table_schema("Color").key == "ColorKey"
+        with pytest.raises(SchemaError):
+            simple_schema.table_schema("Nope")
+
+    def test_locate_attribute(self, simple_schema):
+        table, domain = simple_schema.locate_attribute("size")
+        assert table == "Size"
+        assert domain.size == 3
+
+    def test_locate_unknown_attribute(self, simple_schema):
+        with pytest.raises(SchemaError):
+            simple_schema.locate_attribute("weight")
+
+    def test_locate_ambiguous_attribute(self, domains):
+        fact = TableSchema(name="F", key=None)
+        d1 = TableSchema(name="D1", key="k1", attributes={"color": domains["color"]})
+        d2 = TableSchema(name="D2", key="k2", attributes={"color": domains["color"]})
+        schema = StarSchema(
+            fact=fact,
+            dimensions=[d1, d2],
+            foreign_keys=[ForeignKey("k1", "D1", "k1"), ForeignKey("k2", "D2", "k2")],
+        )
+        with pytest.raises(SchemaError):
+            schema.locate_attribute("color")
+
+    def test_dimension_without_key_rejected(self, domains):
+        fact = TableSchema(name="F", key=None)
+        bad = TableSchema(name="D", key=None, attributes={"color": domains["color"]})
+        with pytest.raises(SchemaError):
+            StarSchema(fact=fact, dimensions=[bad], foreign_keys=[ForeignKey("k", "D", "k")])
+
+    def test_unreachable_dimension_rejected(self, domains):
+        fact = TableSchema(name="F", key=None)
+        d1 = TableSchema(name="D1", key="k1", attributes={"color": domains["color"]})
+        d2 = TableSchema(name="D2", key="k2", attributes={"size": domains["size"]})
+        with pytest.raises(SchemaError):
+            StarSchema(
+                fact=fact,
+                dimensions=[d1, d2],
+                foreign_keys=[ForeignKey("k1", "D1", "k1")],
+            )
+
+    def test_foreign_key_must_reference_primary_key(self, domains):
+        fact = TableSchema(name="F", key=None)
+        d1 = TableSchema(name="D1", key="k1", attributes={"color": domains["color"]})
+        with pytest.raises(SchemaError):
+            StarSchema(
+                fact=fact,
+                dimensions=[d1],
+                foreign_keys=[ForeignKey("k1", "D1", "not_the_key")],
+            )
+
+    def test_foreign_key_to_unknown_dimension_rejected(self, domains):
+        fact = TableSchema(name="F", key=None)
+        d1 = TableSchema(name="D1", key="k1", attributes={"color": domains["color"]})
+        with pytest.raises(SchemaError):
+            StarSchema(
+                fact=fact,
+                dimensions=[d1],
+                foreign_keys=[ForeignKey("k1", "D1", "k1"), ForeignKey("x", "Ghost", "x")],
+            )
+
+    def test_duplicate_dimension_names_rejected(self, domains):
+        fact = TableSchema(name="F", key=None)
+        d1 = TableSchema(name="D1", key="k1", attributes={"color": domains["color"]})
+        with pytest.raises(SchemaError):
+            StarSchema(
+                fact=fact,
+                dimensions=[d1, d1],
+                foreign_keys=[ForeignKey("k1", "D1", "k1")],
+            )
+
+
+class TestSnowflakeSchema:
+    def test_snowflake_parent_without_fact_fk_is_allowed(self, domains):
+        fact = TableSchema(name="F", key=None)
+        child = TableSchema(name="Child", key="ck", attributes={"color": domains["color"]})
+        parent = TableSchema(name="Parent", key="pk", attributes={"size": domains["size"]})
+        schema = StarSchema(
+            fact=fact,
+            dimensions=[child, parent],
+            foreign_keys=[ForeignKey("ck", "Child", "ck")],
+            snowflake_edges=[SnowflakeEdge("Child", "pk_ref", "Parent", "pk")],
+        )
+        assert schema.is_snowflake
+        assert schema.parents_of("Child")[0].parent_table == "Parent"
+
+    def test_snowflake_edge_to_unknown_table_rejected(self, domains):
+        fact = TableSchema(name="F", key=None)
+        child = TableSchema(name="Child", key="ck", attributes={"color": domains["color"]})
+        with pytest.raises(SchemaError):
+            StarSchema(
+                fact=fact,
+                dimensions=[child],
+                foreign_keys=[ForeignKey("ck", "Child", "ck")],
+                snowflake_edges=[SnowflakeEdge("Child", "pk_ref", "Ghost", "pk")],
+            )

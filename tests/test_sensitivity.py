@@ -1,0 +1,133 @@
+"""Tests for the sensitivity notions (global, local, smooth, k-star)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.db.query import StarJoinQuery
+from repro.db.predicates import PointPredicate
+from repro.dp.sensitivity import (
+    binomial,
+    count_query_global_sensitivity,
+    kstar_local_sensitivity,
+    kstar_local_sensitivity_at_distance,
+    local_sensitivity_at_distance,
+    local_sensitivity_star_count,
+    smooth_sensitivity_from_local,
+    smooth_sensitivity_kstar,
+    smooth_sensitivity_truncated_kstar,
+    sum_query_global_sensitivity,
+)
+from repro.exceptions import SensitivityError
+
+
+class TestGlobalSensitivity:
+    def test_fact_only_count_is_one(self):
+        bound = count_query_global_sensitivity(True, ())
+        assert bound.value == 1.0
+        assert bound.is_bounded
+
+    def test_private_dimension_is_unbounded(self):
+        bound = count_query_global_sensitivity(False, ("Customer",))
+        assert not bound.is_bounded
+
+    def test_no_private_table_rejected(self):
+        with pytest.raises(SensitivityError):
+            count_query_global_sensitivity(False, ())
+
+    def test_sum_bound_uses_measure_bound(self):
+        bound = sum_query_global_sensitivity(True, (), measure_bound=100.0)
+        assert bound.value == 100.0
+
+    def test_sum_negative_measure_bound_rejected(self):
+        with pytest.raises(SensitivityError):
+            sum_query_global_sensitivity(True, (), measure_bound=-1.0)
+
+
+class TestLocalSensitivityStarCount:
+    def test_count_local_sensitivity_is_max_fanout(self, tiny_db):
+        query = StarJoinQuery.count("all")
+        assert local_sensitivity_star_count(tiny_db, query, "Color") == 2.0
+        assert local_sensitivity_star_count(tiny_db, query, "Size") == 3.0
+
+    def test_other_predicates_restrict_fanout(self, tiny_db):
+        size_domain = tiny_db.dimension("Size").domain("size")
+        query = StarJoinQuery.count(
+            "sized", [PointPredicate("Size", "size", size_domain, value=1)]
+        )
+        # Only 3 fact rows have size 1; they reference 3 distinct colour keys.
+        assert local_sensitivity_star_count(tiny_db, query, "Color") == 1.0
+
+    def test_own_predicate_is_ignored(self, tiny_db):
+        color_domain = tiny_db.dimension("Color").domain("color")
+        query = StarJoinQuery.count(
+            "red", [PointPredicate("Color", "color", color_domain, value="red")]
+        )
+        # The colour predicate must not reduce the colour table's own bound.
+        assert local_sensitivity_star_count(tiny_db, query, "Color") == 2.0
+
+    def test_sum_local_sensitivity_uses_measure(self, tiny_db):
+        query = StarJoinQuery.sum("s", "amount")
+        # Size key 3 collects amounts 4 + 8 + 12 = 24 (the maximum).
+        assert local_sensitivity_star_count(tiny_db, query, "Size") == 24.0
+
+
+class TestSmoothSensitivity:
+    def test_local_at_distance_grows_linearly(self):
+        assert local_sensitivity_at_distance(5.0, 3) == 8.0
+        assert local_sensitivity_at_distance(5.0, 0) == 5.0
+        with pytest.raises(SensitivityError):
+            local_sensitivity_at_distance(5.0, -1)
+
+    def test_smooth_bound_at_least_local(self):
+        smooth = smooth_sensitivity_from_local(lambda t: 5.0 + t, beta=0.5)
+        assert smooth >= 5.0
+
+    def test_smooth_bound_decreasing_in_beta(self):
+        loose = smooth_sensitivity_from_local(lambda t: 5.0 + t, beta=0.1)
+        tight = smooth_sensitivity_from_local(lambda t: 5.0 + t, beta=1.0)
+        assert tight <= loose
+
+    def test_invalid_beta_rejected(self):
+        with pytest.raises(SensitivityError):
+            smooth_sensitivity_from_local(lambda t: 1.0, beta=0.0)
+
+    def test_constant_local_gives_constant_smooth(self):
+        assert smooth_sensitivity_from_local(lambda t: 7.0, beta=0.3) == pytest.approx(7.0)
+
+
+class TestKStarSensitivity:
+    def test_binomial_extension(self):
+        assert binomial(5, 2) == 10.0
+        assert binomial(1, 2) == 0.0
+        assert binomial(4, 0) == 1.0
+
+    def test_local_sensitivity_formula(self):
+        degrees = np.array([1, 3, 5])
+        assert kstar_local_sensitivity(degrees, 2) == 2 * math.comb(5, 1)
+        assert kstar_local_sensitivity(degrees, 3) == 2 * math.comb(5, 2)
+
+    def test_local_sensitivity_at_distance_monotone(self):
+        degrees = np.array([2, 4])
+        values = [kstar_local_sensitivity_at_distance(degrees, 2, t) for t in range(5)]
+        assert values == sorted(values)
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(SensitivityError):
+            kstar_local_sensitivity(np.array([1, 2]), 0)
+
+    def test_smooth_kstar_bounded_by_local_at_zero_distance(self):
+        degrees = np.array([3, 3, 6, 10])
+        smooth = smooth_sensitivity_kstar(degrees, 2, beta=0.5)
+        assert smooth >= kstar_local_sensitivity(degrees, 2)
+
+    def test_truncated_smooth_sensitivity(self):
+        value = smooth_sensitivity_truncated_kstar(threshold=4, k=2, beta=0.2)
+        assert value == pytest.approx(math.comb(4, 2) + 4 * math.comb(3, 1))
+
+    def test_truncated_invalid_arguments(self):
+        with pytest.raises(SensitivityError):
+            smooth_sensitivity_truncated_kstar(-1, 2, 0.5)
+        with pytest.raises(SensitivityError):
+            smooth_sensitivity_truncated_kstar(3, 2, 0.0)

@@ -1,0 +1,58 @@
+"""Tests for PM on snowflake queries (Section 5.3)."""
+
+import pytest
+
+from repro.core.snowflake import SnowflakePredicateMechanism
+from repro.db.executor import QueryExecutor
+from repro.db.predicates import PointPredicate
+from repro.db.query import StarJoinQuery
+from repro.exceptions import QueryError
+from repro.workloads.tpch_queries import snowflake_queries, tpch_count_query, tpch_sum_query
+
+
+class TestSnowflakePM:
+    def test_answers_count_query(self, snowflake_small):
+        mechanism = SnowflakePredicateMechanism(epsilon=1.0, rng=1)
+        answer = mechanism.answer(snowflake_small, tpch_count_query())
+        assert answer.value >= 0.0
+
+    def test_answers_sum_query(self, snowflake_small):
+        mechanism = SnowflakePredicateMechanism(epsilon=1.0, rng=2)
+        answer = mechanism.answer(snowflake_small, tpch_sum_query())
+        assert answer.value >= 0.0
+
+    def test_high_epsilon_recovers_exact(self, snowflake_small):
+        executor = QueryExecutor(snowflake_small)
+        for query in snowflake_queries():
+            exact = executor.execute(query)
+            mechanism = SnowflakePredicateMechanism(epsilon=1e6, rng=3)
+            assert mechanism.answer_value(snowflake_small, query) == pytest.approx(exact)
+
+    def test_unknown_table_rejected(self, snowflake_small):
+        domain = snowflake_small.dimension("Customer").domain("region")
+        query = StarJoinQuery.count(
+            "bad", [PointPredicate("Ghost", "region", domain, value="ASIA")]
+        )
+        mechanism = SnowflakePredicateMechanism(epsilon=1.0)
+        with pytest.raises(QueryError):
+            mechanism.answer(snowflake_small, query)
+
+    def test_unreachable_parent_rejected(self, ssb_small, snowflake_small):
+        """A predicate on Month is only valid against a schema that declares
+        the Date → Month snowflake edge."""
+        month_domain = snowflake_small.dimension("Month").domain("month")
+        query = StarJoinQuery.count(
+            "months", [PointPredicate("Month", "month", month_domain, value=3)]
+        )
+        mechanism = SnowflakePredicateMechanism(epsilon=1.0)
+        with pytest.raises(QueryError):
+            mechanism.answer(ssb_small, query)
+
+    def test_star_queries_still_work(self, snowflake_small):
+        """Predicates on direct dimensions pass through unchanged."""
+        domain = snowflake_small.dimension("Customer").domain("region")
+        query = StarJoinQuery.count(
+            "asia", [PointPredicate("Customer", "region", domain, value="ASIA")]
+        )
+        mechanism = SnowflakePredicateMechanism(epsilon=1.0, rng=5)
+        assert mechanism.answer_value(snowflake_small, query) >= 0.0

@@ -1,0 +1,150 @@
+"""Tests for the SQL parser against the paper's appendix queries."""
+
+import pytest
+
+from repro.datagen.ssb import ssb_schema
+from repro.db.executor import QueryExecutor
+from repro.db.predicates import PointPredicate, RangePredicate, SetPredicate
+from repro.db.query import AggregateKind
+from repro.db.sql import parse_star_join_sql
+from repro.exceptions import QueryError
+from repro.workloads.ssb_queries import ssb_query
+
+QC2_SQL = """
+SELECT count(*)
+FROM Date, Lineorder, Part, Supplier
+WHERE Lineorder.SK = Supplier.SK
+  AND Lineorder.PK = Part.PK
+  AND Lineorder.DK = Date.DK
+  AND Part.category = 'MFGR#12'
+  AND Supplier.region = 'AMERICA';
+"""
+
+QC3_SQL = """
+SELECT count(*)
+FROM Date, Lineorder, Customer, Supplier
+WHERE Lineorder.SK = Supplier.SK
+  AND Lineorder.CK = Customer.CK
+  AND Lineorder.DK = Date.DK
+  AND Customer.region = 'ASIA'
+  AND Supplier.region = 'ASIA'
+  AND Date.year between 1992 and 1997;
+"""
+
+QS2_SQL = """
+SELECT sum(Lineorder.revenue)
+FROM Date, Lineorder, Part, Supplier
+WHERE Lineorder.SK = Supplier.SK
+  AND Part.category = 'MFGR#12'
+  AND Supplier.region = 'AMERICA';
+"""
+
+QG4_SQL = """
+SELECT sum(Lineorder.revenue - Lineorder.supplycost), Date.year, Part.category
+FROM Date, Lineorder, Customer, Part, Supplier
+WHERE Customer.region = 'AMERICA'
+  AND Supplier.nation = 'UNITED STATES'
+  AND Date.year between 1997 and 1998
+  AND Part.mfgr = 'MFGR#1' OR Part.mfgr = 'MFGR#2'
+GROUP BY Date.year, Part.category
+ORDER BY Date.year, Part.category;
+"""
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return ssb_schema()
+
+
+class TestParsing:
+    def test_count_query_predicates(self, schema):
+        query = parse_star_join_sql(QC2_SQL, schema, name="Qc2")
+        assert query.kind is AggregateKind.COUNT
+        assert query.num_predicates == 2
+        kinds = {type(p) for p in query.predicates}
+        assert kinds == {PointPredicate}
+        assert {p.table for p in query.predicates} == {"Part", "Supplier"}
+
+    def test_join_conditions_are_dropped(self, schema):
+        query = parse_star_join_sql(QC3_SQL, schema)
+        assert query.num_predicates == 3
+
+    def test_between_becomes_range(self, schema):
+        query = parse_star_join_sql(QC3_SQL, schema)
+        ranges = [p for p in query.predicates if isinstance(p, RangePredicate)]
+        assert len(ranges) == 1
+        assert ranges[0].low == 1992
+        assert ranges[0].high == 1997
+
+    def test_sum_measure(self, schema):
+        query = parse_star_join_sql(QS2_SQL, schema)
+        assert query.kind is AggregateKind.SUM
+        assert query.aggregate.measure.column == "revenue"
+
+    def test_group_by_and_or_and_measure_difference(self, schema):
+        query = parse_star_join_sql(QG4_SQL, schema, name="Qg4")
+        assert query.is_grouped
+        assert [key for key in query.group_by] == [("Date", "year"), ("Part", "category")]
+        assert query.aggregate.measure.subtract == "supplycost"
+        sets = [p for p in query.predicates if isinstance(p, SetPredicate)]
+        assert len(sets) == 1
+        assert set(sets[0].values) == {"MFGR#1", "MFGR#2"}
+
+    def test_less_than_becomes_prefix_range(self, schema):
+        sql = "SELECT count(*) FROM Date, Lineorder WHERE Date.year < 1995"
+        query = parse_star_join_sql(sql, schema)
+        predicate = query.predicates.predicates[0]
+        assert isinstance(predicate, RangePredicate)
+        assert predicate.low == 1992
+        assert predicate.high == 1994
+
+    def test_greater_equal_becomes_suffix_range(self, schema):
+        sql = "SELECT count(*) FROM Date, Lineorder WHERE Date.year >= 1996"
+        query = parse_star_join_sql(sql, schema)
+        predicate = query.predicates.predicates[0]
+        assert predicate.low == 1996
+        assert predicate.high == 1998
+
+    def test_case_insensitive_table_and_value(self, schema):
+        sql = "select count(*) from lineorder, customer where customer.region = 'asia'"
+        query = parse_star_join_sql(sql, schema)
+        predicate = query.predicates.predicates[0]
+        assert predicate.value == "ASIA"
+
+    def test_unknown_table_raises(self, schema):
+        with pytest.raises(QueryError):
+            parse_star_join_sql("SELECT count(*) FROM Ghost WHERE Ghost.x = 1", schema)
+
+    def test_unknown_value_raises(self, schema):
+        with pytest.raises(QueryError):
+            parse_star_join_sql(
+                "SELECT count(*) FROM Customer, Lineorder WHERE Customer.region = 'MARS'",
+                schema,
+            )
+
+    def test_malformed_sql_raises(self, schema):
+        with pytest.raises(QueryError):
+            parse_star_join_sql("UPDATE Customer SET region = 'ASIA'", schema)
+
+    def test_missing_aggregate_raises(self, schema):
+        with pytest.raises(QueryError):
+            parse_star_join_sql("SELECT region FROM Customer", schema)
+
+
+class TestParsedQueriesMatchHandBuiltOnes:
+    def test_qc2_answer_matches(self, schema, ssb_small):
+        executor = QueryExecutor(ssb_small)
+        parsed = parse_star_join_sql(QC2_SQL, schema, name="Qc2")
+        assert executor.execute(parsed) == executor.execute(ssb_query("Qc2", schema))
+
+    def test_qc3_answer_matches(self, schema, ssb_small):
+        executor = QueryExecutor(ssb_small)
+        parsed = parse_star_join_sql(QC3_SQL, schema, name="Qc3")
+        assert executor.execute(parsed) == executor.execute(ssb_query("Qc3", schema))
+
+    def test_qg4_answer_matches(self, schema, ssb_small):
+        executor = QueryExecutor(ssb_small)
+        parsed = parse_star_join_sql(QG4_SQL, schema, name="Qg4")
+        expected = executor.execute(ssb_query("Qg4", schema))
+        actual = executor.execute(parsed)
+        assert actual.groups == pytest.approx(expected.groups)

@@ -1,0 +1,140 @@
+"""Tests for the SSB and snowflake data generators."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.ssb import (
+    BRANDS,
+    CATEGORIES,
+    CITIES,
+    MFGRS,
+    NATIONS,
+    REGIONS,
+    SSBConfig,
+    SSBGenerator,
+    YEARS,
+    generate_ssb,
+    ssb_schema,
+)
+from repro.datagen.tpch import SnowflakeConfig, SnowflakeGenerator, snowflake_schema
+from repro.db.executor import QueryExecutor
+from repro.exceptions import DataGenerationError
+from repro.workloads.ssb_queries import ssb_query
+
+
+class TestDomainHierarchies:
+    def test_domain_sizes_match_ssb(self):
+        assert len(REGIONS) == 5
+        assert len(NATIONS) == 25
+        assert len(CITIES) == 250
+        assert len(MFGRS) == 5
+        assert len(CATEGORIES) == 25
+        assert len(BRANDS) == 1000
+        assert len(YEARS) == 7
+
+    def test_paper_values_exist(self):
+        assert "UNITED STATES" in NATIONS
+        assert "MFGR#12" in CATEGORIES
+        assert "MFGR#1" in MFGRS
+        assert 1993 in YEARS
+
+    def test_schema_domain_sizes(self):
+        schema = ssb_schema()
+        assert schema.table_schema("Customer").domain_of("region").size == 5
+        assert schema.table_schema("Supplier").domain_of("nation").size == 25
+        assert schema.table_schema("Part").domain_of("brand").size == 1000
+        assert schema.table_schema("Date").domain_of("year").size == 7
+        assert schema.num_dimensions == 4
+
+
+class TestSSBGenerator:
+    def test_row_counts_scale_with_scale_factor(self):
+        small = generate_ssb(scale_factor=0.25, seed=1, rows_per_scale_factor=8000)
+        large = generate_ssb(scale_factor=1.0, seed=1, rows_per_scale_factor=8000)
+        assert small.num_fact_rows == 2000
+        assert large.num_fact_rows == 8000
+        assert large.dimension("Customer").num_rows >= small.dimension("Customer").num_rows
+
+    def test_foreign_keys_are_valid(self, ssb_small):
+        for dim_name in ssb_small.schema.dimension_names:
+            codes = ssb_small.fact_foreign_key_codes(dim_name)
+            assert codes.min() >= 0
+            assert codes.max() < ssb_small.dimension(dim_name).num_rows
+
+    def test_hierarchies_are_consistent(self, ssb_small):
+        customer = ssb_small.dimension("Customer")
+        city_codes = customer.codes("city")
+        nation_codes = customer.codes("nation")
+        region_codes = customer.codes("region")
+        assert np.array_equal(nation_codes, city_codes // 10)
+        assert np.array_equal(region_codes, nation_codes // 5)
+        part = ssb_small.dimension("Part")
+        assert np.array_equal(part.codes("category"), part.codes("brand") // 40)
+        assert np.array_equal(part.codes("mfgr"), part.codes("category") // 5)
+
+    def test_reproducible_with_seed(self):
+        a = generate_ssb(scale_factor=0.5, seed=9, rows_per_scale_factor=4000)
+        b = generate_ssb(scale_factor=0.5, seed=9, rows_per_scale_factor=4000)
+        assert np.array_equal(a.fact.codes("CK"), b.fact.codes("CK"))
+        assert np.array_equal(a.fact.codes("revenue"), b.fact.codes("revenue"))
+
+    def test_measures_within_ranges(self, ssb_small):
+        quantity = ssb_small.fact.codes("quantity")
+        revenue = ssb_small.fact.codes("revenue")
+        assert quantity.min() >= 1 and quantity.max() <= 50
+        assert revenue.min() >= 1.0 and revenue.max() <= 100.0
+
+    def test_skewed_keys_change_fanout(self):
+        uniform = generate_ssb(seed=3, rows_per_scale_factor=6000, key_distribution="uniform")
+        skewed = generate_ssb(seed=3, rows_per_scale_factor=6000, key_distribution="zipf")
+        assert skewed.max_fan_out("Customer") > uniform.max_fan_out("Customer")
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(DataGenerationError):
+            SSBConfig(scale_factor=0.0)
+        with pytest.raises(DataGenerationError):
+            SSBConfig(rows_per_scale_factor=0)
+
+    def test_all_queries_have_nonzero_answers(self, ssb_small):
+        executor = QueryExecutor(ssb_small)
+        for name in ("Qc1", "Qc2", "Qc3", "Qc4", "Qs2", "Qs3", "Qs4"):
+            assert executor.execute(ssb_query(name)) > 0.0
+
+    def test_date_dimension_calendar(self, ssb_small):
+        date = ssb_small.dimension("Date")
+        assert date.num_rows == 7 * 365
+        years = date.codes("year")
+        assert years.min() == 0 and years.max() == 6
+        months = date.codes("month")
+        assert months.min() == 0 and months.max() == 11
+
+
+class TestSnowflakeGenerator:
+    def test_schema_declares_snowflake_edge(self):
+        schema = snowflake_schema()
+        assert schema.is_snowflake
+        edge = schema.snowflake_edges[0]
+        assert (edge.child_table, edge.parent_table) == ("Date", "Month")
+
+    def test_month_dimension_consistency(self, snowflake_small):
+        month = snowflake_small.dimension("Month")
+        assert month.num_rows == 7 * 12
+        date = snowflake_small.dimension("Date")
+        month_keys = date.codes("MK")
+        assert month_keys.max() < month.num_rows
+        # The month's year must agree with the date's year.
+        assert np.array_equal(month.codes("year")[month_keys], date.codes("year"))
+
+    def test_snowflake_and_star_fact_tables_match(self):
+        star = generate_ssb(seed=21, rows_per_scale_factor=4000)
+        snowflake = SnowflakeGenerator(
+            SnowflakeConfig(scale_factor=1.0, rows_per_scale_factor=4000, seed=21)
+        ).build()
+        assert snowflake.num_fact_rows == star.num_fact_rows
+
+    def test_snowflake_query_answers_are_plausible(self, snowflake_small):
+        from repro.workloads.tpch_queries import tpch_count_query
+
+        executor = QueryExecutor(snowflake_small)
+        count = executor.execute(tpch_count_query())
+        assert 0 < count < snowflake_small.num_fact_rows

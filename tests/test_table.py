@@ -1,0 +1,134 @@
+"""Unit tests for columnar tables."""
+
+import numpy as np
+import pytest
+
+from repro.db.domains import AttributeDomain
+from repro.db.table import Column, Table
+from repro.exceptions import DomainError, SchemaError
+
+
+@pytest.fixture()
+def color_domain():
+    return AttributeDomain.categorical("color", ("red", "green", "blue"))
+
+
+class TestColumn:
+    def test_plain_column(self):
+        column = Column("x", np.array([1.0, 2.0, 3.0]))
+        assert column.num_rows == 3
+        assert column.domain is None
+
+    def test_encoded_column_validates_codes(self, color_domain):
+        with pytest.raises(DomainError):
+            Column("color", np.array([0, 1, 5]), domain=color_domain)
+        with pytest.raises(DomainError):
+            Column("color", np.array([-1, 0]), domain=color_domain)
+
+    def test_from_raw_encodes(self, color_domain):
+        column = Column.from_raw("color", ["blue", "red"], domain=color_domain)
+        assert list(column.values) == [2, 0]
+
+    def test_decoded_roundtrip(self, color_domain):
+        column = Column.from_raw("color", ["blue", "red", "green"], domain=color_domain)
+        assert column.decoded() == ["blue", "red", "green"]
+
+    def test_two_dimensional_values_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("x", np.zeros((2, 2)))
+
+    def test_take_and_mask(self, color_domain):
+        column = Column.from_raw("color", ["blue", "red", "green"], domain=color_domain)
+        assert column.take(np.array([2, 0])).decoded() == ["green", "blue"]
+        assert column.mask(np.array([True, False, True])).decoded() == ["blue", "green"]
+
+
+class TestTable:
+    @pytest.fixture()
+    def table(self, color_domain):
+        return Table(
+            "Paint",
+            [
+                Column("id", np.arange(4)),
+                Column.from_raw("color", ["red", "green", "red", "blue"], domain=color_domain),
+                Column("price", np.array([1.5, 2.5, 3.5, 4.5])),
+            ],
+        )
+
+    def test_basic_accessors(self, table):
+        assert table.num_rows == 4
+        assert len(table) == 4
+        assert table.column_names == ["id", "color", "price"]
+        assert "color" in table
+        assert "weight" not in table
+
+    def test_column_lookup_error(self, table):
+        with pytest.raises(SchemaError):
+            table.column("weight")
+
+    def test_codes_and_domain(self, table, color_domain):
+        assert list(table.codes("color")) == [0, 1, 0, 2]
+        assert table.domain("color") is color_domain
+        assert table.domain("price") is None
+
+    def test_mismatched_column_lengths_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("Bad", [Column("a", np.arange(3)), Column("b", np.arange(4))])
+
+    def test_duplicate_column_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("Bad", [Column("a", np.arange(3)), Column("a", np.arange(3))])
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("Empty", [])
+
+    def test_filter(self, table):
+        filtered = table.filter(np.array([True, False, True, False]))
+        assert filtered.num_rows == 2
+        assert list(filtered.codes("id")) == [0, 2]
+
+    def test_filter_wrong_length_rejected(self, table):
+        with pytest.raises(SchemaError):
+            table.filter(np.array([True, False]))
+
+    def test_take_preserves_order(self, table):
+        taken = table.take(np.array([3, 0]))
+        assert list(taken.codes("id")) == [3, 0]
+
+    def test_head(self, table):
+        assert table.head(2).num_rows == 2
+        assert table.head(100).num_rows == 4
+
+    def test_row_decodes_values(self, table):
+        row = table.row(3)
+        assert row == {"id": 3, "color": "blue", "price": 4.5}
+
+    def test_row_out_of_range(self, table):
+        with pytest.raises(IndexError):
+            table.row(10)
+
+    def test_to_records(self, table):
+        records = table.to_records()
+        assert len(records) == 4
+        assert records[1]["color"] == "green"
+
+    def test_from_records_roundtrip(self, color_domain):
+        records = [
+            {"id": 0, "color": "red"},
+            {"id": 1, "color": "blue"},
+        ]
+        table = Table.from_records("Paint", records, domains={"color": color_domain})
+        assert table.to_records() == records
+
+    def test_from_arrays(self, color_domain):
+        table = Table.from_arrays(
+            "Paint",
+            {"id": np.arange(2), "color": np.array([0, 2])},
+            domains={"color": color_domain},
+        )
+        assert table.row(1)["color"] == "blue"
+
+    def test_from_records_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Table.from_records("Empty", [])

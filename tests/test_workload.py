@@ -1,0 +1,150 @@
+"""Tests for workload answering: data cube, independent PM and WD (Algorithm 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.workload import (
+    IndependentPMWorkload,
+    WorkloadDecomposition,
+    answer_workload_exact,
+    build_data_cube,
+    contract_cube,
+    predicate_matrices,
+    workload_attributes,
+)
+from repro.db.query import AggregateKind, StarJoinQuery
+from repro.db.predicates import PointPredicate
+from repro.evaluation.metrics import workload_relative_error
+from repro.exceptions import QueryError, UnsupportedQueryError
+from repro.workloads.workload_matrices import workload_w1, workload_w2
+
+
+class TestWorkloadAttributes:
+    def test_attributes_collected_once(self):
+        queries = workload_w1()
+        attributes = workload_attributes(queries)
+        assert {(a.table, a.attribute) for a in attributes} == {
+            ("Date", "year"),
+            ("Customer", "region"),
+            ("Supplier", "region"),
+        }
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(QueryError):
+            workload_attributes([])
+
+    def test_duplicate_attribute_in_one_query_rejected(self, ssb_schema_fixture):
+        domain = ssb_schema_fixture.table_schema("Customer").domain_of("region")
+        query = StarJoinQuery.count(
+            "dup",
+            [
+                PointPredicate("Customer", "region", domain, value="ASIA"),
+                PointPredicate("Customer", "region", domain, value="EUROPE"),
+            ],
+        )
+        with pytest.raises(QueryError):
+            workload_attributes([query])
+
+    def test_predicate_matrices_shapes(self):
+        queries = workload_w1()
+        attributes = workload_attributes(queries)
+        matrices = predicate_matrices(queries, attributes)
+        sizes = {a.attribute: a.domain.size for a in attributes}
+        for attribute, matrix in zip(attributes, matrices):
+            assert matrix.shape == (len(queries), sizes[attribute.attribute])
+
+
+class TestDataCube:
+    def test_cube_total_equals_fact_rows(self, ssb_small):
+        queries = workload_w1()
+        attributes = workload_attributes(queries)
+        cube = build_data_cube(ssb_small, attributes)
+        assert cube.sum() == pytest.approx(ssb_small.num_fact_rows)
+
+    def test_cube_contraction_matches_executor(self, ssb_small):
+        queries = workload_w1()
+        attributes = workload_attributes(queries)
+        cube = build_data_cube(ssb_small, attributes)
+        matrices = predicate_matrices(queries, attributes)
+        exact = answer_workload_exact(ssb_small, queries)
+        for index in range(len(queries)):
+            contracted = contract_cube(cube, [matrix[index] for matrix in matrices])
+            assert contracted == pytest.approx(exact[index])
+
+    def test_sum_cube_requires_measure(self, ssb_small):
+        attributes = workload_attributes(workload_w1())
+        with pytest.raises(QueryError):
+            build_data_cube(ssb_small, attributes, kind=AggregateKind.SUM)
+
+    def test_avg_cube_unsupported(self, ssb_small):
+        attributes = workload_attributes(workload_w1())
+        with pytest.raises(UnsupportedQueryError):
+            build_data_cube(ssb_small, attributes, kind=AggregateKind.AVG)
+
+    def test_sum_cube_total(self, ssb_small):
+        attributes = workload_attributes(workload_w1())
+        cube = build_data_cube(ssb_small, attributes, kind=AggregateKind.SUM, measure="revenue")
+        assert cube.sum() == pytest.approx(float(np.sum(ssb_small.fact.codes("revenue"))))
+
+
+class TestIndependentPM:
+    def test_answers_have_right_shape(self, ssb_small):
+        queries = workload_w1()
+        answer = IndependentPMWorkload(epsilon=1.0, rng=1).answer(ssb_small, queries)
+        assert answer.values.shape == (len(queries),)
+        assert answer.epsilon == 1.0
+
+    def test_empty_workload_rejected(self, ssb_small):
+        with pytest.raises(QueryError):
+            IndependentPMWorkload(epsilon=1.0).answer(ssb_small, [])
+
+
+class TestWorkloadDecomposition:
+    def test_answers_have_right_shape_and_strategies(self, ssb_small):
+        queries = workload_w2()
+        answer = WorkloadDecomposition(epsilon=1.0, rng=2).answer(ssb_small, queries)
+        assert answer.values.shape == (len(queries),)
+        assert set(answer.strategies) == {
+            ("Date", "year"),
+            ("Customer", "region"),
+            ("Supplier", "region"),
+        }
+
+    def test_high_epsilon_recovers_exact_answers(self, ssb_small):
+        queries = workload_w1()
+        exact = answer_workload_exact(ssb_small, queries)
+        answer = WorkloadDecomposition(epsilon=1e7, rng=3).answer(ssb_small, queries)
+        assert answer.values == pytest.approx(exact)
+
+    def test_wd_strategy_receives_larger_per_row_budget_than_pm(self, ssb_small):
+        """The structural reason WD dominates independent PM (Figure 9): the
+        strategy has far fewer rows than (queries × attributes), so each
+        perturbed predicate gets a larger share of ε."""
+        queries = workload_w1()
+        attributes = workload_attributes(queries)
+        decomposition = WorkloadDecomposition(epsilon=1.0)
+        answer = decomposition.answer(ssb_small, queries, rng=1)
+        per_attribute_epsilon = 1.0 / len(attributes)
+        pm_per_predicate_epsilon = (1.0 / len(queries)) / len(attributes)
+        for choice in answer.strategies.values():
+            wd_per_row_epsilon = per_attribute_epsilon / choice.num_rows
+            assert wd_per_row_epsilon >= pm_per_predicate_epsilon
+
+    def test_wd_error_not_catastrophically_worse_than_pm(self, ssb_small):
+        """Statistical sanity check on the small fixture (the full Figure 9
+        comparison runs on the experiment-scale instance)."""
+        queries = workload_w1()
+        exact = answer_workload_exact(ssb_small, queries)
+        pm_errors, wd_errors = [], []
+        for seed in range(8):
+            pm_answer = IndependentPMWorkload(epsilon=0.5, rng=seed).answer(ssb_small, queries)
+            wd_answer = WorkloadDecomposition(epsilon=0.5, rng=seed).answer(ssb_small, queries)
+            pm_errors.append(workload_relative_error(exact, pm_answer.values))
+            wd_errors.append(workload_relative_error(exact, wd_answer.values))
+        assert np.mean(wd_errors) <= max(np.mean(pm_errors) * 2.0, 50.0)
+
+    def test_reproducible_with_seed(self, ssb_small):
+        queries = workload_w2()
+        a = WorkloadDecomposition(epsilon=0.5, rng=11).answer(ssb_small, queries)
+        b = WorkloadDecomposition(epsilon=0.5, rng=11).answer(ssb_small, queries)
+        assert np.array_equal(a.values, b.values)

@@ -1,0 +1,156 @@
+"""Tests for the paper's query workloads (SSB queries, W1/W2, Qtc/Qts, Q2*/Q3*)."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.ssb import ssb_schema
+from repro.db.predicates import PointPredicate, RangePredicate, SetPredicate
+from repro.db.query import AggregateKind
+from repro.exceptions import QueryError
+from repro.graph.generators import powerlaw_graph
+from repro.workloads.kstar_queries import kstar_query, q2star, q3star
+from repro.workloads.ssb_queries import (
+    SSB_QUERY_NAMES,
+    all_ssb_queries,
+    count_queries,
+    groupby_queries,
+    ssb_query,
+    sum_queries,
+)
+from repro.workloads.tpch_queries import snowflake_queries, tpch_count_query, tpch_sum_query
+from repro.workloads.workload_matrices import (
+    W1_MATRIX,
+    W2_MATRIX,
+    workload_matrix_from_queries,
+    workload_queries_from_matrix,
+    workload_w1,
+    workload_w2,
+)
+
+
+class TestSSBQueries:
+    def test_all_queries_build(self):
+        queries = all_ssb_queries()
+        assert [q.name for q in queries] == list(SSB_QUERY_NAMES)
+
+    def test_unknown_query_rejected(self):
+        with pytest.raises(QueryError):
+            ssb_query("Qc9")
+
+    def test_query_families(self):
+        assert all(q.kind is AggregateKind.COUNT for q in count_queries())
+        assert all(q.kind is AggregateKind.SUM for q in sum_queries())
+        assert all(q.is_grouped for q in groupby_queries())
+
+    def test_domain_sizes_match_appendix(self):
+        """The appendix lists the predicate domain sizes of every query."""
+        expected = {
+            "Qc1": [7],
+            "Qc2": [25, 5],
+            "Qc3": [5, 5, 7],
+            "Qc4": [5, 25, 7, 5],
+            "Qs2": [25, 5],
+            "Qs3": [5, 5, 7],
+            "Qs4": [5, 25, 7, 5],
+            "Qg2": [25, 5],
+            "Qg4": [5, 25, 7, 5],
+        }
+        for name, sizes in expected.items():
+            assert sorted(ssb_query(name).domain_sizes()) == sorted(sizes), name
+
+    def test_qc1_predicate(self):
+        query = ssb_query("Qc1")
+        predicate = query.predicates.predicates[0]
+        assert isinstance(predicate, PointPredicate)
+        assert (predicate.table, predicate.value) == ("Date", 1993)
+
+    def test_qc3_has_year_range(self):
+        ranges = [p for p in ssb_query("Qc3").predicates if isinstance(p, RangePredicate)]
+        assert len(ranges) == 1
+        assert (ranges[0].low, ranges[0].high) == (1992, 1997)
+
+    def test_qc4_has_mfgr_set(self):
+        sets = [p for p in ssb_query("Qc4").predicates if isinstance(p, SetPredicate)]
+        assert len(sets) == 1
+        assert set(sets[0].values) == {"MFGR#1", "MFGR#2"}
+
+    def test_qg4_measure_difference_and_groupby(self):
+        query = ssb_query("Qg4")
+        assert query.aggregate.measure.column == "revenue"
+        assert query.aggregate.measure.subtract == "supplycost"
+        assert list(query.group_by) == [("Date", "year"), ("Part", "category")]
+
+    def test_describe_mentions_aggregate(self):
+        assert "COUNT(*)" in ssb_query("Qc1").describe()
+        assert "SUM" in ssb_query("Qs2").describe()
+
+
+class TestWorkloadMatrices:
+    def test_matrix_shapes(self):
+        assert W1_MATRIX.shape == (11, 17)
+        assert W2_MATRIX.shape == (7, 17)
+
+    def test_every_row_selects_something_in_every_block(self):
+        for matrix in (W1_MATRIX, W2_MATRIX):
+            for row in matrix:
+                assert row[:7].sum() >= 1
+                assert row[7:12].sum() >= 1
+                assert row[12:].sum() >= 1
+
+    def test_w2_year_block_is_cumulative(self):
+        year_block = W2_MATRIX[:, :7]
+        widths = year_block.sum(axis=1)
+        assert list(widths) == [1, 2, 3, 4, 5, 6, 7]
+
+    def test_queries_roundtrip_to_matrix(self):
+        for matrix in (W1_MATRIX, W2_MATRIX):
+            queries = workload_queries_from_matrix(matrix)
+            assert np.array_equal(workload_matrix_from_queries(queries), matrix)
+
+    def test_workload_builders(self):
+        assert len(workload_w1()) == 11
+        assert len(workload_w2()) == 7
+        assert all(q.kind is AggregateKind.COUNT for q in workload_w1())
+
+    def test_invalid_row_length_rejected(self):
+        with pytest.raises(QueryError):
+            workload_queries_from_matrix(np.ones((2, 5)))
+
+    def test_all_zero_block_rejected(self):
+        bad = np.ones((1, 17))
+        bad[0, 7:12] = 0
+        with pytest.raises(QueryError):
+            workload_queries_from_matrix(bad)
+
+
+class TestSnowflakeQueries:
+    def test_count_query_structure(self):
+        query = tpch_count_query()
+        assert query.kind is AggregateKind.COUNT
+        tables = {p.table for p in query.predicates}
+        assert tables == {"Month", "Customer"}
+
+    def test_sum_query_structure(self):
+        query = tpch_sum_query()
+        assert query.kind is AggregateKind.SUM
+        assert query.aggregate.measure.column == "revenue"
+
+    def test_snowflake_queries_list(self):
+        names = [q.name for q in snowflake_queries()]
+        assert names == ["Qtc", "Qts"]
+
+
+class TestKStarQueries:
+    def test_full_range(self):
+        graph = powerlaw_graph(100, 300, rng=1)
+        query = q2star(graph)
+        assert query.k == 2
+        assert query.low == 0
+        assert query.high == graph.num_nodes - 1
+        assert q3star(graph).k == 3
+
+    def test_custom_k(self):
+        graph = powerlaw_graph(100, 300, rng=1)
+        query = kstar_query(4, graph, name="Q4*")
+        assert query.k == 4
+        assert query.label == "Q4*"
