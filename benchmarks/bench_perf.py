@@ -1,0 +1,105 @@
+"""Standalone perf tracker for the figure/table benchmark kernels.
+
+Runs every experiment driver with the same configurations the pytest
+benchmarks use and writes the wall-clock timings to
+``benchmarks/results/BENCH_engine.json``.  The committed file is the perf
+baseline this repository tracks from the execution-engine PR onward; re-run
+after performance-relevant changes and compare::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py [--repeats N] [--output PATH]
+
+Each kernel is timed with a cold generated-instance cache so numbers are
+comparable run to run; within a kernel, mechanisms still share the per-database
+execution engine exactly as the experiments do.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.evaluation.experiments import (
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    figure11,
+    table1,
+    table2,
+)
+from repro.evaluation.experiments.common import ExperimentConfig, clear_database_cache
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _kernels():
+    """(name, callable) pairs mirroring the pytest benchmark workloads."""
+    quick = ExperimentConfig.quick()
+    full = ExperimentConfig(epsilons=(0.1, 0.5, 1.0), trials=3, rows_per_scale_factor=240_000)
+    return [
+        ("table1", lambda: table1.run(quick)),
+        ("table2", lambda: table2.run(quick, graph_scale=0.1)),
+        ("figure4", lambda: figure4.run(full, scales=(0.25, 0.5, 1.0))),
+        ("figure5", lambda: figure5.run(quick, scales=(0.25, 0.5, 1.0))),
+        ("figure6", lambda: figure6.run(quick)),
+        ("figure7", lambda: figure7.run(quick)),
+        ("figure8", lambda: figure8.run(quick)),
+        ("figure9", lambda: figure9.run(quick)),
+        ("figure10", lambda: figure10.run(quick)),
+        ("figure11", lambda: figure11.run(quick)),
+    ]
+
+
+def run_benchmarks(repeats: int = 3) -> dict:
+    timings: dict[str, dict] = {}
+    for name, kernel in _kernels():
+        samples = []
+        for _ in range(repeats):
+            clear_database_cache()
+            start = time.perf_counter()
+            kernel()
+            samples.append(time.perf_counter() - start)
+        timings[name] = {
+            "mean_s": round(sum(samples) / len(samples), 6),
+            "min_s": round(min(samples), 6),
+            "max_s": round(max(samples), 6),
+            "samples": [round(sample, 6) for sample in samples],
+        }
+        print(f"{name:>10}: mean {timings[name]['mean_s']*1000:8.1f} ms "
+              f"(min {timings[name]['min_s']*1000:.1f} ms over {repeats} repeats)")
+    return {
+        "schema_version": 1,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "experiments": timings,
+        "total_mean_s": round(sum(t["mean_s"] for t in timings.values()), 6),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=3, help="timed runs per kernel")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=RESULTS_DIR / "BENCH_engine.json",
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args()
+    if args.repeats < 1:
+        parser.error("--repeats must be at least 1")
+    report = run_benchmarks(repeats=args.repeats)
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output} (total mean {report['total_mean_s']:.3f} s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.db.database import StarDatabase
+from repro.db.engine import ExecutionEngine
 from repro.db.query import AggregateKind, StarJoinQuery
 from repro.dp.mechanisms import CauchyMechanism, LaplaceMechanism
 from repro.dp.neighboring import PrivacyScenario
@@ -81,7 +82,11 @@ class LocalSensitivityMechanism:
 
     # ------------------------------------------------------------------
     def answer_value(
-        self, database: StarDatabase, query: StarJoinQuery, rng: RngLike = None
+        self,
+        database: StarDatabase,
+        query: StarJoinQuery,
+        rng: RngLike = None,
+        engine: Optional[ExecutionEngine] = None,
     ) -> float:
         if query.is_grouped:
             raise UnsupportedQueryError("LS does not support GROUP BY star-join queries")
@@ -92,7 +97,7 @@ class LocalSensitivityMechanism:
         generator = ensure_rng(rng) if rng is not None else self._rng
         from repro.db.executor import QueryExecutor
 
-        exact = float(QueryExecutor(database).execute(query))
+        exact = float(QueryExecutor(database, engine=engine).execute(query))
         bound = self.local_sensitivity_bound(database, query)
         if self.variant == "cauchy":
             mechanism = CauchyMechanism(

@@ -15,6 +15,7 @@ from typing import Optional
 import numpy as np
 
 from repro.db.database import StarDatabase
+from repro.db.engine import ExecutionEngine
 from repro.db.executor import GroupedResult, QueryExecutor
 from repro.db.query import AggregateKind, StarJoinQuery
 from repro.dp.mechanisms import LaplaceMechanism
@@ -52,7 +53,9 @@ class OutputLaplaceMechanism:
         self._rng = ensure_rng(rng)
 
     # ------------------------------------------------------------------
-    def _sensitivity(self, database: StarDatabase, query: StarJoinQuery) -> float:
+    def _sensitivity(
+        self, database: StarDatabase, query: StarJoinQuery, engine: ExecutionEngine
+    ) -> float:
         if query.kind is AggregateKind.COUNT:
             bound = count_query_global_sensitivity(
                 self.scenario.fact_private, self.scenario.private_dimensions
@@ -63,9 +66,8 @@ class OutputLaplaceMechanism:
                 # A public upper bound on the measure must be supplied for SUM
                 # queries; falling back to the observed maximum is flagged as a
                 # non-private convenience for experimentation.
-                executor = QueryExecutor(database)
                 measure_bound = float(
-                    np.abs(executor.measure_values(query.aggregate.measure)).max()
+                    np.abs(engine.measure_values(query.aggregate.measure)).max()
                 )
             bound = sum_query_global_sensitivity(
                 self.scenario.fact_private, self.scenario.private_dimensions, measure_bound
@@ -79,7 +81,11 @@ class OutputLaplaceMechanism:
 
     # ------------------------------------------------------------------
     def answer_value(
-        self, database: StarDatabase, query: StarJoinQuery, rng: RngLike = None
+        self,
+        database: StarDatabase,
+        query: StarJoinQuery,
+        rng: RngLike = None,
+        engine: Optional[ExecutionEngine] = None,
     ):
         """Answer ``query`` by output perturbation.
 
@@ -87,8 +93,9 @@ class OutputLaplaceMechanism:
         (parallel composition over the disjoint groups).
         """
         generator = ensure_rng(rng) if rng is not None else self._rng
-        executor = QueryExecutor(database)
-        sensitivity = self._sensitivity(database, query)
+        engine = engine if engine is not None else ExecutionEngine.for_database(database)
+        executor = QueryExecutor(database, engine=engine)
+        sensitivity = self._sensitivity(database, query, engine)
         mechanism = LaplaceMechanism(sensitivity=sensitivity, epsilon=self.epsilon)
         exact = executor.execute(query)
         if isinstance(exact, GroupedResult):

@@ -26,6 +26,7 @@ from typing import Optional
 import numpy as np
 
 from repro.db.database import StarDatabase
+from repro.db.engine import ExecutionEngine
 from repro.db.executor import QueryExecutor
 from repro.db.query import AggregateKind, StarJoinQuery
 from repro.dp.neighboring import PrivacyScenario
@@ -76,7 +77,7 @@ class RaceToTheTop:
         self._rng = ensure_rng(rng)
 
     # ------------------------------------------------------------------
-    def _pick_dimension(self, database: StarDatabase) -> str:
+    def _pick_dimension(self, database: StarDatabase, engine: ExecutionEngine) -> str:
         if self.truncation_dimension is not None:
             return self.truncation_dimension
         scenario = self.scenario or PrivacyScenario.dimensions(
@@ -91,26 +92,31 @@ class RaceToTheTop:
         # fan-out (i.e. the most keys) minimises the lossless threshold τ* and
         # therefore the error bound — the instance-optimal choice R2T aims for.
         return min(
-            scenario.private_dimensions, key=lambda name: database.max_fan_out(name)
+            scenario.private_dimensions, key=lambda name: engine.max_fan_out(name)
         )
 
-    def _gs_bound(self, database: StarDatabase, query: StarJoinQuery) -> float:
+    def _gs_bound(
+        self, database: StarDatabase, query: StarJoinQuery, engine: ExecutionEngine
+    ) -> float:
         if self.global_sensitivity_bound is not None:
             return float(self.global_sensitivity_bound)
         # A public coarse bound: no single entity can contribute more than the
         # fact table is large (times the measure bound for SUM queries).
         bound = float(max(database.num_fact_rows, 2))
         if query.kind is AggregateKind.SUM:
-            executor = QueryExecutor(database)
             measure_max = float(
-                np.abs(executor.measure_values(query.aggregate.measure)).max()
+                np.abs(engine.measure_values(query.aggregate.measure)).max()
             )
             bound *= max(measure_max, 1.0)
         return bound
 
     # ------------------------------------------------------------------
     def run(
-        self, database: StarDatabase, query: StarJoinQuery, rng: RngLike = None
+        self,
+        database: StarDatabase,
+        query: StarJoinQuery,
+        rng: RngLike = None,
+        engine: Optional[ExecutionEngine] = None,
     ) -> R2TTrace:
         """Run R2T and return the full trace of candidates."""
         if query.is_grouped:
@@ -121,11 +127,14 @@ class RaceToTheTop:
             raise UnsupportedQueryError("R2T does not support AVG star-join queries")
         generator = ensure_rng(rng) if rng is not None else self._rng
 
-        executor = QueryExecutor(database)
-        dimension = self._pick_dimension(database)
-        per_key = executor.contribution_per_key(query, dimension)
+        engine = engine if engine is not None else ExecutionEngine.for_database(database)
+        dimension = self._pick_dimension(database, engine)
+        measure = None if query.kind is AggregateKind.COUNT else query.aggregate.measure
+        ordered, prefix = engine.sorted_contributions(
+            query.predicates, dimension, kind=query.kind, measure=measure
+        )
 
-        gs_bound = self._gs_bound(database, query)
+        gs_bound = self._gs_bound(database, query, engine)
         num_candidates = max(int(math.ceil(math.log2(gs_bound))), 1)
         log_gs = float(num_candidates)
         penalty_factor = log_gs * math.log(max(log_gs / self.alpha, math.e))
@@ -136,7 +145,7 @@ class RaceToTheTop:
         noisy_candidates: list[float] = []
         for j in range(1, num_candidates + 1):
             tau = float(2**j)
-            truncated = float(np.minimum(per_key, tau).sum())
+            truncated = engine.truncated_sum_from_sorted(ordered, prefix, tau)
             noise = laplace_noise(tau, per_candidate_epsilon, rng=generator)
             candidate = truncated + noise - penalty_factor * tau / self.epsilon
             thresholds.append(tau)
@@ -156,10 +165,14 @@ class RaceToTheTop:
         )
 
     def answer_value(
-        self, database: StarDatabase, query: StarJoinQuery, rng: RngLike = None
+        self,
+        database: StarDatabase,
+        query: StarJoinQuery,
+        rng: RngLike = None,
+        engine: Optional[ExecutionEngine] = None,
     ) -> float:
         """Answer ``query`` with R2T (ε-DP)."""
-        return self.run(database, query, rng=rng).value
+        return self.run(database, query, rng=rng, engine=engine).value
 
     # ------------------------------------------------------------------
     def utility_bound(
@@ -170,11 +183,12 @@ class RaceToTheTop:
         ``τ*`` is estimated as the smallest power of two at which truncation
         becomes lossless on this instance.
         """
-        executor = QueryExecutor(database)
-        dimension = self._pick_dimension(database)
+        engine = ExecutionEngine.for_database(database)
+        executor = QueryExecutor(database, engine=engine)
+        dimension = self._pick_dimension(database, engine)
         per_key = executor.contribution_per_key(query, dimension)
         exact = float(per_key.sum())
-        gs_bound = self._gs_bound(database, query)
+        gs_bound = self._gs_bound(database, query, engine)
         num_candidates = max(int(math.ceil(math.log2(gs_bound))), 1)
         log_gs = float(num_candidates)
         tau_star = float(per_key.max()) if per_key.size else 1.0

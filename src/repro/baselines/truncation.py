@@ -23,7 +23,7 @@ from typing import Optional
 import numpy as np
 
 from repro.db.database import StarDatabase
-from repro.db.executor import QueryExecutor
+from repro.db.engine import ExecutionEngine
 from repro.db.query import AggregateKind, StarJoinQuery
 from repro.dp.mechanisms import LaplaceMechanism
 from repro.dp.neighboring import PrivacyScenario
@@ -62,7 +62,9 @@ class TruncationMechanism:
         self._rng = ensure_rng(rng)
 
     # ------------------------------------------------------------------
-    def _pick_dimension(self, database: StarDatabase, query: StarJoinQuery) -> str:
+    def _pick_dimension(
+        self, database: StarDatabase, query: StarJoinQuery, engine: ExecutionEngine
+    ) -> str:
         if self.truncation_dimension is not None:
             return self.truncation_dimension
         scenario = self.scenario or PrivacyScenario.dimensions(
@@ -74,7 +76,7 @@ class TruncationMechanism:
             # discarding much of the answer.
             return min(
                 scenario.private_dimensions,
-                key=lambda name: database.max_fan_out(name),
+                key=lambda name: engine.max_fan_out(name),
             )
         raise UnsupportedQueryError(
             "the truncation mechanism needs at least one private dimension table"
@@ -90,18 +92,28 @@ class TruncationMechanism:
 
     # ------------------------------------------------------------------
     def answer_value(
-        self, database: StarDatabase, query: StarJoinQuery, rng: RngLike = None
+        self,
+        database: StarDatabase,
+        query: StarJoinQuery,
+        rng: RngLike = None,
+        engine: Optional[ExecutionEngine] = None,
     ) -> float:
         if query.is_grouped:
             raise UnsupportedQueryError("TM does not support GROUP BY star-join queries")
         if query.kind is AggregateKind.AVG:
             raise UnsupportedQueryError("TM does not support AVG star-join queries")
         generator = ensure_rng(rng) if rng is not None else self._rng
-        executor = QueryExecutor(database)
-        dimension = self._pick_dimension(database, query)
-        per_key = executor.contribution_per_key(query, dimension)
+        engine = engine if engine is not None else ExecutionEngine.for_database(database)
+        dimension = self._pick_dimension(database, query, engine)
+        measure = None if query.kind is AggregateKind.COUNT else query.aggregate.measure
+        per_key = engine.contribution_per_key(
+            query.predicates, dimension, kind=query.kind, measure=measure
+        )
         threshold = self._pick_threshold(per_key)
-        truncated = executor.truncated_answer(query, dimension, threshold, per_key=per_key)
+        ordered, prefix = engine.sorted_contributions(
+            query.predicates, dimension, kind=query.kind, measure=measure
+        )
+        truncated = engine.truncated_sum_from_sorted(ordered, prefix, threshold)
         mechanism = LaplaceMechanism(sensitivity=threshold, epsilon=self.epsilon)
         return mechanism.randomise(truncated, rng=generator)
 
@@ -114,9 +126,12 @@ class TruncationMechanism:
         Exposed for the ablation benchmarks that explore the bias/variance
         trade-off the paper describes.
         """
-        executor = QueryExecutor(database)
-        dimension = self._pick_dimension(database, query)
-        per_key = executor.contribution_per_key(query, dimension)
+        engine = ExecutionEngine.for_database(database)
+        dimension = self._pick_dimension(database, query, engine)
+        measure = None if query.kind is AggregateKind.COUNT else query.aggregate.measure
+        per_key = engine.contribution_per_key(
+            query.predicates, dimension, kind=query.kind, measure=measure
+        )
         tau = float(threshold) if threshold is not None else self._pick_threshold(per_key)
         exact = float(per_key.sum())
         truncated = float(np.minimum(per_key, tau).sum())

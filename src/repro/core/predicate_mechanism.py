@@ -23,6 +23,7 @@ from typing import Optional, Union
 
 from repro.core.pma import PredicateMechanismForAttribute
 from repro.db.database import StarDatabase
+from repro.db.engine import ExecutionEngine
 from repro.db.executor import GroupedResult, QueryExecutor
 from repro.db.predicates import Predicate
 from repro.db.query import StarJoinQuery
@@ -128,15 +129,18 @@ class PredicateMechanism:
         query: StarJoinQuery,
         rng: RngLike = None,
         executor: Optional[QueryExecutor] = None,
+        engine: Optional[ExecutionEngine] = None,
     ) -> PMAnswer:
         """Answer ``query`` on ``database`` under ε-DP.
 
         Returns a :class:`PMAnswer`; ``value`` is a float for scalar
         aggregates and a :class:`~repro.db.executor.GroupedResult` for
-        GROUP BY queries.
+        GROUP BY queries.  Execution goes through the database's shared
+        :class:`~repro.db.engine.ExecutionEngine` (or an explicit ``engine``),
+        so noisy-query selections reuse cached semi-join work where possible.
         """
         noisy_query, accountant = self.perturb_query(query, rng=rng)
-        executor = executor or QueryExecutor(database)
+        executor = executor or QueryExecutor(database, engine=engine)
         value = executor.execute(noisy_query)
         accountant.assert_exhausted()
         return PMAnswer(value=value, noisy_query=noisy_query, epsilon=self.epsilon)
@@ -147,9 +151,10 @@ class PredicateMechanism:
         query: StarJoinQuery,
         rng: RngLike = None,
         executor: Optional[QueryExecutor] = None,
+        engine: Optional[ExecutionEngine] = None,
     ) -> AnswerValue:
         """Like :meth:`answer` but returning only the noisy value."""
-        return self.answer(database, query, rng=rng, executor=executor).value
+        return self.answer(database, query, rng=rng, executor=executor, engine=engine).value
 
     # ------------------------------------------------------------------
     # theoretical error bounds (Section 5.4)

@@ -42,9 +42,10 @@ class SnowflakePredicateMechanism(PredicateMechanism):
         query: StarJoinQuery,
         rng: RngLike = None,
         executor=None,
+        engine=None,
     ) -> PMAnswer:
         self._validate_snowflake_query(database, query)
-        return super().answer(database, query, rng=rng, executor=executor)
+        return super().answer(database, query, rng=rng, executor=executor, engine=engine)
 
     @staticmethod
     def _validate_snowflake_query(database: StarDatabase, query: StarJoinQuery) -> None:

@@ -19,7 +19,7 @@ mechanisms are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -32,9 +32,10 @@ from repro.core.pma import PredicateMechanismForAttribute
 from repro.core.predicate_mechanism import PredicateMechanism
 from repro.db.database import StarDatabase
 from repro.db.domains import AttributeDomain
+from repro.db.engine import ExecutionEngine
 from repro.db.executor import QueryExecutor
 from repro.db.predicates import TruePredicate
-from repro.db.query import AggregateKind, StarJoinQuery
+from repro.db.query import AggregateKind, Measure, StarJoinQuery
 from repro.exceptions import PrivacyBudgetError, QueryError, UnsupportedQueryError
 from repro.rng import RngLike, ensure_rng
 
@@ -116,7 +117,8 @@ def build_data_cube(
     database: StarDatabase,
     attributes: Sequence[WorkloadAttribute],
     kind: AggregateKind = AggregateKind.COUNT,
-    measure: Optional[str] = None,
+    measure: Optional[Union[str, Measure]] = None,
+    engine: Optional[ExecutionEngine] = None,
 ) -> np.ndarray:
     """Aggregate the fact table into a cube over the workload attributes.
 
@@ -124,39 +126,29 @@ def build_data_cube(
     measure (SUM) whose joined dimension attributes carry the ordinal codes
     ``c_1 .. c_n``.  Workload answers are contractions of this cube with the
     per-attribute predicate indicators.
+
+    Cubes are memoized in the database's shared
+    :class:`~repro.db.engine.ExecutionEngine` and built with ``np.bincount``
+    over ``np.ravel_multi_index`` composite codes.  SUM cubes resolve the
+    measure through the same accessor as the exact executor
+    (:meth:`ExecutionEngine.measure_values`), so cube-based and
+    executor-based SUM answers agree; ``measure`` may be a bare column name
+    or a :class:`~repro.db.query.Measure` expression.
     """
     if kind is AggregateKind.AVG:
         raise UnsupportedQueryError("workload answering does not support AVG")
-    shape = tuple(attribute.domain.size for attribute in attributes)
-    cube = np.zeros(shape, dtype=np.float64)
-
-    code_arrays = []
+    if kind is not AggregateKind.COUNT and measure is None:
+        raise QueryError("SUM workloads require a measure column")
+    engine = engine if engine is not None else ExecutionEngine.for_database(database)
     for attribute in attributes:
-        if attribute.table == database.fact.name:
-            codes = database.fact.codes(attribute.attribute)
-        else:
-            table = database.table(attribute.table)
-            direct_name, _ = database.resolve_to_direct_dimension(
-                attribute.table, np.ones(table.num_rows, dtype=bool)
+        if attribute.table != database.fact.name and not database.is_direct_dimension(
+            attribute.table
+        ):
+            raise UnsupportedQueryError(
+                "workload attributes must live on the fact table or a direct "
+                "dimension table"
             )
-            if direct_name != attribute.table:
-                raise UnsupportedQueryError(
-                    "workload attributes must live on the fact table or a direct "
-                    "dimension table"
-                )
-            fk_codes = database.fact_foreign_key_codes(attribute.table)
-            codes = table.codes(attribute.attribute)[fk_codes]
-        code_arrays.append(np.asarray(codes))
-
-    if kind is AggregateKind.COUNT:
-        weights = np.ones(database.num_fact_rows, dtype=np.float64)
-    else:
-        if measure is None:
-            raise QueryError("SUM workloads require a measure column")
-        weights = np.asarray(database.fact.codes(measure), dtype=np.float64)
-
-    np.add.at(cube, tuple(code_arrays), weights)
-    return cube
+    return engine.data_cube(attributes, kind=kind, measure=measure)
 
 
 def contract_cube(cube: np.ndarray, indicators: Sequence[np.ndarray]) -> float:
@@ -168,10 +160,12 @@ def contract_cube(cube: np.ndarray, indicators: Sequence[np.ndarray]) -> float:
 
 
 def answer_workload_exact(
-    database: StarDatabase, queries: Sequence[StarJoinQuery]
+    database: StarDatabase,
+    queries: Sequence[StarJoinQuery],
+    engine: Optional[ExecutionEngine] = None,
 ) -> np.ndarray:
     """Exact answers of every workload query (via the star-join executor)."""
-    executor = QueryExecutor(database)
+    executor = QueryExecutor(database, engine=engine)
     return np.array([executor.execute(query) for query in queries], dtype=np.float64)
 
 
@@ -203,12 +197,13 @@ class IndependentPMWorkload:
         database: StarDatabase,
         queries: Sequence[StarJoinQuery],
         rng: RngLike = None,
+        engine: Optional[ExecutionEngine] = None,
     ) -> WorkloadAnswer:
         generator = ensure_rng(rng) if rng is not None else self._rng
         if not queries:
             raise QueryError("workload must contain at least one query")
         per_query_epsilon = self.epsilon / len(queries)
-        executor = QueryExecutor(database)
+        executor = QueryExecutor(database, engine=engine)
         values = []
         for query in queries:
             mechanism = PredicateMechanism(epsilon=per_query_epsilon, rng=generator)
@@ -243,7 +238,8 @@ class WorkloadDecomposition:
         queries: Sequence[StarJoinQuery],
         rng: RngLike = None,
         kind: AggregateKind = AggregateKind.COUNT,
-        measure: Optional[str] = None,
+        measure: Optional[Union[str, Measure]] = None,
+        engine: Optional[ExecutionEngine] = None,
     ) -> WorkloadAnswer:
         """Answer the workload with the WD strategy.
 
@@ -256,7 +252,7 @@ class WorkloadDecomposition:
         if not attributes:
             raise QueryError("workload queries carry no predicates to decompose")
         matrices = predicate_matrices(queries, attributes)
-        cube = build_data_cube(database, attributes, kind=kind, measure=measure)
+        cube = build_data_cube(database, attributes, kind=kind, measure=measure, engine=engine)
 
         per_attribute_epsilon = self.epsilon / len(attributes)
         strategies: dict[tuple[str, str], StrategyChoice] = {}

@@ -74,7 +74,14 @@ class KeySampler:
     def sample(self, size: int, count: int, rng: RngLike = None) -> np.ndarray:
         """Draw ``count`` codes from ``[0, size)``."""
         generator = ensure_rng(rng)
-        return generator.choice(size, size=count, p=self.probabilities(size)).astype(np.int64)
+        probabilities = self.probabilities(size)
+        # ``Generator.choice`` with an explicit probability vector is an order
+        # of magnitude slower than the uniform integer sampler; a flat vector
+        # is the common case (every figure except the skew studies), so route
+        # it through ``integers``.
+        if probabilities.size and probabilities.max() - probabilities.min() < 1e-15:
+            return generator.integers(0, size, size=count, dtype=np.int64)
+        return generator.choice(size, size=count, p=probabilities).astype(np.int64)
 
 
 class MeasureSampler:

@@ -109,6 +109,11 @@ class StarDatabase:
         fk = self.schema.foreign_key_for(dimension_name)
         return self.fact.codes(fk.fact_column)
 
+    def is_direct_dimension(self, table_name: str) -> bool:
+        """Whether ``table_name`` is a dimension directly referenced by the fact
+        table (as opposed to an outer snowflake table or the fact table itself)."""
+        return table_name in self.schema.foreign_keys
+
     # ------------------------------------------------------------------
     # snowflake traversal
     # ------------------------------------------------------------------

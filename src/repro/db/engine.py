@@ -1,0 +1,503 @@
+"""Vectorized, cache-aware execution engine for star-join workloads.
+
+The evaluation harness answers every (mechanism, query, ε) combination over
+repeated trials, so the same star-join selections, fan-out statistics and
+data cubes are recomputed hundreds of times per experiment.  The
+:class:`ExecutionEngine` is the shared layer that removes that redundancy: it
+owns, per database instance,
+
+* interned predicate fingerprints → fact-row selection masks (the semi-join
+  results), with a bounded LRU so noisy one-off predicates cannot grow the
+  cache without limit;
+* per-dimension foreign-key codes and fan-out vectors (the statistics the
+  LS / TM / R2T baselines are calibrated on);
+* measure arrays (the unified accessor both the executor and the workload
+  data cube draw from);
+* per-key contribution vectors together with their sorted/prefix-summed form,
+  so truncation mechanisms can evaluate every candidate threshold in
+  ``O(log n)`` instead of re-scanning the selection;
+* memoized exact query answers and data cubes.
+
+All cached arrays are returned with ``writeable=False`` so accidental
+mutation by a caller fails loudly instead of silently corrupting every later
+read.  The engine assumes the underlying :class:`StarDatabase` is immutable
+(the whole code base treats tables as frozen after construction); if a
+database is ever mutated in place, call :meth:`invalidate`.
+
+Engines are shared per database through :meth:`ExecutionEngine.for_database`,
+which is what makes the caching effective across mechanisms, ε values and
+trials without threading an engine handle through every call site.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import namedtuple
+from typing import Any, Hashable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.db.database import StarDatabase
+from repro.db.predicates import (
+    ConjunctionPredicate,
+    PointPredicate,
+    Predicate,
+    RangePredicate,
+    SetPredicate,
+    TruePredicate,
+)
+from repro.db.query import AggregateKind, Measure, StarJoinQuery
+from repro.exceptions import QueryError
+
+__all__ = ["ExecutionEngine", "predicate_fingerprint", "selection_fingerprint", "query_fingerprint"]
+
+
+# ----------------------------------------------------------------------
+# fingerprints
+# ----------------------------------------------------------------------
+def predicate_fingerprint(predicate: Predicate) -> Optional[Hashable]:
+    """A hashable key identifying the selection semantics of a predicate.
+
+    The engine is per-database, so ``(table, attribute)`` pins the column and
+    the ordinal codes pin the selected region.  Exact types only: a subclass
+    may override evaluation, so anything but the four stock predicate classes
+    returns ``None`` and is evaluated directly, never cached.
+    """
+    kind = type(predicate)
+    if kind is PointPredicate:
+        return (predicate.table, predicate.attribute, "point", predicate.code)
+    if kind is RangePredicate:
+        return (
+            predicate.table,
+            predicate.attribute,
+            "range",
+            predicate.low_code,
+            predicate.high_code,
+        )
+    if kind is SetPredicate:
+        return (
+            predicate.table,
+            predicate.attribute,
+            "set",
+            tuple(int(code) for code in predicate.codes),
+        )
+    if kind is TruePredicate:
+        return (predicate.table, predicate.attribute, "true")
+    return None
+
+
+def selection_fingerprint(predicates: ConjunctionPredicate) -> Optional[Hashable]:
+    """Order-insensitive key of a conjunction (AND is commutative)."""
+    members = []
+    for predicate in predicates:
+        fingerprint = predicate_fingerprint(predicate)
+        if fingerprint is None:
+            return None
+        members.append(fingerprint)
+    return tuple(sorted(members))
+
+
+def _measure_fingerprint(measure: Union[Measure, str]) -> Hashable:
+    if isinstance(measure, str):
+        return (measure, None)
+    return (measure.column, measure.subtract)
+
+
+def query_fingerprint(query: StarJoinQuery) -> Optional[Hashable]:
+    """A hashable key identifying the semantics (not the name) of a query."""
+    selection = selection_fingerprint(query.predicates)
+    if selection is None:
+        return None
+    aggregate = query.aggregate
+    measure = None if aggregate.measure is None else _measure_fingerprint(aggregate.measure)
+    group_by = None if query.group_by is None else tuple(query.group_by.keys)
+    return (aggregate.kind.value, measure, selection, group_by)
+
+
+_CubeAxis = namedtuple("_CubeAxis", ["table", "attribute", "domain"])
+
+#: Data cubes larger than this fall back to the semi-join plan.
+_MAX_CUBE_CELLS = 1 << 21
+
+
+class _LruCache:
+    """A tiny insertion-ordered LRU built on dict ordering."""
+
+    def __init__(self, max_entries: int):
+        self.max_entries = int(max_entries)
+        self._data: dict[Hashable, Any] = {}
+
+    def get(self, key: Hashable) -> Any:
+        try:
+            value = self._data.pop(key)
+        except KeyError:
+            return None
+        self._data[key] = value  # move to the fresh end
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self._data.pop(key, None)
+        self._data[key] = value
+        while len(self._data) > self.max_entries:
+            self._data.pop(next(iter(self._data)))
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+def _freeze(array: np.ndarray) -> np.ndarray:
+    array.flags.writeable = False
+    return array
+
+
+#: Engines shared per database instance (weak keys: an engine dies with its db).
+_SHARED_ENGINES: "weakref.WeakKeyDictionary[StarDatabase, ExecutionEngine]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+class ExecutionEngine:
+    """Per-database caches for star-join execution (see module docstring)."""
+
+    def __init__(self, database: StarDatabase, max_mask_entries: int = 192):
+        self.database = database
+        self._predicate_masks = _LruCache(max_mask_entries)
+        self._selection_masks = _LruCache(max_mask_entries)
+        self._fan_out: dict[Hashable, np.ndarray] = {}
+        self._max_fan_out: dict[str, int] = {}
+        self._measures: dict[Hashable, np.ndarray] = {}
+        self._contributions = _LruCache(max_mask_entries)
+        self._sorted_contributions = _LruCache(max_mask_entries)
+        self._cubes: dict[Hashable, np.ndarray] = {}
+        self._results = _LruCache(max_mask_entries)
+        self._direct_of: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_database(cls, database: StarDatabase) -> "ExecutionEngine":
+        """The shared engine of ``database`` (created on first request).
+
+        Every :class:`~repro.db.executor.QueryExecutor` built without an
+        explicit engine goes through here, which is what makes selections,
+        statistics and exact answers shared across mechanisms and trials.
+        """
+        engine = _SHARED_ENGINES.get(database)
+        if engine is None:
+            engine = cls(database)
+            _SHARED_ENGINES[database] = engine
+        return engine
+
+    def invalidate(self) -> None:
+        """Drop every cache (required after an in-place database mutation)."""
+        self._predicate_masks.clear()
+        self._selection_masks.clear()
+        self._fan_out.clear()
+        self._max_fan_out.clear()
+        self._measures.clear()
+        self._contributions.clear()
+        self._sorted_contributions.clear()
+        self._cubes.clear()
+        self._results.clear()
+        self._direct_of.clear()
+
+    # ------------------------------------------------------------------
+    # selections
+    # ------------------------------------------------------------------
+    def fact_mask(self, predicate: Predicate) -> np.ndarray:
+        """Cached boolean fact-row mask of a single predicate (read-only)."""
+        fingerprint = predicate_fingerprint(predicate)
+        if fingerprint is None:
+            return self.database.fact_mask_for_predicate(predicate)
+        mask = self._predicate_masks.get(fingerprint)
+        if mask is None:
+            mask = _freeze(self.database.fact_mask_for_predicate(predicate))
+            self._predicate_masks.put(fingerprint, mask)
+        return mask
+
+    def selection_mask(self, predicates: ConjunctionPredicate) -> np.ndarray:
+        """Cached boolean fact-row mask of a conjunction Φ (read-only)."""
+        fingerprint = selection_fingerprint(predicates)
+        if fingerprint is not None:
+            cached = self._selection_masks.get(fingerprint)
+            if cached is not None:
+                return cached
+        mask: Optional[np.ndarray] = None
+        for predicate in predicates:
+            predicate_mask = self.fact_mask(predicate)
+            if mask is None:
+                mask = predicate_mask.copy()
+            else:
+                mask &= predicate_mask
+        if mask is None:
+            mask = np.ones(self.database.num_fact_rows, dtype=bool)
+        mask = _freeze(mask)
+        if fingerprint is not None:
+            self._selection_masks.put(fingerprint, mask)
+        return mask
+
+    def selected_count(self, predicates: ConjunctionPredicate) -> int:
+        return int(self.selection_mask(predicates).sum())
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def fan_out(self, dimension_name: str) -> np.ndarray:
+        """Cached unfiltered fan-out vector of a direct dimension (read-only)."""
+        counts = self._fan_out.get(dimension_name)
+        if counts is None:
+            counts = _freeze(self.database.fan_out(dimension_name))
+            self._fan_out[dimension_name] = counts
+        return counts
+
+    def max_fan_out(self, dimension_name: str) -> int:
+        value = self._max_fan_out.get(dimension_name)
+        if value is None:
+            counts = self.fan_out(dimension_name)
+            value = int(counts.max()) if counts.size else 0
+            self._max_fan_out[dimension_name] = value
+        return value
+
+    def measure_values(self, measure: Union[Measure, str]) -> np.ndarray:
+        """The measure expression over every fact row, cached (read-only).
+
+        Accepts either a :class:`~repro.db.query.Measure` or a bare column
+        name; both resolve through the same path, so cube-based and
+        executor-based SUM answers are computed from the same array.
+        """
+        if isinstance(measure, str):
+            measure = Measure(measure)
+        fingerprint = _measure_fingerprint(measure)
+        values = self._measures.get(fingerprint)
+        if values is None:
+            values = np.asarray(self.database.fact.codes(measure.column), dtype=np.float64)
+            if measure.subtract is not None:
+                values = values - np.asarray(
+                    self.database.fact.codes(measure.subtract), dtype=np.float64
+                )
+            values = _freeze(values)
+            self._measures[fingerprint] = values
+        return values
+
+    # ------------------------------------------------------------------
+    # per-key contributions (truncation mechanisms)
+    # ------------------------------------------------------------------
+    def contribution_per_key(
+        self,
+        predicates: ConjunctionPredicate,
+        dimension_name: str,
+        kind: AggregateKind = AggregateKind.COUNT,
+        measure: Optional[Union[Measure, str]] = None,
+    ) -> np.ndarray:
+        """Per-dimension-key contribution to the selected aggregate (read-only)."""
+        if kind is not AggregateKind.COUNT and measure is None:
+            raise QueryError("per-key SUM contributions require a measure")
+        selection = selection_fingerprint(predicates)
+        key = None
+        if selection is not None:
+            measure_key = None if kind is AggregateKind.COUNT else _measure_fingerprint(
+                Measure(measure) if isinstance(measure, str) else measure
+            )
+            key = (selection, dimension_name, kind.value, measure_key)
+            cached = self._contributions.get(key)
+            if cached is not None:
+                return cached
+        mask = self.selection_mask(predicates)
+        codes = self.database.fact_foreign_key_codes(dimension_name)[mask]
+        dim_rows = self.database.dimension(dimension_name).num_rows
+        if kind is AggregateKind.COUNT:
+            per_key = np.bincount(codes, minlength=dim_rows).astype(np.float64)
+        else:
+            weights = self.measure_values(measure)[mask]
+            per_key = np.bincount(codes, weights=weights, minlength=dim_rows)
+        per_key = _freeze(per_key)
+        if key is not None:
+            self._contributions.put(key, per_key)
+        return per_key
+
+    def sorted_contributions(
+        self,
+        predicates: ConjunctionPredicate,
+        dimension_name: str,
+        kind: AggregateKind = AggregateKind.COUNT,
+        measure: Optional[Union[Measure, str]] = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(sorted per-key contributions, exclusive prefix sums)``.
+
+        With these two arrays a truncated aggregate at any threshold τ is
+        ``prefix[i] + τ · (n − i)`` where ``i = searchsorted(sorted, τ)`` —
+        evaluating a whole geometric ladder of thresholds costs one sort
+        instead of one full scan per candidate.
+        """
+        selection = selection_fingerprint(predicates)
+        key = None
+        if selection is not None:
+            measure_key = None if kind is AggregateKind.COUNT else _measure_fingerprint(
+                Measure(measure) if isinstance(measure, str) else measure
+            )
+            key = (selection, dimension_name, kind.value, measure_key)
+            cached = self._sorted_contributions.get(key)
+            if cached is not None:
+                return cached
+        per_key = self.contribution_per_key(predicates, dimension_name, kind, measure)
+        ordered = np.sort(per_key)
+        prefix = np.concatenate([[0.0], np.cumsum(ordered)])
+        pair = (_freeze(ordered), _freeze(prefix))
+        if key is not None:
+            self._sorted_contributions.put(key, pair)
+        return pair
+
+    @staticmethod
+    def truncated_sum_from_sorted(
+        ordered: np.ndarray, prefix: np.ndarray, threshold: float
+    ) -> float:
+        """``Σ_k min(contribution_k, τ)`` from :meth:`sorted_contributions`."""
+        index = int(np.searchsorted(ordered, threshold, side="right"))
+        return float(prefix[index] + threshold * (ordered.size - index))
+
+    # ------------------------------------------------------------------
+    # data cubes (workload answering)
+    # ------------------------------------------------------------------
+    def data_cube(
+        self,
+        attributes: Sequence[Any],
+        kind: AggregateKind = AggregateKind.COUNT,
+        measure: Optional[Union[Measure, str]] = None,
+    ) -> np.ndarray:
+        """Memoized data cube over workload attributes (read-only).
+
+        ``attributes`` are :class:`~repro.core.workload.WorkloadAttribute`
+        instances (typed loosely to avoid an import cycle).  The cube is built
+        with ``np.bincount`` over ``np.ravel_multi_index`` composite codes,
+        which is substantially faster than ``np.add.at`` on the same shapes.
+        """
+        if kind is AggregateKind.AVG:
+            raise QueryError("data cubes support COUNT and SUM only")
+        measure_key = None
+        if kind is not AggregateKind.COUNT:
+            if measure is None:
+                raise QueryError("SUM data cubes require a measure column")
+            measure_key = _measure_fingerprint(
+                Measure(measure) if isinstance(measure, str) else measure
+            )
+        key = (
+            tuple(
+                (attribute.table, attribute.attribute, attribute.domain.size)
+                for attribute in attributes
+            ),
+            kind.value,
+            measure_key,
+        )
+        cube = self._cubes.get(key)
+        if cube is not None:
+            return cube
+
+        database = self.database
+        shape = tuple(attribute.domain.size for attribute in attributes)
+        code_arrays = []
+        for attribute in attributes:
+            if attribute.table == database.fact.name:
+                codes = database.fact.codes(attribute.attribute)
+            else:
+                if not database.is_direct_dimension(attribute.table):
+                    raise QueryError(
+                        "workload attributes must live on the fact table or a "
+                        "direct dimension table"
+                    )
+                table = database.table(attribute.table)
+                fk_codes = database.fact_foreign_key_codes(attribute.table)
+                codes = table.codes(attribute.attribute)[fk_codes]
+            code_arrays.append(np.asarray(codes))
+
+        if code_arrays:
+            flat = np.ravel_multi_index(tuple(code_arrays), shape)
+        else:
+            flat = np.zeros(database.num_fact_rows, dtype=np.int64)
+            shape = ()
+        length = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        if kind is AggregateKind.COUNT:
+            cube = np.bincount(flat, minlength=length).astype(np.float64)
+        else:
+            weights = self.measure_values(measure)
+            cube = np.bincount(flat, weights=weights, minlength=length)
+        cube = _freeze(cube.reshape(shape))
+        self._cubes[key] = cube
+        return cube
+
+    # ------------------------------------------------------------------
+    # cube-served scalar counts
+    # ------------------------------------------------------------------
+    def count_answer_via_cube(self, query: StarJoinQuery) -> Optional[float]:
+        """Answer a scalar COUNT query by contracting the memoized data cube.
+
+        The Predicate Mechanism executes a *different* noisy query on every
+        trial, so selection-mask caching cannot help it — but all those noisy
+        queries share the original query's predicate attributes.  Building the
+        COUNT cube over that attribute set once turns each subsequent
+        execution into a small sub-cube sum (the paper's own Section 5.3
+        device, applied to single queries).  Counts are integers, so the cube
+        contraction is exactly the semi-join count.
+
+        Returns ``None`` when the query is not cube-eligible (GROUP BY, SUM /
+        AVG, snowflaked or duplicate predicate attributes, domain mismatch, or
+        a cube that would exceed :data:`_MAX_CUBE_CELLS`); callers fall back
+        to the semi-join plan.
+        """
+        if query.is_grouped or query.kind is not AggregateKind.COUNT:
+            return None
+        predicates = list(query.predicates)
+        if not predicates:
+            return None
+        database = self.database
+        seen: set[tuple[str, str]] = set()
+        pairs = []
+        cells = 1
+        for predicate in predicates:
+            key = (predicate.table, predicate.attribute)
+            if key in seen or predicate.domain is None:
+                return None
+            seen.add(key)
+            if predicate.table != database.fact.name and not database.is_direct_dimension(
+                predicate.table
+            ):
+                return None
+            column_domain = database.table(predicate.table).domain(predicate.attribute)
+            if column_domain is None or column_domain.size != predicate.domain.size:
+                return None
+            cells *= predicate.domain.size
+            if cells > _MAX_CUBE_CELLS:
+                return None
+            pairs.append((predicate, _CubeAxis(*key, predicate.domain)))
+        # Canonical axis order, so every predicate ordering reuses one cube.
+        pairs.sort(key=lambda pair: (pair[1].table, pair[1].attribute))
+        cube = self.data_cube(tuple(axis for _, axis in pairs), kind=AggregateKind.COUNT)
+        selectors = tuple(
+            predicate.evaluate_codes(np.arange(axis.domain.size, dtype=np.int64))
+            for predicate, axis in pairs
+        )
+        return float(cube[np.ix_(*selectors)].sum())
+
+    # ------------------------------------------------------------------
+    # exact results
+    # ------------------------------------------------------------------
+    def cached_result(self, query: StarJoinQuery) -> Optional[Any]:
+        """A memoized exact answer of ``query``, or ``None``."""
+        fingerprint = query_fingerprint(query)
+        if fingerprint is None:
+            return None
+        return self._results.get(fingerprint)
+
+    def store_result(self, query: StarJoinQuery, result: Any) -> None:
+        fingerprint = query_fingerprint(query)
+        if fingerprint is not None:
+            self._results.put(fingerprint, result)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ExecutionEngine(db={self.database.fact.name!r}, "
+            f"masks={len(self._predicate_masks)}, selections={len(self._selection_masks)}, "
+            f"cubes={len(self._cubes)}, results={len(self._results)})"
+        )

@@ -8,6 +8,10 @@ computed over the surviving fact rows.  This is the exact (non-private)
 answer ``Q(D_s)`` that every mechanism's error is measured against, and it is
 also the engine the Predicate Mechanism uses to answer the *noisy* query.
 
+Selections, measure arrays, per-key contributions and exact answers are
+served by a shared per-database :class:`~repro.db.engine.ExecutionEngine`, so
+repeated executions (mechanism trials, ε sweeps) reuse the semi-join work.
+
 A reference materialise-then-filter implementation lives in
 :mod:`repro.db.join` and is used in tests to cross-validate this plan.
 """
@@ -20,6 +24,7 @@ from typing import Any, Optional
 import numpy as np
 
 from repro.db.database import StarDatabase
+from repro.db.engine import ExecutionEngine
 from repro.db.predicates import ConjunctionPredicate
 from repro.db.query import Aggregate, AggregateKind, GroupBy, Measure, StarJoinQuery
 from repro.exceptions import QueryError
@@ -55,41 +60,52 @@ class GroupedResult:
         theirs = np.array([other.groups.get(k, 0.0) for k in all_keys], dtype=np.float64)
         return mine, theirs
 
+    def copy(self) -> "GroupedResult":
+        """A shallow copy whose ``groups`` dict is safe to mutate."""
+        return GroupedResult(keys=self.keys, groups=dict(self.groups))
+
     def __len__(self) -> int:
         return len(self.groups)
 
 
 class QueryExecutor:
-    """Evaluate star-join queries exactly on a :class:`StarDatabase`."""
+    """Evaluate star-join queries exactly on a :class:`StarDatabase`.
 
-    def __init__(self, database: StarDatabase):
+    Parameters
+    ----------
+    database:
+        The instance to execute against.
+    engine:
+        Optional :class:`~repro.db.engine.ExecutionEngine`.  By default the
+        database's shared engine is used, so every executor over the same
+        instance shares selection/statistics caches.
+    """
+
+    def __init__(self, database: StarDatabase, engine: Optional[ExecutionEngine] = None):
         self.database = database
+        self.engine = engine if engine is not None else ExecutionEngine.for_database(database)
 
     # ------------------------------------------------------------------
     # selection
     # ------------------------------------------------------------------
     def fact_selection_mask(self, predicates: ConjunctionPredicate) -> np.ndarray:
-        """Boolean mask over fact rows whose joined tuple satisfies Φ."""
-        mask = np.ones(self.database.num_fact_rows, dtype=bool)
-        for predicate in predicates:
-            mask &= self.database.fact_mask_for_predicate(predicate)
-        return mask
+        """Boolean mask over fact rows whose joined tuple satisfies Φ.
+
+        The mask comes from the shared engine cache and is read-only; take a
+        ``.copy()`` before mutating.
+        """
+        return self.engine.selection_mask(predicates)
 
     def selected_count(self, predicates: ConjunctionPredicate) -> int:
         """Number of fact rows selected by Φ (COUNT(*) of the star join)."""
-        return int(self.fact_selection_mask(predicates).sum())
+        return self.engine.selected_count(predicates)
 
     # ------------------------------------------------------------------
     # measures
     # ------------------------------------------------------------------
     def measure_values(self, measure: Measure) -> np.ndarray:
-        """The measure expression evaluated over every fact row."""
-        values = np.asarray(self.database.fact.codes(measure.column), dtype=np.float64)
-        if measure.subtract is not None:
-            values = values - np.asarray(
-                self.database.fact.codes(measure.subtract), dtype=np.float64
-            )
-        return values
+        """The measure expression evaluated over every fact row (read-only)."""
+        return self.engine.measure_values(measure)
 
     def _aggregate_masked(self, aggregate: Aggregate, mask: np.ndarray) -> float:
         if aggregate.kind is AggregateKind.COUNT:
@@ -112,15 +128,12 @@ class QueryExecutor:
                 codes = self.database.fact.codes(attribute)[mask]
             else:
                 table = self.database.table(table_name)
-                column_codes = table.codes(attribute)
-                direct_name, _ = self.database.resolve_to_direct_dimension(
-                    table_name, np.ones(table.num_rows, dtype=bool)
-                )
-                if direct_name != table_name:
+                if not self.database.is_direct_dimension(table_name):
                     raise QueryError(
                         "GROUP BY over snowflaked (non-direct) dimension attributes "
                         "is not supported"
                     )
+                column_codes = table.codes(attribute)
                 fk_codes = self.database.fact_foreign_key_codes(table_name)[mask]
                 codes = column_codes[fk_codes]
             per_key.append(np.asarray(codes))
@@ -130,28 +143,45 @@ class QueryExecutor:
         group_by = query.group_by
         per_key_codes = self._group_codes(group_by, mask)
         if query.kind is AggregateKind.COUNT:
-            weights = np.ones(int(mask.sum()), dtype=np.float64)
+            weights = None
         else:
             weights = self.measure_values(query.aggregate.measure)[mask]
 
-        # Combine the per-key code arrays into a single composite group id.
-        if per_key_codes:
-            stacked = np.stack(per_key_codes, axis=1)
+        # Combine the per-key code arrays into a single composite group id via
+        # ravel_multi_index + bincount, which avoids the row-sorting cost of
+        # np.unique(..., axis=0) on the stacked code matrix.
+        sizes = []
+        for (table_name, attribute), codes in zip(group_by, per_key_codes):
+            domain = self.database.table(table_name).domain(attribute)
+            if domain is not None:
+                sizes.append(domain.size)
+            else:
+                sizes.append(int(codes.max()) + 1 if codes.size else 1)
+        shape = tuple(sizes)
+        flat = np.ravel_multi_index(tuple(per_key_codes), shape)
+        length = int(np.prod(shape, dtype=np.int64))
+        counts = np.bincount(flat, minlength=length)
+        present = np.flatnonzero(counts)
+        if weights is None:
+            sums = counts[present].astype(np.float64)
         else:
-            stacked = np.zeros((int(mask.sum()), 0), dtype=np.int64)
-        unique_rows, inverse = np.unique(stacked, axis=0, return_inverse=True)
-        sums = np.bincount(inverse, weights=weights, minlength=unique_rows.shape[0])
+            sums = np.bincount(flat, weights=weights, minlength=length)[present]
         if query.kind is AggregateKind.AVG:
-            counts = np.bincount(inverse, minlength=unique_rows.shape[0])
-            sums = np.divide(sums, np.maximum(counts, 1))
+            sums = np.divide(sums, np.maximum(counts[present], 1))
+        code_columns = np.unravel_index(present, shape)
 
-        groups: dict[tuple[Any, ...], float] = {}
-        for row, value in zip(unique_rows, sums):
-            decoded = []
-            for (table_name, attribute), code in zip(group_by, row):
-                domain = self.database.table(table_name).domain(attribute)
-                decoded.append(domain.decode(int(code)) if domain is not None else int(code))
-            groups[tuple(decoded)] = float(value)
+        # Decode each key column in one vectorized pass instead of per group.
+        decoded_columns: list[list[Any]] = []
+        for (table_name, attribute), codes in zip(group_by, code_columns):
+            domain = self.database.table(table_name).domain(attribute)
+            if domain is None:
+                decoded_columns.append([int(code) for code in codes])
+            else:
+                decoded_columns.append(domain.decode_array(codes))
+
+        groups: dict[tuple[Any, ...], float] = {
+            key: float(value) for key, value in zip(zip(*decoded_columns), sums)
+        }
         return GroupedResult(keys=tuple(group_by.keys), groups=groups)
 
     # ------------------------------------------------------------------
@@ -161,12 +191,24 @@ class QueryExecutor:
         """Execute ``query`` exactly.
 
         Returns a ``float`` for scalar aggregates and a :class:`GroupedResult`
-        for GROUP BY queries.
+        for GROUP BY queries.  Exact answers are memoized in the shared
+        engine, so repeated trials of an experiment compute each one once.
         """
-        mask = self.fact_selection_mask(query.predicates)
+        cached = self.engine.cached_result(query)
+        if cached is not None:
+            return cached.copy() if isinstance(cached, GroupedResult) else cached
+        cube_answer = self.engine.count_answer_via_cube(query)
+        if cube_answer is not None:
+            self.engine.store_result(query, cube_answer)
+            return cube_answer
+        mask = self.engine.selection_mask(query.predicates)
         if query.is_grouped:
-            return self._grouped(query, mask)
-        return self._aggregate_masked(query.aggregate, mask)
+            result = self._grouped(query, mask)
+            self.engine.store_result(query, result.copy())
+        else:
+            result = self._aggregate_masked(query.aggregate, mask)
+            self.engine.store_result(query, result)
+        return result
 
     # ------------------------------------------------------------------
     # helpers for truncation-based mechanisms
@@ -174,20 +216,17 @@ class QueryExecutor:
     def contribution_per_key(
         self, query: StarJoinQuery, dimension_name: str
     ) -> np.ndarray:
-        """Per-dimension-key contribution to the query answer.
+        """Per-dimension-key contribution to the query answer (read-only).
 
         For COUNT queries this is the number of selected fact rows joining to
         each key of ``dimension_name``; for SUM queries it is the summed
         measure.  Truncation-based mechanisms (TM, R2T) cap these
         contributions at a threshold τ.
         """
-        mask = self.fact_selection_mask(query.predicates)
-        codes = self.database.fact_foreign_key_codes(dimension_name)[mask]
-        dim_rows = self.database.dimension(dimension_name).num_rows
-        if query.kind is AggregateKind.COUNT:
-            return np.bincount(codes, minlength=dim_rows).astype(np.float64)
-        weights = self.measure_values(query.aggregate.measure)[mask]
-        return np.bincount(codes, weights=weights, minlength=dim_rows)
+        measure = None if query.kind is AggregateKind.COUNT else query.aggregate.measure
+        return self.engine.contribution_per_key(
+            query.predicates, dimension_name, kind=query.kind, measure=measure
+        )
 
     def truncated_answer(
         self,

@@ -122,21 +122,17 @@ def local_sensitivity_star_count(
     other_predicates = ConjunctionPredicate.of(
         p for p in query.predicates if p.table != private_dimension
     )
-    mask = np.ones(database.num_fact_rows, dtype=bool)
-    for predicate in other_predicates:
-        mask &= database.fact_mask_for_predicate(predicate)
-    codes = database.fact_foreign_key_codes(private_dimension)[mask]
-    dim_rows = database.dimension(private_dimension).num_rows
+    from repro.db.engine import ExecutionEngine
+
+    engine = ExecutionEngine.for_database(database)
     if query.kind is AggregateKind.COUNT:
-        contributions = np.bincount(codes, minlength=dim_rows)
+        contributions = engine.contribution_per_key(other_predicates, private_dimension)
     else:
-        measure = query.aggregate.measure
-        weights = np.asarray(database.fact.codes(measure.column), dtype=np.float64)
-        if measure.subtract is not None:
-            weights = weights - np.asarray(
-                database.fact.codes(measure.subtract), dtype=np.float64
-            )
-        contributions = np.bincount(codes, weights=np.abs(weights[mask]), minlength=dim_rows)
+        mask = engine.selection_mask(other_predicates)
+        codes = database.fact_foreign_key_codes(private_dimension)[mask]
+        dim_rows = database.dimension(private_dimension).num_rows
+        weights = np.abs(engine.measure_values(query.aggregate.measure))
+        contributions = np.bincount(codes, weights=weights[mask], minlength=dim_rows)
     return float(contributions.max()) if contributions.size else 0.0
 
 

@@ -15,12 +15,33 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Optional
+from zlib import crc32
 
 from repro.datagen.ssb import SSBConfig, SSBGenerator
 from repro.db.database import StarDatabase
+from repro.db.engine import ExecutionEngine
 from repro.dp.neighboring import PrivacyScenario
 
-__all__ = ["ExperimentConfig", "DEFAULT_PRIVATE_DIMENSIONS", "build_ssb_database"]
+__all__ = [
+    "ExperimentConfig",
+    "DEFAULT_PRIVATE_DIMENSIONS",
+    "build_ssb_database",
+    "cell_seed",
+    "engine_for",
+    "clear_database_cache",
+]
+
+
+def cell_seed(*parts, modulus: int = 10_000) -> int:
+    """A deterministic per-cell seed offset derived from the cell's labels.
+
+    The drivers previously derived these offsets with the built-in ``hash``,
+    which is salted per process for strings — every run of an experiment drew
+    different noise.  CRC32 over the stringified labels is stable across
+    processes and platforms, so experiment outputs are reproducible.
+    """
+    text = "|".join(str(part) for part in parts)
+    return crc32(text.encode("utf-8")) % modulus
 
 #: The dimension tables treated as private in the evaluation: the entity
 #: tables.  Date carries no personal information and is treated as public.
@@ -92,6 +113,18 @@ class ExperimentConfig:
         )
 
 
+#: Generated instances cached by their full generator configuration, so the
+#: experiment drivers (which rebuild the same instances figure after figure)
+#: share one database — and therefore one ExecutionEngine — per configuration.
+_DATABASE_CACHE: dict[tuple, StarDatabase] = {}
+_DATABASE_CACHE_MAX = 6
+
+
+def clear_database_cache() -> None:
+    """Drop the generated-instance cache (frees memory between suites)."""
+    _DATABASE_CACHE.clear()
+
+
 def build_ssb_database(
     config: ExperimentConfig,
     scale_factor: Optional[float] = None,
@@ -99,12 +132,36 @@ def build_ssb_database(
     measure_distribution: str = "uniform",
     seed_offset: int = 0,
 ) -> StarDatabase:
-    """Generate the SSB instance an experiment runs on."""
-    return SSBGenerator(
-        config.ssb_config(
-            scale_factor=scale_factor,
-            key_distribution=key_distribution,
-            measure_distribution=measure_distribution,
-            seed_offset=seed_offset,
-        )
-    ).build()
+    """Generate (or reuse) the SSB instance an experiment runs on.
+
+    Generation is deterministic in the configuration, so instances are cached
+    by their knobs; distribution objects (rather than names) bypass the cache.
+    """
+    ssb_config = config.ssb_config(
+        scale_factor=scale_factor,
+        key_distribution=key_distribution,
+        measure_distribution=measure_distribution,
+        seed_offset=seed_offset,
+    )
+    cacheable = isinstance(key_distribution, str) and isinstance(measure_distribution, str)
+    if not cacheable:
+        return SSBGenerator(ssb_config).build()
+    key = (
+        ssb_config.scale_factor,
+        ssb_config.rows_per_scale_factor,
+        key_distribution,
+        measure_distribution,
+        ssb_config.seed,
+    )
+    database = _DATABASE_CACHE.get(key)
+    if database is None:
+        database = SSBGenerator(ssb_config).build()
+        while len(_DATABASE_CACHE) >= _DATABASE_CACHE_MAX:
+            _DATABASE_CACHE.pop(next(iter(_DATABASE_CACHE)))
+        _DATABASE_CACHE[key] = database
+    return database
+
+
+def engine_for(database: StarDatabase) -> ExecutionEngine:
+    """The shared execution engine of ``database`` (one per instance)."""
+    return ExecutionEngine.for_database(database)

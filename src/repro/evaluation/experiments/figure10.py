@@ -19,7 +19,7 @@ from typing import Optional, Sequence
 from repro.core.snowflake import SnowflakePredicateMechanism
 from repro.datagen.tpch import SnowflakeConfig, SnowflakeGenerator, snowflake_schema
 from repro.db.executor import QueryExecutor
-from repro.evaluation.experiments.common import ExperimentConfig
+from repro.evaluation.experiments.common import ExperimentConfig, cell_seed
 from repro.evaluation.metrics import answer_relative_error
 from repro.evaluation.reporting import ExperimentResult
 from repro.evaluation.runner import evaluate_mechanism, make_star_mechanism
@@ -60,7 +60,7 @@ def run(
         for epsilon in epsilons:
             # PM through the snowflake-aware wrapper.
             errors = []
-            for trial_rng in spawn(config.seed + hash((query.name, epsilon, "PM")) % 10_000,
+            for trial_rng in spawn(config.seed + cell_seed(query.name, epsilon, "PM"),
                                    config.trials):
                 mechanism = SnowflakePredicateMechanism(epsilon=epsilon)
                 answer = mechanism.answer(database, query, rng=trial_rng)
@@ -74,7 +74,7 @@ def run(
                 mechanism = make_star_mechanism(mechanism_name, epsilon, scenario=config.scenario)
                 evaluation = evaluate_mechanism(
                     mechanism, database, query, trials=config.trials,
-                    rng=config.seed + hash((query.name, epsilon, mechanism_name)) % 10_000,
+                    rng=config.seed + cell_seed(query.name, epsilon, mechanism_name),
                     exact_answer=exact,
                 )
                 result.add_row(

@@ -16,7 +16,7 @@ from typing import Optional, Sequence
 from repro.datagen.distributions import GaussianMixtureSpec, key_sampler, measure_sampler
 from repro.datagen.ssb import SSBConfig, SSBGenerator, ssb_schema
 from repro.db.executor import QueryExecutor
-from repro.evaluation.experiments.common import ExperimentConfig
+from repro.evaluation.experiments.common import ExperimentConfig, cell_seed
 from repro.evaluation.reporting import ExperimentResult
 from repro.evaluation.runner import evaluate_mechanism, make_star_mechanism
 from repro.workloads.ssb_queries import ssb_query
@@ -56,7 +56,7 @@ def run(
                 rows_per_scale_factor=config.rows_per_scale_factor,
                 key_distribution=key_sampler("gaussian_mixture", spec=spec),
                 measure_distribution=measure_sampler("gaussian_mixture", spec=spec),
-                seed=config.seed + hash(mixture_name) % 1000,
+                seed=config.seed + cell_seed(mixture_name, modulus=1000),
             )
         )
         database = generator.build()
@@ -74,7 +74,7 @@ def run(
                         database,
                         query,
                         trials=config.trials,
-                        rng=config.seed + hash((mixture_name, query_name, epsilon, mechanism_name)) % 10_000,
+                        rng=config.seed + cell_seed(mixture_name, query_name, epsilon, mechanism_name),
                         exact_answer=exact,
                     )
                     result.add_row(

@@ -13,7 +13,7 @@ from typing import Optional, Sequence
 
 from repro.datagen.ssb import ssb_schema
 from repro.db.executor import QueryExecutor
-from repro.evaluation.experiments.common import PAPER_SCALES, ExperimentConfig, build_ssb_database
+from repro.evaluation.experiments.common import ExperimentConfig, PAPER_SCALES, build_ssb_database, cell_seed
 from repro.evaluation.reporting import ExperimentResult
 from repro.evaluation.runner import evaluate_mechanism, make_star_mechanism
 from repro.workloads.ssb_queries import ssb_query
@@ -51,7 +51,7 @@ def run(
                     database,
                     query,
                     trials=config.trials,
-                    rng=config.seed + hash((scale, query_name, mechanism_name)) % 10_000,
+                    rng=config.seed + cell_seed(scale, query_name, mechanism_name),
                     exact_answer=exact,
                 )
                 result.add_row(

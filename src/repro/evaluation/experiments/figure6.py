@@ -22,7 +22,7 @@ from typing import Optional, Sequence
 
 from repro.datagen.ssb import ssb_schema
 from repro.db.executor import QueryExecutor
-from repro.evaluation.experiments.common import ExperimentConfig, build_ssb_database
+from repro.evaluation.experiments.common import ExperimentConfig, build_ssb_database, cell_seed
 from repro.evaluation.reporting import ExperimentResult
 from repro.evaluation.runner import evaluate_mechanism, make_star_mechanism
 from repro.evaluation.metrics import relative_error
@@ -61,7 +61,7 @@ def run(
         pm = make_star_mechanism("PM", epsilon, scenario=config.scenario)
         pm_eval = evaluate_mechanism(
             pm, database, query, trials=config.trials,
-            rng=config.seed + hash((query_name, "PM")) % 10_000,
+            rng=config.seed + cell_seed(query_name, "PM"),
             exact_answer=exact,
         )
         for gs_bound in gs_bounds:
@@ -75,7 +75,7 @@ def run(
             )
             r2t_eval = evaluate_mechanism(
                 r2t, database, query, trials=config.trials,
-                rng=config.seed + hash((query_name, gs_bound, "R2T")) % 10_000,
+                rng=config.seed + cell_seed(query_name, gs_bound, "R2T"),
                 exact_answer=exact,
             )
             result.add_row(

@@ -15,7 +15,7 @@ from typing import Optional, Sequence
 
 from repro.datagen.ssb import ssb_schema
 from repro.db.executor import QueryExecutor
-from repro.evaluation.experiments.common import ExperimentConfig, build_ssb_database
+from repro.evaluation.experiments.common import ExperimentConfig, build_ssb_database, cell_seed
 from repro.evaluation.reporting import ExperimentResult
 from repro.evaluation.runner import evaluate_mechanism, make_star_mechanism
 from repro.workloads.ssb_queries import ssb_query
@@ -53,7 +53,7 @@ def run(
                 scale_factor=scale,
                 key_distribution=distribution,
                 measure_distribution=measure_distribution,
-                seed_offset=hash((distribution, scale)) % 1000,
+                seed_offset=cell_seed(distribution, scale, modulus=1000),
             )
             executor = QueryExecutor(database)
             for query_name in query_names:
@@ -68,7 +68,7 @@ def run(
                         database,
                         query,
                         trials=config.trials,
-                        rng=config.seed + hash((distribution, scale, query_name, mechanism_name)) % 10_000,
+                        rng=config.seed + cell_seed(distribution, scale, query_name, mechanism_name),
                         exact_answer=exact,
                     )
                     result.add_row(

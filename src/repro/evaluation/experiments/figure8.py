@@ -25,7 +25,7 @@ from repro.datagen.ssb import ssb_schema
 from repro.db.executor import QueryExecutor
 from repro.db.predicates import PointPredicate
 from repro.db.query import StarJoinQuery
-from repro.evaluation.experiments.common import ExperimentConfig, build_ssb_database
+from repro.evaluation.experiments.common import ExperimentConfig, build_ssb_database, cell_seed
 from repro.evaluation.reporting import ExperimentResult
 from repro.evaluation.runner import evaluate_mechanism, make_star_mechanism
 
@@ -86,7 +86,7 @@ def run(
                 database,
                 query,
                 trials=config.trials,
-                rng=config.seed + hash((label, mechanism_name)) % 10_000,
+                rng=config.seed + cell_seed(label, mechanism_name),
                 exact_answer=exact,
             )
             result.add_row(

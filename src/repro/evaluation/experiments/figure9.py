@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.core.workload import IndependentPMWorkload, WorkloadDecomposition, answer_workload_exact
 from repro.datagen.ssb import ssb_schema
-from repro.evaluation.experiments.common import ExperimentConfig, build_ssb_database
+from repro.evaluation.experiments.common import ExperimentConfig, build_ssb_database, cell_seed
 from repro.evaluation.metrics import workload_relative_error
 from repro.evaluation.reporting import ExperimentResult
 from repro.rng import spawn
@@ -44,7 +44,7 @@ def run(
         for epsilon in epsilons:
             for mechanism_name, mechanism_cls in (("PM", IndependentPMWorkload), ("WD", WorkloadDecomposition)):
                 errors = []
-                for trial_rng in spawn(config.seed + hash((workload_name, epsilon, mechanism_name)) % 10_000,
+                for trial_rng in spawn(config.seed + cell_seed(workload_name, epsilon, mechanism_name),
                                        config.trials):
                     mechanism = mechanism_cls(epsilon=epsilon)
                     answer = mechanism.answer(database, queries, rng=trial_rng)

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.datagen.ssb import ssb_schema
-from repro.evaluation.experiments.common import ExperimentConfig, build_ssb_database
+from repro.evaluation.experiments.common import ExperimentConfig, build_ssb_database, cell_seed
 from repro.evaluation.reporting import ExperimentResult
 from repro.evaluation.runner import evaluate_mechanism, make_star_mechanism
 from repro.db.executor import QueryExecutor
@@ -59,7 +59,7 @@ def run(
                     database,
                     queries[query_name],
                     trials=config.trials,
-                    rng=config.seed + hash((epsilon, mechanism_name, query_name)) % 10_000,
+                    rng=config.seed + cell_seed(epsilon, mechanism_name, query_name),
                     exact_answer=exact[query_name],
                 )
                 result.add_row(

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.evaluation.experiments.common import ExperimentConfig
+from repro.evaluation.experiments.common import ExperimentConfig, cell_seed
 from repro.evaluation.reporting import ExperimentResult
 from repro.evaluation.runner import evaluate_kstar_mechanism, make_kstar_mechanism
 from repro.graph.generators import amazon_like, deezer_like
@@ -56,7 +56,7 @@ def run(
                         graph,
                         query,
                         trials=config.trials,
-                        rng=config.seed + hash((dataset, query.label, epsilon, mechanism_name)) % 10_000,
+                        rng=config.seed + cell_seed(dataset, query.label, epsilon, mechanism_name),
                         exact_answer=exact,
                     )
                     result.add_row(

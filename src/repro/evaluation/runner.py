@@ -26,6 +26,7 @@ from repro.baselines import (
 )
 from repro.core.predicate_mechanism import PredicateMechanism
 from repro.db.database import StarDatabase
+from repro.db.engine import ExecutionEngine
 from repro.db.executor import QueryExecutor
 from repro.db.query import StarJoinQuery
 from repro.dp.neighboring import PrivacyScenario
@@ -135,18 +136,24 @@ def evaluate_mechanism(
     trials: int = 10,
     rng: RngLike = None,
     exact_answer=None,
+    engine: Optional[ExecutionEngine] = None,
 ) -> EvaluationResult:
     """Run ``mechanism`` on ``query`` for several trials and aggregate errors.
 
     The mechanism must expose ``answer_value(database, query, rng=...)`` — the
     shared interface of PM and all baselines.  Combinations the mechanism does
     not support are reported with ``unsupported=True``.
+
+    One :class:`~repro.db.engine.ExecutionEngine` (``engine`` or the
+    database's shared one) serves every trial, so the exact answer, selection
+    masks and fan-out statistics are computed once per query rather than once
+    per trial.
     """
     name = getattr(mechanism, "name", type(mechanism).__name__)
     epsilon = float(getattr(mechanism, "epsilon", float("nan")))
     result = EvaluationResult(mechanism=name, query=query.name, epsilon=epsilon)
     if exact_answer is None:
-        exact_answer = QueryExecutor(database).execute(query)
+        exact_answer = QueryExecutor(database, engine=engine).execute(query)
 
     trial_rngs = spawn(ensure_rng(rng), trials)
     for trial_rng in trial_rngs:

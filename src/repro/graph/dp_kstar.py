@@ -28,7 +28,7 @@ from repro.dp.noise import cauchy_noise, laplace_noise
 from repro.dp.sensitivity import smooth_sensitivity_truncated_kstar
 from repro.exceptions import PrivacyBudgetError
 from repro.graph.edge_table import Graph
-from repro.graph.kstar import KStarQuery, kstar_count, per_node_star_counts
+from repro.graph.kstar import KStarQuery, kstar_count, per_node_star_counts, star_count_prefix
 from repro.rng import RngLike, ensure_rng
 
 __all__ = ["KStarPM", "KStarR2T", "KStarTM"]
@@ -101,10 +101,10 @@ class KStarR2T:
 
     def answer_value(self, graph: Graph, query: KStarQuery, rng: RngLike = None) -> float:
         generator = ensure_rng(rng) if rng is not None else self._rng
-        degrees = graph.degrees()
-        contributions = per_node_star_counts(degrees, query.k)
         low, high = query.resolved_range(graph.num_nodes)
-        contributions = contributions[low : high + 1]
+        # Per-centre-node contributions from the cached prefix sums, so
+        # repeated trials skip the per-node recount.
+        contributions = np.diff(star_count_prefix(graph, query.k)[low : high + 2])
 
         gs_bound = self._gs_bound(graph, query)
         num_candidates = max(int(math.ceil(math.log2(gs_bound))), 1)
@@ -159,8 +159,12 @@ class KStarTM:
         threshold = self._pick_threshold(degrees)
 
         # Naive truncation: drop edges of over-threshold nodes, then count.
-        truncated_graph = graph.truncate_degrees(threshold, rng=generator)
-        truncated_count = kstar_count(truncated_graph, query)
+        # Only the truncated degree sequence is needed for the degree-based
+        # count, so the subgraph is never materialised.
+        truncated_degrees = graph.truncated_degree_sequence(threshold, rng=generator)
+        low, high = query.resolved_range(graph.num_nodes)
+        star_counts = per_node_star_counts(truncated_degrees, query.k)
+        truncated_count = float(star_counts[low : high + 1].sum()) if low <= high else 0.0
 
         beta = self.epsilon / (2.0 * (self.gamma + 1.0))
         smooth = smooth_sensitivity_truncated_kstar(threshold, query.k, beta)

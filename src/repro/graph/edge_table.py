@@ -5,6 +5,11 @@ The k-star counting queries of the paper are SQL self-joins over an
 undirected simple graph as a numpy edge list, exposes the degree sequence the
 counting algorithms work from, and can materialise the relational edge-table
 view so the self-join formulation can be tested against the degree-based one.
+
+Graphs are treated as immutable once constructed: the degree sequence and the
+per-``k`` star-count statistics (see :mod:`repro.graph.kstar`) are computed
+once and cached on the instance, which is what lets the k-star mechanisms
+share work across repeated evaluation trials.
 """
 
 from __future__ import annotations
@@ -17,6 +22,106 @@ from repro.db.table import Column, Table
 from repro.exceptions import DataGenerationError
 
 __all__ = ["Graph"]
+
+#: Rounds of the vectorized greedy before falling back to the sequential
+#: scan for whatever edges remain undecided (usually none).
+_TRUNCATION_MAX_ROUNDS = 40
+
+
+def _greedy_truncation(
+    edges: np.ndarray,
+    num_nodes: int,
+    threshold: int,
+    order: np.ndarray,
+    degrees: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized greedy degree truncation.
+
+    Replicates, edge for edge, the sequential greedy scan (process edges in
+    ``order``; keep an edge iff both endpoints have kept fewer than
+    ``threshold`` edges so far) without a Python loop over the full edge list:
+
+    1. Edges whose endpoints both have total degree ≤ τ can never be rejected
+       and are kept outright — in heavy-tailed graphs this strips the bulk of
+       the edge list from the iterative part.
+    2. The remaining edges are decided in vectorized rounds: an edge is
+       *certainly rejected* once an endpoint has τ accepted edges, and
+       *certainly accepted* when its rank among the still-undecided edges at
+       both endpoints fits into the remaining capacity (whatever happens to
+       the edges before it).  Each round decides at least the earliest
+       undecided edge, and in practice nearly all of them.
+    3. Any stragglers after a bounded number of rounds are decided by the
+       literal sequential rule, starting from the accumulated counts.
+
+    Returns ``(keep mask over edges, resulting degree sequence)``.
+    """
+    num_edges = int(edges.shape[0])
+    keep = np.zeros(num_edges, dtype=bool)
+    acc = np.zeros(num_nodes, dtype=np.int64)
+    if num_edges == 0 or threshold <= 0:
+        return keep, acc
+
+    over = degrees > threshold
+    unsafe = over[edges[:, 0]] | over[edges[:, 1]]
+    safe_indices = np.flatnonzero(~unsafe)
+    keep[safe_indices] = True
+    acc += np.bincount(edges[safe_indices, 0], minlength=num_nodes)
+    acc += np.bincount(edges[safe_indices, 1], minlength=num_nodes)
+
+    contested = order[unsafe[order]]  # original indices, in processing order
+    m = int(contested.shape[0])
+    if m == 0:
+        return keep, acc
+    u = edges[contested, 0]
+    v = edges[contested, 1]
+
+    # Incidence entries sorted by (node, position in processing order); each
+    # edge contributes one entry per endpoint, so an edge's rank at a node is
+    # the count of earlier undecided edges touching that node.
+    positions = np.arange(m, dtype=np.int64)
+    nodes = np.concatenate([u, v])
+    entry_pos = np.concatenate([positions, positions])
+    perm = np.lexsort((entry_pos, nodes))
+    sorted_nodes = nodes[perm]
+    boundary = np.empty(2 * m, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = sorted_nodes[1:] != sorted_nodes[:-1]
+    group_id = np.cumsum(boundary) - 1
+    group_starts = np.flatnonzero(boundary)
+    sorted_slot = entry_pos[perm]
+
+    status = np.zeros(m, dtype=np.int8)  # 0 undecided, 1 accepted, -1 rejected
+    ranks = np.empty(2 * m, dtype=np.int64)
+    for _ in range(_TRUNCATION_MAX_ROUNDS):
+        undecided = status == 0
+        if not undecided.any():
+            break
+        cap_u = threshold - acc[u]
+        cap_v = threshold - acc[v]
+        status[undecided & ((cap_u <= 0) | (cap_v <= 0))] = -1
+        candidates = status == 0
+        if not candidates.any():
+            break
+        flags = candidates[sorted_slot]
+        cumulative = np.cumsum(flags)
+        exclusive = cumulative - flags
+        ranks[perm] = exclusive - exclusive[group_starts][group_id]
+        accept = candidates & (ranks[:m] < cap_u) & (ranks[m:] < cap_v)
+        if not accept.any():
+            break
+        status[accept] = 1
+        acc += np.bincount(u[accept], minlength=num_nodes)
+        acc += np.bincount(v[accept], minlength=num_nodes)
+
+    for slot in np.flatnonzero(status == 0):
+        a, b = u[slot], v[slot]
+        if acc[a] < threshold and acc[b] < threshold:
+            status[slot] = 1
+            acc[a] += 1
+            acc[b] += 1
+
+    keep[contested[status == 1]] = True
+    return keep, acc
 
 
 class Graph:
@@ -37,6 +142,9 @@ class Graph:
         self.name = name
         self.num_nodes = int(num_nodes)
         self.edges = self._canonicalise(edges)
+        self._degrees: Optional[np.ndarray] = None
+        #: Per-k prefix-summed star counts, populated by repro.graph.kstar.
+        self._star_prefix_cache: dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -49,6 +157,27 @@ class Graph:
         keep = low != high
         stacked = np.stack([low[keep], high[keep]], axis=1)
         return np.unique(stacked, axis=0)
+
+    @classmethod
+    def _from_canonical(
+        cls,
+        num_nodes: int,
+        edges: np.ndarray,
+        name: str,
+        degrees: Optional[np.ndarray] = None,
+    ) -> "Graph":
+        """Build a graph from edges already known to be canonical.
+
+        Used for subgraphs of a canonical edge list (truncation), where
+        re-sorting and de-duplicating would only repeat work.
+        """
+        graph = cls.__new__(cls)
+        graph.name = name
+        graph.num_nodes = int(num_nodes)
+        graph.edges = edges
+        graph._degrees = degrees
+        graph._star_prefix_cache = {}
+        return graph
 
     @classmethod
     def from_edge_list(
@@ -65,12 +194,14 @@ class Graph:
         return int(self.edges.shape[0])
 
     def degrees(self) -> np.ndarray:
-        """Degree of every node (length ``num_nodes``)."""
-        counts = np.zeros(self.num_nodes, dtype=np.int64)
-        if self.edges.size:
-            counts += np.bincount(self.edges[:, 0], minlength=self.num_nodes)
-            counts += np.bincount(self.edges[:, 1], minlength=self.num_nodes)
-        return counts
+        """Degree of every node (length ``num_nodes``), computed once."""
+        if self._degrees is None:
+            counts = np.zeros(self.num_nodes, dtype=np.int64)
+            if self.edges.size:
+                counts += np.bincount(self.edges[:, 0], minlength=self.num_nodes)
+                counts += np.bincount(self.edges[:, 1], minlength=self.num_nodes)
+            self._degrees = counts
+        return self._degrees
 
     def max_degree(self) -> int:
         degrees = self.degrees()
@@ -91,22 +222,37 @@ class Graph:
         This is the naive truncation step of the TM baseline: edges incident
         to over-threshold nodes are dropped (uniformly at random when an rng
         is supplied, deterministically by edge order otherwise) until every
-        degree is at most τ.
+        degree is at most τ.  The decision rule is the greedy scan over the
+        (shuffled) edge order; it is evaluated with the vectorized equivalent
+        in :func:`_greedy_truncation`.
         """
+        keep, acc = self._truncation_keep_mask(threshold, rng=rng)
+        return Graph._from_canonical(
+            self.num_nodes,
+            self.edges[keep],
+            name=f"{self.name}|trunc{threshold}",
+            degrees=acc,
+        )
+
+    def truncated_degree_sequence(
+        self, threshold: int, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Degree sequence of :meth:`truncate_degrees` without materialising
+        the subgraph (sufficient for degree-based star counting)."""
+        _, acc = self._truncation_keep_mask(threshold, rng=rng)
+        return acc
+
+    def _truncation_keep_mask(
+        self, threshold: int, rng: Optional[np.random.Generator] = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         if threshold < 0:
             raise DataGenerationError("truncation threshold must be non-negative")
         order = np.arange(self.num_edges)
         if rng is not None:
             order = rng.permutation(self.num_edges)
-        remaining = np.zeros(self.num_nodes, dtype=np.int64)
-        keep = np.zeros(self.num_edges, dtype=bool)
-        for index in order:
-            u, v = self.edges[index]
-            if remaining[u] < threshold and remaining[v] < threshold:
-                keep[index] = True
-                remaining[u] += 1
-                remaining[v] += 1
-        return Graph(self.num_nodes, self.edges[keep], name=f"{self.name}|trunc{threshold}")
+        return _greedy_truncation(
+            self.edges, self.num_nodes, int(threshold), order, self.degrees()
+        )
 
     # ------------------------------------------------------------------
     def as_edge_table(self, symmetric: bool = True) -> Table:

@@ -24,7 +24,13 @@ import numpy as np
 from repro.exceptions import QueryError
 from repro.graph.edge_table import Graph
 
-__all__ = ["KStarQuery", "kstar_count", "kstar_count_by_join", "per_node_star_counts"]
+__all__ = [
+    "KStarQuery",
+    "kstar_count",
+    "kstar_count_by_join",
+    "per_node_star_counts",
+    "star_count_prefix",
+]
 
 
 @dataclass(frozen=True)
@@ -68,14 +74,30 @@ def per_node_star_counts(degrees: np.ndarray, k: int) -> np.ndarray:
     return per_degree[inverse]
 
 
+def star_count_prefix(graph: Graph, k: int) -> np.ndarray:
+    """Prefix sums of the per-node k-star counts, cached on the graph.
+
+    ``prefix[i]`` is the k-star count over centre nodes ``0 .. i-1``, so any
+    centre-node range restriction is answered in O(1) — which is what makes
+    repeated PM trials (each with a different noisy range) cheap.  Counts are
+    integers represented exactly in float64 for any realistic graph, so the
+    prefix difference equals the direct sum.
+    """
+    prefix = graph._star_prefix_cache.get(k)
+    if prefix is None:
+        counts = per_node_star_counts(graph.degrees(), k)
+        prefix = np.concatenate([[0.0], np.cumsum(counts)])
+        graph._star_prefix_cache[k] = prefix
+    return prefix
+
+
 def kstar_count(graph: Graph, query: KStarQuery) -> float:
     """Exact k-star count restricted to centre nodes in the query range."""
-    degrees = graph.degrees()
     low, high = query.resolved_range(graph.num_nodes)
     if low > high:
         return 0.0
-    counts = per_node_star_counts(degrees, query.k)
-    return float(counts[low : high + 1].sum())
+    prefix = star_count_prefix(graph, query.k)
+    return float(prefix[high + 1] - prefix[low])
 
 
 def kstar_count_by_join(graph: Graph, query: KStarQuery, max_edges: int = 200_000) -> float:
