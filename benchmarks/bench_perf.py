@@ -7,20 +7,39 @@ baseline this repository tracks from the execution-engine PR onward; re-run
 after performance-relevant changes and compare::
 
     PYTHONPATH=src python benchmarks/bench_perf.py [--repeats N] [--output PATH]
+    PYTHONPATH=src python benchmarks/bench_perf.py --quick   # CI smoke (no write)
 
 Each kernel is timed with a cold generated-instance cache so numbers are
 comparable run to run; within a kernel, mechanisms still share the per-database
 execution engine exactly as the experiments do.
+
+Beyond the per-experiment kernels the report tracks two scaling baselines:
+
+* ``parallel_runner`` — Table 2 through the :class:`TrialScheduler` at
+  ``jobs=1`` vs ``jobs=4`` (the process-parallel trial runner's speedup).
+* ``skew_datagen`` — the Figure 7 / Figure 11 skewed instance builds with the
+  cached-table samplers vs the legacy per-call ``Generator.choice`` path.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 from pathlib import Path
 
+import numpy as np
+
+from repro.datagen.distributions import (
+    KEY_DISTRIBUTIONS,
+    KeySampler,
+    MeasureSampler,
+    _mixture_support,
+    measure_sampler,
+)
+from repro.datagen.ssb import SSBConfig, SSBGenerator
 from repro.evaluation.experiments import (
     figure4,
     figure5,
@@ -34,19 +53,34 @@ from repro.evaluation.experiments import (
     table2,
 )
 from repro.evaluation.experiments.common import ExperimentConfig, clear_database_cache
+from repro.evaluation.parallel import clear_worker_cache
+from repro.rng import ensure_rng
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
-def _kernels():
+def _clear_caches() -> None:
+    clear_database_cache()
+    clear_worker_cache()
+
+
+def _kernels(quick_mode: bool):
     """(name, callable) pairs mirroring the pytest benchmark workloads."""
-    quick = ExperimentConfig.quick()
-    full = ExperimentConfig(epsilons=(0.1, 0.5, 1.0), trials=3, rows_per_scale_factor=240_000)
+    if quick_mode:
+        quick = ExperimentConfig(epsilons=(0.1, 1.0), trials=2, rows_per_scale_factor=8000)
+        full = quick
+        graph_scale = 0.02
+        scales = (0.5, 1.0)
+    else:
+        quick = ExperimentConfig.quick()
+        full = ExperimentConfig(epsilons=(0.1, 0.5, 1.0), trials=3, rows_per_scale_factor=240_000)
+        graph_scale = 0.1
+        scales = (0.25, 0.5, 1.0)
     return [
         ("table1", lambda: table1.run(quick)),
-        ("table2", lambda: table2.run(quick, graph_scale=0.1)),
-        ("figure4", lambda: figure4.run(full, scales=(0.25, 0.5, 1.0))),
-        ("figure5", lambda: figure5.run(quick, scales=(0.25, 0.5, 1.0))),
+        ("table2", lambda: table2.run(quick, graph_scale=graph_scale)),
+        ("figure4", lambda: figure4.run(full, scales=scales)),
+        ("figure5", lambda: figure5.run(quick, scales=scales)),
         ("figure6", lambda: figure6.run(quick)),
         ("figure7", lambda: figure7.run(quick)),
         ("figure8", lambda: figure8.run(quick)),
@@ -56,12 +90,162 @@ def _kernels():
     ]
 
 
-def run_benchmarks(repeats: int = 3) -> dict:
+# ----------------------------------------------------------------------
+# scaling baselines
+# ----------------------------------------------------------------------
+class _LegacyKeySampler(KeySampler):
+    """The pre-cached-sampler behaviour: rebuild and renormalise the
+    probability vector on every call and draw through ``Generator.choice``."""
+
+    def probabilities(self, size: int) -> np.ndarray:  # type: ignore[override]
+        probabilities = np.asarray(self._probability_fn(size), dtype=np.float64)
+        probabilities = np.clip(probabilities, 1e-12, None)
+        return probabilities / probabilities.sum()
+
+    def sample(self, size: int, count: int, rng=None) -> np.ndarray:  # type: ignore[override]
+        generator = ensure_rng(rng)
+        probabilities = self.probabilities(size)
+        if probabilities.size and probabilities.max() - probabilities.min() < 1e-15:
+            return generator.integers(0, size, size=count, dtype=np.int64)
+        return generator.choice(size, size=count, p=probabilities).astype(np.int64)
+
+
+def _legacy_mixture_measure(spec) -> MeasureSampler:
+    """The pre-fix mixture measure draw (`Generator.choice` over components)."""
+
+    def draw(rng, count):
+        component = rng.choice(2, size=count, p=np.asarray(spec.weights))
+        means = np.asarray(spec.means)[component]
+        stds = np.asarray(spec.stds)[component]
+        return rng.normal(means, stds)
+
+    return MeasureSampler("gaussian_mixture", draw, support=_mixture_support(spec))
+
+
+def _key_sampler_for(name: str, legacy: bool, **params) -> KeySampler:
+    if legacy:
+        sampler = KEY_DISTRIBUTIONS[name](**params)
+        return _LegacyKeySampler(sampler.name, sampler._probability_fn)
+    # The driver path: ``key_sampler`` memoizes instances, so repeated builds
+    # share the cached per-size sampling tables.
+    from repro.datagen.distributions import key_sampler
+
+    return key_sampler(name, **params)
+
+
+def _build_skew_instances(legacy: bool, rows: int) -> None:
+    """Build the Figure 7 / Figure 11 style skewed instances once."""
+    for distribution in ("exponential", "gamma"):
+        key = _key_sampler_for(distribution, legacy)
+        measure = measure_sampler(distribution)
+        for scale in (0.5, 1.0):
+            SSBGenerator(
+                SSBConfig(
+                    scale_factor=scale,
+                    rows_per_scale_factor=rows,
+                    key_distribution=key,
+                    measure_distribution=measure,
+                    seed=97,
+                )
+            ).build()
+    for index, (_, spec) in enumerate(figure11.MIXTURES):
+        key = _key_sampler_for("gaussian_mixture", legacy, spec=spec)
+        measure = (
+            _legacy_mixture_measure(spec)
+            if legacy
+            else measure_sampler("gaussian_mixture", spec=spec)
+        )
+        SSBGenerator(
+            SSBConfig(
+                scale_factor=1.0,
+                rows_per_scale_factor=rows,
+                key_distribution=key,
+                measure_distribution=measure,
+                seed=131 + index,
+            )
+        ).build()
+
+
+def bench_skew_datagen(repeats: int, rows: int = 240_000) -> dict:
+    """Cached-table samplers vs the legacy ``Generator.choice`` datagen path.
+
+    Measures the steady state the experiments actually pay: figure7/figure11
+    rebuild the same skewed instance shapes trial after trial and figure
+    after figure, and the legacy sampler re-derived and renormalised its
+    probability vector on every one of those draws (the "quadratic-ish in
+    trial count" bug).  One untimed warm-up pass precedes the timed passes
+    for both variants.
+    """
+    timings = {"legacy": [], "cached": []}
+    for label, legacy in (("legacy", True), ("cached", False)):
+        _build_skew_instances(legacy, rows)  # warm-up (excluded)
+        for _ in range(repeats):
+            start = time.perf_counter()
+            _build_skew_instances(legacy, rows)
+            timings[label].append(time.perf_counter() - start)
+    legacy_mean = sum(timings["legacy"]) / repeats
+    cached_mean = sum(timings["cached"]) / repeats
+    return {
+        "rows_per_scale_factor": rows,
+        "legacy_mean_s": round(legacy_mean, 6),
+        "cached_mean_s": round(cached_mean, 6),
+        "speedup": round(legacy_mean / cached_mean, 3),
+        "samples": {k: [round(s, 6) for s in v] for k, v in timings.items()},
+    }
+
+
+def bench_parallel_runner(repeats: int, jobs: int = 4, graph_scale: float = 0.25) -> dict:
+    """Table 2 through the trial scheduler, serial vs ``jobs`` workers."""
+    quick = ExperimentConfig.quick()
+    timings = {"serial": [], "parallel": []}
+    for _ in range(repeats):
+        for label, n_jobs in (("serial", 1), ("parallel", jobs)):
+            _clear_caches()
+            config = ExperimentConfig(
+                epsilons=quick.epsilons,
+                trials=quick.trials,
+                rows_per_scale_factor=quick.rows_per_scale_factor,
+                jobs=n_jobs,
+            )
+            start = time.perf_counter()
+            table2.run(config, graph_scale=graph_scale)
+            timings[label].append(time.perf_counter() - start)
+    serial_mean = sum(timings["serial"]) / repeats
+    parallel_mean = sum(timings["parallel"]) / repeats
+    cpus = os.cpu_count() or 1
+    entry = {
+        "jobs": jobs,
+        "cpus": cpus,
+        "graph_scale": graph_scale,
+        "serial_mean_s": round(serial_mean, 6),
+        "parallel_mean_s": round(parallel_mean, 6),
+        "speedup": round(serial_mean / parallel_mean, 3),
+        "samples": {k: [round(s, 6) for s in v] for k, v in timings.items()},
+    }
+    if cpus < jobs:
+        entry["note"] = (
+            f"host exposes {cpus} CPU(s); a {jobs}-worker run cannot beat serial "
+            "wall clock here — compare on a multicore host (e.g. CI)"
+        )
+    return entry
+
+
+def run_benchmarks(repeats: int = 3, quick_mode: bool = False) -> dict:
+    # The parallel-runner baseline goes first: forked workers inherit the
+    # parent's heap, so measuring it before the other kernels grow the
+    # process keeps the pool startup cost representative.
+    parallel = bench_parallel_runner(
+        repeats, graph_scale=0.05 if quick_mode else 0.25
+    )
+    print(f"{'parallel_runner':>15}: serial {parallel['serial_mean_s']*1000:8.1f} ms -> "
+          f"{parallel['jobs']} jobs {parallel['parallel_mean_s']*1000:.1f} ms "
+          f"({parallel['speedup']}x)")
+
     timings: dict[str, dict] = {}
-    for name, kernel in _kernels():
+    for name, kernel in _kernels(quick_mode):
         samples = []
         for _ in range(repeats):
-            clear_database_cache()
+            _clear_caches()
             start = time.perf_counter()
             kernel()
             samples.append(time.perf_counter() - start)
@@ -71,14 +255,21 @@ def run_benchmarks(repeats: int = 3) -> dict:
             "max_s": round(max(samples), 6),
             "samples": [round(sample, 6) for sample in samples],
         }
-        print(f"{name:>10}: mean {timings[name]['mean_s']*1000:8.1f} ms "
+        print(f"{name:>15}: mean {timings[name]['mean_s']*1000:8.1f} ms "
               f"(min {timings[name]['min_s']*1000:.1f} ms over {repeats} repeats)")
+
+    skew = bench_skew_datagen(repeats, rows=24_000 if quick_mode else 240_000)
+    print(f"{'skew_datagen':>15}: legacy {skew['legacy_mean_s']*1000:8.1f} ms -> "
+          f"cached {skew['cached_mean_s']*1000:.1f} ms ({skew['speedup']}x)")
+
     return {
-        "schema_version": 1,
+        "schema_version": 2,
         "repeats": repeats,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "experiments": timings,
+        "skew_datagen": skew,
+        "parallel_runner": parallel,
         "total_mean_s": round(sum(t["mean_s"] for t in timings.values()), 6),
     }
 
@@ -87,18 +278,34 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--repeats", type=int, default=3, help="timed runs per kernel")
     parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=(
+            "CI smoke mode: one repeat of shrunken kernels; does not write "
+            "the baseline unless --output is given explicitly"
+        ),
+    )
+    parser.add_argument(
         "--output",
         type=Path,
-        default=RESULTS_DIR / "BENCH_engine.json",
-        help="where to write the JSON report",
+        default=None,
+        help="where to write the JSON report (default: the committed baseline)",
     )
     args = parser.parse_args()
     if args.repeats < 1:
         parser.error("--repeats must be at least 1")
-    report = run_benchmarks(repeats=args.repeats)
-    args.output.parent.mkdir(parents=True, exist_ok=True)
-    args.output.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"wrote {args.output} (total mean {report['total_mean_s']:.3f} s)")
+    repeats = 1 if args.quick else args.repeats
+    report = run_benchmarks(repeats=repeats, quick_mode=args.quick)
+    output = args.output
+    if output is None:
+        if args.quick:
+            print(f"quick smoke finished (total mean {report['total_mean_s']:.3f} s); "
+                  "baseline not rewritten")
+            return
+        output = RESULTS_DIR / "BENCH_engine.json"
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {output} (total mean {report['total_mean_s']:.3f} s)")
 
 
 if __name__ == "__main__":

@@ -6,6 +6,7 @@ Usage::
     python -m repro.evaluation.cli --full          # higher-fidelity configuration
     python -m repro.evaluation.cli --only table1 figure9
     python -m repro.evaluation.cli --output-dir results/
+    python -m repro.evaluation.cli --jobs 4        # parallel trial scheduler
 
 Each experiment prints its text table and, when ``--output-dir`` is given,
 writes a CSV with the same rows.  The experiment set and configurations are
@@ -110,6 +111,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=None, help="override the master seed")
     parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for the trial scheduler (default 1 = serial; "
+            "results are identical for any value)"
+        ),
+    )
+    parser.add_argument(
         "--output-dir",
         type=Path,
         default=None,
@@ -128,6 +139,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         config.rows_per_scale_factor = args.rows_per_scale_factor
     if args.seed is not None:
         config.seed = args.seed
+    if args.jobs < 1:
+        print("--jobs must be at least 1", file=sys.stderr)
+        return 2
+    config.jobs = args.jobs
 
     try:
         run_experiments(args.only, config, output_dir=args.output_dir)

@@ -13,9 +13,12 @@ configuration (``ExperimentConfig.paper_scale()``) for higher-fidelity runs.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Optional
 from zlib import crc32
+
+import numpy as np
 
 from repro.datagen.ssb import SSBConfig, SSBGenerator
 from repro.db.database import StarDatabase
@@ -27,21 +30,44 @@ __all__ = [
     "DEFAULT_PRIVATE_DIMENSIONS",
     "build_ssb_database",
     "cell_seed",
+    "cell_stream",
     "engine_for",
     "clear_database_cache",
 ]
 
 
 def cell_seed(*parts, modulus: int = 10_000) -> int:
-    """A deterministic per-cell seed offset derived from the cell's labels.
+    """A deterministic per-*dataset* seed offset derived from labels.
 
-    The drivers previously derived these offsets with the built-in ``hash``,
-    which is salted per process for strings — every run of an experiment drew
-    different noise.  CRC32 over the stringified labels is stable across
-    processes and platforms, so experiment outputs are reproducible.
+    CRC32 over the stringified labels is stable across processes and
+    platforms.  This remains the scheme for data-generation seed offsets
+    (which identify an *instance*); the noise streams of experiment cells use
+    :func:`cell_stream` instead — the additive ``seed + crc32 % modulus``
+    scheme folds the label space onto ``modulus`` values, so two cells can
+    collide and share their noise.
     """
     text = "|".join(str(part) for part in parts)
     return crc32(text.encode("utf-8")) % modulus
+
+
+def cell_stream(master_seed: int, *parts) -> np.random.SeedSequence:
+    """The per-cell random stream for the experiment cell labelled ``parts``.
+
+    The full cell label (experiment name, mechanism, query, ε, …) is hashed
+    with SHA-256 into a :class:`numpy.random.SeedSequence` spawn key, giving
+    every cell a collision-free stream (128 bits of key) that is a pure
+    function of ``(master_seed, label)`` — independent of evaluation order
+    and of which process runs the cell.  Per-trial generators are then split
+    off with ``SeedSequence.spawn`` (see :func:`repro.rng.spawn`), which is
+    what makes the parallel trial runner produce results identical to the
+    serial loop.
+    """
+    label = "|".join(str(part) for part in parts)
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    spawn_key = tuple(
+        int.from_bytes(digest[index : index + 4], "little") for index in range(0, 16, 4)
+    )
+    return np.random.SeedSequence(entropy=int(master_seed), spawn_key=spawn_key)
 
 #: The dimension tables treated as private in the evaluation: the entity
 #: tables.  Date carries no personal information and is treated as public.
@@ -74,6 +100,10 @@ class ExperimentConfig:
     private_dimensions:
         The dimension tables considered private (drives R2T / LS / TM
         calibration).
+    jobs:
+        Worker processes for the trial scheduler; 1 (the default) evaluates
+        every cell serially in-process.  Results are identical for any value
+        (see :mod:`repro.evaluation.parallel`).
     """
 
     epsilons: tuple[float, ...] = PAPER_EPSILONS
@@ -82,6 +112,7 @@ class ExperimentConfig:
     rows_per_scale_factor: int = 240_000
     seed: int = 20230711
     private_dimensions: tuple[str, ...] = DEFAULT_PRIVATE_DIMENSIONS
+    jobs: int = 1
 
     @classmethod
     def quick(cls) -> "ExperimentConfig":

@@ -14,15 +14,18 @@ predicate on PM.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional, Sequence
+
+import numpy as np
 
 from repro.core.snowflake import SnowflakePredicateMechanism
 from repro.datagen.tpch import SnowflakeConfig, SnowflakeGenerator, snowflake_schema
 from repro.db.executor import QueryExecutor
-from repro.evaluation.experiments.common import ExperimentConfig, cell_seed
+from repro.evaluation.experiments.common import ExperimentConfig, cell_stream
 from repro.evaluation.metrics import answer_relative_error
+from repro.evaluation.parallel import StarCell, TrialScheduler, resolve_database, run_star_cell
 from repro.evaluation.reporting import ExperimentResult
-from repro.evaluation.runner import evaluate_mechanism, make_star_mechanism
 from repro.rng import spawn
 from repro.workloads.tpch_queries import snowflake_queries
 
@@ -31,52 +34,100 @@ __all__ = ["run", "SNOWFLAKE_EPSILONS"]
 SNOWFLAKE_EPSILONS = (0.1, 0.5, 1.0)
 
 
+def build_snowflake_database(config: ExperimentConfig):
+    """Build the Figure 10 snowflake instance (importable worker entry point)."""
+    return SnowflakeGenerator(
+        SnowflakeConfig(
+            scale_factor=config.scale_factor,
+            rows_per_scale_factor=config.rows_per_scale_factor,
+            seed=config.seed,
+        )
+    ).build()
+
+
+def snowflake_query_by_name(name: str):
+    """Resolve one of the Qtc / Qts snowflake queries by name."""
+    for query in snowflake_queries(snowflake_schema()):
+        if query.name == name:
+            return query
+    raise KeyError(f"unknown snowflake query {name!r}")
+
+
+def _figure10_cell(config: ExperimentConfig, cell):
+    """Dispatch one Figure 10 cell: a ``StarCell`` runs a baseline through
+    the shared star path, a ``(query, ε)`` tuple runs snowflake PM.  One
+    dispatcher lets PM and baseline cells share a single scheduler pass
+    (no barrier between them, one pool)."""
+    if isinstance(cell, StarCell):
+        return run_star_cell(config, cell)
+    return _snowflake_pm_cell(config, cell)
+
+
+def _snowflake_pm_cell(config: ExperimentConfig, cell: tuple) -> float:
+    """PM through the snowflake-aware wrapper (importable worker entry
+    point); returns the mean relative error of the cell's trials."""
+    query_name, epsilon = cell
+    database = resolve_database(build_snowflake_database, (config,))
+    query = snowflake_query_by_name(query_name)
+    exact = QueryExecutor(database).execute(query)
+    errors = []
+    stream = cell_stream(config.seed, "figure10", query_name, epsilon, "PM")
+    for trial_rng in spawn(stream, config.trials):
+        mechanism = SnowflakePredicateMechanism(epsilon=epsilon)
+        answer = mechanism.answer(database, query, rng=trial_rng)
+        errors.append(answer_relative_error(exact, answer.value))
+    return float(np.mean(errors))
+
+
 def run(
     config: Optional[ExperimentConfig] = None,
     epsilons: Sequence[float] = SNOWFLAKE_EPSILONS,
 ) -> ExperimentResult:
     """Regenerate Figure 10 (snowflake queries Qtc and Qts)."""
     config = config or ExperimentConfig()
-    generator = SnowflakeGenerator(
-        SnowflakeConfig(
-            scale_factor=config.scale_factor,
-            rows_per_scale_factor=config.rows_per_scale_factor,
-            seed=config.seed,
-        )
-    )
-    database = generator.build()
+    # Warm the snowflake instance and exact answers before the pool forks.
+    database = resolve_database(build_snowflake_database, (config,))
     executor = QueryExecutor(database)
-    schema = snowflake_schema()
-    queries = snowflake_queries(schema)
+    queries = snowflake_queries(snowflake_schema())
+    for query in queries:
+        executor.execute(query)
 
     result = ExperimentResult(
         title="Figure 10: error levels on snowflake (TPC-H style) queries by varying epsilon",
         notes=f"{config.trials} trials per cell; Date normalised into a Month dimension.",
     )
-    import numpy as np
-
+    scheduler = TrialScheduler(config.jobs)
+    pm_cells = [(query.name, epsilon) for query in queries for epsilon in epsilons]
+    baseline_cells = [
+        StarCell(
+            mechanism=mechanism_name,
+            epsilon=epsilon,
+            query_builder=snowflake_query_by_name,
+            query_args=(query.name,),
+            database_builder=build_snowflake_database,
+            database_args=(config,),
+            stream=("figure10", query.name, epsilon, mechanism_name),
+        )
+        for query in queries
+        for epsilon in epsilons
+        for mechanism_name in ("R2T", "LS")
+    ]
+    outcomes = scheduler.map(partial(_figure10_cell, config), pm_cells + baseline_cells)
+    pm_errors = dict(zip(pm_cells, outcomes[: len(pm_cells)]))
+    baseline_evals = dict(
+        zip(
+            ((c.query_args[0], c.epsilon, c.mechanism) for c in baseline_cells),
+            outcomes[len(pm_cells) :],
+        )
+    )
     for query in queries:
-        exact = executor.execute(query)
         for epsilon in epsilons:
-            # PM through the snowflake-aware wrapper.
-            errors = []
-            for trial_rng in spawn(config.seed + cell_seed(query.name, epsilon, "PM"),
-                                   config.trials):
-                mechanism = SnowflakePredicateMechanism(epsilon=epsilon)
-                answer = mechanism.answer(database, query, rng=trial_rng)
-                errors.append(answer_relative_error(exact, answer.value))
             result.add_row(
                 query=query.name, epsilon=epsilon, mechanism="PM",
-                relative_error_pct=float(np.mean(errors)),
+                relative_error_pct=pm_errors[(query.name, epsilon)],
             )
-            # Baselines.
             for mechanism_name in ("R2T", "LS"):
-                mechanism = make_star_mechanism(mechanism_name, epsilon, scenario=config.scenario)
-                evaluation = evaluate_mechanism(
-                    mechanism, database, query, trials=config.trials,
-                    rng=config.seed + cell_seed(query.name, epsilon, mechanism_name),
-                    exact_answer=exact,
-                )
+                evaluation = baseline_evals[(query.name, epsilon, mechanism_name)]
                 result.add_row(
                     query=query.name, epsilon=epsilon, mechanism=mechanism_name,
                     relative_error_pct=(

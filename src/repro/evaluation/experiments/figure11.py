@@ -11,14 +11,14 @@ shifted predicate region captures).
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional, Sequence
 
 from repro.datagen.distributions import GaussianMixtureSpec, key_sampler, measure_sampler
-from repro.datagen.ssb import SSBConfig, SSBGenerator, ssb_schema
-from repro.db.executor import QueryExecutor
+from repro.datagen.ssb import SSBConfig, SSBGenerator
 from repro.evaluation.experiments.common import ExperimentConfig, cell_seed
+from repro.evaluation.parallel import StarCell, TrialScheduler, run_star_cell
 from repro.evaluation.reporting import ExperimentResult
-from repro.evaluation.runner import evaluate_mechanism, make_star_mechanism
 from repro.workloads.ssb_queries import ssb_query
 
 __all__ = ["run", "MIXTURES", "QUERIES", "MECHANISMS"]
@@ -34,6 +34,22 @@ QUERIES = ("Qc3", "Qs3")
 MECHANISMS = ("PM", "R2T", "LS")
 
 
+def build_mixture_database(
+    config: ExperimentConfig, mixture_name: str, spec: GaussianMixtureSpec
+):
+    """Build one Figure 11 mixture instance (importable worker entry point)."""
+    generator = SSBGenerator(
+        SSBConfig(
+            scale_factor=config.scale_factor,
+            rows_per_scale_factor=config.rows_per_scale_factor,
+            key_distribution=key_sampler("gaussian_mixture", spec=spec),
+            measure_distribution=measure_sampler("gaussian_mixture", spec=spec),
+            seed=config.seed + cell_seed(mixture_name, modulus=1000),
+        )
+    )
+    return generator.build()
+
+
 def run(
     config: Optional[ExperimentConfig] = None,
     mixtures: Sequence[tuple[str, GaussianMixtureSpec]] = MIXTURES,
@@ -44,46 +60,34 @@ def run(
     """Regenerate Figure 11 (error under Gaussian-mixture skew)."""
     config = config or ExperimentConfig()
     epsilons = tuple(epsilons) if epsilons is not None else config.epsilons
-    schema = ssb_schema()
     result = ExperimentResult(
         title="Figure 11: error level for Gaussian-mixture distributions (Qc3 / Qs3)",
         notes=f"{config.trials} trials per cell.",
     )
-    for mixture_name, spec in mixtures:
-        generator = SSBGenerator(
-            SSBConfig(
-                scale_factor=config.scale_factor,
-                rows_per_scale_factor=config.rows_per_scale_factor,
-                key_distribution=key_sampler("gaussian_mixture", spec=spec),
-                measure_distribution=measure_sampler("gaussian_mixture", spec=spec),
-                seed=config.seed + cell_seed(mixture_name, modulus=1000),
-            )
+    grid = [
+        StarCell(
+            mechanism=mechanism_name,
+            epsilon=epsilon,
+            query_builder=ssb_query,
+            query_args=(query_name,),
+            database_builder=build_mixture_database,
+            database_args=(config, mixture_name, spec),
+            stream=("figure11", mixture_name, query_name, epsilon, mechanism_name),
         )
-        database = generator.build()
-        executor = QueryExecutor(database)
-        for query_name in query_names:
-            query = ssb_query(query_name, schema)
-            exact = executor.execute(query)
-            for epsilon in epsilons:
-                for mechanism_name in mechanisms:
-                    mechanism = make_star_mechanism(
-                        mechanism_name, epsilon, scenario=config.scenario
-                    )
-                    evaluation = evaluate_mechanism(
-                        mechanism,
-                        database,
-                        query,
-                        trials=config.trials,
-                        rng=config.seed + cell_seed(mixture_name, query_name, epsilon, mechanism_name),
-                        exact_answer=exact,
-                    )
-                    result.add_row(
-                        mixture=mixture_name,
-                        query=query_name,
-                        epsilon=epsilon,
-                        mechanism=mechanism_name,
-                        relative_error_pct=(
-                            None if evaluation.unsupported else evaluation.mean_relative_error
-                        ),
-                    )
+        for mixture_name, spec in mixtures
+        for query_name in query_names
+        for epsilon in epsilons
+        for mechanism_name in mechanisms
+    ]
+    evaluations = TrialScheduler(config.jobs).map(partial(run_star_cell, config), grid)
+    for cell, evaluation in zip(grid, evaluations):
+        result.add_row(
+            mixture=cell.database_args[1],
+            query=cell.query_args[0],
+            epsilon=cell.epsilon,
+            mechanism=cell.mechanism,
+            relative_error_pct=(
+                None if evaluation.unsupported else evaluation.mean_relative_error
+            ),
+        )
     return result

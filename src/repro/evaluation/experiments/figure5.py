@@ -9,13 +9,12 @@ remains at its predicate-domain-driven level regardless of scale.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional, Sequence
 
-from repro.datagen.ssb import ssb_schema
-from repro.db.executor import QueryExecutor
-from repro.evaluation.experiments.common import ExperimentConfig, PAPER_SCALES, build_ssb_database, cell_seed
+from repro.evaluation.experiments.common import ExperimentConfig, PAPER_SCALES, build_ssb_database
+from repro.evaluation.parallel import StarCell, TrialScheduler, run_star_cell
 from repro.evaluation.reporting import ExperimentResult
-from repro.evaluation.runner import evaluate_mechanism, make_star_mechanism
 from repro.workloads.ssb_queries import ssb_query
 
 __all__ = ["run", "MECHANISMS", "QUERIES"]
@@ -33,35 +32,41 @@ def run(
 ) -> ExperimentResult:
     """Regenerate Figure 5 (SUM queries; error and running time vs scale)."""
     config = config or ExperimentConfig()
-    schema = ssb_schema()
     result = ExperimentResult(
         title="Figure 5: error level and running time vs data scale (SUM queries)",
         notes=f"epsilon = {epsilon}, {config.trials} trials per cell.",
     )
-    for scale in scales:
-        database = build_ssb_database(config, scale_factor=scale, seed_offset=int(scale * 100))
-        executor = QueryExecutor(database)
-        for query_name in query_names:
-            query = ssb_query(query_name, schema)
-            exact = executor.execute(query)
-            for mechanism_name in mechanisms:
-                mechanism = make_star_mechanism(mechanism_name, epsilon, scenario=config.scenario)
-                evaluation = evaluate_mechanism(
-                    mechanism,
-                    database,
-                    query,
-                    trials=config.trials,
-                    rng=config.seed + cell_seed(scale, query_name, mechanism_name),
-                    exact_answer=exact,
-                )
-                result.add_row(
-                    scale=scale,
-                    query=query_name,
-                    mechanism=mechanism_name,
-                    relative_error_pct=(
-                        None if evaluation.unsupported else evaluation.mean_relative_error
-                    ),
-                    mean_time_s=None if evaluation.unsupported else evaluation.mean_time,
-                    fact_rows=database.num_fact_rows,
-                )
+    fact_rows = {
+        scale: build_ssb_database(
+            config, scale_factor=scale, seed_offset=int(scale * 100)
+        ).num_fact_rows
+        for scale in scales
+    }
+    grid = [
+        StarCell(
+            mechanism=mechanism_name,
+            epsilon=epsilon,
+            query_builder=ssb_query,
+            query_args=(query_name,),
+            database_builder=build_ssb_database,
+            database_args=(config, scale, "uniform", "uniform", int(scale * 100)),
+            stream=("figure5", scale, query_name, mechanism_name),
+        )
+        for scale in scales
+        for query_name in query_names
+        for mechanism_name in mechanisms
+    ]
+    evaluations = TrialScheduler(config.jobs).map(partial(run_star_cell, config), grid)
+    for cell, evaluation in zip(grid, evaluations):
+        scale = cell.database_args[1]
+        result.add_row(
+            scale=scale,
+            query=cell.query_args[0],
+            mechanism=cell.mechanism,
+            relative_error_pct=(
+                None if evaluation.unsupported else evaluation.mean_relative_error
+            ),
+            mean_time_s=None if evaluation.unsupported else evaluation.mean_time,
+            fact_rows=fact_rows[scale],
+        )
     return result

@@ -18,22 +18,43 @@ bound entirely.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional, Sequence
 
-from repro.datagen.ssb import ssb_schema
 from repro.db.executor import QueryExecutor
-from repro.evaluation.experiments.common import ExperimentConfig, build_ssb_database, cell_seed
+from repro.evaluation.experiments.common import (
+    ExperimentConfig,
+    build_ssb_database,
+    cell_stream,
+)
+from repro.evaluation.parallel import StarCell, TrialScheduler, resolve_database, run_star_cell
 from repro.evaluation.reporting import ExperimentResult
-from repro.evaluation.runner import evaluate_mechanism, make_star_mechanism
 from repro.evaluation.metrics import relative_error
 from repro.dp.mechanisms import LaplaceMechanism
-from repro.rng import ensure_rng
+from repro.rng import spawn
 from repro.workloads.ssb_queries import ssb_query
 
 __all__ = ["run", "GS_BOUNDS", "QUERIES"]
 
 GS_BOUNDS = (1e5, 1e6, 1e7, 1e8)
 QUERIES = ("Qc1", "Qc2", "Qc3", "Qc4")
+
+
+def _inflated_ls_cell(config: ExperimentConfig, epsilon: float, cell: tuple) -> float:
+    """LS with its sensitivity bound inflated to the declared GS_Q: plain
+    Laplace output perturbation at scale GS_Q / ε (importable worker entry
+    point; returns the mean relative error)."""
+    query_name, gs_bound = cell
+    database = resolve_database(build_ssb_database, (config,))
+    exact = float(QueryExecutor(database).execute(ssb_query(query_name)))
+    laplace = LaplaceMechanism(sensitivity=float(gs_bound), epsilon=epsilon)
+    trial_rngs = spawn(cell_stream(config.seed, "figure6", query_name, gs_bound, "LS"),
+                       config.trials)
+    errors = [
+        relative_error(exact, laplace.randomise(exact, rng=trial_rng))
+        for trial_rng in trial_rngs
+    ]
+    return float(sum(errors) / len(errors))
 
 
 def run(
@@ -44,52 +65,72 @@ def run(
 ) -> ExperimentResult:
     """Regenerate Figure 6 (error vs the declared global-sensitivity bound)."""
     config = config or ExperimentConfig()
-    database = build_ssb_database(config)
-    schema = ssb_schema()
+    database = resolve_database(build_ssb_database, (config,))
     executor = QueryExecutor(database)
+    for query_name in query_names:  # warm exact answers before the pool forks
+        executor.execute(ssb_query(query_name))
     result = ExperimentResult(
         title="Figure 6: error level of PM, R2T, LS for different GS_Q",
         notes=f"epsilon = {epsilon}, {config.trials} trials per cell.",
     )
-    rng = ensure_rng(config.seed)
-    for query_name in query_names:
-        query = ssb_query(query_name, schema)
-        exact = float(executor.execute(query))
-        # PM's noise is independent of GS_Q, so it is evaluated once per query
-        # and the same series is reported at every bound (a flat line, as in
-        # the paper's figure).
-        pm = make_star_mechanism("PM", epsilon, scenario=config.scenario)
-        pm_eval = evaluate_mechanism(
-            pm, database, query, trials=config.trials,
-            rng=config.seed + cell_seed(query_name, "PM"),
-            exact_answer=exact,
+    scheduler = TrialScheduler(config.jobs)
+    # PM's noise is independent of GS_Q, so it is evaluated once per query
+    # and the same series is reported at every bound (a flat line, as in the
+    # paper's figure).  R2T re-runs per bound: the bound controls its
+    # candidate ladder and per-candidate noise.
+    pm_cells = [
+        StarCell(
+            mechanism="PM",
+            epsilon=epsilon,
+            query_builder=ssb_query,
+            query_args=(query_name,),
+            database_builder=build_ssb_database,
+            database_args=(config,),
+            stream=("figure6", query_name, "PM"),
         )
+        for query_name in query_names
+    ]
+    r2t_cells = [
+        StarCell(
+            mechanism="R2T",
+            epsilon=epsilon,
+            query_builder=ssb_query,
+            query_args=(query_name,),
+            database_builder=build_ssb_database,
+            database_args=(config,),
+            stream=("figure6", query_name, gs_bound, "R2T"),
+            mechanism_kwargs=(("global_sensitivity_bound", gs_bound),),
+        )
+        for query_name in query_names
+        for gs_bound in gs_bounds
+    ]
+    evaluations = scheduler.map(partial(run_star_cell, config), pm_cells + r2t_cells)
+    pm_evals = dict(zip(query_names, evaluations[: len(pm_cells)]))
+    r2t_evals = dict(
+        zip(
+            ((c.query_args[0], c.mechanism_kwargs[0][1]) for c in r2t_cells),
+            evaluations[len(pm_cells) :],
+        )
+    )
+    # The inflated-LS cells are a handful of Laplace draws each — not worth a
+    # pool; their per-cell streams make them identical for any ``jobs``.
+    ls_errors = {
+        cell: _inflated_ls_cell(config, epsilon, cell)
+        for cell in ((query_name, gs_bound) for query_name in query_names for gs_bound in gs_bounds)
+    }
+
+    for query_name in query_names:
         for gs_bound in gs_bounds:
             result.add_row(
                 query=query_name, gs_bound=gs_bound, mechanism="PM",
-                relative_error_pct=pm_eval.mean_relative_error,
-            )
-            # R2T: the bound controls the candidate ladder and per-candidate noise.
-            r2t = make_star_mechanism(
-                "R2T", epsilon, scenario=config.scenario, global_sensitivity_bound=gs_bound
-            )
-            r2t_eval = evaluate_mechanism(
-                r2t, database, query, trials=config.trials,
-                rng=config.seed + cell_seed(query_name, gs_bound, "R2T"),
-                exact_answer=exact,
+                relative_error_pct=pm_evals[query_name].mean_relative_error,
             )
             result.add_row(
                 query=query_name, gs_bound=gs_bound, mechanism="R2T",
-                relative_error_pct=r2t_eval.mean_relative_error,
+                relative_error_pct=r2t_evals[(query_name, gs_bound)].mean_relative_error,
             )
-            # LS with a sensitivity bound inflated to the declared GS_Q: plain
-            # Laplace output perturbation at scale GS_Q / epsilon.
-            ls_errors = []
-            laplace = LaplaceMechanism(sensitivity=float(gs_bound), epsilon=epsilon)
-            for _ in range(config.trials):
-                ls_errors.append(relative_error(exact, laplace.randomise(exact, rng=rng)))
             result.add_row(
                 query=query_name, gs_bound=gs_bound, mechanism="LS",
-                relative_error_pct=float(sum(ls_errors) / len(ls_errors)),
+                relative_error_pct=ls_errors[(query_name, gs_bound)],
             )
     return result

@@ -11,13 +11,13 @@ skew — while the baselines' behaviour is dominated by their noise scales.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional, Sequence
 
-from repro.datagen.ssb import ssb_schema
-from repro.db.executor import QueryExecutor
+from repro.datagen.distributions import MEASURE_DISTRIBUTIONS
 from repro.evaluation.experiments.common import ExperimentConfig, build_ssb_database, cell_seed
+from repro.evaluation.parallel import StarCell, TrialScheduler, run_star_cell
 from repro.evaluation.reporting import ExperimentResult
-from repro.evaluation.runner import evaluate_mechanism, make_star_mechanism
 from repro.workloads.ssb_queries import ssb_query
 
 __all__ = ["run", "DISTRIBUTIONS", "QUERIES", "MECHANISMS"]
@@ -37,47 +37,41 @@ def run(
 ) -> ExperimentResult:
     """Regenerate Figure 7 (error under different distributions and scales)."""
     config = config or ExperimentConfig()
-    schema = ssb_schema()
     result = ExperimentResult(
         title="Figure 7: error level for different data distributions (Qc3 / Qs3)",
         notes=f"epsilon = {epsilon}, {config.trials} trials per cell.",
     )
-    from repro.datagen.distributions import MEASURE_DISTRIBUTIONS
-
-    for distribution in distributions:
-        # Key-only distributions (e.g. Zipf) fall back to uniform measures.
-        measure_distribution = distribution if distribution in MEASURE_DISTRIBUTIONS else "uniform"
-        for scale in scales:
-            database = build_ssb_database(
+    grid = [
+        StarCell(
+            mechanism=mechanism_name,
+            epsilon=epsilon,
+            query_builder=ssb_query,
+            query_args=(query_name,),
+            database_builder=build_ssb_database,
+            database_args=(
                 config,
-                scale_factor=scale,
-                key_distribution=distribution,
-                measure_distribution=measure_distribution,
-                seed_offset=cell_seed(distribution, scale, modulus=1000),
-            )
-            executor = QueryExecutor(database)
-            for query_name in query_names:
-                query = ssb_query(query_name, schema)
-                exact = executor.execute(query)
-                for mechanism_name in mechanisms:
-                    mechanism = make_star_mechanism(
-                        mechanism_name, epsilon, scenario=config.scenario
-                    )
-                    evaluation = evaluate_mechanism(
-                        mechanism,
-                        database,
-                        query,
-                        trials=config.trials,
-                        rng=config.seed + cell_seed(distribution, scale, query_name, mechanism_name),
-                        exact_answer=exact,
-                    )
-                    result.add_row(
-                        distribution=distribution,
-                        scale=scale,
-                        query=query_name,
-                        mechanism=mechanism_name,
-                        relative_error_pct=(
-                            None if evaluation.unsupported else evaluation.mean_relative_error
-                        ),
-                    )
+                scale,
+                distribution,
+                # Key-only distributions (e.g. Zipf) fall back to uniform measures.
+                distribution if distribution in MEASURE_DISTRIBUTIONS else "uniform",
+                cell_seed(distribution, scale, modulus=1000),
+            ),
+            stream=("figure7", distribution, scale, query_name, mechanism_name),
+        )
+        for distribution in distributions
+        for scale in scales
+        for query_name in query_names
+        for mechanism_name in mechanisms
+    ]
+    evaluations = TrialScheduler(config.jobs).map(partial(run_star_cell, config), grid)
+    for cell, evaluation in zip(grid, evaluations):
+        result.add_row(
+            distribution=cell.database_args[2],
+            scale=cell.database_args[1],
+            query=cell.query_args[0],
+            mechanism=cell.mechanism,
+            relative_error_pct=(
+                None if evaluation.unsupported else evaluation.mean_relative_error
+            ),
+        )
     return result

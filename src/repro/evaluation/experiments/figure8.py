@@ -19,15 +19,15 @@ trend.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional, Sequence
 
 from repro.datagen.ssb import ssb_schema
-from repro.db.executor import QueryExecutor
 from repro.db.predicates import PointPredicate
 from repro.db.query import StarJoinQuery
-from repro.evaluation.experiments.common import ExperimentConfig, build_ssb_database, cell_seed
+from repro.evaluation.experiments.common import ExperimentConfig, build_ssb_database
+from repro.evaluation.parallel import StarCell, TrialScheduler, run_star_cell
 from repro.evaluation.reporting import ExperimentResult
-from repro.evaluation.runner import evaluate_mechanism, make_star_mechanism
 
 __all__ = ["run", "DOMAIN_COMBINATIONS"]
 
@@ -66,35 +66,41 @@ def run(
 ) -> ExperimentResult:
     """Regenerate Figure 8 (error vs predicate domain size)."""
     config = config or ExperimentConfig()
-    database = build_ssb_database(config)
+    build_ssb_database(config)  # warm the shared cache before the pool forks
     schema = ssb_schema()
-    executor = QueryExecutor(database)
     result = ExperimentResult(
         title="Figure 8: error level for different predicate domain sizes",
         notes=f"epsilon = {epsilon}, {config.trials} trials per cell.",
     )
+    domain_products = {}
     for label, spec in combinations:
         query = build_domain_query(label, spec, schema)
-        domain_product = 1
+        product = 1
         for predicate in query.predicates:
-            domain_product *= predicate.domain_size
-        exact = executor.execute(query)
-        for mechanism_name in mechanisms:
-            mechanism = make_star_mechanism(mechanism_name, epsilon, scenario=config.scenario)
-            evaluation = evaluate_mechanism(
-                mechanism,
-                database,
-                query,
-                trials=config.trials,
-                rng=config.seed + cell_seed(label, mechanism_name),
-                exact_answer=exact,
-            )
-            result.add_row(
-                domain_sizes=label,
-                domain_product=domain_product,
-                mechanism=mechanism_name,
-                relative_error_pct=(
-                    None if evaluation.unsupported else evaluation.mean_relative_error
-                ),
-            )
+            product *= predicate.domain_size
+        domain_products[label] = product
+    grid = [
+        StarCell(
+            mechanism=mechanism_name,
+            epsilon=epsilon,
+            query_builder=build_domain_query,
+            query_args=(label, spec),
+            database_builder=build_ssb_database,
+            database_args=(config,),
+            stream=("figure8", label, mechanism_name),
+        )
+        for label, spec in combinations
+        for mechanism_name in mechanisms
+    ]
+    evaluations = TrialScheduler(config.jobs).map(partial(run_star_cell, config), grid)
+    for cell, evaluation in zip(grid, evaluations):
+        label = cell.query_args[0]
+        result.add_row(
+            domain_sizes=label,
+            domain_product=domain_products[label],
+            mechanism=cell.mechanism,
+            relative_error_pct=(
+                None if evaluation.unsupported else evaluation.mean_relative_error
+            ),
+        )
     return result

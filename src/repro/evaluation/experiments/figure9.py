@@ -9,19 +9,55 @@ matrices contain many repeated rows).
 
 from __future__ import annotations
 
+import weakref
+from functools import partial
 from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.core.workload import IndependentPMWorkload, WorkloadDecomposition, answer_workload_exact
 from repro.datagen.ssb import ssb_schema
-from repro.evaluation.experiments.common import ExperimentConfig, build_ssb_database, cell_seed
+from repro.evaluation.experiments.common import ExperimentConfig, build_ssb_database, cell_stream
 from repro.evaluation.metrics import workload_relative_error
+from repro.evaluation.parallel import TrialScheduler, resolve_database
 from repro.evaluation.reporting import ExperimentResult
 from repro.rng import spawn
 from repro.workloads.workload_matrices import workload_w1, workload_w2
 
 __all__ = ["run"]
+
+_WORKLOAD_BUILDERS = {"W1": workload_w1, "W2": workload_w2}
+_MECHANISMS = {"PM": IndependentPMWorkload, "WD": WorkloadDecomposition}
+
+#: Per-process memo of workload queries and exact answers, weakly keyed by
+#: the database (matching the engine registry's pattern) so entries die with
+#: their instance instead of outliving it and being served to a new database.
+_EXACT_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _workload_and_exact(workload_name: str, database):
+    per_database = _EXACT_CACHE.setdefault(database, {})
+    entry = per_database.get(workload_name)
+    if entry is None:
+        queries = _WORKLOAD_BUILDERS[workload_name](ssb_schema())
+        entry = (queries, answer_workload_exact(database, queries))
+        per_database[workload_name] = entry
+    return entry
+
+
+def _workload_cell(config: ExperimentConfig, cell: tuple) -> tuple:
+    """Evaluate one (workload, ε, mechanism) cell (importable worker entry
+    point); returns (mean relative error, number of queries)."""
+    workload_name, epsilon, mechanism_name = cell
+    database = resolve_database(build_ssb_database, (config,))
+    queries, exact = _workload_and_exact(workload_name, database)
+    errors = []
+    stream = cell_stream(config.seed, "figure9", workload_name, epsilon, mechanism_name)
+    for trial_rng in spawn(stream, config.trials):
+        mechanism = _MECHANISMS[mechanism_name](epsilon=epsilon)
+        answer = mechanism.answer(database, queries, rng=trial_rng)
+        errors.append(workload_relative_error(exact, answer.values))
+    return float(np.mean(errors)), len(queries)
 
 
 def run(
@@ -31,29 +67,28 @@ def run(
     """Regenerate Figure 9 (workload error of PM vs WD by varying ε)."""
     config = config or ExperimentConfig()
     epsilons = tuple(epsilons) if epsilons is not None else config.epsilons
-    database = build_ssb_database(config)
-    schema = ssb_schema()
-    workloads = {"W1": workload_w1(schema), "W2": workload_w2(schema)}
+    # Warm the database, workload matrices and exact answers pre-fork.
+    database = resolve_database(build_ssb_database, (config,))
+    for workload_name in _WORKLOAD_BUILDERS:
+        _workload_and_exact(workload_name, database)
 
     result = ExperimentResult(
         title="Figure 9: error level of PM and WD on workload queries by varying epsilon",
         notes=f"{config.trials} trials per cell.",
     )
-    for workload_name, queries in workloads.items():
-        exact = answer_workload_exact(database, queries)
-        for epsilon in epsilons:
-            for mechanism_name, mechanism_cls in (("PM", IndependentPMWorkload), ("WD", WorkloadDecomposition)):
-                errors = []
-                for trial_rng in spawn(config.seed + cell_seed(workload_name, epsilon, mechanism_name),
-                                       config.trials):
-                    mechanism = mechanism_cls(epsilon=epsilon)
-                    answer = mechanism.answer(database, queries, rng=trial_rng)
-                    errors.append(workload_relative_error(exact, answer.values))
-                result.add_row(
-                    workload=workload_name,
-                    epsilon=epsilon,
-                    mechanism=mechanism_name,
-                    relative_error_pct=float(np.mean(errors)),
-                    num_queries=len(queries),
-                )
+    grid = [
+        (workload_name, epsilon, mechanism_name)
+        for workload_name in _WORKLOAD_BUILDERS
+        for epsilon in epsilons
+        for mechanism_name in _MECHANISMS
+    ]
+    outcomes = TrialScheduler(config.jobs).map(partial(_workload_cell, config), grid)
+    for (workload_name, epsilon, mechanism_name), (error, num_queries) in zip(grid, outcomes):
+        result.add_row(
+            workload=workload_name,
+            epsilon=epsilon,
+            mechanism=mechanism_name,
+            relative_error_pct=error,
+            num_queries=num_queries,
+        )
     return result

@@ -9,18 +9,40 @@ exactly like the paper's table.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional, Sequence
 
-from repro.datagen.ssb import ssb_schema
-from repro.evaluation.experiments.common import ExperimentConfig, build_ssb_database, cell_seed
+from repro.evaluation.experiments.common import ExperimentConfig, build_ssb_database
+from repro.evaluation.parallel import StarCell, TrialScheduler, run_star_cell
 from repro.evaluation.reporting import ExperimentResult
-from repro.evaluation.runner import evaluate_mechanism, make_star_mechanism
 from repro.db.executor import QueryExecutor
 from repro.workloads.ssb_queries import SSB_QUERY_NAMES, ssb_query
 
-__all__ = ["run", "MECHANISMS"]
+__all__ = ["run", "cells", "MECHANISMS"]
 
 MECHANISMS = ("PM", "R2T", "LS")
+
+
+def cells(
+    config: ExperimentConfig,
+    query_names: Sequence[str] = SSB_QUERY_NAMES,
+    mechanisms: Sequence[str] = MECHANISMS,
+) -> list[StarCell]:
+    """The cell grid of Table 1, in row order."""
+    return [
+        StarCell(
+            mechanism=mechanism_name,
+            epsilon=epsilon,
+            query_builder=ssb_query,
+            query_args=(query_name,),
+            database_builder=build_ssb_database,
+            database_args=(config,),
+            stream=("table1", epsilon, mechanism_name, query_name),
+        )
+        for epsilon in config.epsilons
+        for mechanism_name in mechanisms
+        for query_name in query_names
+    ]
 
 
 def run(
@@ -34,11 +56,12 @@ def run(
     percent (``None`` when the combination is unsupported).
     """
     config = config or ExperimentConfig()
+    # Build the database (and its exact answers) before the scheduler forks,
+    # so workers inherit the warm engine caches.
     database = build_ssb_database(config)
-    schema = ssb_schema()
     executor = QueryExecutor(database)
-    queries = {name: ssb_query(name, schema) for name in query_names}
-    exact = {name: executor.execute(query) for name, query in queries.items()}
+    for query_name in query_names:
+        executor.execute(ssb_query(query_name))
 
     result = ExperimentResult(
         title="Table 1: relative error (%) of PM, R2T, LS on SSB queries by varying epsilon",
@@ -48,28 +71,17 @@ def run(
             f"private dimensions: {', '.join(config.private_dimensions)}."
         ),
     )
-    for epsilon in config.epsilons:
-        for mechanism_name in mechanisms:
-            for query_name in query_names:
-                mechanism = make_star_mechanism(
-                    mechanism_name, epsilon, scenario=config.scenario
-                )
-                evaluation = evaluate_mechanism(
-                    mechanism,
-                    database,
-                    queries[query_name],
-                    trials=config.trials,
-                    rng=config.seed + cell_seed(epsilon, mechanism_name, query_name),
-                    exact_answer=exact[query_name],
-                )
-                result.add_row(
-                    epsilon=epsilon,
-                    mechanism=mechanism_name,
-                    query=query_name,
-                    relative_error_pct=(
-                        None if evaluation.unsupported else evaluation.mean_relative_error
-                    ),
-                    supported=not evaluation.unsupported,
-                    mean_time_s=None if evaluation.unsupported else evaluation.mean_time,
-                )
+    grid = cells(config, query_names=query_names, mechanisms=mechanisms)
+    evaluations = TrialScheduler(config.jobs).map(partial(run_star_cell, config), grid)
+    for cell, evaluation in zip(grid, evaluations):
+        result.add_row(
+            epsilon=cell.epsilon,
+            mechanism=cell.mechanism,
+            query=cell.query_args[0],
+            relative_error_pct=(
+                None if evaluation.unsupported else evaluation.mean_relative_error
+            ),
+            supported=not evaluation.unsupported,
+            mean_time_s=None if evaluation.unsupported else evaluation.mean_time,
+        )
     return result

@@ -10,19 +10,58 @@ for full-size graphs.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional, Sequence
 
-from repro.evaluation.experiments.common import ExperimentConfig, cell_seed
+from repro.evaluation.experiments.common import ExperimentConfig
+from repro.evaluation.parallel import (
+    KStarCell,
+    TrialScheduler,
+    resolve_database,
+    run_kstar_cell,
+)
 from repro.evaluation.reporting import ExperimentResult
-from repro.evaluation.runner import evaluate_kstar_mechanism, make_kstar_mechanism
 from repro.graph.generators import amazon_like, deezer_like
 from repro.graph.kstar import kstar_count
 from repro.workloads.kstar_queries import q2star, q3star
 
-__all__ = ["run", "MECHANISMS", "KSTAR_EPSILONS"]
+__all__ = ["run", "cells", "MECHANISMS", "KSTAR_EPSILONS"]
 
 MECHANISMS = ("PM", "R2T", "TM")
 KSTAR_EPSILONS = (0.1, 0.5, 1.0)
+
+#: dataset name → (graph builder, seed offset); builders are module-level so
+#: cells pickle by reference and workers rebuild (or inherit) the graph.
+_DATASETS = {"Deezer": (deezer_like, 0), "Amazon": (amazon_like, 1)}
+
+
+def build_graph(dataset: str, seed: int, scale: float):
+    """Build one of the Table 2 graphs (importable worker entry point)."""
+    builder, offset = _DATASETS[dataset]
+    return builder(rng=seed + offset, scale=scale)
+
+
+def cells(
+    config: ExperimentConfig,
+    graph_scale: float = 0.25,
+    epsilons: Sequence[float] = KSTAR_EPSILONS,
+    mechanisms: Sequence[str] = MECHANISMS,
+) -> list[KStarCell]:
+    """The cell grid of Table 2, in row order."""
+    return [
+        KStarCell(
+            mechanism=mechanism_name,
+            epsilon=epsilon,
+            query_builder=query_builder,
+            database_builder=build_graph,
+            database_args=(dataset, config.seed, graph_scale),
+            stream=("table2", dataset, label, epsilon, mechanism_name),
+        )
+        for dataset in _DATASETS
+        for label, query_builder in (("Q2*", q2star), ("Q3*", q3star))
+        for epsilon in epsilons
+        for mechanism_name in mechanisms
+    ]
 
 
 def run(
@@ -33,10 +72,13 @@ def run(
 ) -> ExperimentResult:
     """Regenerate Table 2 (relative error and running time on k-star queries)."""
     config = config or ExperimentConfig()
-    graphs = {
-        "Deezer": deezer_like(rng=config.seed, scale=graph_scale),
-        "Amazon": amazon_like(rng=config.seed + 1, scale=graph_scale),
-    }
+    # Warm the per-process graph cache (and the graphs' star-count caches)
+    # before the scheduler forks, so workers inherit them.
+    for dataset in _DATASETS:
+        graph = resolve_database(build_graph, (dataset, config.seed, graph_scale))
+        for query_builder in (q2star, q3star):
+            kstar_count(graph, query_builder(graph))
+
     result = ExperimentResult(
         title="Table 2: PM, R2T, TM on k-star queries (relative error % and time)",
         notes=(
@@ -45,26 +87,15 @@ def run(
             f"{config.trials} trials per cell."
         ),
     )
-    for dataset, graph in graphs.items():
-        for query in (q2star(graph), q3star(graph)):
-            exact = kstar_count(graph, query)
-            for epsilon in epsilons:
-                for mechanism_name in mechanisms:
-                    mechanism = make_kstar_mechanism(mechanism_name, epsilon)
-                    evaluation = evaluate_kstar_mechanism(
-                        mechanism,
-                        graph,
-                        query,
-                        trials=config.trials,
-                        rng=config.seed + cell_seed(dataset, query.label, epsilon, mechanism_name),
-                        exact_answer=exact,
-                    )
-                    result.add_row(
-                        dataset=dataset,
-                        query=query.label,
-                        epsilon=epsilon,
-                        mechanism=mechanism_name,
-                        relative_error_pct=evaluation.mean_relative_error,
-                        mean_time_s=evaluation.mean_time,
-                    )
+    grid = cells(config, graph_scale=graph_scale, epsilons=epsilons, mechanisms=mechanisms)
+    evaluations = TrialScheduler(config.jobs).map(partial(run_kstar_cell, config), grid)
+    for cell, evaluation in zip(grid, evaluations):
+        result.add_row(
+            dataset=cell.database_args[0],
+            query=evaluation.query,
+            epsilon=cell.epsilon,
+            mechanism=cell.mechanism,
+            relative_error_pct=evaluation.mean_relative_error,
+            mean_time_s=evaluation.mean_time,
+        )
     return result

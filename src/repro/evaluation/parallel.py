@@ -1,0 +1,210 @@
+"""Batched, process-parallel evaluation of experiment cells.
+
+The experiment drivers answer every (mechanism, query, ε) cell over repeated
+trials.  With the shared :class:`~repro.db.engine.ExecutionEngine` the
+per-trial query work is cheap, so the harness bottleneck is the serial cell
+loop itself.  This module fans cells out over a ``ProcessPoolExecutor``:
+
+* :class:`TrialScheduler` maps a picklable cell function over a cell list
+  and returns results **in input order** — parallelism never reorders rows.
+* Determinism comes from the seeding scheme, not from scheduling: each cell
+  carries its full label, and the cell function derives the cell's
+  :class:`~numpy.random.SeedSequence` with
+  :func:`~repro.evaluation.experiments.common.cell_stream` — a pure function
+  of ``(master seed, label)``.  All trials of a cell run inside one
+  :func:`~repro.evaluation.runner.evaluate_mechanism` call from generators
+  split off that sequence, so ``jobs=1`` and ``jobs=N`` produce identical
+  numbers.
+* Workers warm up their own databases and engine caches once per database
+  and reuse them across every cell of that database:
+  :func:`resolve_database` memoizes ``(builder, args)`` per process.  On
+  platforms whose process start method is ``fork`` (Linux, the CI platform)
+  the pool is created after the parent has already built the database and
+  computed the exact answers, so workers *inherit* the warm database and
+  engine caches through copy-on-write memory instead of rebuilding them.
+
+Cell functions must be importable module-level callables (the pool pickles
+them by qualified name); drivers bind their configuration with
+``functools.partial``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import get_context
+from typing import Any, Callable, Sequence
+
+from repro.db.engine import ExecutionEngine
+from repro.db.executor import QueryExecutor
+from repro.evaluation.experiments.common import ExperimentConfig, cell_stream
+from repro.evaluation.runner import (
+    EvaluationResult,
+    evaluate_kstar_mechanism,
+    evaluate_mechanism,
+    make_kstar_mechanism,
+    make_star_mechanism,
+)
+from repro.graph.kstar import kstar_count
+
+__all__ = [
+    "TrialScheduler",
+    "StarCell",
+    "KStarCell",
+    "run_star_cell",
+    "run_kstar_cell",
+    "resolve_database",
+    "clear_worker_cache",
+]
+
+
+# ----------------------------------------------------------------------
+# per-process database / warm-engine cache
+# ----------------------------------------------------------------------
+#: Databases (and anything else a cell function wants to pay for once per
+#: process) keyed by the builder's qualified name and its pickled arguments.
+#: Under the ``fork`` start method a pre-populated parent cache is inherited
+#: by every worker, so the parent can warm it before the pool is created.
+#: Bounded like ``common._DATABASE_CACHE`` (oldest entry evicted) so a
+#: many-database sweep — figure7 alone builds 12 instances — cannot pin
+#: every instance it ever touched for the life of the process.
+_WORKER_CACHE: dict = {}
+_WORKER_CACHE_MAX = 8
+
+
+def clear_worker_cache() -> None:
+    """Drop this process's memoized databases (frees memory between suites)."""
+    _WORKER_CACHE.clear()
+
+
+def resolve_database(builder: Callable, args: tuple):
+    """Build (or reuse) the database described by ``(builder, args)``.
+
+    The result is memoized per process and its
+    :class:`~repro.db.engine.ExecutionEngine` is attached on first build, so
+    all cells of the same database share one set of selection/cube caches —
+    each worker pays them once.
+    """
+    key = (builder.__module__, builder.__qualname__, pickle.dumps(args))
+    database = _WORKER_CACHE.get(key)
+    if database is None:
+        database = builder(*args)
+        if hasattr(database, "fact"):  # star/snowflake databases have engines
+            ExecutionEngine.for_database(database)
+        while len(_WORKER_CACHE) >= _WORKER_CACHE_MAX:
+            _WORKER_CACHE.pop(next(iter(_WORKER_CACHE)))
+        _WORKER_CACHE[key] = database
+    return database
+
+
+# ----------------------------------------------------------------------
+# cell descriptions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class StarCell:
+    """One (mechanism, query, ε) cell of a star-join experiment.
+
+    Everything is picklable and declarative: the query and database are
+    described by module-level builder callables plus positional arguments,
+    resolved inside the worker; ``stream`` is the full cell label the
+    per-cell seed stream is derived from.
+    """
+
+    mechanism: str
+    epsilon: float
+    query_builder: Callable
+    query_args: tuple
+    database_builder: Callable
+    database_args: tuple
+    stream: tuple
+    mechanism_kwargs: tuple = ()
+
+
+@dataclass(frozen=True)
+class KStarCell:
+    """One (mechanism, query, ε) cell of a k-star (graph) experiment."""
+
+    mechanism: str
+    epsilon: float
+    query_builder: Callable  # called with the resolved graph
+    database_builder: Callable
+    database_args: tuple
+    stream: tuple
+    mechanism_kwargs: tuple = ()
+
+
+def run_star_cell(config: ExperimentConfig, cell: StarCell) -> EvaluationResult:
+    """Evaluate one star-join cell (importable worker entry point)."""
+    database = resolve_database(cell.database_builder, cell.database_args)
+    query = cell.query_builder(*cell.query_args)
+    mechanism = make_star_mechanism(
+        cell.mechanism,
+        cell.epsilon,
+        scenario=config.scenario,
+        **dict(cell.mechanism_kwargs),
+    )
+    # Engine-cached by query fingerprint: computed once per (database, query)
+    # per process, shared by every mechanism and ε of the cell's query.
+    exact = QueryExecutor(database).execute(query)
+    return evaluate_mechanism(
+        mechanism,
+        database,
+        query,
+        trials=config.trials,
+        rng=cell_stream(config.seed, *cell.stream),
+        exact_answer=exact,
+    )
+
+
+def run_kstar_cell(config: ExperimentConfig, cell: KStarCell) -> EvaluationResult:
+    """Evaluate one k-star cell (importable worker entry point)."""
+    graph = resolve_database(cell.database_builder, cell.database_args)
+    query = cell.query_builder(graph)
+    mechanism = make_kstar_mechanism(
+        cell.mechanism, cell.epsilon, **dict(cell.mechanism_kwargs)
+    )
+    exact = kstar_count(graph, query)  # O(1) after the graph's first count
+    return evaluate_kstar_mechanism(
+        mechanism,
+        graph,
+        query,
+        trials=config.trials,
+        rng=cell_stream(config.seed, *cell.stream),
+        exact_answer=exact,
+    )
+
+
+# ----------------------------------------------------------------------
+# the scheduler
+# ----------------------------------------------------------------------
+class TrialScheduler:
+    """Maps cell functions over worker processes, preserving input order.
+
+    ``jobs=1`` (the default) runs every cell in-process — byte-for-byte the
+    serial behaviour, with no pool or pickling involved.  ``jobs>1`` fans
+    cells out over a ``ProcessPoolExecutor``; chunks keep cells of the same
+    database together (drivers emit them contiguously) without starving load
+    balancing.
+    """
+
+    def __init__(self, jobs: int = 1):
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.jobs = jobs
+
+    def map(self, fn: Callable[[Any], Any], cells: Sequence[Any]) -> list[Any]:
+        """Apply ``fn`` to every cell; results come back in input order."""
+        cells = list(cells)
+        jobs = min(self.jobs, len(cells))
+        if jobs <= 1:
+            return [fn(cell) for cell in cells]
+        # ``fork`` lets workers inherit the parent's already-built databases
+        # and warm engine caches; fall back to the platform default elsewhere.
+        try:
+            context = get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            context = None
+        chunksize = max(1, len(cells) // (jobs * 4))
+        with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
+            return list(pool.map(fn, cells, chunksize=chunksize))

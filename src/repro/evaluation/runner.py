@@ -35,7 +35,7 @@ from repro.exceptions import ReproError, UnsupportedQueryError
 from repro.graph.dp_kstar import KStarPM, KStarR2T, KStarTM
 from repro.graph.edge_table import Graph
 from repro.graph.kstar import KStarQuery, kstar_count
-from repro.rng import RngLike, ensure_rng, spawn
+from repro.rng import RngLike, spawn
 
 __all__ = [
     "EvaluationResult",
@@ -70,7 +70,14 @@ class EvaluationResult:
 
     @property
     def std_relative_error(self) -> float:
-        return float(np.std(self.relative_errors)) if self.relative_errors else float("nan")
+        """Sample standard deviation (``ddof=1``) of the per-trial errors.
+
+        Undefined (NaN, without a runtime warning) below two trials — the
+        population formula silently reported 0 spread for single-trial runs.
+        """
+        if len(self.relative_errors) < 2:
+            return float("nan")
+        return float(np.std(self.relative_errors, ddof=1))
 
     @property
     def mean_time(self) -> float:
@@ -148,6 +155,13 @@ def evaluate_mechanism(
     database's shared one) serves every trial, so the exact answer, selection
     masks and fan-out statistics are computed once per query rather than once
     per trial.
+
+    All ``trials`` runs are evaluated inside this one call — one timed block
+    per trial — from generators split off ``rng``.  Pass the cell's
+    :class:`~numpy.random.SeedSequence` (see
+    :func:`repro.evaluation.experiments.common.cell_stream`) to make the
+    trial streams a pure function of the cell label, independent of which
+    process evaluates the cell.
     """
     name = getattr(mechanism, "name", type(mechanism).__name__)
     epsilon = float(getattr(mechanism, "epsilon", float("nan")))
@@ -155,7 +169,7 @@ def evaluate_mechanism(
     if exact_answer is None:
         exact_answer = QueryExecutor(database, engine=engine).execute(query)
 
-    trial_rngs = spawn(ensure_rng(rng), trials)
+    trial_rngs = spawn(rng, trials)
     for trial_rng in trial_rngs:
         start = time.perf_counter()
         try:
@@ -178,14 +192,20 @@ def evaluate_kstar_mechanism(
     rng: RngLike = None,
     exact_answer: Optional[float] = None,
 ) -> EvaluationResult:
-    """Repeated-trial evaluation for k-star mechanisms."""
+    """Repeated-trial evaluation for k-star mechanisms.
+
+    Batched exactly like :func:`evaluate_mechanism`: all trials run inside
+    this call from generators split off ``rng`` (a per-cell
+    :class:`~numpy.random.SeedSequence` makes them order- and
+    process-independent).
+    """
     name = getattr(mechanism, "name", type(mechanism).__name__)
     epsilon = float(getattr(mechanism, "epsilon", float("nan")))
     result = EvaluationResult(mechanism=name, query=query.label, epsilon=epsilon)
     if exact_answer is None:
         exact_answer = kstar_count(graph, query)
 
-    trial_rngs = spawn(ensure_rng(rng), trials)
+    trial_rngs = spawn(rng, trials)
     for trial_rng in trial_rngs:
         start = time.perf_counter()
         try:

@@ -1,10 +1,17 @@
 """Seeded random-number plumbing shared by every randomized component.
 
-Every mechanism, generator and experiment in the library accepts either an
-integer seed, a :class:`numpy.random.Generator`, or ``None``.  This module
-provides the single helper that normalises those three options, so results
-are reproducible whenever a seed is supplied and independent across
-components when it is not.
+Every mechanism, generator and experiment in the library accepts an integer
+seed, a :class:`numpy.random.Generator`, a :class:`numpy.random.SeedSequence`,
+or ``None``.  This module provides the single helper that normalises those
+options, so results are reproducible whenever a seed is supplied and
+independent across components when it is not.
+
+:class:`~numpy.random.SeedSequence` is the preferred currency of the
+evaluation harness: a sequence splits into per-trial child streams with
+``SeedSequence.spawn`` — a pure function of the parent's entropy and spawn
+key — so the same cell produces the same trial streams no matter which
+process evaluates it or in which order (the property the parallel trial
+runner relies on).
 """
 
 from __future__ import annotations
@@ -13,7 +20,7 @@ from typing import Optional, Union
 
 import numpy as np
 
-RngLike = Union[int, np.random.Generator, None]
+RngLike = Union[int, np.random.Generator, np.random.SeedSequence, None]
 
 
 def ensure_rng(rng: RngLike = None) -> np.random.Generator:
@@ -22,26 +29,38 @@ def ensure_rng(rng: RngLike = None) -> np.random.Generator:
     Parameters
     ----------
     rng:
-        ``None`` for a fresh nondeterministic generator, an ``int`` seed, or
-        an existing generator (returned unchanged).
+        ``None`` for a fresh nondeterministic generator, an ``int`` seed, a
+        :class:`~numpy.random.SeedSequence`, or an existing generator
+        (returned unchanged).
     """
     if rng is None:
         return np.random.default_rng()
     if isinstance(rng, np.random.Generator):
         return rng
+    if isinstance(rng, np.random.SeedSequence):
+        return np.random.default_rng(rng)
     if isinstance(rng, (int, np.integer)):
         return np.random.default_rng(int(rng))
-    raise TypeError(f"rng must be None, int or numpy Generator, got {type(rng)!r}")
+    raise TypeError(
+        f"rng must be None, int, numpy Generator or SeedSequence, got {type(rng)!r}"
+    )
 
 
 def spawn(rng: RngLike, count: int) -> list[np.random.Generator]:
     """Split ``rng`` into ``count`` independent child generators.
 
     Used by experiment runners so that each trial has an independent but
-    reproducible stream.
+    reproducible stream.  A :class:`~numpy.random.SeedSequence` splits via
+    ``SeedSequence.spawn`` — deterministic in the sequence itself, so the
+    children do not depend on process boundaries or evaluation order (each
+    call spawns from a fresh offset, so pass a fresh sequence per batch).
+    Other inputs keep the legacy behaviour of drawing child seeds from the
+    parent generator.
     """
     if count < 0:
         raise ValueError("count must be non-negative")
+    if isinstance(rng, np.random.SeedSequence):
+        return [np.random.default_rng(child) for child in rng.spawn(count)]
     base = ensure_rng(rng)
     seeds = base.integers(0, 2**63 - 1, size=count, dtype=np.int64)
     return [np.random.default_rng(int(s)) for s in seeds]

@@ -94,6 +94,61 @@ class TestMeasureSamplers:
     def test_empty_sample(self):
         assert measure_sampler("uniform").sample(0, rng=1).size == 0
 
+    @pytest.mark.parametrize("name", ["uniform", "exponential", "gamma"])
+    def test_rescaling_is_batch_size_independent(self, name):
+        """Regression: values were min-max rescaled by each batch's observed
+        extremes, so the measure distribution depended on ``count`` and two
+        half-size draws differed from one full draw.  (These samplers draw
+        value-by-value from the generator, so the raw streams line up;
+        the mixture sampler is covered by the per-value transform test.)"""
+        sampler = measure_sampler(name)
+        rng_full = np.random.default_rng(9)
+        full = sampler.sample(10_000, rng=rng_full, low=1.0, high=100.0)
+        rng_halves = np.random.default_rng(9)
+        halves = np.concatenate(
+            [
+                sampler.sample(5_000, rng=rng_halves, low=1.0, high=100.0),
+                sampler.sample(5_000, rng=rng_halves, low=1.0, high=100.0),
+            ]
+        )
+        np.testing.assert_allclose(full, halves)
+
+    def test_rescaling_is_a_per_value_function(self):
+        """The same raw value maps to the same output whatever the batch."""
+        from repro.datagen.distributions import MeasureSampler
+
+        sampler = MeasureSampler("echo", lambda rng, n: np.full(n, 4.0), support=(0.0, 8.0))
+        small = sampler.sample(3, rng=1, low=0.0, high=10.0)
+        large = sampler.sample(100, rng=2, low=0.0, high=10.0)
+        np.testing.assert_allclose(small, 5.0)
+        np.testing.assert_allclose(large, 5.0)
+
+    def test_values_beyond_support_clip_to_range(self):
+        from repro.datagen.distributions import MeasureSampler
+
+        sampler = MeasureSampler(
+            "wide", lambda rng, n: np.linspace(-5.0, 15.0, n), support=(0.0, 10.0)
+        )
+        values = sampler.sample(50, rng=1, low=1.0, high=2.0)
+        assert values.min() == 1.0 and values.max() == 2.0
+
+    def test_registered_samplers_declare_supports(self):
+        for name in MEASURE_DISTRIBUTIONS:
+            assert measure_sampler(name).support is not None
+
+    def test_degenerate_support_rejected(self):
+        from repro.datagen.distributions import MeasureSampler
+
+        with pytest.raises(DataGenerationError):
+            MeasureSampler("flat", lambda rng, n: np.ones(n), support=(2.0, 2.0))
+
+    def test_constant_batch_without_support_maps_to_midpoint(self):
+        from repro.datagen.distributions import MeasureSampler
+
+        sampler = MeasureSampler("const", lambda rng, n: np.full(n, 7.0))
+        values = sampler.sample(10, rng=1, low=0.0, high=10.0)
+        np.testing.assert_allclose(values, 5.0)
+
 
 class TestGaussianMixtureSpec:
     def test_valid_spec(self):

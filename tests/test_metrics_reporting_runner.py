@@ -123,6 +123,44 @@ class TestRunner:
         assert result.std_relative_error >= 0.0
         assert not result.unsupported
 
+    def test_std_relative_error_is_sample_std(self):
+        from repro.evaluation.runner import EvaluationResult
+
+        result = EvaluationResult(mechanism="PM", query="Qc1", epsilon=0.5)
+        result.relative_errors = [1.0, 2.0, 3.0, 4.0]
+        assert result.std_relative_error == pytest.approx(
+            np.std(result.relative_errors, ddof=1)
+        )
+
+    def test_std_relative_error_single_trial_is_nan_without_warning(self):
+        from repro.evaluation.runner import EvaluationResult
+
+        result = EvaluationResult(mechanism="PM", query="Qc1", epsilon=0.5)
+        result.relative_errors = [1.5]
+        with np.errstate(all="raise"):
+            assert np.isnan(result.std_relative_error)
+        result.relative_errors = []
+        assert np.isnan(result.std_relative_error)
+
+    def test_evaluate_mechanism_seed_sequence_rng(self, ssb_small):
+        from numpy.random import SeedSequence
+
+        from repro.evaluation.experiments.common import cell_stream
+
+        stream = cell_stream(3, "unit", "PM", "Qc2")
+        assert isinstance(stream, SeedSequence)
+        a = evaluate_mechanism(
+            make_star_mechanism("PM", 0.5), ssb_small, ssb_query("Qc2"), trials=3, rng=stream
+        )
+        b = evaluate_mechanism(
+            make_star_mechanism("PM", 0.5),
+            ssb_small,
+            ssb_query("Qc2"),
+            trials=3,
+            rng=cell_stream(3, "unit", "PM", "Qc2"),
+        )
+        assert a.relative_errors == b.relative_errors
+
     def test_evaluate_mechanism_reports_unsupported(self, ssb_small):
         scenario = PrivacyScenario.dimensions("Customer")
         mechanism = make_star_mechanism("LS", 0.5, scenario=scenario)
