@@ -13,12 +13,16 @@ Each kernel is timed with a cold generated-instance cache so numbers are
 comparable run to run; within a kernel, mechanisms still share the per-database
 execution engine exactly as the experiments do.
 
-Beyond the per-experiment kernels the report tracks two scaling baselines:
+Beyond the per-experiment kernels the report tracks four scaling baselines:
 
 * ``parallel_runner`` — Table 2 through the :class:`TrialScheduler` at
   ``jobs=1`` vs ``jobs=4`` (the process-parallel trial runner's speedup).
 * ``skew_datagen`` — the Figure 7 / Figure 11 skewed instance builds with the
   cached-table samplers vs the legacy per-call ``Generator.choice`` path.
+* ``cache_backends`` — Table 1 under the local vs the shared cache backend
+  (same pool size), with the shared tier's cross-worker hit rates.
+* ``run_wide_scheduler`` — a two-experiment run with one pool per experiment
+  (transient schedulers) vs one session pool serving the whole run.
 """
 
 from __future__ import annotations
@@ -53,7 +57,12 @@ from repro.evaluation.experiments import (
     table2,
 )
 from repro.evaluation.experiments.common import ExperimentConfig, clear_database_cache
-from repro.evaluation.parallel import clear_worker_cache
+from repro.evaluation.parallel import (
+    TrialScheduler,
+    clear_worker_cache,
+    evaluation_session,
+)
+from repro.db.cache import active_backend, set_active_backend
 from repro.rng import ensure_rng
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -62,6 +71,11 @@ RESULTS_DIR = Path(__file__).parent / "results"
 def _clear_caches() -> None:
     clear_database_cache()
     clear_worker_cache()
+    # Engine caches now live in the process-global backend keyed by database
+    # *content* — a rebuilt identical instance would hit the previous
+    # repeat's entries, so reset to a fresh (lazily created) local backend
+    # to keep every timed repeat cold.
+    set_active_backend(None)
 
 
 def _kernels(quick_mode: bool):
@@ -230,6 +244,97 @@ def bench_parallel_runner(repeats: int, jobs: int = 4, graph_scale: float = 0.25
     return entry
 
 
+def bench_cache_backends(repeats: int, jobs: int = 4, rows: int = 24_000) -> dict:
+    """Table 1 under the local vs the shared cache backend, same pool size.
+
+    The interesting number on a multicore host is the shared tier's hit rate:
+    every cross-worker hit is a selection mask, contribution vector, cube or
+    exact answer one worker obtained from another worker's (or the parent
+    warm-up's) work instead of recomputing it.  On a single-CPU container the
+    wall-clock comparison mostly measures manager round-trips; the hit
+    counters are meaningful everywhere.
+    """
+    timings = {"local": [], "shared": []}
+    stats = {}
+    for label in ("local", "shared"):
+        for index in range(repeats):
+            _clear_caches()
+            config = ExperimentConfig(
+                epsilons=(0.1, 0.5, 1.0),
+                trials=3,
+                rows_per_scale_factor=rows,
+                jobs=jobs,
+                cache_backend=label,
+            )
+            start = time.perf_counter()
+            with evaluation_session(config):
+                table1.run(config)
+                if index == repeats - 1:
+                    run_stats = active_backend().stats()
+            timings[label].append(time.perf_counter() - start)
+        stats[label] = run_stats.as_dict()
+        stats[label]["shared_hit_rate"] = round(run_stats.shared_hit_rate, 4)
+    local_mean = sum(timings["local"]) / repeats
+    shared_mean = sum(timings["shared"]) / repeats
+    return {
+        "jobs": jobs,
+        "cpus": os.cpu_count() or 1,
+        "rows_per_scale_factor": rows,
+        "local_mean_s": round(local_mean, 6),
+        "shared_mean_s": round(shared_mean, 6),
+        "local_over_shared": round(local_mean / shared_mean, 3),
+        "stats": stats,
+        "samples": {k: [round(s, 6) for s in v] for k, v in timings.items()},
+    }
+
+
+def bench_run_wide_scheduler(repeats: int, jobs: int = 4, rows: int = 24_000) -> dict:
+    """One pool per experiment (transient schedulers) vs one pool per run.
+
+    Runs table1 + figure9 both ways and also reports how many pools each
+    variant forked — the run-wide session must report exactly 1.
+    """
+
+    def _run(config, session: bool) -> None:
+        if session:
+            with evaluation_session(config):
+                table1.run(config)
+                figure9.run(config)
+        else:
+            table1.run(config)
+            figure9.run(config)
+
+    timings = {"per_experiment": [], "run_wide": []}
+    pools = {}
+    for label, session in (("per_experiment", False), ("run_wide", True)):
+        for _ in range(repeats):
+            _clear_caches()
+            config = ExperimentConfig(
+                epsilons=(0.1, 0.5, 1.0),
+                trials=3,
+                rows_per_scale_factor=rows,
+                jobs=jobs,
+            )
+            pools_before = TrialScheduler.pools_created
+            start = time.perf_counter()
+            _run(config, session)
+            timings[label].append(time.perf_counter() - start)
+            pools[label] = TrialScheduler.pools_created - pools_before
+    per_experiment_mean = sum(timings["per_experiment"]) / repeats
+    run_wide_mean = sum(timings["run_wide"]) / repeats
+    return {
+        "jobs": jobs,
+        "cpus": os.cpu_count() or 1,
+        "rows_per_scale_factor": rows,
+        "experiments": ["table1", "figure9"],
+        "pools_created": pools,
+        "per_experiment_mean_s": round(per_experiment_mean, 6),
+        "run_wide_mean_s": round(run_wide_mean, 6),
+        "speedup": round(per_experiment_mean / run_wide_mean, 3),
+        "samples": {k: [round(s, 6) for s in v] for k, v in timings.items()},
+    }
+
+
 def run_benchmarks(repeats: int = 3, quick_mode: bool = False) -> dict:
     # The parallel-runner baseline goes first: forked workers inherit the
     # parent's heap, so measuring it before the other kernels grow the
@@ -262,14 +367,31 @@ def run_benchmarks(repeats: int = 3, quick_mode: bool = False) -> dict:
     print(f"{'skew_datagen':>15}: legacy {skew['legacy_mean_s']*1000:8.1f} ms -> "
           f"cached {skew['cached_mean_s']*1000:.1f} ms ({skew['speedup']}x)")
 
+    backend_rows = 8_000 if quick_mode else 24_000
+    backends = bench_cache_backends(repeats, rows=backend_rows)
+    shared_stats = backends["stats"]["shared"]
+    print(f"{'cache_backends':>15}: local {backends['local_mean_s']*1000:8.1f} ms, "
+          f"shared {backends['shared_mean_s']*1000:.1f} ms "
+          f"(shared hit rate {shared_stats['shared_hit_rate']:.1%}, "
+          f"{backends['cpus']} cpu(s))")
+
+    run_wide = bench_run_wide_scheduler(repeats, rows=backend_rows)
+    print(f"{'run_wide_scheduler':>15}: per-experiment "
+          f"{run_wide['per_experiment_mean_s']*1000:8.1f} ms "
+          f"({run_wide['pools_created']['per_experiment']} pools) -> run-wide "
+          f"{run_wide['run_wide_mean_s']*1000:.1f} ms "
+          f"({run_wide['pools_created']['run_wide']} pool)")
+
     return {
-        "schema_version": 2,
+        "schema_version": 3,
         "repeats": repeats,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "experiments": timings,
         "skew_datagen": skew,
         "parallel_runner": parallel,
+        "cache_backends": backends,
+        "run_wide_scheduler": run_wide,
         "total_mean_s": round(sum(t["mean_s"] for t in timings.values()), 6),
     }
 

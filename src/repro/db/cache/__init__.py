@@ -1,0 +1,125 @@
+"""Backend-agnostic caching for the execution layer.
+
+The package splits what used to be hard-wired inside
+:class:`~repro.db.engine.ExecutionEngine` into three orthogonal pieces:
+
+* :mod:`repro.db.cache.fingerprints` — the semantic cache keys (predicate /
+  selection / query fingerprints, database content namespaces);
+* :mod:`repro.db.cache.backend` — the :class:`CacheBackend` protocol, the
+  region vocabulary and the :class:`CacheStats` counters;
+* the interchangeable implementations:
+  :class:`~repro.db.cache.local.LocalCacheBackend` (in-process, default) and
+  :class:`~repro.db.cache.shared.SharedMemoryCacheBackend` (cross-worker,
+  Manager-based).  See ``docs/CACHE.md``.
+
+One backend instance is *active* per process at any time
+(:func:`active_backend`); every engine obtained through
+``ExecutionEngine.for_database`` routes its cache traffic through it
+dynamically, so installing a backend (``--cache-backend shared``) takes
+effect for every database in the run — including engines that already exist,
+and engines inherited by forked pool workers.  Engines constructed directly
+(``ExecutionEngine(db)``) get a private local backend instead and are fully
+isolated, which tests and ablations rely on.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.db.cache.backend import (
+    BOUNDED_REGIONS,
+    REGIONS,
+    SHARED_REGIONS,
+    CacheBackend,
+    CacheStats,
+)
+from repro.db.cache.fingerprints import (
+    database_fingerprint,
+    measure_fingerprint,
+    predicate_fingerprint,
+    query_fingerprint,
+    selection_fingerprint,
+)
+from repro.db.cache.local import LocalCacheBackend, LruCache
+from repro.db.cache.shared import SharedMemoryCacheBackend
+
+__all__ = [
+    "BOUNDED_REGIONS",
+    "CACHE_BACKENDS",
+    "CacheBackend",
+    "CacheStats",
+    "LocalCacheBackend",
+    "LruCache",
+    "REGIONS",
+    "SHARED_REGIONS",
+    "SharedMemoryCacheBackend",
+    "active_backend",
+    "backend_scope",
+    "database_fingerprint",
+    "make_backend",
+    "measure_fingerprint",
+    "predicate_fingerprint",
+    "query_fingerprint",
+    "selection_fingerprint",
+    "set_active_backend",
+]
+
+#: Backend names accepted by configuration (CLI ``--cache-backend``).
+CACHE_BACKENDS: tuple[str, ...] = ("local", "shared")
+
+
+def make_backend(name: str, max_entries: int = 192) -> CacheBackend:
+    """Build a cache backend by its configuration name.
+
+    ``max_entries`` bounds every bounded region; for the shared backend the
+    cross-process tier is bounded proportionally (16 × ``max_entries``, the
+    default 192 → 3072 entries) so ``--cache-size`` also governs the manager
+    process's footprint.
+    """
+    if name == "local":
+        return LocalCacheBackend(max_entries)
+    if name == "shared":
+        return SharedMemoryCacheBackend(max_entries, max_shared_entries=max_entries * 16)
+    raise ValueError(f"unknown cache backend {name!r}; available: {CACHE_BACKENDS}")
+
+
+#: The process-wide active backend (lazily a LocalCacheBackend).  Forked
+#: workers inherit whatever was active in the parent at fork time, which is
+#: how a pre-fork SharedMemoryCacheBackend ends up serving the whole pool.
+_ACTIVE: Optional[CacheBackend] = None
+
+
+def active_backend() -> CacheBackend:
+    """The backend engines obtained via ``for_database`` currently route to."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = LocalCacheBackend()
+    return _ACTIVE
+
+
+def set_active_backend(backend: Optional[CacheBackend]) -> Optional[CacheBackend]:
+    """Install ``backend`` as the process-wide active backend.
+
+    Returns the previously installed backend (``None`` if the lazy default
+    had not been materialised yet) so callers can restore it.  Passing
+    ``None`` resets to a lazily created fresh local backend.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = backend
+    return previous
+
+
+@contextmanager
+def backend_scope(backend: CacheBackend) -> Iterator[CacheBackend]:
+    """Run a block with ``backend`` active, restoring the previous one after.
+
+    The backend is *not* closed on exit — the caller owns its lifecycle
+    (a shared backend's manager usually outlives several scopes).
+    """
+    previous = set_active_backend(backend)
+    try:
+        yield backend
+    finally:
+        set_active_backend(previous)

@@ -1,0 +1,163 @@
+"""The cache-backend protocol and its shared vocabulary.
+
+The execution engine (:mod:`repro.db.engine`) owns no cache storage of its
+own: every memoized artefact — selection masks, fan-out statistics, measure
+arrays, per-key contributions, data cubes, exact answers — is read and
+written through a :class:`CacheBackend`.  Backends are interchangeable
+(selected by configuration, see :func:`repro.db.cache.make_backend`):
+
+* :class:`~repro.db.cache.local.LocalCacheBackend` — in-process storage,
+  the default; one bounded LRU or unbounded dict per (namespace, region).
+* :class:`~repro.db.cache.shared.SharedMemoryCacheBackend` — a two-tier
+  backend whose second tier lives in a ``multiprocessing.Manager`` server
+  process, so pool workers share selection masks, data cubes and memoized
+  exact answers with each other after fork.
+
+Keys are namespaced: every entry is addressed by ``(namespace, region,
+key)``, where the namespace is the owning database's content fingerprint
+(:func:`repro.db.cache.fingerprints.database_fingerprint`) and the region
+names the kind of artefact (:data:`REGIONS`).  Content-derived namespaces
+make keys process-independent — two workers that built the same logical
+database compute the same namespace, which is what lets them share a cache —
+and make invalidation after an in-place database mutation safe: the mutated
+content hashes to a new namespace, so stale entries can never be served.
+
+Every value stored through a backend must be a *pure function of its key*
+(given the namespace's database content).  That is the backend-consistency
+contract: because a cache hit returns exactly the value any process would
+have recomputed, results are bit-identical across backends and across
+``jobs=1`` / ``jobs=N`` runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Hashable, Optional, Protocol, runtime_checkable
+
+__all__ = [
+    "BOUNDED_REGIONS",
+    "CacheBackend",
+    "CacheStats",
+    "REGIONS",
+    "SHARED_REGIONS",
+]
+
+
+#: Every cache region the execution engine uses, with a short description.
+REGIONS: dict[str, str] = {
+    "predicate_mask": "boolean fact-row mask of a single predicate",
+    "selection_mask": "boolean fact-row mask of a conjunction",
+    "fan_out": "unfiltered fan-out vector of a direct dimension",
+    "max_fan_out": "maximum fan-out of a direct dimension",
+    "measure": "measure expression over every fact row",
+    "contribution": "per-dimension-key contribution vector",
+    "sorted_contribution": "sorted contributions + exclusive prefix sums",
+    "cube": "bincount-built data cube over workload attributes",
+    "result": "memoized exact query answer",
+}
+
+#: Regions kept behind a bounded LRU (noisy one-off keys must not grow the
+#: cache without limit).  The complement — fan-out, measures, cubes — is
+#: small, per-database statistics and stays unbounded, exactly as the
+#: pre-refactor per-engine dicts did.
+BOUNDED_REGIONS: frozenset[str] = frozenset(
+    {"predicate_mask", "selection_mask", "contribution", "sorted_contribution", "result"}
+)
+
+#: Regions the shared backend replicates into its cross-process tier: the
+#: artefacts that are expensive to recompute and cheap(er) to ship than to
+#: rebuild.  Predicate masks and measure arrays are deliberately excluded —
+#: they are either subsumed by selection masks or recomputed in microseconds.
+SHARED_REGIONS: frozenset[str] = frozenset(
+    {"selection_mask", "contribution", "sorted_contribution", "cube", "result"}
+)
+
+
+@dataclass
+class CacheStats:
+    """Hit / miss / eviction counters of a cache backend.
+
+    ``hits`` / ``misses`` / ``puts`` / ``evictions`` count in-process tier
+    traffic.  The ``shared_*`` counters count the cross-process tier of the
+    shared backend (zero on the local backend): ``shared_hits`` is the number
+    of entries this run obtained from *another* process's work.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    shared_hits: int = 0
+    shared_misses: int = 0
+    shared_puts: int = 0
+    shared_evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
+    def shared_hit_rate(self) -> float:
+        total = self.shared_hits + self.shared_misses
+        return self.shared_hits / total if total else 0.0
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            **{f.name: getattr(self, f.name) + getattr(other, f.name) for f in fields(self)}
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def summary(self) -> str:
+        """One-line human-readable form (used by ``--cache-stats``)."""
+        text = (
+            f"hits={self.hits} misses={self.misses} "
+            f"(rate {self.hit_rate:.1%}) puts={self.puts} evictions={self.evictions}"
+        )
+        if self.shared_hits or self.shared_misses or self.shared_puts:
+            text += (
+                f" | shared: hits={self.shared_hits} misses={self.shared_misses} "
+                f"(rate {self.shared_hit_rate:.1%}) puts={self.shared_puts}"
+                f" evictions={self.shared_evictions}"
+            )
+        return text
+
+
+@runtime_checkable
+class CacheBackend(Protocol):
+    """What the execution engine requires of a cache backend.
+
+    ``get`` returns ``None`` on a miss — backends never store ``None`` (the
+    engine only caches computed artefacts, which are all non-``None``).
+    ``clear(namespace)`` drops one namespace's entries; ``clear()`` drops
+    everything.  Statistics accumulate across operations until
+    :meth:`reset_stats`.
+    """
+
+    name: str
+
+    def get(self, namespace: str, region: str, key: Hashable) -> Any: ...
+
+    def put(self, namespace: str, region: str, key: Hashable, value: Any) -> None: ...
+
+    def clear(self, namespace: Optional[str] = None) -> None: ...
+
+    def release(self, namespace: str) -> None:
+        """Drop *this process's* storage for a namespace whose database died.
+
+        Unlike :meth:`clear`, which removes a namespace everywhere (the
+        invalidation path), ``release`` only reclaims in-process memory: on
+        the shared backend the cross-process tier is left intact, because
+        another worker may still be serving the same logical database.
+        Called by the engine registry when a database is garbage-collected;
+        over-releasing is always safe — the next miss recomputes.
+        """
+        ...
+
+    def stats(self) -> CacheStats: ...
+
+    def reset_stats(self) -> None: ...
+
+    def entry_count(self, namespace: Optional[str] = None) -> int: ...

@@ -1,0 +1,156 @@
+"""The in-process cache backend (the default).
+
+Storage layout: namespaces (one per database content fingerprint) hold one
+store per region — a bounded :class:`LruCache` for the regions in
+:data:`~repro.db.cache.backend.BOUNDED_REGIONS`, a plain dict for the small
+unbounded statistics regions.  This reproduces exactly the cache structure
+the execution engine owned before the backend layer was extracted, with hit /
+miss / eviction counters added.
+
+Namespaces themselves are also a bounded LRU (``max_namespaces``).  The
+pre-refactor engine freed its caches when its database was garbage-collected
+(the engine registry is weak-keyed); a process-global backend cannot rely on
+that, so instead the least-recently-touched namespace is dropped whole when
+a database sweep (figure7 alone builds 12 instances) would otherwise pin
+every instance's artefacts for the life of the process.  Dropping a live
+namespace is always safe — the engine recomputes on the next miss.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional, Union
+
+from repro.db.cache.backend import BOUNDED_REGIONS, CacheStats
+
+__all__ = ["LocalCacheBackend", "LruCache"]
+
+
+class LruCache:
+    """A tiny insertion-ordered LRU built on dict ordering."""
+
+    def __init__(self, max_entries: int):
+        self.max_entries = int(max_entries)
+        self._data: dict[Hashable, Any] = {}
+
+    def get(self, key: Hashable) -> Any:
+        try:
+            value = self._data.pop(key)
+        except KeyError:
+            return None
+        self._data[key] = value  # move to the fresh end
+        return value
+
+    def put(self, key: Hashable, value: Any) -> int:
+        """Insert ``value``; return the number of entries evicted."""
+        self._data.pop(key, None)
+        self._data[key] = value
+        evicted = 0
+        while len(self._data) > self.max_entries:
+            self._data.pop(next(iter(self._data)))
+            evicted += 1
+        return evicted
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class LocalCacheBackend:
+    """In-process cache storage with namespaced regions and counters."""
+
+    name = "local"
+
+    def __init__(self, max_entries: int = 192, max_namespaces: int = 8):
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        if max_namespaces < 1:
+            raise ValueError("max_namespaces must be at least 1")
+        self.max_entries = int(max_entries)
+        self.max_namespaces = int(max_namespaces)
+        #: namespace -> region -> store, insertion-ordered by recency of use.
+        self._namespaces: dict[str, dict[str, Union[LruCache, dict]]] = {}
+        self._stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def _regions(self, namespace: str) -> dict[str, Union[LruCache, dict]]:
+        """The namespace's region map, freshened in the namespace LRU."""
+        regions = self._namespaces.pop(namespace, None)
+        if regions is None:
+            regions = {}
+            while len(self._namespaces) >= self.max_namespaces:
+                stale = self._namespaces.pop(next(iter(self._namespaces)))
+                self._stats.evictions += sum(len(store) for store in stale.values())
+        self._namespaces[namespace] = regions
+        return regions
+
+    def _store(self, namespace: str, region: str) -> Union[LruCache, dict]:
+        regions = self._regions(namespace)
+        store = regions.get(region)
+        if store is None:
+            store = LruCache(self.max_entries) if region in BOUNDED_REGIONS else {}
+            regions[region] = store
+        return store
+
+    # ------------------------------------------------------------------
+    def get(self, namespace: str, region: str, key: Hashable) -> Any:
+        # Lookups never create (or evict) namespaces; only ``put`` does.
+        value = None
+        regions = self._namespaces.get(namespace)
+        if regions is not None:
+            self._namespaces.pop(namespace)  # freshen in the namespace LRU
+            self._namespaces[namespace] = regions
+            store = regions.get(region)
+            if store is not None:
+                value = store.get(key)
+        if value is None:
+            self._stats.misses += 1
+        else:
+            self._stats.hits += 1
+        return value
+
+    def put(self, namespace: str, region: str, key: Hashable, value: Any) -> None:
+        self._put(namespace, region, key, value)
+        self._stats.puts += 1
+
+    def _put(self, namespace: str, region: str, key: Hashable, value: Any) -> None:
+        """Insert without counting a put (used for cross-tier promotions)."""
+        store = self._store(namespace, region)
+        if isinstance(store, LruCache):
+            self._stats.evictions += store.put(key, value)
+        else:
+            store[key] = value
+
+    def clear(self, namespace: Optional[str] = None) -> None:
+        if namespace is None:
+            self._namespaces.clear()
+        else:
+            self._namespaces.pop(namespace, None)
+
+    def release(self, namespace: str) -> None:
+        """Everything here is in-process storage, so releasing == clearing."""
+        self.clear(namespace)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> CacheStats:
+        return CacheStats(**self._stats.as_dict())
+
+    def reset_stats(self) -> None:
+        self._stats = CacheStats()
+
+    def entry_count(self, namespace: Optional[str] = None) -> int:
+        return sum(
+            len(store)
+            for ns, regions in self._namespaces.items()
+            if namespace is None or ns == namespace
+            for store in regions.values()
+        )
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LocalCacheBackend(max_entries={self.max_entries}, "
+            f"namespaces={len(self._namespaces)}/{self.max_namespaces}, "
+            f"entries={self.entry_count()}, {self._stats.summary()})"
+        )

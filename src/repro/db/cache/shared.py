@@ -1,0 +1,213 @@
+"""The cross-worker shared cache backend.
+
+A two-tier design:
+
+* **L1** — a private :class:`~repro.db.cache.local.LocalCacheBackend` per
+  process, so hot entries cost a dict lookup, exactly like the local backend.
+* **L2** — a ``multiprocessing.Manager`` dict living in a dedicated server
+  process.  Entries in :data:`~repro.db.cache.backend.SHARED_REGIONS`
+  (selection masks, contributions, data cubes, exact answers) are written
+  through to L2 and, on an L1 miss, fetched from it — which is how pool
+  workers share work *with each other* after fork, not just inherit the
+  parent's pre-fork state copy-on-write.
+
+Lifecycle: the backend (and its manager process) must be created in the
+parent **before** the worker pool forks, so every worker inherits the proxy
+and the shared counters.  The owning process shuts the manager down via
+:meth:`close` (the evaluation session does this after closing the pool).
+Cross-process counters are fork-inherited ``multiprocessing.Value`` slots, so
+hits scored inside workers are visible to the parent's ``stats()`` — that is
+what the ``--cache-stats`` report and the acceptance check ("non-zero
+cross-worker hit counters") read.
+
+If the manager becomes unreachable (e.g. it was shut down while a stray
+process still holds a proxy), the backend degrades to L1-only instead of
+failing: sharing is an optimisation, never a correctness requirement.
+
+Consistency: every shared value is a pure function of its content-derived
+``(namespace, region, key)`` address, so a worker can never observe a value
+different from the one it would have computed itself — results stay
+bit-identical to the local backend and to serial runs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from typing import Any, Hashable, Optional
+
+import numpy as np
+
+from repro.db.cache.backend import SHARED_REGIONS, CacheStats
+from repro.db.cache.local import LocalCacheBackend
+
+__all__ = ["SharedMemoryCacheBackend"]
+
+#: Exceptions that mean "the manager process is gone"; the backend degrades
+#: to its local tier when it sees one.
+_PROXY_ERRORS = (
+    EOFError,
+    BrokenPipeError,
+    ConnectionError,
+    FileNotFoundError,
+    AssertionError,  # raised by a proxy used after manager shutdown
+    pickle.PicklingError,
+)
+
+
+def _freeze_value(value: Any) -> Any:
+    """Mark arrays fetched from the shared tier read-only (they arrive as
+    fresh writable copies from the pickle round-trip)."""
+    if isinstance(value, np.ndarray):
+        value.flags.writeable = False
+    elif isinstance(value, tuple):
+        for member in value:
+            if isinstance(member, np.ndarray):
+                member.flags.writeable = False
+    return value
+
+
+class SharedMemoryCacheBackend:
+    """Two-tier cache backend: in-process LRU over a Manager-held shared dict."""
+
+    name = "shared"
+
+    def __init__(
+        self,
+        max_entries: int = 192,
+        max_shared_entries: int = 4096,
+        shared_regions: frozenset[str] = SHARED_REGIONS,
+    ):
+        self._local = LocalCacheBackend(max_entries)
+        self.max_entries = self._local.max_entries
+        self.max_shared_entries = int(max_shared_entries)
+        self.shared_regions = frozenset(shared_regions)
+        self._owner_pid = os.getpid()
+        self._broken = False
+        self._manager = multiprocessing.Manager()
+        self._store = self._manager.dict()
+        self._evict_lock = multiprocessing.Lock()
+        # Fork-inherited atomic counters: workers increment, the parent reads.
+        self._shared_hits = multiprocessing.Value("Q", 0)
+        self._shared_misses = multiprocessing.Value("Q", 0)
+        self._shared_puts = multiprocessing.Value("Q", 0)
+        self._shared_evictions = multiprocessing.Value("Q", 0)
+
+    # ------------------------------------------------------------------
+    def _count(self, counter) -> None:
+        with counter.get_lock():
+            counter.value += 1
+
+    def get(self, namespace: str, region: str, key: Hashable) -> Any:
+        value = self._local.get(namespace, region, key)
+        if value is not None or region not in self.shared_regions or self._broken:
+            return value
+        try:
+            value = self._store[(namespace, region, key)]
+        except KeyError:
+            self._count(self._shared_misses)
+            return None
+        except _PROXY_ERRORS:
+            self._broken = True
+            return None
+        self._count(self._shared_hits)
+        value = _freeze_value(value)
+        # Promote to L1 quietly: a promotion is not a new artefact, so it
+        # must not inflate the put counter.
+        self._local._put(namespace, region, key, value)
+        return value
+
+    def put(self, namespace: str, region: str, key: Hashable, value: Any) -> None:
+        self._local.put(namespace, region, key, value)
+        if region not in self.shared_regions or self._broken:
+            return
+        try:
+            self._store[(namespace, region, key)] = value
+            self._count(self._shared_puts)
+            if len(self._store) > self.max_shared_entries:
+                self._evict_shared()
+        except _PROXY_ERRORS:
+            self._broken = True
+
+    def _evict_shared(self) -> None:
+        """Drop the oldest shared entries down to the bound (approximate:
+        concurrent writers may briefly overshoot; the lock only prevents two
+        processes evicting the same keys)."""
+        with self._evict_lock:
+            overflow = len(self._store) - self.max_shared_entries
+            if overflow <= 0:
+                return
+            for stale_key in list(self._store.keys())[:overflow]:
+                if self._store.pop(stale_key, None) is not None:
+                    self._count(self._shared_evictions)
+
+    def release(self, namespace: str) -> None:
+        """Drop the L1 entries only: the manager tier may still be serving
+        other processes whose copy of the same logical database is alive."""
+        self._local.clear(namespace)
+
+    def clear(self, namespace: Optional[str] = None) -> None:
+        self._local.clear(namespace)
+        if self._broken:
+            return
+        try:
+            if namespace is None:
+                self._store.clear()
+            else:
+                for stored in list(self._store.keys()):
+                    if stored[0] == namespace:
+                        self._store.pop(stored, None)
+        except _PROXY_ERRORS:
+            self._broken = True
+
+    # ------------------------------------------------------------------
+    def stats(self) -> CacheStats:
+        stats = self._local.stats()
+        stats.shared_hits = int(self._shared_hits.value)
+        stats.shared_misses = int(self._shared_misses.value)
+        stats.shared_puts = int(self._shared_puts.value)
+        stats.shared_evictions = int(self._shared_evictions.value)
+        return stats
+
+    def reset_stats(self) -> None:
+        self._local.reset_stats()
+        for counter in (
+            self._shared_hits,
+            self._shared_misses,
+            self._shared_puts,
+            self._shared_evictions,
+        ):
+            with counter.get_lock():
+                counter.value = 0
+
+    def entry_count(self, namespace: Optional[str] = None) -> int:
+        count = self._local.entry_count(namespace)
+        if self._broken:
+            return count
+        try:
+            if namespace is None:
+                return count + len(self._store)
+            return count + sum(1 for stored in self._store.keys() if stored[0] == namespace)
+        except _PROXY_ERRORS:
+            self._broken = True
+            return count
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the manager process down (owner process only; workers that
+        inherited the backend through fork must never tear it down)."""
+        self._broken = True
+        if os.getpid() != self._owner_pid:
+            return
+        try:
+            self._manager.shutdown()
+        except Exception:  # pragma: no cover - already dead
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "broken" if self._broken else "live"
+        return (
+            f"SharedMemoryCacheBackend({state}, max_entries={self.max_entries}, "
+            f"max_shared_entries={self.max_shared_entries}, {self.stats().summary()})"
+        )

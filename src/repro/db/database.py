@@ -39,6 +39,11 @@ class StarDatabase:
         self.fact = fact
         self.dimensions: dict[str, Table] = dict(dimensions)
         self._validate()
+        # Warm the content-fingerprint memo while the instance is being born
+        # (construction already scans every FK column): the cache layer can
+        # then namespace this database without adding a hashing stall to the
+        # first query's latency.
+        self.cache_fingerprint(refresh=True)
 
     # ------------------------------------------------------------------
     def _validate(self) -> None:
@@ -113,6 +118,20 @@ class StarDatabase:
         """Whether ``table_name`` is a dimension directly referenced by the fact
         table (as opposed to an outer snowflake table or the fact table itself)."""
         return table_name in self.schema.foreign_keys
+
+    def cache_fingerprint(self, refresh: bool = False) -> str:
+        """The content-derived cache namespace of this instance.
+
+        Delegates to :func:`repro.db.cache.fingerprints.database_fingerprint`:
+        a digest over every table's content plus the join structure,
+        deterministic across processes and memoized per instance.  Pass
+        ``refresh=True`` after an in-place mutation so the new content
+        hashes to a fresh namespace (see
+        :meth:`repro.db.engine.ExecutionEngine.invalidate`).
+        """
+        from repro.db.cache.fingerprints import database_fingerprint
+
+        return database_fingerprint(self, refresh=refresh)
 
     # ------------------------------------------------------------------
     # snowflake traversal

@@ -4,11 +4,10 @@ The evaluation harness answers every (mechanism, query, ε) combination over
 repeated trials, so the same star-join selections, fan-out statistics and
 data cubes are recomputed hundreds of times per experiment.  The
 :class:`ExecutionEngine` is the shared layer that removes that redundancy: it
-owns, per database instance,
+serves, per database instance,
 
 * interned predicate fingerprints → fact-row selection masks (the semi-join
-  results), with a bounded LRU so noisy one-off predicates cannot grow the
-  cache without limit;
+  results);
 * per-dimension foreign-key codes and fan-out vectors (the statistics the
   LS / TM / R2T baselines are calibrated on);
 * measure arrays (the unified accessor both the executor and the workload
@@ -17,6 +16,14 @@ owns, per database instance,
   so truncation mechanisms can evaluate every candidate threshold in
   ``O(log n)`` instead of re-scanning the selection;
 * memoized exact query answers and data cubes.
+
+The engine owns no cache storage.  Every artefact above is read and written
+through a :class:`~repro.db.cache.CacheBackend` (see :mod:`repro.db.cache`
+and ``docs/CACHE.md``) under the database's content-derived namespace, so the
+same engine code runs against in-process storage (the default) or a
+cross-worker shared-memory tier (``--cache-backend shared``) — the backend is
+the seam, the engine only decides *what* is worth caching and how to compute
+it on a miss.
 
 All cached arrays are returned with ``writeable=False`` so accidental
 mutation by a caller fails loudly instead of silently corrupting every later
@@ -37,115 +44,28 @@ from typing import Any, Hashable, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.db.database import StarDatabase
-from repro.db.predicates import (
-    ConjunctionPredicate,
-    PointPredicate,
-    Predicate,
-    RangePredicate,
-    SetPredicate,
-    TruePredicate,
+from repro.db.cache import (
+    CacheBackend,
+    CacheStats,
+    LocalCacheBackend,
+    active_backend,
+    measure_fingerprint,
+    predicate_fingerprint,
+    query_fingerprint,
+    selection_fingerprint,
 )
+from repro.db.database import StarDatabase
+from repro.db.predicates import ConjunctionPredicate, Predicate
 from repro.db.query import AggregateKind, Measure, StarJoinQuery
 from repro.exceptions import QueryError
 
 __all__ = ["ExecutionEngine", "predicate_fingerprint", "selection_fingerprint", "query_fingerprint"]
 
 
-# ----------------------------------------------------------------------
-# fingerprints
-# ----------------------------------------------------------------------
-def predicate_fingerprint(predicate: Predicate) -> Optional[Hashable]:
-    """A hashable key identifying the selection semantics of a predicate.
-
-    The engine is per-database, so ``(table, attribute)`` pins the column and
-    the ordinal codes pin the selected region.  Exact types only: a subclass
-    may override evaluation, so anything but the four stock predicate classes
-    returns ``None`` and is evaluated directly, never cached.
-    """
-    kind = type(predicate)
-    if kind is PointPredicate:
-        return (predicate.table, predicate.attribute, "point", predicate.code)
-    if kind is RangePredicate:
-        return (
-            predicate.table,
-            predicate.attribute,
-            "range",
-            predicate.low_code,
-            predicate.high_code,
-        )
-    if kind is SetPredicate:
-        return (
-            predicate.table,
-            predicate.attribute,
-            "set",
-            tuple(int(code) for code in predicate.codes),
-        )
-    if kind is TruePredicate:
-        return (predicate.table, predicate.attribute, "true")
-    return None
-
-
-def selection_fingerprint(predicates: ConjunctionPredicate) -> Optional[Hashable]:
-    """Order-insensitive key of a conjunction (AND is commutative)."""
-    members = []
-    for predicate in predicates:
-        fingerprint = predicate_fingerprint(predicate)
-        if fingerprint is None:
-            return None
-        members.append(fingerprint)
-    return tuple(sorted(members))
-
-
-def _measure_fingerprint(measure: Union[Measure, str]) -> Hashable:
-    if isinstance(measure, str):
-        return (measure, None)
-    return (measure.column, measure.subtract)
-
-
-def query_fingerprint(query: StarJoinQuery) -> Optional[Hashable]:
-    """A hashable key identifying the semantics (not the name) of a query."""
-    selection = selection_fingerprint(query.predicates)
-    if selection is None:
-        return None
-    aggregate = query.aggregate
-    measure = None if aggregate.measure is None else _measure_fingerprint(aggregate.measure)
-    group_by = None if query.group_by is None else tuple(query.group_by.keys)
-    return (aggregate.kind.value, measure, selection, group_by)
-
-
 _CubeAxis = namedtuple("_CubeAxis", ["table", "attribute", "domain"])
 
 #: Data cubes larger than this fall back to the semi-join plan.
 _MAX_CUBE_CELLS = 1 << 21
-
-
-class _LruCache:
-    """A tiny insertion-ordered LRU built on dict ordering."""
-
-    def __init__(self, max_entries: int):
-        self.max_entries = int(max_entries)
-        self._data: dict[Hashable, Any] = {}
-
-    def get(self, key: Hashable) -> Any:
-        try:
-            value = self._data.pop(key)
-        except KeyError:
-            return None
-        self._data[key] = value  # move to the fresh end
-        return value
-
-    def put(self, key: Hashable, value: Any) -> None:
-        self._data.pop(key, None)
-        self._data[key] = value
-        while len(self._data) > self.max_entries:
-            self._data.pop(next(iter(self._data)))
-
-    def clear(self) -> None:
-        self._data.clear()
-
-    def __len__(self) -> int:
-        return len(self._data)
 
 
 def _freeze(array: np.ndarray) -> np.ndarray:
@@ -159,21 +79,96 @@ _SHARED_ENGINES: "weakref.WeakKeyDictionary[StarDatabase, ExecutionEngine]" = (
 )
 
 
-class ExecutionEngine:
-    """Per-database caches for star-join execution (see module docstring)."""
+def _release_engine_storage(engine: "ExecutionEngine") -> None:
+    """Reclaim a dead database's in-process cache storage.
 
-    def __init__(self, database: StarDatabase, max_mask_entries: int = 192):
-        self.database = database
-        self._predicate_masks = _LruCache(max_mask_entries)
-        self._selection_masks = _LruCache(max_mask_entries)
-        self._fan_out: dict[Hashable, np.ndarray] = {}
-        self._max_fan_out: dict[str, int] = {}
-        self._measures: dict[Hashable, np.ndarray] = {}
-        self._contributions = _LruCache(max_mask_entries)
-        self._sorted_contributions = _LruCache(max_mask_entries)
-        self._cubes: dict[Hashable, np.ndarray] = {}
-        self._results = _LruCache(max_mask_entries)
-        self._direct_of: dict[str, str] = {}
+    Registered as a finalizer by :meth:`ExecutionEngine.for_database`: the
+    pre-backend engine freed its caches when its database was garbage
+    collected (weak-keyed registry), and a process-global backend must
+    reproduce that bound or a run sweeping many databases would pin every
+    instance's masks and cubes until namespace eviction.  ``release`` (not
+    ``clear``) so the shared backend's cross-process tier survives — another
+    worker's copy of the same logical database may still be live.
+
+    Takes the engine (which only references its database weakly, so this
+    cannot resurrect it) rather than a namespace string: ``invalidate()``
+    rebinds the namespace after a mutation, and releasing a captured
+    creation-time namespace would leave the post-mutation entries pinned.
+    """
+    try:
+        engine.backend.release(engine.namespace)
+    except Exception:  # pragma: no cover - interpreter-shutdown GC
+        pass
+
+#: Sentinel: route cache traffic to the process-wide active backend,
+#: re-resolved on every access (see ``for_database``).
+_ACTIVE_BACKEND = "active"
+
+
+class ExecutionEngine:
+    """Per-database execution layer over a pluggable cache backend.
+
+    Parameters
+    ----------
+    database:
+        The instance to execute against.
+    max_mask_entries:
+        LRU bound of the private backend created when ``backend`` is omitted.
+    backend:
+        Where cached artefacts live.  ``None`` (direct construction) creates
+        a private :class:`~repro.db.cache.LocalCacheBackend` — a fully
+        isolated engine, as tests and ablations expect.  The string
+        ``"active"`` makes the engine resolve
+        :func:`repro.db.cache.active_backend` dynamically on every access;
+        :meth:`for_database` uses this so installing a run-wide backend
+        (e.g. the shared one) takes effect for every shared engine at once,
+        including engines that forked workers inherited.
+    """
+
+    def __init__(
+        self,
+        database: StarDatabase,
+        max_mask_entries: int = 192,
+        backend: Union[CacheBackend, str, None] = None,
+    ):
+        # Weak on purpose: the shared-engine registry maps database -> engine,
+        # and a strong engine -> database edge would close the value -> key
+        # cycle that keeps a WeakKeyDictionary entry alive forever — no
+        # database obtained through ``for_database`` could ever be freed.
+        # Every caller that uses an engine necessarily holds its database.
+        self._database_ref = weakref.ref(database)
+        if backend is None:
+            backend = LocalCacheBackend(max_mask_entries)
+        self._backend_ref = backend
+        self._namespace = database.cache_fingerprint()
+
+    @property
+    def database(self) -> StarDatabase:
+        database = self._database_ref()
+        if database is None:  # pragma: no cover - misuse guard
+            raise ReferenceError(
+                "the engine's database has been garbage-collected; keep a "
+                "reference to the database for as long as its engine is used"
+            )
+        return database
+
+    @property
+    def backend(self) -> CacheBackend:
+        """The cache backend currently serving this engine."""
+        if self._backend_ref is _ACTIVE_BACKEND:
+            return active_backend()
+        return self._backend_ref
+
+    @property
+    def namespace(self) -> str:
+        """The content-derived namespace this engine's keys live under."""
+        return self._namespace
+
+    def _get(self, region: str, key: Hashable) -> Any:
+        return self.backend.get(self._namespace, region, key)
+
+    def _put(self, region: str, key: Hashable, value: Any) -> None:
+        self.backend.put(self._namespace, region, key, value)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -183,25 +178,40 @@ class ExecutionEngine:
         Every :class:`~repro.db.executor.QueryExecutor` built without an
         explicit engine goes through here, which is what makes selections,
         statistics and exact answers shared across mechanisms and trials.
+        Shared engines route to the process-wide active cache backend.
         """
         engine = _SHARED_ENGINES.get(database)
         if engine is None:
-            engine = cls(database)
+            engine = cls(database, backend=_ACTIVE_BACKEND)
             _SHARED_ENGINES[database] = engine
+            weakref.finalize(database, _release_engine_storage, engine)
         return engine
 
     def invalidate(self) -> None:
-        """Drop every cache (required after an in-place database mutation)."""
-        self._predicate_masks.clear()
-        self._selection_masks.clear()
-        self._fan_out.clear()
-        self._max_fan_out.clear()
-        self._measures.clear()
-        self._contributions.clear()
-        self._sorted_contributions.clear()
-        self._cubes.clear()
-        self._results.clear()
-        self._direct_of.clear()
+        """Drop every cache entry (required after an in-place database mutation)
+        and reset the backend's hit/miss/eviction counters.
+
+        The namespace is recomputed from the mutated content, so entries
+        another engine (or another process, on the shared backend) filed
+        under the old content can never be served for the new one — and the
+        old namespace is cleared outright so stale cubes and memoized answers
+        do not linger in storage either.
+
+        The counter reset applies to the whole serving backend (counters are
+        backend-global, not per namespace), so invalidating one engine that
+        routes to the run-wide backend zeroes the run's statistics.  That is
+        deliberate: mutation + invalidation is an exceptional event, and
+        hit rates mixing pre- and post-invalidation traffic would mislead.
+        """
+        backend = self.backend
+        backend.clear(self._namespace)
+        self._namespace = self.database.cache_fingerprint(refresh=True)
+        backend.clear(self._namespace)
+        backend.reset_stats()
+
+    def stats(self) -> CacheStats:
+        """The serving backend's cache counters (hits / misses / evictions)."""
+        return self.backend.stats()
 
     # ------------------------------------------------------------------
     # selections
@@ -211,17 +221,17 @@ class ExecutionEngine:
         fingerprint = predicate_fingerprint(predicate)
         if fingerprint is None:
             return self.database.fact_mask_for_predicate(predicate)
-        mask = self._predicate_masks.get(fingerprint)
+        mask = self._get("predicate_mask", fingerprint)
         if mask is None:
             mask = _freeze(self.database.fact_mask_for_predicate(predicate))
-            self._predicate_masks.put(fingerprint, mask)
+            self._put("predicate_mask", fingerprint, mask)
         return mask
 
     def selection_mask(self, predicates: ConjunctionPredicate) -> np.ndarray:
         """Cached boolean fact-row mask of a conjunction Φ (read-only)."""
         fingerprint = selection_fingerprint(predicates)
         if fingerprint is not None:
-            cached = self._selection_masks.get(fingerprint)
+            cached = self._get("selection_mask", fingerprint)
             if cached is not None:
                 return cached
         mask: Optional[np.ndarray] = None
@@ -235,7 +245,7 @@ class ExecutionEngine:
             mask = np.ones(self.database.num_fact_rows, dtype=bool)
         mask = _freeze(mask)
         if fingerprint is not None:
-            self._selection_masks.put(fingerprint, mask)
+            self._put("selection_mask", fingerprint, mask)
         return mask
 
     def selected_count(self, predicates: ConjunctionPredicate) -> int:
@@ -246,18 +256,18 @@ class ExecutionEngine:
     # ------------------------------------------------------------------
     def fan_out(self, dimension_name: str) -> np.ndarray:
         """Cached unfiltered fan-out vector of a direct dimension (read-only)."""
-        counts = self._fan_out.get(dimension_name)
+        counts = self._get("fan_out", dimension_name)
         if counts is None:
             counts = _freeze(self.database.fan_out(dimension_name))
-            self._fan_out[dimension_name] = counts
+            self._put("fan_out", dimension_name, counts)
         return counts
 
     def max_fan_out(self, dimension_name: str) -> int:
-        value = self._max_fan_out.get(dimension_name)
+        value = self._get("max_fan_out", dimension_name)
         if value is None:
             counts = self.fan_out(dimension_name)
             value = int(counts.max()) if counts.size else 0
-            self._max_fan_out[dimension_name] = value
+            self._put("max_fan_out", dimension_name, value)
         return value
 
     def measure_values(self, measure: Union[Measure, str]) -> np.ndarray:
@@ -269,8 +279,8 @@ class ExecutionEngine:
         """
         if isinstance(measure, str):
             measure = Measure(measure)
-        fingerprint = _measure_fingerprint(measure)
-        values = self._measures.get(fingerprint)
+        fingerprint = measure_fingerprint(measure)
+        values = self._get("measure", fingerprint)
         if values is None:
             values = np.asarray(self.database.fact.codes(measure.column), dtype=np.float64)
             if measure.subtract is not None:
@@ -278,12 +288,27 @@ class ExecutionEngine:
                     self.database.fact.codes(measure.subtract), dtype=np.float64
                 )
             values = _freeze(values)
-            self._measures[fingerprint] = values
+            self._put("measure", fingerprint, values)
         return values
 
     # ------------------------------------------------------------------
     # per-key contributions (truncation mechanisms)
     # ------------------------------------------------------------------
+    def _contribution_key(
+        self,
+        predicates: ConjunctionPredicate,
+        dimension_name: str,
+        kind: AggregateKind,
+        measure: Optional[Union[Measure, str]],
+    ) -> Optional[Hashable]:
+        selection = selection_fingerprint(predicates)
+        if selection is None:
+            return None
+        measure_key = None if kind is AggregateKind.COUNT else measure_fingerprint(
+            Measure(measure) if isinstance(measure, str) else measure
+        )
+        return (selection, dimension_name, kind.value, measure_key)
+
     def contribution_per_key(
         self,
         predicates: ConjunctionPredicate,
@@ -294,14 +319,9 @@ class ExecutionEngine:
         """Per-dimension-key contribution to the selected aggregate (read-only)."""
         if kind is not AggregateKind.COUNT and measure is None:
             raise QueryError("per-key SUM contributions require a measure")
-        selection = selection_fingerprint(predicates)
-        key = None
-        if selection is not None:
-            measure_key = None if kind is AggregateKind.COUNT else _measure_fingerprint(
-                Measure(measure) if isinstance(measure, str) else measure
-            )
-            key = (selection, dimension_name, kind.value, measure_key)
-            cached = self._contributions.get(key)
+        key = self._contribution_key(predicates, dimension_name, kind, measure)
+        if key is not None:
+            cached = self._get("contribution", key)
             if cached is not None:
                 return cached
         mask = self.selection_mask(predicates)
@@ -314,7 +334,7 @@ class ExecutionEngine:
             per_key = np.bincount(codes, weights=weights, minlength=dim_rows)
         per_key = _freeze(per_key)
         if key is not None:
-            self._contributions.put(key, per_key)
+            self._put("contribution", key, per_key)
         return per_key
 
     def sorted_contributions(
@@ -331,14 +351,9 @@ class ExecutionEngine:
         evaluating a whole geometric ladder of thresholds costs one sort
         instead of one full scan per candidate.
         """
-        selection = selection_fingerprint(predicates)
-        key = None
-        if selection is not None:
-            measure_key = None if kind is AggregateKind.COUNT else _measure_fingerprint(
-                Measure(measure) if isinstance(measure, str) else measure
-            )
-            key = (selection, dimension_name, kind.value, measure_key)
-            cached = self._sorted_contributions.get(key)
+        key = self._contribution_key(predicates, dimension_name, kind, measure)
+        if key is not None:
+            cached = self._get("sorted_contribution", key)
             if cached is not None:
                 return cached
         per_key = self.contribution_per_key(predicates, dimension_name, kind, measure)
@@ -346,7 +361,7 @@ class ExecutionEngine:
         prefix = np.concatenate([[0.0], np.cumsum(ordered)])
         pair = (_freeze(ordered), _freeze(prefix))
         if key is not None:
-            self._sorted_contributions.put(key, pair)
+            self._put("sorted_contribution", key, pair)
         return pair
 
     @staticmethod
@@ -379,7 +394,7 @@ class ExecutionEngine:
         if kind is not AggregateKind.COUNT:
             if measure is None:
                 raise QueryError("SUM data cubes require a measure column")
-            measure_key = _measure_fingerprint(
+            measure_key = measure_fingerprint(
                 Measure(measure) if isinstance(measure, str) else measure
             )
         key = (
@@ -390,7 +405,7 @@ class ExecutionEngine:
             kind.value,
             measure_key,
         )
-        cube = self._cubes.get(key)
+        cube = self._get("cube", key)
         if cube is not None:
             return cube
 
@@ -423,7 +438,7 @@ class ExecutionEngine:
             weights = self.measure_values(measure)
             cube = np.bincount(flat, weights=weights, minlength=length)
         cube = _freeze(cube.reshape(shape))
-        self._cubes[key] = cube
+        self._put("cube", key, cube)
         return cube
 
     # ------------------------------------------------------------------
@@ -487,17 +502,21 @@ class ExecutionEngine:
         fingerprint = query_fingerprint(query)
         if fingerprint is None:
             return None
-        return self._results.get(fingerprint)
+        return self._get("result", fingerprint)
 
     def store_result(self, query: StarJoinQuery, result: Any) -> None:
         fingerprint = query_fingerprint(query)
         if fingerprint is not None:
-            self._results.put(fingerprint, result)
+            self._put("result", fingerprint, result)
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        backend = self.backend
+        stats = backend.stats()
         return (
             f"ExecutionEngine(db={self.database.fact.name!r}, "
-            f"masks={len(self._predicate_masks)}, selections={len(self._selection_masks)}, "
-            f"cubes={len(self._cubes)}, results={len(self._results)})"
+            f"namespace={self._namespace[:8]!r}, backend={backend.name}, "
+            f"entries={backend.entry_count(self._namespace)}, "
+            f"hits={stats.hits}, misses={stats.misses}, evictions={stats.evictions}, "
+            f"shared_hits={stats.shared_hits})"
         )

@@ -11,6 +11,7 @@ directly.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Optional, Sequence
 
@@ -217,6 +218,37 @@ class Table:
     def to_records(self) -> list[dict[str, Any]]:
         """Materialise the table as a list of row dictionaries (small tables only)."""
         return [self.row(i) for i in range(self._num_rows)]
+
+    # ------------------------------------------------------------------
+    # content identity
+    # ------------------------------------------------------------------
+    def content_digest(self) -> str:
+        """A hex digest of the table's full content (names, dtypes, bytes).
+
+        Deterministic across processes for identically built tables, which is
+        what lets the cache layer (:mod:`repro.db.cache`) derive a
+        process-independent namespace from a database.  Computed from scratch
+        on every call — tables are treated as immutable everywhere, but the
+        cache layer relies on a *mutated* table hashing differently, so the
+        digest must never be memoized here.
+        """
+        digest = hashlib.sha256()
+        digest.update(self.name.encode("utf-8"))
+        for column in self._columns.values():
+            values = np.ascontiguousarray(column.values)
+            digest.update(column.name.encode("utf-8"))
+            if column.domain is not None:
+                # Codes only pin the selected *positions*; the domain decodes
+                # them, so two columns with equal codes over different value
+                # lists are different content (GROUP BY labels, predicates).
+                digest.update(column.domain.name.encode("utf-8"))
+                digest.update(repr(column.domain.values).encode("utf-8"))
+            digest.update(str(values.dtype).encode("ascii"))
+            if values.dtype == object:
+                digest.update(repr(column.decoded()).encode("utf-8"))
+            else:
+                digest.update(values.tobytes())
+        return digest.hexdigest()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Table({self.name!r}, rows={self._num_rows}, columns={self.column_names})"

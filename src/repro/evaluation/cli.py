@@ -7,10 +7,17 @@ Usage::
     python -m repro.evaluation.cli --only table1 figure9
     python -m repro.evaluation.cli --output-dir results/
     python -m repro.evaluation.cli --jobs 4        # parallel trial scheduler
+    python -m repro.evaluation.cli --jobs 4 --cache-backend shared --cache-stats
 
-Each experiment prints its text table and, when ``--output-dir`` is given,
-writes a CSV with the same rows.  The experiment set and configurations are
-the ones documented in DESIGN.md and EXPERIMENTS.md.
+The whole invocation runs inside one :func:`~repro.evaluation.parallel.evaluation_session`:
+a single worker pool serves every requested experiment, and the configured
+cache backend (``--cache-backend``) is installed process-wide before that
+pool forks, so with the shared backend the workers exchange selection masks,
+data cubes and exact answers for the entire run (``--cache-stats`` reports
+the counters).  Each experiment prints its text table and, when
+``--output-dir`` is given, writes a CSV with the same rows.  The experiment
+set and configurations are the ones documented in DESIGN.md and
+EXPERIMENTS.md.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ import time
 from pathlib import Path
 from typing import Callable, Optional, Sequence
 
+from repro.db.cache import CACHE_BACKENDS, active_backend
 from repro.evaluation.experiments import (
     ExperimentConfig,
     figure4,
@@ -34,6 +42,7 @@ from repro.evaluation.experiments import (
     table1,
     table2,
 )
+from repro.evaluation.parallel import evaluation_session
 from repro.evaluation.reporting import ExperimentResult
 
 __all__ = ["EXPERIMENTS", "main", "run_experiments"]
@@ -58,8 +67,15 @@ def run_experiments(
     config: ExperimentConfig,
     output_dir: Optional[Path] = None,
     echo: Callable[[str], None] = print,
+    cache_stats: bool = False,
 ) -> dict[str, ExperimentResult]:
-    """Run the named experiments and return their results.
+    """Run the named experiments inside one evaluation session.
+
+    The session (see :func:`repro.evaluation.parallel.evaluation_session`)
+    gives the whole run a single worker pool and one cache backend, both
+    selected by ``config``.  ``cache_stats=True`` echoes the backend's
+    hit/miss/eviction counters after every experiment and at the end of the
+    run.
 
     Unknown names raise ``KeyError`` before anything is executed so a typo in
     one name does not waste the time already spent on earlier experiments.
@@ -69,17 +85,37 @@ def run_experiments(
         raise KeyError(f"unknown experiments: {unknown}; available: {sorted(EXPERIMENTS)}")
 
     results: dict[str, ExperimentResult] = {}
-    for name in names:
-        started = time.perf_counter()
-        echo(f"\n=== running {name} ===")
-        result = EXPERIMENTS[name](config)
-        elapsed = time.perf_counter() - started
-        echo(result.to_text())
-        echo(f"[{name} finished in {elapsed:.1f}s]")
-        if output_dir is not None:
-            path = result.to_csv(Path(output_dir) / f"{name}.csv")
-            echo(f"[rows written to {path}]")
-        results[name] = result
+    # The local backend's counters are per process: with a worker pool the
+    # parent only sees its own warm-up traffic, so say so rather than print
+    # near-zero rates as if they covered the run.  The shared backend's
+    # shared_* counters are fork-shared and do cover every worker.
+    stats_scope = (
+        " (parent process only; use --cache-backend shared for run-wide counters)"
+        if config.jobs > 1 and config.cache_backend == "local"
+        else ""
+    )
+    with evaluation_session(config):
+        for name in names:
+            started = time.perf_counter()
+            echo(f"\n=== running {name} ===")
+            result = EXPERIMENTS[name](config)
+            elapsed = time.perf_counter() - started
+            echo(result.to_text())
+            echo(f"[{name} finished in {elapsed:.1f}s]")
+            if cache_stats:
+                echo(
+                    f"[cache after {name}: "
+                    f"{active_backend().stats().summary()}{stats_scope}]"
+                )
+            if output_dir is not None:
+                path = result.to_csv(Path(output_dir) / f"{name}.csv")
+                echo(f"[rows written to {path}]")
+            results[name] = result
+        if cache_stats:
+            echo(
+                f"\n[cache backend {config.cache_backend!r} (run total): "
+                f"{active_backend().stats().summary()}{stats_scope}]"
+            )
     return results
 
 
@@ -121,6 +157,32 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--cache-backend",
+        choices=CACHE_BACKENDS,
+        default="local",
+        help=(
+            "cache backend of the run's execution engines: 'local' keeps every "
+            "cache in-process; 'shared' lets pool workers share selection masks, "
+            "data cubes and exact answers through a manager process "
+            "(results are identical for either)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=192,
+        help=(
+            "maximum entries per bounded cache region (masks, contributions, "
+            "results); the shared backend's cross-process tier is bounded at "
+            "16x this value"
+        ),
+    )
+    parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="report cache hit/miss/eviction counters per experiment and per run",
+    )
+    parser.add_argument(
         "--output-dir",
         type=Path,
         default=None,
@@ -142,10 +204,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.jobs < 1:
         print("--jobs must be at least 1", file=sys.stderr)
         return 2
+    if args.cache_size < 1:
+        print("--cache-size must be at least 1", file=sys.stderr)
+        return 2
     config.jobs = args.jobs
+    config.cache_backend = args.cache_backend
+    config.cache_size = args.cache_size
 
     try:
-        run_experiments(args.only, config, output_dir=args.output_dir)
+        run_experiments(
+            args.only, config, output_dir=args.output_dir, cache_stats=args.cache_stats
+        )
     except KeyError as error:
         print(error, file=sys.stderr)
         return 2

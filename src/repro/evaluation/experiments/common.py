@@ -104,6 +104,15 @@ class ExperimentConfig:
         Worker processes for the trial scheduler; 1 (the default) evaluates
         every cell serially in-process.  Results are identical for any value
         (see :mod:`repro.evaluation.parallel`).
+    cache_backend:
+        Cache backend of the run's execution engines: ``"local"``
+        (in-process, the default) or ``"shared"`` (pool workers share
+        selection masks, cubes and exact answers through a
+        ``multiprocessing.Manager`` tier — see :mod:`repro.db.cache`).
+        Results are identical for either value.
+    cache_size:
+        Maximum entries per bounded cache region (masks, contributions,
+        results); statistics regions are unbounded.
     """
 
     epsilons: tuple[float, ...] = PAPER_EPSILONS
@@ -113,6 +122,8 @@ class ExperimentConfig:
     seed: int = 20230711
     private_dimensions: tuple[str, ...] = DEFAULT_PRIVATE_DIMENSIONS
     jobs: int = 1
+    cache_backend: str = "local"
+    cache_size: int = 192
 
     @classmethod
     def quick(cls) -> "ExperimentConfig":

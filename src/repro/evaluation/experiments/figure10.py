@@ -24,7 +24,7 @@ from repro.datagen.tpch import SnowflakeConfig, SnowflakeGenerator, snowflake_sc
 from repro.db.executor import QueryExecutor
 from repro.evaluation.experiments.common import ExperimentConfig, cell_stream
 from repro.evaluation.metrics import answer_relative_error
-from repro.evaluation.parallel import StarCell, TrialScheduler, resolve_database, run_star_cell
+from repro.evaluation.parallel import StarCell, scheduler_for, resolve_database, run_star_cell
 from repro.evaluation.reporting import ExperimentResult
 from repro.rng import spawn
 from repro.workloads.tpch_queries import snowflake_queries
@@ -96,7 +96,7 @@ def run(
         title="Figure 10: error levels on snowflake (TPC-H style) queries by varying epsilon",
         notes=f"{config.trials} trials per cell; Date normalised into a Month dimension.",
     )
-    scheduler = TrialScheduler(config.jobs)
+    scheduler = scheduler_for(config)
     pm_cells = [(query.name, epsilon) for query in queries for epsilon in epsilons]
     baseline_cells = [
         StarCell(

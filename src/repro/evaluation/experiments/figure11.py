@@ -17,7 +17,7 @@ from typing import Optional, Sequence
 from repro.datagen.distributions import GaussianMixtureSpec, key_sampler, measure_sampler
 from repro.datagen.ssb import SSBConfig, SSBGenerator
 from repro.evaluation.experiments.common import ExperimentConfig, cell_seed
-from repro.evaluation.parallel import StarCell, TrialScheduler, run_star_cell
+from repro.evaluation.parallel import StarCell, scheduler_for, run_star_cell
 from repro.evaluation.reporting import ExperimentResult
 from repro.workloads.ssb_queries import ssb_query
 
@@ -79,7 +79,7 @@ def run(
         for epsilon in epsilons
         for mechanism_name in mechanisms
     ]
-    evaluations = TrialScheduler(config.jobs).map(partial(run_star_cell, config), grid)
+    evaluations = scheduler_for(config).map(partial(run_star_cell, config), grid)
     for cell, evaluation in zip(grid, evaluations):
         result.add_row(
             mixture=cell.database_args[1],

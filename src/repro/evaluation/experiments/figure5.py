@@ -13,7 +13,7 @@ from functools import partial
 from typing import Optional, Sequence
 
 from repro.evaluation.experiments.common import ExperimentConfig, PAPER_SCALES, build_ssb_database
-from repro.evaluation.parallel import StarCell, TrialScheduler, run_star_cell
+from repro.evaluation.parallel import StarCell, scheduler_for, run_star_cell
 from repro.evaluation.reporting import ExperimentResult
 from repro.workloads.ssb_queries import ssb_query
 
@@ -56,7 +56,7 @@ def run(
         for query_name in query_names
         for mechanism_name in mechanisms
     ]
-    evaluations = TrialScheduler(config.jobs).map(partial(run_star_cell, config), grid)
+    evaluations = scheduler_for(config).map(partial(run_star_cell, config), grid)
     for cell, evaluation in zip(grid, evaluations):
         scale = cell.database_args[1]
         result.add_row(

@@ -27,7 +27,7 @@ from repro.evaluation.experiments.common import (
     build_ssb_database,
     cell_stream,
 )
-from repro.evaluation.parallel import StarCell, TrialScheduler, resolve_database, run_star_cell
+from repro.evaluation.parallel import StarCell, scheduler_for, resolve_database, run_star_cell
 from repro.evaluation.reporting import ExperimentResult
 from repro.evaluation.metrics import relative_error
 from repro.dp.mechanisms import LaplaceMechanism
@@ -73,7 +73,7 @@ def run(
         title="Figure 6: error level of PM, R2T, LS for different GS_Q",
         notes=f"epsilon = {epsilon}, {config.trials} trials per cell.",
     )
-    scheduler = TrialScheduler(config.jobs)
+    scheduler = scheduler_for(config)
     # PM's noise is independent of GS_Q, so it is evaluated once per query
     # and the same series is reported at every bound (a flat line, as in the
     # paper's figure).  R2T re-runs per bound: the bound controls its

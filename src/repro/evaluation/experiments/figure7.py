@@ -16,7 +16,7 @@ from typing import Optional, Sequence
 
 from repro.datagen.distributions import MEASURE_DISTRIBUTIONS
 from repro.evaluation.experiments.common import ExperimentConfig, build_ssb_database, cell_seed
-from repro.evaluation.parallel import StarCell, TrialScheduler, run_star_cell
+from repro.evaluation.parallel import StarCell, scheduler_for, run_star_cell
 from repro.evaluation.reporting import ExperimentResult
 from repro.workloads.ssb_queries import ssb_query
 
@@ -63,7 +63,7 @@ def run(
         for query_name in query_names
         for mechanism_name in mechanisms
     ]
-    evaluations = TrialScheduler(config.jobs).map(partial(run_star_cell, config), grid)
+    evaluations = scheduler_for(config).map(partial(run_star_cell, config), grid)
     for cell, evaluation in zip(grid, evaluations):
         result.add_row(
             distribution=cell.database_args[2],

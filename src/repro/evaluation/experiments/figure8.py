@@ -26,7 +26,7 @@ from repro.datagen.ssb import ssb_schema
 from repro.db.predicates import PointPredicate
 from repro.db.query import StarJoinQuery
 from repro.evaluation.experiments.common import ExperimentConfig, build_ssb_database
-from repro.evaluation.parallel import StarCell, TrialScheduler, run_star_cell
+from repro.evaluation.parallel import StarCell, scheduler_for, run_star_cell
 from repro.evaluation.reporting import ExperimentResult
 
 __all__ = ["run", "DOMAIN_COMBINATIONS"]
@@ -92,7 +92,7 @@ def run(
         for label, spec in combinations
         for mechanism_name in mechanisms
     ]
-    evaluations = TrialScheduler(config.jobs).map(partial(run_star_cell, config), grid)
+    evaluations = scheduler_for(config).map(partial(run_star_cell, config), grid)
     for cell, evaluation in zip(grid, evaluations):
         label = cell.query_args[0]
         result.add_row(

@@ -19,7 +19,7 @@ from repro.core.workload import IndependentPMWorkload, WorkloadDecomposition, an
 from repro.datagen.ssb import ssb_schema
 from repro.evaluation.experiments.common import ExperimentConfig, build_ssb_database, cell_stream
 from repro.evaluation.metrics import workload_relative_error
-from repro.evaluation.parallel import TrialScheduler, resolve_database
+from repro.evaluation.parallel import scheduler_for, resolve_database
 from repro.evaluation.reporting import ExperimentResult
 from repro.rng import spawn
 from repro.workloads.workload_matrices import workload_w1, workload_w2
@@ -82,7 +82,7 @@ def run(
         for epsilon in epsilons
         for mechanism_name in _MECHANISMS
     ]
-    outcomes = TrialScheduler(config.jobs).map(partial(_workload_cell, config), grid)
+    outcomes = scheduler_for(config).map(partial(_workload_cell, config), grid)
     for (workload_name, epsilon, mechanism_name), (error, num_queries) in zip(grid, outcomes):
         result.add_row(
             workload=workload_name,

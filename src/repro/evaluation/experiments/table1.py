@@ -13,7 +13,7 @@ from functools import partial
 from typing import Optional, Sequence
 
 from repro.evaluation.experiments.common import ExperimentConfig, build_ssb_database
-from repro.evaluation.parallel import StarCell, TrialScheduler, run_star_cell
+from repro.evaluation.parallel import StarCell, scheduler_for, run_star_cell
 from repro.evaluation.reporting import ExperimentResult
 from repro.db.executor import QueryExecutor
 from repro.workloads.ssb_queries import SSB_QUERY_NAMES, ssb_query
@@ -72,7 +72,7 @@ def run(
         ),
     )
     grid = cells(config, query_names=query_names, mechanisms=mechanisms)
-    evaluations = TrialScheduler(config.jobs).map(partial(run_star_cell, config), grid)
+    evaluations = scheduler_for(config).map(partial(run_star_cell, config), grid)
     for cell, evaluation in zip(grid, evaluations):
         result.add_row(
             epsilon=cell.epsilon,

@@ -16,7 +16,7 @@ from typing import Optional, Sequence
 from repro.evaluation.experiments.common import ExperimentConfig
 from repro.evaluation.parallel import (
     KStarCell,
-    TrialScheduler,
+    scheduler_for,
     resolve_database,
     run_kstar_cell,
 )
@@ -88,7 +88,7 @@ def run(
         ),
     )
     grid = cells(config, graph_scale=graph_scale, epsilons=epsilons, mechanisms=mechanisms)
-    evaluations = TrialScheduler(config.jobs).map(partial(run_kstar_cell, config), grid)
+    evaluations = scheduler_for(config).map(partial(run_kstar_cell, config), grid)
     for cell, evaluation in zip(grid, evaluations):
         result.add_row(
             dataset=cell.database_args[0],

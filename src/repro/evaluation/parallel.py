@@ -19,9 +19,22 @@ loop itself.  This module fans cells out over a ``ProcessPoolExecutor``:
   and reuse them across every cell of that database:
   :func:`resolve_database` memoizes ``(builder, args)`` per process.  On
   platforms whose process start method is ``fork`` (Linux, the CI platform)
-  the pool is created after the parent has already built the database and
-  computed the exact answers, so workers *inherit* the warm database and
-  engine caches through copy-on-write memory instead of rebuilding them.
+  workers inherit, through copy-on-write memory, whatever the parent had
+  built by the time the pool forked: with a transient per-experiment
+  scheduler that is the experiment's freshly warmed database and engine
+  caches; with the run-wide session pool (which forks during the *first*
+  experiment's map) it covers the first experiment only, and later
+  experiments' databases are rebuilt once per worker — sharing their
+  *cached artefacts* across processes is what ``--cache-backend shared``
+  is for.
+* One pool can serve a whole CLI run: :func:`evaluation_session` installs a
+  run-wide cache backend (see :mod:`repro.db.cache`) and a *persistent*
+  :class:`TrialScheduler` that every driver picks up through
+  :func:`scheduler_for`, so ``repro.evaluation.cli`` with several experiments
+  forks exactly one worker pool instead of one per experiment.  Under the
+  shared backend the workers of that one pool keep exchanging selection
+  masks, cubes and exact answers with each other (and with the parent's
+  per-experiment warm-up) for the entire run.
 
 Cell functions must be importable module-level callables (the pool pickles
 them by qualified name); drivers bind their configuration with
@@ -32,10 +45,12 @@ from __future__ import annotations
 
 import pickle
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass
 from multiprocessing import get_context
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Iterator, Optional, Sequence
 
+from repro.db.cache import make_backend, set_active_backend
 from repro.db.engine import ExecutionEngine
 from repro.db.executor import QueryExecutor
 from repro.evaluation.experiments.common import ExperimentConfig, cell_stream
@@ -56,6 +71,9 @@ __all__ = [
     "run_kstar_cell",
     "resolve_database",
     "clear_worker_cache",
+    "evaluation_session",
+    "scheduler_for",
+    "active_scheduler",
 ]
 
 
@@ -178,6 +196,16 @@ def run_kstar_cell(config: ExperimentConfig, cell: KStarCell) -> EvaluationResul
 # ----------------------------------------------------------------------
 # the scheduler
 # ----------------------------------------------------------------------
+def _fork_context():
+    # ``fork`` lets workers inherit the parent's already-built databases,
+    # warm engine caches and the active cache backend; fall back to the
+    # platform default elsewhere.
+    try:
+        return get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return None
+
+
 class TrialScheduler:
     """Maps cell functions over worker processes, preserving input order.
 
@@ -186,12 +214,34 @@ class TrialScheduler:
     cells out over a ``ProcessPoolExecutor``; chunks keep cells of the same
     database together (drivers emit them contiguously) without starving load
     balancing.
+
+    ``persistent=False`` (the default for ad-hoc use) creates a pool per
+    :meth:`map` call and tears it down after, exactly the pre-session
+    behaviour.  ``persistent=True`` — what :func:`evaluation_session`
+    installs — creates the pool lazily on first use and keeps it (and the
+    workers' memoized databases) alive across every ``map`` of the run until
+    :meth:`close`.  Scheduling never affects results either way: determinism
+    comes from the per-cell seed streams.
     """
 
-    def __init__(self, jobs: int = 1):
+    #: Process-wide count of worker pools ever created (tests and benchmarks
+    #: assert on deltas of this to pin the one-pool-per-run property).
+    pools_created: int = 0
+
+    def __init__(self, jobs: int = 1, persistent: bool = False):
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
         self.jobs = jobs
+        self.persistent = persistent
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            TrialScheduler.pools_created += 1
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs, mp_context=_fork_context()
+            )
+        return self._pool
 
     def map(self, fn: Callable[[Any], Any], cells: Sequence[Any]) -> list[Any]:
         """Apply ``fn`` to every cell; results come back in input order."""
@@ -199,12 +249,85 @@ class TrialScheduler:
         jobs = min(self.jobs, len(cells))
         if jobs <= 1:
             return [fn(cell) for cell in cells]
-        # ``fork`` lets workers inherit the parent's already-built databases
-        # and warm engine caches; fall back to the platform default elsewhere.
-        try:
-            context = get_context("fork")
-        except ValueError:  # pragma: no cover - non-fork platforms
-            context = None
-        chunksize = max(1, len(cells) // (jobs * 4))
-        with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
+        chunksize = max(1, len(cells) // (self.jobs * 4))
+        if self.persistent:
+            pool = self._ensure_pool()
             return list(pool.map(fn, cells, chunksize=chunksize))
+        TrialScheduler.pools_created += 1
+        with ProcessPoolExecutor(max_workers=jobs, mp_context=_fork_context()) as pool:
+            return list(pool.map(fn, cells, chunksize=chunksize))
+
+    def close(self) -> None:
+        """Shut down the persistent pool (no-op when none was created)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "TrialScheduler":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# the run-wide session
+# ----------------------------------------------------------------------
+#: The scheduler serving the current evaluation session, if one is active.
+_ACTIVE_SCHEDULER: Optional[TrialScheduler] = None
+
+
+def active_scheduler() -> Optional[TrialScheduler]:
+    """The session's run-wide scheduler, or ``None`` outside a session."""
+    return _ACTIVE_SCHEDULER
+
+
+def scheduler_for(config: ExperimentConfig) -> TrialScheduler:
+    """The scheduler a driver should map its cells over.
+
+    Inside an :func:`evaluation_session` this is the session's single
+    persistent scheduler — every experiment of the run shares its pool.
+    Outside a session (a driver called directly, e.g. from a notebook or a
+    test) it is a transient per-call scheduler with the pre-session
+    pool-per-``map`` behaviour, so drivers remain usable standalone.
+    """
+    if _ACTIVE_SCHEDULER is not None:
+        return _ACTIVE_SCHEDULER
+    return TrialScheduler(config.jobs)
+
+
+@contextmanager
+def evaluation_session(config: ExperimentConfig) -> Iterator[TrialScheduler]:
+    """Run-wide scheduling and caching for one CLI invocation.
+
+    Installs, for the duration of the ``with`` block:
+
+    * the configured cache backend (``config.cache_backend`` /
+      ``config.cache_size``) as the process-wide active backend — created
+      *before* any pool forks, so a shared backend's manager process and
+      counters are inherited by every worker;
+    * one persistent :class:`TrialScheduler` that all drivers reached through
+      :func:`scheduler_for` share — ``repro.evaluation.cli`` with any number
+      of experiments creates exactly one worker pool.
+
+    Teardown order matters and is the reverse: the pool is closed first (no
+    worker may touch the shared tier afterwards), then the backend is closed
+    (shutting down a shared backend's manager process), then the previously
+    active backend is restored.  Sessions may nest; the inner session simply
+    shadows the outer one's scheduler and backend until it exits.
+    """
+    global _ACTIVE_SCHEDULER
+    backend = make_backend(config.cache_backend, config.cache_size)
+    previous_backend = set_active_backend(backend)
+    previous_scheduler = _ACTIVE_SCHEDULER
+    scheduler = TrialScheduler(config.jobs, persistent=True)
+    _ACTIVE_SCHEDULER = scheduler
+    try:
+        yield scheduler
+    finally:
+        _ACTIVE_SCHEDULER = previous_scheduler
+        scheduler.close()
+        close = getattr(backend, "close", None)
+        if close is not None:
+            close()
+        set_active_backend(previous_backend)

@@ -154,7 +154,13 @@ def evaluate_mechanism(
     One :class:`~repro.db.engine.ExecutionEngine` (``engine`` or the
     database's shared one) serves every trial, so the exact answer, selection
     masks and fan-out statistics are computed once per query rather than once
-    per trial.
+    per trial.  Where those artefacts actually live is the engine's cache
+    backend (:mod:`repro.db.cache`): under the run-wide shared backend a
+    trial may be served by work another worker process already did, which is
+    safe because every cached value is a pure function of its key — the
+    evaluation numbers are bit-identical for any backend and any job count.
+    Pass an explicit ``engine`` only for isolation (ablations, tests); it
+    carries a private in-process backend.
 
     All ``trials`` runs are evaluated inside this one call — one timed block
     per trial — from generators split off ``rng``.  Pass the cell's

@@ -1,0 +1,444 @@
+"""Suite for the pluggable cache-backend layer (:mod:`repro.db.cache`).
+
+Covers the backend protocol and both implementations, the content-derived
+namespacing, the statistics counters, and the two guarantees the execution
+layer builds on (see docs/CACHE.md):
+
+* every backend serves values bit-identical to what the caller would have
+  recomputed (the engine consistency suite in ``test_engine.py`` pins the
+  end-to-end half of this);
+* ``invalidate()`` after an in-place database mutation leaves no stale cube,
+  mask or memoized answer reachable — regardless of backend — and resets the
+  stats counters.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.db.cache import (
+    BOUNDED_REGIONS,
+    CacheBackend,
+    CacheStats,
+    LocalCacheBackend,
+    LruCache,
+    REGIONS,
+    SharedMemoryCacheBackend,
+    active_backend,
+    backend_scope,
+    database_fingerprint,
+    make_backend,
+    set_active_backend,
+)
+from repro.db.engine import ExecutionEngine
+from repro.db.executor import QueryExecutor
+from repro.db.join import execute_by_materialised_join
+from repro.datagen.ssb import ssb_schema
+from repro.workloads.ssb_queries import ssb_query
+
+
+@pytest.fixture()
+def shared_backend():
+    backend = SharedMemoryCacheBackend(max_entries=32, max_shared_entries=64)
+    yield backend
+    backend.close()
+
+
+def _make(name: str):
+    """Build a small backend by name; caller closes shared ones."""
+    return make_backend(name, max_entries=32)
+
+
+def _close(backend) -> None:
+    close = getattr(backend, "close", None)
+    if close is not None:
+        close()
+
+
+# ----------------------------------------------------------------------
+# protocol + registry
+# ----------------------------------------------------------------------
+class TestProtocol:
+    @pytest.mark.parametrize("name", ["local", "shared"])
+    def test_backends_satisfy_protocol(self, name):
+        backend = _make(name)
+        try:
+            assert isinstance(backend, CacheBackend)
+            assert backend.name == name
+        finally:
+            _close(backend)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            make_backend("redis")
+
+    def test_every_engine_region_is_declared(self):
+        # The engine's regions and the registry must not drift apart.
+        assert BOUNDED_REGIONS <= set(REGIONS)
+
+    def test_active_backend_scope(self):
+        original = active_backend()
+        replacement = LocalCacheBackend(8)
+        with backend_scope(replacement):
+            assert active_backend() is replacement
+        assert active_backend() is original
+
+    def test_set_active_backend_returns_previous(self):
+        original = active_backend()
+        replacement = LocalCacheBackend(8)
+        assert set_active_backend(replacement) is original
+        assert set_active_backend(original) is replacement
+        assert active_backend() is original
+
+
+# ----------------------------------------------------------------------
+# LRU + stats
+# ----------------------------------------------------------------------
+class TestLruCache:
+    def test_eviction_order_is_least_recently_used(self):
+        cache = LruCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"; "b" is now oldest
+        assert cache.put("c", 3) == 1
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_put_reports_eviction_count(self):
+        cache = LruCache(1)
+        assert cache.put("a", 1) == 0
+        assert cache.put("b", 2) == 1
+        assert len(cache) == 1
+
+
+class TestStatsCounters:
+    @pytest.mark.parametrize("name", ["local", "shared"])
+    def test_hit_miss_put_counters(self, name):
+        backend = _make(name)
+        try:
+            assert backend.get("ns", "cube", "k") is None
+            backend.put("ns", "cube", "k", 1.5)
+            assert backend.get("ns", "cube", "k") == 1.5
+            stats = backend.stats()
+            assert stats.misses == 1 and stats.hits == 1 and stats.puts == 1
+            backend.reset_stats()
+            zeroed = backend.stats()
+            assert (zeroed.hits, zeroed.misses, zeroed.puts) == (0, 0, 0)
+        finally:
+            _close(backend)
+
+    def test_local_eviction_counter(self):
+        backend = LocalCacheBackend(max_entries=2)
+        for index in range(4):
+            backend.put("ns", "result", index, float(index))
+        assert backend.stats().evictions == 2
+        assert backend.entry_count("ns") == 2
+
+    def test_unbounded_region_never_evicts(self):
+        backend = LocalCacheBackend(max_entries=2)
+        for index in range(10):
+            backend.put("ns", "cube", index, float(index))
+        assert backend.stats().evictions == 0
+        assert backend.entry_count("ns") == 10
+
+    def test_stats_addition_and_rates(self):
+        total = CacheStats(hits=3, misses=1) + CacheStats(hits=1, misses=3, shared_hits=2)
+        assert total.hits == 4 and total.misses == 4 and total.shared_hits == 2
+        assert total.hit_rate == 0.5
+        assert "hits=4" in total.summary()
+
+
+# ----------------------------------------------------------------------
+# namespacing
+# ----------------------------------------------------------------------
+class TestNamespaces:
+    @pytest.mark.parametrize("name", ["local", "shared"])
+    def test_namespaces_are_isolated(self, name):
+        backend = _make(name)
+        try:
+            backend.put("ns-a", "result", "k", 1.0)
+            assert backend.get("ns-b", "result", "k") is None
+            backend.put("ns-b", "result", "k", 2.0)
+            assert backend.get("ns-a", "result", "k") == 1.0
+            backend.clear("ns-a")
+            assert backend.get("ns-a", "result", "k") is None
+            assert backend.get("ns-b", "result", "k") == 2.0
+        finally:
+            _close(backend)
+
+    def test_namespace_count_is_bounded(self):
+        backend = LocalCacheBackend(max_entries=4, max_namespaces=2)
+        backend.put("ns-a", "cube", "k", 1.0)
+        backend.put("ns-b", "cube", "k", 2.0)
+        backend.put("ns-c", "cube", "k", 3.0)  # evicts ns-a (least recent)
+        assert backend.get("ns-a", "cube", "k") is None
+        assert backend.get("ns-b", "cube", "k") == 2.0
+        assert backend.get("ns-c", "cube", "k") == 3.0
+        assert backend.stats().evictions == 1
+
+    def test_namespace_eviction_is_least_recently_used(self):
+        backend = LocalCacheBackend(max_entries=4, max_namespaces=2)
+        backend.put("ns-a", "cube", "k", 1.0)
+        backend.put("ns-b", "cube", "k", 2.0)
+        assert backend.get("ns-a", "cube", "k") == 1.0  # freshen ns-a
+        backend.put("ns-c", "cube", "k", 3.0)  # now ns-b is the oldest
+        assert backend.get("ns-b", "cube", "k") is None
+        assert backend.get("ns-a", "cube", "k") == 1.0
+
+    def test_database_fingerprint_is_content_derived(self, ssb_small, tiny_db):
+        first = database_fingerprint(ssb_small)
+        assert first == database_fingerprint(ssb_small)  # deterministic
+        assert first == ssb_small.cache_fingerprint()
+        assert first != database_fingerprint(tiny_db)
+
+    def test_content_digest_covers_domains(self):
+        """Equal code arrays over different domains are different content:
+        the domain decodes GROUP BY labels and predicate values, so sharing
+        a namespace across domains would serve wrong decoded answers."""
+        from repro.db.domains import AttributeDomain
+        from repro.db.table import Column, Table
+
+        codes = np.array([0, 1, 2])
+        nineties = AttributeDomain.from_values("year", (1992, 1993, 1994))
+        aughts = AttributeDomain.from_values("year", (2000, 2001, 2002))
+        first = Table("T", [Column("year", codes.copy(), domain=nineties)])
+        second = Table("T", [Column("year", codes.copy(), domain=aughts)])
+        assert first.content_digest() != second.content_digest()
+
+    def test_fingerprint_changes_when_content_changes(self, tiny_db):
+        before = database_fingerprint(tiny_db)
+        codes = tiny_db.fact.codes("ColorKey")
+        original = int(codes[0])
+        codes[0] = (original + 1) % 6
+        try:
+            # The fingerprint is memoized per instance; mutation is only
+            # visible through refresh=True (what invalidate() passes).
+            assert database_fingerprint(tiny_db) == before
+            assert database_fingerprint(tiny_db, refresh=True) != before
+        finally:
+            codes[0] = original
+        assert database_fingerprint(tiny_db, refresh=True) == before
+
+
+# ----------------------------------------------------------------------
+# the shared backend's cross-process tier
+# ----------------------------------------------------------------------
+def _shared_worker_read(key):
+    """Importable pool entry point: read a key through the active backend."""
+    backend = active_backend()
+    return backend.get("ns", "cube", key)
+
+
+def _shared_worker_write(payload):
+    key, value = payload
+    active_backend().put("ns", "cube", key, np.asarray(value, dtype=np.float64))
+    return True
+
+
+class TestSharedBackend:
+    def test_value_round_trip_preserves_bits(self, shared_backend):
+        values = np.array([1.25, -3.5e300, 0.0, 7e-17])
+        shared_backend.put("ns", "cube", "k", values)
+        shared_backend._local.clear()  # force the L2 path
+        fetched = shared_backend.get("ns", "cube", "k")
+        np.testing.assert_array_equal(fetched, values)
+        assert not fetched.flags.writeable  # frozen on promotion
+        assert shared_backend.stats().shared_hits == 1
+
+    def test_unshared_region_stays_local(self, shared_backend):
+        shared_backend.put("ns", "predicate_mask", "k", np.ones(3, dtype=bool))
+        shared_backend._local.clear()
+        assert shared_backend.get("ns", "predicate_mask", "k") is None
+        assert shared_backend.stats().shared_puts == 0
+
+    def test_workers_share_entries_with_each_other(self, shared_backend):
+        context = multiprocessing.get_context("fork")
+        with backend_scope(shared_backend):
+            # The write happens in a worker forked *before* the entry exists,
+            # so neither the parent's L1 nor any later fork inherits it …
+            with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
+                assert list(pool.map(_shared_worker_write, [("post-fork", [4.0, 2.0])]))
+            # … and a worker of a second pool (a different process by
+            # construction) can only obtain it through the cross-process tier.
+            with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
+                reads = list(pool.map(_shared_worker_read, ["post-fork"] * 2))
+        for fetched in reads:
+            np.testing.assert_array_equal(fetched, [4.0, 2.0])
+        assert shared_backend.stats().shared_hits > 0
+
+    def test_shared_tier_eviction_bounds_entries(self):
+        backend = SharedMemoryCacheBackend(max_entries=4, max_shared_entries=8)
+        try:
+            for index in range(20):
+                backend.put("ns", "result", index, float(index))
+            assert len(backend._store) <= 8
+            assert backend.stats().shared_evictions >= 12
+        finally:
+            backend.close()
+
+    def test_degrades_to_local_after_manager_loss(self):
+        backend = SharedMemoryCacheBackend(max_entries=4)
+        backend._manager.shutdown()
+        backend._broken = False  # simulate a worker that has not noticed yet
+        backend.put("ns", "result", "k", 1.0)  # must not raise
+        assert backend._broken
+        assert backend.get("ns", "result", "k") == 1.0  # L1 still serves
+
+
+# ----------------------------------------------------------------------
+# invalidate(): stale entries + stats, on every backend
+# ----------------------------------------------------------------------
+class TestInvalidate:
+    @pytest.mark.parametrize("name", ["local", "shared"])
+    def test_mutation_then_invalidate_leaves_no_stale_answer(self, ssb_small, name):
+        backend = _make(name)
+        try:
+            engine = ExecutionEngine(ssb_small, backend=backend)
+            executor = QueryExecutor(ssb_small, engine=engine)
+            query = ssb_query("Qc1", ssb_schema())
+            stale_answer = executor.execute(query)
+            stale_mask = engine.selection_mask(query.predicates)
+
+            # Mutate the instance in place: move every Date row to year code
+            # 0, which changes Qc1's ``year = 1993`` selection to either the
+            # empty set or every fact row, then follow the documented rule.
+            year_codes = ssb_small.dimensions["Date"].codes("year")
+            saved = year_codes.copy()
+            year_codes[:] = 0
+            try:
+                engine.invalidate()
+                fresh_answer = executor.execute(query)
+                fresh_mask = engine.selection_mask(query.predicates)
+                reference = execute_by_materialised_join(ssb_small, query)
+                assert fresh_answer == reference
+                assert fresh_answer != stale_answer
+                assert not np.array_equal(fresh_mask, stale_mask)
+                # The cube-backed COUNT path must also see fresh content.
+                assert engine.count_answer_via_cube(query) == reference
+            finally:
+                year_codes[:] = saved
+                engine.invalidate()
+            assert executor.execute(query) == stale_answer
+        finally:
+            _close(backend)
+
+    def test_invalidate_resets_stats_and_changes_namespace(self, ssb_small):
+        engine = ExecutionEngine(ssb_small)
+        query = ssb_query("Qc2", ssb_schema())
+        engine.selection_mask(query.predicates)
+        engine.selection_mask(query.predicates)
+        assert engine.stats().hits > 0
+        before = engine.namespace
+        engine.invalidate()
+        stats = engine.stats()
+        assert (stats.hits, stats.misses, stats.puts, stats.evictions) == (0, 0, 0, 0)
+        assert engine.namespace == before  # content unchanged -> same namespace
+        assert engine.backend.entry_count(before) == 0
+
+
+# ----------------------------------------------------------------------
+# engine integration
+# ----------------------------------------------------------------------
+class TestEngineBackendIntegration:
+    def test_direct_engines_have_private_local_backends(self, ssb_small):
+        first = ExecutionEngine(ssb_small)
+        second = ExecutionEngine(ssb_small)
+        assert first.backend is not second.backend
+        query = ssb_query("Qc1", ssb_schema())
+        first.selection_mask(query.predicates)
+        assert second.backend.entry_count(second.namespace) == 0
+
+    def test_dead_database_namespace_is_released(self):
+        """for_database engines reclaim their in-process cache storage when
+        their database is garbage-collected, like the pre-backend per-engine
+        caches did."""
+        import gc
+
+        from repro.datagen.ssb import SSBConfig, SSBGenerator
+
+        backend = LocalCacheBackend(64)
+        with backend_scope(backend):
+            database = SSBGenerator(
+                SSBConfig(scale_factor=0.05, rows_per_scale_factor=2000, seed=99)
+            ).build()
+            engine = ExecutionEngine.for_database(database)
+            namespace = engine.namespace
+            engine.fan_out("Customer")
+            assert backend.entry_count(namespace) > 0
+            del engine, database
+            gc.collect()
+            assert backend.entry_count(namespace) == 0
+
+    def test_released_namespace_tracks_invalidation(self):
+        """After invalidate() rebinds the namespace, database GC must release
+        the *current* namespace, not the one captured at engine creation."""
+        import gc
+
+        from repro.datagen.ssb import SSBConfig, SSBGenerator
+
+        backend = LocalCacheBackend(64)
+        with backend_scope(backend):
+            database = SSBGenerator(
+                SSBConfig(scale_factor=0.05, rows_per_scale_factor=2000, seed=98)
+            ).build()
+            engine = ExecutionEngine.for_database(database)
+            year_codes = database.dimensions["Date"].codes("year")
+            year_codes[:] = 0  # mutate -> invalidate rebinds the namespace
+            engine.invalidate()
+            fresh_namespace = engine.namespace
+            engine.fan_out("Customer")
+            assert backend.entry_count(fresh_namespace) > 0
+            del engine, database, year_codes
+            gc.collect()
+            assert backend.entry_count(fresh_namespace) == 0
+
+    def test_release_keeps_shared_tier(self, shared_backend):
+        shared_backend.put("ns", "cube", "k", 1.0)
+        shared_backend.release("ns")
+        assert ("ns", "cube", "k") in shared_backend._store  # L2 intact
+        shared_backend._local.clear()
+        assert shared_backend.get("ns", "cube", "k") == 1.0  # re-served from L2
+
+    def test_shared_engine_follows_the_active_backend(self, ssb_small):
+        engine = ExecutionEngine.for_database(ssb_small)
+        replacement = LocalCacheBackend(16)
+        with backend_scope(replacement):
+            assert engine.backend is replacement
+            engine.fan_out("Customer")
+            assert replacement.entry_count(engine.namespace) > 0
+        assert engine.backend is not replacement
+
+    def test_engine_answers_identical_across_backends(self, ssb_small):
+        queries = [ssb_query(name, ssb_schema()) for name in ("Qc1", "Qs2", "Qg2")]
+        shared = SharedMemoryCacheBackend(max_entries=64)
+        try:
+            answers = {}
+            for label, backend in (("local", LocalCacheBackend(64)), ("shared", shared)):
+                engine = ExecutionEngine(ssb_small, backend=backend)
+                executor = QueryExecutor(ssb_small, engine=engine)
+                answers[label] = [executor.execute(query) for query in queries]
+                # Run every query twice so the second pass is cache-served.
+                for query, first in zip(queries, answers[label]):
+                    again = executor.execute(query)
+                    if hasattr(first, "groups"):
+                        assert again.groups == first.groups
+                    else:
+                        assert again == first
+            for local_answer, shared_answer in zip(answers["local"], answers["shared"]):
+                if hasattr(local_answer, "groups"):
+                    assert local_answer.groups == shared_answer.groups
+                else:
+                    assert local_answer == shared_answer
+        finally:
+            shared.close()
+
+    def test_repr_exposes_counters(self, ssb_small):
+        engine = ExecutionEngine(ssb_small)
+        engine.selection_mask(ssb_query("Qc1", ssb_schema()).predicates)
+        text = repr(engine)
+        assert "hits=" in text and "misses=" in text and "evictions=" in text
+        assert "backend=local" in text

@@ -66,3 +66,44 @@ class TestMain:
     def test_main_unknown_experiment_returns_error_code(self, capsys):
         assert main(["--only", "not-an-experiment"]) == 2
         assert "unknown experiments" in capsys.readouterr().err
+
+    def test_main_rejects_invalid_cache_size(self, capsys):
+        assert main(["--only", "figure9", "--cache-size", "0"]) == 2
+        assert "--cache-size" in capsys.readouterr().err
+
+    def test_main_cache_stats_reports_counters(self, capsys):
+        exit_code = main(
+            [
+                "--only",
+                "figure9",
+                "--trials",
+                "1",
+                "--rows-per-scale-factor",
+                "4000",
+                "--cache-backend",
+                "shared",
+                "--cache-stats",
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "[cache after figure9:" in out
+        assert "[cache backend 'shared' (run total):" in out
+        assert "hits=" in out
+
+    def test_cache_stats_flags_parent_only_counters_for_local_jobs(self, capsys):
+        exit_code = main(
+            [
+                "--only",
+                "figure9",
+                "--trials",
+                "1",
+                "--rows-per-scale-factor",
+                "4000",
+                "--jobs",
+                "2",
+                "--cache-stats",
+            ]
+        )
+        assert exit_code == 0
+        assert "parent process only" in capsys.readouterr().out

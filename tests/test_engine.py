@@ -238,6 +238,85 @@ class TestEngineSharing:
 
 
 # ----------------------------------------------------------------------
+# the engine holds no cache storage: everything goes through the backend
+# ----------------------------------------------------------------------
+class _SpyBackend:
+    """A protocol-conforming backend that records every region touched."""
+
+    name = "spy"
+
+    def __init__(self):
+        self._data: dict = {}
+        self.regions_touched: set[str] = set()
+        self._stats = None
+
+    def get(self, namespace, region, key):
+        self.regions_touched.add(region)
+        return self._data.get((namespace, region, key))
+
+    def put(self, namespace, region, key, value):
+        self.regions_touched.add(region)
+        self._data[(namespace, region, key)] = value
+
+    def clear(self, namespace=None):
+        if namespace is None:
+            self._data.clear()
+        else:
+            self._data = {k: v for k, v in self._data.items() if k[0] != namespace}
+
+    def release(self, namespace):
+        self.clear(namespace)
+
+    def stats(self):
+        from repro.db.cache import CacheStats
+
+        return CacheStats()
+
+    def reset_stats(self):
+        pass
+
+    def entry_count(self, namespace=None):
+        return len(self._data)
+
+
+class TestBackendRouting:
+    def test_all_cached_artefacts_flow_through_the_backend(self, ssb_small):
+        """Exercising every engine path against a spy backend proves the
+        engine owns no private cache storage — remove any backend call and
+        either the spy misses a region or answers change."""
+        spy = _SpyBackend()
+        engine = ExecutionEngine(ssb_small, backend=spy)
+        executor = QueryExecutor(ssb_small, engine=engine)
+        for name in ("Qc1", "Qs2", "Qg2"):
+            query = ssb_query(name, ssb_schema())
+            assert executor.execute(query) == executor.execute(query)
+        engine.fan_out("Customer")
+        engine.max_fan_out("Customer")
+        qc2 = ssb_query("Qc2", ssb_schema())
+        engine.contribution_per_key(qc2.predicates, "Customer")
+        engine.sorted_contributions(qc2.predicates, "Customer")
+        assert spy.regions_touched == {
+            "predicate_mask",
+            "selection_mask",
+            "fan_out",
+            "max_fan_out",
+            "measure",
+            "contribution",
+            "sorted_contribution",
+            "cube",
+            "result",
+        }
+
+    def test_spy_served_answers_match_reference(self, ssb_small):
+        spy = _SpyBackend()
+        engine = ExecutionEngine(ssb_small, backend=spy)
+        executor = QueryExecutor(ssb_small, engine=engine)
+        for name in ("Qc3", "Qs3"):
+            query = ssb_query(name, ssb_schema())
+            assert executor.execute(query) == _reference_answer(ssb_small, query)
+
+
+# ----------------------------------------------------------------------
 # satellite: unified measure accessor / SUM-cube agreement
 # ----------------------------------------------------------------------
 class TestSumCubeConsistency:

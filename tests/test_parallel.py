@@ -12,15 +12,24 @@ The contracts under test (see docs/RUNNER.md):
 
 import csv
 import dataclasses
+import io
 
 import numpy as np
 import pytest
 from scipy import stats
 
 from repro.datagen.distributions import key_sampler
-from repro.evaluation.experiments import figure7, table1, table2
+from repro.db.cache import active_backend
+from repro.evaluation.experiments import figure7, figure9, table1, table2
 from repro.evaluation.experiments.common import ExperimentConfig, cell_stream
-from repro.evaluation.parallel import StarCell, TrialScheduler, run_star_cell
+from repro.evaluation.parallel import (
+    StarCell,
+    TrialScheduler,
+    active_scheduler,
+    evaluation_session,
+    run_star_cell,
+    scheduler_for,
+)
 from repro.rng import ensure_rng, spawn
 
 
@@ -133,6 +142,109 @@ class TestCellStreams:
         first = run_star_cell(tiny_config, cell)
         second = run_star_cell(tiny_config, cell)
         assert first.relative_errors == second.relative_errors
+
+
+def _canonical_csv(result, tmp_path, label: str) -> str:
+    """The experiment CSV as canonical text, wall-clock columns dropped
+    (timings are not reproducible by definition; everything else must be
+    byte-identical across backends and job counts)."""
+    path = result.to_csv(tmp_path / f"{label}.csv")
+    with path.open(newline="") as handle:
+        rows = [
+            {k: v for k, v in row.items() if k != "mean_time_s"}
+            for row in csv.DictReader(handle)
+        ]
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+class TestBackendParity:
+    """Experiment CSVs are byte-identical across cache backends and job
+    counts: ``local`` serial is the reference, every (backend, jobs)
+    combination must reproduce it exactly."""
+
+    QUERIES = ("Qc1", "Qs2", "Qg2")
+
+    def _table1_csv(self, config, tmp_path, label):
+        with evaluation_session(config):
+            result = table1.run(config, query_names=self.QUERIES)
+        return _canonical_csv(result, tmp_path, label)
+
+    @pytest.mark.parametrize("backend", ["local", "shared"])
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_csv_identical_to_serial_local_run(self, tiny_config, tmp_path, backend, jobs):
+        reference = self._table1_csv(
+            dataclasses.replace(tiny_config, jobs=1, cache_backend="local"),
+            tmp_path,
+            "reference",
+        )
+        variant = self._table1_csv(
+            dataclasses.replace(tiny_config, jobs=jobs, cache_backend=backend),
+            tmp_path,
+            f"{backend}-j{jobs}",
+        )
+        assert variant == reference
+
+    def test_shared_backend_scores_cross_worker_hits(self, tiny_config):
+        config = dataclasses.replace(tiny_config, jobs=4, cache_backend="shared")
+        with evaluation_session(config):
+            table1.run(config, query_names=self.QUERIES)
+            stats = active_backend().stats()
+        assert stats.shared_puts > 0
+        assert stats.shared_hits > 0  # some worker was served by another's work
+
+
+class TestRunWideScheduler:
+    """One evaluation session == one worker pool for the whole run."""
+
+    def test_session_scheduler_is_shared_by_drivers(self, tiny_config):
+        assert active_scheduler() is None
+        with evaluation_session(tiny_config) as scheduler:
+            assert active_scheduler() is scheduler
+            assert scheduler_for(tiny_config) is scheduler
+        assert active_scheduler() is None
+        transient = scheduler_for(tiny_config)
+        assert transient is not scheduler and not transient.persistent
+
+    def test_single_pool_serves_multiple_experiments(self, tiny_config):
+        config = dataclasses.replace(tiny_config, jobs=2)
+        before = TrialScheduler.pools_created
+        with evaluation_session(config):
+            table1.run(config, query_names=("Qc1", "Qc2"))
+            figure9.run(config)
+        assert TrialScheduler.pools_created - before == 1
+
+    def test_serial_session_creates_no_pool(self, tiny_config):
+        before = TrialScheduler.pools_created
+        with evaluation_session(dataclasses.replace(tiny_config, jobs=1)):
+            table1.run(tiny_config, query_names=("Qc1",))
+        assert TrialScheduler.pools_created == before
+
+    def test_transient_scheduler_still_pools_per_map(self):
+        before = TrialScheduler.pools_created
+        scheduler = TrialScheduler(2)
+        assert scheduler.map(abs, [-1, -2, -3]) == [1, 2, 3]
+        assert scheduler.map(abs, [-4, -5, -6]) == [4, 5, 6]
+        assert TrialScheduler.pools_created - before == 2
+
+    def test_persistent_scheduler_reuses_one_pool(self):
+        before = TrialScheduler.pools_created
+        with TrialScheduler(2, persistent=True) as scheduler:
+            assert scheduler.map(abs, [-1, -2, -3]) == [1, 2, 3]
+            assert scheduler.map(abs, [-4, -5, -6]) == [4, 5, 6]
+        assert TrialScheduler.pools_created - before == 1
+
+    def test_nested_sessions_restore_outer(self, tiny_config):
+        with evaluation_session(tiny_config) as outer:
+            inner_config = dataclasses.replace(tiny_config, cache_backend="shared")
+            with evaluation_session(inner_config) as inner:
+                assert active_scheduler() is inner
+                assert active_backend().name == "shared"
+            assert active_scheduler() is outer
+            assert active_backend().name == "local"
 
 
 class TestCachedSkewSampler:
