@@ -13,7 +13,7 @@ Each kernel is timed with a cold generated-instance cache so numbers are
 comparable run to run; within a kernel, mechanisms still share the per-database
 execution engine exactly as the experiments do.
 
-Beyond the per-experiment kernels the report tracks four scaling baselines:
+Beyond the per-experiment kernels the report tracks five scaling baselines:
 
 * ``parallel_runner`` — Table 2 through the :class:`TrialScheduler` at
   ``jobs=1`` vs ``jobs=4`` (the process-parallel trial runner's speedup).
@@ -23,6 +23,9 @@ Beyond the per-experiment kernels the report tracks four scaling baselines:
   (same pool size), with the shared tier's cross-worker hit rates.
 * ``run_wide_scheduler`` — a two-experiment run with one pool per experiment
   (transient schedulers) vs one session pool serving the whole run.
+* ``serving_throughput`` — the online query server's requests/sec at 1..16
+  concurrent clients (same query mix), with the engine-cache hit rate and the
+  single-flight coalescing counters of the run.
 """
 
 from __future__ import annotations
@@ -335,6 +338,100 @@ def bench_run_wide_scheduler(repeats: int, jobs: int = 4, rows: int = 24_000) ->
     }
 
 
+def bench_serving_throughput(repeats: int, quick_mode: bool = False) -> dict:
+    """The online query server's requests/sec at rising client concurrency.
+
+    One in-process server (thread-pooled engine work, local cache backend)
+    serves N concurrent blocking clients, each replaying the same mix of
+    named SSB queries across ε values.  Because identical concurrent requests
+    share a seed stream, the interesting counters besides raw rps are the
+    single-flight coalescing count (requests served by another request's
+    in-flight execution) and the engine-cache hit rate (exact answers /
+    selection masks reused across requests).  On a single-CPU container the
+    levels mostly measure protocol and scheduling overhead — the engine work
+    is GIL-serialised either way; the counters are meaningful everywhere.
+    """
+    import threading
+
+    from repro.dp.accountant import PrivacyBudget
+    from repro.serving import (
+        BudgetLedger,
+        QueryPlanner,
+        QueryServer,
+        ServerThread,
+        ServingClient,
+    )
+
+    rows = 4_000 if quick_mode else 16_000
+    requests_per_client = 6 if quick_mode else 12
+    levels = (1, 4) if quick_mode else (1, 4, 16)
+    queries = ("Qc1", "Qc2", "Qs2")
+    epsilons = (0.1, 0.5, 1.0)
+
+    planner = QueryPlanner(seed=20230711)
+    planner.register("bench", "ssb", scale_factor=1.0, rows_per_scale_factor=rows, seed=7)
+    server = QueryServer(
+        planner, BudgetLedger(PrivacyBudget(1e6)), port=0, workers=8
+    )
+    entry: dict = {
+        "rows_per_scale_factor": rows,
+        "requests_per_client": requests_per_client,
+        "cpus": os.cpu_count() or 1,
+        "query_mix": list(queries),
+        "levels": {},
+    }
+
+    def client_loop(index: int, barrier: threading.Barrier) -> None:
+        with ServingClient(port=server.port) as client:
+            barrier.wait()
+            for request in range(requests_per_client):
+                client.query(
+                    "bench",
+                    "PM",
+                    epsilons[request % len(epsilons)],
+                    query=queries[request % len(queries)],
+                    analyst=f"bench-{index}",
+                )
+
+    with ServerThread(server):
+        # Untimed warm-up: pays datagen-independent one-offs (exact answers,
+        # selection masks) so the levels measure the serving steady state.
+        with ServingClient(port=server.port) as client:
+            for query in queries:
+                client.query("bench", "PM", 1.0, query=query, analyst="warmup")
+        for clients_n in levels:
+            samples = []
+            for _ in range(repeats):
+                barrier = threading.Barrier(clients_n + 1)
+                threads = [
+                    threading.Thread(target=client_loop, args=(index, barrier))
+                    for index in range(clients_n)
+                ]
+                for thread in threads:
+                    thread.start()
+                barrier.wait()
+                start = time.perf_counter()
+                for thread in threads:
+                    thread.join()
+                samples.append(time.perf_counter() - start)
+            total_requests = clients_n * requests_per_client
+            mean = sum(samples) / len(samples)
+            entry["levels"][str(clients_n)] = {
+                "clients": clients_n,
+                "requests": total_requests,
+                "mean_s": round(mean, 6),
+                "rps": round(total_requests / mean, 2),
+                "samples": [round(sample, 6) for sample in samples],
+            }
+        with ServingClient(port=server.port) as client:
+            stats = client.stats()
+    singleflight = stats["planner"]["singleflight"]
+    entry["coalesced"] = singleflight["coalesced"]
+    entry["singleflight_executions"] = singleflight["executions"]
+    entry["cache_hit_rate"] = round(stats["cache"]["hit_rate"], 4)
+    return entry
+
+
 def run_benchmarks(repeats: int = 3, quick_mode: bool = False) -> dict:
     # The parallel-runner baseline goes first: forked workers inherit the
     # parent's heap, so measuring it before the other kernels grow the
@@ -382,8 +479,18 @@ def run_benchmarks(repeats: int = 3, quick_mode: bool = False) -> dict:
           f"{run_wide['run_wide_mean_s']*1000:.1f} ms "
           f"({run_wide['pools_created']['run_wide']} pool)")
 
+    _clear_caches()
+    serving = bench_serving_throughput(repeats, quick_mode=quick_mode)
+    level_text = ", ".join(
+        f"{level['clients']}c {level['rps']:.0f} rps"
+        for level in serving["levels"].values()
+    )
+    print(f"{'serving_throughput':>15}: {level_text} "
+          f"(cache hit rate {serving['cache_hit_rate']:.1%}, "
+          f"{serving['coalesced']} coalesced)")
+
     return {
-        "schema_version": 3,
+        "schema_version": 4,
         "repeats": repeats,
         "python": platform.python_version(),
         "machine": platform.machine(),
@@ -392,6 +499,7 @@ def run_benchmarks(repeats: int = 3, quick_mode: bool = False) -> dict:
         "parallel_runner": parallel,
         "cache_backends": backends,
         "run_wide_scheduler": run_wide,
+        "serving_throughput": serving,
         "total_mean_s": round(sum(t["mean_s"] for t in timings.values()), 6),
     }
 

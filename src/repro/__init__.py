@@ -18,7 +18,10 @@ The package layout mirrors the paper:
 * :mod:`repro.datagen` — SSB / snowflake / skewed-data generators;
 * :mod:`repro.workloads` — the paper's evaluation queries;
 * :mod:`repro.evaluation` — the experiment harness regenerating every table
-  and figure.
+  and figure;
+* :mod:`repro.serving` — the online query-serving subsystem (JSON-line
+  server, per-analyst budget ledger, single-flight coalescing; imported on
+  demand, see ``docs/SERVING.md``).
 
 Quickstart::
 

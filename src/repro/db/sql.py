@@ -10,6 +10,14 @@ Join conditions are recognised and dropped — the star schema already declares
 them — and the remaining filter conditions become the query's composite
 predicate Φ.  The parser is intentionally small; it is a convenience so the
 examples can run the appendix queries verbatim, not a general SQL engine.
+
+Because the query server (:mod:`repro.serving`) feeds this parser untrusted
+analyst input, anything outside that grammar is rejected upfront with a clear
+:class:`~repro.exceptions.QueryError` — HAVING, subqueries, set operations,
+explicit JOINs, IN lists, DISTINCT aggregates, multiple statements,
+unbalanced quotes, and quoted literals whose embedded whitespace the
+normalisation pass would silently rewrite — rather than being mis-parsed
+into a plausible-but-wrong query.
 """
 
 from __future__ import annotations
@@ -47,6 +55,80 @@ _COLUMN_RE = re.compile(r"^(?:(?P<table>\w+)\s*\.\s*)?(?P<column>\w+)$")
 
 def _normalise_whitespace(text: str) -> str:
     return re.sub(r"\s+", " ", text).strip()
+
+
+# ----------------------------------------------------------------------
+# upfront rejection of unsupported constructs
+# ----------------------------------------------------------------------
+#: Constructs the grammar does not cover.  Matched outside quoted literals;
+#: each raises a QueryError naming the construct, instead of letting the
+#: regex grammar silently mis-parse text the server received from an analyst.
+_UNSUPPORTED_KEYWORDS = (
+    (re.compile(r"\bhaving\b", re.IGNORECASE), "HAVING clauses"),
+    (re.compile(r"\bunion\b|\bintersect\b|\bexcept\b", re.IGNORECASE), "set operations"),
+    (re.compile(r"\bjoin\b", re.IGNORECASE), "explicit JOIN clauses (use a FROM list)"),
+    (re.compile(r"\blimit\b|\boffset\b", re.IGNORECASE), "LIMIT/OFFSET"),
+    (re.compile(r"\bin\s*\(", re.IGNORECASE), "IN lists (use OR of equalities)"),
+    (re.compile(r"\bdistinct\b", re.IGNORECASE), "DISTINCT aggregates"),
+)
+
+_SELECT_KEYWORD_RE = re.compile(r"\bselect\b", re.IGNORECASE)
+
+
+def _quoted_spans(text: str) -> list[tuple[int, int]]:
+    """``(start, end)`` spans of quoted literals; rejects unbalanced quotes."""
+    spans: list[tuple[int, int]] = []
+    in_quote: Optional[str] = None
+    start = 0
+    for index, char in enumerate(text):
+        if in_quote:
+            if char == in_quote:
+                spans.append((start, index + 1))
+                in_quote = None
+        elif char in {"'", '"'}:
+            in_quote = char
+            start = index
+    if in_quote is not None:
+        raise QueryError(f"unbalanced {in_quote} quote in SQL text: {text!r}")
+    return spans
+
+
+def _reject_unsupported(text: str) -> None:
+    """Refuse constructs outside the supported star-join grammar.
+
+    The parser now also serves untrusted input (the query server feeds it
+    analyst SQL), so anything the grammar cannot represent must fail loudly
+    here rather than fall through the regexes into a wrong-but-plausible
+    query.
+    """
+    spans = _quoted_spans(text)
+    for start, end in spans:
+        literal = text[start + 1 : end - 1]
+        # Single spaces are fine ('UNITED STATES' is a domain value); any
+        # other embedded whitespace would be silently rewritten by the
+        # parser's whitespace normalisation, so refuse it instead.
+        if re.search(r"[^\S ]", literal) or "  " in literal:
+            raise QueryError(
+                f"quoted string literals may only embed single spaces "
+                f"(tabs/newlines/runs of spaces would be silently altered): "
+                f"{text[start:end]!r}"
+            )
+    # Blank out the quoted literals so keyword scans cannot be fooled by
+    # quoted content.
+    masked = list(text)
+    for start, end in spans:
+        for index in range(start + 1, end - 1):
+            masked[index] = "?"
+    masked_text = "".join(masked)
+    semicolon = masked_text.find(";")
+    if semicolon != -1 and masked_text[semicolon + 1 :].strip():
+        raise QueryError("multiple SQL statements are not supported")
+    selects = _SELECT_KEYWORD_RE.findall(masked_text)
+    if len(selects) > 1:
+        raise QueryError("subqueries are not supported (found a nested SELECT)")
+    for pattern, description in _UNSUPPORTED_KEYWORDS:
+        if pattern.search(masked_text):
+            raise QueryError(f"{description} are not supported")
 
 
 def _strip_quotes(token: str) -> tuple[str, bool]:
@@ -185,8 +267,11 @@ def _parse_condition(
     """Parse one WHERE condition into a predicate (or None for join conditions)."""
     text = _normalise_whitespace(text)
 
+    # Quoted bounds may embed single spaces; unquoted bounds are one token.
     between = re.match(
-        r"^(?P<col>[\w.]+)\s+between\s+(?P<lo>\S+)\s+and\s+(?P<hi>\S+)$",
+        r"^(?P<col>[\w.]+)\s+between\s+"
+        r"(?P<lo>'[^']*'|\"[^\"]*\"|\S+)\s+and\s+"
+        r"(?P<hi>'[^']*'|\"[^\"]*\"|\S+)$",
         text,
         re.IGNORECASE,
     )
@@ -339,6 +424,7 @@ def parse_star_join_sql(
     name:
         Identifier given to the resulting query object.
     """
+    _reject_unsupported(sql)
     text = _normalise_whitespace(sql)
     match = _SELECT_RE.match(text)
     if match is None:

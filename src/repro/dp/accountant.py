@@ -116,6 +116,20 @@ class PrivacyAccountant:
         delta = max(b.delta for b in budgets)
         self.charge(PrivacyBudget(epsilon, delta), label=label)
 
+    def refund(self, budget: PrivacyBudget, label: str = "refund") -> None:
+        """Return a charge whose mechanism never released an answer.
+
+        Admission control (the serving ledger) charges *before* executing; if
+        the execution then fails without releasing anything — an unsupported
+        (mechanism, query) combination, an engine error — the charge is
+        returned so the analyst does not pay for an answer they never saw.
+        The refund is clamped at zero and recorded in the ledger with a
+        ``refund:`` label so the audit trail keeps both movements.
+        """
+        self._spent_epsilon = max(self._spent_epsilon - budget.epsilon, 0.0)
+        self._spent_delta = max(self._spent_delta - budget.delta, 0.0)
+        self._ledger.append((f"refund:{label}", budget))
+
     def assert_exhausted(self, tolerance: float = 1e-6) -> None:
         """Assert that exactly the total ε has been spent (used in tests)."""
         if abs(self._spent_epsilon - self.total.epsilon) > tolerance:

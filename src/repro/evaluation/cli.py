@@ -188,6 +188,17 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory to write one CSV per experiment",
     )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help=(
+            "start the online query server instead of running experiments "
+            "(python -m repro.serving with this invocation's seed and cache "
+            "settings; see docs/SERVING.md)"
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address for --serve")
+    parser.add_argument("--port", type=int, default=8642, help="bind port for --serve")
     return parser
 
 
@@ -210,6 +221,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     config.jobs = args.jobs
     config.cache_backend = args.cache_backend
     config.cache_size = args.cache_size
+
+    if args.serve:
+        # Delegate to the serving entry point with this invocation's seed and
+        # cache configuration (experiment selection flags do not apply).
+        from repro.serving.server import main as serve_main
+
+        return serve_main(
+            [
+                "--host", args.host,
+                "--port", str(args.port),
+                "--seed", str(config.seed),
+                "--cache-backend", config.cache_backend,
+                "--cache-size", str(config.cache_size),
+            ]
+        )
 
     try:
         run_experiments(

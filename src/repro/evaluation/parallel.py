@@ -244,7 +244,12 @@ class TrialScheduler:
         return self._pool
 
     def map(self, fn: Callable[[Any], Any], cells: Sequence[Any]) -> list[Any]:
-        """Apply ``fn`` to every cell; results come back in input order."""
+        """Apply ``fn`` to every cell; results come back in input order.
+
+        An interrupt (``KeyboardInterrupt`` / ``SystemExit``) while cells are
+        in flight force-terminates the pool instead of waiting for queued
+        work, so Ctrl-C on a long sweep leaves no orphaned workers behind.
+        """
         cells = list(cells)
         jobs = min(self.jobs, len(cells))
         if jobs <= 1:
@@ -252,16 +257,49 @@ class TrialScheduler:
         chunksize = max(1, len(cells) // (self.jobs * 4))
         if self.persistent:
             pool = self._ensure_pool()
-            return list(pool.map(fn, cells, chunksize=chunksize))
+            try:
+                return list(pool.map(fn, cells, chunksize=chunksize))
+            except (KeyboardInterrupt, SystemExit):
+                self.terminate()
+                raise
         TrialScheduler.pools_created += 1
-        with ProcessPoolExecutor(max_workers=jobs, mp_context=_fork_context()) as pool:
+        pool = ProcessPoolExecutor(max_workers=jobs, mp_context=_fork_context())
+        try:
             return list(pool.map(fn, cells, chunksize=chunksize))
+        except (KeyboardInterrupt, SystemExit):
+            self._terminate_pool(pool)
+            raise
+        finally:
+            pool.shutdown(wait=True)
 
     def close(self) -> None:
         """Shut down the persistent pool (no-op when none was created)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+    def terminate(self) -> None:
+        """Forcefully stop the persistent pool (the interrupt path).
+
+        Unlike :meth:`close` this does not wait for queued cells: pending
+        futures are cancelled and the worker processes are terminated and
+        joined, so an interrupted run (SIGINT on the CLI, a killed serve
+        loop) cannot strand workers.  Safe to call when no pool exists, and
+        the scheduler remains usable — the next ``map`` forks a fresh pool.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            self._terminate_pool(pool)
+
+    @staticmethod
+    def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+        processes = list(getattr(pool, "_processes", {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        for process in processes:
+            process.join(timeout=5)
 
     def __enter__(self) -> "TrialScheduler":
         return self
@@ -313,8 +351,11 @@ def evaluation_session(config: ExperimentConfig) -> Iterator[TrialScheduler]:
     Teardown order matters and is the reverse: the pool is closed first (no
     worker may touch the shared tier afterwards), then the backend is closed
     (shutting down a shared backend's manager process), then the previously
-    active backend is restored.  Sessions may nest; the inner session simply
-    shadows the outer one's scheduler and backend until it exits.
+    active backend is restored.  On SIGINT/``SystemExit`` the pool is
+    *terminated* instead — queued cells are cancelled and workers are killed
+    and joined — so an interrupted run never strands worker processes.
+    Sessions may nest; the inner session simply shadows the outer one's
+    scheduler and backend until it exits.
     """
     global _ACTIVE_SCHEDULER
     backend = make_backend(config.cache_backend, config.cache_size)
@@ -322,11 +363,21 @@ def evaluation_session(config: ExperimentConfig) -> Iterator[TrialScheduler]:
     previous_scheduler = _ACTIVE_SCHEDULER
     scheduler = TrialScheduler(config.jobs, persistent=True)
     _ACTIVE_SCHEDULER = scheduler
+    interrupted = False
     try:
         yield scheduler
+    except (KeyboardInterrupt, SystemExit):
+        # Ctrl-C on a CLI run (or a killed serve loop): don't wait for the
+        # queued cells — cancel them and terminate the workers so the
+        # interrupt leaves no orphaned processes behind.
+        interrupted = True
+        raise
     finally:
         _ACTIVE_SCHEDULER = previous_scheduler
-        scheduler.close()
+        if interrupted:
+            scheduler.terminate()
+        else:
+            scheduler.close()
         close = getattr(backend, "close", None)
         if close is not None:
             close()

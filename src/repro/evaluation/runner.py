@@ -57,6 +57,12 @@ class EvaluationResult:
     epsilon: float
     relative_errors: list[float] = field(default_factory=list)
     times: list[float] = field(default_factory=list)
+    #: Per-trial noisy answers (floats, or GroupedResult for GROUP BY
+    #: queries), in trial order.  Populated only under
+    #: ``record_answers=True`` — the serving layer returns these to the
+    #: analyst; offline sweeps leave the list empty so thousands of cells
+    #: do not pin (and pickle back) answers nothing reads.
+    answers: list = field(default_factory=list)
     unsupported: bool = False
     message: str = ""
 
@@ -144,8 +150,13 @@ def evaluate_mechanism(
     rng: RngLike = None,
     exact_answer=None,
     engine: Optional[ExecutionEngine] = None,
+    record_answers: bool = False,
 ) -> EvaluationResult:
     """Run ``mechanism`` on ``query`` for several trials and aggregate errors.
+
+    ``record_answers=True`` additionally keeps every trial's noisy answer in
+    ``result.answers`` (the serving layer returns them to the analyst);
+    recording consumes no randomness, so it never changes the numbers.
 
     The mechanism must expose ``answer_value(database, query, rng=...)`` — the
     shared interface of PM and all baselines.  Combinations the mechanism does
@@ -186,6 +197,8 @@ def evaluate_mechanism(
             return result
         elapsed = time.perf_counter() - start
         result.times.append(elapsed)
+        if record_answers:
+            result.answers.append(noisy)
         result.relative_errors.append(answer_relative_error(exact_answer, noisy))
     return result
 
@@ -197,13 +210,15 @@ def evaluate_kstar_mechanism(
     trials: int = 10,
     rng: RngLike = None,
     exact_answer: Optional[float] = None,
+    record_answers: bool = False,
 ) -> EvaluationResult:
     """Repeated-trial evaluation for k-star mechanisms.
 
     Batched exactly like :func:`evaluate_mechanism`: all trials run inside
     this call from generators split off ``rng`` (a per-cell
     :class:`~numpy.random.SeedSequence` makes them order- and
-    process-independent).
+    process-independent), and ``record_answers=True`` keeps the per-trial
+    noisy answers without consuming randomness.
     """
     name = getattr(mechanism, "name", type(mechanism).__name__)
     epsilon = float(getattr(mechanism, "epsilon", float("nan")))
@@ -222,5 +237,7 @@ def evaluate_kstar_mechanism(
             return result
         elapsed = time.perf_counter() - start
         result.times.append(elapsed)
+        if record_answers:
+            result.answers.append(noisy)
         result.relative_errors.append(answer_relative_error(exact_answer, noisy))
     return result

@@ -1,0 +1,46 @@
+"""Online DP query-serving subsystem.
+
+The serving layer turns the offline reproduction into an interactive private
+analytics service over the same engine, mechanisms and cache backends:
+
+* :mod:`repro.serving.server` — asyncio JSON-line server
+  (``python -m repro.serving``), thread-pool engine offload, graceful
+  SIGINT/SIGTERM shutdown, embeddable :class:`ServerThread`;
+* :mod:`repro.serving.planner` — database registry (SSB / snowflake /
+  k-star), request planning onto PM / R2T / truncation / LS and the shared
+  :class:`~repro.db.engine.ExecutionEngine`, deterministic per-request seed
+  streams (served answers are byte-identical to the offline runner path);
+* :mod:`repro.serving.ledger` — per-analyst budget ledger with admission
+  control (sequential + parallel composition, hard structured refusal);
+* :mod:`repro.serving.singleflight` — concurrent identical requests share one
+  engine execution;
+* :mod:`repro.serving.client` — blocking JSON-line client;
+* :mod:`repro.serving.protocol` — the wire format and structured errors.
+
+See ``docs/SERVING.md`` for the protocol, the ledger semantics and the
+determinism guarantees.
+"""
+
+from repro.serving.client import ServingClient
+from repro.serving.ledger import DEFAULT_ANALYST_BUDGET, BudgetLedger
+from repro.serving.planner import PlannedQuery, QueryPlanner, request_stream, serialize_answer
+from repro.serving.protocol import ERROR_CODES, PROTOCOL_VERSION, ServingError
+from repro.serving.server import QueryServer, ServerThread, main
+from repro.serving.singleflight import SingleFlight
+
+__all__ = [
+    "BudgetLedger",
+    "DEFAULT_ANALYST_BUDGET",
+    "ERROR_CODES",
+    "PROTOCOL_VERSION",
+    "PlannedQuery",
+    "QueryPlanner",
+    "QueryServer",
+    "ServerThread",
+    "ServingClient",
+    "ServingError",
+    "SingleFlight",
+    "main",
+    "request_stream",
+    "serialize_answer",
+]

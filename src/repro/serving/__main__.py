@@ -1,0 +1,6 @@
+"""``python -m repro.serving`` starts the JSON-line query server."""
+
+from repro.serving.server import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

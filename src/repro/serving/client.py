@@ -1,0 +1,109 @@
+"""Blocking client for the JSON-line query server.
+
+A thin, dependency-free counterpart to :mod:`repro.serving.server`: one TCP
+connection, requests written as JSON lines, responses matched by order (the
+server answers a connection's requests sequentially).  Errors come back as
+structured payloads and are re-raised as
+:class:`~repro.serving.protocol.ServingError` — catching code can branch on
+``error.code`` (``budget_exhausted``, ``unsupported``, ...) exactly as if the
+ledger had refused in-process.
+
+    with ServingClient(port=8642) as client:
+        client.register("demo", "ssb", scale_factor=0.1)
+        result = client.query("demo", "PM", 0.5, query="Qc1", analyst="alice")
+        print(result["answer"], result["privacy"]["remaining_epsilon"])
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+from typing import Any, Optional
+
+from repro.serving.protocol import ServingError, decode_line, encode_message
+
+__all__ = ["ServingClient"]
+
+
+class ServingClient:
+    """A blocking JSON-line connection to a :class:`QueryServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642, timeout: float = 120.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    def request(self, op: str, **fields: Any) -> dict:
+        """Send one request and return the server's ``result`` payload.
+
+        ``None``-valued fields are dropped so optional parameters can be
+        passed through unconditionally.  Raises :class:`ServingError` with the
+        server's structured code on failure.
+        """
+        request_id = next(self._ids)
+        message = {"op": op, "id": request_id}
+        message.update({key: value for key, value in fields.items() if value is not None})
+        self._file.write(encode_message(message))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServingError("internal", "server closed the connection")
+        response = decode_line(line)
+        if not response.get("ok"):
+            raise ServingError.from_payload(response.get("error", {}))
+        return response.get("result", {})
+
+    # ------------------------------------------------------------------
+    # convenience wrappers, one per protocol op
+    # ------------------------------------------------------------------
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def register(self, name: str, kind: str, **params: Any) -> dict:
+        return self.request("register", name=name, kind=kind, **params)
+
+    def query(
+        self,
+        database: str,
+        mechanism: str,
+        epsilon: float,
+        sql: Optional[str] = None,
+        query: Optional[str] = None,
+        k: Optional[int] = None,
+        trials: Optional[int] = None,
+        analyst: Optional[str] = None,
+    ) -> dict:
+        return self.request(
+            "query",
+            database=database,
+            mechanism=mechanism,
+            epsilon=epsilon,
+            sql=sql,
+            query=query,
+            k=k,
+            trials=trials,
+            analyst=analyst,
+        )
+
+    def budget(self, analyst: Optional[str] = None) -> dict:
+        return self.request("budget", analyst=analyst)
+
+    def stats(self) -> dict:
+        return self.request("stats")
+
+    def shutdown(self) -> dict:
+        return self.request("shutdown")
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

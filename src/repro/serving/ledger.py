@@ -1,0 +1,162 @@
+"""Per-analyst privacy-budget ledger with admission control.
+
+The offline harness uses :class:`~repro.dp.accountant.PrivacyAccountant` to
+*verify* that a mechanism's internal budget split adds up; the serving layer
+uses it to *gate* work: every analyst session gets an accountant with the
+server's per-analyst total, and a query request must be admitted — charged
+against that accountant — before any engine work runs.
+
+Composition rules (the classical ones the accountant implements):
+
+* **Sequential** — scalar queries compose by addition across an analyst's
+  session: k admitted queries at ε_1..ε_k cost Σ ε_i.
+* **Parallel** — a GROUP BY query runs its mechanism on *disjoint partitions*
+  of the private entities (each entity contributes to exactly one group), so
+  the whole grouped answer costs max over the partitions = ε, not ε × groups.
+  The ledger records those admissions through
+  :meth:`~repro.dp.accountant.PrivacyAccountant.charge_parallel` so the audit
+  trail distinguishes them.
+
+Once an analyst's ε (or δ) is exhausted the ledger **refuses** with a
+structured :class:`~repro.serving.protocol.ServingError` (code
+``budget_exhausted``) carrying the spent/remaining totals — the server turns
+it into a JSON error object, never an exception trace.  Charges whose
+execution fails without releasing an answer are refunded
+(:meth:`BudgetLedger.refund`).
+
+All entry points take the ledger's lock, because the asyncio server executes
+engine work on a thread pool: admission (check *and* charge) is atomic, so
+two concurrent requests can never both squeeze through one remaining slot.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, Optional
+
+from repro.dp.accountant import PrivacyAccountant, PrivacyBudget
+from repro.exceptions import PrivacyBudgetError
+from repro.serving.protocol import ServingError
+
+__all__ = ["BudgetLedger", "DEFAULT_ANALYST_BUDGET"]
+
+#: Per-analyst total installed when the server is not configured otherwise.
+DEFAULT_ANALYST_BUDGET = PrivacyBudget(epsilon=10.0)
+
+
+class BudgetLedger:
+    """Admission control over one :class:`PrivacyAccountant` per analyst.
+
+    ``max_analysts`` bounds the number of accountants the ledger will ever
+    allocate: analyst names arrive unauthenticated over the wire, so without
+    a cap a client cycling through fresh names could grow server memory
+    without bound.  Reads (:meth:`summary`) never allocate an account.
+    """
+
+    def __init__(
+        self,
+        analyst_budget: PrivacyBudget = DEFAULT_ANALYST_BUDGET,
+        max_analysts: int = 10_000,
+    ):
+        if max_analysts < 1:
+            raise ValueError("max_analysts must be at least 1")
+        self.analyst_budget = analyst_budget
+        self.max_analysts = int(max_analysts)
+        self._accounts: dict[str, PrivacyAccountant] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _account(self, analyst: str) -> PrivacyAccountant:
+        account = self._accounts.get(analyst)
+        if account is None:
+            if len(self._accounts) >= self.max_analysts:
+                raise ServingError(
+                    "bad_request",
+                    f"analyst capacity exhausted ({self.max_analysts} accounts); "
+                    "reuse an existing analyst name",
+                    max_analysts=self.max_analysts,
+                )
+            account = PrivacyAccountant(self.analyst_budget)
+            self._accounts[analyst] = account
+        return account
+
+    def analysts(self) -> Iterator[str]:
+        with self._lock:
+            return iter(sorted(self._accounts))
+
+    # ------------------------------------------------------------------
+    def admit(
+        self,
+        analyst: str,
+        budget: PrivacyBudget,
+        label: str = "query",
+        parallel: bool = False,
+    ) -> PrivacyBudget:
+        """Charge ``budget`` to ``analyst`` or refuse; returns the charge.
+
+        ``parallel=True`` records the admission as a parallel composition over
+        disjoint GROUP BY partitions (cost = max = ``budget``); the amount is
+        the same, the ledger label distinguishes the rule applied.  Refusal
+        raises :class:`ServingError` (``budget_exhausted``) with the spent /
+        remaining / total ε so the analyst can re-plan; the accountant is left
+        untouched on refusal.
+        """
+        with self._lock:
+            account = self._account(analyst)
+            try:
+                if parallel:
+                    account.charge_parallel([budget], label=f"parallel:{label}")
+                else:
+                    account.charge(budget, label=label)
+            except PrivacyBudgetError as error:
+                raise ServingError(
+                    "budget_exhausted",
+                    f"analyst {analyst!r} refused: {error}",
+                    analyst=analyst,
+                    requested_epsilon=budget.epsilon,
+                    requested_delta=budget.delta,
+                    spent_epsilon=account.spent_epsilon,
+                    remaining_epsilon=account.remaining_epsilon,
+                    total_epsilon=account.total.epsilon,
+                ) from None
+            return budget
+
+    def refund(self, analyst: str, budget: PrivacyBudget, label: str = "query") -> None:
+        """Return an admitted charge whose execution released no answer."""
+        with self._lock:
+            self._account(analyst).refund(budget, label=label)
+
+    # ------------------------------------------------------------------
+    def summary(self, analyst: Optional[str] = None) -> dict:
+        """JSON-serialisable budget state (the ``budget`` op's payload).
+
+        A read-only operation: asking about an analyst the ledger has never
+        charged reports a fresh untouched budget without allocating an
+        account (budget probes must not consume the analyst capacity).
+        """
+        with self._lock:
+            if analyst is not None:
+                account = self._accounts.get(analyst)
+                if account is None:
+                    account = PrivacyAccountant(self.analyst_budget)  # transient
+                return self._summarise(analyst, account)
+            return {
+                "analyst_budget_epsilon": self.analyst_budget.epsilon,
+                "analyst_budget_delta": self.analyst_budget.delta,
+                "analysts": {
+                    name: self._summarise(name, account)
+                    for name, account in sorted(self._accounts.items())
+                },
+            }
+
+    @staticmethod
+    def _summarise(analyst: str, account: PrivacyAccountant) -> dict:
+        return {
+            "analyst": analyst,
+            "spent_epsilon": account.spent_epsilon,
+            "spent_delta": account.spent_delta,
+            "remaining_epsilon": account.remaining_epsilon,
+            "total_epsilon": account.total.epsilon,
+            "total_delta": account.total.delta,
+            "charges": len(account.ledger),
+        }

@@ -1,0 +1,126 @@
+"""Wire protocol of the online query-serving subsystem.
+
+The protocol is deliberately minimal: newline-delimited JSON objects
+("JSON lines") over a stream connection.  Every request is one object with
+an ``op`` field (``ping`` / ``register`` / ``query`` / ``budget`` /
+``stats`` / ``shutdown``) plus op-specific fields, and every response is one
+object with ``ok`` — ``{"ok": true, "result": {...}}`` on success,
+``{"ok": false, "error": {"code": ..., "message": ..., ...}}`` on failure.
+Requests may carry an ``id`` which the response echoes, so a client can
+pipeline requests over one connection.
+
+Failures are *structured*: the server never leaks a traceback to an analyst.
+:class:`ServingError` carries a machine-readable code from :data:`ERROR_CODES`
+(most importantly ``budget_exhausted``, the ledger's hard refusal) and a
+details mapping that round-trips through :meth:`ServingError.to_payload` /
+:meth:`ServingError.from_payload` — the client re-raises the server's exact
+refusal, remaining budget included.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "ERROR_CODES",
+    "PROTOCOL_VERSION",
+    "ServingError",
+    "decode_line",
+    "encode_message",
+    "error_response",
+    "ok_response",
+]
+
+#: Bumped when the wire format changes incompatibly; ``ping`` reports it.
+PROTOCOL_VERSION = 1
+
+#: The machine-readable error codes a response may carry.
+ERROR_CODES = (
+    "bad_request",        # malformed JSON, missing/invalid fields
+    "unknown_op",         # unrecognised "op"
+    "unknown_database",   # "database" names nothing registered
+    "already_registered", # register with a conflicting spec under a used name
+    "query_error",        # SQL / query spec failed to parse or resolve
+    "unsupported",        # the mechanism cannot answer this query type
+    "budget_exhausted",   # the ledger refused admission
+    "internal",           # unexpected server-side failure
+)
+
+
+class ServingError(ReproError):
+    """A structured serving failure (refusals, parse errors, bad requests).
+
+    Parameters
+    ----------
+    code:
+        One of :data:`ERROR_CODES`.
+    message:
+        Human-readable explanation.
+    details:
+        Optional JSON-serialisable extras (e.g. the ledger refusal includes
+        ``remaining_epsilon`` so the analyst can re-plan without another
+        round-trip).
+    """
+
+    def __init__(self, code: str, message: str, **details: Any):
+        if code not in ERROR_CODES:
+            raise ValueError(f"unknown serving error code {code!r}")
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.details = details
+
+    def to_payload(self) -> dict:
+        payload = {"code": self.code, "message": self.message}
+        payload.update(self.details)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ServingError":
+        payload = dict(payload)
+        code = payload.pop("code", "internal")
+        if code not in ERROR_CODES:
+            code = "internal"
+        message = payload.pop("message", "unknown serving error")
+        return cls(code, message, **payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ServingError({self.code!r}, {self.message!r})"
+
+
+def encode_message(message: dict) -> bytes:
+    """Serialise one protocol object to a single JSON line."""
+    return json.dumps(message, separators=(",", ":"), sort_keys=True).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one received line into a protocol object.
+
+    Raises :class:`ServingError` (``bad_request``) on anything that is not a
+    single JSON object, so the server can answer garbage input with a
+    structured error instead of dropping the connection.
+    """
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ServingError("bad_request", f"request is not valid JSON: {error}") from None
+    if not isinstance(message, dict):
+        raise ServingError("bad_request", "request must be a JSON object")
+    return message
+
+
+def ok_response(result: dict, request_id: Optional[Any] = None) -> dict:
+    response: dict[str, Any] = {"ok": True, "result": result}
+    if request_id is not None:
+        response["id"] = request_id
+    return response
+
+
+def error_response(error: ServingError, request_id: Optional[Any] = None) -> dict:
+    response: dict[str, Any] = {"ok": False, "error": error.to_payload()}
+    if request_id is not None:
+        response["id"] = request_id
+    return response

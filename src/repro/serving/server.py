@@ -1,0 +1,440 @@
+"""The asyncio JSON-line query server.
+
+One :class:`QueryServer` serves many concurrent analyst connections over a
+newline-delimited JSON protocol (:mod:`repro.serving.protocol`).  The event
+loop only parses, plans and admits; the actual engine work — exact execution
+plus the mechanism's noisy trials — runs on a bounded thread pool so a slow
+query never blocks the accept loop.  Identical concurrent requests are
+coalesced by the planner's single-flight layer, and every admission goes
+through the per-analyst :class:`~repro.serving.ledger.BudgetLedger` *before*
+the engine runs; executions that fail without releasing an answer are
+refunded.
+
+Run it standalone (``python -m repro.serving``), through the evaluation CLI
+(``python -m repro.evaluation.cli --serve``), or embedded:
+:class:`ServerThread` hosts the server on a background event loop for tests,
+benchmarks and notebook use.  SIGINT/SIGTERM trigger a graceful shutdown —
+stop accepting, drain, close — rather than a traceback.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import signal
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional, Sequence
+
+from repro.db.cache import CACHE_BACKENDS, active_backend, make_backend, set_active_backend
+from repro.dp.accountant import PrivacyBudget
+from repro.serving.ledger import BudgetLedger
+from repro.serving.planner import QueryPlanner
+from repro.serving.protocol import (
+    PROTOCOL_VERSION,
+    ServingError,
+    decode_line,
+    encode_message,
+    error_response,
+    ok_response,
+)
+
+__all__ = ["QueryServer", "ServerThread", "main"]
+
+
+class QueryServer:
+    """Serve DP star-join / k-star queries over newline-delimited JSON."""
+
+    def __init__(
+        self,
+        planner: Optional[QueryPlanner] = None,
+        ledger: Optional[BudgetLedger] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 4,
+        accuracy_metadata: bool = True,
+    ):
+        self.planner = planner if planner is not None else QueryPlanner()
+        self.ledger = ledger if ledger is not None else BudgetLedger()
+        self.host = host
+        self.port = port  # 0 = ephemeral; replaced with the bound port on start
+        #: Whether query responses include relative-error metadata measured
+        #: against the exact answer.  This is the reproduction-benchmark
+        #: feature the evaluation needs, but it discloses the exact answer
+        #: to the analyst — serve untrusted analysts with
+        #: ``accuracy_metadata=False`` (the CLI's ``--private``).
+        self.accuracy_metadata = accuracy_metadata
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="serving"
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._started_at = time.monotonic()
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "QueryServer":
+        """Bind the listening socket (resolving an ephemeral port)."""
+        self._shutdown = asyncio.Event()
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    def request_shutdown(self) -> None:
+        """Ask the serve loop to exit (must run on the server's event loop)."""
+        if self._shutdown is not None:
+            self._shutdown.set()
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until :meth:`request_shutdown`, SIGINT or SIGTERM."""
+        if self._server is None:
+            await self.start()
+        loop = asyncio.get_running_loop()
+        installed: list[signal.Signals] = []
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, self.request_shutdown)
+                installed.append(signum)
+            except (ValueError, NotImplementedError, RuntimeError):
+                pass  # non-main thread or platform without signal support
+        try:
+            await self._shutdown.wait()
+        finally:
+            for signum in installed:
+                loop.remove_signal_handler(signum)
+            await self.aclose()
+
+    async def aclose(self) -> None:
+        """Stop accepting, drop open connections, release the worker pool."""
+        if self._server is not None:
+            self._server.close()
+        for writer in list(self._writers):
+            writer.close()
+        if self._server is not None:
+            await self._server.wait_closed()
+            self._server = None
+        self._executor.shutdown(wait=True, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ConnectionError:
+                    break
+                except ValueError:
+                    # StreamReader raises ValueError for a line beyond its
+                    # 64 KiB limit; the stream cannot be resynchronised, so
+                    # answer structurally and drop the connection.
+                    too_long = ServingError("bad_request", "request line too long")
+                    try:
+                        writer.write(encode_message(error_response(too_long)))
+                        await writer.drain()
+                    except ConnectionError:
+                        pass
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response, stop_after = await self._respond(line)
+                try:
+                    writer.write(encode_message(response))
+                    await writer.drain()
+                except ConnectionError:
+                    break
+                if stop_after:
+                    self.request_shutdown()
+                    break
+        except asyncio.CancelledError:
+            pass  # shutdown cancelled this connection mid-read; exit quietly
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+
+    async def _respond(self, line: bytes) -> tuple[dict, bool]:
+        request_id = None
+        try:
+            message = decode_line(line)
+            request_id = message.get("id")
+            result, stop_after = await self._dispatch(message)
+            self.requests_served += 1
+            return ok_response(result, request_id), stop_after
+        except ServingError as error:
+            return error_response(error, request_id), False
+        except Exception as error:  # never leak a traceback onto the wire
+            internal = ServingError(
+                "internal", f"{type(error).__name__}: {error}"
+            )
+            return error_response(internal, request_id), False
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    async def _dispatch(self, message: dict) -> tuple[dict, bool]:
+        op = message.get("op")
+        if op == "ping":
+            return self._op_ping(), False
+        if op == "register":
+            return await self._op_register(message), False
+        if op == "query":
+            return await self._op_query(message), False
+        if op == "budget":
+            analyst = message.get("analyst")
+            return self.ledger.summary(str(analyst) if analyst else None), False
+        if op == "stats":
+            return self._op_stats(), False
+        if op == "shutdown":
+            return {"stopping": True}, True
+        raise ServingError(
+            "unknown_op",
+            f"unknown op {op!r}; available: ping, register, query, budget, stats, shutdown",
+        )
+
+    def _op_ping(self) -> dict:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "seed": self.planner.seed,
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+        }
+
+    async def _op_register(self, message: dict) -> dict:
+        params = {
+            key: value
+            for key, value in message.items()
+            if key not in ("op", "id", "name", "kind")
+        }
+        name = message.get("name")
+        kind = message.get("kind")
+        loop = asyncio.get_running_loop()
+        # Datagen can take seconds at scale; keep the accept loop responsive.
+        return await loop.run_in_executor(
+            self._executor, lambda: self.planner.register(name, kind, **params)
+        )
+
+    async def _op_query(self, message: dict) -> dict:
+        planned = self.planner.plan(message)
+        analyst = str(message.get("analyst") or "anonymous")
+        # Each trial is an independent noisy release of the same statistic,
+        # so a request composes sequentially across its own trials: the
+        # charge is trials × ε.  (Within each trial, a GROUP BY's disjoint
+        # partitions still compose in parallel.)
+        charge = PrivacyBudget(planned.epsilon * planned.trials)
+        label = f"{planned.entry.name}:{planned.query_name}:{planned.mechanism}"
+        # Admission before execution: an exhausted analyst costs no engine work.
+        self.ledger.admit(analyst, charge, label=label, parallel=planned.parallel)
+        loop = asyncio.get_running_loop()
+        try:
+            payload = await loop.run_in_executor(
+                self._executor, self.planner.execute, planned
+            )
+        except Exception:
+            # Nothing was released (unsupported combination, engine failure):
+            # the analyst gets the charge back along with the structured error.
+            self.ledger.refund(analyst, charge, label=label)
+            raise
+        if not self.accuracy_metadata:
+            payload.pop("mean_relative_error", None)
+            payload.pop("median_relative_error", None)
+        payload["privacy"] = {
+            "analyst": analyst,
+            "epsilon_charged": charge.epsilon,
+            "composition": "parallel" if planned.parallel else "sequential",
+            "remaining_epsilon": self.ledger.summary(analyst)["remaining_epsilon"],
+        }
+        return payload
+
+    def _op_stats(self) -> dict:
+        cache_stats = active_backend().stats()
+        stats = cache_stats.as_dict()
+        lookups = stats.get("hits", 0) + stats.get("misses", 0)
+        return {
+            "requests_served": self.requests_served,
+            "planner": self.planner.stats(),
+            "cache": {
+                **stats,
+                "backend": getattr(active_backend(), "name", "unknown"),
+                "hit_rate": (stats.get("hits", 0) / lookups) if lookups else 0.0,
+            },
+        }
+
+
+class ServerThread:
+    """Host a :class:`QueryServer` on a background event-loop thread.
+
+    The embedded form used by tests, the throughput benchmark and the demo
+    script: ``with ServerThread(QueryServer(...)) as handle:`` starts the
+    loop, binds the port (``handle.server.port``) and guarantees a graceful
+    stop on exit.
+    """
+
+    def __init__(self, server: Optional[QueryServer] = None):
+        self.server = server if server is not None else QueryServer()
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="serving-loop", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise RuntimeError("serving event loop failed to start within 30s")
+        if self._error is not None:
+            raise self._error
+        return self
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self.server.start())
+        except BaseException as error:
+            self._error = error
+            self._started.set()
+            self._loop.close()
+            return
+        self._started.set()
+        try:
+            self._loop.run_until_complete(self.server.serve_until_shutdown())
+        finally:
+            self._loop.close()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._thread is None or not self._thread.is_alive():
+            return
+        self._loop.call_soon_threadsafe(self.server.request_shutdown)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+
+# ----------------------------------------------------------------------
+# command line
+# ----------------------------------------------------------------------
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve DP star-join / k-star queries over JSON lines.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=8642, help="bind port (0 = ephemeral)")
+    parser.add_argument("--seed", type=int, default=20230711, help="master noise seed")
+    parser.add_argument("--workers", type=int, default=4, help="engine worker threads")
+    parser.add_argument(
+        "--analyst-epsilon",
+        type=float,
+        default=10.0,
+        help="per-analyst total ε budget (admission refuses beyond it)",
+    )
+    parser.add_argument(
+        "--max-analysts",
+        type=int,
+        default=10_000,
+        help="maximum distinct analyst accounts the ledger will allocate",
+    )
+    parser.add_argument(
+        "--private",
+        action="store_true",
+        help=(
+            "omit relative-error metadata from query responses (it is "
+            "measured against the exact answer, which a trusted-benchmark "
+            "deployment may disclose but an untrusted one must not)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-backend",
+        choices=CACHE_BACKENDS,
+        default="local",
+        help="cache backend serving the engines (see docs/CACHE.md)",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=192, help="entries per bounded cache region"
+    )
+    parser.add_argument(
+        "--register",
+        action="append",
+        default=[],
+        metavar="JSON",
+        help=(
+            "database spec to register at startup, e.g. "
+            '\'{"name": "demo", "kind": "ssb", "scale_factor": 0.1}\' (repeatable)'
+        ),
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of ``python -m repro.serving``; returns an exit code."""
+    args = _build_parser().parse_args(argv)
+    backend = make_backend(args.cache_backend, args.cache_size)
+    previous = set_active_backend(backend)
+    try:
+        planner = QueryPlanner(seed=args.seed)
+        for spec_text in args.register:
+            try:
+                spec = json.loads(spec_text)
+                if not isinstance(spec, dict):
+                    raise ValueError("spec must be a JSON object")
+                info = planner.register(spec.pop("name", None), spec.pop("kind", None), **spec)
+            except (ValueError, ServingError) as error:
+                print(f"--register {spec_text!r}: {error}", file=sys.stderr)
+                return 2
+            print(f"registered {info['name']} ({info['kind']})")
+        try:
+            analyst_budget = PrivacyBudget(args.analyst_epsilon)
+            ledger = BudgetLedger(analyst_budget, max_analysts=args.max_analysts)
+        except Exception as error:
+            print(f"invalid analyst budget: {error}", file=sys.stderr)
+            return 2
+        server = QueryServer(
+            planner,
+            ledger,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            accuracy_metadata=not args.private,
+        )
+        try:
+            asyncio.run(_serve(server))
+        except KeyboardInterrupt:
+            pass  # platforms without add_signal_handler: still exit cleanly
+        print("server stopped")
+        return 0
+    finally:
+        close = getattr(backend, "close", None)
+        if close is not None:
+            close()
+        set_active_backend(previous)
+
+
+async def _serve(server: QueryServer) -> None:
+    await server.start()
+    print(
+        f"serving on {server.host}:{server.port} "
+        f"(protocol v{PROTOCOL_VERSION}, cache backend "
+        f"{getattr(active_backend(), 'name', 'unknown')!r})"
+    )
+    await server.serve_until_shutdown()
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m
+    raise SystemExit(main())

@@ -129,3 +129,98 @@ class TestAccountant:
         accountant.charge(PrivacyBudget(0.5))
         with pytest.raises(PrivacyBudgetError):
             accountant.assert_exhausted()
+
+
+class TestAccountantEdgeCases:
+    """Boundary behaviour the serving ledger leans on for admission control."""
+
+    # -- spending exactly at the total, within the float tolerance ------
+    def test_spend_exactly_at_total_is_admitted(self):
+        accountant = PrivacyAccountant(PrivacyBudget(1.0))
+        for _ in range(10):
+            accountant.charge(PrivacyBudget(0.1))
+        assert accountant.spent_epsilon == pytest.approx(1.0)
+        accountant.assert_exhausted()
+
+    def test_charge_just_inside_tolerance_is_admitted(self):
+        # _TOLERANCE is 1e-9: an overshoot below it is float noise, not an
+        # overspend, and must not refuse the final legitimate charge.
+        accountant = PrivacyAccountant(PrivacyBudget(1.0))
+        accountant.charge(PrivacyBudget(0.5))
+        accountant.charge(PrivacyBudget(0.5 + 5e-10))
+        assert accountant.remaining_epsilon == 0.0  # clamped, never negative
+
+    def test_charge_just_outside_tolerance_is_refused(self):
+        accountant = PrivacyAccountant(PrivacyBudget(1.0))
+        accountant.charge(PrivacyBudget(0.5))
+        with pytest.raises(PrivacyBudgetError):
+            accountant.charge(PrivacyBudget(0.5 + 5e-9))
+
+    def test_exhausted_budget_refuses_any_further_charge(self):
+        accountant = PrivacyAccountant(PrivacyBudget(1.0))
+        accountant.charge(PrivacyBudget(1.0))
+        with pytest.raises(PrivacyBudgetError):
+            accountant.charge(PrivacyBudget(1e-6))
+
+    # -- mixed pure / approximate budgets -------------------------------
+    def test_mixed_pure_and_approximate_charges(self):
+        accountant = PrivacyAccountant(PrivacyBudget(1.0, delta=1e-6))
+        accountant.charge(PrivacyBudget(0.4))  # pure: spends no delta
+        accountant.charge(PrivacyBudget(0.4, delta=1e-6))
+        assert accountant.spent_epsilon == pytest.approx(0.8)
+        assert accountant.spent_delta == pytest.approx(1e-6)
+        # epsilon headroom remains, but the delta budget is exhausted.
+        with pytest.raises(PrivacyBudgetError):
+            accountant.charge(PrivacyBudget(0.1, delta=1e-7))
+        accountant.charge(PrivacyBudget(0.2))  # pure charges still admitted
+
+    def test_pure_total_refuses_approximate_charges(self):
+        # delta budget 0: any delta spend beyond the float tolerance refuses.
+        accountant = PrivacyAccountant(PrivacyBudget(1.0))
+        with pytest.raises(PrivacyBudgetError):
+            accountant.charge(PrivacyBudget(0.1, delta=1e-8))
+
+    # -- parallel composition -------------------------------------------
+    def test_parallel_max_over_heterogeneous_partitions(self):
+        accountant = PrivacyAccountant(PrivacyBudget(1.0, delta=1e-5))
+        accountant.charge_parallel(
+            [
+                PrivacyBudget(0.2, delta=1e-6),
+                PrivacyBudget(0.7),
+                PrivacyBudget(0.5, delta=5e-6),
+            ]
+        )
+        # max() per component, not the sum and not a single budget's pair.
+        assert accountant.spent_epsilon == pytest.approx(0.7)
+        assert accountant.spent_delta == pytest.approx(5e-6)
+
+    def test_parallel_then_sequential_compose_additively(self):
+        accountant = PrivacyAccountant(PrivacyBudget(1.0))
+        accountant.charge_parallel([PrivacyBudget(0.5)] * 100, label="groupby")
+        accountant.charge(PrivacyBudget(0.5), label="scalar")
+        accountant.assert_exhausted()
+        assert [label for label, _ in accountant.ledger] == ["groupby", "scalar"]
+
+    def test_parallel_overcharge_rejected_atomically(self):
+        accountant = PrivacyAccountant(PrivacyBudget(1.0))
+        accountant.charge(PrivacyBudget(0.6))
+        with pytest.raises(PrivacyBudgetError):
+            accountant.charge_parallel([PrivacyBudget(0.3), PrivacyBudget(0.5)])
+        assert accountant.spent_epsilon == pytest.approx(0.6)  # unchanged
+
+    # -- refunds ---------------------------------------------------------
+    def test_refund_restores_headroom_and_is_recorded(self):
+        accountant = PrivacyAccountant(PrivacyBudget(1.0, delta=1e-6))
+        budget = PrivacyBudget(0.4, delta=1e-6)
+        accountant.charge(budget, label="q")
+        accountant.refund(budget, label="q")
+        assert accountant.spent_epsilon == pytest.approx(0.0)
+        assert accountant.spent_delta == pytest.approx(0.0)
+        accountant.charge(PrivacyBudget(1.0, delta=1e-6))  # full total again
+        assert [label for label, _ in accountant.ledger][:2] == ["q", "refund:q"]
+
+    def test_refund_clamps_at_zero(self):
+        accountant = PrivacyAccountant(PrivacyBudget(1.0))
+        accountant.charge(PrivacyBudget(0.1))
+        accountant.refund(PrivacyBudget(0.5))
+        assert accountant.spent_epsilon == 0.0

@@ -306,3 +306,43 @@ class TestCachedSkewSampler:
         cdf = sampler.cdf(50)
         np.testing.assert_allclose(np.diff(cdf), sampler.probabilities(50)[1:], atol=1e-12)
         assert cdf[-1] == 1.0
+
+
+class TestGracefulShutdown:
+    """Interrupts terminate the worker pool instead of stranding it."""
+
+    def test_terminate_without_pool_is_a_noop(self):
+        TrialScheduler(2, persistent=True).terminate()
+
+    def test_terminate_leaves_no_orphan_workers(self):
+        scheduler = TrialScheduler(2, persistent=True)
+        assert scheduler.map(abs, list(range(-8, 0))) == list(range(8, 0, -1))
+        processes = list(scheduler._pool._processes.values())
+        assert processes and all(p.is_alive() for p in processes)
+        scheduler.terminate()
+        assert all(not p.is_alive() for p in processes)
+        # The scheduler stays usable: the next map forks a fresh pool.
+        assert scheduler.map(abs, [-3, -1]) == [3, 1]
+        scheduler.close()
+
+    def test_interrupted_session_terminates_workers(self, tiny_config):
+        from repro.db.cache import active_backend
+
+        config = ExperimentConfig(
+            epsilons=tiny_config.epsilons,
+            trials=tiny_config.trials,
+            rows_per_scale_factor=tiny_config.rows_per_scale_factor,
+            seed=tiny_config.seed,
+            jobs=2,
+        )
+        before = active_backend()
+        with pytest.raises(KeyboardInterrupt):
+            with evaluation_session(config) as scheduler:
+                scheduler.map(abs, list(range(-8, 0)))
+                processes = list(scheduler._pool._processes.values())
+                assert all(p.is_alive() for p in processes)
+                raise KeyboardInterrupt
+        assert all(not p.is_alive() for p in processes)
+        # Teardown still restored the previously active backend.
+        assert active_backend() is before
+        assert active_scheduler() is None

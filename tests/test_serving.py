@@ -1,0 +1,622 @@
+"""Tests for the online query-serving subsystem.
+
+The contracts under test (see docs/SERVING.md):
+
+* the per-analyst ledger admits sequential and parallel charges atomically
+  and refuses overspend with a structured ``budget_exhausted`` error;
+* served answers are byte-identical to the offline runner path under a fixed
+  seed, for the local and the shared cache backend alike;
+* concurrent identical requests coalesce into one engine execution;
+* the TCP server round-trips queries, budgets, refusals and refunds as
+  structured JSON — never a traceback.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.db.cache import (
+    LocalCacheBackend,
+    SharedMemoryCacheBackend,
+    backend_scope,
+)
+from repro.db.executor import QueryExecutor
+from repro.dp.accountant import PrivacyBudget
+from repro.evaluation.runner import evaluate_mechanism, make_star_mechanism
+from repro.serving import (
+    BudgetLedger,
+    QueryPlanner,
+    QueryServer,
+    ServerThread,
+    ServingClient,
+    ServingError,
+    SingleFlight,
+    request_stream,
+    serialize_answer,
+)
+from repro.serving.protocol import decode_line, encode_message
+
+SEED = 424242
+
+
+@pytest.fixture(scope="module")
+def planner():
+    planner = QueryPlanner(seed=SEED)
+    planner.register("demo", "ssb", scale_factor=1.0, rows_per_scale_factor=2000, seed=5)
+    planner.register("g1", "kstar", generator="powerlaw", num_nodes=200, num_edges=600, seed=3)
+    return planner
+
+
+# ----------------------------------------------------------------------
+# protocol
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_message_round_trip(self):
+        message = {"op": "query", "epsilon": 0.5, "id": 7}
+        assert decode_line(encode_message(message)) == message
+
+    def test_decode_rejects_non_json(self):
+        with pytest.raises(ServingError) as info:
+            decode_line(b"definitely not json\n")
+        assert info.value.code == "bad_request"
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ServingError):
+            decode_line(b"[1, 2, 3]\n")
+
+    def test_error_payload_round_trip(self):
+        error = ServingError("budget_exhausted", "no more", remaining_epsilon=0.25)
+        back = ServingError.from_payload(error.to_payload())
+        assert back.code == "budget_exhausted"
+        assert back.details["remaining_epsilon"] == 0.25
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            ServingError("not-a-code", "nope")
+
+
+# ----------------------------------------------------------------------
+# ledger
+# ----------------------------------------------------------------------
+class TestLedger:
+    def test_sequential_admissions_accumulate(self):
+        ledger = BudgetLedger(PrivacyBudget(1.0))
+        ledger.admit("alice", PrivacyBudget(0.4))
+        ledger.admit("alice", PrivacyBudget(0.6))
+        summary = ledger.summary("alice")
+        assert summary["spent_epsilon"] == pytest.approx(1.0)
+        assert summary["remaining_epsilon"] == pytest.approx(0.0)
+
+    def test_refusal_is_structured_and_leaves_account_untouched(self):
+        ledger = BudgetLedger(PrivacyBudget(1.0))
+        ledger.admit("alice", PrivacyBudget(0.8))
+        with pytest.raises(ServingError) as info:
+            ledger.admit("alice", PrivacyBudget(0.4))
+        error = info.value
+        assert error.code == "budget_exhausted"
+        assert error.details["analyst"] == "alice"
+        assert error.details["remaining_epsilon"] == pytest.approx(0.2)
+        assert error.details["requested_epsilon"] == 0.4
+        # Refusal charged nothing; a fitting request is still admitted.
+        ledger.admit("alice", PrivacyBudget(0.2))
+
+    def test_analysts_are_isolated(self):
+        ledger = BudgetLedger(PrivacyBudget(1.0))
+        ledger.admit("alice", PrivacyBudget(1.0))
+        ledger.admit("bob", PrivacyBudget(1.0))  # bob has his own accountant
+        with pytest.raises(ServingError):
+            ledger.admit("alice", PrivacyBudget(0.1))
+
+    def test_parallel_admission_is_recorded_as_parallel(self):
+        ledger = BudgetLedger(PrivacyBudget(1.0))
+        ledger.admit("alice", PrivacyBudget(0.5), label="Qg2", parallel=True)
+        assert ledger.summary("alice")["spent_epsilon"] == pytest.approx(0.5)
+
+    def test_refund_restores_headroom(self):
+        ledger = BudgetLedger(PrivacyBudget(1.0))
+        budget = PrivacyBudget(0.7)
+        ledger.admit("alice", budget)
+        ledger.refund("alice", budget)
+        ledger.admit("alice", PrivacyBudget(1.0))  # full budget available again
+
+    def test_analyst_capacity_is_bounded(self):
+        ledger = BudgetLedger(PrivacyBudget(1.0), max_analysts=2)
+        ledger.admit("alice", PrivacyBudget(0.1))
+        ledger.admit("bob", PrivacyBudget(0.1))
+        with pytest.raises(ServingError) as info:
+            ledger.admit("carol", PrivacyBudget(0.1))
+        assert info.value.code == "bad_request"
+        # Existing analysts are unaffected by the cap.
+        ledger.admit("alice", PrivacyBudget(0.1))
+
+    def test_budget_probe_does_not_allocate_an_account(self):
+        ledger = BudgetLedger(PrivacyBudget(1.0), max_analysts=1)
+        for index in range(5):  # probes for fresh names never hit the cap
+            summary = ledger.summary(f"probe-{index}")
+            assert summary["spent_epsilon"] == 0.0
+        ledger.admit("alice", PrivacyBudget(0.1))  # the one slot is still free
+
+    def test_concurrent_admissions_never_overspend(self):
+        ledger = BudgetLedger(PrivacyBudget(1.0))
+        outcomes = []
+
+        def worker():
+            try:
+                ledger.admit("alice", PrivacyBudget(0.1))
+                outcomes.append(True)
+            except ServingError:
+                outcomes.append(False)
+
+        threads = [threading.Thread(target=worker) for _ in range(20)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sum(outcomes) == 10
+        assert ledger.summary("alice")["spent_epsilon"] <= 1.0 + 1e-9
+
+
+# ----------------------------------------------------------------------
+# planner
+# ----------------------------------------------------------------------
+class TestPlanner:
+    def test_register_same_spec_is_idempotent(self, planner):
+        info = planner.register(
+            "demo", "ssb", scale_factor=1.0, rows_per_scale_factor=2000, seed=5
+        )
+        assert info["already_registered"] is True
+
+    def test_register_conflicting_spec_is_refused(self, planner):
+        with pytest.raises(ServingError) as info:
+            planner.register(
+                "demo", "ssb", scale_factor=2.0, rows_per_scale_factor=2000, seed=5
+            )
+        assert info.value.code == "already_registered"
+
+    def test_register_unknown_kind_is_refused(self, planner):
+        with pytest.raises(ServingError) as info:
+            planner.register("x", "oracle")
+        assert info.value.code == "bad_request"
+
+    def test_register_unknown_parameter_is_refused(self, planner):
+        with pytest.raises(ServingError):
+            planner.register("x", "ssb", wibble=3)
+
+    def test_unknown_database_is_structured(self, planner):
+        with pytest.raises(ServingError) as info:
+            planner.plan({"database": "nope", "mechanism": "PM", "epsilon": 0.5, "query": "Qc1"})
+        assert info.value.code == "unknown_database"
+        assert "demo" in info.value.details["available"]
+
+    @pytest.mark.parametrize(
+        "patch",
+        [
+            {"mechanism": "XX"},
+            {"epsilon": -1.0},
+            {"epsilon": "much"},
+            {"trials": 0},
+            {"trials": 1000},
+            {"delta": 1e-6},
+            {"query": None, "sql": None},
+            {"query": "Qc1", "sql": "SELECT count(*) FROM Lineorder"},
+        ],
+    )
+    def test_invalid_requests_are_bad_requests(self, planner, patch):
+        request = {"database": "demo", "mechanism": "PM", "epsilon": 0.5, "query": "Qc1"}
+        request.update(patch)
+        request = {key: value for key, value in request.items() if value is not None}
+        with pytest.raises(ServingError) as info:
+            planner.plan(request)
+        assert info.value.code == "bad_request"
+
+    def test_bad_sql_is_a_query_error(self, planner):
+        with pytest.raises(ServingError) as info:
+            planner.plan(
+                {
+                    "database": "demo",
+                    "mechanism": "PM",
+                    "epsilon": 0.5,
+                    "sql": "SELECT count(*) FROM Lineorder HAVING count(*) > 1",
+                }
+            )
+        assert info.value.code == "query_error"
+
+    def test_sql_and_named_query_share_stream_and_flight(self, planner):
+        named = planner.plan(
+            {"database": "demo", "mechanism": "PM", "epsilon": 0.5, "query": "Qc1"}
+        )
+        sql = planner.plan(
+            {
+                "database": "demo",
+                "mechanism": "PM",
+                "epsilon": 0.5,
+                "sql": "SELECT count(*) FROM Lineorder, Date WHERE Date.year = 1993",
+            }
+        )
+        assert named.query_label == sql.query_label
+        assert named.key == sql.key
+        assert planner.execute(named)["answers"] == planner.execute(sql)["answers"]
+
+    def test_grouped_query_plans_parallel_composition(self, planner):
+        planned = planner.plan(
+            {"database": "demo", "mechanism": "PM", "epsilon": 0.5, "query": "Qg2"}
+        )
+        assert planned.parallel is True
+
+    def test_unsupported_combination_is_structured(self, planner):
+        planned = planner.plan(
+            {"database": "demo", "mechanism": "LS", "epsilon": 0.5, "query": "Qs2"}
+        )
+        with pytest.raises(ServingError) as info:
+            planner.execute(planned)
+        assert info.value.code == "unsupported"
+
+    def test_kstar_query_round_trip(self, planner):
+        planned = planner.plan(
+            {"database": "g1", "mechanism": "PM", "epsilon": 0.5, "k": 2}
+        )
+        payload = planner.execute(planned)
+        assert payload["answer"] == pytest.approx(payload["answers"][0])
+        repeat = planner.execute(planned)
+        assert repeat["answers"] == payload["answers"]
+
+    def test_kstar_requires_k(self, planner):
+        with pytest.raises(ServingError) as info:
+            planner.plan({"database": "g1", "mechanism": "PM", "epsilon": 0.5})
+        assert info.value.code == "bad_request"
+
+
+# ----------------------------------------------------------------------
+# determinism / parity with the offline runner
+# ----------------------------------------------------------------------
+class TestOfflineParity:
+    """Served answers are byte-identical to the offline runner path."""
+
+    def _offline_answers(self, planner, planned):
+        entry = planned.entry
+        mechanism = make_star_mechanism(
+            planned.mechanism, planned.epsilon, scenario=entry.scenario
+        )
+        result = evaluate_mechanism(
+            mechanism,
+            entry.database,
+            planned.query,
+            trials=planned.trials,
+            rng=request_stream(
+                planner.seed,
+                entry.name,
+                planned.mechanism,
+                planned.query_label,
+                planned.epsilon,
+                planned.trials,
+            ),
+            exact_answer=QueryExecutor(entry.database).execute(planned.query),
+            record_answers=True,
+        )
+        return result
+
+    @pytest.mark.parametrize("mechanism,query", [("PM", "Qc1"), ("R2T", "Qs2"), ("PM", "Qg2")])
+    def test_served_equals_offline(self, planner, mechanism, query):
+        planned = planner.plan(
+            {
+                "database": "demo",
+                "mechanism": mechanism,
+                "epsilon": 0.5,
+                "query": query,
+                "trials": 3,
+            }
+        )
+        payload = planner.execute(planned)
+        offline = self._offline_answers(planner, planned)
+        assert payload["answers"] == [serialize_answer(a) for a in offline.answers]
+        assert payload["mean_relative_error"] == offline.mean_relative_error
+
+    def test_parity_across_cache_backends(self, planner):
+        """--cache-backend local and shared serve identical bytes."""
+        request = {
+            "database": "demo",
+            "mechanism": "PM",
+            "epsilon": 0.5,
+            "query": "Qc3",
+            "trials": 2,
+        }
+        with backend_scope(LocalCacheBackend(64)):
+            local = planner.execute(planner.plan(request))
+        shared_backend = SharedMemoryCacheBackend(64)
+        try:
+            with backend_scope(shared_backend):
+                shared = planner.execute(planner.plan(request))
+                # Run twice under the shared tier: the second pass is served
+                # from cache and must not change the bytes either.
+                shared_again = planner.execute(planner.plan(request))
+        finally:
+            shared_backend.close()
+        assert (
+            json.dumps(local["answers"])
+            == json.dumps(shared["answers"])
+            == json.dumps(shared_again["answers"])
+        )
+        assert local["mean_relative_error"] == shared["mean_relative_error"]
+
+
+# ----------------------------------------------------------------------
+# single-flight coalescing
+# ----------------------------------------------------------------------
+class TestSingleFlight:
+    def test_concurrent_calls_share_one_execution(self):
+        flight = SingleFlight()
+        gate = threading.Event()
+        calls = []
+
+        def fn():
+            calls.append(1)
+            gate.wait(timeout=10)
+            return "value"
+
+        results = []
+
+        def caller():
+            results.append(flight.do("key", fn))
+
+        threads = [threading.Thread(target=caller) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + 10
+        while flight.coalesced < 7 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert calls == [1]
+        assert flight.executions == 1
+        assert flight.coalesced == 7
+        assert sorted(shared for _, shared in results) == [False] + [True] * 7
+        assert all(value == "value" for value, _ in results)
+
+    def test_errors_propagate_to_all_waiters(self):
+        flight = SingleFlight()
+        gate = threading.Event()
+
+        def fn():
+            gate.wait(timeout=10)
+            raise RuntimeError("boom")
+
+        errors = []
+
+        def caller():
+            try:
+                flight.do("key", fn)
+            except RuntimeError as error:
+                errors.append(error)
+
+        threads = [threading.Thread(target=caller) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + 10
+        while flight.coalesced < 3 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert len(errors) == 4
+        assert flight.in_flight() == 0
+
+    def test_sequential_calls_do_not_coalesce(self):
+        flight = SingleFlight()
+        assert flight.do("key", lambda: 1) == (1, False)
+        assert flight.do("key", lambda: 2) == (2, False)
+        assert flight.coalesced == 0
+
+    def test_planner_coalesces_identical_concurrent_requests(self, planner, monkeypatch):
+        planned = planner.plan(
+            {"database": "demo", "mechanism": "PM", "epsilon": 0.9, "query": "Qc2"}
+        )
+        executions_before = planner.singleflight.executions
+        coalesced_before = planner.singleflight.coalesced
+        gate = threading.Event()
+        original = planner._execute
+
+        def gated(plan):
+            gate.wait(timeout=10)
+            return original(plan)
+
+        monkeypatch.setattr(planner, "_execute", gated)
+        payloads = []
+
+        def caller():
+            payloads.append(planner.execute(planned))
+
+        threads = [threading.Thread(target=caller) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + 10
+        while planner.singleflight.coalesced - coalesced_before < 5:
+            if time.monotonic() > deadline:
+                break
+            time.sleep(0.005)
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert planner.singleflight.executions - executions_before == 1
+        assert len(payloads) == 6
+        assert sorted(p["coalesced"] for p in payloads) == [False] + [True] * 5
+        answers = {json.dumps(p["answers"]) for p in payloads}
+        assert len(answers) == 1  # every waiter saw the one execution's bytes
+
+
+# ----------------------------------------------------------------------
+# the TCP server
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def serving(planner):
+    server = QueryServer(planner, BudgetLedger(PrivacyBudget(1.0)), port=0, workers=2)
+    with ServerThread(server):
+        yield server
+
+
+class TestServerRoundTrip:
+    def test_ping_and_stats(self, serving):
+        with ServingClient(port=serving.port) as client:
+            assert client.ping()["protocol"] == 1
+            stats = client.stats()
+            assert "demo" in stats["planner"]["databases"]
+            assert "hit_rate" in stats["cache"]
+
+    def test_query_round_trip_is_deterministic(self, serving):
+        with ServingClient(port=serving.port) as client:
+            first = client.query("demo", "PM", 0.3, query="Qc1", analyst="alice")
+            second = client.query("demo", "PM", 0.3, query="Qc1", analyst="alice")
+        assert first["answer"] == second["answer"]
+        assert first["privacy"]["remaining_epsilon"] == pytest.approx(0.7)
+        assert second["privacy"]["remaining_epsilon"] == pytest.approx(0.4)
+        assert first["composition"] == "sequential"
+
+    def test_budget_refusal_over_the_wire(self, serving):
+        with ServingClient(port=serving.port) as client:
+            client.query("demo", "PM", 0.6, query="Qc1", analyst="carol")
+            with pytest.raises(ServingError) as info:
+                client.query("demo", "PM", 0.6, query="Qc1", analyst="carol")
+            assert info.value.code == "budget_exhausted"
+            assert info.value.details["remaining_epsilon"] == pytest.approx(0.4)
+            # The refused request spent nothing.
+            assert client.budget("carol")["spent_epsilon"] == pytest.approx(0.6)
+
+    def test_unsupported_query_is_refunded(self, serving):
+        with ServingClient(port=serving.port) as client:
+            with pytest.raises(ServingError) as info:
+                client.query("demo", "LS", 0.5, query="Qs2", analyst="dave")
+            assert info.value.code == "unsupported"
+            assert client.budget("dave")["spent_epsilon"] == pytest.approx(0.0)
+
+    def test_multi_trial_request_charges_trials_times_epsilon(self, serving):
+        # Each trial is an independent release: sequential composition
+        # across a request's own trials, so trials=3 at ε=0.2 costs 0.6.
+        with ServingClient(port=serving.port) as client:
+            result = client.query(
+                "demo", "PM", 0.2, query="Qc1", trials=3, analyst="grace"
+            )
+            assert len(result["answers"]) == 3
+            assert result["privacy"]["epsilon_charged"] == pytest.approx(0.6)
+            assert client.budget("grace")["spent_epsilon"] == pytest.approx(0.6)
+            # A fourth-trial-worth of headroom is gone: 3 more trials refuse.
+            with pytest.raises(ServingError) as info:
+                client.query("demo", "PM", 0.2, query="Qc1", trials=3, analyst="grace")
+            assert info.value.code == "budget_exhausted"
+
+    def test_grouped_sql_query_over_the_wire(self, serving):
+        with ServingClient(port=serving.port) as client:
+            result = client.query(
+                "demo",
+                "PM",
+                0.5,
+                sql=(
+                    "SELECT count(*) FROM Lineorder, Customer "
+                    "GROUP BY Customer.region"
+                ),
+                analyst="erin",
+            )
+        assert result["composition"] == "parallel"
+        assert result["answer"]["keys"] == ["Customer.region"]
+        assert len(result["answer"]["groups"]) == 5
+
+    def test_kstar_query_over_the_wire(self, serving):
+        with ServingClient(port=serving.port) as client:
+            result = client.query("g1", "PM", 0.5, k=2, analyst="frank")
+        assert isinstance(result["answer"], float)
+
+    def test_register_over_the_wire_is_idempotent(self, serving):
+        with ServingClient(port=serving.port) as client:
+            info = client.register(
+                "demo", "ssb", scale_factor=1.0, rows_per_scale_factor=2000, seed=5
+            )
+            assert info["already_registered"] is True
+
+    def test_malformed_json_gets_structured_error(self, serving):
+        with socket.create_connection(("127.0.0.1", serving.port), timeout=30) as sock:
+            stream = sock.makefile("rwb")
+            stream.write(b"this is not json\n")
+            stream.flush()
+            response = json.loads(stream.readline())
+        assert response["ok"] is False
+        assert response["error"]["code"] == "bad_request"
+
+    def test_unknown_op_gets_structured_error(self, serving):
+        with ServingClient(port=serving.port) as client:
+            with pytest.raises(ServingError) as info:
+                client.request("explode")
+            assert info.value.code == "unknown_op"
+
+    def test_request_ids_are_echoed(self, serving):
+        with socket.create_connection(("127.0.0.1", serving.port), timeout=30) as sock:
+            stream = sock.makefile("rwb")
+            stream.write(encode_message({"op": "ping", "id": "abc-123"}))
+            stream.flush()
+            response = json.loads(stream.readline())
+        assert response["id"] == "abc-123"
+        assert response["ok"] is True
+
+    def test_oversized_request_line_gets_structured_error(self, serving):
+        with socket.create_connection(("127.0.0.1", serving.port), timeout=30) as sock:
+            stream = sock.makefile("rwb")
+            # One line beyond the StreamReader's 64 KiB default limit.
+            stream.write(b'{"op": "ping", "pad": "' + b"x" * 70_000 + b'"}\n')
+            stream.flush()
+            response = json.loads(stream.readline())
+        assert response["ok"] is False
+        assert response["error"]["code"] == "bad_request"
+        assert "too long" in response["error"]["message"]
+
+    def test_private_server_omits_accuracy_metadata(self, planner):
+        server = QueryServer(
+            planner,
+            BudgetLedger(PrivacyBudget(1.0)),
+            port=0,
+            accuracy_metadata=False,
+        )
+        with ServerThread(server):
+            with ServingClient(port=server.port) as client:
+                result = client.query("demo", "PM", 0.5, query="Qc1", analyst="heidi")
+        assert "mean_relative_error" not in result
+        assert "median_relative_error" not in result
+        assert "answer" in result and "privacy" in result
+
+    def test_shutdown_op_stops_the_server(self, planner):
+        server = QueryServer(planner, BudgetLedger(PrivacyBudget(1.0)), port=0)
+        handle = ServerThread(server).start()
+        with ServingClient(port=server.port) as client:
+            assert client.shutdown()["stopping"] is True
+        handle._thread.join(timeout=10)
+        assert not handle._thread.is_alive()
+
+
+class TestServeCLIMode:
+    def test_cli_serve_delegates_to_serving_main(self, monkeypatch):
+        import repro.serving.server as server_module
+        from repro.evaluation.cli import main as cli_main
+
+        captured = {}
+
+        def fake_main(argv):
+            captured["argv"] = list(argv)
+            return 0
+
+        monkeypatch.setattr(server_module, "main", fake_main)
+        assert cli_main(["--serve", "--port", "7777", "--seed", "42"]) == 0
+        argv = captured["argv"]
+        assert argv[argv.index("--port") + 1] == "7777"
+        assert argv[argv.index("--seed") + 1] == "42"
+
+    def test_serving_main_rejects_bad_register_spec(self, capsys):
+        from repro.serving.server import main as serve_main
+
+        assert serve_main(["--register", "not json", "--port", "0"]) == 2
+        assert "--register" in capsys.readouterr().err
+
+    def test_serving_main_rejects_bad_budget(self, capsys):
+        from repro.serving.server import main as serve_main
+
+        assert serve_main(["--analyst-epsilon", "-1", "--port", "0"]) == 2
+        assert "budget" in capsys.readouterr().err

@@ -148,3 +148,117 @@ class TestParsedQueriesMatchHandBuiltOnes:
         expected = executor.execute(ssb_query("Qg4", schema))
         actual = executor.execute(parsed)
         assert actual.groups == pytest.approx(expected.groups)
+
+
+class TestUnsupportedConstructsRejected:
+    """The parser refuses, loudly, what its grammar cannot represent.
+
+    The query server feeds it untrusted analyst input, so every construct
+    outside the star-join grammar must raise a clear QueryError instead of
+    silently mis-parsing into a plausible-but-wrong query.
+    """
+
+    def _reject(self, schema, sql, fragment):
+        with pytest.raises(QueryError, match=fragment):
+            parse_star_join_sql(sql, schema)
+
+    def test_having_rejected(self, schema):
+        self._reject(
+            schema,
+            "SELECT count(*) FROM Lineorder, Date "
+            "GROUP BY Date.year HAVING count(*) > 10",
+            "HAVING",
+        )
+
+    def test_subquery_rejected(self, schema):
+        self._reject(
+            schema,
+            "SELECT count(*) FROM Lineorder, Date "
+            "WHERE Date.year = (SELECT max(year) FROM Date)",
+            "[Ss]ubquer",
+        )
+
+    def test_union_rejected(self, schema):
+        self._reject(
+            schema,
+            "SELECT count(*) FROM Lineorder UNION SELECT count(*) FROM Lineorder",
+            "not supported",
+        )
+
+    def test_explicit_join_rejected(self, schema):
+        self._reject(
+            schema,
+            "SELECT count(*) FROM Lineorder JOIN Date ON Lineorder.orderdate = Date.datekey",
+            "JOIN",
+        )
+
+    def test_in_list_rejected(self, schema):
+        self._reject(
+            schema,
+            "SELECT count(*) FROM Lineorder, Customer WHERE Customer.region IN ('ASIA')",
+            "IN lists",
+        )
+
+    def test_multiple_statements_rejected(self, schema):
+        self._reject(
+            schema,
+            "SELECT count(*) FROM Lineorder; SELECT count(*) FROM Lineorder",
+            "[Mm]ultiple SQL statements",
+        )
+
+    def test_unbalanced_quote_rejected(self, schema):
+        self._reject(
+            schema,
+            "SELECT count(*) FROM Lineorder, Customer WHERE Customer.region = 'ASIA",
+            "unbalanced",
+        )
+
+    def test_literal_with_tab_rejected(self, schema):
+        self._reject(
+            schema,
+            "SELECT count(*) FROM Lineorder, Supplier "
+            "WHERE Supplier.nation = 'UNITED\tSTATES'",
+            "single spaces",
+        )
+
+    def test_literal_with_double_space_rejected(self, schema):
+        self._reject(
+            schema,
+            "SELECT count(*) FROM Lineorder, Supplier "
+            "WHERE Supplier.nation = 'UNITED  STATES'",
+            "single spaces",
+        )
+
+    def test_single_space_literal_still_parses(self, schema):
+        query = parse_star_join_sql(
+            "SELECT count(*) FROM Lineorder, Supplier "
+            "WHERE Supplier.nation = 'UNITED STATES'",
+            schema,
+        )
+        assert query.predicates.predicates[0].value == "UNITED STATES"
+
+    def test_single_space_literal_in_between_parses(self, schema):
+        query = parse_star_join_sql(
+            "SELECT count(*) FROM Lineorder, Supplier "
+            "WHERE Supplier.nation BETWEEN 'UNITED STATES' AND 'UNITED KINGDOM'",
+            schema,
+        )
+        predicate = query.predicates.predicates[0]
+        assert (predicate.low, predicate.high) == ("UNITED STATES", "UNITED KINGDOM")
+
+    def test_keywords_inside_literals_are_not_rejected(self, schema):
+        # A quoted value that *contains* a forbidden keyword is data, not SQL.
+        with pytest.raises(QueryError, match="not in domain"):
+            parse_star_join_sql(
+                "SELECT count(*) FROM Lineorder, Customer "
+                "WHERE Customer.region = 'HAVING'",
+                schema,
+            )
+
+    def test_count_distinct_rejected(self, schema):
+        # Regression: COUNT(DISTINCT x) used to silently parse as COUNT(*).
+        self._reject(
+            schema,
+            "SELECT count(DISTINCT Customer.nation) FROM Lineorder, Customer",
+            "DISTINCT",
+        )
