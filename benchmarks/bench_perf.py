@@ -26,6 +26,10 @@ Beyond the per-experiment kernels the report tracks five scaling baselines:
 * ``serving_throughput`` — the online query server's requests/sec at 1..16
   concurrent clients (same query mix), with the engine-cache hit rate and the
   single-flight coalescing counters of the run.
+* ``cache_server`` — Table 1 through the out-of-process persistent cache
+  server: a cold run against an empty persistence file vs a run whose server
+  restarted warm from the previous run's disk state, with client/server hit
+  rates and the bytes that crossed the wire.
 """
 
 from __future__ import annotations
@@ -338,6 +342,70 @@ def bench_run_wide_scheduler(repeats: int, jobs: int = 4, rows: int = 24_000) ->
     }
 
 
+def bench_cache_server(repeats: int, rows: int = 24_000) -> dict:
+    """Table 1 through the out-of-process cache server, cold vs warm-from-disk.
+
+    Every repeat starts its own server (embedded on a thread, persisted to a
+    sqlite file) and runs the whole experiment through a
+    ``RemoteCacheBackend``.  Cold repeats begin from a deleted persistence
+    file; warm repeats restart the server from the file the cold runs left
+    behind, so the run's expensive artefacts — selection masks, cubes, exact
+    answers — are served from another *run's* work (the batch-warms-serving
+    property, measured end to end).  Besides wall clock the entry records the
+    client remote-tier hit rate, the server's own counters (entries loaded
+    from disk) and the bytes that crossed the wire.
+    """
+    import tempfile
+
+    from repro.db.cache.server import CacheServerThread
+
+    timings: dict[str, list] = {"cold": [], "warm": []}
+    details: dict[str, dict] = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "bench_cache.db")
+        for label in ("cold", "warm"):
+            for index in range(repeats):
+                if label == "cold" and os.path.exists(path):
+                    os.remove(path)  # cold repeats must not inherit disk state
+                _clear_caches()
+                with CacheServerThread(path=path, max_entries=8192) as handle:
+                    loaded = handle.server.store.loaded_from_disk
+                    config = ExperimentConfig(
+                        epsilons=(0.1, 0.5, 1.0),
+                        trials=3,
+                        rows_per_scale_factor=rows,
+                        cache_backend="remote",
+                        cache_url=f"127.0.0.1:{handle.server.port}",
+                    )
+                    start = time.perf_counter()
+                    with evaluation_session(config):
+                        table1.run(config)
+                        if index == repeats - 1:
+                            backend = active_backend()
+                            stats = backend.stats()
+                            details[label] = {
+                                "loaded_from_disk": loaded,
+                                "remote_hits": stats.shared_hits,
+                                "remote_misses": stats.shared_misses,
+                                "remote_puts": stats.shared_puts,
+                                "remote_hit_rate": round(stats.shared_hit_rate, 4),
+                                "wire": backend.remote_io(),
+                                "server": backend.server_stats(),
+                            }
+                    timings[label].append(time.perf_counter() - start)
+    cold_mean = sum(timings["cold"]) / repeats
+    warm_mean = sum(timings["warm"]) / repeats
+    return {
+        "rows_per_scale_factor": rows,
+        "cpus": os.cpu_count() or 1,
+        "cold_mean_s": round(cold_mean, 6),
+        "warm_mean_s": round(warm_mean, 6),
+        "cold_over_warm": round(cold_mean / warm_mean, 3),
+        "details": details,
+        "samples": {k: [round(s, 6) for s in v] for k, v in timings.items()},
+    }
+
+
 def bench_serving_throughput(repeats: int, quick_mode: bool = False) -> dict:
     """The online query server's requests/sec at rising client concurrency.
 
@@ -479,6 +547,14 @@ def run_benchmarks(repeats: int = 3, quick_mode: bool = False) -> dict:
           f"{run_wide['run_wide_mean_s']*1000:.1f} ms "
           f"({run_wide['pools_created']['run_wide']} pool)")
 
+    cache_server = bench_cache_server(repeats, rows=backend_rows)
+    warm = cache_server["details"]["warm"]
+    print(f"{'cache_server':>15}: cold {cache_server['cold_mean_s']*1000:8.1f} ms -> "
+          f"warm-from-disk {cache_server['warm_mean_s']*1000:.1f} ms "
+          f"(remote hit rate {warm['remote_hit_rate']:.1%}, "
+          f"{warm['loaded_from_disk']} entries loaded, "
+          f"{warm['wire']['bytes_received']/1024:.0f} KiB received)")
+
     _clear_caches()
     serving = bench_serving_throughput(repeats, quick_mode=quick_mode)
     level_text = ", ".join(
@@ -490,7 +566,7 @@ def run_benchmarks(repeats: int = 3, quick_mode: bool = False) -> dict:
           f"{serving['coalesced']} coalesced)")
 
     return {
-        "schema_version": 4,
+        "schema_version": 5,
         "repeats": repeats,
         "python": platform.python_version(),
         "machine": platform.machine(),
@@ -499,6 +575,7 @@ def run_benchmarks(repeats: int = 3, quick_mode: bool = False) -> dict:
         "parallel_runner": parallel,
         "cache_backends": backends,
         "run_wide_scheduler": run_wide,
+        "cache_server": cache_server,
         "serving_throughput": serving,
         "total_mean_s": round(sum(t["mean_s"] for t in timings.values()), 6),
     }

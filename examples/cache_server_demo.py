@@ -1,0 +1,202 @@
+"""Cache-server smoke: a batch run warms a second, unrelated process.
+
+The end-to-end property this script proves (CI runs it next to the serving
+smoke):
+
+1. start a **standalone** cache server process
+   (``python -m repro.db.cache.server --path ... --port ...``);
+2. run a quick batch evaluation against it from a child process — the run
+   pushes its selection masks, cubes and exact answers to the server;
+3. run the same workload from a **second, freshly launched** child process
+   (no fork relationship with the first) and assert it scores **nonzero
+   remote hits** — the content-fingerprint namespaces line up across
+   processes — and produces exactly the same rows;
+4. restart the server from its persistence file and assert it comes back
+   **warm from disk**.
+
+Usage::
+
+    PYTHONPATH=src python examples/cache_server_demo.py          # orchestrate
+    PYTHONPATH=src python examples/cache_server_demo.py --role warm --url HOST:PORT
+
+The ``--role`` forms are the child processes the orchestrator spawns; they
+are not meant to be run by hand (but nothing breaks if you do).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.db.cache import RemoteCacheBackend, active_backend
+from repro.evaluation.experiments import table1
+from repro.evaluation.experiments.common import ExperimentConfig
+from repro.evaluation.parallel import evaluation_session
+
+QUERIES = ("Qc1", "Qs2")
+
+
+def _batch_config(url: str) -> ExperimentConfig:
+    return ExperimentConfig(
+        epsilons=(0.1, 1.0),
+        trials=2,
+        rows_per_scale_factor=6000,
+        seed=11,
+        cache_backend="remote",
+        cache_url=url,
+    )
+
+
+def run_batch(url: str) -> dict:
+    """One quick table1 run through the cache server; returns its evidence."""
+    config = _batch_config(url)
+    with evaluation_session(config):
+        result = table1.run(config, query_names=QUERIES)
+        backend = active_backend()
+        stats = backend.stats()
+        evidence = {
+            "rows": [
+                {k: v for k, v in row.items() if k != "mean_time_s"}
+                for row in result.rows
+            ],
+            "remote_hits": stats.shared_hits,
+            "remote_puts": stats.shared_puts,
+            "degraded": backend.degraded,
+        }
+    return evidence
+
+
+def child_main(role: str, url: str) -> int:
+    evidence = run_batch(url)
+    if evidence["degraded"]:
+        print(f"{role}: backend degraded — cache server unreachable", file=sys.stderr)
+        return 1
+    if role == "verify" and evidence["remote_hits"] == 0:
+        print("verify: scored zero remote hits — server sharing is broken", file=sys.stderr)
+        return 1
+    print(json.dumps(evidence))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# orchestration
+# ----------------------------------------------------------------------
+def _spawn_server(path: Path) -> tuple[subprocess.Popen, str]:
+    """Start a server on an ephemeral port; returns (process, host:port).
+
+    Asking the OS for the port (``--port 0``) and parsing the server's own
+    startup line avoids the probe-then-bind race a pre-picked free port
+    would reopen on a busy CI host.
+    """
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.db.cache.server",
+            "--path",
+            str(path),
+            "--port",
+            "0",
+        ],
+        env=os.environ.copy(),
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise RuntimeError(f"cache server exited at startup ({process.returncode})")
+        line = process.stdout.readline()
+        if line.startswith("cache server on "):
+            url = line.removeprefix("cache server on ").split(" ", 1)[0]
+            print(line.rstrip())
+            return process, url
+        time.sleep(0.05)
+    process.terminate()
+    raise RuntimeError("cache server did not report its port within 30s")
+
+
+def _run_child(role: str, url: str) -> dict:
+    completed = subprocess.run(
+        [sys.executable, __file__, "--role", role, "--url", url],
+        env=os.environ.copy(),
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    if completed.returncode != 0:
+        raise RuntimeError(
+            f"{role} child failed (exit {completed.returncode}):\n"
+            f"{completed.stdout}\n{completed.stderr}"
+        )
+    return json.loads(completed.stdout.strip().splitlines()[-1])
+
+
+def orchestrate() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "cache.db"
+        server, url = _spawn_server(path)
+        try:
+            print(f"[1/4] cache server up on {url} (persisting to {path})")
+
+            warm = _run_child("warm", url)
+            print(
+                f"[2/4] batch warm run: {warm['remote_puts']} artefacts pushed, "
+                f"{warm['remote_hits']} remote hits"
+            )
+            if warm["remote_puts"] == 0:
+                print("warm run pushed nothing to the server", file=sys.stderr)
+                return 1
+
+            verify = _run_child("verify", url)
+            print(
+                f"[3/4] second process: {verify['remote_hits']} remote hits "
+                f"(served by the first process's work)"
+            )
+            if verify["rows"] != warm["rows"]:
+                print("rows differ between the two processes", file=sys.stderr)
+                return 1
+        finally:
+            server.terminate()
+            server.wait(timeout=30)
+
+        # Restart from the persistence file: the server must come back warm.
+        server, url = _spawn_server(path)
+        try:
+            backend = RemoteCacheBackend(url=url)
+            try:
+                stats = backend.server_stats()
+                entries = stats["loaded_from_disk"] if stats else 0
+                if not entries:
+                    print("restarted server loaded nothing from disk", file=sys.stderr)
+                    return 1
+                print(f"[4/4] restarted server warm from disk ({entries} entries)")
+            finally:
+                backend.close()
+        finally:
+            server.terminate()
+            server.wait(timeout=30)
+    print("cache-server smoke OK: cross-process warm hits + warm-from-disk restart")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--role", choices=("warm", "verify"), default=None)
+    parser.add_argument("--url", default=None, help="cache server host:port (child roles)")
+    args = parser.parse_args()
+    if args.role is not None:
+        if not args.url:
+            parser.error("--role requires --url")
+        return child_main(args.role, args.url)
+    return orchestrate()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

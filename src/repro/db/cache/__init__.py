@@ -8,9 +8,11 @@ The package splits what used to be hard-wired inside
 * :mod:`repro.db.cache.backend` — the :class:`CacheBackend` protocol, the
   region vocabulary and the :class:`CacheStats` counters;
 * the interchangeable implementations:
-  :class:`~repro.db.cache.local.LocalCacheBackend` (in-process, default) and
+  :class:`~repro.db.cache.local.LocalCacheBackend` (in-process, default),
   :class:`~repro.db.cache.shared.SharedMemoryCacheBackend` (cross-worker,
-  Manager-based).  See ``docs/CACHE.md``.
+  Manager-based) and :class:`~repro.db.cache.remote.RemoteCacheBackend`
+  (a TCP client of the out-of-process persistent cache server in
+  :mod:`repro.db.cache.server`).  See ``docs/CACHE.md``.
 
 One backend instance is *active* per process at any time
 (:func:`active_backend`); every engine obtained through
@@ -42,6 +44,7 @@ from repro.db.cache.fingerprints import (
     selection_fingerprint,
 )
 from repro.db.cache.local import LocalCacheBackend, LruCache
+from repro.db.cache.remote import RemoteCacheBackend, parse_cache_url
 from repro.db.cache.shared import SharedMemoryCacheBackend
 
 __all__ = [
@@ -52,6 +55,7 @@ __all__ = [
     "LocalCacheBackend",
     "LruCache",
     "REGIONS",
+    "RemoteCacheBackend",
     "SHARED_REGIONS",
     "SharedMemoryCacheBackend",
     "active_backend",
@@ -59,6 +63,7 @@ __all__ = [
     "database_fingerprint",
     "make_backend",
     "measure_fingerprint",
+    "parse_cache_url",
     "predicate_fingerprint",
     "query_fingerprint",
     "selection_fingerprint",
@@ -66,21 +71,34 @@ __all__ = [
 ]
 
 #: Backend names accepted by configuration (CLI ``--cache-backend``).
-CACHE_BACKENDS: tuple[str, ...] = ("local", "shared")
+CACHE_BACKENDS: tuple[str, ...] = ("local", "shared", "remote")
 
 
-def make_backend(name: str, max_entries: int = 192) -> CacheBackend:
+def make_backend(
+    name: str,
+    max_entries: int = 192,
+    url: "str | None" = None,
+    path: "str | None" = None,
+) -> CacheBackend:
     """Build a cache backend by its configuration name.
 
-    ``max_entries`` bounds every bounded region; for the shared backend the
-    cross-process tier is bounded proportionally (16 × ``max_entries``, the
-    default 192 → 3072 entries) so ``--cache-size`` also governs the manager
-    process's footprint.
+    ``max_entries`` bounds every bounded region; for the shared and remote
+    backends the cross-process tier is bounded proportionally (16 ×
+    ``max_entries``, the default 192 → 3072 entries) so ``--cache-size``
+    also governs the out-of-process footprint.  The remote backend needs a
+    server: ``url`` (``--cache-url host:port``) names a running
+    ``python -m repro.db.cache.server``; ``path`` (``--cache-path``) starts
+    an embedded one persisting to that sqlite file instead.
     """
     if name == "local":
         return LocalCacheBackend(max_entries)
     if name == "shared":
         return SharedMemoryCacheBackend(max_entries, max_shared_entries=max_entries * 16)
+    if name == "remote":
+        return RemoteCacheBackend(
+            url=url, path=path, max_entries=max_entries,
+            server_max_entries=max_entries * 16,
+        )
     raise ValueError(f"unknown cache backend {name!r}; available: {CACHE_BACKENDS}")
 
 

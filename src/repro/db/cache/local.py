@@ -123,8 +123,16 @@ class LocalCacheBackend:
             store[key] = value
 
     def clear(self, namespace: Optional[str] = None) -> None:
+        """Drop one namespace, or — with no argument — everything.
+
+        A full clear is a fresh start and also zeroes the statistics
+        counters; a namespace clear leaves them accumulating.  This is the
+        cross-backend contract pinned by the conformance suite (the backends
+        used to disagree on it).
+        """
         if namespace is None:
             self._namespaces.clear()
+            self.reset_stats()
         else:
             self._namespaces.pop(namespace, None)
 

@@ -1,0 +1,402 @@
+"""The out-of-process cache backend (client side).
+
+A two-tier design, deliberately parallel to
+:class:`~repro.db.cache.shared.SharedMemoryCacheBackend`:
+
+* **L1** — a private :class:`~repro.db.cache.local.LocalCacheBackend` per
+  process, so hot entries cost a dict lookup.
+* **L2** — a :class:`~repro.db.cache.server.CacheServer` reached over TCP.
+  Entries in :data:`~repro.db.cache.backend.SHARED_REGIONS` (selection
+  masks, contributions, data cubes, exact answers) are written through and,
+  on an L1 miss, fetched back.  Unlike the shared backend's
+  ``multiprocessing.Manager`` tier, the server is *not* tied to a fork
+  family: a batch evaluation run and a separately launched serving process
+  address the same entries through content-fingerprint namespaces, and a
+  ``--path``-persisted server survives both.
+
+Lifecycle mirrors the shared backend:
+
+* Create **before** the worker pool forks (``evaluation_session`` does) so
+  every worker inherits the configuration and the fork-shared counters.
+  Sockets cannot cross a fork: each process lazily opens its own small
+  connection pool, keyed by pid, so an inherited backend reconnects
+  transparently inside the first worker that touches it.
+* If the server becomes unreachable — killed mid-run, network gone — the
+  backend marks itself broken and degrades to L1-only instead of failing:
+  sharing is an optimisation, never a correctness requirement.  Values are
+  pure functions of their content-derived keys, so a degraded run produces
+  byte-identical results, just more slowly.
+* ``close()`` drops this process's connections; with an *owned* embedded
+  server (the ``path=`` convenience used by ``--cache-path``) the owner
+  process also stops that server thread.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import socket
+import struct
+import threading
+import warnings
+from typing import Any, Hashable, Optional
+
+from repro.db.cache.backend import SHARED_REGIONS, CacheStats
+from repro.db.cache.local import LocalCacheBackend
+from repro.db.cache.shared import _freeze_value
+from repro.db.cache.wire import (
+    MAX_FRAME_PAYLOAD,
+    decode_payload,
+    encode_key,
+    encode_payload,
+    key_to_header,
+    read_frame,
+    write_frame,
+)
+
+__all__ = ["RemoteCacheBackend", "parse_cache_url"]
+
+#: Exceptions that mean "the cache server is gone or the wire/payload is
+#: garbage"; the backend degrades to its local tier when it sees one.
+#: ``struct.error`` (a short/corrupt payload buffer) and ``pickle.PickleError``
+#: (an unpicklable value, or a corrupt pickled blob) are included for the
+#: same reason the shared backend lists ``pickle.PicklingError``: a bad
+#: entry must cost a recomputation, never the run.
+_REMOTE_ERRORS = (OSError, EOFError, ValueError, struct.error, pickle.PickleError)
+
+
+def parse_cache_url(url: str) -> tuple[str, int]:
+    """``host:port`` (or ``tcp://host:port``) → ``(host, port)``."""
+    text = url.strip()
+    for prefix in ("tcp://", "cache://"):
+        if text.startswith(prefix):
+            text = text[len(prefix) :]
+    host, separator, port_text = text.rpartition(":")
+    if not separator or not host:
+        raise ValueError(f"cache url must look like host:port, got {url!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"cache url has a non-integer port: {url!r}") from None
+    if not 0 < port < 65536:
+        raise ValueError(f"cache url port out of range: {url!r}")
+    return host, port
+
+
+class _Connection:
+    """One pooled blocking connection (socket + buffered file object)."""
+
+    def __init__(self, host: str, port: int, timeout: float):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.file = self.sock.makefile("rwb")
+
+    def close(self) -> None:
+        try:
+            self.file.close()
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class RemoteCacheBackend:
+    """Two-tier cache backend: in-process LRU over a TCP cache server."""
+
+    name = "remote"
+
+    def __init__(
+        self,
+        url: Optional[str] = None,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        path: Optional[str] = None,
+        max_entries: int = 192,
+        remote_regions: frozenset[str] = SHARED_REGIONS,
+        timeout: float = 30.0,
+        max_connections: int = 4,
+        server_max_entries: Optional[int] = None,
+    ):
+        """Connect to (or start) a cache server.
+
+        Exactly one way of naming the server: ``url`` (``host:port``),
+        ``host``/``port``, or ``path`` — the last starts an *embedded*
+        :class:`~repro.db.cache.server.CacheServerThread` persisting to that
+        file, owned (and stopped on :meth:`close`) by this backend.  An
+        unreachable server degrades the backend to local-only with a warning
+        rather than failing construction.
+        """
+        self._local = LocalCacheBackend(max_entries)
+        self.max_entries = self._local.max_entries
+        self.remote_regions = frozenset(remote_regions)
+        self.timeout = float(timeout)
+        self.max_connections = max(1, int(max_connections))
+        self._server_handle = None
+        if path is not None:
+            if url is not None or host is not None or port is not None:
+                raise ValueError("pass either path= (embedded server) or url/host/port")
+            from repro.db.cache.server import CacheServerThread
+
+            bound = server_max_entries if server_max_entries is not None else max_entries * 16
+            self._server_handle = CacheServerThread(
+                path=str(path), max_entries=bound
+            ).start()
+            host, port = "127.0.0.1", self._server_handle.server.port
+        elif url is not None:
+            if host is not None or port is not None:
+                raise ValueError("pass either url= or host=/port=, not both")
+            host, port = parse_cache_url(url)
+        elif host is None or port is None:
+            raise ValueError(
+                "remote cache backend needs a server: pass url='host:port' "
+                "(--cache-url) or path='cache.db' (--cache-path) to start one"
+            )
+        self.host = str(host)
+        self.port = int(port)
+        self._owner_pid = os.getpid()
+        self._broken = False
+        self._pool: list[_Connection] = []
+        self._pool_pid = os.getpid()
+        self._pool_lock = threading.Lock()
+        # Fork-inherited counters, exactly like the shared backend: workers
+        # increment, the parent's stats() sees the whole run.  Remote-tier
+        # traffic is reported through the shared_* slots of CacheStats.
+        self._shared_hits = multiprocessing.Value("Q", 0)
+        self._shared_misses = multiprocessing.Value("Q", 0)
+        self._shared_puts = multiprocessing.Value("Q", 0)
+        self._bytes_sent = multiprocessing.Value("Q", 0)
+        self._bytes_received = multiprocessing.Value("Q", 0)
+        try:
+            self._request({"op": "ping"})
+        except _REMOTE_ERRORS as error:
+            self._broken = True
+            warnings.warn(
+                f"cache server {self.host}:{self.port} is unreachable ({error}); "
+                "continuing with the local tier only",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    # ------------------------------------------------------------------
+    # connection pool
+    # ------------------------------------------------------------------
+    def _checkout(self) -> tuple[_Connection, bool]:
+        """A connection plus whether it came from the pool (a pooled socket
+        may predate a server restart, so its failures are retryable)."""
+        with self._pool_lock:
+            if self._pool_pid != os.getpid():
+                # Forked child: the inherited sockets belong to the parent's
+                # conversation.  Drop the references without closing — the
+                # parent still holds its copies — and start a fresh pool.
+                self._pool = []
+                self._pool_pid = os.getpid()
+            if self._pool:
+                return self._pool.pop(), True
+        return _Connection(self.host, self.port, self.timeout), False
+
+    def _checkin(self, connection: _Connection) -> None:
+        with self._pool_lock:
+            if self._pool_pid == os.getpid() and len(self._pool) < self.max_connections:
+                self._pool.append(connection)
+                return
+        connection.close()
+
+    def _count(self, counter, amount: int = 1) -> None:
+        with counter.get_lock():
+            counter.value += amount
+
+    def _request(self, header: dict, payload: bytes = b"") -> tuple[dict, bytes]:
+        """One request/response round-trip on a pooled connection.
+
+        A transport failure on a *pooled* socket is ambiguous — the server
+        may merely have restarted since the socket was pooled (the headline
+        persistence scenario) — so it is retried exactly once on a fresh
+        connection before the error propagates.  Raises one of
+        :data:`_REMOTE_ERRORS` when the server is genuinely unreachable
+        (the caller degrades) and ``RuntimeError`` when the server answers
+        a structured error.
+        """
+        connection, pooled = self._checkout()
+        try:
+            return self._round_trip(connection, header, payload)
+        except _REMOTE_ERRORS:
+            if not pooled:
+                raise
+            fresh = _Connection(self.host, self.port, self.timeout)
+            return self._round_trip(fresh, header, payload)
+
+    def _round_trip(self, connection: _Connection, header: dict, payload: bytes):
+        try:
+            sent = write_frame(connection.file, header, payload)
+            response, response_payload, received = read_frame(connection.file)
+        except BaseException:
+            connection.close()
+            raise
+        self._count(self._bytes_sent, sent)
+        self._count(self._bytes_received, received)
+        if not response.get("ok"):
+            # A structured refusal may come with the server about to drop
+            # the link (the bad-frame path); never pool a connection whose
+            # state we cannot vouch for, or the *next* healthy request
+            # would hit its EOF and wrongly mark the backend broken.
+            connection.close()
+            raise RuntimeError(f"cache server error: {response.get('error')}")
+        self._checkin(connection)
+        return response, response_payload
+
+    # ------------------------------------------------------------------
+    # the CacheBackend protocol
+    # ------------------------------------------------------------------
+    def get(self, namespace: str, region: str, key: Hashable) -> Any:
+        value = self._local.get(namespace, region, key)
+        if value is not None or region not in self.remote_regions or self._broken:
+            return value
+        header = {
+            "op": "get",
+            "namespace": namespace,
+            "region": region,
+            "key": key_to_header(encode_key(namespace, region, key)),
+        }
+        try:
+            response, payload = self._request(header)
+            if not response.get("hit"):
+                self._count(self._shared_misses)
+                return None
+            value = decode_payload(payload)
+        except _REMOTE_ERRORS:
+            self._broken = True
+            return None
+        except RuntimeError:
+            self._count(self._shared_misses)
+            return None
+        self._count(self._shared_hits)
+        value = _freeze_value(value)
+        # Promote to L1 quietly: a promotion is not a new artefact, so it
+        # must not inflate the put counter (same rule as the shared backend).
+        self._local._put(namespace, region, key, value)
+        return value
+
+    def put(self, namespace: str, region: str, key: Hashable, value: Any) -> None:
+        self._local.put(namespace, region, key, value)
+        if region not in self.remote_regions or self._broken:
+            return
+        try:
+            payload = encode_payload(value)
+        except Exception:
+            # A value that cannot cross the wire (unpicklable, exotic) is a
+            # value problem, not a server problem: L1 already holds it, so
+            # skip the remote write without degrading the whole backend.
+            return
+        if len(payload) > MAX_FRAME_PAYLOAD:
+            return  # same rule: an oversized value must not cost the tier
+        header = {
+            "op": "put",
+            "namespace": namespace,
+            "region": region,
+            "key": key_to_header(encode_key(namespace, region, key)),
+        }
+        try:
+            self._request(header, payload)
+            self._count(self._shared_puts)
+        except _REMOTE_ERRORS:
+            self._broken = True
+        except RuntimeError:
+            pass  # the server refused one entry; nothing to degrade over
+
+    def clear(self, namespace: Optional[str] = None) -> None:
+        self._local.clear(namespace)
+        if namespace is None:
+            self.reset_stats()  # a full clear is a fresh start, counters too
+        if self._broken:
+            return
+        try:
+            self._request({"op": "clear", "namespace": namespace})
+        except _REMOTE_ERRORS:
+            self._broken = True
+        except RuntimeError:
+            pass
+
+    def release(self, namespace: str) -> None:
+        """Drop the L1 entries only: the server may still be warming other
+        processes (or future runs, through its persistence file)."""
+        self._local.clear(namespace)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> CacheStats:
+        stats = self._local.stats()
+        stats.shared_hits = int(self._shared_hits.value)
+        stats.shared_misses = int(self._shared_misses.value)
+        stats.shared_puts = int(self._shared_puts.value)
+        return stats
+
+    def reset_stats(self) -> None:
+        self._local.reset_stats()
+        for counter in (self._shared_hits, self._shared_misses, self._shared_puts):
+            with counter.get_lock():
+                counter.value = 0
+
+    def entry_count(self, namespace: Optional[str] = None) -> int:
+        count = self._local.entry_count(namespace)
+        if self._broken:
+            return count
+        try:
+            response, _ = self._request({"op": "count", "namespace": namespace})
+            return count + int(response.get("count", 0))
+        except _REMOTE_ERRORS:
+            self._broken = True
+            return count
+        except RuntimeError:
+            return count
+
+    # ------------------------------------------------------------------
+    # observability beyond the protocol
+    # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """Whether this backend has fallen back to its local tier only
+        (the server became unreachable at some point; results are still
+        correct, just recomputed instead of shared)."""
+        return self._broken
+
+    def remote_io(self) -> dict:
+        """Client-side wire traffic of this backend (fork-shared totals)."""
+        return {
+            "bytes_sent": int(self._bytes_sent.value),
+            "bytes_received": int(self._bytes_received.value),
+        }
+
+    def server_stats(self) -> Optional[dict]:
+        """The server's own counters (hits across *all* clients), or ``None``
+        when the server is unreachable."""
+        if self._broken:
+            return None
+        try:
+            response, _ = self._request({"op": "stats"})
+            return response.get("stats")
+        except _REMOTE_ERRORS:
+            self._broken = True
+            return None
+        except RuntimeError:
+            return None
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Drop this process's connections; the owner also stops an owned
+        embedded server.  Workers that inherited the backend through fork
+        must never tear the server down."""
+        self._broken = True
+        with self._pool_lock:
+            pool, self._pool = self._pool, []
+        for connection in pool:
+            connection.close()
+        if self._server_handle is not None and os.getpid() == self._owner_pid:
+            self._server_handle.stop()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "degraded" if self._broken else "live"
+        return (
+            f"RemoteCacheBackend({self.host}:{self.port}, {state}, "
+            f"max_entries={self.max_entries}, {self.stats().summary()})"
+        )

@@ -149,6 +149,8 @@ class SharedMemoryCacheBackend:
 
     def clear(self, namespace: Optional[str] = None) -> None:
         self._local.clear(namespace)
+        if namespace is None:
+            self.reset_stats()  # full clear == fresh start, counters included
         if self._broken:
             return
         try:

@@ -163,8 +163,29 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "cache backend of the run's execution engines: 'local' keeps every "
             "cache in-process; 'shared' lets pool workers share selection masks, "
-            "data cubes and exact answers through a manager process "
-            "(results are identical for either)"
+            "data cubes and exact answers through a manager process; 'remote' "
+            "shares them through an out-of-process cache server (--cache-url / "
+            "--cache-path) that batch and serving runs can both reach "
+            "(results are identical for every choice)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-url",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "with --cache-backend remote: address of a running cache server "
+            "(python -m repro.db.cache.server)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-path",
+        default=None,
+        metavar="FILE",
+        help=(
+            "with --cache-backend remote: start an embedded cache server "
+            "persisting entries to this sqlite file instead of connecting to "
+            "--cache-url; a later run against the same file starts warm"
         ),
     )
     parser.add_argument(
@@ -218,24 +239,43 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.cache_size < 1:
         print("--cache-size must be at least 1", file=sys.stderr)
         return 2
+    if args.cache_backend != "remote" and (args.cache_url or args.cache_path):
+        print("--cache-url/--cache-path require --cache-backend remote", file=sys.stderr)
+        return 2
+    if args.cache_url and args.cache_path:
+        print("pass either --cache-url or --cache-path, not both", file=sys.stderr)
+        return 2
+    if args.cache_backend == "remote" and not (args.cache_url or args.cache_path):
+        print(
+            "--cache-backend remote needs a server: --cache-url host:port "
+            "(python -m repro.db.cache.server) or --cache-path file "
+            "(embedded, persisted)",
+            file=sys.stderr,
+        )
+        return 2
     config.jobs = args.jobs
     config.cache_backend = args.cache_backend
     config.cache_size = args.cache_size
+    config.cache_url = args.cache_url
+    config.cache_path = args.cache_path
 
     if args.serve:
         # Delegate to the serving entry point with this invocation's seed and
         # cache configuration (experiment selection flags do not apply).
         from repro.serving.server import main as serve_main
 
-        return serve_main(
-            [
-                "--host", args.host,
-                "--port", str(args.port),
-                "--seed", str(config.seed),
-                "--cache-backend", config.cache_backend,
-                "--cache-size", str(config.cache_size),
-            ]
-        )
+        serve_argv = [
+            "--host", args.host,
+            "--port", str(args.port),
+            "--seed", str(config.seed),
+            "--cache-backend", config.cache_backend,
+            "--cache-size", str(config.cache_size),
+        ]
+        if config.cache_url:
+            serve_argv += ["--cache-url", config.cache_url]
+        if config.cache_path:
+            serve_argv += ["--cache-path", config.cache_path]
+        return serve_main(serve_argv)
 
     try:
         run_experiments(

@@ -106,13 +106,23 @@ class ExperimentConfig:
         (see :mod:`repro.evaluation.parallel`).
     cache_backend:
         Cache backend of the run's execution engines: ``"local"``
-        (in-process, the default) or ``"shared"`` (pool workers share
+        (in-process, the default), ``"shared"`` (pool workers share
         selection masks, cubes and exact answers through a
-        ``multiprocessing.Manager`` tier — see :mod:`repro.db.cache`).
-        Results are identical for either value.
+        ``multiprocessing.Manager`` tier) or ``"remote"`` (an
+        out-of-process persistent cache server shared with other runs and
+        serving processes — see :mod:`repro.db.cache`).  Results are
+        identical for every value.
     cache_size:
         Maximum entries per bounded cache region (masks, contributions,
         results); statistics regions are unbounded.
+    cache_url:
+        ``host:port`` of a running cache server
+        (``python -m repro.db.cache.server``); only meaningful with
+        ``cache_backend="remote"``.
+    cache_path:
+        Alternative to ``cache_url``: a sqlite file an *embedded* cache
+        server (started and stopped with the run) persists entries to, so a
+        later run — batch or serving — starts warm.
     """
 
     epsilons: tuple[float, ...] = PAPER_EPSILONS
@@ -124,6 +134,8 @@ class ExperimentConfig:
     jobs: int = 1
     cache_backend: str = "local"
     cache_size: int = 192
+    cache_url: Optional[str] = None
+    cache_path: Optional[str] = None
 
     @classmethod
     def quick(cls) -> "ExperimentConfig":

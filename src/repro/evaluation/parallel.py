@@ -358,7 +358,12 @@ def evaluation_session(config: ExperimentConfig) -> Iterator[TrialScheduler]:
     scheduler and backend until it exits.
     """
     global _ACTIVE_SCHEDULER
-    backend = make_backend(config.cache_backend, config.cache_size)
+    backend = make_backend(
+        config.cache_backend,
+        config.cache_size,
+        url=config.cache_url,
+        path=config.cache_path,
+    )
     previous_backend = set_active_backend(backend)
     previous_scheduler = _ACTIVE_SCHEDULER
     scheduler = TrialScheduler(config.jobs, persistent=True)

@@ -370,6 +370,25 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache-size", type=int, default=192, help="entries per bounded cache region"
     )
     parser.add_argument(
+        "--cache-url",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "with --cache-backend remote: address of a running cache server "
+            "(python -m repro.db.cache.server) — a batch run against the same "
+            "server warms this serving process, and vice versa"
+        ),
+    )
+    parser.add_argument(
+        "--cache-path",
+        default=None,
+        metavar="FILE",
+        help=(
+            "with --cache-backend remote: start an embedded cache server "
+            "persisting to this sqlite file instead of connecting to --cache-url"
+        ),
+    )
+    parser.add_argument(
         "--register",
         action="append",
         default=[],
@@ -385,7 +404,16 @@ def _build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point of ``python -m repro.serving``; returns an exit code."""
     args = _build_parser().parse_args(argv)
-    backend = make_backend(args.cache_backend, args.cache_size)
+    if args.cache_backend != "remote" and (args.cache_url or args.cache_path):
+        print("--cache-url/--cache-path require --cache-backend remote", file=sys.stderr)
+        return 2
+    try:
+        backend = make_backend(
+            args.cache_backend, args.cache_size, url=args.cache_url, path=args.cache_path
+        )
+    except ValueError as error:
+        print(f"cannot build cache backend: {error}", file=sys.stderr)
+        return 2
     previous = set_active_backend(backend)
     try:
         planner = QueryPlanner(seed=args.seed)

@@ -13,6 +13,7 @@ The contracts under test (see docs/RUNNER.md):
 import csv
 import dataclasses
 import io
+from contextlib import contextmanager
 
 import numpy as np
 import pytest
@@ -164,7 +165,8 @@ def _canonical_csv(result, tmp_path, label: str) -> str:
 class TestBackendParity:
     """Experiment CSVs are byte-identical across cache backends and job
     counts: ``local`` serial is the reference, every (backend, jobs)
-    combination must reproduce it exactly."""
+    combination — including the out-of-process cache server — must
+    reproduce it exactly."""
 
     QUERIES = ("Qc1", "Qs2", "Qg2")
 
@@ -173,7 +175,23 @@ class TestBackendParity:
             result = table1.run(config, query_names=self.QUERIES)
         return _canonical_csv(result, tmp_path, label)
 
-    @pytest.mark.parametrize("backend", ["local", "shared"])
+    @contextmanager
+    def _configured(self, tiny_config, backend, jobs):
+        """A config for (backend, jobs); 'remote' gets a live cache server."""
+        if backend == "remote":
+            from repro.db.cache.server import CacheServerThread
+
+            with CacheServerThread(max_entries=4096) as handle:
+                yield dataclasses.replace(
+                    tiny_config,
+                    jobs=jobs,
+                    cache_backend="remote",
+                    cache_url=f"127.0.0.1:{handle.server.port}",
+                )
+        else:
+            yield dataclasses.replace(tiny_config, jobs=jobs, cache_backend=backend)
+
+    @pytest.mark.parametrize("backend", ["local", "shared", "remote"])
     @pytest.mark.parametrize("jobs", [1, 4])
     def test_csv_identical_to_serial_local_run(self, tiny_config, tmp_path, backend, jobs):
         reference = self._table1_csv(
@@ -181,11 +199,8 @@ class TestBackendParity:
             tmp_path,
             "reference",
         )
-        variant = self._table1_csv(
-            dataclasses.replace(tiny_config, jobs=jobs, cache_backend=backend),
-            tmp_path,
-            f"{backend}-j{jobs}",
-        )
+        with self._configured(tiny_config, backend, jobs) as config:
+            variant = self._table1_csv(config, tmp_path, f"{backend}-j{jobs}")
         assert variant == reference
 
     def test_shared_backend_scores_cross_worker_hits(self, tiny_config):
@@ -195,6 +210,16 @@ class TestBackendParity:
             stats = active_backend().stats()
         assert stats.shared_puts > 0
         assert stats.shared_hits > 0  # some worker was served by another's work
+
+    def test_remote_backend_scores_cross_process_hits(self, tiny_config):
+        """Forked workers reconnect to the cache server and exchange
+        artefacts through it, exactly like the shared tier."""
+        with self._configured(tiny_config, "remote", jobs=4) as config:
+            with evaluation_session(config):
+                table1.run(config, query_names=self.QUERIES)
+                stats = active_backend().stats()
+        assert stats.shared_puts > 0
+        assert stats.shared_hits > 0  # some process was served by another's work
 
 
 class TestRunWideScheduler:

@@ -20,6 +20,7 @@ import pytest
 
 from repro.db.cache import (
     LocalCacheBackend,
+    RemoteCacheBackend,
     SharedMemoryCacheBackend,
     backend_scope,
 )
@@ -340,6 +341,70 @@ class TestOfflineParity:
             == json.dumps(shared_again["answers"])
         )
         assert local["mean_relative_error"] == shared["mean_relative_error"]
+
+
+class TestRemoteCacheServerParity:
+    """Serving through a live out-of-process cache server: the bytes match
+    the local-backend reference, and a batch run against the same server
+    warms a *separately launched* serving process (and vice versa)."""
+
+    REQUEST = {
+        "database": "demo",
+        "mechanism": "PM",
+        "epsilon": 0.5,
+        "query": "Qc3",
+        "trials": 2,
+    }
+
+    def _fresh_planner(self):
+        planner = QueryPlanner(seed=SEED)
+        planner.register("demo", "ssb", scale_factor=1.0, rows_per_scale_factor=2000, seed=5)
+        return planner
+
+    def test_served_bytes_identical_through_live_cache_server(self):
+        from repro.db.cache.server import CacheServerThread
+
+        with backend_scope(LocalCacheBackend(64)):
+            planner = self._fresh_planner()
+            reference = planner.execute(planner.plan(self.REQUEST))
+        with CacheServerThread(max_entries=2048) as handle:
+            backend = RemoteCacheBackend(host="127.0.0.1", port=handle.server.port)
+            try:
+                with backend_scope(backend):
+                    planner = self._fresh_planner()
+                    first = planner.execute(planner.plan(self.REQUEST))
+                    # The second pass is served from the cache server tier.
+                    again = planner.execute(planner.plan(self.REQUEST))
+            finally:
+                backend.close()
+        assert (
+            json.dumps(reference["answers"])
+            == json.dumps(first["answers"])
+            == json.dumps(again["answers"])
+        )
+        assert reference["mean_relative_error"] == first["mean_relative_error"]
+
+    def test_batch_run_warms_a_separate_serving_process(self):
+        """Two planners with two distinct clients — standing in for a batch
+        run and a later serving process that never forked from it — share
+        exact answers and cubes through content-addressed server entries."""
+        from repro.db.cache.server import CacheServerThread
+
+        with CacheServerThread(max_entries=2048) as handle:
+            batch_backend = RemoteCacheBackend(host="127.0.0.1", port=handle.server.port)
+            with backend_scope(batch_backend):
+                batch_planner = self._fresh_planner()
+                batch = batch_planner.execute(batch_planner.plan(self.REQUEST))
+            batch_backend.close()
+
+            serving_backend = RemoteCacheBackend(host="127.0.0.1", port=handle.server.port)
+            with backend_scope(serving_backend):
+                serving_planner = self._fresh_planner()  # its own database build
+                served = serving_planner.execute(serving_planner.plan(self.REQUEST))
+            hits = serving_backend.stats().shared_hits
+            serving_backend.close()
+        assert json.dumps(served["answers"]) == json.dumps(batch["answers"])
+        assert hits > 0  # the batch run's artefacts served the "online" process
 
 
 # ----------------------------------------------------------------------
