@@ -30,6 +30,11 @@ Beyond the per-experiment kernels the report tracks five scaling baselines:
   server: a cold run against an empty persistence file vs a run whose server
   restarted warm from the previous run's disk state, with client/server hit
   rates and the bytes that crossed the wire.
+* ``fault_tolerance`` — Table 1 through a :class:`ChaosProxy` in front of the
+  cache server, clean network vs injected faults (dropped chunks, killed
+  connections, added latency), with the circuit-breaker and proxy counters.
+  The headline number is ``results_identical``: chaos costs time, never
+  correctness.
 """
 
 from __future__ import annotations
@@ -406,6 +411,82 @@ def bench_cache_server(repeats: int, rows: int = 24_000) -> dict:
     }
 
 
+def bench_fault_tolerance(repeats: int, rows: int = 8_000) -> dict:
+    """Table 1 through the chaos proxy: clean network vs injected faults.
+
+    Every pass runs the workload against the out-of-process cache server
+    *through* a :class:`repro.testing.ChaosProxy`, with a tight-deadline
+    ``RemoteCacheBackend`` (short per-op timeouts, bounded retries, a
+    circuit breaker that degrades to local-only and probes its way back).
+    The ``clean`` passes forward everything untouched; the ``chaos`` passes
+    drop 5% of chunks, kill 2% of connections and delay 30% of chunks — the
+    flaky network the fault-tolerance test suite scripts.  Each variant
+    starts from a fresh server so warmness is symmetrical.  The headline
+    field is ``results_identical``: the chaos run must produce
+    byte-identical experiment answers (resilience costs wall clock, never
+    correctness; the rows' own ``mean_time_s`` column is excluded from the
+    comparison for exactly that reason).  The entry also records the
+    breaker's trips/recoveries and the proxy's chunk counters for the last
+    repeat of each variant.
+    """
+    from dataclasses import asdict
+
+    from repro.db.cache import RemoteCacheBackend, backend_scope
+    from repro.db.cache.server import CacheServerThread
+    from repro.testing import ChaosProxy, FaultSpec
+
+    chaos_spec = FaultSpec(drop_rate=0.05, kill_rate=0.02, delay_s=0.005, delay_rate=0.3)
+    config = ExperimentConfig(epsilons=(0.1, 1.0), trials=2, rows_per_scale_factor=rows)
+    timings: dict[str, list] = {"clean": [], "chaos": []}
+    details: dict[str, dict] = {}
+    outputs: dict[str, str] = {}
+    for label, spec in (("clean", FaultSpec()), ("chaos", chaos_spec)):
+        with CacheServerThread(max_entries=8192) as handle:
+            with ChaosProxy("127.0.0.1", handle.server.port, spec=spec, seed=13) as proxy:
+                for index in range(repeats):
+                    _clear_caches()
+                    backend = RemoteCacheBackend(
+                        host="127.0.0.1",
+                        port=proxy.port,
+                        op_timeout=0.25,
+                        retry_attempts=3,
+                        backoff_base=0.01,
+                        backoff_max=0.05,
+                        breaker_threshold=3,
+                        breaker_reset_timeout=0.2,
+                    )
+                    start = time.perf_counter()
+                    with backend_scope(backend):
+                        result = table1.run(config)
+                    timings[label].append(time.perf_counter() - start)
+                    if index == repeats - 1:
+                        outputs[label] = json.dumps(
+                            [
+                                {k: v for k, v in row.items() if not k.endswith("time_s")}
+                                for row in result.rows
+                            ],
+                            sort_keys=True,
+                            default=str,
+                        )
+                        details[label] = {
+                            "breaker": backend.breaker_stats(),
+                            "proxy": proxy.stats(),
+                        }
+                    backend.close()
+    clean_mean = sum(timings["clean"]) / repeats
+    chaos_mean = sum(timings["chaos"]) / repeats
+    return {
+        "rows_per_scale_factor": rows,
+        "fault_spec": asdict(chaos_spec),
+        "clean_mean_s": round(clean_mean, 6),
+        "chaos_mean_s": round(chaos_mean, 6),
+        "chaos_over_clean": round(chaos_mean / clean_mean, 3),
+        "results_identical": outputs["chaos"] == outputs["clean"],
+        "details": details,
+        "samples": {k: [round(s, 6) for s in v] for k, v in timings.items()},
+    }
+
+
 def bench_serving_throughput(repeats: int, quick_mode: bool = False) -> dict:
     """The online query server's requests/sec at rising client concurrency.
 
@@ -555,6 +636,14 @@ def run_benchmarks(repeats: int = 3, quick_mode: bool = False) -> dict:
           f"{warm['loaded_from_disk']} entries loaded, "
           f"{warm['wire']['bytes_received']/1024:.0f} KiB received)")
 
+    fault = bench_fault_tolerance(repeats, rows=4_000 if quick_mode else 8_000)
+    chaos_details = fault["details"]["chaos"]
+    print(f"{'fault_tolerance':>15}: clean {fault['clean_mean_s']*1000:8.1f} ms -> "
+          f"chaos {fault['chaos_mean_s']*1000:.1f} ms "
+          f"({fault['chaos_over_clean']}x, identical={fault['results_identical']}, "
+          f"{chaos_details['breaker']['trips']} breaker trip(s), "
+          f"{chaos_details['proxy']['chunks_dropped']} chunks dropped)")
+
     _clear_caches()
     serving = bench_serving_throughput(repeats, quick_mode=quick_mode)
     level_text = ", ".join(
@@ -566,7 +655,7 @@ def run_benchmarks(repeats: int = 3, quick_mode: bool = False) -> dict:
           f"{serving['coalesced']} coalesced)")
 
     return {
-        "schema_version": 5,
+        "schema_version": 6,
         "repeats": repeats,
         "python": platform.python_version(),
         "machine": platform.machine(),
@@ -576,6 +665,7 @@ def run_benchmarks(repeats: int = 3, quick_mode: bool = False) -> dict:
         "cache_backends": backends,
         "run_wide_scheduler": run_wide,
         "cache_server": cache_server,
+        "fault_tolerance": fault,
         "serving_throughput": serving,
         "total_mean_s": round(sum(t["mean_s"] for t in timings.values()), 6),
     }

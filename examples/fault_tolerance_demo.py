@@ -1,0 +1,221 @@
+"""Fault-tolerance smoke: flaky-network batch, breaker recovery, durable ledger.
+
+Three end-to-end properties (CI runs this next to the serving and
+cache-server smokes):
+
+1. **Byte-identical answers through a flaky network** — a quick batch run
+   through a :class:`ChaosProxy` (dropped chunks, killed connections, added
+   latency) in front of the cache server produces exactly the rows of a
+   clean local-backend run.  Resilience costs wall clock, never correctness.
+2. **Circuit breaker degrade + recover** — corrupt every chunk and watch the
+   remote cache backend trip to local-only operation; heal the network and
+   watch the breaker's half-open probe bring the remote tier back.
+3. **Durable ledger across SIGKILL** — a serving process started with
+   ``--ledger-path`` spends ε, is SIGKILLed, restarts on the same journal
+   and still remembers the spend: admission refuses past the budget.
+
+Usage::
+
+    PYTHONPATH=src python examples/fault_tolerance_demo.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.db.cache import LocalCacheBackend, RemoteCacheBackend, backend_scope
+from repro.db.cache.server import CacheServerThread
+from repro.evaluation.experiments import table1
+from repro.evaluation.experiments.common import ExperimentConfig
+from repro.serving import ServingClient, ServingError
+from repro.testing import ChaosProxy, FaultSpec
+
+QUERIES = ("Qc1", "Qs2")
+
+#: The flaky network of the fault-tolerance test suite: 5% of chunks lost,
+#: 2% of chunks kill their connection, 30% of chunks delayed 5 ms.
+FLAKY = FaultSpec(drop_rate=0.05, kill_rate=0.02, delay_s=0.005, delay_rate=0.3)
+
+DEMO_SPEC = {
+    "name": "demo",
+    "kind": "ssb",
+    "scale_factor": 1.0,
+    "rows_per_scale_factor": 2000,
+    "seed": 5,
+}
+
+
+def _resilient_backend(port: int) -> RemoteCacheBackend:
+    """A remote backend with deadlines tight enough for a smoke test."""
+    return RemoteCacheBackend(
+        host="127.0.0.1",
+        port=port,
+        op_timeout=0.25,
+        retry_attempts=3,
+        backoff_base=0.01,
+        backoff_max=0.05,
+        breaker_threshold=3,
+        breaker_reset_timeout=0.3,
+    )
+
+
+def _rows(result) -> list[dict]:
+    """Result rows with the wall-clock column dropped (it may legitimately differ)."""
+    return [{k: v for k, v in row.items() if k != "mean_time_s"} for row in result.rows]
+
+
+def step_flaky_batch() -> int:
+    config = ExperimentConfig(
+        epsilons=(0.1, 1.0), trials=2, rows_per_scale_factor=4000, seed=11
+    )
+    with backend_scope(LocalCacheBackend()):
+        reference = _rows(table1.run(config, query_names=QUERIES))
+    with CacheServerThread(max_entries=4096) as handle:
+        with ChaosProxy("127.0.0.1", handle.server.port, spec=FLAKY, seed=7) as proxy:
+            backend = _resilient_backend(proxy.port)
+            try:
+                with backend_scope(backend):
+                    chaotic = _rows(table1.run(config, query_names=QUERIES))
+            finally:
+                backend.close()
+            stats = proxy.stats()
+    if chaotic != reference:
+        print("rows differ between the clean and the chaos run", file=sys.stderr)
+        return 1
+    print(
+        f"[1/3] flaky-network batch: rows identical to the clean run "
+        f"({stats['chunks_dropped']} chunks dropped, "
+        f"{stats['connections_killed']} connections killed)"
+    )
+    return 0
+
+
+def step_breaker_recovery() -> int:
+    with CacheServerThread(max_entries=64) as handle:
+        with ChaosProxy("127.0.0.1", handle.server.port) as proxy:
+            backend = _resilient_backend(proxy.port)
+            try:
+                backend.put("ns", "result", "k", 1.5)
+                if backend.get("ns", "result", "k") != 1.5:
+                    print("clean round trip through the proxy failed", file=sys.stderr)
+                    return 1
+                proxy.set_faults(corrupt_rate=1.0)  # every chunk now garbage
+                backend.release("ns")  # drop the local copy; force remote reads
+                backend.get("ns", "result", "k")  # trips the breaker
+                if not backend.degraded:
+                    print("breaker did not trip under corruption", file=sys.stderr)
+                    return 1
+                proxy.set_faults()  # network heals
+                time.sleep(0.35)  # past breaker_reset_timeout: half-open
+                if backend.get("ns", "result", "k") != 1.5:
+                    print("probe after healing did not recover the value", file=sys.stderr)
+                    return 1
+                stats = backend.breaker_stats()
+                if backend.degraded or stats["recoveries"] < 1:
+                    print(f"breaker did not recover: {stats}", file=sys.stderr)
+                    return 1
+            finally:
+                backend.close()
+    print(
+        f"[2/3] circuit breaker: tripped to local-only under corruption, "
+        f"probed back after healing ({stats['trips']} trip(s), "
+        f"{stats['recoveries']} recovery(ies))"
+    )
+    return 0
+
+
+def _spawn_server(ledger: Path) -> tuple[subprocess.Popen, int]:
+    """Start a durable serving process on an ephemeral port; returns (proc, port)."""
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-u",
+            "-m",
+            "repro.serving",
+            "--port",
+            "0",
+            "--workers",
+            "2",
+            "--analyst-epsilon",
+            "1.0",
+            "--ledger-path",
+            str(ledger),
+            "--register",
+            json.dumps(DEMO_SPEC),
+        ],
+        env=os.environ.copy(),
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise RuntimeError(f"serving process exited at startup ({process.returncode})")
+        line = process.stdout.readline()
+        if not line:
+            time.sleep(0.05)
+            continue
+        print(f"    server: {line.rstrip()}")
+        if line.startswith("serving on "):
+            address = line.removeprefix("serving on ").split(" ", 1)[0]
+            return process, int(address.rsplit(":", 1)[1])
+    process.kill()
+    raise RuntimeError("serving process did not report its port within 60s")
+
+
+def step_durable_ledger() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "ledger.db"
+        server, port = _spawn_server(path)
+        try:
+            with ServingClient(port=port) as client:
+                client.query("demo", "PM", 0.4, query="Qc1", analyst="alice")
+        finally:
+            server.kill()  # SIGKILL: no drain, no journal settle-on-exit
+            server.wait(timeout=30)
+        print("    server SIGKILLed after alice spent eps=0.4")
+
+        server, port = _spawn_server(path)
+        try:
+            with ServingClient(port=port) as client:
+                spent = client.budget("alice")["spent_epsilon"]
+                if abs(spent - 0.4) > 1e-9:
+                    print(f"restart forgot the spend: {spent}", file=sys.stderr)
+                    return 1
+                try:
+                    client.query("demo", "PM", 0.7, query="Qc1", analyst="alice")
+                except ServingError as error:
+                    if error.code != "budget_exhausted":
+                        print(f"unexpected refusal: {error}", file=sys.stderr)
+                        return 1
+                else:
+                    print("over-budget query was admitted after restart", file=sys.stderr)
+                    return 1
+                client.query("demo", "PM", 0.3, query="Qc1", analyst="alice")
+        finally:
+            server.terminate()
+            server.wait(timeout=30)
+    print(
+        "[3/3] durable ledger: spend survived SIGKILL + restart "
+        "(over-budget query refused, in-budget query served)"
+    )
+    return 0
+
+
+def main() -> int:
+    for step in (step_flaky_batch, step_breaker_recovery, step_durable_ledger):
+        code = step()
+        if code:
+            return code
+    print("fault-tolerance smoke OK: identical rows, breaker recovery, durable spend")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,187 @@
+"""A circuit breaker for the remote cache client.
+
+Classic three-state machine (closed → open → half-open → closed) guarding
+:class:`~repro.db.cache.remote.RemoteCacheBackend`'s network tier:
+
+* **closed** — traffic flows; consecutive transport failures are counted
+  and :attr:`failure_threshold` of them in a row open the circuit.
+* **open** — remote traffic is skipped entirely (the backend serves its
+  local tier only, which is always correct — just slower) until
+  :attr:`reset_timeout` seconds have passed.
+* **half-open** — after the timeout, exactly one request is let through as
+  a probe.  Success closes the circuit (the server recovered); failure
+  re-opens it and restarts the timeout.
+
+The breaker replaces the old permanent ``_broken`` flag: where that flag
+turned one hiccup into "local-only for the rest of the process", the
+breaker converts it into "local-only until the server answers a probe".
+Sharing remains an optimisation, never a correctness requirement — values
+are pure functions of their content-derived keys, so open/closed state can
+never change result bytes.
+
+All methods are thread-safe; the remote backend is called from pool
+workers and the serving executor concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with timed half-open probing.
+
+    ``clock`` is injectable (monotonic seconds) so tests can step time
+    instead of sleeping through ``reset_timeout``.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        reset_timeout: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if reset_timeout < 0:
+            raise ValueError(f"reset_timeout must be >= 0, got {reset_timeout}")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_inflight = False
+        # Lifetime counters (never reset by state transitions).
+        self._failures_total = 0
+        self._successes_total = 0
+        self._trips = 0
+        self._recoveries = 0
+        self._rejections = 0
+        self._last_error: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state; reading it performs the open → half-open check."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    @property
+    def is_closed(self) -> bool:
+        return self.state == CLOSED
+
+    def allow(self) -> bool:
+        """Whether a remote request may be attempted right now.
+
+        Closed: always.  Open: no — unless ``reset_timeout`` has elapsed,
+        in which case the circuit half-opens and this call claims the one
+        probe slot.  Half-open: only if no probe is already in flight.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probe_inflight:
+                self._probe_inflight = True
+                return True
+            self._rejections += 1
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._successes_total += 1
+            self._consecutive_failures = 0
+            self._probe_inflight = False
+            if self._state != CLOSED:
+                self._state = CLOSED
+                self._opened_at = None
+                self._recoveries += 1
+
+    def record_failure(self, error: Optional[BaseException] = None) -> None:
+        with self._lock:
+            self._failures_total += 1
+            self._consecutive_failures += 1
+            self._probe_inflight = False
+            if error is not None:
+                self._last_error = f"{type(error).__name__}: {error}"
+            if self._state == HALF_OPEN or (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._open()
+
+    def trip(self, error: Optional[BaseException] = None) -> None:
+        """Open the circuit immediately, bypassing the failure threshold.
+
+        Used for failures that prove the conversation itself is unsound — a
+        corrupt payload decoded off the wire — where counting up to the
+        threshold would just decode more garbage.
+        """
+        with self._lock:
+            self._failures_total += 1
+            self._consecutive_failures = max(
+                self._consecutive_failures + 1, self.failure_threshold
+            )
+            self._probe_inflight = False
+            if error is not None:
+                self._last_error = f"{type(error).__name__}: {error}"
+            if self._state != OPEN:
+                self._open()
+            else:
+                self._opened_at = self._clock()  # restart the timeout
+
+    def reset(self) -> None:
+        """Force-close (administrative; tests and ``clear()`` use it)."""
+        with self._lock:
+            self._state = CLOSED
+            self._consecutive_failures = 0
+            self._opened_at = None
+            self._probe_inflight = False
+
+    # ------------------------------------------------------------------
+    def _open(self) -> None:
+        # Caller holds the lock.
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._trips += 1
+
+    def _maybe_half_open(self) -> None:
+        # Caller holds the lock.
+        if self._state == OPEN and (
+            self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = HALF_OPEN
+            self._probe_inflight = False
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "failures_total": self._failures_total,
+                "successes_total": self._successes_total,
+                "trips": self._trips,
+                "recoveries": self._recoveries,
+                "rejections": self._rejections,
+                "last_error": self._last_error,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CircuitBreaker({self.state}, "
+            f"failures={self._consecutive_failures}/{self.failure_threshold}, "
+            f"trips={self._trips}, recoveries={self._recoveries})"
+        )

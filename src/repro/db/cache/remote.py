@@ -21,11 +21,17 @@ Lifecycle mirrors the shared backend:
   Sockets cannot cross a fork: each process lazily opens its own small
   connection pool, keyed by pid, so an inherited backend reconnects
   transparently inside the first worker that touches it.
-* If the server becomes unreachable — killed mid-run, network gone — the
-  backend marks itself broken and degrades to L1-only instead of failing:
-  sharing is an optimisation, never a correctness requirement.  Values are
-  pure functions of their content-derived keys, so a degraded run produces
-  byte-identical results, just more slowly.
+* If the server becomes unreachable — killed mid-run, network gone — a
+  :class:`~repro.db.cache.breaker.CircuitBreaker` opens and the backend
+  degrades to L1-only instead of failing: sharing is an optimisation, never
+  a correctness requirement.  Values are pure functions of their
+  content-derived keys, so a degraded run produces byte-identical results,
+  just more slowly.  Unlike the old permanent ``_broken`` flag, the breaker
+  half-opens after ``breaker_reset_timeout`` and probes the server, so a
+  restarted server is picked back up mid-run.  Each remote operation runs
+  under an explicit per-op deadline (``op_timeout``) and is retried up to
+  ``retry_attempts`` times with exponential backoff + jitter before it
+  counts as a hard failure.
 * ``close()`` drops this process's connections; with an *owned* embedded
   server (the ``path=`` convenience used by ``--cache-path``) the owner
   process also stops that server thread.
@@ -36,13 +42,16 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import random
 import socket
 import struct
 import threading
+import time
 import warnings
 from typing import Any, Hashable, Optional
 
 from repro.db.cache.backend import SHARED_REGIONS, CacheStats
+from repro.db.cache.breaker import CircuitBreaker
 from repro.db.cache.local import LocalCacheBackend
 from repro.db.cache.shared import _freeze_value
 from repro.db.cache.wire import (
@@ -85,10 +94,16 @@ def parse_cache_url(url: str) -> tuple[str, int]:
 
 
 class _Connection:
-    """One pooled blocking connection (socket + buffered file object)."""
+    """One pooled blocking connection (socket + buffered file object).
 
-    def __init__(self, host: str, port: int, timeout: float):
+    ``timeout`` bounds connection establishment; ``op_timeout`` is the
+    per-operation deadline every subsequent send/recv runs under, so a
+    frozen (but connected) server surfaces as a timeout instead of a hang.
+    """
+
+    def __init__(self, host: str, port: int, timeout: float, op_timeout: Optional[float] = None):
         self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.sock.settimeout(op_timeout if op_timeout is not None else timeout)
         self.file = self.sock.makefile("rwb")
 
     def close(self) -> None:
@@ -118,6 +133,12 @@ class RemoteCacheBackend:
         timeout: float = 30.0,
         max_connections: int = 4,
         server_max_entries: Optional[int] = None,
+        op_timeout: Optional[float] = None,
+        retry_attempts: int = 3,
+        backoff_base: float = 0.05,
+        backoff_max: float = 1.0,
+        breaker_threshold: int = 3,
+        breaker_reset_timeout: float = 2.0,
     ):
         """Connect to (or start) a cache server.
 
@@ -127,11 +148,28 @@ class RemoteCacheBackend:
         file, owned (and stopped on :meth:`close`) by this backend.  An
         unreachable server degrades the backend to local-only with a warning
         rather than failing construction.
+
+        Resilience knobs: ``op_timeout`` is the per-operation socket
+        deadline (defaults to ``timeout``); each operation is attempted up
+        to ``retry_attempts`` times with exponential backoff
+        (``backoff_base * 2**attempt``, capped at ``backoff_max``, plus up
+        to 50% jitter); ``breaker_threshold`` consecutive hard failures
+        open the circuit breaker, which half-opens to probe recovery after
+        ``breaker_reset_timeout`` seconds.
         """
         self._local = LocalCacheBackend(max_entries)
         self.max_entries = self._local.max_entries
         self.remote_regions = frozenset(remote_regions)
         self.timeout = float(timeout)
+        self.op_timeout = float(op_timeout) if op_timeout is not None else self.timeout
+        self.retry_attempts = max(1, int(retry_attempts))
+        self.backoff_base = float(backoff_base)
+        self.backoff_max = float(backoff_max)
+        self.breaker = CircuitBreaker(
+            failure_threshold=breaker_threshold,
+            reset_timeout=breaker_reset_timeout,
+        )
+        self._jitter = random.Random()  # independent of the global stream
         self.max_connections = max(1, int(max_connections))
         self._server_handle = None
         if path is not None:
@@ -156,7 +194,7 @@ class RemoteCacheBackend:
         self.host = str(host)
         self.port = int(port)
         self._owner_pid = os.getpid()
-        self._broken = False
+        self._closed = False
         self._pool: list[_Connection] = []
         self._pool_pid = os.getpid()
         self._pool_lock = threading.Lock()
@@ -171,7 +209,6 @@ class RemoteCacheBackend:
         try:
             self._request({"op": "ping"})
         except _REMOTE_ERRORS as error:
-            self._broken = True
             warnings.warn(
                 f"cache server {self.host}:{self.port} is unreachable ({error}); "
                 "continuing with the local tier only",
@@ -194,7 +231,7 @@ class RemoteCacheBackend:
                 self._pool_pid = os.getpid()
             if self._pool:
                 return self._pool.pop(), True
-        return _Connection(self.host, self.port, self.timeout), False
+        return _Connection(self.host, self.port, self.timeout, self.op_timeout), False
 
     def _checkin(self, connection: _Connection) -> None:
         with self._pool_lock:
@@ -207,25 +244,47 @@ class RemoteCacheBackend:
         with counter.get_lock():
             counter.value += amount
 
+    def _backoff(self, attempt: int) -> None:
+        delay = min(self.backoff_base * (2**attempt), self.backoff_max)
+        time.sleep(delay * (1.0 + 0.5 * self._jitter.random()))
+
     def _request(self, header: dict, payload: bytes = b"") -> tuple[dict, bytes]:
-        """One request/response round-trip on a pooled connection.
+        """One request/response round-trip, with bounded retry.
 
         A transport failure on a *pooled* socket is ambiguous — the server
         may merely have restarted since the socket was pooled (the headline
-        persistence scenario) — so it is retried exactly once on a fresh
-        connection before the error propagates.  Raises one of
-        :data:`_REMOTE_ERRORS` when the server is genuinely unreachable
-        (the caller degrades) and ``RuntimeError`` when the server answers
-        a structured error.
+        persistence scenario) — so it costs nothing: it is not reported to
+        the breaker and does not consume a retry attempt.  Failures on
+        fresh connections are real: each is recorded with the breaker, and
+        the operation is retried up to ``retry_attempts`` times (once while
+        the breaker is probing — a probe that needed three tries did not
+        recover) with exponential backoff + jitter before the last error
+        propagates.  Raises one of :data:`_REMOTE_ERRORS` when the server
+        is genuinely unreachable (the caller degrades) and ``RuntimeError``
+        when the server answers a structured error.
         """
         connection, pooled = self._checkout()
-        try:
-            return self._round_trip(connection, header, payload)
-        except _REMOTE_ERRORS:
-            if not pooled:
-                raise
-            fresh = _Connection(self.host, self.port, self.timeout)
-            return self._round_trip(fresh, header, payload)
+        if pooled:
+            try:
+                return self._round_trip(connection, header, payload)
+            except _REMOTE_ERRORS:
+                connection = None  # stale pooled socket: retry fresh below
+        attempts = self.retry_attempts if self.breaker.is_closed else 1
+        last_error: Optional[Exception] = None
+        for attempt in range(attempts):
+            try:
+                if connection is None:
+                    connection = _Connection(
+                        self.host, self.port, self.timeout, self.op_timeout
+                    )
+                return self._round_trip(connection, header, payload)
+            except _REMOTE_ERRORS as error:
+                self.breaker.record_failure(error)
+                last_error = error
+                connection = None
+                if attempt + 1 < attempts:
+                    self._backoff(attempt)
+        raise last_error
 
     def _round_trip(self, connection: _Connection, header: dict, payload: bytes):
         try:
@@ -234,6 +293,9 @@ class RemoteCacheBackend:
         except BaseException:
             connection.close()
             raise
+        # A complete round trip — even one carrying a structured refusal —
+        # proves the transport is healthy.
+        self.breaker.record_success()
         self._count(self._bytes_sent, sent)
         self._count(self._bytes_received, received)
         if not response.get("ok"):
@@ -249,10 +311,18 @@ class RemoteCacheBackend:
     # ------------------------------------------------------------------
     # the CacheBackend protocol
     # ------------------------------------------------------------------
+    def _remote_allowed(self) -> bool:
+        """Whether a remote round trip may be attempted right now: the
+        backend is not closed and the circuit breaker admits the request
+        (closed, or half-open granting this call the probe slot)."""
+        return not self._closed and self.breaker.allow()
+
     def get(self, namespace: str, region: str, key: Hashable) -> Any:
         value = self._local.get(namespace, region, key)
-        if value is not None or region not in self.remote_regions or self._broken:
+        if value is not None or region not in self.remote_regions:
             return value
+        if not self._remote_allowed():
+            return None
         header = {
             "op": "get",
             "namespace": namespace,
@@ -265,8 +335,12 @@ class RemoteCacheBackend:
                 self._count(self._shared_misses)
                 return None
             value = decode_payload(payload)
-        except _REMOTE_ERRORS:
-            self._broken = True
+        except _REMOTE_ERRORS as error:
+            # A payload that decoded to garbage trips the breaker outright:
+            # the round trip "succeeded", so only an immediate trip stops
+            # the next op from decoding more garbage.  Transport errors
+            # have already been counted per-attempt inside _request.
+            self.breaker.trip(error)
             return None
         except RuntimeError:
             self._count(self._shared_misses)
@@ -280,7 +354,7 @@ class RemoteCacheBackend:
 
     def put(self, namespace: str, region: str, key: Hashable, value: Any) -> None:
         self._local.put(namespace, region, key, value)
-        if region not in self.remote_regions or self._broken:
+        if region not in self.remote_regions:
             return
         try:
             payload = encode_payload(value)
@@ -291,6 +365,8 @@ class RemoteCacheBackend:
             return
         if len(payload) > MAX_FRAME_PAYLOAD:
             return  # same rule: an oversized value must not cost the tier
+        if not self._remote_allowed():
+            return
         header = {
             "op": "put",
             "namespace": namespace,
@@ -301,7 +377,7 @@ class RemoteCacheBackend:
             self._request(header, payload)
             self._count(self._shared_puts)
         except _REMOTE_ERRORS:
-            self._broken = True
+            pass  # attempts already recorded; the breaker is open by now
         except RuntimeError:
             pass  # the server refused one entry; nothing to degrade over
 
@@ -309,12 +385,12 @@ class RemoteCacheBackend:
         self._local.clear(namespace)
         if namespace is None:
             self.reset_stats()  # a full clear is a fresh start, counters too
-        if self._broken:
+        if not self._remote_allowed():
             return
         try:
             self._request({"op": "clear", "namespace": namespace})
         except _REMOTE_ERRORS:
-            self._broken = True
+            pass
         except RuntimeError:
             pass
 
@@ -339,13 +415,12 @@ class RemoteCacheBackend:
 
     def entry_count(self, namespace: Optional[str] = None) -> int:
         count = self._local.entry_count(namespace)
-        if self._broken:
+        if not self._remote_allowed():
             return count
         try:
             response, _ = self._request({"op": "count", "namespace": namespace})
             return count + int(response.get("count", 0))
         except _REMOTE_ERRORS:
-            self._broken = True
             return count
         except RuntimeError:
             return count
@@ -354,10 +429,19 @@ class RemoteCacheBackend:
     # observability beyond the protocol
     # ------------------------------------------------------------------
     @property
+    def _broken(self) -> bool:
+        """Whether the remote tier is currently out of service: the backend
+        was closed, or the circuit breaker is open / probing.  Kept as the
+        historical name; unlike the flag it replaced, it flips back to
+        ``False`` when a half-open probe finds the server again."""
+        return self._closed or not self.breaker.is_closed
+
+    @property
     def degraded(self) -> bool:
         """Whether this backend has fallen back to its local tier only
-        (the server became unreachable at some point; results are still
-        correct, just recomputed instead of shared)."""
+        (the server is unreachable right now; results are still correct,
+        just recomputed instead of shared).  Clears automatically once the
+        breaker's half-open probe finds the server healthy again."""
         return self._broken
 
     def remote_io(self) -> dict:
@@ -367,16 +451,19 @@ class RemoteCacheBackend:
             "bytes_received": int(self._bytes_received.value),
         }
 
+    def breaker_stats(self) -> dict:
+        """The circuit breaker's state and lifetime counters."""
+        return self.breaker.stats()
+
     def server_stats(self) -> Optional[dict]:
         """The server's own counters (hits across *all* clients), or ``None``
         when the server is unreachable."""
-        if self._broken:
+        if not self._remote_allowed():
             return None
         try:
             response, _ = self._request({"op": "stats"})
             return response.get("stats")
         except _REMOTE_ERRORS:
-            self._broken = True
             return None
         except RuntimeError:
             return None
@@ -386,7 +473,7 @@ class RemoteCacheBackend:
         """Drop this process's connections; the owner also stops an owned
         embedded server.  Workers that inherited the backend through fork
         must never tear the server down."""
-        self._broken = True
+        self._closed = True
         with self._pool_lock:
             pool, self._pool = self._pool, []
         for connection in pool:

@@ -281,7 +281,9 @@ class CacheServer:
         self._server: Optional[asyncio.base_events.Server] = None
         self._shutdown: Optional[asyncio.Event] = None
         self._writers: set[asyncio.StreamWriter] = set()
+        self._busy: set[asyncio.StreamWriter] = set()
         self._handlers: set[asyncio.Task] = set()
+        self.drain_timeout = 5.0
 
     # ------------------------------------------------------------------
     # lifecycle (mirrors repro.serving.server.QueryServer)
@@ -315,8 +317,17 @@ class CacheServer:
             await self.aclose()
 
     async def aclose(self) -> None:
+        """Stop accepting and drain: a connection whose request has been
+        read gets its response written (up to ``drain_timeout``) before the
+        transport closes — a shutdown must never eat an answered frame."""
         if self._server is not None:
             self._server.close()
+        for writer in list(self._writers - self._busy):
+            writer.close()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.drain_timeout
+        while self._busy and loop.time() < deadline:
+            await asyncio.sleep(0.01)
         for writer in list(self._writers):
             writer.close()
         if self._server is not None:
@@ -358,11 +369,17 @@ class CacheServer:
                         pass
                     break
                 self.bytes_received += frame_size
-                response, out_payload, stop_after = self._dispatch(header, payload)
+                # Busy while a read frame awaits its response, so a graceful
+                # shutdown drains this write instead of cutting it.
+                self._busy.add(writer)
                 try:
-                    self.bytes_sent += await write_frame_async(writer, response, out_payload)
-                except ConnectionError:
-                    break
+                    response, out_payload, stop_after = self._dispatch(header, payload)
+                    try:
+                        self.bytes_sent += await write_frame_async(writer, response, out_payload)
+                    except ConnectionError:
+                        break
+                finally:
+                    self._busy.discard(writer)
                 if stop_after:
                     self.request_shutdown()
                     break
@@ -487,6 +504,12 @@ class CacheServerThread:
             self._loop.close()
 
     def stop(self, timeout: float = 10.0) -> None:
+        """Request shutdown and join the loop thread.
+
+        Raises ``RuntimeError`` if the thread is still alive after
+        ``timeout``: a silently leaked cache-server loop (and its bound
+        port) would poison later tests, so a hung shutdown must be loud.
+        """
         if self._thread is None or not self._thread.is_alive():
             return
         try:
@@ -494,6 +517,11 @@ class CacheServerThread:
         except RuntimeError:
             pass  # a 'shutdown' op already closed the loop under us
         self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise RuntimeError(
+                f"cache server event loop did not stop within {timeout}s "
+                "(a handler or persistence write is hung); the thread is still alive"
+            )
 
     def __enter__(self) -> "CacheServerThread":
         return self.start()

@@ -56,9 +56,16 @@ __all__ = [
 ]
 
 #: Upper bounds a reader enforces before allocating (a garbage length prefix
-#: must produce a clean error, not a memory bomb).
+#: must produce a clean error, not a memory bomb).  The payload bound caps
+#: a single cached value at 64 MiB — an order of magnitude above the
+#: largest artefact the engine shares (data cubes a few MiB at SF 1) while
+#: keeping the worst case a corrupt prefix can make a reader allocate far
+#: below anything that could distress a host.  The server answers an
+#: over-bound length with a structured ``bad frame`` error before dropping
+#: the connection; the client simply refuses to send oversized values
+#: (they stay in its local tier).
 MAX_FRAME_HEADER = 1 << 20  # 1 MiB of JSON header
-MAX_FRAME_PAYLOAD = 1 << 30  # 1 GiB of value bytes
+MAX_FRAME_PAYLOAD = 1 << 26  # 64 MiB of value bytes
 
 
 # ----------------------------------------------------------------------

@@ -116,6 +116,27 @@ class PrivacyAccountant:
         delta = max(b.delta for b in budgets)
         self.charge(PrivacyBudget(epsilon, delta), label=label)
 
+    def restore_spend(
+        self, epsilon: float, delta: float = 0.0, label: str = "restored"
+    ) -> None:
+        """Reinstall spend replayed from a durable journal.
+
+        Unlike :meth:`charge`, this bypasses the budget cap: the spend
+        already happened in a previous process, and a total that was
+        *lowered* across a restart must not make historical charges
+        unrepresentable — the account simply starts (over-)exhausted.
+        Recorded in the ledger under ``label`` when non-zero.
+        """
+        self._spent_epsilon = max(float(epsilon), 0.0)
+        self._spent_delta = max(float(delta), 0.0)
+        if self._spent_epsilon > 0 or self._spent_delta > 0:
+            # Audit entry only; PrivacyBudget's validity bounds (ε > 0,
+            # δ < 1) are kept by clamping, the spend fields above are exact.
+            entry = PrivacyBudget(
+                max(self._spent_epsilon, 1e-12), min(self._spent_delta, 1.0 - 1e-12)
+            )
+            self._ledger.append((label, entry))
+
     def refund(self, budget: PrivacyBudget, label: str = "refund") -> None:
         """Return a charge whose mechanism never released an answer.
 

@@ -220,6 +220,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--host", default="127.0.0.1", help="bind address for --serve")
     parser.add_argument("--port", type=int, default=8642, help="bind port for --serve")
+    parser.add_argument(
+        "--ledger-path",
+        default=None,
+        metavar="FILE",
+        help=(
+            "with --serve: persist the per-analyst budget ledger to this "
+            "sqlite journal so spent ε survives restarts and crashes"
+        ),
+    )
     return parser
 
 
@@ -253,11 +262,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.ledger_path and not args.serve:
+        print("--ledger-path only applies with --serve", file=sys.stderr)
+        return 2
     config.jobs = args.jobs
     config.cache_backend = args.cache_backend
     config.cache_size = args.cache_size
     config.cache_url = args.cache_url
     config.cache_path = args.cache_path
+    config.ledger_path = args.ledger_path
 
     if args.serve:
         # Delegate to the serving entry point with this invocation's seed and
@@ -275,6 +288,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             serve_argv += ["--cache-url", config.cache_url]
         if config.cache_path:
             serve_argv += ["--cache-path", config.cache_path]
+        if config.ledger_path:
+            serve_argv += ["--ledger-path", config.ledger_path]
         return serve_main(serve_argv)
 
     try:

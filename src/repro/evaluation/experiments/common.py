@@ -123,6 +123,11 @@ class ExperimentConfig:
         Alternative to ``cache_url``: a sqlite file an *embedded* cache
         server (started and stopped with the run) persists entries to, so a
         later run — batch or serving — starts warm.
+    ledger_path:
+        Sqlite journal the serving budget ledger persists charges to
+        (``--serve`` runs only): spent ε survives server restarts and
+        crashes (see :mod:`repro.serving.durable`).  Batch experiments
+        ignore it — their privacy accounting is per-run by design.
     """
 
     epsilons: tuple[float, ...] = PAPER_EPSILONS
@@ -136,6 +141,7 @@ class ExperimentConfig:
     cache_size: int = 192
     cache_url: Optional[str] = None
     cache_path: Optional[str] = None
+    ledger_path: Optional[str] = None
 
     @classmethod
     def quick(cls) -> "ExperimentConfig":

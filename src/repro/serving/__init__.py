@@ -11,7 +11,10 @@ analytics service over the same engine, mechanisms and cache backends:
   :class:`~repro.db.engine.ExecutionEngine`, deterministic per-request seed
   streams (served answers are byte-identical to the offline runner path);
 * :mod:`repro.serving.ledger` — per-analyst budget ledger with admission
-  control (sequential + parallel composition, hard structured refusal);
+  control (sequential + parallel composition, hard structured refusal),
+  optionally durable through :mod:`repro.serving.durable`'s sqlite/WAL
+  charge journal (``--ledger-path``): spent ε survives crashes and
+  restarts, never under-charged;
 * :mod:`repro.serving.singleflight` — concurrent identical requests share one
   engine execution;
 * :mod:`repro.serving.client` — blocking JSON-line client;
@@ -22,15 +25,18 @@ determinism guarantees.
 """
 
 from repro.serving.client import ServingClient
-from repro.serving.ledger import DEFAULT_ANALYST_BUDGET, BudgetLedger
+from repro.serving.durable import LedgerJournal
+from repro.serving.ledger import DEFAULT_ANALYST_BUDGET, Admission, BudgetLedger
 from repro.serving.planner import PlannedQuery, QueryPlanner, request_stream, serialize_answer
 from repro.serving.protocol import ERROR_CODES, PROTOCOL_VERSION, ServingError
 from repro.serving.server import QueryServer, ServerThread, main
 from repro.serving.singleflight import SingleFlight
 
 __all__ = [
+    "Admission",
     "BudgetLedger",
     "DEFAULT_ANALYST_BUDGET",
+    "LedgerJournal",
     "ERROR_CODES",
     "PROTOCOL_VERSION",
     "PlannedQuery",

@@ -92,6 +92,9 @@ class ServingClient:
     def stats(self) -> dict:
         return self.request("stats")
 
+    def health(self) -> dict:
+        return self.request("health")
+
     def shutdown(self) -> dict:
         return self.request("shutdown")
 

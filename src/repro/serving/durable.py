@@ -1,0 +1,310 @@
+"""Durable charge journal backing the serving budget ledger.
+
+The in-memory :class:`~repro.serving.ledger.BudgetLedger` is the one piece
+of serving state a crash must never erase: forgetting spent ε would let an
+analyst re-spend their privacy budget, silently voiding the DP guarantee.
+:class:`LedgerJournal` gives the ledger a write-ahead record in sqlite
+(same WAL + corruption-quarantine machinery as the cache server's
+:class:`~repro.db.cache.server.CacheStore`, but with ``synchronous=FULL`` —
+a budget row lost to a power cut is a privacy bug, a cache row is not).
+
+The protocol is **charge-before-execute** with pending records:
+
+1. :meth:`record_charge` — written (state ``pending``) inside the ledger's
+   admission lock, *before* any engine work runs.
+2. :meth:`settle` — the query released an answer (state ``settled``).
+3. :meth:`void` — the execution failed without releasing anything; the
+   charge was refunded in memory (state ``refunded``).
+
+A crash can therefore strand a charge in ``pending``, which is exactly the
+safe direction: at the next startup :meth:`replay` counts pending rows as
+spent (the query *may* have released its answer just before the crash —
+DP must assume it did) and relabels them ``recovered`` so operators can
+audit how much ε each crash stranded.  A refund that was journalled
+(``refunded`` rows, and standalone ``refund`` rows from the ledger's
+generic refund path) is subtracted on replay, so refunds reconcile across
+restarts too.  Under-charging is impossible by construction; the worst a
+crash can do is over-charge by the in-flight queries, which is the
+conservative, privacy-safe failure.
+
+Journal-write failures fail **closed**: an admission whose pending record
+cannot be written is refused (the ledger undoes the in-memory charge), so
+no query ever executes on a charge the journal did not capture.  Failures
+on the settle/void path only warn — the charge stays pending, which again
+errs toward over-charging.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["LedgerJournal", "ReplayedAccount"]
+
+#: Row states of the charge journal.
+_PENDING = "pending"
+_SETTLED = "settled"
+_REFUNDED = "refunded"
+_RECOVERED = "recovered"
+_REFUND = "refund"  # standalone refund row (generic ledger.refund path)
+
+#: States that count as spent budget during replay.
+_CHARGED_STATES = (_PENDING, _SETTLED, _RECOVERED)
+
+
+@dataclass
+class ReplayedAccount:
+    """One analyst's reconciled spend, recovered from the journal."""
+
+    spent_epsilon: float = 0.0
+    spent_delta: float = 0.0
+    charges: int = 0
+    refunds: int = 0
+    recovered_pending: int = 0  #: charges a crash stranded in ``pending``
+
+    def apply(self, state: str, epsilon: float, delta: float) -> None:
+        if state == _REFUND:
+            self.spent_epsilon -= epsilon
+            self.spent_delta -= delta
+            self.refunds += 1
+        elif state in _CHARGED_STATES:
+            self.spent_epsilon += epsilon
+            self.spent_delta += delta
+            self.charges += 1
+            if state == _PENDING:
+                self.recovered_pending += 1
+        elif state == _REFUNDED:
+            self.refunds += 1  # charge and its refund cancel: no spend
+        # Clamp like the accountant: refunds never drive spend negative.
+        self.spent_epsilon = max(self.spent_epsilon, 0.0)
+        self.spent_delta = max(self.spent_delta, 0.0)
+
+
+class LedgerJournal:
+    """Append-mostly sqlite journal of budget charges, one row per charge.
+
+    Thread-safe (the ledger calls it under its own lock, but ``stats`` and
+    tests may probe concurrently).  All sqlite access is autocommit
+    (``isolation_level=None``) over WAL with ``synchronous=FULL``: every
+    returned :meth:`record_charge` is on disk before the caller proceeds.
+    """
+
+    def __init__(self, path: str):
+        self.path: Optional[Path] = Path(path)
+        self._conn: Optional[sqlite3.Connection] = None
+        self._lock = threading.Lock()
+        self.charges_journalled = 0
+        self.loaded_from_disk = 0
+        self._open_persistence()
+
+    # ------------------------------------------------------------------
+    # persistence plumbing (mirrors CacheStore._open_persistence)
+    # ------------------------------------------------------------------
+    def _open_persistence(self) -> None:
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            pass  # an unreachable parent is reported by the connect below
+        try:
+            self._conn = self._connect()
+            (self.loaded_from_disk,) = self._conn.execute(
+                "SELECT COUNT(*) FROM ledger_entries"
+            ).fetchone()
+        except sqlite3.Error as error:
+            if self._conn is not None:
+                try:
+                    self._conn.close()
+                except sqlite3.Error:
+                    pass
+                self._conn = None
+            quarantine = self.path.with_suffix(self.path.suffix + ".corrupt")
+            try:
+                self.path.replace(quarantine)
+                where = f"moved aside to {quarantine}"
+            except OSError:
+                where = "left in place"
+            for suffix in ("-wal", "-shm"):
+                sidecar = Path(str(self.path) + suffix)
+                try:
+                    sidecar.unlink()
+                except OSError:
+                    pass
+            warnings.warn(
+                f"budget ledger journal {self.path} is unreadable ({error}); "
+                f"{where}, starting with an empty journal — analysts' previous "
+                "spend is NOT recovered",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            try:
+                self._conn = self._connect()
+            except sqlite3.Error as fresh_error:
+                warnings.warn(
+                    f"cannot create a fresh ledger journal at {self.path} "
+                    f"({fresh_error}); budget durability is DISABLED for this run",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self._conn = None
+                self.path = None
+
+    def _connect(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.path, isolation_level=None, check_same_thread=False)
+        conn.execute("PRAGMA journal_mode=WAL")
+        # FULL, not the cache's NORMAL: a charge acknowledged to the ledger
+        # must survive a power cut, not merely a process crash.
+        conn.execute("PRAGMA synchronous=FULL")
+        conn.execute(
+            "CREATE TABLE IF NOT EXISTS ledger_entries ("
+            " id INTEGER PRIMARY KEY AUTOINCREMENT,"
+            " analyst TEXT NOT NULL,"
+            " epsilon REAL NOT NULL,"
+            " delta REAL NOT NULL,"
+            " label TEXT NOT NULL,"
+            " parallel INTEGER NOT NULL DEFAULT 0,"
+            " state TEXT NOT NULL)"
+        )
+        return conn
+
+    @property
+    def persisted(self) -> bool:
+        return self._conn is not None
+
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None:
+                try:
+                    self._conn.close()
+                except sqlite3.Error:  # pragma: no cover - nothing left to save
+                    pass
+                self._conn = None
+
+    # ------------------------------------------------------------------
+    # the charge protocol
+    # ------------------------------------------------------------------
+    def record_charge(
+        self,
+        analyst: str,
+        epsilon: float,
+        delta: float,
+        label: str,
+        parallel: bool = False,
+    ) -> Optional[int]:
+        """Journal a pending charge; returns its row id (``None`` when the
+        journal is disabled).  Raises ``sqlite3.Error`` when the write
+        fails — the caller must then refuse the admission (fail closed)."""
+        with self._lock:
+            if self._conn is None:
+                return None
+            cursor = self._conn.execute(
+                "INSERT INTO ledger_entries (analyst, epsilon, delta, label, parallel, state)"
+                " VALUES (?, ?, ?, ?, ?, ?)",
+                (analyst, float(epsilon), float(delta), label, int(parallel), _PENDING),
+            )
+            self.charges_journalled += 1
+            return cursor.lastrowid
+
+    def settle(self, charge_id: Optional[int]) -> None:
+        """Mark a pending charge as settled (its answer was released)."""
+        self._transition(charge_id, _SETTLED)
+
+    def void(self, charge_id: Optional[int]) -> None:
+        """Mark a pending charge as refunded (nothing was released)."""
+        self._transition(charge_id, _REFUNDED)
+
+    def _transition(self, charge_id: Optional[int], state: str) -> None:
+        if charge_id is None:
+            return
+        with self._lock:
+            if self._conn is None:
+                return
+            try:
+                self._conn.execute(
+                    "UPDATE ledger_entries SET state = ? WHERE id = ?",
+                    (state, charge_id),
+                )
+            except sqlite3.Error as error:
+                # The row stays pending: replay over-charges, never under.
+                warnings.warn(
+                    f"ledger journal could not mark charge {charge_id} {state} "
+                    f"({error}); it will replay as charged",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+
+    def record_refund(self, analyst: str, epsilon: float, delta: float, label: str) -> None:
+        """Journal a standalone refund (the generic ``ledger.refund`` path).
+
+        Best-effort: a refund the journal loses means replay over-charges,
+        which is the privacy-safe direction, so failures only warn.
+        """
+        with self._lock:
+            if self._conn is None:
+                return
+            try:
+                self._conn.execute(
+                    "INSERT INTO ledger_entries (analyst, epsilon, delta, label, parallel, state)"
+                    " VALUES (?, ?, ?, ?, 0, ?)",
+                    (analyst, float(epsilon), float(delta), f"refund:{label}", _REFUND),
+                )
+            except sqlite3.Error as error:
+                warnings.warn(
+                    f"ledger journal could not record a refund for {analyst!r} "
+                    f"({error}); replay will not reflect it",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def replay(self) -> dict[str, ReplayedAccount]:
+        """Reconcile the journal into per-analyst spend totals.
+
+        Pending charges count as spent — the crash may have released their
+        answers — and are relabelled ``recovered`` so the audit trail shows
+        which charges a crash stranded.  Refunds (both voided charges and
+        standalone refund rows) are subtracted, clamped at zero.
+        """
+        with self._lock:
+            if self._conn is None:
+                return {}
+            rows = self._conn.execute(
+                "SELECT analyst, epsilon, delta, state FROM ledger_entries ORDER BY id"
+            ).fetchall()
+            accounts: dict[str, ReplayedAccount] = {}
+            for analyst, epsilon, delta, state in rows:
+                accounts.setdefault(analyst, ReplayedAccount()).apply(
+                    state, float(epsilon), float(delta)
+                )
+            self._conn.execute(
+                "UPDATE ledger_entries SET state = ? WHERE state = ?",
+                (_RECOVERED, _PENDING),
+            )
+            return accounts
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            counts: dict[str, int] = {}
+            if self._conn is not None:
+                for state, count in self._conn.execute(
+                    "SELECT state, COUNT(*) FROM ledger_entries GROUP BY state"
+                ):
+                    counts[state] = count
+            return {
+                "path": str(self.path) if self.path is not None else None,
+                "persisted": self._conn is not None,
+                "entries": sum(counts.values()),
+                "by_state": counts,
+                "charges_journalled": self.charges_journalled,
+                "loaded_from_disk": self.loaded_from_disk,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        target = self.path if self._conn is not None else "disabled"
+        return f"LedgerJournal({target}, journalled={self.charges_journalled})"

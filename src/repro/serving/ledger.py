@@ -22,7 +22,15 @@ structured :class:`~repro.serving.protocol.ServingError` (code
 ``budget_exhausted``) carrying the spent/remaining totals — the server turns
 it into a JSON error object, never an exception trace.  Charges whose
 execution fails without releasing an answer are refunded
-(:meth:`BudgetLedger.refund`).
+(:meth:`BudgetLedger.refund_admission`).
+
+With ``path=`` the ledger is **durable**: every admission writes a pending
+record to a :class:`~repro.serving.durable.LedgerJournal` (sqlite/WAL,
+``synchronous=FULL``) before the engine may run, the server settles or
+voids it afterwards, and a restart replays the journal — charges a crash
+stranded mid-query replay as *spent*, so an analyst can never re-spend
+budget by crashing the server.  A journal write failure refuses the
+admission (fail closed) rather than executing an unjournalled charge.
 
 All entry points take the ledger's lock, because the asyncio server executes
 engine work on a thread pool: admission (check *and* charge) is atomic, so
@@ -31,17 +39,39 @@ two concurrent requests can never both squeeze through one remaining slot.
 
 from __future__ import annotations
 
+import sqlite3
 import threading
+import warnings
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from repro.dp.accountant import PrivacyAccountant, PrivacyBudget
 from repro.exceptions import PrivacyBudgetError
+from repro.serving.durable import LedgerJournal
 from repro.serving.protocol import ServingError
 
-__all__ = ["BudgetLedger", "DEFAULT_ANALYST_BUDGET"]
+__all__ = ["Admission", "BudgetLedger", "DEFAULT_ANALYST_BUDGET"]
 
 #: Per-analyst total installed when the server is not configured otherwise.
 DEFAULT_ANALYST_BUDGET = PrivacyBudget(epsilon=10.0)
+
+
+@dataclass(frozen=True)
+class Admission:
+    """Receipt for one admitted charge.
+
+    Returned by :meth:`BudgetLedger.admit` and handed back to
+    :meth:`BudgetLedger.settle` (answer released) or
+    :meth:`BudgetLedger.refund_admission` (execution failed), which is what
+    lets a durable ledger tie the lifecycle of the in-memory charge to its
+    journal row (``charge_id`` is ``None`` on a memory-only ledger).
+    """
+
+    analyst: str
+    charge: PrivacyBudget
+    label: str
+    parallel: bool = False
+    charge_id: Optional[int] = None
 
 
 class BudgetLedger:
@@ -57,6 +87,7 @@ class BudgetLedger:
         self,
         analyst_budget: PrivacyBudget = DEFAULT_ANALYST_BUDGET,
         max_analysts: int = 10_000,
+        path: Optional[str] = None,
     ):
         if max_analysts < 1:
             raise ValueError("max_analysts must be at least 1")
@@ -64,6 +95,46 @@ class BudgetLedger:
         self.max_analysts = int(max_analysts)
         self._accounts: dict[str, PrivacyAccountant] = {}
         self._lock = threading.Lock()
+        self.journal: Optional[LedgerJournal] = None
+        self.recovered_analysts = 0
+        if path is not None:
+            self.journal = LedgerJournal(path)
+            self._replay_journal()
+
+    def _replay_journal(self) -> None:
+        """Reinstall spend from the journal (warm reload after a restart).
+
+        Replayed accounts are created even past ``max_analysts`` — they
+        represent real historical spend, and dropping one would forget
+        charges — but a ledger that starts over its cap admits no *new*
+        analysts until names are reused.
+        """
+        replayed = self.journal.replay()
+        for analyst, account_state in replayed.items():
+            account = PrivacyAccountant(self.analyst_budget)
+            account.restore_spend(
+                account_state.spent_epsilon,
+                account_state.spent_delta,
+                label="restored:journal",
+            )
+            self._accounts[analyst] = account
+        self.recovered_analysts = len(replayed)
+        if len(self._accounts) > self.max_analysts:
+            warnings.warn(
+                f"ledger journal replayed {len(self._accounts)} analysts, over "
+                f"the max_analysts cap of {self.max_analysts}; existing spend "
+                "is kept, new analyst names will be refused",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    @property
+    def durable(self) -> bool:
+        return self.journal is not None and self.journal.persisted
+
+    def close(self) -> None:
+        if self.journal is not None:
+            self.journal.close()
 
     # ------------------------------------------------------------------
     def _account(self, analyst: str) -> PrivacyAccountant:
@@ -91,15 +162,18 @@ class BudgetLedger:
         budget: PrivacyBudget,
         label: str = "query",
         parallel: bool = False,
-    ) -> PrivacyBudget:
-        """Charge ``budget`` to ``analyst`` or refuse; returns the charge.
+    ) -> Admission:
+        """Charge ``budget`` to ``analyst`` or refuse; returns a receipt.
 
         ``parallel=True`` records the admission as a parallel composition over
         disjoint GROUP BY partitions (cost = max = ``budget``); the amount is
         the same, the ledger label distinguishes the rule applied.  Refusal
         raises :class:`ServingError` (``budget_exhausted``) with the spent /
         remaining / total ε so the analyst can re-plan; the accountant is left
-        untouched on refusal.
+        untouched on refusal.  On a durable ledger the charge is journalled
+        (pending) before this returns; a journal-write failure undoes the
+        in-memory charge and refuses with an ``internal`` error — no query
+        ever executes on a charge that is not on disk.
         """
         with self._lock:
             account = self._account(analyst)
@@ -119,12 +193,62 @@ class BudgetLedger:
                     remaining_epsilon=account.remaining_epsilon,
                     total_epsilon=account.total.epsilon,
                 ) from None
-            return budget
+            charge_id = None
+            if self.journal is not None:
+                try:
+                    charge_id = self.journal.record_charge(
+                        analyst, budget.epsilon, budget.delta, label, parallel=parallel
+                    )
+                except sqlite3.Error as error:
+                    account.refund(budget, label=f"journal-failed:{label}")
+                    raise ServingError(
+                        "internal",
+                        f"budget journal write failed ({error}); charge refused",
+                    ) from None
+            return Admission(
+                analyst=analyst,
+                charge=budget,
+                label=label,
+                parallel=parallel,
+                charge_id=charge_id,
+            )
 
-    def refund(self, analyst: str, budget: PrivacyBudget, label: str = "query") -> None:
+    def settle(self, admission: Admission) -> None:
+        """Mark an admitted charge as released (its answer went out)."""
+        if self.journal is not None:
+            self.journal.settle(admission.charge_id)
+
+    def refund_admission(self, admission: Admission) -> None:
         """Return an admitted charge whose execution released no answer."""
         with self._lock:
-            self._account(analyst).refund(budget, label=label)
+            account = self._accounts.get(admission.analyst)
+            if account is not None:
+                account.refund(admission.charge, label=admission.label)
+        if self.journal is not None:
+            self.journal.void(admission.charge_id)
+
+    def refund(self, analyst: str, budget: PrivacyBudget, label: str = "query") -> None:
+        """Return a charge to an analyst by name (prefer
+        :meth:`refund_admission`, which also reconciles the journal row).
+
+        A refund for an analyst the ledger never charged is a caller bug —
+        it must not allocate a fresh account (that would burn an analyst
+        slot) and must never refuse with the capacity error, so it warns
+        and does nothing.
+        """
+        with self._lock:
+            account = self._accounts.get(analyst)
+            if account is None:
+                warnings.warn(
+                    f"refund for unknown analyst {analyst!r} ignored "
+                    "(no charge was ever admitted for it)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return
+            account.refund(budget, label=label)
+        if self.journal is not None:
+            self.journal.record_refund(analyst, budget.epsilon, budget.delta, label)
 
     # ------------------------------------------------------------------
     def summary(self, analyst: Optional[str] = None) -> dict:
@@ -143,6 +267,8 @@ class BudgetLedger:
             return {
                 "analyst_budget_epsilon": self.analyst_budget.epsilon,
                 "analyst_budget_delta": self.analyst_budget.delta,
+                "durable": self.durable,
+                "journal": self.journal.stats() if self.journal is not None else None,
                 "analysts": {
                     name: self._summarise(name, account)
                     for name, account in sorted(self._accounts.items())

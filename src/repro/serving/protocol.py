@@ -3,7 +3,8 @@
 The protocol is deliberately minimal: newline-delimited JSON objects
 ("JSON lines") over a stream connection.  Every request is one object with
 an ``op`` field (``ping`` / ``register`` / ``query`` / ``budget`` /
-``stats`` / ``shutdown``) plus op-specific fields, and every response is one
+``stats`` / ``health`` / ``shutdown``) plus op-specific fields, and every
+response is one
 object with ``ok`` — ``{"ok": true, "result": {...}}`` on success,
 ``{"ok": false, "error": {"code": ..., "message": ..., ...}}`` on failure.
 Requests may carry an ``id`` which the response echoes, so a client can
@@ -46,6 +47,7 @@ ERROR_CODES = (
     "query_error",        # SQL / query spec failed to parse or resolve
     "unsupported",        # the mechanism cannot answer this query type
     "budget_exhausted",   # the ledger refused admission
+    "overloaded",         # admission queue full; retry after retry_after_ms
     "internal",           # unexpected server-side failure
 )
 

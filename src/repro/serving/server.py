@@ -56,6 +56,9 @@ class QueryServer:
         port: int = 0,
         workers: int = 4,
         accuracy_metadata: bool = True,
+        max_inflight: Optional[int] = None,
+        max_queue: int = 32,
+        drain_timeout: float = 10.0,
     ):
         self.planner = planner if planner is not None else QueryPlanner()
         self.ledger = ledger if ledger is not None else BudgetLedger()
@@ -67,14 +70,34 @@ class QueryServer:
         #: to the analyst — serve untrusted analysts with
         #: ``accuracy_metadata=False`` (the CLI's ``--private``).
         self.accuracy_metadata = accuracy_metadata
+        #: Admission control: at most ``max_inflight`` queries execute at
+        #: once (default: the worker-thread count — more would only wait
+        #: inside the pool) and at most ``max_queue`` more may wait for a
+        #: slot.  Beyond that the server answers a structured ``overloaded``
+        #: refusal immediately instead of letting latency (and memory) grow
+        #: without bound.
+        self.max_inflight = int(max_inflight) if max_inflight is not None else int(workers)
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        self.max_queue = int(max_queue)
+        if self.max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        self.drain_timeout = float(drain_timeout)
         self._executor = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="serving"
         )
         self._server: Optional[asyncio.base_events.Server] = None
         self._shutdown: Optional[asyncio.Event] = None
+        self._capacity: Optional[asyncio.Semaphore] = None
         self._writers: set[asyncio.StreamWriter] = set()
+        self._busy: set[asyncio.StreamWriter] = set()
+        self._draining = False
+        self._inflight = 0
+        self._queued = 0
+        self._execution_ewma: Optional[float] = None
         self._started_at = time.monotonic()
         self.requests_served = 0
+        self.requests_refused_overload = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -82,6 +105,9 @@ class QueryServer:
     async def start(self) -> "QueryServer":
         """Bind the listening socket (resolving an ephemeral port)."""
         self._shutdown = asyncio.Event()
+        # The semaphore must be created on the serving event loop, not in
+        # __init__ (which may run on a different thread's loop context).
+        self._capacity = asyncio.Semaphore(self.max_inflight)
         self._server = await asyncio.start_server(self._handle, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
         return self
@@ -111,15 +137,29 @@ class QueryServer:
             await self.aclose()
 
     async def aclose(self) -> None:
-        """Stop accepting, drop open connections, release the worker pool."""
+        """Stop accepting, drain in-flight requests, release the worker pool.
+
+        Graceful drain: connections that are mid-request get up to
+        ``drain_timeout`` seconds to receive their response (an answer or a
+        structured refusal — never a dropped connection); idle connections
+        close immediately; whatever is still busy at the deadline is cut.
+        """
+        self._draining = True
         if self._server is not None:
             self._server.close()
+        for writer in list(self._writers - self._busy):
+            writer.close()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.drain_timeout
+        while self._busy and loop.time() < deadline:
+            await asyncio.sleep(0.02)
         for writer in list(self._writers):
             writer.close()
         if self._server is not None:
             await self._server.wait_closed()
             self._server = None
         self._executor.shutdown(wait=True, cancel_futures=True)
+        self.ledger.close()
 
     # ------------------------------------------------------------------
     # connection handling
@@ -149,15 +189,23 @@ class QueryServer:
                     break
                 if not line.strip():
                     continue
-                response, stop_after = await self._respond(line)
+                # Mark the connection busy while a request is in flight so a
+                # graceful shutdown waits for this response to go out.
+                self._busy.add(writer)
                 try:
-                    writer.write(encode_message(response))
-                    await writer.drain()
-                except ConnectionError:
-                    break
+                    response, stop_after = await self._respond(line)
+                    try:
+                        writer.write(encode_message(response))
+                        await writer.drain()
+                    except ConnectionError:
+                        break
+                finally:
+                    self._busy.discard(writer)
                 if stop_after:
                     self.request_shutdown()
                     break
+                if self._draining:
+                    break  # response delivered; the server is shutting down
         except asyncio.CancelledError:
             pass  # shutdown cancelled this connection mid-read; exit quietly
         finally:
@@ -196,11 +244,14 @@ class QueryServer:
             return self.ledger.summary(str(analyst) if analyst else None), False
         if op == "stats":
             return self._op_stats(), False
+        if op == "health":
+            return self._op_health(), False
         if op == "shutdown":
             return {"stopping": True}, True
         raise ServingError(
             "unknown_op",
-            f"unknown op {op!r}; available: ping, register, query, budget, stats, shutdown",
+            f"unknown op {op!r}; available: "
+            "ping, register, query, budget, stats, health, shutdown",
         )
 
     def _op_ping(self) -> dict:
@@ -224,27 +275,74 @@ class QueryServer:
             self._executor, lambda: self.planner.register(name, kind, **params)
         )
 
+    def _retry_after_ms(self) -> int:
+        """Backpressure hint for ``overloaded`` refusals: roughly how long
+        until a queue slot frees up, from an EWMA of recent execution times
+        scaled by the current queue depth (floor 50 ms)."""
+        estimate = self._execution_ewma if self._execution_ewma is not None else 0.1
+        return max(50, int(estimate * (self._queued + 1) * 1000))
+
     async def _op_query(self, message: dict) -> dict:
         planned = self.planner.plan(message)
         analyst = str(message.get("analyst") or "anonymous")
-        # Each trial is an independent noisy release of the same statistic,
-        # so a request composes sequentially across its own trials: the
-        # charge is trials × ε.  (Within each trial, a GROUP BY's disjoint
-        # partitions still compose in parallel.)
-        charge = PrivacyBudget(planned.epsilon * planned.trials)
-        label = f"{planned.entry.name}:{planned.query_name}:{planned.mechanism}"
-        # Admission before execution: an exhausted analyst costs no engine work.
-        self.ledger.admit(analyst, charge, label=label, parallel=planned.parallel)
-        loop = asyncio.get_running_loop()
-        try:
-            payload = await loop.run_in_executor(
-                self._executor, self.planner.execute, planned
+        # Overload shedding before any budget is touched: when every
+        # execution slot is taken and the wait queue is full, refuse with a
+        # structured `overloaded` error (queue depth + retry hint) instead
+        # of queueing without bound.  A shed request costs no budget.
+        if self._capacity.locked() and self._queued >= self.max_queue:
+            self.requests_refused_overload += 1
+            raise ServingError(
+                "overloaded",
+                f"server at capacity ({self._inflight} in flight, "
+                f"{self._queued} queued); retry later",
+                in_flight=self._inflight,
+                queue_depth=self._queued,
+                max_inflight=self.max_inflight,
+                max_queue=self.max_queue,
+                retry_after_ms=self._retry_after_ms(),
             )
-        except Exception:
-            # Nothing was released (unsupported combination, engine failure):
-            # the analyst gets the charge back along with the structured error.
-            self.ledger.refund(analyst, charge, label=label)
-            raise
+        self._queued += 1
+        try:
+            await self._capacity.acquire()
+        finally:
+            self._queued -= 1
+        self._inflight += 1
+        try:
+            # Each trial is an independent noisy release of the same
+            # statistic, so a request composes sequentially across its own
+            # trials: the charge is trials × ε.  (Within each trial, a
+            # GROUP BY's disjoint partitions still compose in parallel.)
+            charge = PrivacyBudget(planned.epsilon * planned.trials)
+            label = f"{planned.entry.name}:{planned.query_name}:{planned.mechanism}"
+            # Admission before execution: an exhausted analyst costs no
+            # engine work, and on a durable ledger the pending charge is on
+            # disk before the engine may run.
+            admission = self.ledger.admit(
+                analyst, charge, label=label, parallel=planned.parallel
+            )
+            loop = asyncio.get_running_loop()
+            started = loop.time()
+            try:
+                payload = await loop.run_in_executor(
+                    self._executor, self.planner.execute, planned
+                )
+            except Exception:
+                # Nothing was released (unsupported combination, engine
+                # failure): the analyst gets the charge back along with the
+                # structured error.
+                self.ledger.refund_admission(admission)
+                raise
+            elapsed = loop.time() - started
+            self._execution_ewma = (
+                elapsed
+                if self._execution_ewma is None
+                else 0.8 * self._execution_ewma + 0.2 * elapsed
+            )
+            # The answer is about to go out: settle the journalled charge.
+            self.ledger.settle(admission)
+        finally:
+            self._inflight -= 1
+            self._capacity.release()
         if not self.accuracy_metadata:
             payload.pop("mean_relative_error", None)
             payload.pop("median_relative_error", None)
@@ -257,16 +355,62 @@ class QueryServer:
         return payload
 
     def _op_stats(self) -> dict:
-        cache_stats = active_backend().stats()
+        backend = active_backend()
+        cache_stats = backend.stats()
         stats = cache_stats.as_dict()
         lookups = stats.get("hits", 0) + stats.get("misses", 0)
+        breaker_stats = getattr(backend, "breaker_stats", None)
         return {
             "requests_served": self.requests_served,
+            "requests_refused_overload": self.requests_refused_overload,
             "planner": self.planner.stats(),
             "cache": {
                 **stats,
-                "backend": getattr(active_backend(), "name", "unknown"),
+                "backend": getattr(backend, "name", "unknown"),
                 "hit_rate": (stats.get("hits", 0) / lookups) if lookups else 0.0,
+                "degraded": bool(getattr(backend, "degraded", False)),
+                "breaker": breaker_stats() if callable(breaker_stats) else None,
+            },
+        }
+
+    def _op_health(self) -> dict:
+        """Queue / ledger / cache state in one cheap read-only probe."""
+        backend = active_backend()
+        breaker_stats = getattr(backend, "breaker_stats", None)
+        saturated = (
+            self._inflight >= self.max_inflight and self._queued >= self.max_queue
+        )
+        if self._draining:
+            status = "draining"
+        elif saturated:
+            status = "overloaded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "requests_served": self.requests_served,
+            "requests_refused_overload": self.requests_refused_overload,
+            "queue": {
+                "in_flight": self._inflight,
+                "queued": self._queued,
+                "max_inflight": self.max_inflight,
+                "max_queue": self.max_queue,
+                "retry_after_ms": self._retry_after_ms() if saturated else 0,
+            },
+            "ledger": {
+                "analysts": len(list(self.ledger.analysts())),
+                "durable": self.ledger.durable,
+                "journal": (
+                    self.ledger.journal.stats()
+                    if self.ledger.journal is not None
+                    else None
+                ),
+            },
+            "cache": {
+                "backend": getattr(backend, "name", "unknown"),
+                "degraded": bool(getattr(backend, "degraded", False)),
+                "breaker": breaker_stats() if callable(breaker_stats) else None,
             },
         }
 
@@ -315,10 +459,21 @@ class ServerThread:
             self._loop.close()
 
     def stop(self, timeout: float = 10.0) -> None:
+        """Request shutdown and join the loop thread.
+
+        Raises ``RuntimeError`` if the thread is still alive after
+        ``timeout`` — a silently leaked serving loop would poison every
+        later test in the process, so a hung shutdown must be loud.
+        """
         if self._thread is None or not self._thread.is_alive():
             return
         self._loop.call_soon_threadsafe(self.server.request_shutdown)
         self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise RuntimeError(
+                f"serving event loop did not stop within {timeout}s "
+                "(a query or drain is hung); the thread is still alive"
+            )
 
     def __enter__(self) -> "ServerThread":
         return self.start()
@@ -350,6 +505,36 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=10_000,
         help="maximum distinct analyst accounts the ledger will allocate",
+    )
+    parser.add_argument(
+        "--ledger-path",
+        default=None,
+        metavar="FILE",
+        help=(
+            "persist the budget ledger to this sqlite journal: spent ε "
+            "survives restarts and crashes (charges stranded mid-query "
+            "replay as spent — never under-charged)"
+        ),
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "maximum queries executing at once (default: --workers); "
+            "overflow waits in a bounded queue"
+        ),
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=32,
+        metavar="N",
+        help=(
+            "maximum queries waiting for an execution slot before the "
+            "server refuses with a structured 'overloaded' error"
+        ),
     )
     parser.add_argument(
         "--private",
@@ -429,22 +614,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"registered {info['name']} ({info['kind']})")
         try:
             analyst_budget = PrivacyBudget(args.analyst_epsilon)
-            ledger = BudgetLedger(analyst_budget, max_analysts=args.max_analysts)
+            ledger = BudgetLedger(
+                analyst_budget,
+                max_analysts=args.max_analysts,
+                path=args.ledger_path,
+            )
         except Exception as error:
             print(f"invalid analyst budget: {error}", file=sys.stderr)
             return 2
-        server = QueryServer(
-            planner,
-            ledger,
-            host=args.host,
-            port=args.port,
-            workers=args.workers,
-            accuracy_metadata=not args.private,
-        )
+        if args.ledger_path and ledger.recovered_analysts:
+            print(
+                f"ledger journal {args.ledger_path}: recovered spend for "
+                f"{ledger.recovered_analysts} analyst(s)"
+            )
+        try:
+            server = QueryServer(
+                planner,
+                ledger,
+                host=args.host,
+                port=args.port,
+                workers=args.workers,
+                accuracy_metadata=not args.private,
+                max_inflight=args.max_inflight,
+                max_queue=args.max_queue,
+            )
+        except ValueError as error:
+            print(f"invalid server configuration: {error}", file=sys.stderr)
+            return 2
         try:
             asyncio.run(_serve(server))
         except KeyboardInterrupt:
             pass  # platforms without add_signal_handler: still exit cleanly
+        finally:
+            ledger.close()  # aclose() already closed it; idempotent
         print("server stopped")
         return 0
     finally:

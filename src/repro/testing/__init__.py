@@ -1,0 +1,17 @@
+"""Test-support infrastructure shared by the suites and the benchmarks.
+
+This package holds tooling that *injects* conditions the production code
+must survive — it never ships on a serving path itself:
+
+* :mod:`repro.testing.faults` — a TCP chaos proxy
+  (:class:`~repro.testing.faults.ChaosProxy`) that sits between a client and
+  a real server and drops, delays, corrupts or truncates traffic on demand,
+  plus connection kills and full freezes.  The fault-tolerance suites drive
+  the cache client's circuit breaker and the serving tier's overload /
+  crash-recovery behaviour through it, and the ``fault_tolerance`` benchmark
+  entry measures throughput under injected loss.
+"""
+
+from repro.testing.faults import ChaosProxy, FaultSpec
+
+__all__ = ["ChaosProxy", "FaultSpec"]

@@ -1,0 +1,332 @@
+"""A TCP chaos proxy for fault-injection tests and benchmarks.
+
+:class:`ChaosProxy` listens on an ephemeral local port and forwards every
+connection to an upstream ``(host, port)``, applying a :class:`FaultSpec` to
+each chunk of forwarded bytes: silent drops (the "1% frame loss" of the
+``fault_tolerance`` benchmark), added latency, bit corruption, mid-chunk
+truncation (the connection closes after half a chunk), probabilistic
+connection kills, and a global freeze that holds connections open without
+forwarding anything.  Faults are applied symmetrically to both directions
+of a connection.
+
+The proxy is deterministic: every connection draws its fault decisions from
+a :class:`random.Random` seeded by ``(seed, connection index)``, so a suite
+that replays the same connection/traffic order sees the same faults.  The
+spec can be swapped at runtime (:meth:`ChaosProxy.set_faults`), which is how
+tests script scenarios like "run clean, then corrupt everything, then heal"
+against one live proxy.  :meth:`ChaosProxy.kill_connections` hard-closes
+every open connection at once — the "server vanished mid-conversation"
+event the cache client's circuit breaker must absorb.
+
+The implementation is deliberately plain ``threading`` + blocking sockets
+(two pump threads per connection): chaos must stay trivially debuggable,
+and the proxied servers in this repository are asyncio already.
+
+Typical use::
+
+    with CacheServerThread() as handle:
+        with ChaosProxy("127.0.0.1", handle.server.port) as proxy:
+            backend = RemoteCacheBackend(host="127.0.0.1", port=proxy.port, ...)
+            proxy.set_faults(corrupt_rate=1.0)   # every chunk now garbage
+            ...                                  # breaker trips to local-only
+            proxy.set_faults()                   # network heals
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+from dataclasses import dataclass, fields, replace
+from typing import Optional
+
+__all__ = ["ChaosProxy", "FaultSpec"]
+
+#: Bytes per forwarded chunk.  Small enough that one cache-protocol frame
+#: spans several chunks (so drop/corrupt rates translate into torn frames),
+#: large enough that clean forwarding stays cheap.
+_CHUNK = 16 * 1024
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """What the proxy does to each forwarded chunk (all probabilities 0..1).
+
+    The default spec is fully transparent.  Rates compose in the order
+    kill → drop → corrupt → truncate; ``delay_s`` applies (with probability
+    ``delay_rate``) before the chunk is forwarded.
+    """
+
+    drop_rate: float = 0.0      #: silently discard the chunk (frame loss)
+    corrupt_rate: float = 0.0   #: XOR-flip a byte in the chunk
+    truncate_rate: float = 0.0  #: forward half the chunk, then kill the link
+    kill_rate: float = 0.0      #: close the connection before forwarding
+    delay_s: float = 0.0        #: latency added to delayed chunks
+    delay_rate: float = 1.0     #: fraction of chunks ``delay_s`` applies to
+    freeze: bool = False        #: stop forwarding entirely; hold links open
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "corrupt_rate", "truncate_rate", "kill_rate", "delay_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1], got {rate!r}")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be non-negative, got {self.delay_s!r}")
+
+    @property
+    def transparent(self) -> bool:
+        """Whether this spec forwards everything untouched."""
+        return self == FaultSpec()
+
+
+class _Pump(threading.Thread):
+    """Forward one direction of one connection, applying the active spec."""
+
+    def __init__(self, proxy: "ChaosProxy", source: socket.socket,
+                 sink: socket.socket, rng: random.Random, label: str):
+        super().__init__(name=f"chaos-{label}", daemon=True)
+        self.proxy = proxy
+        self.source = source
+        self.sink = sink
+        self.rng = rng
+
+    def run(self) -> None:
+        try:
+            while True:
+                try:
+                    chunk = self.source.recv(_CHUNK)
+                except OSError:
+                    break
+                if not chunk:
+                    break
+                if not self._forward(chunk):
+                    break
+        finally:
+            # Half-close is enough to propagate EOF; full close happens when
+            # the connection entry is reaped.
+            for sock in (self.sink, self.source):
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+
+    def _forward(self, chunk: bytes) -> bool:
+        proxy = self.proxy
+        # Freeze: hold the chunk (and the connection) until thawed or stopped.
+        while True:
+            spec = proxy.spec
+            if not spec.freeze:
+                break
+            if proxy.stopped.wait(0.01):
+                return False
+        rng = self.rng
+        with proxy.lock:
+            proxy.chunks_seen += 1
+        if spec.kill_rate and rng.random() < spec.kill_rate:
+            with proxy.lock:
+                proxy.connections_killed += 1
+            return False
+        if spec.drop_rate and rng.random() < spec.drop_rate:
+            with proxy.lock:
+                proxy.chunks_dropped += 1
+            return True  # silently lost; keep the connection up
+        if spec.delay_s and rng.random() < spec.delay_rate:
+            time.sleep(spec.delay_s)
+        if spec.corrupt_rate and rng.random() < spec.corrupt_rate:
+            position = rng.randrange(len(chunk))
+            flipped = chunk[position] ^ (1 + rng.randrange(255))
+            chunk = chunk[:position] + bytes([flipped]) + chunk[position + 1 :]
+            with proxy.lock:
+                proxy.chunks_corrupted += 1
+        truncate = bool(spec.truncate_rate and rng.random() < spec.truncate_rate)
+        if truncate:
+            chunk = chunk[: max(1, len(chunk) // 2)]
+            with proxy.lock:
+                proxy.chunks_truncated += 1
+        try:
+            self.sink.sendall(chunk)
+        except OSError:
+            return False
+        with proxy.lock:
+            proxy.chunks_forwarded += 1
+        return not truncate
+
+
+class ChaosProxy:
+    """A fault-injecting TCP proxy in front of ``(upstream_host, upstream_port)``.
+
+    Binds an ephemeral local port on :meth:`start` (also the context-manager
+    entry); clients connect to :attr:`port` instead of the real server.  All
+    fault state is runtime-mutable and all counters are exposed via
+    :meth:`stats`.
+    """
+
+    def __init__(
+        self,
+        upstream_host: str,
+        upstream_port: int,
+        spec: Optional[FaultSpec] = None,
+        host: str = "127.0.0.1",
+        seed: int = 0,
+    ):
+        self.upstream_host = upstream_host
+        self.upstream_port = int(upstream_port)
+        self.host = host
+        self.port: Optional[int] = None
+        self.seed = int(seed)
+        self._spec = spec if spec is not None else FaultSpec()
+        self.lock = threading.Lock()
+        self.stopped = threading.Event()
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._connections: list[tuple[socket.socket, socket.socket]] = []
+        # Counters (guarded by ``lock``).
+        self.connections_accepted = 0
+        self.connections_killed = 0
+        self.connections_refused = 0
+        self.chunks_seen = 0
+        self.chunks_forwarded = 0
+        self.chunks_dropped = 0
+        self.chunks_corrupted = 0
+        self.chunks_truncated = 0
+
+    # ------------------------------------------------------------------
+    # fault control
+    # ------------------------------------------------------------------
+    @property
+    def spec(self) -> FaultSpec:
+        with self.lock:
+            return self._spec
+
+    def set_faults(self, **changes) -> FaultSpec:
+        """Replace the active fault spec (no arguments → fully transparent).
+
+        Field names follow :class:`FaultSpec`; unknown names raise so a typo
+        cannot silently run a clean "chaos" test.
+        """
+        known = {field.name for field in fields(FaultSpec)}
+        unknown = sorted(set(changes) - known)
+        if unknown:
+            raise TypeError(f"unknown fault fields {unknown}; available: {sorted(known)}")
+        spec = FaultSpec(**changes)
+        with self.lock:
+            self._spec = spec
+        return spec
+
+    def freeze(self) -> None:
+        """Hold every connection open but forward nothing (server 'hangs')."""
+        with self.lock:
+            self._spec = replace(self._spec, freeze=True)
+
+    def thaw(self) -> None:
+        with self.lock:
+            self._spec = replace(self._spec, freeze=False)
+
+    def kill_connections(self) -> int:
+        """Hard-close every open proxied connection; returns how many."""
+        with self.lock:
+            connections, self._connections = self._connections, []
+        for pair in connections:
+            for sock in pair:
+                # shutdown() before close(): a pump thread blocked in recv()
+                # still holds the open file description, so a bare close()
+                # would leave the TCP link up (no FIN) until that recv
+                # returns.  shutdown() tears the connection down immediately
+                # and wakes the pump with EOF.
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        with self.lock:
+            self.connections_killed += len(connections)
+        return len(connections)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ChaosProxy":
+        if self._listener is not None:
+            return self
+        self.stopped.clear()
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, 0))
+        listener.listen(64)
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="chaos-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        while not self.stopped.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                break  # listener closed by stop()
+            try:
+                upstream = socket.create_connection(
+                    (self.upstream_host, self.upstream_port), timeout=10
+                )
+            except OSError:
+                with self.lock:
+                    self.connections_refused += 1
+                client.close()
+                continue
+            with self.lock:
+                self.connections_accepted += 1
+                index = self.connections_accepted
+                self._connections.append((client, upstream))
+            # One deterministic stream per connection, shared by both pumps
+            # through distinct spawns so directions cannot desynchronise
+            # each other's draws.
+            _Pump(self, client, upstream,
+                  random.Random(f"{self.seed}:{index}:c2s"), f"c2s-{index}").start()
+            _Pump(self, upstream, client,
+                  random.Random(f"{self.seed}:{index}:s2c"), f"s2c-{index}").start()
+
+    def stop(self) -> None:
+        self.stopped.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            self._listener = None
+        self.kill_connections()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+            self._accept_thread = None
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        with self.lock:
+            return {
+                "connections_accepted": self.connections_accepted,
+                "connections_killed": self.connections_killed,
+                "connections_refused": self.connections_refused,
+                "chunks_seen": self.chunks_seen,
+                "chunks_forwarded": self.chunks_forwarded,
+                "chunks_dropped": self.chunks_dropped,
+                "chunks_corrupted": self.chunks_corrupted,
+                "chunks_truncated": self.chunks_truncated,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ChaosProxy({self.host}:{self.port} -> "
+            f"{self.upstream_host}:{self.upstream_port}, {self.spec})"
+        )
