@@ -35,6 +35,10 @@ Beyond the per-experiment kernels the report tracks five scaling baselines:
   connections, added latency), with the circuit-breaker and proxy counters.
   The headline number is ``results_identical``: chaos costs time, never
   correctness.
+* ``columnar_storage`` — a Table 1 grid over the in-memory vs the mapped
+  storage layer in fresh per-mode subprocesses (wall clock + peak RSS),
+  plus a chunk-size sweep of the chunked kernels on the attached instance.
+  The headline number is ``rss_reduction``; the rows must be identical.
 """
 
 from __future__ import annotations
@@ -43,6 +47,7 @@ import argparse
 import json
 import os
 import platform
+import sys
 import time
 from pathlib import Path
 
@@ -487,6 +492,162 @@ def bench_fault_tolerance(repeats: int, rows: int = 8_000) -> dict:
     }
 
 
+_STORAGE_CHILD = """\
+import json, resource, sys, time
+mode, data_dir, rows = sys.argv[1], sys.argv[2], int(sys.argv[3])
+
+
+def peak_rss_kb():
+    # ru_maxrss survives fork+exec and would report the *parent's* peak at
+    # spawn time; VmHWM lives in the mm and is reset by exec, so it is the
+    # child's own high-water mark.
+    try:
+        with open("/proc/self/status") as status:
+            for line in status:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+from repro.evaluation.experiments import table1
+from repro.evaluation.experiments.common import ExperimentConfig
+config = ExperimentConfig(
+    epsilons=(0.1, 1.0), trials=2, rows_per_scale_factor=rows,
+    storage=mode, data_dir=data_dir if mode == "mapped" else None,
+)
+start = time.perf_counter()
+result = table1.run(config, query_names=("Qc1", "Qs2"))
+wall = time.perf_counter() - start
+rows_out = [
+    {k: v for k, v in row.items() if k != "mean_time_s"} for row in result.rows
+]
+print(json.dumps({
+    "wall_s": wall,
+    "peak_rss_kb": peak_rss_kb(),
+    "rows": rows_out,
+}, default=str))
+"""
+
+
+def bench_columnar_storage(repeats: int, rows: int = 1_500_000) -> dict:
+    """In-memory vs mapped storage: wall clock, peak RSS, and a chunk sweep.
+
+    Each storage mode runs a Table-1 style grid (two queries, two ε values)
+    in a *fresh* subprocess — ``ru_maxrss`` is a process-lifetime peak, so
+    per-mode children are the only way to attribute it.  The parent spills
+    the instance once beforehand; the mapped children attach those files
+    read-only (the offline-prepare/online-attach split docs/STORAGE.md
+    describes), while the memory children pay generation plus eager arrays.
+    The headline number is ``rss_reduction`` — the fraction of the eager
+    run's peak RSS the mapped run avoids.  The children's experiment rows
+    (timing excluded) must be identical across modes.
+
+    The chunk sweep times the chunked kernels (selection masks,
+    contributions, data cubes) on the attached instance across chunk sizes,
+    against the whole-array in-memory reference.
+    """
+    import subprocess
+    import tempfile
+
+    from repro.db.engine import ExecutionEngine
+    from repro.db.query import AggregateKind
+    from repro.db.storage import attach_database
+    from repro.core.workload import workload_attributes
+    from repro.evaluation.experiments.common import build_ssb_database
+    from repro.workloads.ssb_queries import ssb_query
+
+    src_root = str(Path(__file__).resolve().parent.parent / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src_root] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+
+    timings: dict[str, list] = {"memory": [], "mapped": []}
+    peaks: dict[str, list] = {"memory": [], "mapped": []}
+    outputs: dict[str, str] = {}
+    with tempfile.TemporaryDirectory(prefix="bench_columnar_") as tmp:
+        data_dir = os.path.join(tmp, "data")
+        config = ExperimentConfig(
+            epsilons=(0.1, 1.0),
+            trials=2,
+            rows_per_scale_factor=rows,
+            storage="mapped",
+            data_dir=data_dir,
+        )
+        database = build_ssb_database(config)  # spill once, uncapped
+        manifest_dir = None
+        for child in Path(data_dir).iterdir():
+            manifest_dir = child
+
+        for mode in ("memory", "mapped"):
+            for _ in range(repeats):
+                result = subprocess.run(
+                    [sys.executable, "-c", _STORAGE_CHILD, mode, data_dir, str(rows)],
+                    env=env,
+                    capture_output=True,
+                    text=True,
+                    check=True,
+                )
+                payload = json.loads(result.stdout)
+                timings[mode].append(payload["wall_s"])
+                peaks[mode].append(payload["peak_rss_kb"])
+                outputs[mode] = json.dumps(payload["rows"], sort_keys=True)
+
+        # Chunk sweep: same kernels, same attached instance, rising chunks.
+        attached = attach_database(manifest_dir)
+        queries = [ssb_query("Qc1"), ssb_query("Qs2")]
+        attributes = tuple(workload_attributes(queries))
+
+        def _kernel_pass(engine) -> float:
+            start = time.perf_counter()
+            for query in queries:
+                engine.selection_mask(query.predicates)
+                engine.contribution_per_key(query.predicates, "Customer")
+                engine.contribution_per_key(
+                    query.predicates, "Customer", AggregateKind.SUM, measure="revenue"
+                )
+            engine.data_cube(attributes)
+            return time.perf_counter() - start
+
+        sweep = {}
+        for label, target, chunk in (
+            ("memory_unchunked", database, None),
+            ("mapped_16k", attached, 1 << 14),
+            ("mapped_64k", attached, 1 << 16),
+            ("mapped_256k", attached, 1 << 18),
+        ):
+            set_active_backend(None)  # cold caches for every sweep point
+            sweep[label] = round(
+                _kernel_pass(ExecutionEngine(target, chunk_rows=chunk)), 6
+            )
+    _clear_caches()
+
+    memory_wall = sum(timings["memory"]) / repeats
+    mapped_wall = sum(timings["mapped"]) / repeats
+    memory_peak = max(peaks["memory"])
+    mapped_peak = max(peaks["mapped"])
+    return {
+        "rows_per_scale_factor": rows,
+        "memory_wall_s": round(memory_wall, 6),
+        "mapped_wall_s": round(mapped_wall, 6),
+        "memory_peak_rss_kb": memory_peak,
+        "mapped_peak_rss_kb": mapped_peak,
+        "rss_reduction": round(1 - mapped_peak / memory_peak, 4),
+        "results_identical": outputs["memory"] == outputs["mapped"],
+        "chunk_sweep_s": sweep,
+        "note": (
+            "memory children generate the instance in-process; mapped children "
+            "attach the parent's spilled files (the intended deployment split)"
+        ),
+        "samples": {
+            "wall_s": {k: [round(s, 6) for s in v] for k, v in timings.items()},
+            "peak_rss_kb": peaks,
+        },
+    }
+
+
 def bench_serving_throughput(repeats: int, quick_mode: bool = False) -> dict:
     """The online query server's requests/sec at rising client concurrency.
 
@@ -644,6 +805,14 @@ def run_benchmarks(repeats: int = 3, quick_mode: bool = False) -> dict:
           f"{chaos_details['breaker']['trips']} breaker trip(s), "
           f"{chaos_details['proxy']['chunks_dropped']} chunks dropped)")
 
+    columnar = bench_columnar_storage(repeats, rows=750_000 if quick_mode else 1_500_000)
+    print(f"{'columnar_storage':>15}: memory {columnar['memory_wall_s']*1000:8.1f} ms "
+          f"@ {columnar['memory_peak_rss_kb']/1024:.0f} MB peak -> mapped "
+          f"{columnar['mapped_wall_s']*1000:.1f} ms "
+          f"@ {columnar['mapped_peak_rss_kb']/1024:.0f} MB peak "
+          f"({columnar['rss_reduction']:.0%} less RSS, "
+          f"identical={columnar['results_identical']})")
+
     _clear_caches()
     serving = bench_serving_throughput(repeats, quick_mode=quick_mode)
     level_text = ", ".join(
@@ -655,7 +824,7 @@ def run_benchmarks(repeats: int = 3, quick_mode: bool = False) -> dict:
           f"{serving['coalesced']} coalesced)")
 
     return {
-        "schema_version": 6,
+        "schema_version": 7,
         "repeats": repeats,
         "python": platform.python_version(),
         "machine": platform.machine(),
@@ -666,6 +835,7 @@ def run_benchmarks(repeats: int = 3, quick_mode: bool = False) -> dict:
         "run_wide_scheduler": run_wide,
         "cache_server": cache_server,
         "fault_tolerance": fault,
+        "columnar_storage": columnar,
         "serving_throughput": serving,
         "total_mean_s": round(sum(t["mean_s"] for t in timings.values()), 6),
     }

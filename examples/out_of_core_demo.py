@@ -1,0 +1,231 @@
+"""Out-of-core demo: a mapped database under a memory cap the eager path cannot fit.
+
+The script proves the headline property of the columnar storage layer
+(docs/STORAGE.md) end to end, with the operating system as the referee:
+
+1. The parent process generates an SSB instance once and spills it to a
+   per-column on-disk layout (``StarDatabase.spill_to``).
+2. A child process runs a Table-1 style experiment grid over the *mapped*
+   instance under a hard ``RLIMIT_AS`` address-space cap set to
+   ``baseline + fact_bytes // 2`` — half the fact table.  The chunked
+   engine streams the fact column by column in fixed-size chunks, so the
+   grid completes without ever materialising the table.
+3. The same cap is applied to a child that tries the *in-memory* path.
+   Holding the fact table alone needs ``fact_bytes`` above baseline, so
+   the allocation fails — the cap is one the eager path provably exceeds.
+4. The parent re-runs the grid in memory without a cap and byte-compares
+   the two CSVs (timing columns excluded): out-of-core execution changes
+   where bytes live, never what the experiment computes.
+
+Usage::
+
+    PYTHONPATH=src python examples/out_of_core_demo.py [--rows N]
+
+Linux-only (``RLIMIT_AS`` + ``/proc/self/status``); elsewhere it prints a
+notice and exits 0 so CI wiring stays portable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+#: Fact-table row width: 4 int64 foreign keys + 3 float64 measures.
+FACT_BYTES_PER_ROW = 7 * 8
+QUERY_NAMES = ("Qc1", "Qc3")
+EPSILONS = (0.1, 1.0)
+TRIALS = 2
+
+# Keep numpy's BLAS from reserving per-thread scratch address space that
+# would count against the child's RLIMIT_AS cap.
+_CHILD_ENV = {
+    "OPENBLAS_NUM_THREADS": "1",
+    "OMP_NUM_THREADS": "1",
+    "MKL_NUM_THREADS": "1",
+}
+
+
+def _vm_peak_kb() -> int:
+    with open("/proc/self/status") as status:
+        for line in status:
+            if line.startswith("VmPeak:"):
+                return int(line.split()[1])
+    raise RuntimeError("VmPeak not found in /proc/self/status")
+
+
+def _experiment_config(rows: int, storage: str, data_dir: str | None):
+    from repro.evaluation.experiments.common import ExperimentConfig
+
+    return ExperimentConfig(
+        epsilons=EPSILONS,
+        trials=TRIALS,
+        scale_factor=1.0,
+        rows_per_scale_factor=rows,
+        seed=7,
+        storage=storage,
+        data_dir=data_dir,
+    )
+
+
+def _write_canonical_csv(result, path: Path) -> None:
+    """The experiment CSV minus its wall-clock column, for byte comparison."""
+    rows = [
+        {key: value for key, value in row.items() if key != "mean_time_s"}
+        for row in result.rows
+    ]
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def _run_grid(rows: int, storage: str, data_dir: str | None, out_csv: Path) -> None:
+    from repro.evaluation.experiments import table1
+
+    config = _experiment_config(rows, storage, data_dir)
+    result = table1.run(config, query_names=QUERY_NAMES)
+    _write_canonical_csv(result, out_csv)
+
+
+def _child_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--mode", choices=("probe", "mapped", "memory"), required=True)
+    parser.add_argument("--rows", type=int, required=True)
+    parser.add_argument("--cap-bytes", type=int, default=0)
+    parser.add_argument("--data-dir", default=None)
+    parser.add_argument("--out-csv", default=None)
+    args = parser.parse_args(argv)
+
+    if args.cap_bytes:
+        import resource
+
+        resource.setrlimit(resource.RLIMIT_AS, (args.cap_bytes, args.cap_bytes))
+
+    if args.mode == "probe":
+        # Pay every import and lazy one-off the capped children will pay —
+        # on a tiny throwaway instance — then report the address-space peak
+        # that becomes the cap's baseline.
+        _run_grid(2000, "memory", None, Path(tempfile.mkstemp(suffix=".csv")[1]))
+        print(f"baseline_vm_peak_kb={_vm_peak_kb()}")
+        return 0
+
+    if args.mode == "mapped":
+        _run_grid(args.rows, "mapped", args.data_dir, Path(args.out_csv))
+        print(f"mapped_vm_peak_kb={_vm_peak_kb()}")
+        return 0
+
+    # mode == "memory": expected to die against the cap while building.
+    print("memory-build-start", flush=True)
+    try:
+        _run_grid(args.rows, "memory", None, Path(args.out_csv))
+    except MemoryError:
+        print("memory-build-failed: MemoryError", flush=True)
+        return 42
+    print("memory-build-unexpectedly-succeeded", flush=True)
+    return 0
+
+
+def _spawn(child_args: list[str]) -> subprocess.CompletedProcess:
+    env = dict(os.environ, **_CHILD_ENV)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(Path(__file__).resolve().parent.parent / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    return subprocess.run(
+        [sys.executable, os.path.abspath(__file__), "--child", *child_args],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--rows",
+        type=int,
+        default=750_000,
+        help="fact rows; the cap leaves headroom for only half the fact table",
+    )
+    args, extra = parser.parse_known_args()
+    if extra and extra[0] == "--child":
+        return _child_main([a for a in sys.argv[1:] if a != "--child"])
+
+    if sys.platform != "linux":
+        print("out-of-core demo requires Linux (RLIMIT_AS); skipping")
+        return 0
+
+    rows = args.rows
+    fact_bytes = rows * FACT_BYTES_PER_ROW
+
+    print(f"== out-of-core demo: {rows} fact rows "
+          f"({fact_bytes / 1e6:.0f} MB fact table) ==")
+
+    probe = _spawn(["--mode", "probe", "--rows", str(rows)])
+    if probe.returncode != 0:
+        print(probe.stdout + probe.stderr, file=sys.stderr)
+        raise SystemExit("probe child failed")
+    baseline_kb = int(probe.stdout.strip().rsplit("=", 1)[1])
+    cap_bytes = baseline_kb * 1024 + fact_bytes // 2
+    print(f"baseline address space {baseline_kb / 1024:.0f} MB; "
+          f"cap = baseline + fact/2 = {cap_bytes / 1e6:.0f} MB")
+
+    with tempfile.TemporaryDirectory(prefix="out_of_core_demo_") as tmp:
+        data_dir = os.path.join(tmp, "data")
+        mapped_csv = Path(tmp) / "mapped.csv"
+        memory_csv = Path(tmp) / "memory.csv"
+
+        # Spill once, uncapped: this is the offline preparation step.
+        sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+        from repro.evaluation.experiments.common import build_ssb_database
+
+        database = build_ssb_database(_experiment_config(rows, "mapped", data_dir))
+        print(f"spilled + attached instance ({database.storage_kind}), "
+              f"fingerprint {database.cache_fingerprint()[:12]}…")
+
+        # The mapped path must finish the whole grid under the cap.
+        mapped = _spawn([
+            "--mode", "mapped", "--rows", str(rows), "--cap-bytes", str(cap_bytes),
+            "--data-dir", data_dir, "--out-csv", str(mapped_csv),
+        ])
+        if mapped.returncode != 0:
+            print(mapped.stdout + mapped.stderr, file=sys.stderr)
+            raise SystemExit("mapped child failed under the cap")
+        mapped_peak_kb = int(mapped.stdout.strip().rsplit("=", 1)[1])
+        print(f"mapped grid finished under the cap "
+              f"(peak {mapped_peak_kb / 1024:.0f} MB / "
+              f"cap {cap_bytes / 1e6 / 1.048576:.0f} MB)")
+
+        # The eager path must die against the same cap: holding the fact
+        # table alone needs twice the headroom the cap leaves.
+        memory = _spawn([
+            "--mode", "memory", "--rows", str(rows), "--cap-bytes", str(cap_bytes),
+            "--out-csv", str(memory_csv),
+        ])
+        if memory.returncode == 0 or "memory-build-start" not in memory.stdout:
+            print(memory.stdout + memory.stderr, file=sys.stderr)
+            raise SystemExit("in-memory child unexpectedly survived the cap")
+        print(f"in-memory grid refused by the cap as expected "
+              f"(exit {memory.returncode})")
+
+        # Same grid, eager and uncapped, must agree byte for byte.
+        _run_grid(rows, "memory", None, memory_csv)
+        mapped_bytes = mapped_csv.read_bytes()
+        memory_bytes = memory_csv.read_bytes()
+        if mapped_bytes != memory_bytes:
+            raise SystemExit("mapped and in-memory CSVs differ")
+        print(f"mapped CSV byte-identical to in-memory CSV "
+              f"({len(mapped_bytes)} bytes, {len(QUERY_NAMES)} queries x "
+              f"{len(EPSILONS)} epsilons)")
+
+    print("out-of-core demo passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -325,6 +325,17 @@ class SSBGenerator:
         fact = self._build_fact(dimension_rows)
         return StarDatabase(schema=self.schema, fact=fact, dimensions=dimensions)
 
+    def spill_to(self, path, overwrite: bool = False):
+        """Generate the instance and write it as the mapped on-disk layout.
+
+        Returns the manifest path; any process can then attach the instance
+        read-only with :func:`repro.db.storage.attach_database` without
+        re-running generation (see ``docs/STORAGE.md``).  Generation itself
+        is in-memory — spilling is for the consumers, who stream the files
+        chunk-wise instead of holding their own copy.
+        """
+        return self.build().spill_to(path, overwrite=overwrite)
+
 
 def generate_ssb(
     scale_factor: float = 1.0,

@@ -116,3 +116,12 @@ class SnowflakeGenerator:
         dimensions["Date"] = date_table
         dimensions["Month"] = month_table
         return StarDatabase(schema=self.schema, fact=star.fact, dimensions=dimensions)
+
+    def spill_to(self, path, overwrite: bool = False):
+        """Generate the instance and write it as the mapped on-disk layout.
+
+        Same contract as :meth:`repro.datagen.ssb.SSBGenerator.spill_to`:
+        returns the manifest path for read-only attachment via
+        :func:`repro.db.storage.attach_database`.
+        """
+        return self.build().spill_to(path, overwrite=overwrite)

@@ -19,12 +19,14 @@ definitions explicit.
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
+from pathlib import Path
+from typing import Mapping, Optional, Union
 
 import numpy as np
 
 from repro.db.predicates import Predicate
 from repro.db.schema import StarSchema
+from repro.db.storage.base import iter_chunks
 from repro.db.table import Table
 from repro.exceptions import SchemaError
 
@@ -32,16 +34,32 @@ __all__ = ["StarDatabase"]
 
 
 class StarDatabase:
-    """A star-schema database: one fact table plus its dimension tables."""
+    """A star-schema database: one fact table plus its dimension tables.
 
-    def __init__(self, schema: StarSchema, fact: Table, dimensions: Mapping[str, Table]):
+    ``validate=False`` skips the construction-time foreign-key scans.  It is
+    used when attaching a spilled mapped layout
+    (:func:`repro.db.storage.attach_database`): the scans were performed when
+    the instance was originally built and spilled, the files are read-only,
+    and re-running them would materialise every mapped FK column — the exact
+    cost attachment exists to avoid.
+    """
+
+    def __init__(
+        self,
+        schema: StarSchema,
+        fact: Table,
+        dimensions: Mapping[str, Table],
+        validate: bool = True,
+    ):
         self.schema = schema
         self.fact = fact
         self.dimensions: dict[str, Table] = dict(dimensions)
-        self._validate()
+        if validate:
+            self._validate()
         # Warm the content-fingerprint memo while the instance is being born
-        # (construction already scans every FK column): the cache layer can
-        # then namespace this database without adding a hashing stall to the
+        # (construction already scans every FK column, and attached mapped
+        # tables serve their manifest digests): the cache layer can then
+        # namespace this database without adding a hashing stall to the
         # first query's latency.
         self.cache_fingerprint(refresh=True)
 
@@ -180,30 +198,63 @@ class StarDatabase:
         return predicate.evaluate(table)
 
     def fact_mask_for_dimension_mask(
-        self, dimension_name: str, dimension_mask: np.ndarray
+        self,
+        dimension_name: str,
+        dimension_mask: np.ndarray,
+        chunk_rows: Optional[int] = None,
     ) -> np.ndarray:
-        """Translate a dimension-row mask into a fact-row mask via the FK."""
-        codes = self.fact_foreign_key_codes(dimension_name)
-        return np.asarray(dimension_mask, dtype=bool)[codes]
+        """Translate a dimension-row mask into a fact-row mask via the FK.
 
-    def fact_mask_for_predicate(self, predicate: Predicate) -> np.ndarray:
+        ``chunk_rows`` streams the FK column through the fact store's chunk
+        path in fixed-size row ranges instead of materialising it whole —
+        the output (one bool per fact row) is bit-identical either way, since
+        each output row depends on exactly one FK code.  ``None`` reads the
+        column in one piece (the in-memory fast path).
+        """
+        fk = self.schema.foreign_key_for(dimension_name)
+        dimension_mask = np.asarray(dimension_mask, dtype=bool)
+        if chunk_rows is None:
+            return dimension_mask[self.fact.codes(fk.fact_column)]
+        out = np.empty(self.fact.num_rows, dtype=bool)
+        for start, stop in iter_chunks(self.fact.num_rows, chunk_rows):
+            out[start:stop] = dimension_mask[
+                self.fact.read_chunk(fk.fact_column, start, stop)
+            ]
+        return out
+
+    def fact_mask_for_predicate(
+        self, predicate: Predicate, chunk_rows: Optional[int] = None
+    ) -> np.ndarray:
         """Boolean fact-row mask selecting rows whose joined tuple satisfies
         ``predicate``.
 
         Handles predicates on direct dimensions, on snowflaked dimensions and
-        on fact-table attributes uniformly.
+        on fact-table attributes uniformly.  ``chunk_rows`` streams any fact
+        column involved (a fact-attribute predicate's own column, or the FK
+        column of the dimension path) chunk-wise; dimension-sized work is
+        never chunked — dimensions are small by construction.
         """
         if predicate.table == self.fact.name:
-            return predicate.evaluate(self.fact)
+            if chunk_rows is None:
+                return predicate.evaluate(self.fact)
+            out = np.empty(self.fact.num_rows, dtype=bool)
+            for start, stop in iter_chunks(self.fact.num_rows, chunk_rows):
+                out[start:stop] = predicate.evaluate_codes(
+                    self.fact.read_chunk(predicate.attribute, start, stop)
+                )
+            return out
         mask = self.dimension_mask(predicate)
         direct_name, direct_mask = self.resolve_to_direct_dimension(predicate.table, mask)
-        return self.fact_mask_for_dimension_mask(direct_name, direct_mask)
+        return self.fact_mask_for_dimension_mask(direct_name, direct_mask, chunk_rows)
 
     # ------------------------------------------------------------------
     # fan-out statistics (for LS / TM / R2T calibration)
     # ------------------------------------------------------------------
     def fan_out(
-        self, dimension_name: str, fact_mask: Optional[np.ndarray] = None
+        self,
+        dimension_name: str,
+        fact_mask: Optional[np.ndarray] = None,
+        chunk_rows: Optional[int] = None,
     ) -> np.ndarray:
         """Number of (selected) fact tuples referencing each dimension key.
 
@@ -214,20 +265,79 @@ class StarDatabase:
         fact_mask:
             Optional boolean mask restricting which fact rows are counted
             (e.g. the rows satisfying the query's other predicates).
+        chunk_rows:
+            Stream the FK column chunk-wise and accumulate per-chunk integer
+            ``bincount`` partials.  Integer addition is exact, so the result
+            is bit-identical for every chunking (``None`` = one chunk).
         """
-        codes = self.fact_foreign_key_codes(dimension_name)
-        if fact_mask is not None:
-            codes = codes[np.asarray(fact_mask, dtype=bool)]
+        fk = self.schema.foreign_key_for(dimension_name)
         dim_rows = self.dimension(dimension_name).num_rows
-        return np.bincount(codes, minlength=dim_rows)
+        if fact_mask is not None:
+            fact_mask = np.asarray(fact_mask, dtype=bool)
+        counts: Optional[np.ndarray] = None
+        for start, stop in iter_chunks(self.fact.num_rows, chunk_rows):
+            codes = self.fact.read_chunk(fk.fact_column, start, stop)
+            if fact_mask is not None:
+                codes = codes[fact_mask[start:stop]]
+            partial = np.bincount(codes, minlength=dim_rows)
+            counts = partial if counts is None else counts + partial
+        assert counts is not None  # iter_chunks always yields at least once
+        return counts
 
     def max_fan_out(
-        self, dimension_name: str, fact_mask: Optional[np.ndarray] = None
+        self,
+        dimension_name: str,
+        fact_mask: Optional[np.ndarray] = None,
+        chunk_rows: Optional[int] = None,
     ) -> int:
         """Maximum fan-out of any key of ``dimension_name`` (the local sensitivity
         of a star-join count w.r.t. that private dimension)."""
-        counts = self.fan_out(dimension_name, fact_mask)
+        counts = self.fan_out(dimension_name, fact_mask, chunk_rows)
         return int(counts.max()) if counts.size else 0
+
+    def selected_fact_codes(
+        self,
+        column_name: str,
+        fact_mask: Optional[np.ndarray] = None,
+        chunk_rows: Optional[int] = None,
+    ) -> np.ndarray:
+        """``fact.codes(column_name)[fact_mask]``, streamed chunk-wise.
+
+        The gather preserves row order (per-chunk selections are concatenated
+        in chunk order), so the result is bit-identical to whole-column fancy
+        indexing for every chunking — this is what lets SUM contributions and
+        grouped aggregates stay exact while a mapped fact column streams
+        through in fixed-size buffers.  ``fact_mask=None`` selects every row.
+        """
+        if fact_mask is not None:
+            fact_mask = np.asarray(fact_mask, dtype=bool)
+        parts = []
+        for start, stop in iter_chunks(self.fact.num_rows, chunk_rows):
+            chunk = self.fact.read_chunk(column_name, start, stop)
+            if fact_mask is not None:
+                chunk = chunk[fact_mask[start:stop]]
+            parts.append(chunk)
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts)
+
+    # ------------------------------------------------------------------
+    # storage
+    # ------------------------------------------------------------------
+    @property
+    def storage_kind(self) -> str:
+        """The fact table's storage kind (``"memory"`` / ``"mapped"``)."""
+        return self.fact.store.kind
+
+    def spill_to(self, path: Union[str, Path], overwrite: bool = False) -> Path:
+        """Write this instance in the mapped on-disk layout under ``path``.
+
+        Returns the manifest path; attach it back (from any process) with
+        :func:`repro.db.storage.attach_database`.  See ``docs/STORAGE.md``.
+        """
+        from repro.db.storage.mapped import spill_database
+
+        return spill_database(self, path, overwrite=overwrite)
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

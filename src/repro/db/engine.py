@@ -57,6 +57,7 @@ from repro.db.cache import (
 from repro.db.database import StarDatabase
 from repro.db.predicates import ConjunctionPredicate, Predicate
 from repro.db.query import AggregateKind, Measure, StarJoinQuery
+from repro.db.storage.base import DEFAULT_CHUNK_ROWS, iter_chunks
 from repro.exceptions import QueryError
 
 __all__ = ["ExecutionEngine", "predicate_fingerprint", "selection_fingerprint", "query_fingerprint"]
@@ -123,6 +124,14 @@ class ExecutionEngine:
         :meth:`for_database` uses this so installing a run-wide backend
         (e.g. the shared one) takes effect for every shared engine at once,
         including engines that forked workers inherited.
+    chunk_rows:
+        Row-chunk size of the streaming kernels (masks, fan-out, measures,
+        contributions, cubes).  ``None`` (the default) resolves automatically:
+        a mapped fact table streams in :data:`~repro.db.storage.DEFAULT_CHUNK_ROWS`
+        chunks so kernels never materialise a whole fact column, an in-memory
+        fact table is read whole (chunking buys nothing there).  Every kernel
+        is bit-exact for every chunk size — see ``docs/STORAGE.md`` and the
+        chunk-sweep tests in ``tests/test_storage.py``.
     """
 
     def __init__(
@@ -130,6 +139,7 @@ class ExecutionEngine:
         database: StarDatabase,
         max_mask_entries: int = 192,
         backend: Union[CacheBackend, str, None] = None,
+        chunk_rows: Optional[int] = None,
     ):
         # Weak on purpose: the shared-engine registry maps database -> engine,
         # and a strong engine -> database edge would close the value -> key
@@ -141,6 +151,9 @@ class ExecutionEngine:
             backend = LocalCacheBackend(max_mask_entries)
         self._backend_ref = backend
         self._namespace = database.cache_fingerprint()
+        if chunk_rows is None and database.storage_kind == "mapped":
+            chunk_rows = DEFAULT_CHUNK_ROWS
+        self._chunk_rows = chunk_rows
 
     @property
     def database(self) -> StarDatabase:
@@ -163,6 +176,11 @@ class ExecutionEngine:
     def namespace(self) -> str:
         """The content-derived namespace this engine's keys live under."""
         return self._namespace
+
+    @property
+    def chunk_rows(self) -> Optional[int]:
+        """Row-chunk size of the streaming kernels (``None`` = whole-array)."""
+        return self._chunk_rows
 
     def _get(self, region: str, key: Hashable) -> Any:
         return self.backend.get(self._namespace, region, key)
@@ -220,10 +238,12 @@ class ExecutionEngine:
         """Cached boolean fact-row mask of a single predicate (read-only)."""
         fingerprint = predicate_fingerprint(predicate)
         if fingerprint is None:
-            return self.database.fact_mask_for_predicate(predicate)
+            return self.database.fact_mask_for_predicate(predicate, self._chunk_rows)
         mask = self._get("predicate_mask", fingerprint)
         if mask is None:
-            mask = _freeze(self.database.fact_mask_for_predicate(predicate))
+            mask = _freeze(
+                self.database.fact_mask_for_predicate(predicate, self._chunk_rows)
+            )
             self._put("predicate_mask", fingerprint, mask)
         return mask
 
@@ -258,7 +278,9 @@ class ExecutionEngine:
         """Cached unfiltered fan-out vector of a direct dimension (read-only)."""
         counts = self._get("fan_out", dimension_name)
         if counts is None:
-            counts = _freeze(self.database.fan_out(dimension_name))
+            counts = _freeze(
+                self.database.fan_out(dimension_name, chunk_rows=self._chunk_rows)
+            )
             self._put("fan_out", dimension_name, counts)
         return counts
 
@@ -282,11 +304,28 @@ class ExecutionEngine:
         fingerprint = measure_fingerprint(measure)
         values = self._get("measure", fingerprint)
         if values is None:
-            values = np.asarray(self.database.fact.codes(measure.column), dtype=np.float64)
-            if measure.subtract is not None:
-                values = values - np.asarray(
-                    self.database.fact.codes(measure.subtract), dtype=np.float64
-                )
+            fact = self.database.fact
+            if self._chunk_rows is None:
+                values = np.asarray(fact.codes(measure.column), dtype=np.float64)
+                if measure.subtract is not None:
+                    values = values - np.asarray(
+                        fact.codes(measure.subtract), dtype=np.float64
+                    )
+            else:
+                # Stream the source column(s); the float64 cast and the
+                # subtraction are elementwise, so chunked assembly is
+                # bit-identical to the whole-array expression.
+                values = np.empty(fact.num_rows, dtype=np.float64)
+                for start, stop in iter_chunks(fact.num_rows, self._chunk_rows):
+                    chunk = np.asarray(
+                        fact.read_chunk(measure.column, start, stop), dtype=np.float64
+                    )
+                    if measure.subtract is not None:
+                        chunk = chunk - np.asarray(
+                            fact.read_chunk(measure.subtract, start, stop),
+                            dtype=np.float64,
+                        )
+                    values[start:stop] = chunk
             values = _freeze(values)
             self._put("measure", fingerprint, values)
         return values
@@ -325,11 +364,22 @@ class ExecutionEngine:
             if cached is not None:
                 return cached
         mask = self.selection_mask(predicates)
-        codes = self.database.fact_foreign_key_codes(dimension_name)[mask]
-        dim_rows = self.database.dimension(dimension_name).num_rows
+        database = self.database
+        fk_column = database.schema.foreign_key_for(dimension_name).fact_column
+        dim_rows = database.dimension(dimension_name).num_rows
         if kind is AggregateKind.COUNT:
-            per_key = np.bincount(codes, minlength=dim_rows).astype(np.float64)
+            # Chunk-wise integer bincount partials; integer addition is
+            # exact, so any chunking matches the one-pass bincount bit for
+            # bit (and ``astype`` at the end matches the old float cast).
+            counts = database.fan_out(
+                dimension_name, fact_mask=mask, chunk_rows=self._chunk_rows
+            )
+            per_key = counts.astype(np.float64)
         else:
+            # The chunked gather preserves selection order, so this single
+            # weighted bincount sees exactly the rows (in exactly the order)
+            # the whole-column ``codes[mask]`` expression produced.
+            codes = database.selected_fact_codes(fk_column, mask, self._chunk_rows)
             weights = self.measure_values(measure)[mask]
             per_key = np.bincount(codes, weights=weights, minlength=dim_rows)
         per_key = _freeze(per_key)
@@ -411,32 +461,73 @@ class ExecutionEngine:
 
         database = self.database
         shape = tuple(attribute.domain.size for attribute in attributes)
-        code_arrays = []
         for attribute in attributes:
-            if attribute.table == database.fact.name:
-                codes = database.fact.codes(attribute.attribute)
-            else:
-                if not database.is_direct_dimension(attribute.table):
-                    raise QueryError(
-                        "workload attributes must live on the fact table or a "
-                        "direct dimension table"
-                    )
-                table = database.table(attribute.table)
-                fk_codes = database.fact_foreign_key_codes(attribute.table)
-                codes = table.codes(attribute.attribute)[fk_codes]
-            code_arrays.append(np.asarray(codes))
-
-        if code_arrays:
-            flat = np.ravel_multi_index(tuple(code_arrays), shape)
-        else:
-            flat = np.zeros(database.num_fact_rows, dtype=np.int64)
+            if attribute.table != database.fact.name and not database.is_direct_dimension(
+                attribute.table
+            ):
+                raise QueryError(
+                    "workload attributes must live on the fact table or a "
+                    "direct dimension table"
+                )
+        if not attributes:
             shape = ()
         length = int(np.prod(shape, dtype=np.int64)) if shape else 1
-        if kind is AggregateKind.COUNT:
-            cube = np.bincount(flat, minlength=length).astype(np.float64)
+        weights = self.measure_values(measure) if kind is not AggregateKind.COUNT else None
+
+        def chunk_codes(attribute, start: int, stop: int) -> np.ndarray:
+            """Composite-code input for fact rows [start, stop): the fact
+            column itself, or the dimension attribute gathered through the
+            FK codes of those rows."""
+            if attribute.table == database.fact.name:
+                return np.asarray(database.fact.read_chunk(attribute.attribute, start, stop))
+            fk_column = database.schema.foreign_key_for(attribute.table).fact_column
+            fk_codes = database.fact.read_chunk(fk_column, start, stop)
+            return np.asarray(database.table(attribute.table).codes(attribute.attribute))[
+                fk_codes
+            ]
+
+        if self._chunk_rows is None:
+            if attributes:
+                flat = np.ravel_multi_index(
+                    tuple(
+                        chunk_codes(attribute, 0, database.num_fact_rows)
+                        for attribute in attributes
+                    ),
+                    shape,
+                )
+            else:
+                flat = np.zeros(database.num_fact_rows, dtype=np.int64)
+            if kind is AggregateKind.COUNT:
+                cube = np.bincount(flat, minlength=length).astype(np.float64)
+            else:
+                cube = np.bincount(flat, weights=weights, minlength=length)
         else:
-            weights = self.measure_values(measure)
-            cube = np.bincount(flat, weights=weights, minlength=length)
+            counts: Optional[np.ndarray] = None  # COUNT: exact integer partials
+            acc: Optional[np.ndarray] = None  # SUM: strictly in-order float adds
+            for start, stop in iter_chunks(database.num_fact_rows, self._chunk_rows):
+                if attributes:
+                    flat = np.ravel_multi_index(
+                        tuple(
+                            chunk_codes(attribute, start, stop)
+                            for attribute in attributes
+                        ),
+                        shape,
+                    )
+                else:
+                    flat = np.zeros(stop - start, dtype=np.int64)
+                if kind is AggregateKind.COUNT:
+                    partial = np.bincount(flat, minlength=length)
+                    counts = partial if counts is None else counts + partial
+                else:
+                    if acc is None:
+                        acc = np.zeros(length, dtype=np.float64)
+                    # np.add.at applies the adds unbuffered in array order,
+                    # which chunk-sequentially reproduces the exact
+                    # accumulation order of the whole-column weighted
+                    # bincount above — bit-identical float64 cube for every
+                    # chunking (pinned by the chunk-sweep tests).
+                    np.add.at(acc, flat, weights[start:stop])
+            cube = counts.astype(np.float64) if kind is AggregateKind.COUNT else acc
         cube = _freeze(cube.reshape(shape))
         self._put("cube", key, cube)
         return cube

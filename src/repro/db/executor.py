@@ -121,11 +121,19 @@ class QueryExecutor:
     # group by
     # ------------------------------------------------------------------
     def _group_codes(self, group_by: GroupBy, mask: np.ndarray) -> list[np.ndarray]:
-        """Per-key arrays of group codes for the selected fact rows."""
+        """Per-key arrays of group codes for the selected fact rows.
+
+        Fact columns (group-by attributes and FK columns) are gathered through
+        :meth:`StarDatabase.selected_fact_codes`, which streams chunk-wise at
+        the engine's chunk size — order-preserving, so the result is identical
+        to whole-column fancy indexing while a mapped fact table never
+        materialises.
+        """
+        chunk_rows = self.engine.chunk_rows
         per_key = []
         for table_name, attribute in group_by:
             if table_name == self.database.fact.name:
-                codes = self.database.fact.codes(attribute)[mask]
+                codes = self.database.selected_fact_codes(attribute, mask, chunk_rows)
             else:
                 table = self.database.table(table_name)
                 if not self.database.is_direct_dimension(table_name):
@@ -134,7 +142,10 @@ class QueryExecutor:
                         "is not supported"
                     )
                 column_codes = table.codes(attribute)
-                fk_codes = self.database.fact_foreign_key_codes(table_name)[mask]
+                fk = self.database.schema.foreign_key_for(table_name)
+                fk_codes = self.database.selected_fact_codes(
+                    fk.fact_column, mask, chunk_rows
+                )
                 codes = column_codes[fk_codes]
             per_key.append(np.asarray(codes))
         return per_key

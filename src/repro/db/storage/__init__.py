@@ -1,0 +1,29 @@
+"""Pluggable column storage: in-memory arrays or a mapped on-disk layout.
+
+See ``docs/STORAGE.md`` for the layout, the manifest format and the chunked
+read model the engine kernels are built on.
+"""
+
+from repro.db.storage.base import (
+    DEFAULT_CHUNK_ROWS,
+    ColumnStore,
+    MemoryColumnStore,
+    iter_chunks,
+)
+from repro.db.storage.mapped import (
+    MANIFEST_NAME,
+    MappedColumnStore,
+    attach_database,
+    spill_database,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_ROWS",
+    "MANIFEST_NAME",
+    "ColumnStore",
+    "MappedColumnStore",
+    "MemoryColumnStore",
+    "attach_database",
+    "iter_chunks",
+    "spill_database",
+]

@@ -1,0 +1,152 @@
+"""The column-store seam: where table bytes live and how kernels read them.
+
+A :class:`ColumnStore` owns the physical bytes of one table's columns and
+exposes exactly two read paths:
+
+* :meth:`ColumnStore.array` — the whole column as one array.  The in-memory
+  store returns the array it owns; the mapped store returns a read-only
+  ``numpy.memmap`` (lazy: the file is only mapped when the column is first
+  requested, and pages are only read when touched).
+* :meth:`ColumnStore.read_chunk` — a half-open row range ``[start, stop)`` of
+  one column.  The in-memory store returns a view; the mapped store performs a
+  plain positioned file read (``np.fromfile``) with **no persistent mapping**,
+  so a streaming kernel's address-space footprint stays at one chunk buffer
+  regardless of the column's size.  This is what lets the out-of-core demo run
+  under a hard ``RLIMIT_AS`` cap smaller than the data.
+
+The chunked :class:`~repro.db.engine.ExecutionEngine` kernels consume
+``read_chunk`` through :func:`iter_chunks` and never materialise a mapped fact
+column; everything else (``Table.codes``, the reference join, filters)
+continues to see whole arrays through ``array``.  See ``docs/STORAGE.md``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, Mapping, Optional
+
+import numpy as np
+
+from repro.exceptions import SchemaError
+
+__all__ = [
+    "DEFAULT_CHUNK_ROWS",
+    "ColumnStore",
+    "MemoryColumnStore",
+    "iter_chunks",
+]
+
+#: Default row-chunk size of the streaming kernels: 256 Ki rows = 2 MiB per
+#: int64/float64 chunk buffer — large enough that per-chunk numpy dispatch
+#: overhead is negligible, small enough that a handful of in-flight chunk
+#: buffers never threatens a memory cap.
+DEFAULT_CHUNK_ROWS = 1 << 18
+
+
+def iter_chunks(num_rows: int, chunk_rows: Optional[int]) -> Iterator[tuple[int, int]]:
+    """Yield ``(start, stop)`` half-open row ranges covering ``[0, num_rows)``.
+
+    ``chunk_rows=None`` yields the single full range (the unchunked reference
+    behaviour); every kernel that is bit-exact per chunk is therefore also
+    bit-exact against its pre-chunking implementation by construction.
+    """
+    if num_rows < 0:
+        raise ValueError(f"num_rows must be non-negative, got {num_rows}")
+    if chunk_rows is None or chunk_rows >= num_rows:
+        yield 0, num_rows
+        return
+    if chunk_rows < 1:
+        raise ValueError(f"chunk_rows must be at least 1, got {chunk_rows}")
+    for start in range(0, num_rows, chunk_rows):
+        yield start, min(start + chunk_rows, num_rows)
+
+
+class ColumnStore(abc.ABC):
+    """Physical storage of one table's equally sized columns."""
+
+    #: Storage kind label (``"memory"`` / ``"mapped"``), for introspection.
+    kind: str = "abstract"
+
+    @property
+    @abc.abstractmethod
+    def num_rows(self) -> int:
+        """Number of rows every column has."""
+
+    @property
+    @abc.abstractmethod
+    def column_names(self) -> list[str]:
+        """Column names, in table order."""
+
+    @abc.abstractmethod
+    def array(self, name: str) -> np.ndarray:
+        """The whole column (in-memory array, or a lazy read-only memmap)."""
+
+    @abc.abstractmethod
+    def read_chunk(self, name: str, start: int, stop: int) -> np.ndarray:
+        """Rows ``[start, stop)`` of column ``name``.
+
+        May return a view (in-memory) or a freshly read buffer (mapped);
+        callers must treat the result as read-only scratch for one chunk.
+        """
+
+    @abc.abstractmethod
+    def dtype(self, name: str) -> np.dtype:
+        """Dtype of column ``name`` (without reading any data)."""
+
+    def digest(self) -> Optional[str]:
+        """A precomputed content digest of the table, if the store carries one.
+
+        The mapped store returns the digest recorded in its manifest at spill
+        time so attaching never has to re-hash the files; stores without a
+        trustworthy precomputed digest return ``None`` and the table hashes
+        its bytes as usual.
+        """
+        return None
+
+    def _unknown_column(self, name: str) -> SchemaError:
+        return SchemaError(
+            f"{self.kind} column store has no column {name!r}; "
+            f"available: {self.column_names}"
+        )
+
+
+class MemoryColumnStore(ColumnStore):
+    """The default store: eager in-memory arrays (zero behaviour change)."""
+
+    kind = "memory"
+
+    def __init__(self, arrays: Mapping[str, np.ndarray]):
+        if not arrays:
+            raise SchemaError("a column store needs at least one column")
+        self._arrays: dict[str, np.ndarray] = {
+            name: np.asarray(values) for name, values in arrays.items()
+        }
+        lengths = {array.shape[0] for array in self._arrays.values()}
+        if len(lengths) != 1:
+            raise SchemaError(
+                f"column store has columns of differing lengths: {sorted(lengths)}"
+            )
+        self._num_rows = lengths.pop()
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._arrays)
+
+    def array(self, name: str) -> np.ndarray:
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise self._unknown_column(name) from None
+
+    def read_chunk(self, name: str, start: int, stop: int) -> np.ndarray:
+        return self.array(name)[start:stop]
+
+    def dtype(self, name: str) -> np.dtype:
+        return self.array(name).dtype
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MemoryColumnStore(rows={self._num_rows}, columns={self.column_names})"

@@ -1,0 +1,403 @@
+"""The memory-mapped on-disk column layout and its JSON manifest.
+
+Layout of a spilled database (one directory per database)::
+
+    <root>/
+        manifest.json            # schema, dtypes, domains, digests
+        <table>/<column>.npy     # one standard .npy file per column
+
+The manifest carries everything needed to attach the database without
+touching the column bytes: the full star schema (attribute domains included),
+every column's dtype and row count, a per-table content digest computed at
+spill time, and the database's cache fingerprint.  Attaching therefore costs
+a JSON parse — no column scan, no re-hash — and an attached database lands in
+the *same* cache namespace as its in-memory twin, so warm caches are shared
+across storage modes and across processes (see ``docs/STORAGE.md`` and
+``docs/CACHE.md``).
+
+Two read paths, matching :class:`~repro.db.storage.base.ColumnStore`:
+whole-column access returns a lazy read-only ``numpy.memmap`` (nothing is
+mapped until a column is first used), while :meth:`MappedColumnStore.read_chunk`
+does a positioned ``np.fromfile`` read with no persistent mapping at all —
+the path the chunked engine kernels stream a large fact table through under
+a hard address-space cap.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Optional, Union
+
+import numpy as np
+
+from repro.db.domains import AttributeDomain
+from repro.db.schema import ForeignKey, SnowflakeEdge, StarSchema, TableSchema
+from repro.db.storage.base import ColumnStore
+from repro.exceptions import SchemaError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.db.database import StarDatabase
+
+__all__ = ["MANIFEST_NAME", "MappedColumnStore", "attach_database", "spill_database"]
+
+MANIFEST_NAME = "manifest.json"
+_FORMAT = "repro-columnar"
+_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# schema / domain (de)serialisation
+# ----------------------------------------------------------------------
+def _domain_to_json(domain: Optional[AttributeDomain]) -> Optional[dict]:
+    if domain is None:
+        return None
+    for value in domain.values:
+        if not isinstance(value, (str, int, float)) or isinstance(value, bool):
+            raise SchemaError(
+                f"domain {domain.name!r} holds value {value!r} of type "
+                f"{type(value).__name__}, which the mapped layout cannot "
+                "serialise; mapped storage supports str/int/float domain values"
+            )
+    return {"name": domain.name, "values": list(domain.values)}
+
+
+def _domain_from_json(data: Optional[dict]) -> Optional[AttributeDomain]:
+    if data is None:
+        return None
+    return AttributeDomain(name=data["name"], values=tuple(data["values"]))
+
+
+def _table_schema_to_json(table: TableSchema) -> dict:
+    return {
+        "name": table.name,
+        "key": table.key,
+        "attributes": {
+            name: _domain_to_json(domain) for name, domain in table.attributes.items()
+        },
+        "measures": list(table.measures),
+    }
+
+
+def _table_schema_from_json(data: dict) -> TableSchema:
+    return TableSchema(
+        name=data["name"],
+        key=data["key"],
+        attributes={
+            name: _domain_from_json(spec) for name, spec in data["attributes"].items()
+        },
+        measures=tuple(data["measures"]),
+    )
+
+
+def _schema_to_json(schema: StarSchema) -> dict:
+    return {
+        "fact": _table_schema_to_json(schema.fact),
+        "dimensions": [
+            _table_schema_to_json(dimension) for dimension in schema.dimensions.values()
+        ],
+        "foreign_keys": [
+            {
+                "fact_column": fk.fact_column,
+                "dimension_table": fk.dimension_table,
+                "dimension_key": fk.dimension_key,
+            }
+            for fk in schema.foreign_keys.values()
+        ],
+        "snowflake_edges": [
+            {
+                "child_table": edge.child_table,
+                "child_column": edge.child_column,
+                "parent_table": edge.parent_table,
+                "parent_key": edge.parent_key,
+            }
+            for edge in schema.snowflake_edges
+        ],
+    }
+
+
+def _schema_from_json(data: dict) -> StarSchema:
+    return StarSchema(
+        fact=_table_schema_from_json(data["fact"]),
+        dimensions=[_table_schema_from_json(entry) for entry in data["dimensions"]],
+        foreign_keys=[ForeignKey(**entry) for entry in data["foreign_keys"]],
+        snowflake_edges=[SnowflakeEdge(**entry) for entry in data["snowflake_edges"]],
+    )
+
+
+# ----------------------------------------------------------------------
+# the mapped store
+# ----------------------------------------------------------------------
+class MappedColumnStore(ColumnStore):
+    """Read-only columns backed by per-column ``.npy`` files.
+
+    Construction reads nothing but the manifest metadata it is handed; each
+    column's file is opened lazily.  ``array`` maps the file read-only,
+    ``read_chunk`` streams it without mapping.
+    """
+
+    kind = "mapped"
+
+    def __init__(self, root: Path, table_meta: dict):
+        self._root = Path(root)
+        self._meta: dict[str, dict] = {
+            column["name"]: column for column in table_meta["columns"]
+        }
+        if not self._meta:
+            raise SchemaError("mapped table manifest lists no columns")
+        self._num_rows = int(table_meta["num_rows"])
+        self._digest = table_meta.get("digest")
+        self._arrays: dict[str, np.ndarray] = {}
+        #: Byte offset of each column's data block, parsed from the .npy
+        #: header on the first chunked read of that column.
+        self._data_offsets: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _column_meta(self, name: str) -> dict:
+        try:
+            return self._meta[name]
+        except KeyError:
+            raise self._unknown_column(name) from None
+
+    def _path(self, name: str) -> Path:
+        return self._root / self._column_meta(name)["file"]
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._meta)
+
+    def dtype(self, name: str) -> np.dtype:
+        return np.dtype(self._column_meta(name)["dtype"])
+
+    def digest(self) -> Optional[str]:
+        return self._digest
+
+    # ------------------------------------------------------------------
+    def array(self, name: str) -> np.ndarray:
+        """The whole column as a lazy read-only memmap (cached per column)."""
+        array = self._arrays.get(name)
+        if array is None:
+            path = self._path(name)
+            array = np.load(path, mmap_mode="r", allow_pickle=False)
+            if array.shape != (self._num_rows,) or array.dtype != self.dtype(name):
+                raise SchemaError(
+                    f"mapped column file {path} does not match its manifest "
+                    f"(shape {array.shape}, dtype {array.dtype}; expected "
+                    f"({self._num_rows},), {self.dtype(name)})"
+                )
+            self._arrays[name] = array
+        return array
+
+    def _data_offset(self, name: str) -> int:
+        """Offset of the raw data block inside the column's ``.npy`` file."""
+        offset = self._data_offsets.get(name)
+        if offset is None:
+            path = self._path(name)
+            with open(path, "rb") as handle:
+                version = np.lib.format.read_magic(handle)
+                if version == (1, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+                elif version == (2, 0):
+                    shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+                else:  # pragma: no cover - we only ever write 1.0/2.0
+                    raise SchemaError(f"unsupported .npy version {version} in {path}")
+                if fortran or shape != (self._num_rows,) or dtype != self.dtype(name):
+                    raise SchemaError(
+                        f"mapped column file {path} does not match its manifest "
+                        f"(shape {shape}, dtype {dtype}; expected "
+                        f"({self._num_rows},), {self.dtype(name)})"
+                    )
+                offset = handle.tell()
+            self._data_offsets[name] = offset
+        return offset
+
+    def read_chunk(self, name: str, start: int, stop: int) -> np.ndarray:
+        """Rows ``[start, stop)`` via a positioned read — no persistent map.
+
+        This is the streaming path: the chunk buffer is the only memory the
+        read costs, so kernels iterating a large fact column stay within a
+        hard address-space cap no matter the file size.
+        """
+        start = max(0, int(start))
+        stop = min(int(stop), self._num_rows)
+        dtype = self.dtype(name)
+        if stop <= start:
+            return np.empty(0, dtype=dtype)
+        offset = self._data_offset(name) + start * dtype.itemsize
+        return np.fromfile(self._path(name), dtype=dtype, count=stop - start, offset=offset)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MappedColumnStore(root={str(self._root)!r}, rows={self._num_rows}, "
+            f"columns={self.column_names})"
+        )
+
+
+# ----------------------------------------------------------------------
+# spill / attach
+# ----------------------------------------------------------------------
+def _manifest_path(path: Union[str, Path]) -> Path:
+    path = Path(path)
+    return path if path.name == MANIFEST_NAME else path / MANIFEST_NAME
+
+
+def _spill_table(table, directory: Path) -> dict:
+    """Write one table's columns under ``directory`` and return its manifest."""
+    table_dir = directory / table.name
+    table_dir.mkdir(parents=True, exist_ok=True)
+    columns = []
+    for name in table.column_names:
+        column = table.column(name)
+        values = np.ascontiguousarray(column.values)
+        if values.dtype.hasobject:
+            raise SchemaError(
+                f"column {table.name}.{name} has object dtype; the mapped "
+                "layout stores numeric arrays only"
+            )
+        np.save(table_dir / f"{name}.npy", values, allow_pickle=False)
+        columns.append(
+            {
+                "name": name,
+                "dtype": values.dtype.str,
+                "file": f"{table.name}/{name}.npy",
+                "domain": _domain_to_json(column.domain),
+            }
+        )
+    return {
+        "num_rows": int(table.num_rows),
+        "digest": table.content_digest(),
+        "columns": columns,
+    }
+
+
+def spill_database(
+    database: "StarDatabase", path: Union[str, Path], overwrite: bool = False
+) -> Path:
+    """Write ``database`` in the mapped layout under directory ``path``.
+
+    Returns the manifest path.  If a manifest already exists there, the spill
+    is idempotent: a manifest whose fingerprint matches this database is
+    reused as-is (so concurrent workers spilling the same instance race
+    benignly), any other content is refused unless ``overwrite=True``.
+
+    The directory is populated under a temporary sibling name and renamed
+    into place, so a crashed spill never leaves a half-written manifest
+    behind and the loser of a spill race simply discards its copy.
+    """
+    path = Path(path)
+    manifest_path = path / MANIFEST_NAME
+    fingerprint = database.cache_fingerprint()
+    if manifest_path.exists():
+        if not overwrite:
+            try:
+                existing = json.loads(manifest_path.read_text())
+            except (OSError, ValueError):
+                existing = {}
+            if existing.get("fingerprint") == fingerprint:
+                return manifest_path
+            raise SchemaError(
+                f"{path} already holds a different spilled database; pass "
+                "overwrite=True to replace it"
+            )
+        shutil.rmtree(path)
+
+    tmp = path.parent / f".{path.name}.spill-{os.getpid()}"
+    if tmp.exists():
+        shutil.rmtree(tmp)
+    tmp.mkdir(parents=True)
+    try:
+        tables = {database.fact.name: _spill_table(database.fact, tmp)}
+        for name in sorted(database.dimensions):
+            tables[name] = _spill_table(database.dimensions[name], tmp)
+        manifest = {
+            "format": _FORMAT,
+            "version": _VERSION,
+            "fact": database.fact.name,
+            "fingerprint": fingerprint,
+            "schema": _schema_to_json(database.schema),
+            "tables": tables,
+        }
+        (tmp / MANIFEST_NAME).write_text(json.dumps(manifest, indent=1))
+        try:
+            os.rename(tmp, path)
+        except OSError:
+            # Lost a race (or the directory appeared meanwhile): keep the
+            # winner's copy if it is the same content, refuse otherwise.
+            if not manifest_path.exists():
+                raise
+            existing = json.loads(manifest_path.read_text())
+            if existing.get("fingerprint") != fingerprint:
+                raise SchemaError(
+                    f"{path} already holds a different spilled database; pass "
+                    "overwrite=True to replace it"
+                ) from None
+    finally:
+        if tmp.exists():
+            shutil.rmtree(tmp)
+    return manifest_path
+
+
+def _load_manifest(path: Union[str, Path]) -> tuple[Path, dict]:
+    manifest_path = _manifest_path(path)
+    if not manifest_path.is_file():
+        raise SchemaError(f"no mapped-database manifest at {manifest_path}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except ValueError as error:
+        raise SchemaError(f"corrupt manifest {manifest_path}: {error}") from None
+    if manifest.get("format") != _FORMAT or int(manifest.get("version", 0)) != _VERSION:
+        raise SchemaError(
+            f"{manifest_path} is not a {_FORMAT} v{_VERSION} manifest "
+            f"(format={manifest.get('format')!r}, version={manifest.get('version')!r})"
+        )
+    return manifest_path, manifest
+
+
+def _attach_table(root: Path, name: str, manifest: dict):
+    from repro.db.table import Table
+
+    table_meta = manifest["tables"][name]
+    store = MappedColumnStore(root, table_meta)
+    domains: dict[str, Any] = {}
+    for column in table_meta["columns"]:
+        domain = _domain_from_json(column.get("domain"))
+        if domain is not None:
+            domains[column["name"]] = domain
+    return Table.from_store(name, store, domains=domains, digest=table_meta.get("digest"))
+
+
+def attach_database(path: Union[str, Path]) -> "StarDatabase":
+    """Attach a spilled database read-only from its directory or manifest path.
+
+    Attaching is cheap and scan-free: the schema comes from the manifest,
+    every table serves the spill-time content digest, and the foreign-key
+    validation already performed at spill time is trusted rather than re-run
+    (the files are opened read-only, so the invariants cannot have drifted).
+    Safe to call from many processes at once — fork workers and serving
+    processes attach the same files and share the page cache.
+    """
+    from repro.db.database import StarDatabase
+
+    manifest_path, manifest = _load_manifest(path)
+    root = manifest_path.parent
+    schema = _schema_from_json(manifest["schema"])
+    fact = _attach_table(root, manifest["fact"], manifest)
+    dimensions = {
+        name: _attach_table(root, name, manifest)
+        for name in manifest["tables"]
+        if name != manifest["fact"]
+    }
+    database = StarDatabase(schema=schema, fact=fact, dimensions=dimensions, validate=False)
+    fingerprint = manifest.get("fingerprint")
+    if fingerprint and database.cache_fingerprint() != fingerprint:
+        raise SchemaError(
+            f"manifest {manifest_path} fingerprint does not match its table "
+            "digests; the spill directory is corrupt or was hand-edited"
+        )
+    return database

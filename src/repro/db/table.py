@@ -7,6 +7,14 @@ rather than raw values, which keeps predicate evaluation, semi-joins and the
 Predicate Mechanism's domain arithmetic purely numerical.  Columns without a
 domain (e.g. the fact table's measure attributes) store their values
 directly.
+
+Where the bytes physically live is a separate concern: every table reads
+through a :class:`~repro.db.storage.ColumnStore` (see ``docs/STORAGE.md``).
+Eagerly built tables wrap their arrays in a
+:class:`~repro.db.storage.MemoryColumnStore`; tables attached from a spilled
+on-disk layout are built with :meth:`Table.from_store` over a
+:class:`~repro.db.storage.MappedColumnStore`, whose columns materialise lazily
+as read-only memmaps and whose chunked reads never materialise at all.
 """
 
 from __future__ import annotations
@@ -18,9 +26,15 @@ from typing import Any, Iterable, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.db.domains import AttributeDomain
+from repro.db.storage.base import (
+    DEFAULT_CHUNK_ROWS,
+    ColumnStore,
+    MemoryColumnStore,
+    iter_chunks,
+)
 from repro.exceptions import DomainError, SchemaError
 
-__all__ = ["Column", "Table"]
+__all__ = ["Column", "StoredColumn", "Table"]
 
 
 @dataclass
@@ -92,10 +106,58 @@ class Column:
         return Column(name=self.name, values=self.values[row_mask], domain=self.domain)
 
 
-class Table:
-    """A named collection of equally sized columns."""
+class StoredColumn(Column):
+    """A column whose values live in a :class:`~repro.db.storage.ColumnStore`.
 
-    def __init__(self, name: str, columns: Sequence[Column]):
+    ``values`` resolves through the store on access, so a mapped column costs
+    nothing until (unless) something actually touches its whole array — the
+    chunked kernels go through :meth:`Table.read_chunk` and never do.  The
+    code-range validation :class:`Column` performs eagerly is skipped here:
+    stored columns come from a spill of an already-validated table, and the
+    files are opened read-only, so the invariant cannot have drifted
+    (re-validating would defeat lazy attachment by scanning every column).
+    """
+
+    def __init__(self, name: str, store: ColumnStore, domain: Optional[AttributeDomain] = None):
+        # Deliberately does not call the dataclass __init__/__post_init__:
+        # there is no eager array to normalise or validate.
+        self.name = name
+        self.domain = domain
+        self._store = store
+
+    @property
+    def values(self) -> np.ndarray:  # type: ignore[override]
+        return self._store.array(self.name)
+
+    @property
+    def num_rows(self) -> int:
+        return self._store.num_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StoredColumn({self.name!r}, rows={self.num_rows}, "
+            f"store={self._store.kind})"
+        )
+
+
+class Table:
+    """A named collection of equally sized columns.
+
+    ``store`` / ``digest`` are provided by :meth:`from_store` when attaching a
+    spilled database; eagerly built tables get a
+    :class:`~repro.db.storage.MemoryColumnStore` wrapped around their arrays
+    so every consumer can use the same two read paths (whole array, or
+    :meth:`read_chunk`) regardless of where the bytes live.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        *,
+        store: Optional[ColumnStore] = None,
+        digest: Optional[str] = None,
+    ):
         if not columns:
             raise SchemaError(f"table {name!r} must have at least one column")
         lengths = {column.num_rows for column in columns}
@@ -109,6 +171,12 @@ class Table:
         self.name = name
         self._columns: dict[str, Column] = {column.name: column for column in columns}
         self._num_rows = columns[0].num_rows
+        if store is None:
+            store = MemoryColumnStore(
+                {column.name: column.values for column in columns}
+            )
+        self._store = store
+        self._digest_hint = digest if digest is not None else store.digest()
 
     # ------------------------------------------------------------------
     # constructors
@@ -146,6 +214,27 @@ class Table:
             columns.append(Column.from_raw(col_name, raw, domain=domains.get(col_name)))
         return cls(name=name, columns=columns)
 
+    @classmethod
+    def from_store(
+        cls,
+        name: str,
+        store: ColumnStore,
+        domains: Optional[Mapping[str, AttributeDomain]] = None,
+        digest: Optional[str] = None,
+    ) -> "Table":
+        """Build a table reading lazily through an existing column store.
+
+        Used when attaching a spilled database: no column is materialised,
+        and ``digest`` (the spill-time content digest from the manifest)
+        lets :meth:`content_digest` answer without hashing any bytes.
+        """
+        domains = domains or {}
+        columns = [
+            StoredColumn(col_name, store, domain=domains.get(col_name))
+            for col_name in store.column_names
+        ]
+        return cls(name=name, columns=columns, store=store, digest=digest)
+
     # ------------------------------------------------------------------
     # basic accessors
     # ------------------------------------------------------------------
@@ -159,6 +248,11 @@ class Table:
     @property
     def column_names(self) -> list[str]:
         return list(self._columns)
+
+    @property
+    def store(self) -> ColumnStore:
+        """The column store this table's bytes live in."""
+        return self._store
 
     def __contains__(self, column_name: str) -> bool:
         return column_name in self._columns
@@ -175,6 +269,17 @@ class Table:
     def codes(self, column_name: str) -> np.ndarray:
         """Return the raw numpy array backing ``column_name``."""
         return self.column(column_name).values
+
+    def read_chunk(self, column_name: str, start: int, stop: int) -> np.ndarray:
+        """Rows ``[start, stop)`` of one column, via the store's chunk path.
+
+        On a memory store this is a view; on a mapped store it is a positioned
+        file read with no persistent mapping — the streaming primitive every
+        chunked kernel is built on.
+        """
+        if column_name not in self._columns:
+            self.column(column_name)  # raise the table-level SchemaError
+        return self._store.read_chunk(column_name, start, stop)
 
     def domain(self, column_name: str) -> Optional[AttributeDomain]:
         """Return the attribute domain of ``column_name`` (if any)."""
@@ -194,8 +299,21 @@ class Table:
         return Table(self.name, [col.mask(row_mask) for col in self._columns.values()])
 
     def take(self, indices: np.ndarray) -> "Table":
-        """Return a new table with the rows at ``indices`` (in that order)."""
+        """Return a new table with the rows at ``indices`` (in that order).
+
+        Indices must lie in ``[0, num_rows)``; anything else raises a
+        :class:`~repro.exceptions.SchemaError` naming the table instead of
+        surfacing as a bare numpy ``IndexError`` deep inside a kernel.
+        """
         indices = np.asarray(indices, dtype=np.int64)
+        if indices.size:
+            lo = int(indices.min())
+            hi = int(indices.max())
+            if lo < 0 or hi >= self._num_rows:
+                raise SchemaError(
+                    f"take() indices out of range for table {self.name!r} "
+                    f"with {self._num_rows} rows (min={lo}, max={hi})"
+                )
         return Table(self.name, [col.take(indices) for col in self._columns.values()])
 
     def head(self, count: int = 5) -> "Table":
@@ -231,11 +349,24 @@ class Table:
         on every call — tables are treated as immutable everywhere, but the
         cache layer relies on a *mutated* table hashing differently, so the
         digest must never be memoized here.
+
+        The one exception is a table attached from a spilled mapped layout:
+        its store carries the digest computed at spill time (over exactly the
+        bytes now sitting in the read-only files), and serving that value is
+        what keeps attachment scan-free and puts mapped and in-memory twins
+        of the same instance in the same cache namespace.
+
+        Column bytes are streamed in fixed-size row chunks —
+        ``values[start:stop].tobytes()`` concatenated over chunks is the
+        logical byte order whatever the array's layout, so the digest is
+        identical to hashing one contiguous copy without ever making one.
         """
+        if self._digest_hint is not None:
+            return self._digest_hint
         digest = hashlib.sha256()
         digest.update(self.name.encode("utf-8"))
         for column in self._columns.values():
-            values = np.ascontiguousarray(column.values)
+            values = column.values
             digest.update(column.name.encode("utf-8"))
             if column.domain is not None:
                 # Codes only pin the selected *positions*; the domain decodes
@@ -247,7 +378,8 @@ class Table:
             if values.dtype == object:
                 digest.update(repr(column.decoded()).encode("utf-8"))
             else:
-                digest.update(values.tobytes())
+                for start, stop in iter_chunks(values.shape[0], DEFAULT_CHUNK_ROWS):
+                    digest.update(values[start:stop].tobytes())
         return digest.hexdigest()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -204,6 +204,25 @@ def _build_parser() -> argparse.ArgumentParser:
         help="report cache hit/miss/eviction counters per experiment and per run",
     )
     parser.add_argument(
+        "--storage",
+        choices=("memory", "mapped"),
+        default="memory",
+        help=(
+            "where generated instances live: 'memory' holds eager arrays; "
+            "'mapped' spills each instance once to --data-dir and attaches it "
+            "read-only, streaming the fact table chunk-wise so runs fit in a "
+            "fraction of the data size and fork workers share one copy "
+            "(results are byte-identical; see docs/STORAGE.md)"
+        ),
+    )
+    parser.add_argument(
+        "--data-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="directory for the mapped instances (required with --storage mapped)",
+    )
+    parser.add_argument(
         "--output-dir",
         type=Path,
         default=None,
@@ -265,12 +284,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.ledger_path and not args.serve:
         print("--ledger-path only applies with --serve", file=sys.stderr)
         return 2
+    if args.storage == "mapped" and args.data_dir is None:
+        print("--storage mapped requires --data-dir", file=sys.stderr)
+        return 2
+    if args.data_dir is not None and args.storage != "mapped":
+        print("--data-dir only applies with --storage mapped", file=sys.stderr)
+        return 2
     config.jobs = args.jobs
     config.cache_backend = args.cache_backend
     config.cache_size = args.cache_size
     config.cache_url = args.cache_url
     config.cache_path = args.cache_path
     config.ledger_path = args.ledger_path
+    config.storage = args.storage
+    config.data_dir = str(args.data_dir) if args.data_dir is not None else None
 
     if args.serve:
         # Delegate to the serving entry point with this invocation's seed and
@@ -290,6 +317,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             serve_argv += ["--cache-path", config.cache_path]
         if config.ledger_path:
             serve_argv += ["--ledger-path", config.ledger_path]
+        if config.storage == "mapped":
+            serve_argv += ["--storage", "mapped", "--data-dir", config.data_dir]
         return serve_main(serve_argv)
 
     try:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Optional
 from zlib import crc32
 
@@ -128,6 +129,16 @@ class ExperimentConfig:
         (``--serve`` runs only): spent ε survives server restarts and
         crashes (see :mod:`repro.serving.durable`).  Batch experiments
         ignore it — their privacy accounting is per-run by design.
+    storage:
+        Where generated instances live: ``"memory"`` (eager arrays, the
+        default) or ``"mapped"`` (each instance is spilled once to the
+        mapped on-disk layout under ``data_dir`` and attached read-only, so
+        the engine streams the fact table chunk-wise and fork workers share
+        one copy through the page cache — see ``docs/STORAGE.md``).  Results
+        are byte-identical for either value.
+    data_dir:
+        Directory the mapped instances are spilled to / attached from.
+        Required when ``storage="mapped"``.
     """
 
     epsilons: tuple[float, ...] = PAPER_EPSILONS
@@ -142,6 +153,8 @@ class ExperimentConfig:
     cache_url: Optional[str] = None
     cache_path: Optional[str] = None
     ledger_path: Optional[str] = None
+    storage: str = "memory"
+    data_dir: Optional[str] = None
 
     @classmethod
     def quick(cls) -> "ExperimentConfig":
@@ -185,6 +198,28 @@ def clear_database_cache() -> None:
     _DATABASE_CACHE.clear()
 
 
+def _mapped_instance(ssb_config: SSBConfig, key: tuple, data_dir: str) -> StarDatabase:
+    """Attach (spilling first if absent) the mapped copy of one instance.
+
+    The instance directory name is a pure function of the generator knobs, so
+    every process — the driver, each fork worker resolving the same builder,
+    a later run with the same configuration — lands on the same files.  The
+    spill itself is idempotent and race-safe (see
+    :func:`repro.db.storage.spill_database`), so concurrent workers resolve
+    to one copy and share it through the page cache.
+    """
+    from repro.db.storage import MANIFEST_NAME, attach_database
+
+    scale, rows, key_dist, measure_dist, seed = key
+    instance_dir = Path(data_dir) / (
+        f"ssb-sf{scale}-rows{rows}-{key_dist}-{measure_dist}-seed{seed}"
+    )
+    manifest = instance_dir / MANIFEST_NAME
+    if not manifest.is_file():
+        SSBGenerator(ssb_config).spill_to(instance_dir)
+    return attach_database(instance_dir)
+
+
 def build_ssb_database(
     config: ExperimentConfig,
     scale_factor: Optional[float] = None,
@@ -196,6 +231,10 @@ def build_ssb_database(
 
     Generation is deterministic in the configuration, so instances are cached
     by their knobs; distribution objects (rather than names) bypass the cache.
+    With ``config.storage == "mapped"`` the instance is spilled once under
+    ``config.data_dir`` and attached read-only instead of being held as eager
+    arrays — answers are byte-identical either way (sampler *objects* cannot
+    be named deterministically on disk, so they always build in memory).
     """
     ssb_config = config.ssb_config(
         scale_factor=scale_factor,
@@ -206,6 +245,9 @@ def build_ssb_database(
     cacheable = isinstance(key_distribution, str) and isinstance(measure_distribution, str)
     if not cacheable:
         return SSBGenerator(ssb_config).build()
+    mapped = config.storage == "mapped"
+    if mapped and not config.data_dir:
+        raise ValueError('storage="mapped" requires data_dir')
     key = (
         ssb_config.scale_factor,
         ssb_config.rows_per_scale_factor,
@@ -213,12 +255,16 @@ def build_ssb_database(
         measure_distribution,
         ssb_config.seed,
     )
-    database = _DATABASE_CACHE.get(key)
+    cache_key = key + ((config.storage, config.data_dir) if mapped else ())
+    database = _DATABASE_CACHE.get(cache_key)
     if database is None:
-        database = SSBGenerator(ssb_config).build()
+        if mapped:
+            database = _mapped_instance(ssb_config, key, config.data_dir)
+        else:
+            database = SSBGenerator(ssb_config).build()
         while len(_DATABASE_CACHE) >= _DATABASE_CACHE_MAX:
             _DATABASE_CACHE.pop(next(iter(_DATABASE_CACHE)))
-        _DATABASE_CACHE[key] = database
+        _DATABASE_CACHE[cache_key] = database
     return database
 
 

@@ -103,6 +103,13 @@ def resolve_database(builder: Callable, args: tuple):
     :class:`~repro.db.engine.ExecutionEngine` is attached on first build, so
     all cells of the same database share one set of selection/cube caches —
     each worker pays them once.
+
+    With mapped storage (``ExperimentConfig.storage == "mapped"``) the
+    builder resolves to a read-only attachment of the instance's on-disk
+    manifest rather than re-generating arrays: the driver spills the instance
+    before scheduling, every fork worker attaches the same files, and the
+    fact table's pages are shared through the OS page cache instead of being
+    duplicated per process (see ``docs/STORAGE.md``).
     """
     key = (builder.__module__, builder.__qualname__, pickle.dumps(args))
     database = _WORKER_CACHE.get(key)

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Hashable, Optional
 
 import numpy as np
@@ -196,10 +197,29 @@ class PlannedQuery:
 # the planner
 # ----------------------------------------------------------------------
 class QueryPlanner:
-    """Database registry + request planning/execution for the server."""
+    """Database registry + request planning/execution for the server.
 
-    def __init__(self, seed: int = 20230711):
+    ``storage="mapped"`` makes every registered star/snowflake database spill
+    once to ``data_dir/<name>`` and attach read-only (see ``docs/STORAGE.md``):
+    multiple serving processes registering the same spec share one on-disk
+    copy through the page cache instead of each materialising its own arrays,
+    and restarts attach instantly.  Served answers are byte-identical to the
+    in-memory storage mode — the determinism contract above is unchanged.
+    """
+
+    def __init__(
+        self,
+        seed: int = 20230711,
+        storage: str = "memory",
+        data_dir: Optional[str] = None,
+    ):
+        if storage not in ("memory", "mapped"):
+            raise ValueError(f"storage must be 'memory' or 'mapped', got {storage!r}")
+        if storage == "mapped" and not data_dir:
+            raise ValueError('storage="mapped" requires data_dir')
         self.seed = int(seed)
+        self.storage = storage
+        self.data_dir = data_dir
         self._databases: dict[str, RegisteredDatabase] = {}
         self._lock = threading.Lock()
         self.singleflight = SingleFlight()
@@ -277,7 +297,19 @@ class QueryPlanner:
                 "bad_request", f"unknown register parameters: {sorted(params)}"
             )
         generator = SSBGenerator(config) if kind == "ssb" else SnowflakeGenerator(config)
-        database = generator.build()
+        if self.storage == "mapped":
+            # Spill-or-attach under the registered name: a process that finds
+            # the manifest already on disk (an earlier registration, another
+            # serving process, a restart) attaches without generating at all;
+            # the spill itself is idempotent and race-safe.
+            from repro.db.storage import MANIFEST_NAME, attach_database
+
+            instance_dir = Path(self.data_dir) / name
+            if not (instance_dir / MANIFEST_NAME).is_file():
+                generator.spill_to(instance_dir)
+            database = attach_database(instance_dir)
+        else:
+            database = generator.build()
         # Warm the shared engine now so the first served query does not pay
         # for engine construction; caches route to the active backend.
         ExecutionEngine.for_database(database)

@@ -574,6 +574,24 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--storage",
+        choices=("memory", "mapped"),
+        default="memory",
+        help=(
+            "where registered databases live: 'memory' builds eager arrays "
+            "per process; 'mapped' spills each database once to --data-dir "
+            "and attaches it read-only, so serving processes share one "
+            "on-disk copy and restarts attach instantly (answers are "
+            "byte-identical; see docs/STORAGE.md)"
+        ),
+    )
+    parser.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for mapped databases (required with --storage mapped)",
+    )
+    parser.add_argument(
         "--register",
         action="append",
         default=[],
@@ -592,6 +610,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.cache_backend != "remote" and (args.cache_url or args.cache_path):
         print("--cache-url/--cache-path require --cache-backend remote", file=sys.stderr)
         return 2
+    if args.storage == "mapped" and not args.data_dir:
+        print("--storage mapped requires --data-dir", file=sys.stderr)
+        return 2
+    if args.data_dir and args.storage != "mapped":
+        print("--data-dir only applies with --storage mapped", file=sys.stderr)
+        return 2
     try:
         backend = make_backend(
             args.cache_backend, args.cache_size, url=args.cache_url, path=args.cache_path
@@ -601,7 +625,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     previous = set_active_backend(backend)
     try:
-        planner = QueryPlanner(seed=args.seed)
+        planner = QueryPlanner(seed=args.seed, storage=args.storage, data_dir=args.data_dir)
         for spec_text in args.register:
             try:
                 spec = json.loads(spec_text)

@@ -1,0 +1,484 @@
+"""Storage-parity suite: mapped vs in-memory, chunked vs whole-array.
+
+The contracts under test (see docs/STORAGE.md):
+
+* A spilled-then-attached database is the *same* logical instance: equal
+  table digests, equal cache fingerprint (same cache namespace), equal
+  column bytes.
+* Every chunked kernel is bit-exact against the unchunked reference for
+  every chunk size — including 1, a prime that does not divide the row
+  count, and one larger than the table.
+* Experiment CSVs are byte-identical across storage modes and job counts,
+  and served answers from a mapped database match the offline runner.
+* ``Table.take`` validates bounds with a ``SchemaError`` naming the table;
+  ``Table.content_digest`` streams (no full-copy) and mapped tables serve
+  the manifest's precomputed digest.
+"""
+
+import csv
+import dataclasses
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.datagen.ssb import SSBConfig, SSBGenerator
+from repro.datagen.tpch import SnowflakeConfig, SnowflakeGenerator
+from repro.db.engine import ExecutionEngine
+from repro.db.executor import QueryExecutor, GroupedResult
+from repro.db.query import AggregateKind, Measure
+from repro.db.storage import (
+    DEFAULT_CHUNK_ROWS,
+    MANIFEST_NAME,
+    MemoryColumnStore,
+    attach_database,
+    iter_chunks,
+    spill_database,
+)
+from repro.db.table import Column, Table
+from repro.evaluation.experiments import table1
+from repro.evaluation.experiments.common import ExperimentConfig, build_ssb_database
+from repro.evaluation.runner import evaluate_mechanism, make_star_mechanism
+from repro.exceptions import SchemaError
+from repro.core.workload import workload_attributes
+from repro.serving import QueryPlanner, request_stream, serialize_answer
+from repro.workloads.ssb_queries import ssb_query
+
+ROWS = 997  # deliberately prime: no chunk size below divides it evenly
+#: 1 row, a prime that does not divide ROWS, and one larger than the table.
+CHUNK_SWEEP = (1, 13, 101, ROWS + 13)
+QUERIES = ("Qc1", "Qs2", "Qg2")
+
+
+@pytest.fixture(scope="module")
+def memory_db():
+    return SSBGenerator(
+        SSBConfig(scale_factor=1.0, rows_per_scale_factor=ROWS, seed=23)
+    ).build()
+
+
+@pytest.fixture(scope="module")
+def mapped_db(memory_db, tmp_path_factory):
+    manifest = memory_db.spill_to(tmp_path_factory.mktemp("spill") / "ssb")
+    return attach_database(manifest)
+
+
+# ----------------------------------------------------------------------
+# chunk iteration and the memory store
+# ----------------------------------------------------------------------
+class TestIterChunks:
+    def test_none_yields_single_full_range(self):
+        assert list(iter_chunks(10, None)) == [(0, 10)]
+
+    def test_chunk_larger_than_rows_yields_single_range(self):
+        assert list(iter_chunks(10, 11)) == [(0, 10)]
+
+    def test_ranges_cover_exactly(self):
+        ranges = list(iter_chunks(10, 3))
+        assert ranges == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_zero_rows_yield_empty_range(self):
+        assert list(iter_chunks(0, 4)) == [(0, 0)]
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            list(iter_chunks(-1, 4))
+        with pytest.raises(ValueError):
+            list(iter_chunks(10, 0))
+
+
+class TestMemoryColumnStore:
+    def test_requires_columns(self):
+        with pytest.raises(SchemaError):
+            MemoryColumnStore({})
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(SchemaError, match="differing lengths"):
+            MemoryColumnStore({"a": np.arange(3), "b": np.arange(4)})
+
+    def test_unknown_column_is_schema_error(self):
+        store = MemoryColumnStore({"a": np.arange(3)})
+        with pytest.raises(SchemaError, match="no column 'b'"):
+            store.array("b")
+
+    def test_read_chunk_is_a_slice(self):
+        store = MemoryColumnStore({"a": np.arange(10)})
+        assert np.array_equal(store.read_chunk("a", 2, 5), [2, 3, 4])
+        assert store.digest() is None
+
+
+# ----------------------------------------------------------------------
+# spill / attach round trip
+# ----------------------------------------------------------------------
+class TestSpillAttach:
+    def test_same_logical_instance(self, memory_db, mapped_db):
+        assert memory_db.storage_kind == "memory"
+        assert mapped_db.storage_kind == "mapped"
+        assert mapped_db.cache_fingerprint() == memory_db.cache_fingerprint()
+        for name in [memory_db.fact.name, *sorted(memory_db.dimensions)]:
+            source, attached = memory_db.table(name), mapped_db.table(name)
+            assert attached.content_digest() == source.content_digest()
+            assert attached.column_names == source.column_names
+            for column in source.column_names:
+                a, b = source.codes(column), attached.codes(column)
+                assert a.dtype == b.dtype
+                assert np.array_equal(a, b)
+
+    def test_domains_survive_the_round_trip(self, memory_db, mapped_db):
+        for name in memory_db.dimensions:
+            source, attached = memory_db.table(name), mapped_db.table(name)
+            for column in source.column_names:
+                original = source.domain(column)
+                restored = attached.domain(column)
+                if original is None:
+                    assert restored is None
+                else:
+                    assert restored.name == original.name
+                    assert restored.values == original.values
+
+    def test_attach_accepts_directory_or_manifest(self, memory_db, tmp_path):
+        manifest = memory_db.spill_to(tmp_path / "x")
+        by_dir = attach_database(tmp_path / "x")
+        by_manifest = attach_database(manifest)
+        assert by_dir.cache_fingerprint() == by_manifest.cache_fingerprint()
+
+    def test_missing_manifest_is_schema_error(self, tmp_path):
+        with pytest.raises(SchemaError, match="no mapped-database manifest"):
+            attach_database(tmp_path / "nothing")
+
+    def test_corrupt_manifest_is_schema_error(self, tmp_path):
+        target = tmp_path / "broken"
+        target.mkdir()
+        (target / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(SchemaError, match="corrupt manifest"):
+            attach_database(target)
+
+    def test_respill_same_instance_is_idempotent(self, memory_db, tmp_path):
+        first = memory_db.spill_to(tmp_path / "dup")
+        second = memory_db.spill_to(tmp_path / "dup")
+        assert first == second
+
+    def test_respill_different_instance_is_refused(self, memory_db, tmp_path):
+        memory_db.spill_to(tmp_path / "slot")
+        other = SSBGenerator(
+            SSBConfig(scale_factor=1.0, rows_per_scale_factor=ROWS, seed=99)
+        ).build()
+        with pytest.raises(SchemaError, match="different spilled database"):
+            other.spill_to(tmp_path / "slot")
+        # ... unless explicitly overwritten.
+        manifest = other.spill_to(tmp_path / "slot", overwrite=True)
+        assert attach_database(manifest).cache_fingerprint() == other.cache_fingerprint()
+
+    def test_object_dtype_column_is_refused(self, tmp_path):
+        table = Table("T", [Column(name="c", values=np.array(["a", None], dtype=object))])
+        store_dir = tmp_path / "obj"
+        from repro.db.storage.mapped import _spill_table
+
+        with pytest.raises(SchemaError, match="object dtype"):
+            _spill_table(table, store_dir)
+
+    def test_snowflake_round_trip(self, tmp_path):
+        database = SnowflakeGenerator(
+            SnowflakeConfig(scale_factor=1.0, rows_per_scale_factor=500, seed=9)
+        ).build()
+        attached = attach_database(database.spill_to(tmp_path / "snow"))
+        assert attached.cache_fingerprint() == database.cache_fingerprint()
+        assert attached.schema.snowflake_edges == database.schema.snowflake_edges
+        query = ssb_query("Qc1")
+        assert QueryExecutor(attached).execute(query) == QueryExecutor(database).execute(
+            query
+        )
+
+    def test_fingerprint_mismatch_is_detected(self, memory_db, tmp_path):
+        manifest_path = memory_db.spill_to(tmp_path / "tamper")
+        manifest = json.loads(manifest_path.read_text())
+        manifest["tables"][memory_db.fact.name]["digest"] = "0" * 64
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(SchemaError, match="fingerprint does not match"):
+            attach_database(manifest_path)
+
+
+# ----------------------------------------------------------------------
+# chunked kernels: bit-exact for every chunk size, both storage modes
+# ----------------------------------------------------------------------
+class TestChunkedKernelEquivalence:
+    """Sweep chunk sizes (1, prime, > num_rows) against the unchunked path."""
+
+    @pytest.fixture(scope="class")
+    def reference(self, memory_db):
+        engine = ExecutionEngine(memory_db)
+        assert engine.chunk_rows is None  # memory default: whole-array
+        return engine
+
+    def _engines(self, memory_db, mapped_db, chunk_rows):
+        return (
+            ExecutionEngine(memory_db, chunk_rows=chunk_rows),
+            ExecutionEngine(mapped_db, chunk_rows=chunk_rows),
+        )
+
+    def test_mapped_engine_chunks_by_default(self, mapped_db):
+        assert ExecutionEngine(mapped_db).chunk_rows == DEFAULT_CHUNK_ROWS
+
+    @pytest.mark.parametrize("chunk_rows", CHUNK_SWEEP)
+    def test_selection_masks(self, memory_db, mapped_db, reference, chunk_rows):
+        for engine in self._engines(memory_db, mapped_db, chunk_rows):
+            for name in QUERIES:
+                query = ssb_query(name)
+                expected = reference.selection_mask(query.predicates)
+                actual = engine.selection_mask(query.predicates)
+                assert actual.dtype == expected.dtype
+                assert np.array_equal(actual, expected)
+
+    @pytest.mark.parametrize("chunk_rows", CHUNK_SWEEP)
+    def test_fan_out(self, memory_db, mapped_db, reference, chunk_rows):
+        for engine in self._engines(memory_db, mapped_db, chunk_rows):
+            for dimension in memory_db.schema.foreign_keys:
+                expected = reference.fan_out(dimension)
+                actual = engine.fan_out(dimension)
+                assert actual.dtype == expected.dtype
+                assert np.array_equal(actual, expected)
+                assert engine.max_fan_out(dimension) == reference.max_fan_out(dimension)
+
+    @pytest.mark.parametrize("chunk_rows", CHUNK_SWEEP)
+    def test_measure_values(self, memory_db, mapped_db, reference, chunk_rows):
+        for engine in self._engines(memory_db, mapped_db, chunk_rows):
+            for measure in (Measure("revenue"), Measure("revenue", subtract="supplycost")):
+                expected = reference.measure_values(measure)
+                actual = engine.measure_values(measure)
+                assert actual.dtype == expected.dtype
+                assert np.array_equal(actual, expected)  # bit-exact floats
+
+    @pytest.mark.parametrize("chunk_rows", CHUNK_SWEEP)
+    def test_contributions(self, memory_db, mapped_db, reference, chunk_rows):
+        predicates = ssb_query("Qc1").predicates
+        for engine in self._engines(memory_db, mapped_db, chunk_rows):
+            for dimension in ("Customer", "Supplier"):
+                count_ref = reference.contribution_per_key(predicates, dimension)
+                count = engine.contribution_per_key(predicates, dimension)
+                assert np.array_equal(count, count_ref) and count.dtype == count_ref.dtype
+                sum_ref = reference.contribution_per_key(
+                    predicates, dimension, AggregateKind.SUM, measure="revenue"
+                )
+                total = engine.contribution_per_key(
+                    predicates, dimension, AggregateKind.SUM, measure="revenue"
+                )
+                assert np.array_equal(total, sum_ref) and total.dtype == sum_ref.dtype
+                ordered_ref, prefix_ref = reference.sorted_contributions(
+                    predicates, dimension
+                )
+                ordered, prefix = engine.sorted_contributions(predicates, dimension)
+                assert np.array_equal(ordered, ordered_ref)
+                assert np.array_equal(prefix, prefix_ref)
+
+    @pytest.mark.parametrize("chunk_rows", CHUNK_SWEEP)
+    def test_data_cubes(self, memory_db, mapped_db, reference, chunk_rows):
+        attributes = tuple(workload_attributes([ssb_query("Qc1"), ssb_query("Qc3")]))
+        count_ref = reference.data_cube(attributes)
+        sum_ref = reference.data_cube(
+            attributes, kind=AggregateKind.SUM, measure="revenue"
+        )
+        for engine in self._engines(memory_db, mapped_db, chunk_rows):
+            count = engine.data_cube(attributes)
+            assert np.array_equal(count, count_ref) and count.dtype == count_ref.dtype
+            total = engine.data_cube(attributes, kind=AggregateKind.SUM, measure="revenue")
+            assert np.array_equal(total, sum_ref) and total.dtype == sum_ref.dtype
+
+    @pytest.mark.parametrize("chunk_rows", CHUNK_SWEEP)
+    def test_executor_answers(self, memory_db, mapped_db, reference, chunk_rows):
+        ref_executor = QueryExecutor(memory_db, engine=reference)
+        for database, engine in zip(
+            (memory_db, mapped_db), self._engines(memory_db, mapped_db, chunk_rows)
+        ):
+            executor = QueryExecutor(database, engine=engine)
+            for name in QUERIES:
+                query = ssb_query(name)
+                expected = ref_executor.execute(query)
+                actual = executor.execute(query)
+                if isinstance(expected, GroupedResult):
+                    assert isinstance(actual, GroupedResult)
+                    assert actual.keys == expected.keys
+                    assert actual.groups == expected.groups
+                else:
+                    assert actual == expected
+
+
+# ----------------------------------------------------------------------
+# experiment CSV parity: storage mode x jobs
+# ----------------------------------------------------------------------
+class TestStorageParity:
+    """In-memory vs mapped x jobs 1/4 produce byte-identical experiment CSVs."""
+
+    def _canonical_rows(self, result, tmp_path, label):
+        path = result.to_csv(tmp_path / f"{label}.csv")
+        with path.open() as handle:
+            return [
+                {k: v for k, v in row.items() if k != "mean_time_s"}
+                for row in csv.DictReader(handle)
+            ]
+
+    def test_csv_identical_across_storage_and_jobs(self, tmp_path):
+        base = ExperimentConfig(
+            epsilons=(0.1, 1.0),
+            trials=2,
+            scale_factor=1.0,
+            rows_per_scale_factor=6000,
+            seed=11,
+        )
+        rows = {}
+        for storage in ("memory", "mapped"):
+            for jobs in (1, 4):
+                config = dataclasses.replace(
+                    base,
+                    jobs=jobs,
+                    storage=storage,
+                    data_dir=str(tmp_path / "data") if storage == "mapped" else None,
+                )
+                result = table1.run(config, query_names=("Qc1", "Qs2", "Qg2"))
+                rows[(storage, jobs)] = self._canonical_rows(
+                    result, tmp_path, f"{storage}-j{jobs}"
+                )
+        reference = rows[("memory", 1)]
+        for key, value in rows.items():
+            assert value == reference, f"CSV rows diverged for {key}"
+
+    def test_mapped_requires_data_dir(self):
+        config = ExperimentConfig(storage="mapped", data_dir=None)
+        with pytest.raises(ValueError, match="data_dir"):
+            build_ssb_database(config)
+
+
+# ----------------------------------------------------------------------
+# serving parity with a mapped database
+# ----------------------------------------------------------------------
+class TestServingMappedParity:
+    SEED = 424242
+
+    @pytest.fixture(scope="class")
+    def mapped_planner(self, tmp_path_factory):
+        planner = QueryPlanner(
+            seed=self.SEED,
+            storage="mapped",
+            data_dir=str(tmp_path_factory.mktemp("serving-data")),
+        )
+        planner.register("demo", "ssb", scale_factor=1.0, rows_per_scale_factor=2000, seed=5)
+        return planner
+
+    def test_planner_storage_validation(self):
+        with pytest.raises(ValueError):
+            QueryPlanner(storage="mapped")
+        with pytest.raises(ValueError):
+            QueryPlanner(storage="tape")
+
+    def test_registered_database_is_mapped(self, mapped_planner):
+        entry = mapped_planner._databases["demo"]
+        assert entry.database.storage_kind == "mapped"
+
+    @pytest.mark.parametrize("mechanism,query", [("PM", "Qc1"), ("R2T", "Qs2")])
+    def test_served_equals_offline(self, mapped_planner, mechanism, query):
+        planned = mapped_planner.plan(
+            {
+                "database": "demo",
+                "mechanism": mechanism,
+                "epsilon": 0.5,
+                "query": query,
+                "trials": 3,
+            }
+        )
+        payload = mapped_planner.execute(planned)
+        entry = planned.entry
+        offline = evaluate_mechanism(
+            make_star_mechanism(planned.mechanism, planned.epsilon, scenario=entry.scenario),
+            entry.database,
+            planned.query,
+            trials=planned.trials,
+            rng=request_stream(
+                mapped_planner.seed,
+                entry.name,
+                planned.mechanism,
+                planned.query_label,
+                planned.epsilon,
+                planned.trials,
+            ),
+            exact_answer=QueryExecutor(entry.database).execute(planned.query),
+            record_answers=True,
+        )
+        assert payload["answers"] == [serialize_answer(a) for a in offline.answers]
+        assert payload["mean_relative_error"] == offline.mean_relative_error
+
+    def test_served_bytes_identical_across_storage_modes(self, mapped_planner):
+        memory_planner = QueryPlanner(seed=self.SEED)
+        memory_planner.register(
+            "demo", "ssb", scale_factor=1.0, rows_per_scale_factor=2000, seed=5
+        )
+        request = {
+            "database": "demo",
+            "mechanism": "PM",
+            "epsilon": 0.5,
+            "query": "Qc3",
+            "trials": 2,
+        }
+        mapped_payload = mapped_planner.execute(mapped_planner.plan(request))
+        memory_payload = memory_planner.execute(memory_planner.plan(request))
+        assert mapped_payload["answers"] == memory_payload["answers"]
+        assert mapped_payload["answer"] == memory_payload["answer"]
+
+
+# ----------------------------------------------------------------------
+# satellite fixes: take() bounds, streamed digests
+# ----------------------------------------------------------------------
+class TestTakeBounds:
+    def test_in_range_take_still_works(self):
+        table = Table.from_arrays("T", {"a": np.arange(5)})
+        assert list(table.take(np.array([3, 0])).codes("a")) == [3, 0]
+
+    def test_out_of_range_raises_schema_error_with_table_name(self):
+        table = Table.from_arrays("T", {"a": np.arange(5)})
+        with pytest.raises(SchemaError, match=r"take\(\) indices out of range.*'T'"):
+            table.take(np.array([0, 5]))
+
+    def test_negative_indices_are_rejected(self):
+        table = Table.from_arrays("T", {"a": np.arange(5)})
+        with pytest.raises(SchemaError, match="out of range"):
+            table.take(np.array([-1]))
+
+    def test_empty_take_is_fine(self):
+        table = Table.from_arrays("T", {"a": np.arange(5)})
+        assert table.take(np.array([], dtype=np.int64)).num_rows == 0
+
+
+class TestStreamedDigest:
+    def _full_copy_digest(self, table):
+        """The pre-streaming implementation, as the reference."""
+        digest = hashlib.sha256()
+        digest.update(table.name.encode("utf-8"))
+        for name in table.column_names:
+            column = table.column(name)
+            values = np.ascontiguousarray(column.values)
+            digest.update(column.name.encode("utf-8"))
+            if column.domain is not None:
+                digest.update(column.domain.name.encode("utf-8"))
+                digest.update(repr(column.domain.values).encode("utf-8"))
+            digest.update(str(values.dtype).encode("ascii"))
+            if values.dtype == object:
+                digest.update(repr(column.decoded()).encode("utf-8"))
+            else:
+                digest.update(values.tobytes())
+        return digest.hexdigest()
+
+    def test_streamed_digest_matches_full_copy_digest(self, memory_db):
+        for name in [memory_db.fact.name, *memory_db.dimensions]:
+            table = memory_db.table(name)
+            assert table.content_digest() == self._full_copy_digest(table)
+
+    def test_mapped_table_serves_manifest_digest_without_hashing(self, mapped_db):
+        fact = mapped_db.fact
+        assert fact.store.digest() is not None
+        assert fact.content_digest() == fact.store.digest()
+
+    def test_memory_digest_is_not_memoized(self):
+        values = np.arange(6)
+        table = Table.from_arrays("T", {"a": values})
+        before = table.content_digest()
+        values[0] = 100  # tables are immutable by convention, but the cache
+        assert table.content_digest() != before  # layer relies on this changing
