@@ -30,6 +30,12 @@ Beyond the per-experiment kernels the report tracks five scaling baselines:
   server: a cold run against an empty persistence file vs a run whose server
   restarted warm from the previous run's disk state, with client/server hit
   rates and the bytes that crossed the wire.
+* ``cache_eviction`` — a Zipf-skewed three-phase analyst trace through a
+  deliberately tiny cache server under pure-LRU vs cost-aware (GDSF)
+  eviction vs cost-aware plus the warm-ahead queue, at equal capacity.  The
+  headline numbers are the recompute-seconds the cost policy saves on the
+  trace's repeated phase (``lru_over_cost``, ``lru_over_warm``) and the
+  phase-3 hit rates; the answers must be identical in every mode.
 * ``fault_tolerance`` — Table 1 through a :class:`ChaosProxy` in front of the
   cache server, clean network vs injected faults (dropped chunks, killed
   connections, added latency), with the circuit-breaker and proxy counters.
@@ -416,6 +422,202 @@ def bench_cache_server(repeats: int, rows: int = 24_000) -> dict:
     }
 
 
+def bench_cache_eviction(repeats: int, rows: int = 24_000) -> dict:
+    """Cache economics under pressure: LRU vs cost-aware GDSF vs GDSF+warming.
+
+    Replays a three-phase, Zipf-skewed analyst trace against a deliberately
+    tiny cache server (12 entries — far below the trace's working set), once
+    per eviction mode at *equal* capacity:
+
+    * phase 1 (hot set): three expensive SUM queries re-run every round plus
+      two expensive GROUP BY queries run once — answers the analyst will
+      come back to;
+    * phase 2 (flood): dozens of distinct one-off COUNT drill-downs with
+      Zipf-skewed repetition — each recomputes in microseconds from a shared
+      data cube, but under LRU their sheer number evicts every phase-1
+      answer;
+    * phase 3 (return): the phase-1 trace again through a fresh client tier
+      (empty L1), so whatever the server evicted must be recomputed.
+
+    The headline numbers are phase 3's recompute seconds (wall clock spent
+    re-deriving evicted answers) and hit rate: ``lru_over_cost`` is the
+    recompute ratio the cost-aware policy saves at equal capacity, and the
+    warm-ahead mode replays its queued misses *before* phase 3, moving even
+    the cost policy's casualties off the critical path (``lru_over_warm``).
+    ``results_identical`` pins the invariant: eviction policy and warming
+    change *when* work happens, never what is computed.
+    """
+    from repro.datagen.ssb import ssb_schema
+    from repro.db.cache import RemoteCacheBackend, backend_scope
+    from repro.db.cache.server import CacheServerThread
+    from repro.db.cache.warming import WarmAheadWorker, WarmingQueue, queue_scope
+    from repro.db.executor import GroupedResult, QueryExecutor
+    from repro.db.predicates import PointPredicate
+    from repro.db.query import StarJoinQuery
+    from repro.workloads.ssb_queries import ssb_query
+
+    schema = ssb_schema()
+    database = SSBGenerator(
+        SSBConfig(scale_factor=1.0, rows_per_scale_factor=rows, seed=7)
+    ).build()
+
+    pinned = [ssb_query(name, schema) for name in ("Qs2", "Qs3", "Qs4")]
+    returning = [ssb_query(name, schema) for name in ("Qg2", "Qg4")]
+    hot = pinned + returning
+
+    # One-off drill-downs: a point COUNT for every value of three small
+    # dimension attributes.  All queries over one attribute contract the same
+    # COUNT cube, so each is microseconds to recompute — individually
+    # worthless to cache, collectively (under LRU) enough distinct puts to
+    # roll the whole hot set out of a 12-entry server.
+    flood: list[StarJoinQuery] = []
+    for table, attribute in (
+        ("Part", "category"),
+        ("Customer", "region"),
+        ("Supplier", "region"),
+    ):
+        domain = schema.table_schema(table).domain_of(attribute)
+        flood.extend(
+            StarJoinQuery.count(
+                f"drill-{table}.{attribute}={value}",
+                predicates=[
+                    PointPredicate(
+                        table=table, attribute=attribute, domain=domain, value=value
+                    )
+                ],
+            )
+            for value in domain.values
+        )
+    # Zipf-skewed visit counts: rank r is visited ~6/r times (≥ 1).  Repeats
+    # land in the client L1, exactly like a real analyst's back-to-back
+    # drill-downs; the distinct tail is what churns the server.
+    flood_trace = [
+        query
+        for rank, query in enumerate(flood, start=1)
+        for _ in range(max(1, round(6 / rank)))
+    ]
+
+    def _run_trace(executor, trace) -> dict:
+        cold = 0
+        recompute_s = 0.0
+        answers: dict = {}
+        began = time.perf_counter()
+        for query in trace:
+            warm = executor.engine.cached_result(query) is not None
+            start = time.perf_counter()
+            result = executor.execute(query)
+            elapsed = time.perf_counter() - start
+            if not warm:
+                cold += 1
+                recompute_s += elapsed
+            if query not in answers:
+                answers[query] = result
+        return {
+            "executions": len(trace),
+            "cold": cold,
+            "recompute_s": recompute_s,
+            "wall_s": time.perf_counter() - began,
+            "answers": answers,
+        }
+
+    def _canonical(answers: dict) -> str:
+        payload = []
+        for answer in answers.values():
+            if isinstance(answer, GroupedResult):
+                payload.append(sorted((str(k), v) for k, v in answer.groups.items()))
+            else:
+                payload.append(answer)
+        return json.dumps(payload)
+
+    capacity = 12
+    modes = ("lru", "cost", "cost+warm")
+    details: dict[str, dict] = {}
+    outputs: dict[str, str] = {}
+    samples: dict[str, list] = {mode: [] for mode in modes}
+    phase3_trace = hot + pinned + pinned  # the analyst's return, Zipf-shaped
+    for mode in modes:
+        policy = "lru" if mode == "lru" else "cost"
+        for repeat in range(repeats):
+            _clear_caches()
+            with CacheServerThread(
+                max_entries=capacity, max_bytes=1 << 18, policy=policy
+            ) as handle:
+                port = handle.server.port
+
+                def _client():
+                    # A fresh client tier per phase: the server is the only
+                    # state that survives, so phase 3 measures *its* policy.
+                    return RemoteCacheBackend(
+                        host="127.0.0.1", port=port, max_entries=256, policy=policy
+                    )
+
+                queue = WarmingQueue() if mode == "cost+warm" else None
+                with queue_scope(queue):
+                    for round_index in range(3):
+                        client = _client()
+                        with backend_scope(client):
+                            trace = hot if round_index == 0 else pinned
+                            _run_trace(QueryExecutor(database), trace)
+                        client.close()
+                    client = _client()
+                    with backend_scope(client):
+                        _run_trace(QueryExecutor(database), flood_trace)
+                    client.close()
+                    if queue is not None:
+                        # The warm-ahead pass runs off the timed path, on a
+                        # throwaway client: replays re-derive whatever the
+                        # server evicted and put it back through.
+                        client = _client()
+                        with backend_scope(client):
+                            WarmAheadWorker(queue).run_once(max_tasks=len(hot))
+                        client.close()
+                    client = _client()
+                    with backend_scope(client):
+                        measured = _run_trace(QueryExecutor(database), phase3_trace)
+                    samples[mode].append(measured["recompute_s"])
+                    if repeat == repeats - 1:
+                        stats = client.stats()
+                        outputs[mode] = _canonical(measured["answers"])
+                        details[mode] = {
+                            "phase3_executions": measured["executions"],
+                            "phase3_recomputes": measured["cold"],
+                            "phase3_hit_rate": round(
+                                1 - measured["cold"] / measured["executions"], 4
+                            ),
+                            "phase3_wall_s": round(measured["wall_s"], 6),
+                            "remote_hits": stats.shared_hits,
+                            "remote_misses": stats.shared_misses,
+                            "server": handle.server.store.stats(),
+                        }
+                    client.close()
+    _clear_caches()
+
+    means = {mode: sum(samples[mode]) / repeats for mode in modes}
+    return {
+        "rows_per_scale_factor": rows,
+        "server_max_entries": capacity,
+        "trace": {
+            "hot_queries": [query.name for query in hot],
+            "flood_distinct": len(flood),
+            "flood_executions": len(flood_trace),
+        },
+        "recompute_s": {mode: round(means[mode], 6) for mode in modes},
+        "recompute_saved_s": {
+            mode: round(means["lru"] - means[mode], 6) for mode in ("cost", "cost+warm")
+        },
+        # A fully-warmed phase 3 recomputes nothing, so the ratio is capped
+        # rather than reported as seconds-over-epsilon noise.
+        "lru_over_cost": round(min(means["lru"] / max(means["cost"], 1e-9), 999.0), 3),
+        "lru_over_warm": round(
+            min(means["lru"] / max(means["cost+warm"], 1e-9), 999.0), 3
+        ),
+        "hit_rates": {mode: details[mode]["phase3_hit_rate"] for mode in modes},
+        "results_identical": len(set(outputs.values())) == 1,
+        "details": details,
+        "samples": {k: [round(s, 6) for s in v] for k, v in samples.items()},
+    }
+
+
 def bench_fault_tolerance(repeats: int, rows: int = 8_000) -> dict:
     """Table 1 through the chaos proxy: clean network vs injected faults.
 
@@ -797,6 +999,18 @@ def run_benchmarks(repeats: int = 3, quick_mode: bool = False) -> dict:
           f"{warm['loaded_from_disk']} entries loaded, "
           f"{warm['wire']['bytes_received']/1024:.0f} KiB received)")
 
+    eviction = bench_cache_eviction(repeats, rows=backend_rows)
+    print(f"{'cache_eviction':>15}: phase-3 recompute lru "
+          f"{eviction['recompute_s']['lru']*1000:8.1f} ms -> cost "
+          f"{eviction['recompute_s']['cost']*1000:.1f} ms "
+          f"({eviction['lru_over_cost']}x) -> warm "
+          f"{eviction['recompute_s']['cost+warm']*1000:.1f} ms "
+          f"({eviction['lru_over_warm']}x, hit rates "
+          f"{eviction['hit_rates']['lru']:.0%}/"
+          f"{eviction['hit_rates']['cost']:.0%}/"
+          f"{eviction['hit_rates']['cost+warm']:.0%}, "
+          f"identical={eviction['results_identical']})")
+
     fault = bench_fault_tolerance(repeats, rows=4_000 if quick_mode else 8_000)
     chaos_details = fault["details"]["chaos"]
     print(f"{'fault_tolerance':>15}: clean {fault['clean_mean_s']*1000:8.1f} ms -> "
@@ -824,7 +1038,7 @@ def run_benchmarks(repeats: int = 3, quick_mode: bool = False) -> dict:
           f"{serving['coalesced']} coalesced)")
 
     return {
-        "schema_version": 7,
+        "schema_version": 8,
         "repeats": repeats,
         "python": platform.python_version(),
         "machine": platform.machine(),
@@ -834,6 +1048,7 @@ def run_benchmarks(repeats: int = 3, quick_mode: bool = False) -> dict:
         "cache_backends": backends,
         "run_wide_scheduler": run_wide,
         "cache_server": cache_server,
+        "cache_eviction": eviction,
         "fault_tolerance": fault,
         "columnar_storage": columnar,
         "serving_throughput": serving,

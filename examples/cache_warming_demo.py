@@ -1,0 +1,151 @@
+"""Warm-ahead smoke: background replay repairs what eviction took.
+
+The end-to-end property this script proves (CI runs it next to the other
+cache demos):
+
+1. start a deliberately tiny cost-aware cache server (8 entries);
+2. replay a skewed analyst trace against it — a small *hot set* of expensive
+   SUM / GROUP BY queries, then a flood of one-off COUNT drill-downs whose
+   sheer number forces evictions;
+3. run the hot set again from a fresh client tier **without** warming and
+   count how many answers must be recomputed (the eviction casualties);
+4. repeat the whole trace with a :class:`WarmingQueue` installed and a
+   :class:`WarmAheadWorker` drained between the flood and the analyst's
+   return — the replays re-derive the evicted answers off the critical
+   path, so the return recomputes **nothing**;
+5. assert the warmed run's answers are byte-identical to the unwarmed run's
+   — warming changes *when* work happens, never what is computed.
+
+Usage::
+
+    PYTHONPATH=src python examples/cache_warming_demo.py
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.datagen.ssb import SSBConfig, SSBGenerator, ssb_schema
+from repro.db.cache import RemoteCacheBackend, backend_scope
+from repro.db.cache.server import CacheServerThread
+from repro.db.cache.warming import WarmAheadWorker, WarmingQueue, queue_scope
+from repro.db.executor import GroupedResult, QueryExecutor
+from repro.db.predicates import PointPredicate
+from repro.db.query import StarJoinQuery
+from repro.workloads.ssb_queries import ssb_query
+
+ROWS = 4_000
+SERVER_ENTRIES = 8
+
+
+def build_trace():
+    """The skewed analyst session: a hot set plus a drill-down flood."""
+    schema = ssb_schema()
+    hot = [ssb_query(name, schema) for name in ("Qs2", "Qs3", "Qg2", "Qg4")]
+    domain = schema.table_schema("Part").domain_of("category")
+    flood = [
+        StarJoinQuery.count(
+            f"drill-category={value}",
+            predicates=[
+                PointPredicate(
+                    table="Part", attribute="category", domain=domain, value=value
+                )
+            ],
+        )
+        for value in domain.values
+    ]
+    return hot, flood
+
+
+def canonical(answers: list) -> str:
+    """Answers as comparable JSON (grouped answers sorted by key)."""
+    payload = []
+    for answer in answers:
+        if isinstance(answer, GroupedResult):
+            payload.append(sorted((str(k), v) for k, v in answer.groups.items()))
+        else:
+            payload.append(answer)
+    return json.dumps(payload)
+
+
+def run_session(database, hot, flood, warm_ahead: bool) -> tuple[int, list]:
+    """One full trace against a fresh tiny server; returns the number of
+    answers the analyst's return had to recompute, and the answers."""
+    with CacheServerThread(max_entries=SERVER_ENTRIES, policy="cost") as handle:
+
+        def client():
+            return RemoteCacheBackend(
+                host="127.0.0.1", port=handle.server.port, policy="cost"
+            )
+
+        queue = WarmingQueue() if warm_ahead else None
+        with queue_scope(queue):
+            # The analyst's working session: hot set, then the flood.
+            session = client()
+            with backend_scope(session):
+                executor = QueryExecutor(database)
+                for query in hot + flood:
+                    executor.execute(query)
+            session.close()
+
+            if queue is not None:
+                # Idle time: replay the hottest recorded misses through a
+                # throwaway client, re-populating the server off the
+                # critical path.
+                warmer = client()
+                with backend_scope(warmer):
+                    replayed = WarmAheadWorker(queue).run_once(max_tasks=len(hot))
+                warmer.close()
+                print(f"  warm-ahead replayed {replayed} queued misses")
+
+            # The analyst returns on a fresh client tier: only the server's
+            # surviving (or re-warmed) entries can save recomputes.
+            recomputes = 0
+            answers = []
+            fresh = client()
+            with backend_scope(fresh):
+                executor = QueryExecutor(database)
+                for query in hot:
+                    cold = executor.engine.cached_result(query) is None
+                    recomputes += int(cold)
+                    answers.append(executor.execute(query))
+            fresh.close()
+    return recomputes, answers
+
+
+def main() -> None:
+    database = SSBGenerator(
+        SSBConfig(scale_factor=1.0, rows_per_scale_factor=ROWS, seed=7)
+    ).build()
+    hot, flood = build_trace()
+    print(
+        f"trace: {len(hot)} hot queries + {len(flood)} drill-downs "
+        f"against a {SERVER_ENTRIES}-entry cost-aware server"
+    )
+
+    print("session without warming:")
+    control_recomputes, control_answers = run_session(
+        database, hot, flood, warm_ahead=False
+    )
+    print(f"  analyst's return recomputed {control_recomputes}/{len(hot)} answers")
+
+    print("session with --warm-ahead:")
+    warmed_recomputes, warmed_answers = run_session(
+        database, hot, flood, warm_ahead=True
+    )
+    print(f"  analyst's return recomputed {warmed_recomputes}/{len(hot)} answers")
+
+    assert control_recomputes > 0, "flood did not evict anything: no story to tell"
+    assert warmed_recomputes == 0, "warm-ahead left cold answers behind"
+    assert canonical(warmed_answers) == canonical(control_answers), (
+        "warming changed an answer"
+    )
+    hit = lambda cold: 1 - cold / len(hot)  # noqa: E731
+    print(
+        f"OK: hit rate {hit(control_recomputes):.0%} -> "
+        f"{hit(warmed_recomputes):.0%} with warming, answers identical"
+    )
+
+
+if __name__ == "__main__":
+    main()

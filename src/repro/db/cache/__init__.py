@@ -31,10 +31,13 @@ from typing import Iterator, Optional
 
 from repro.db.cache.backend import (
     BOUNDED_REGIONS,
+    DEFAULT_EVICTION_POLICY,
+    EVICTION_POLICIES,
     REGIONS,
     SHARED_REGIONS,
     CacheBackend,
     CacheStats,
+    value_nbytes,
 )
 from repro.db.cache.fingerprints import (
     database_fingerprint,
@@ -52,6 +55,8 @@ __all__ = [
     "CACHE_BACKENDS",
     "CacheBackend",
     "CacheStats",
+    "DEFAULT_EVICTION_POLICY",
+    "EVICTION_POLICIES",
     "LocalCacheBackend",
     "LruCache",
     "REGIONS",
@@ -68,6 +73,7 @@ __all__ = [
     "query_fingerprint",
     "selection_fingerprint",
     "set_active_backend",
+    "value_nbytes",
 ]
 
 #: Backend names accepted by configuration (CLI ``--cache-backend``).
@@ -79,25 +85,41 @@ def make_backend(
     max_entries: int = 192,
     url: "str | None" = None,
     path: "str | None" = None,
+    policy: str = DEFAULT_EVICTION_POLICY,
+    max_bytes: "int | None" = None,
 ) -> CacheBackend:
     """Build a cache backend by its configuration name.
 
     ``max_entries`` bounds every bounded region; for the shared and remote
     backends the cross-process tier is bounded proportionally (16 ×
     ``max_entries``, the default 192 → 3072 entries) so ``--cache-size``
-    also governs the out-of-process footprint.  The remote backend needs a
-    server: ``url`` (``--cache-url host:port``) names a running
+    also governs the out-of-process footprint.  ``policy`` selects the
+    eviction policy of every bounded tier (``--cache-policy``, default
+    cost-normalized utility); ``max_bytes`` adds a byte budget per bounded
+    store (``--cache-max-bytes``), with the cross-process tiers again
+    bounded at 16 × that budget.  The remote backend needs a server: ``url``
+    (``--cache-url host:port``) names a running
     ``python -m repro.db.cache.server``; ``path`` (``--cache-path``) starts
     an embedded one persisting to that sqlite file instead.
     """
+    shared_bytes = None if max_bytes is None else int(max_bytes) * 16
     if name == "local":
-        return LocalCacheBackend(max_entries)
+        return LocalCacheBackend(max_entries, policy=policy, max_bytes=max_bytes)
     if name == "shared":
-        return SharedMemoryCacheBackend(max_entries, max_shared_entries=max_entries * 16)
+        return SharedMemoryCacheBackend(
+            max_entries,
+            max_shared_entries=max_entries * 16,
+            policy=policy,
+            max_bytes=max_bytes,
+            max_shared_bytes=shared_bytes,
+        )
     if name == "remote":
         return RemoteCacheBackend(
             url=url, path=path, max_entries=max_entries,
             server_max_entries=max_entries * 16,
+            policy=policy,
+            max_bytes=max_bytes,
+            server_max_bytes=shared_bytes,
         )
     raise ValueError(f"unknown cache backend {name!r}; available: {CACHE_BACKENDS}")
 

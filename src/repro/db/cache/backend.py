@@ -31,6 +31,7 @@ have recomputed, results are bit-identical across backends and across
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, fields
 from typing import Any, Hashable, Optional, Protocol, runtime_checkable
 
@@ -38,8 +39,11 @@ __all__ = [
     "BOUNDED_REGIONS",
     "CacheBackend",
     "CacheStats",
+    "DEFAULT_EVICTION_POLICY",
+    "EVICTION_POLICIES",
     "REGIONS",
     "SHARED_REGIONS",
+    "value_nbytes",
 ]
 
 
@@ -71,6 +75,42 @@ BOUNDED_REGIONS: frozenset[str] = frozenset(
 SHARED_REGIONS: frozenset[str] = frozenset(
     {"selection_mask", "contribution", "sorted_contribution", "cube", "result"}
 )
+
+#: Eviction policies the bounded tiers understand.  ``"cost"`` is
+#: cost-normalized utility eviction (GreedyDual-Size-Frequency: evict the
+#: entry with the lowest ``recency-decay + frequency × cost / bytes``
+#: priority first); ``"lru"`` is the pre-cost behaviour, kept for comparison
+#: benchmarks and for workloads whose recompute costs are uniform.
+EVICTION_POLICIES: tuple[str, ...] = ("cost", "lru")
+
+#: The default policy of every bounded tier.
+DEFAULT_EVICTION_POLICY: str = "cost"
+
+
+def value_nbytes(value: Any) -> int:
+    """A cheap byte-size estimate of a cached value.
+
+    ndarrays report their buffer size, tuples sum their members, and
+    everything else falls back to pickled length.  Estimates only steer
+    eviction order and byte budgets — they never affect cached values, so a
+    rough number is fine; the fallback is capped by the fact that cached
+    artefacts are engine products (arrays, scalars, small tuples).
+    """
+    nbytes = getattr(value, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    if isinstance(value, tuple):
+        return sum(value_nbytes(item) for item in value) + 16 * len(value)
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return len(value)
+    if isinstance(value, str):
+        return len(value.encode("utf-8", errors="replace"))
+    if isinstance(value, (int, float, bool)) or value is None:
+        return 32
+    try:
+        return len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 64
 
 
 @dataclass
@@ -140,7 +180,21 @@ class CacheBackend(Protocol):
 
     def get(self, namespace: str, region: str, key: Hashable) -> Any: ...
 
-    def put(self, namespace: str, region: str, key: Hashable, value: Any) -> None: ...
+    def put(
+        self,
+        namespace: str,
+        region: str,
+        key: Hashable,
+        value: Any,
+        cost: Optional[float] = None,
+    ) -> None:
+        """Store ``value``; ``cost`` is the recompute wall-clock in seconds.
+
+        The cost is *metadata*: it steers cost-aware eviction order but never
+        the stored value, so callers that cannot time the computation may
+        always pass ``None`` (the entry competes with a neutral utility).
+        """
+        ...
 
     def clear(self, namespace: Optional[str] = None) -> None: ...
 

@@ -1,11 +1,14 @@
 """The in-process cache backend (the default).
 
 Storage layout: namespaces (one per database content fingerprint) hold one
-store per region — a bounded :class:`LruCache` for the regions in
-:data:`~repro.db.cache.backend.BOUNDED_REGIONS`, a plain dict for the small
-unbounded statistics regions.  This reproduces exactly the cache structure
-the execution engine owned before the backend layer was extracted, with hit /
-miss / eviction counters added.
+store per region — a bounded :class:`UtilityCache` for the regions in
+:data:`~repro.db.cache.backend.BOUNDED_REGIONS` (cost-normalized utility
+eviction by default, ``policy="lru"`` for the pre-cost behaviour), a plain
+dict for the small unbounded statistics regions.  This reproduces the cache
+structure the execution engine owned before the backend layer was extracted,
+with hit / miss / eviction counters added.  :class:`LruCache` is the original
+recency-only store, kept as the reference implementation the LRU policy is
+measured against.
 
 Namespaces themselves are also a bounded LRU (``max_namespaces``).  The
 pre-refactor engine freed its caches when its database was garbage-collected
@@ -20,9 +23,15 @@ from __future__ import annotations
 
 from typing import Any, Hashable, Optional, Union
 
-from repro.db.cache.backend import BOUNDED_REGIONS, CacheStats
+from repro.db.cache.backend import (
+    BOUNDED_REGIONS,
+    DEFAULT_EVICTION_POLICY,
+    EVICTION_POLICIES,
+    CacheStats,
+    value_nbytes,
+)
 
-__all__ = ["LocalCacheBackend", "LruCache"]
+__all__ = ["LocalCacheBackend", "LruCache", "UtilityCache"]
 
 
 class LruCache:
@@ -57,24 +66,141 @@ class LruCache:
         return len(self._data)
 
 
+class UtilityCache:
+    """Bounded store with cost-normalized utility eviction.
+
+    The policy is GreedyDual-Size-Frequency: each entry carries a priority
+    ``H = L + frequency × cost / bytes`` where ``L`` is an inflating logical
+    clock — on every eviction ``L`` rises to the evicted entry's priority, so
+    long-untouched entries decay relative to fresh ones without any
+    wall-clock time entering the decision.  Entries stored without a cost
+    compete with a neutral utility term of ``1.0`` (pure frequency-aged
+    FIFO), which keeps cost-less callers' eviction order deterministic and
+    byte-size-independent.  Ties break on insertion sequence (oldest first),
+    so eviction order is a pure function of the operation history.
+
+    ``policy="lru"`` keeps the same mechanism but sets the priority to a
+    monotonic access counter — exactly least-recently-used — so both
+    policies share one code path and one byte budget.
+
+    Bounds: ``max_entries`` caps the entry count, ``max_bytes`` (optional)
+    caps the summed value sizes.  A value larger than the whole byte budget
+    is not admitted at all — caching it would evict everything else for a
+    single entry that cannot pay rent.
+    """
+
+    def __init__(
+        self,
+        max_entries: int,
+        max_bytes: Optional[int] = None,
+        policy: str = DEFAULT_EVICTION_POLICY,
+    ):
+        if policy not in EVICTION_POLICIES:
+            raise ValueError(f"unknown eviction policy {policy!r} (use one of {EVICTION_POLICIES})")
+        self.max_entries = int(max_entries)
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
+        self.policy = policy
+        self._data: dict[Hashable, Any] = {}
+        #: key -> [priority, seq, nbytes, freq, term]
+        self._meta: dict[Hashable, list] = {}
+        self._clock = 0.0  # the inflating GDSF clock L
+        self._seq = 0  # insertion/access sequence: tie-break + LRU counter
+        self._bytes = 0
+
+    # ------------------------------------------------------------------
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _priority(self, freq: int, term: float) -> float:
+        if self.policy == "lru":
+            return float(self._seq)  # most recent access wins, nothing else
+        return self._clock + freq * term
+
+    def get(self, key: Hashable) -> Any:
+        try:
+            value = self._data[key]
+        except KeyError:
+            return None
+        meta = self._meta[key]
+        meta[3] += 1  # frequency
+        meta[1] = self._next_seq()
+        meta[0] = self._priority(meta[3], meta[4])
+        return value
+
+    def put(self, key: Hashable, value: Any, cost: Optional[float] = None) -> int:
+        """Insert ``value``; return the number of entries evicted."""
+        self._discard(key)
+        nbytes = value_nbytes(value)
+        if self.max_bytes is not None and nbytes > self.max_bytes:
+            return 0  # cannot pay rent: not admitted
+        term = 1.0 if cost is None else max(float(cost), 0.0) / max(nbytes, 1)
+        self._seq += 1
+        seq = self._seq
+        self._data[key] = value
+        self._meta[key] = [self._priority(1, term), seq, nbytes, 1, term]
+        self._bytes += nbytes
+        evicted = 0
+        while len(self._data) > self.max_entries or (
+            self.max_bytes is not None and self._bytes > self.max_bytes and len(self._data) > 1
+        ):
+            victim, (priority, _, _, _, _) = min(
+                self._meta.items(), key=lambda item: (item[1][0], item[1][1])
+            )
+            self._discard(victim)
+            if self.policy != "lru":
+                self._clock = max(self._clock, priority)
+            evicted += 1
+        return evicted
+
+    def _discard(self, key: Hashable) -> None:
+        if self._data.pop(key, None) is not None:
+            self._bytes -= self._meta.pop(key)[2]
+
+    def clear(self) -> None:
+        self._data.clear()
+        self._meta.clear()
+        self._bytes = 0
+        self._clock = 0.0
+
+    @property
+    def nbytes(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
 class LocalCacheBackend:
     """In-process cache storage with namespaced regions and counters."""
 
     name = "local"
 
-    def __init__(self, max_entries: int = 192, max_namespaces: int = 8):
+    def __init__(
+        self,
+        max_entries: int = 192,
+        max_namespaces: int = 8,
+        policy: str = DEFAULT_EVICTION_POLICY,
+        max_bytes: Optional[int] = None,
+    ):
         if max_entries < 1:
             raise ValueError("max_entries must be at least 1")
         if max_namespaces < 1:
             raise ValueError("max_namespaces must be at least 1")
+        if policy not in EVICTION_POLICIES:
+            raise ValueError(f"unknown eviction policy {policy!r} (use one of {EVICTION_POLICIES})")
         self.max_entries = int(max_entries)
         self.max_namespaces = int(max_namespaces)
+        self.policy = policy
+        #: Optional byte budget of each bounded (namespace, region) store,
+        #: mirroring how ``max_entries`` bounds each store individually.
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
         #: namespace -> region -> store, insertion-ordered by recency of use.
-        self._namespaces: dict[str, dict[str, Union[LruCache, dict]]] = {}
+        self._namespaces: dict[str, dict[str, Union[UtilityCache, dict]]] = {}
         self._stats = CacheStats()
 
     # ------------------------------------------------------------------
-    def _regions(self, namespace: str) -> dict[str, Union[LruCache, dict]]:
+    def _regions(self, namespace: str) -> dict[str, Union[UtilityCache, dict]]:
         """The namespace's region map, freshened in the namespace LRU."""
         regions = self._namespaces.pop(namespace, None)
         if regions is None:
@@ -85,11 +211,14 @@ class LocalCacheBackend:
         self._namespaces[namespace] = regions
         return regions
 
-    def _store(self, namespace: str, region: str) -> Union[LruCache, dict]:
+    def _store(self, namespace: str, region: str) -> Union[UtilityCache, dict]:
         regions = self._regions(namespace)
         store = regions.get(region)
         if store is None:
-            store = LruCache(self.max_entries) if region in BOUNDED_REGIONS else {}
+            if region in BOUNDED_REGIONS:
+                store = UtilityCache(self.max_entries, self.max_bytes, self.policy)
+            else:
+                store = {}
             regions[region] = store
         return store
 
@@ -110,15 +239,29 @@ class LocalCacheBackend:
             self._stats.hits += 1
         return value
 
-    def put(self, namespace: str, region: str, key: Hashable, value: Any) -> None:
-        self._put(namespace, region, key, value)
+    def put(
+        self,
+        namespace: str,
+        region: str,
+        key: Hashable,
+        value: Any,
+        cost: Optional[float] = None,
+    ) -> None:
+        self._put(namespace, region, key, value, cost)
         self._stats.puts += 1
 
-    def _put(self, namespace: str, region: str, key: Hashable, value: Any) -> None:
+    def _put(
+        self,
+        namespace: str,
+        region: str,
+        key: Hashable,
+        value: Any,
+        cost: Optional[float] = None,
+    ) -> None:
         """Insert without counting a put (used for cross-tier promotions)."""
         store = self._store(namespace, region)
-        if isinstance(store, LruCache):
-            self._stats.evictions += store.put(key, value)
+        if isinstance(store, UtilityCache):
+            self._stats.evictions += store.put(key, value, cost)
         else:
             store[key] = value
 
@@ -153,6 +296,16 @@ class LocalCacheBackend:
             for ns, regions in self._namespaces.items()
             if namespace is None or ns == namespace
             for store in regions.values()
+        )
+
+    def byte_count(self, namespace: Optional[str] = None) -> int:
+        """Summed size estimate of the bounded stores' values."""
+        return sum(
+            store.nbytes
+            for ns, regions in self._namespaces.items()
+            if namespace is None or ns == namespace
+            for store in regions.values()
+            if isinstance(store, UtilityCache)
         )
 
     # ------------------------------------------------------------------

@@ -50,7 +50,9 @@ import time
 import warnings
 from typing import Any, Hashable, Optional
 
-from repro.db.cache.backend import SHARED_REGIONS, CacheStats
+import hashlib
+
+from repro.db.cache.backend import DEFAULT_EVICTION_POLICY, SHARED_REGIONS, CacheStats
 from repro.db.cache.breaker import CircuitBreaker
 from repro.db.cache.local import LocalCacheBackend
 from repro.db.cache.shared import _freeze_value
@@ -139,6 +141,9 @@ class RemoteCacheBackend:
         backoff_max: float = 1.0,
         breaker_threshold: int = 3,
         breaker_reset_timeout: float = 2.0,
+        policy: str = DEFAULT_EVICTION_POLICY,
+        max_bytes: Optional[int] = None,
+        server_max_bytes: Optional[int] = None,
     ):
         """Connect to (or start) a cache server.
 
@@ -157,8 +162,9 @@ class RemoteCacheBackend:
         open the circuit breaker, which half-opens to probe recovery after
         ``breaker_reset_timeout`` seconds.
         """
-        self._local = LocalCacheBackend(max_entries)
+        self._local = LocalCacheBackend(max_entries, policy=policy, max_bytes=max_bytes)
         self.max_entries = self._local.max_entries
+        self.policy = self._local.policy
         self.remote_regions = frozenset(remote_regions)
         self.timeout = float(timeout)
         self.op_timeout = float(op_timeout) if op_timeout is not None else self.timeout
@@ -179,7 +185,7 @@ class RemoteCacheBackend:
 
             bound = server_max_entries if server_max_entries is not None else max_entries * 16
             self._server_handle = CacheServerThread(
-                path=str(path), max_entries=bound
+                path=str(path), max_entries=bound, max_bytes=server_max_bytes, policy=policy
             ).start()
             host, port = "127.0.0.1", self._server_handle.server.port
         elif url is not None:
@@ -206,6 +212,18 @@ class RemoteCacheBackend:
         self._shared_puts = multiprocessing.Value("Q", 0)
         self._bytes_sent = multiprocessing.Value("Q", 0)
         self._bytes_received = multiprocessing.Value("Q", 0)
+        self._put_short_circuits = multiprocessing.Value("Q", 0)
+        self._put_bytes_saved = multiprocessing.Value("Q", 0)
+        # Payload fingerprints of entries this process knows the server
+        # holds (recorded on every successful put and get).  A repeated put
+        # of an identical payload — the single-flight-adjacent race where
+        # two workers compute the same artefact — skips the round trip.
+        # Entries are dropped the moment the server reports a miss for the
+        # key (it may have evicted it), so a skipped write can never leave
+        # the server cold.  Bounded; per-process after fork (copy-on-write
+        # snapshots stay valid — they only describe server state).
+        self._digests: dict[bytes, bytes] = {}
+        self._max_digests = 4096
         try:
             self._request({"op": "ping"})
         except _REMOTE_ERRORS as error:
@@ -317,21 +335,31 @@ class RemoteCacheBackend:
         (closed, or half-open granting this call the probe slot)."""
         return not self._closed and self.breaker.allow()
 
+    def _remember_digest(self, encoded_key: bytes, payload: bytes) -> None:
+        self._digests.pop(encoded_key, None)
+        self._digests[encoded_key] = hashlib.sha256(payload).digest()
+        while len(self._digests) > self._max_digests:
+            self._digests.pop(next(iter(self._digests)))
+
     def get(self, namespace: str, region: str, key: Hashable) -> Any:
         value = self._local.get(namespace, region, key)
         if value is not None or region not in self.remote_regions:
             return value
         if not self._remote_allowed():
             return None
+        encoded_key = encode_key(namespace, region, key)
         header = {
             "op": "get",
             "namespace": namespace,
             "region": region,
-            "key": key_to_header(encode_key(namespace, region, key)),
+            "key": key_to_header(encoded_key),
         }
         try:
             response, payload = self._request(header)
             if not response.get("hit"):
+                # The server does not hold the key (any more): forget its
+                # fingerprint so the next put writes it back.
+                self._digests.pop(encoded_key, None)
                 self._count(self._shared_misses)
                 return None
             value = decode_payload(payload)
@@ -346,14 +374,23 @@ class RemoteCacheBackend:
             self._count(self._shared_misses)
             return None
         self._count(self._shared_hits)
+        self._remember_digest(encoded_key, payload)
         value = _freeze_value(value)
+        cost = response.get("cost")
         # Promote to L1 quietly: a promotion is not a new artefact, so it
         # must not inflate the put counter (same rule as the shared backend).
-        self._local._put(namespace, region, key, value)
+        self._local._put(namespace, region, key, value, cost)
         return value
 
-    def put(self, namespace: str, region: str, key: Hashable, value: Any) -> None:
-        self._local.put(namespace, region, key, value)
+    def put(
+        self,
+        namespace: str,
+        region: str,
+        key: Hashable,
+        value: Any,
+        cost: Optional[float] = None,
+    ) -> None:
+        self._local.put(namespace, region, key, value, cost)
         if region not in self.remote_regions:
             return
         try:
@@ -367,15 +404,29 @@ class RemoteCacheBackend:
             return  # same rule: an oversized value must not cost the tier
         if not self._remote_allowed():
             return
+        encoded_key = encode_key(namespace, region, key)
+        if self._digests.get(encoded_key) == hashlib.sha256(payload).digest():
+            # Fingerprint short-circuit: the server already holds this exact
+            # payload for this key — the write would be a byte-for-byte
+            # no-op, so save the wire traffic and count what it would have
+            # cost.  (Values are pure functions of their keys, so an equal
+            # digest means an equal artefact, not a lucky collision.)
+            self._count(self._put_short_circuits)
+            self._count(self._put_bytes_saved, len(payload))
+            return
         header = {
             "op": "put",
             "namespace": namespace,
             "region": region,
-            "key": key_to_header(encode_key(namespace, region, key)),
+            "key": key_to_header(encoded_key),
         }
+        if cost is not None:
+            header["cost"] = round(float(cost), 9)
         try:
-            self._request(header, payload)
+            response, _ = self._request(header, payload)
             self._count(self._shared_puts)
+            if response.get("stored"):
+                self._remember_digest(encoded_key, payload)
         except _REMOTE_ERRORS:
             pass  # attempts already recorded; the breaker is open by now
         except RuntimeError:
@@ -383,6 +434,7 @@ class RemoteCacheBackend:
 
     def clear(self, namespace: Optional[str] = None) -> None:
         self._local.clear(namespace)
+        self._digests.clear()  # conservatively: the server is losing entries
         if namespace is None:
             self.reset_stats()  # a full clear is a fresh start, counters too
         if not self._remote_allowed():
@@ -409,7 +461,13 @@ class RemoteCacheBackend:
 
     def reset_stats(self) -> None:
         self._local.reset_stats()
-        for counter in (self._shared_hits, self._shared_misses, self._shared_puts):
+        for counter in (
+            self._shared_hits,
+            self._shared_misses,
+            self._shared_puts,
+            self._put_short_circuits,
+            self._put_bytes_saved,
+        ):
             with counter.get_lock():
                 counter.value = 0
 
@@ -452,8 +510,35 @@ class RemoteCacheBackend:
         }
 
     def breaker_stats(self) -> dict:
-        """The circuit breaker's state and lifetime counters."""
-        return self.breaker.stats()
+        """The circuit breaker's state and lifetime counters, plus the
+        fingerprint short-circuit savings (fork-shared totals)."""
+        stats = self.breaker.stats()
+        stats["put_short_circuits"] = int(self._put_short_circuits.value)
+        stats["put_bytes_saved"] = int(self._put_bytes_saved.value)
+        return stats
+
+    def miss_log(self, namespace: Optional[str] = None, clear: bool = False) -> Optional[dict]:
+        """The server's observed-miss log (the ``warm`` op), or ``None`` when
+        the server is unreachable.  ``clear=True`` drains it after reading —
+        what a warm-ahead poller does so misses are handed out once."""
+        if not self._remote_allowed():
+            return None
+        header = {"op": "warm"}
+        if namespace is not None:
+            header["namespace"] = namespace
+        if clear:
+            header["clear"] = True
+        try:
+            response, _ = self._request(header)
+        except _REMOTE_ERRORS:
+            return None
+        except RuntimeError:
+            return None
+        return {
+            "recorded": response.get("recorded", 0),
+            "counts": response.get("counts", {}),
+            "recent": response.get("recent", []),
+        }
 
     def server_stats(self) -> Optional[dict]:
         """The server's own counters (hits across *all* clients), or ``None``

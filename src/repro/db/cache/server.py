@@ -47,16 +47,21 @@ import warnings
 from pathlib import Path
 from typing import Optional, Sequence, Tuple
 
+from repro.db.cache.backend import DEFAULT_EVICTION_POLICY, EVICTION_POLICIES
 from repro.db.cache.wire import (
     key_from_header,
+    key_to_header,
     read_frame_async,
     write_frame_async,
 )
 
-__all__ = ["CacheServer", "CacheServerThread", "CacheStore", "main"]
+__all__ = ["CacheServer", "CacheServerThread", "CacheStore", "MissLog", "main"]
 
 #: Bumped when the persistence schema or the op set changes incompatibly.
-SERVER_PROTOCOL = 1
+#: v2 added cost/size metadata on ``put``, the ``warm`` miss-log op and the
+#: byte-budget counters; every v1 op is answered unchanged, so old clients
+#: keep working against a v2 server.
+SERVER_PROTOCOL = 2
 
 
 # ----------------------------------------------------------------------
@@ -65,23 +70,44 @@ SERVER_PROTOCOL = 1
 class CacheStore:
     """Byte entries addressed by ``(namespace, region, key bytes)``.
 
-    Entries live in an insertion-ordered dict (the LRU); with a ``path`` they
-    are also written through to a sqlite table and loaded back on
-    construction.  Eviction (oldest first, past ``max_entries``) deletes from
-    both tiers, so the disk file never outgrows the memory bound.
+    Entries live in a dict plus a metadata side-table carrying each entry's
+    recompute cost, byte size, access frequency and eviction priority; with a
+    ``path`` they are also written through to a sqlite table and loaded back
+    on construction (in persisted access order, so a restarted server evicts
+    in exactly the order the old one would have).  Eviction — lowest
+    cost-normalized utility first under ``policy="cost"``, least recently
+    used under ``policy="lru"``, past ``max_entries`` *or* ``max_bytes`` —
+    deletes from both tiers, so the disk file never outgrows the memory
+    bound.
     """
 
-    def __init__(self, path: Optional[str] = None, max_entries: int = 4096):
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        max_entries: int = 4096,
+        max_bytes: Optional[int] = None,
+        policy: str = DEFAULT_EVICTION_POLICY,
+    ):
         if max_entries < 1:
             raise ValueError("max_entries must be at least 1")
+        if policy not in EVICTION_POLICIES:
+            raise ValueError(f"unknown eviction policy {policy!r} (use one of {EVICTION_POLICIES})")
         self.max_entries = int(max_entries)
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
+        self.policy = policy
         self.path = Path(path) if path is not None else None
         self._data: dict[Tuple[str, str, bytes], bytes] = {}
+        #: address -> [priority, seq, nbytes, freq, cost | None]
+        self._meta: dict[Tuple[str, str, bytes], list] = {}
+        self._clock = 0.0
+        self._seq = 0
+        self._bytes = 0
         self._conn: Optional[sqlite3.Connection] = None
         self.hits = 0
         self.misses = 0
         self.puts = 0
         self.evictions = 0
+        self.rejected_puts = 0
         self.loaded_from_disk = 0
         if self.path is not None:
             self._open_persistence()
@@ -104,11 +130,25 @@ class CacheStore:
             self.path.parent.mkdir(parents=True, exist_ok=True)
         except OSError:
             pass  # an unreachable parent is reported by the connect below
+        stored_clock = 0.0
         try:
             self._conn = self._connect()
+            # Oldest-accessed first, so the in-memory insertion order (and
+            # the restored seq/priority metadata) reproduces the eviction
+            # order the previous server would have used — a warm restart must
+            # not turn the first eviction pass into a random purge.  Rows a
+            # pre-metadata server wrote (NULL last_access) sort first, in
+            # their original insertion (rowid) order.
             rows = self._conn.execute(
-                "SELECT namespace, region, key, value FROM cache_entries ORDER BY rowid"
+                "SELECT namespace, region, key, value, cost, nbytes, freq,"
+                " last_access, priority FROM cache_entries"
+                " ORDER BY last_access IS NOT NULL, last_access, rowid"
             ).fetchall()
+            meta_row = self._conn.execute(
+                "SELECT value FROM store_meta WHERE key = 'clock'"
+            ).fetchone()
+            if meta_row is not None:
+                stored_clock = float(meta_row[0])
         except sqlite3.Error as error:
             if self._conn is not None:
                 try:
@@ -149,12 +189,22 @@ class CacheStore:
                 self._conn = None
                 self.path = None
             rows = []
-        for namespace, region, key, value in rows:
-            self._data[(namespace, region, bytes(key))] = bytes(value)
+        self._clock = stored_clock
+        for namespace, region, key, value, cost, nbytes, freq, last_access, priority in rows:
+            address = (namespace, region, bytes(key))
+            value = bytes(value)
+            nbytes = len(value) if nbytes is None else int(nbytes)
+            freq = 1 if freq is None else int(freq)
+            seq = self._seq + 1 if last_access is None else int(last_access)
+            self._seq = max(self._seq, seq)
+            if priority is None:
+                priority = self._priority(seq, freq, cost, nbytes)
+            self._data[address] = value
+            self._meta[address] = [float(priority), seq, nbytes, freq, cost]
+            self._bytes += nbytes
         self.loaded_from_disk = len(self._data)
         # A file written under a larger bound still honours this server's.
-        while len(self._data) > self.max_entries:
-            self._evict_oldest()
+        self._evict_over_budget()
 
     def _connect(self) -> sqlite3.Connection:
         # The store may be built on one thread (CacheServerThread.__init__)
@@ -169,12 +219,57 @@ class CacheStore:
             " region TEXT NOT NULL,"
             " key BLOB NOT NULL,"
             " value BLOB NOT NULL,"
+            " cost REAL,"
+            " nbytes INTEGER,"
+            " freq INTEGER,"
+            " last_access INTEGER,"
+            " priority REAL,"
             " PRIMARY KEY (namespace, region, key))"
         )
+        # Migrate protocol-v1 files in place: the old four-column table gains
+        # the metadata columns (NULL for existing rows — the loader fills in
+        # defaults), so a warm file from an old server is never quarantined.
+        present = {row[1] for row in conn.execute("PRAGMA table_info(cache_entries)")}
+        for column, column_type in (
+            ("cost", "REAL"),
+            ("nbytes", "INTEGER"),
+            ("freq", "INTEGER"),
+            ("last_access", "INTEGER"),
+            ("priority", "REAL"),
+        ):
+            if column not in present:
+                conn.execute(f"ALTER TABLE cache_entries ADD COLUMN {column} {column_type}")
+        conn.execute("CREATE TABLE IF NOT EXISTS store_meta (key TEXT PRIMARY KEY, value TEXT)")
         return conn
+
+    def flush_metadata(self) -> None:
+        """Write the in-memory access metadata (frequency, recency, priority,
+        clock) through to sqlite.  Puts and evictions persist row state as
+        they happen; the per-``get`` freshening is memory-only until this
+        flush (called on close), so a hard kill loses at most recency — never
+        an entry."""
+        if self._conn is None:
+            return
+        try:
+            self._conn.executemany(
+                "UPDATE cache_entries SET cost = ?, nbytes = ?, freq = ?,"
+                " last_access = ?, priority = ?"
+                " WHERE namespace = ? AND region = ? AND key = ?",
+                [
+                    (meta[4], meta[2], meta[3], meta[1], meta[0], *address)
+                    for address, meta in self._meta.items()
+                ],
+            )
+            self._conn.execute(
+                "INSERT OR REPLACE INTO store_meta (key, value) VALUES ('clock', ?)",
+                (repr(self._clock),),
+            )
+        except sqlite3.Error:  # pragma: no cover - disk died mid-run
+            pass
 
     def close(self) -> None:
         if self._conn is not None:
+            self.flush_metadata()
             try:
                 self._conn.close()
             except sqlite3.Error:  # pragma: no cover - nothing left to save
@@ -184,33 +279,97 @@ class CacheStore:
     # ------------------------------------------------------------------
     # operations
     # ------------------------------------------------------------------
+    def _priority(self, seq: int, freq: int, cost: Optional[float], nbytes: int) -> float:
+        """The eviction priority of an entry (lowest evicts first).
+
+        ``policy="cost"`` is GreedyDual-Size-Frequency: ``clock + freq ×
+        cost / bytes``, with a neutral term of 1.0 for cost-less entries;
+        ``policy="lru"`` is the access sequence number — exact LRU.
+        """
+        if self.policy == "lru":
+            return float(seq)
+        term = 1.0 if cost is None else max(float(cost), 0.0) / max(int(nbytes), 1)
+        return self._clock + freq * term
+
     def get(self, namespace: str, region: str, key: bytes) -> Optional[bytes]:
         address = (namespace, region, key)
         value = self._data.pop(address, None)
         if value is None:
             self.misses += 1
             return None
-        self._data[address] = value  # freshen in the LRU
+        self._data[address] = value  # freshen in insertion order
+        meta = self._meta.get(address)
+        if meta is not None:
+            meta[3] += 1
+            self._seq += 1
+            meta[1] = self._seq
+            meta[0] = self._priority(meta[1], meta[3], meta[4], meta[2])
         self.hits += 1
         return value
 
-    def put(self, namespace: str, region: str, key: bytes, value: bytes) -> None:
+    def entry_cost(self, namespace: str, region: str, key: bytes) -> Optional[float]:
+        meta = self._meta.get((namespace, region, key))
+        return None if meta is None else meta[4]
+
+    def put(
+        self,
+        namespace: str,
+        region: str,
+        key: bytes,
+        value: bytes,
+        cost: Optional[float] = None,
+    ) -> bool:
+        """Store ``value``; returns ``False`` when the byte budget refuses it
+        (a payload larger than the whole budget is never admitted)."""
         address = (namespace, region, key)
-        self._data.pop(address, None)
+        nbytes = len(value)
+        if self.max_bytes is not None and nbytes > self.max_bytes:
+            self.rejected_puts += 1
+            return False
+        self._discard(address)
+        self._seq += 1
         self._data[address] = value
+        self._meta[address] = [self._priority(self._seq, 1, cost, nbytes), self._seq, nbytes, 1, cost]
+        self._bytes += nbytes
         self.puts += 1
         if self._conn is not None:
+            meta = self._meta[address]
             self._conn.execute(
-                "INSERT OR REPLACE INTO cache_entries (namespace, region, key, value)"
-                " VALUES (?, ?, ?, ?)",
-                (namespace, region, key, value),
+                "INSERT OR REPLACE INTO cache_entries"
+                " (namespace, region, key, value, cost, nbytes, freq, last_access, priority)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (namespace, region, key, value, cost, nbytes, 1, meta[1], meta[0]),
             )
-        while len(self._data) > self.max_entries:
-            self._evict_oldest()
+        self._evict_over_budget()
+        return True
 
-    def _evict_oldest(self) -> None:
-        address = next(iter(self._data))
-        self._data.pop(address)
+    def _discard(self, address: Tuple[str, str, bytes]) -> None:
+        if self._data.pop(address, None) is not None:
+            meta = self._meta.pop(address, None)
+            if meta is not None:
+                self._bytes -= meta[2]
+
+    def _over_budget(self) -> bool:
+        if len(self._data) > self.max_entries:
+            return True
+        return self.max_bytes is not None and self._bytes > self.max_bytes and len(self._data) > 1
+
+    def _evict_over_budget(self) -> None:
+        while self._over_budget():
+            self._evict_one()
+
+    def _evict_one(self) -> None:
+        """Evict the lowest-priority entry (deterministic tie-break on the
+        access sequence), raising the decay clock to its priority."""
+        live = {a: m for a, m in self._meta.items() if a in self._data}
+        if live:
+            address, meta = min(live.items(), key=lambda item: (item[1][0], item[1][1]))
+            if self.policy != "lru":
+                self._clock = max(self._clock, meta[0])
+        else:  # metadata desynced (only possible via direct _data surgery)
+            address = next(iter(self._data))
+        self._discard(address)
+        self._meta.pop(address, None)
         self.evictions += 1
         if self._conn is not None:
             self._conn.execute(
@@ -224,13 +383,16 @@ class CacheStore:
         if namespace is None:
             removed = len(self._data)
             self._data.clear()
+            self._meta.clear()
+            self._bytes = 0
+            self._clock = 0.0
             if self._conn is not None:
                 self._conn.execute("DELETE FROM cache_entries")
             self.reset_stats()
             return removed
         stale = [address for address in self._data if address[0] == namespace]
         for address in stale:
-            self._data.pop(address)
+            self._discard(address)
         if self._conn is not None:
             self._conn.execute("DELETE FROM cache_entries WHERE namespace = ?", (namespace,))
         return len(stale)
@@ -246,13 +408,53 @@ class CacheStore:
             "misses": self.misses,
             "puts": self.puts,
             "evictions": self.evictions,
+            "rejected_puts": self.rejected_puts,
             "entries": len(self._data),
+            "bytes_stored": self._bytes,
+            "max_bytes": self.max_bytes,
+            "policy": self.policy,
             "loaded_from_disk": self.loaded_from_disk,
             "persisted": self.path is not None,
         }
 
     def reset_stats(self) -> None:
-        self.hits = self.misses = self.puts = self.evictions = 0
+        self.hits = self.misses = self.puts = self.evictions = self.rejected_puts = 0
+
+
+class MissLog:
+    """Observed-but-missed addresses, per namespace, for warm-ahead feeds.
+
+    The server cannot replay a miss itself (it never decodes keys, let alone
+    runs the engine), but it is the one place that sees *every* client's
+    misses — so it keeps a bounded log that warm-ahead workers poll through
+    the ``warm`` op and replay against the engine on the client side.
+    """
+
+    def __init__(self, max_recent: int = 256):
+        self.max_recent = int(max_recent)
+        self.counts: dict[str, int] = {}
+        self._recent: dict[Tuple[str, str, bytes], None] = {}  # ordered de-duped set
+        self.recorded = 0
+
+    def record(self, namespace: str, region: str, key: bytes) -> None:
+        self.counts[namespace] = self.counts.get(namespace, 0) + 1
+        self.recorded += 1
+        address = (namespace, region, key)
+        self._recent.pop(address, None)
+        self._recent[address] = None  # re-append: most recent last
+        while len(self._recent) > self.max_recent:
+            self._recent.pop(next(iter(self._recent)))
+
+    def snapshot(self, namespace: Optional[str] = None) -> list:
+        return [
+            [ns, region, key_to_header(key)]
+            for ns, region, key in self._recent
+            if namespace is None or ns == namespace
+        ]
+
+    def clear(self) -> None:
+        self.counts.clear()
+        self._recent.clear()
 
 
 # ----------------------------------------------------------------------
@@ -268,10 +470,13 @@ class CacheServer:
         port: int = 0,
         path: Optional[str] = None,
         max_entries: int = 4096,
+        max_bytes: Optional[int] = None,
+        policy: str = DEFAULT_EVICTION_POLICY,
     ):
         if store is None:
-            store = CacheStore(path=path, max_entries=max_entries)
+            store = CacheStore(path=path, max_entries=max_entries, max_bytes=max_bytes, policy=policy)
         self.store = store
+        self.miss_log = MissLog()
         self.host = host
         self.port = port  # 0 = ephemeral; replaced with the bound port on start
         self.bytes_received = 0
@@ -415,12 +620,32 @@ class CacheServer:
             namespace, region, key = self._address(header)
             value = self.store.get(namespace, region, key)
             if value is None:
+                self.miss_log.record(namespace, region, key)
                 return {"ok": True, "hit": False}, b"", False
-            return {"ok": True, "hit": True}, value, False
+            response = {"ok": True, "hit": True}
+            cost = self.store.entry_cost(namespace, region, key)
+            if cost is not None:
+                response["cost"] = cost
+            return response, value, False
         if op == "put":
             namespace, region, key = self._address(header)
-            self.store.put(namespace, region, key, payload)
-            return {"ok": True, "stored": True}, b"", False
+            cost = header.get("cost")
+            stored = self.store.put(
+                namespace, region, key, payload, None if cost is None else float(cost)
+            )
+            return {"ok": True, "stored": stored}, b"", False
+        if op == "warm":
+            namespace = header.get("namespace")
+            scope = None if namespace is None else str(namespace)
+            response = {
+                "ok": True,
+                "recorded": self.miss_log.recorded,
+                "counts": dict(self.miss_log.counts),
+                "recent": self.miss_log.snapshot(scope),
+            }
+            if header.get("clear"):
+                self.miss_log.clear()
+            return response, b"", False
         if op == "clear":
             namespace = header.get("namespace")
             removed = self.store.clear(None if namespace is None else str(namespace))
@@ -436,6 +661,7 @@ class CacheServer:
                     "requests_served": self.requests_served,
                     "bytes_received": self.bytes_received,
                     "bytes_sent": self.bytes_sent,
+                    "miss_log_recorded": self.miss_log.recorded,
                 }
             )
             return {"ok": True, "stats": stats}, b"", False
@@ -549,7 +775,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-entries",
         type=int,
         default=4096,
-        help="LRU bound on the number of cached entries",
+        help="bound on the number of cached entries",
+    )
+    parser.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        help="byte budget on the summed payload sizes (omit for entry-count only)",
+    )
+    parser.add_argument(
+        "--policy",
+        choices=EVICTION_POLICIES,
+        default=DEFAULT_EVICTION_POLICY,
+        help="eviction policy: cost-normalized utility (default) or plain LRU",
     )
     return parser
 
@@ -560,8 +798,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.max_entries < 1:
         print("--max-entries must be at least 1", file=sys.stderr)
         return 2
+    if args.max_bytes is not None and args.max_bytes < 1:
+        print("--max-bytes must be at least 1", file=sys.stderr)
+        return 2
     server = CacheServer(
-        host=args.host, port=args.port, path=args.path, max_entries=args.max_entries
+        host=args.host,
+        port=args.port,
+        path=args.path,
+        max_entries=args.max_entries,
+        max_bytes=args.max_bytes,
+        policy=args.policy,
     )
     try:
         asyncio.run(_serve(server))

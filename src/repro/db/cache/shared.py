@@ -39,7 +39,12 @@ from typing import Any, Hashable, Optional
 
 import numpy as np
 
-from repro.db.cache.backend import SHARED_REGIONS, CacheStats
+from repro.db.cache.backend import (
+    DEFAULT_EVICTION_POLICY,
+    SHARED_REGIONS,
+    CacheStats,
+    value_nbytes,
+)
 from repro.db.cache.local import LocalCacheBackend
 
 __all__ = ["SharedMemoryCacheBackend"]
@@ -78,69 +83,144 @@ class SharedMemoryCacheBackend:
         max_entries: int = 192,
         max_shared_entries: int = 4096,
         shared_regions: frozenset[str] = SHARED_REGIONS,
+        policy: str = DEFAULT_EVICTION_POLICY,
+        max_bytes: Optional[int] = None,
+        max_shared_bytes: Optional[int] = None,
     ):
-        self._local = LocalCacheBackend(max_entries)
+        self._local = LocalCacheBackend(max_entries, policy=policy, max_bytes=max_bytes)
         self.max_entries = self._local.max_entries
         self.max_shared_entries = int(max_shared_entries)
+        self.max_shared_bytes = None if max_shared_bytes is None else int(max_shared_bytes)
+        self.policy = self._local.policy
         self.shared_regions = frozenset(shared_regions)
         self._owner_pid = os.getpid()
         self._broken = False
         self._manager = multiprocessing.Manager()
         self._store = self._manager.dict()
+        #: Parallel metadata tier: key -> (cost | None, nbytes, access seq).
+        #: Values stay raw in ``_store``; eviction decisions read only this.
+        self._meta = self._manager.dict()
         self._evict_lock = multiprocessing.Lock()
         # Fork-inherited atomic counters: workers increment, the parent reads.
         self._shared_hits = multiprocessing.Value("Q", 0)
         self._shared_misses = multiprocessing.Value("Q", 0)
         self._shared_puts = multiprocessing.Value("Q", 0)
         self._shared_evictions = multiprocessing.Value("Q", 0)
+        self._shared_bytes = multiprocessing.Value("Q", 0)
+        self._shared_seq = multiprocessing.Value("Q", 0)
 
     # ------------------------------------------------------------------
     def _count(self, counter) -> None:
         with counter.get_lock():
             counter.value += 1
 
+    def _next_seq(self) -> int:
+        with self._shared_seq.get_lock():
+            self._shared_seq.value += 1
+            return self._shared_seq.value
+
+    def _add_bytes(self, delta: int) -> None:
+        with self._shared_bytes.get_lock():
+            self._shared_bytes.value = max(0, self._shared_bytes.value + delta)
+
     def get(self, namespace: str, region: str, key: Hashable) -> Any:
         value = self._local.get(namespace, region, key)
         if value is not None or region not in self.shared_regions or self._broken:
             return value
+        address = (namespace, region, key)
         try:
-            value = self._store[(namespace, region, key)]
+            value = self._store[address]
         except KeyError:
             self._count(self._shared_misses)
             return None
         except _PROXY_ERRORS:
             self._broken = True
             return None
+        cost = None
+        try:
+            meta = self._meta.get(address)
+            if meta is not None:
+                cost = meta[0]
+                # Freshen the access sequence so recency survives in L2.
+                self._meta[address] = (meta[0], meta[1], self._next_seq())
+        except _PROXY_ERRORS:
+            self._broken = True
         self._count(self._shared_hits)
         value = _freeze_value(value)
         # Promote to L1 quietly: a promotion is not a new artefact, so it
         # must not inflate the put counter.
-        self._local._put(namespace, region, key, value)
+        self._local._put(namespace, region, key, value, cost)
         return value
 
-    def put(self, namespace: str, region: str, key: Hashable, value: Any) -> None:
-        self._local.put(namespace, region, key, value)
+    def put(
+        self,
+        namespace: str,
+        region: str,
+        key: Hashable,
+        value: Any,
+        cost: Optional[float] = None,
+    ) -> None:
+        self._local.put(namespace, region, key, value, cost)
         if region not in self.shared_regions or self._broken:
             return
+        address = (namespace, region, key)
+        nbytes = value_nbytes(value)
+        if self.max_shared_bytes is not None and nbytes > self.max_shared_bytes:
+            return  # larger than the whole L2 budget: L1-only
         try:
-            self._store[(namespace, region, key)] = value
+            previous = self._meta.get(address)
+            self._store[address] = value
+            self._meta[address] = (cost, nbytes, self._next_seq())
+            self._add_bytes(nbytes - (previous[1] if previous else 0))
             self._count(self._shared_puts)
-            if len(self._store) > self.max_shared_entries:
+            if len(self._store) > self.max_shared_entries or (
+                self.max_shared_bytes is not None
+                and self._shared_bytes.value > self.max_shared_bytes
+            ):
                 self._evict_shared()
         except _PROXY_ERRORS:
             self._broken = True
 
+    def _utility(self, meta) -> tuple[float, int]:
+        """Sort key of an L2 entry: lowest evicts first, ties on age.
+
+        L2 has no per-entry frequency (that would cost a manager round-trip
+        per hit); instead the utility is the insertion-time term
+        ``cost / bytes`` with recency as tie-break — under ``policy="lru"``
+        the term collapses to a constant, leaving pure access order.
+        """
+        cost, nbytes, seq = meta
+        if self.policy == "lru" or cost is None:
+            return (0.0, seq)
+        return (max(float(cost), 0.0) / max(int(nbytes), 1), seq)
+
     def _evict_shared(self) -> None:
-        """Drop the oldest shared entries down to the bound (approximate:
-        concurrent writers may briefly overshoot; the lock only prevents two
-        processes evicting the same keys)."""
+        """Drop the lowest-utility shared entries down to both bounds
+        (approximate: concurrent writers may briefly overshoot; the lock only
+        prevents two processes evicting the same keys)."""
         with self._evict_lock:
+            meta = dict(self._meta)
             overflow = len(self._store) - self.max_shared_entries
-            if overflow <= 0:
+            stored_bytes = self._shared_bytes.value
+            byte_overflow = (
+                stored_bytes - self.max_shared_bytes if self.max_shared_bytes is not None else 0
+            )
+            if overflow <= 0 and byte_overflow <= 0:
                 return
-            for stale_key in list(self._store.keys())[:overflow]:
+            victims = sorted(self._store.keys(), key=lambda k: self._utility(meta.get(k, (None, 0, 0))))
+            evicted_entries = 0
+            evicted_bytes = 0
+            for stale_key in victims:
+                if evicted_entries >= overflow and evicted_bytes >= byte_overflow:
+                    break
                 if self._store.pop(stale_key, None) is not None:
                     self._count(self._shared_evictions)
+                    evicted_entries += 1
+                    stale_meta = meta.get(stale_key)
+                    nbytes = int(stale_meta[1]) if stale_meta else 0
+                    evicted_bytes += nbytes
+                    self._add_bytes(-nbytes)
+                self._meta.pop(stale_key, None)
 
     def release(self, namespace: str) -> None:
         """Drop the L1 entries only: the manager tier may still be serving
@@ -156,10 +236,16 @@ class SharedMemoryCacheBackend:
         try:
             if namespace is None:
                 self._store.clear()
+                self._meta.clear()
+                with self._shared_bytes.get_lock():
+                    self._shared_bytes.value = 0
             else:
                 for stored in list(self._store.keys()):
                     if stored[0] == namespace:
                         self._store.pop(stored, None)
+                        dropped = self._meta.pop(stored, None)
+                        if dropped is not None:
+                            self._add_bytes(-int(dropped[1]))
         except _PROXY_ERRORS:
             self._broken = True
 
@@ -182,6 +268,13 @@ class SharedMemoryCacheBackend:
         ):
             with counter.get_lock():
                 counter.value = 0
+
+    def byte_count(self, namespace: Optional[str] = None) -> int:
+        """L1 byte estimate plus (for the full count) the L2 gauge."""
+        count = self._local.byte_count(namespace)
+        if namespace is None and not self._broken:
+            count += int(self._shared_bytes.value)
+        return count
 
     def entry_count(self, namespace: Optional[str] = None) -> int:
         count = self._local.entry_count(namespace)

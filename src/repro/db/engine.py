@@ -38,6 +38,7 @@ trials without threading an engine handle through every call site.
 
 from __future__ import annotations
 
+import time
 import weakref
 from collections import namedtuple
 from typing import Any, Hashable, Optional, Sequence, Union
@@ -185,8 +186,20 @@ class ExecutionEngine:
     def _get(self, region: str, key: Hashable) -> Any:
         return self.backend.get(self._namespace, region, key)
 
-    def _put(self, region: str, key: Hashable, value: Any) -> None:
-        self.backend.put(self._namespace, region, key, value)
+    def _put(self, region: str, key: Hashable, value: Any, cost: Optional[float] = None) -> None:
+        """Store an artefact, with the wall-clock its computation took.
+
+        The cost is eviction-steering metadata only — a backend that predates
+        the cost channel (or a test double) is fed through the old four-arg
+        signature, and values are never affected either way.
+        """
+        if cost is None:
+            self.backend.put(self._namespace, region, key, value)
+            return
+        try:
+            self.backend.put(self._namespace, region, key, value, cost)
+        except TypeError:
+            self.backend.put(self._namespace, region, key, value)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -241,10 +254,11 @@ class ExecutionEngine:
             return self.database.fact_mask_for_predicate(predicate, self._chunk_rows)
         mask = self._get("predicate_mask", fingerprint)
         if mask is None:
+            began = time.perf_counter()
             mask = _freeze(
                 self.database.fact_mask_for_predicate(predicate, self._chunk_rows)
             )
-            self._put("predicate_mask", fingerprint, mask)
+            self._put("predicate_mask", fingerprint, mask, time.perf_counter() - began)
         return mask
 
     def selection_mask(self, predicates: ConjunctionPredicate) -> np.ndarray:
@@ -254,6 +268,7 @@ class ExecutionEngine:
             cached = self._get("selection_mask", fingerprint)
             if cached is not None:
                 return cached
+        began = time.perf_counter()
         mask: Optional[np.ndarray] = None
         for predicate in predicates:
             predicate_mask = self.fact_mask(predicate)
@@ -265,7 +280,7 @@ class ExecutionEngine:
             mask = np.ones(self.database.num_fact_rows, dtype=bool)
         mask = _freeze(mask)
         if fingerprint is not None:
-            self._put("selection_mask", fingerprint, mask)
+            self._put("selection_mask", fingerprint, mask, time.perf_counter() - began)
         return mask
 
     def selected_count(self, predicates: ConjunctionPredicate) -> int:
@@ -278,18 +293,20 @@ class ExecutionEngine:
         """Cached unfiltered fan-out vector of a direct dimension (read-only)."""
         counts = self._get("fan_out", dimension_name)
         if counts is None:
+            began = time.perf_counter()
             counts = _freeze(
                 self.database.fan_out(dimension_name, chunk_rows=self._chunk_rows)
             )
-            self._put("fan_out", dimension_name, counts)
+            self._put("fan_out", dimension_name, counts, time.perf_counter() - began)
         return counts
 
     def max_fan_out(self, dimension_name: str) -> int:
         value = self._get("max_fan_out", dimension_name)
         if value is None:
+            began = time.perf_counter()
             counts = self.fan_out(dimension_name)
             value = int(counts.max()) if counts.size else 0
-            self._put("max_fan_out", dimension_name, value)
+            self._put("max_fan_out", dimension_name, value, time.perf_counter() - began)
         return value
 
     def measure_values(self, measure: Union[Measure, str]) -> np.ndarray:
@@ -304,6 +321,7 @@ class ExecutionEngine:
         fingerprint = measure_fingerprint(measure)
         values = self._get("measure", fingerprint)
         if values is None:
+            began = time.perf_counter()
             fact = self.database.fact
             if self._chunk_rows is None:
                 values = np.asarray(fact.codes(measure.column), dtype=np.float64)
@@ -327,7 +345,7 @@ class ExecutionEngine:
                         )
                     values[start:stop] = chunk
             values = _freeze(values)
-            self._put("measure", fingerprint, values)
+            self._put("measure", fingerprint, values, time.perf_counter() - began)
         return values
 
     # ------------------------------------------------------------------
@@ -363,6 +381,7 @@ class ExecutionEngine:
             cached = self._get("contribution", key)
             if cached is not None:
                 return cached
+        began = time.perf_counter()
         mask = self.selection_mask(predicates)
         database = self.database
         fk_column = database.schema.foreign_key_for(dimension_name).fact_column
@@ -384,7 +403,7 @@ class ExecutionEngine:
             per_key = np.bincount(codes, weights=weights, minlength=dim_rows)
         per_key = _freeze(per_key)
         if key is not None:
-            self._put("contribution", key, per_key)
+            self._put("contribution", key, per_key, time.perf_counter() - began)
         return per_key
 
     def sorted_contributions(
@@ -406,12 +425,13 @@ class ExecutionEngine:
             cached = self._get("sorted_contribution", key)
             if cached is not None:
                 return cached
+        began = time.perf_counter()
         per_key = self.contribution_per_key(predicates, dimension_name, kind, measure)
         ordered = np.sort(per_key)
         prefix = np.concatenate([[0.0], np.cumsum(ordered)])
         pair = (_freeze(ordered), _freeze(prefix))
         if key is not None:
-            self._put("sorted_contribution", key, pair)
+            self._put("sorted_contribution", key, pair, time.perf_counter() - began)
         return pair
 
     @staticmethod
@@ -459,6 +479,7 @@ class ExecutionEngine:
         if cube is not None:
             return cube
 
+        began = time.perf_counter()
         database = self.database
         shape = tuple(attribute.domain.size for attribute in attributes)
         for attribute in attributes:
@@ -529,7 +550,7 @@ class ExecutionEngine:
                     np.add.at(acc, flat, weights[start:stop])
             cube = counts.astype(np.float64) if kind is AggregateKind.COUNT else acc
         cube = _freeze(cube.reshape(shape))
-        self._put("cube", key, cube)
+        self._put("cube", key, cube, time.perf_counter() - began)
         return cube
 
     # ------------------------------------------------------------------
@@ -595,10 +616,15 @@ class ExecutionEngine:
             return None
         return self._get("result", fingerprint)
 
-    def store_result(self, query: StarJoinQuery, result: Any) -> None:
+    def store_result(
+        self, query: StarJoinQuery, result: Any, cost: Optional[float] = None
+    ) -> None:
+        """Memoize an exact answer; ``cost`` is the wall-clock the caller
+        spent computing it (the executor times its own execution — the
+        engine cannot see that work)."""
         fingerprint = query_fingerprint(query)
         if fingerprint is not None:
-            self._put("result", fingerprint, result)
+            self._put("result", fingerprint, result, cost)
 
     # ------------------------------------------------------------------
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -18,11 +18,13 @@ A reference materialise-then-filter implementation lives in
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Optional
 
 import numpy as np
 
+from repro.db.cache.warming import record_query_miss
 from repro.db.database import StarDatabase
 from repro.db.engine import ExecutionEngine
 from repro.db.predicates import ConjunctionPredicate
@@ -203,22 +205,28 @@ class QueryExecutor:
 
         Returns a ``float`` for scalar aggregates and a :class:`GroupedResult`
         for GROUP BY queries.  Exact answers are memoized in the shared
-        engine, so repeated trials of an experiment compute each one once.
+        engine — with the wall-clock the execution took as the entry's
+        recompute cost, so cost-aware eviction keeps expensive answers over
+        cheap ones — and repeated trials of an experiment compute each once.
         """
         cached = self.engine.cached_result(query)
         if cached is not None:
             return cached.copy() if isinstance(cached, GroupedResult) else cached
+        # A cold exact answer is the signal the warm-ahead queue feeds on
+        # (no-op unless a warming queue is installed for this process).
+        record_query_miss(self.database, query)
+        began = time.perf_counter()
         cube_answer = self.engine.count_answer_via_cube(query)
         if cube_answer is not None:
-            self.engine.store_result(query, cube_answer)
+            self.engine.store_result(query, cube_answer, time.perf_counter() - began)
             return cube_answer
         mask = self.engine.selection_mask(query.predicates)
         if query.is_grouped:
             result = self._grouped(query, mask)
-            self.engine.store_result(query, result.copy())
+            self.engine.store_result(query, result.copy(), time.perf_counter() - began)
         else:
             result = self._aggregate_masked(query.aggregate, mask)
-            self.engine.store_result(query, result)
+            self.engine.store_result(query, result, time.perf_counter() - began)
         return result
 
     # ------------------------------------------------------------------

@@ -28,7 +28,12 @@ import time
 from pathlib import Path
 from typing import Callable, Optional, Sequence
 
-from repro.db.cache import CACHE_BACKENDS, active_backend
+from repro.db.cache import (
+    CACHE_BACKENDS,
+    DEFAULT_EVICTION_POLICY,
+    EVICTION_POLICIES,
+    active_backend,
+)
 from repro.evaluation.experiments import (
     ExperimentConfig,
     figure4,
@@ -95,6 +100,16 @@ def run_experiments(
         else ""
     )
     with evaluation_session(config):
+        # With --warm-ahead the session installed a warming queue; between
+        # experiments the batch run owns all the idle time there is, so the
+        # drain is unbounded (contrast the serving tier's small batches).
+        warming_worker = None
+        if config.warm_ahead:
+            from repro.db.cache.warming import WarmAheadWorker, active_queue
+
+            queue = active_queue()
+            if queue is not None:
+                warming_worker = WarmAheadWorker(queue)
         for name in names:
             started = time.perf_counter()
             echo(f"\n=== running {name} ===")
@@ -102,6 +117,10 @@ def run_experiments(
             elapsed = time.perf_counter() - started
             echo(result.to_text())
             echo(f"[{name} finished in {elapsed:.1f}s]")
+            if warming_worker is not None:
+                warmed = warming_worker.run_once(max_tasks=None)
+                if warmed:
+                    echo(f"[warm-ahead: replayed {warmed} missed queries after {name}]")
             if cache_stats:
                 echo(
                     f"[cache after {name}: "
@@ -199,6 +218,35 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--cache-policy",
+        choices=EVICTION_POLICIES,
+        default=DEFAULT_EVICTION_POLICY,
+        help=(
+            "eviction policy of every bounded cache tier: 'cost' keeps entries "
+            "that are expensive to recompute per byte; 'lru' is classical "
+            "recency (results are byte-identical for either choice)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help=(
+            "byte budget per bounded in-process cache region alongside the "
+            "entry bound; cross-process tiers are bounded at 16x this value"
+        ),
+    )
+    parser.add_argument(
+        "--warm-ahead",
+        action="store_true",
+        help=(
+            "replay observed cache misses through the engine between "
+            "experiments (with --serve: between requests), pre-populating the "
+            "cache tiers; results are byte-identical either way"
+        ),
+    )
+    parser.add_argument(
         "--cache-stats",
         action="store_true",
         help="report cache hit/miss/eviction counters per experiment and per run",
@@ -267,6 +315,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.cache_size < 1:
         print("--cache-size must be at least 1", file=sys.stderr)
         return 2
+    if args.cache_max_bytes is not None and args.cache_max_bytes < 1:
+        print("--cache-max-bytes must be at least 1", file=sys.stderr)
+        return 2
     if args.cache_backend != "remote" and (args.cache_url or args.cache_path):
         print("--cache-url/--cache-path require --cache-backend remote", file=sys.stderr)
         return 2
@@ -293,6 +344,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     config.jobs = args.jobs
     config.cache_backend = args.cache_backend
     config.cache_size = args.cache_size
+    config.cache_policy = args.cache_policy
+    config.cache_max_bytes = args.cache_max_bytes
+    config.warm_ahead = args.warm_ahead
     config.cache_url = args.cache_url
     config.cache_path = args.cache_path
     config.ledger_path = args.ledger_path
@@ -310,7 +364,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "--seed", str(config.seed),
             "--cache-backend", config.cache_backend,
             "--cache-size", str(config.cache_size),
+            "--cache-policy", config.cache_policy,
         ]
+        if config.cache_max_bytes is not None:
+            serve_argv += ["--cache-max-bytes", str(config.cache_max_bytes)]
+        if config.warm_ahead:
+            serve_argv += ["--warm-ahead"]
         if config.cache_url:
             serve_argv += ["--cache-url", config.cache_url]
         if config.cache_path:

@@ -116,6 +116,21 @@ class ExperimentConfig:
     cache_size:
         Maximum entries per bounded cache region (masks, contributions,
         results); statistics regions are unbounded.
+    cache_policy:
+        Eviction policy of every bounded cache tier: ``"cost"`` (the
+        default) keeps the entries that are expensive to recompute per
+        byte; ``"lru"`` is classical recency.  Results are byte-identical
+        under either policy — eviction only changes what gets recomputed.
+    cache_max_bytes:
+        Optional byte budget per bounded in-process cache region alongside
+        the entry bound (cross-process tiers are bounded at 16 × this,
+        mirroring the entry convention).  ``None`` (the default) bounds by
+        entry count only.
+    warm_ahead:
+        Replay observed exact-answer misses through the engine after each
+        experiment, pre-populating put-through cache tiers (shared /
+        remote) for the experiments that follow.  Off by default; results
+        are byte-identical either way.
     cache_url:
         ``host:port`` of a running cache server
         (``python -m repro.db.cache.server``); only meaningful with
@@ -150,6 +165,9 @@ class ExperimentConfig:
     jobs: int = 1
     cache_backend: str = "local"
     cache_size: int = 192
+    cache_policy: str = "cost"
+    cache_max_bytes: Optional[int] = None
+    warm_ahead: bool = False
     cache_url: Optional[str] = None
     cache_path: Optional[str] = None
     ledger_path: Optional[str] = None

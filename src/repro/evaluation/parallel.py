@@ -370,8 +370,17 @@ def evaluation_session(config: ExperimentConfig) -> Iterator[TrialScheduler]:
         config.cache_size,
         url=config.cache_url,
         path=config.cache_path,
+        policy=config.cache_policy,
+        max_bytes=config.cache_max_bytes,
     )
     previous_backend = set_active_backend(backend)
+    # Opt-in warm-ahead: the queue is installed before the pool forks so the
+    # parent records its own misses; the CLI drains it between experiments.
+    previous_queue = None
+    if config.warm_ahead:
+        from repro.db.cache.warming import WarmingQueue, set_active_queue
+
+        previous_queue = set_active_queue(WarmingQueue())
     previous_scheduler = _ACTIVE_SCHEDULER
     scheduler = TrialScheduler(config.jobs, persistent=True)
     _ACTIVE_SCHEDULER = scheduler
@@ -394,3 +403,7 @@ def evaluation_session(config: ExperimentConfig) -> Iterator[TrialScheduler]:
         if close is not None:
             close()
         set_active_backend(previous_backend)
+        if config.warm_ahead:
+            from repro.db.cache.warming import set_active_queue
+
+            set_active_queue(previous_queue)

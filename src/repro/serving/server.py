@@ -30,6 +30,8 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Optional, Sequence
 
 from repro.db.cache import CACHE_BACKENDS, active_backend, make_backend, set_active_backend
+from repro.db.cache import DEFAULT_EVICTION_POLICY, EVICTION_POLICIES
+from repro.db.cache.warming import WarmAheadWorker, WarmingQueue, set_active_queue
 from repro.dp.accountant import PrivacyBudget
 from repro.serving.ledger import BudgetLedger
 from repro.serving.planner import QueryPlanner
@@ -59,6 +61,7 @@ class QueryServer:
         max_inflight: Optional[int] = None,
         max_queue: int = 32,
         drain_timeout: float = 10.0,
+        warm_ahead: bool = False,
     ):
         self.planner = planner if planner is not None else QueryPlanner()
         self.ledger = ledger if ledger is not None else BudgetLedger()
@@ -98,6 +101,20 @@ class QueryServer:
         self._started_at = time.monotonic()
         self.requests_served = 0
         self.requests_refused_overload = 0
+        #: Warm-ahead (opt-in, ``--warm-ahead``): cold exact answers observed
+        #: during execution land in a process-wide :class:`WarmingQueue`; the
+        #: server replays them through the engine between requests, so the
+        #: put-through cache tiers hold the answer before an analyst repeats
+        #: the query.  Warming only runs when no request is in flight or
+        #: queued — it is strictly subordinate to foreground work — and never
+        #: changes an answer (every cached value is a pure function of its
+        #: key), only when it gets computed.
+        self.warming_queue: Optional[WarmingQueue] = WarmingQueue() if warm_ahead else None
+        self.warming_worker: Optional[WarmAheadWorker] = (
+            WarmAheadWorker(self.warming_queue) if warm_ahead else None
+        )
+        self._warming_busy = False
+        self._previous_queue: Optional[WarmingQueue] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -108,6 +125,8 @@ class QueryServer:
         # The semaphore must be created on the serving event loop, not in
         # __init__ (which may run on a different thread's loop context).
         self._capacity = asyncio.Semaphore(self.max_inflight)
+        if self.warming_queue is not None:
+            self._previous_queue = set_active_queue(self.warming_queue)
         self._server = await asyncio.start_server(self._handle, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
         return self
@@ -159,6 +178,8 @@ class QueryServer:
             await self._server.wait_closed()
             self._server = None
         self._executor.shutdown(wait=True, cancel_futures=True)
+        if self.warming_queue is not None:
+            set_active_queue(self._previous_queue)
         self.ledger.close()
 
     # ------------------------------------------------------------------
@@ -201,6 +222,7 @@ class QueryServer:
                         break
                 finally:
                     self._busy.discard(writer)
+                self._maybe_warm()
                 if stop_after:
                     self.request_shutdown()
                     break
@@ -211,6 +233,34 @@ class QueryServer:
         finally:
             self._writers.discard(writer)
             writer.close()
+
+    def _maybe_warm(self) -> None:
+        """Kick one warm-ahead drain if the server is idle.
+
+        Guarded single-drain: at most one replay batch runs at a time, only
+        when nothing is in flight or queued, and never while draining.  A
+        request arriving mid-batch simply waits for a pool thread like any
+        other work — each batch is small (≤4 replays, ≤250 ms) so the added
+        latency is bounded.
+        """
+        if self.warming_worker is None or self._warming_busy or self._draining:
+            return
+        if self._inflight or self._queued or not len(self.warming_queue):
+            return
+        self._warming_busy = True
+        asyncio.get_running_loop().create_task(self._warm_once())
+
+    async def _warm_once(self) -> None:
+        try:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(
+                self._executor,
+                lambda: self.warming_worker.run_once(max_tasks=4, budget_s=0.25),
+            )
+        except RuntimeError:
+            pass  # executor already shut down: warming loses a batch, nothing else
+        finally:
+            self._warming_busy = False
 
     async def _respond(self, line: bytes) -> tuple[dict, bool]:
         request_id = None
@@ -371,6 +421,9 @@ class QueryServer:
                 "degraded": bool(getattr(backend, "degraded", False)),
                 "breaker": breaker_stats() if callable(breaker_stats) else None,
             },
+            "warming": (
+                self.warming_worker.stats() if self.warming_worker is not None else None
+            ),
         }
 
     def _op_health(self) -> dict:
@@ -555,6 +608,35 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache-size", type=int, default=192, help="entries per bounded cache region"
     )
     parser.add_argument(
+        "--cache-policy",
+        choices=EVICTION_POLICIES,
+        default=DEFAULT_EVICTION_POLICY,
+        help=(
+            "eviction policy of every bounded cache tier: 'cost' keeps the "
+            "entries that are expensive to recompute per byte, 'lru' is "
+            "classical recency (see docs/CACHE.md)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-max-bytes",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help=(
+            "byte budget per bounded in-process cache region alongside the "
+            "entry bound (cross-process tiers get 16x this budget)"
+        ),
+    )
+    parser.add_argument(
+        "--warm-ahead",
+        action="store_true",
+        help=(
+            "replay observed cache misses through the engine between "
+            "requests, pre-populating the cache tiers before an analyst "
+            "repeats a query (answers are unchanged; see docs/CACHE.md)"
+        ),
+    )
+    parser.add_argument(
         "--cache-url",
         default=None,
         metavar="HOST:PORT",
@@ -618,7 +700,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
     try:
         backend = make_backend(
-            args.cache_backend, args.cache_size, url=args.cache_url, path=args.cache_path
+            args.cache_backend,
+            args.cache_size,
+            url=args.cache_url,
+            path=args.cache_path,
+            policy=args.cache_policy,
+            max_bytes=args.cache_max_bytes,
         )
     except ValueError as error:
         print(f"cannot build cache backend: {error}", file=sys.stderr)
@@ -661,6 +748,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 accuracy_metadata=not args.private,
                 max_inflight=args.max_inflight,
                 max_queue=args.max_queue,
+                warm_ahead=args.warm_ahead,
             )
         except ValueError as error:
             print(f"invalid server configuration: {error}", file=sys.stderr)

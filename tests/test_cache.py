@@ -22,6 +22,7 @@ itself — wire formats, persistence, failure injection — is covered in
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 
@@ -44,6 +45,8 @@ from repro.db.cache import (
     make_backend,
     set_active_backend,
 )
+from repro.db.cache.backend import value_nbytes
+from repro.db.cache.local import UtilityCache
 from repro.db.cache.server import CacheServerThread
 from repro.db.engine import ExecutionEngine
 from repro.db.executor import QueryExecutor
@@ -622,3 +625,193 @@ class TestEngineBackendIntegration:
         text = repr(engine)
         assert "hits=" in text and "misses=" in text and "evictions=" in text
         assert "backend=local" in text
+
+
+# ----------------------------------------------------------------------
+# cost-aware eviction economics
+# ----------------------------------------------------------------------
+class TestUtilityCache:
+    """The GDSF store behind every bounded in-process region."""
+
+    def test_expensive_entry_survives_eviction_pressure(self):
+        cache = UtilityCache(max_entries=2)
+        cache.put("costly", 1.0, cost=10.0)
+        cache.put("cheap-a", 2.0, cost=1e-6)
+        cache.put("cheap-b", 3.0, cost=1e-6)  # pressure: one entry must go
+        assert cache.get("costly") == 1.0  # ... and it is not the costly one
+        assert cache.get("cheap-a") is None
+
+    def test_lru_policy_is_exact_lru(self):
+        cache = UtilityCache(max_entries=2, policy="lru")
+        cache.put("a", 1.0, cost=100.0)  # cost carries no weight under lru
+        cache.put("b", 2.0)
+        assert cache.get("a") == 1.0  # freshen a; b is now least recent
+        cache.put("c", 3.0)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1.0 and cache.get("c") == 3.0
+
+    def test_byte_budget_enforced(self):
+        cache = UtilityCache(max_entries=100, max_bytes=200)
+        for index in range(10):
+            cache.put(index, np.zeros(8))  # 64 bytes each
+        assert cache.nbytes <= 200
+        assert len(cache) == 3  # 3 x 64 = 192 fits, a fourth would not
+
+    def test_oversized_value_never_admitted(self):
+        cache = UtilityCache(max_entries=10, max_bytes=100)
+        cache.put("small", np.zeros(8))
+        evicted = cache.put("huge", np.zeros(1000))  # 8000 B > the whole budget
+        assert evicted == 0
+        assert cache.get("huge") is None
+        assert cache.get("small") is not None  # the resident entry kept its seat
+
+    def test_tie_break_is_insertion_order(self):
+        cache = UtilityCache(max_entries=3)
+        for name in ("a", "b", "c"):
+            cache.put(name, name, cost=0.5)  # identical priorities
+        cache.put("d", "d", cost=0.5)
+        assert cache.get("a") is None  # oldest insertion loses the tie
+        assert cache.get("b") == "b" and cache.get("c") == "c"
+
+    def test_frequency_raises_priority(self):
+        cache = UtilityCache(max_entries=2)
+        cache.put("hot", 1.0, cost=0.1)
+        cache.put("cold", 2.0, cost=0.1)
+        for _ in range(5):
+            cache.get("hot")
+        cache.put("new", 3.0, cost=0.1)
+        assert cache.get("cold") is None
+        assert cache.get("hot") == 1.0
+
+    def test_eviction_is_pure_function_of_history(self):
+        def survivors():
+            cache = UtilityCache(max_entries=4, max_bytes=512)
+            for index in range(16):
+                cache.put(("k", index), np.full(4, float(index)), cost=1e-4 * (index % 5))
+                if index % 3 == 0:
+                    cache.get(("k", index - 1))
+            return sorted(cache._data), cache.nbytes
+
+        assert survivors() == survivors()
+
+    def test_costless_entries_follow_frequency_aged_fifo(self):
+        """Entries stored without a cost must evict in an order independent
+        of their byte size (the neutral utility term)."""
+        cache = UtilityCache(max_entries=2)
+        cache.put("big-old", np.zeros(1000))
+        cache.put("small-new", 1.0)
+        cache.put("third", 2.0)
+        assert cache.get("big-old") is None  # oldest goes, size irrelevant
+        assert cache.get("small-new") == 1.0
+
+    def test_value_nbytes_estimates(self):
+        assert value_nbytes(np.zeros(8)) == 64
+        assert value_nbytes(b"12345") == 5
+        assert value_nbytes((np.zeros(4), np.zeros(4))) > 64
+        assert value_nbytes(1.5) > 0
+
+
+class TestCostChannelConformance:
+    def test_put_accepts_cost_and_roundtrips(self, any_backend):
+        value = np.arange(6, dtype=np.float64)
+        any_backend.put("ns", LOCAL_BOUNDED_REGION, "k", value, cost=0.25)
+        got = any_backend.get("ns", LOCAL_BOUNDED_REGION, "k")
+        np.testing.assert_array_equal(got, value)
+
+    def test_cost_none_keeps_old_signature_working(self, any_backend):
+        any_backend.put("ns", "result", ("q",), 1.5)
+        assert any_backend.get("ns", "result", ("q",)) == 1.5
+
+
+class TestCostAwareLocalBackend:
+    def _flood(self, backend):
+        backend.put("ns", LOCAL_BOUNDED_REGION, "gold", 1.0, cost=5.0)
+        for index in range(10):
+            backend.put("ns", LOCAL_BOUNDED_REGION, f"cheap{index}", float(index), cost=1e-6)
+
+    def test_cost_policy_keeps_what_lru_forgets(self):
+        costly = LocalCacheBackend(max_entries=4)
+        self._flood(costly)
+        assert costly.get("ns", LOCAL_BOUNDED_REGION, "gold") == 1.0
+        recency = LocalCacheBackend(max_entries=4, policy="lru")
+        self._flood(recency)
+        assert recency.get("ns", LOCAL_BOUNDED_REGION, "gold") is None
+
+    def test_byte_budget_bounds_every_store(self):
+        backend = LocalCacheBackend(max_entries=100, max_bytes=256)
+        for index in range(10):
+            backend.put("ns", LOCAL_BOUNDED_REGION, index, np.zeros(8))
+        assert 0 < backend.byte_count("ns") <= 256
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            LocalCacheBackend(max_entries=4, policy="random")
+        with pytest.raises(ValueError):
+            UtilityCache(max_entries=4, policy="random")
+
+    def test_make_backend_threads_policy_and_budget(self):
+        backend = make_backend("local", 8, policy="lru", max_bytes=1024)
+        assert backend.policy == "lru" and backend.max_bytes == 1024
+        shared = make_backend("shared", 8, policy="lru", max_bytes=1024)
+        try:
+            assert shared.policy == "lru"
+            assert shared.max_shared_bytes == 1024 * 16
+        finally:
+            shared.close()
+
+
+# ----------------------------------------------------------------------
+# the parity acceptance criterion: eviction policy, byte budget and
+# warming mode change *when* work happens, never what is computed
+# ----------------------------------------------------------------------
+class TestEvictionParity:
+    QUERIES = ("Qc1", "Qs2")
+
+    @pytest.fixture()
+    def tiny_config(self):
+        from repro.evaluation.experiments import ExperimentConfig
+
+        return ExperimentConfig(
+            epsilons=(0.1, 1.0),
+            trials=2,
+            scale_factor=1.0,
+            rows_per_scale_factor=6000,
+            seed=11,
+        )
+
+    def _rows(self, config):
+        from repro.evaluation.experiments import table1
+        from repro.evaluation.parallel import evaluation_session
+
+        with evaluation_session(config):
+            result = table1.run(config, query_names=self.QUERIES)
+        return [{k: v for k, v in row.items() if k != "mean_time_s"} for row in result.rows]
+
+    def test_policy_budget_and_warming_change_no_bytes(self, tiny_config):
+        reference = self._rows(tiny_config)
+        variants = [
+            dataclasses.replace(tiny_config, cache_policy="lru"),
+            dataclasses.replace(tiny_config, cache_max_bytes=4096, cache_size=8),
+            dataclasses.replace(
+                tiny_config, cache_policy="lru", cache_max_bytes=2048, cache_size=4
+            ),
+            dataclasses.replace(tiny_config, warm_ahead=True),
+            dataclasses.replace(
+                tiny_config, cache_backend="shared", cache_max_bytes=4096, jobs=2
+            ),
+        ]
+        for config in variants:
+            assert self._rows(config) == reference, config
+
+    def test_remote_parity_under_tiny_budget_with_warming(self, tiny_config):
+        reference = self._rows(tiny_config)
+        with CacheServerThread(max_entries=64, max_bytes=1 << 16) as handle:
+            config = dataclasses.replace(
+                tiny_config,
+                cache_backend="remote",
+                cache_url=f"127.0.0.1:{handle.server.port}",
+                cache_size=8,
+                cache_max_bytes=4096,
+                warm_ahead=True,
+            )
+            assert self._rows(config) == reference

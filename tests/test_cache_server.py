@@ -582,3 +582,290 @@ class TestBatchWarmsUnrelatedClients:
         rows_fresh = _table1_rows(dataclasses.replace(config), query_names=("Qc1", "Qs2"))
         assert server.server.store.hits > hits_before  # nonzero remote hits
         assert rows_fresh == rows_warm  # ... and warm hits change no bytes
+
+
+# ----------------------------------------------------------------------
+# cost-aware store economics: byte budget, policy, restart parity
+# ----------------------------------------------------------------------
+class TestCostAwareStore:
+    def test_byte_budget_bounds_the_store(self):
+        store = CacheStore(max_entries=1000, max_bytes=1000)
+        for index in range(10):
+            store.put("ns", "result", b"k%d" % index, b"x" * 300)
+        assert store.stats()["bytes_stored"] <= 1000
+        assert store.entry_count() == 3
+
+    def test_oversized_payload_rejected_not_stored(self):
+        store = CacheStore(max_entries=10, max_bytes=100)
+        assert store.put("ns", "result", b"small", b"x" * 10) is True
+        assert store.put("ns", "result", b"huge", b"x" * 500) is False
+        assert store.get("ns", "result", b"huge") is None
+        assert store.get("ns", "result", b"small") == b"x" * 10
+        assert store.rejected_puts == 1
+        assert store.stats()["rejected_puts"] == 1
+
+    def test_cost_weighted_eviction_keeps_expensive_entries(self):
+        store = CacheStore(max_entries=2)
+        store.put("ns", "result", b"gold", b"g", cost=10.0)
+        store.put("ns", "result", b"cheap-a", b"a", cost=1e-6)
+        store.put("ns", "result", b"cheap-b", b"b", cost=1e-6)
+        assert store.get("ns", "result", b"gold") == b"g"
+        assert store.get("ns", "result", b"cheap-a") is None
+
+    def test_lru_policy_ignores_cost(self):
+        store = CacheStore(max_entries=2, policy="lru")
+        store.put("ns", "result", b"gold", b"g", cost=10.0)
+        store.put("ns", "result", b"b", b"b")
+        store.put("ns", "result", b"c", b"c")  # evicts the oldest despite cost
+        assert store.get("ns", "result", b"gold") is None
+        assert store.stats()["policy"] == "lru"
+
+    def test_deterministic_tie_break_on_sequence(self):
+        store = CacheStore(max_entries=3)
+        for name in (b"a", b"b", b"c", b"d"):  # equal costs -> equal priority
+            store.put("ns", "result", name, b"v", cost=0.5)
+        assert store.get("ns", "result", b"a") is None  # oldest loses the tie
+        assert store.get("ns", "result", b"b") == b"v"
+
+    @staticmethod
+    def _traffic(store):
+        """A fixed put/get history with evictions under both phases."""
+        for index in range(6):
+            store.put("ns", "result", b"k%d" % index, b"x" * (10 + index), cost=0.01 * index)
+        store.get("ns", "result", b"k2")
+        store.get("ns", "result", b"k2")
+        store.get("ns", "result", b"k5")
+
+    @staticmethod
+    def _more_traffic(store):
+        for index in range(6, 12):
+            store.put("ns", "result", b"k%d" % index, b"x" * 10, cost=0.001)
+
+    def test_restart_eviction_parity(self, tmp_path):
+        """A restarted server evicts in exactly the order the old one would
+        have: same subsequent traffic, same survivors (the warm-restart
+        recency-loss fix)."""
+        continuous = CacheStore(max_entries=4)
+        self._traffic(continuous)
+        self._more_traffic(continuous)
+        expected = sorted(continuous._data)
+
+        path = tmp_path / "cache.db"
+        restarted = CacheStore(path=str(path), max_entries=4)
+        self._traffic(restarted)
+        restarted.close()  # flushes per-get freshened metadata + clock
+        reloaded = CacheStore(path=str(path), max_entries=4)
+        self._more_traffic(reloaded)
+        assert sorted(reloaded._data) == expected
+        reloaded.close()
+
+    def test_restart_restores_cost_metadata(self, tmp_path):
+        path = tmp_path / "cache.db"
+        store = CacheStore(path=str(path), max_entries=8)
+        store.put("ns", "result", b"k", b"v", cost=2.5)
+        store.close()
+        reloaded = CacheStore(path=str(path), max_entries=8)
+        assert reloaded.entry_cost("ns", "result", b"k") == 2.5
+        meta = reloaded._meta[("ns", "result", b"k")]
+        assert meta[2] == 1  # nbytes
+        reloaded.close()
+
+    def test_v1_file_without_metadata_columns_migrates_in_place(self, tmp_path):
+        """A persistence file written by a protocol-v1 server (four columns,
+        no metadata) must load warm — migrated, never quarantined."""
+        import sqlite3
+
+        path = tmp_path / "cache.db"
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "CREATE TABLE cache_entries ("
+            " namespace TEXT NOT NULL, region TEXT NOT NULL,"
+            " key BLOB NOT NULL, value BLOB NOT NULL,"
+            " PRIMARY KEY (namespace, region, key))"
+        )
+        conn.execute(
+            "INSERT INTO cache_entries VALUES (?, ?, ?, ?)", ("ns", "result", b"k", b"v")
+        )
+        conn.commit()
+        conn.close()
+        store = CacheStore(path=str(path), max_entries=8)
+        assert store.loaded_from_disk == 1
+        assert store.get("ns", "result", b"k") == b"v"
+        store.put("ns", "result", b"j", b"w", cost=1.0)  # new columns writable
+        store.close()
+
+
+class TestByteBudgetServer:
+    def test_stats_report_bytes_and_policy(self):
+        with CacheServerThread(max_entries=64, max_bytes=1 << 20) as handle:
+            backend = _connect(handle)
+            backend.put("ns", "cube", "k", np.arange(32, dtype=np.float64))
+            stats = backend.server_stats()
+            assert stats["bytes_stored"] > 0
+            assert stats["max_bytes"] == 1 << 20
+            assert stats["policy"] == "cost"
+            backend.close()
+
+    def test_cli_parser_accepts_budget_and_policy(self):
+        from repro.db.cache.server import _build_parser
+
+        args = _build_parser().parse_args(
+            ["--max-bytes", "1048576", "--policy", "lru", "--port", "0"]
+        )
+        assert args.max_bytes == 1048576 and args.policy == "lru"
+
+    def test_rejected_put_reported_to_client(self):
+        with CacheServerThread(max_entries=64, max_bytes=64) as handle:
+            backend = _connect(handle)
+            backend.put("ns", "cube", "k", np.zeros(1000))  # payload >> budget
+            assert handle.server.store.entry_count() == 0
+            assert handle.server.store.rejected_puts == 1
+            # The value still serves from L1 — a refusal is not a failure.
+            assert backend.get("ns", "cube", "k") is not None
+            backend.close()
+
+
+# ----------------------------------------------------------------------
+# the cost channel and fingerprint short-circuit on the wire
+# ----------------------------------------------------------------------
+class TestCostOnTheWire:
+    def test_put_cost_round_trips_to_store(self, server):
+        backend = _connect(server)
+        backend.put("ns", "cube", "k", np.arange(4), cost=0.125)
+        address = next(iter(server.server.store._data))
+        assert server.server.store._meta[address][4] == 0.125
+        backend.close()
+
+    def test_hit_promotes_cost_to_l1(self, server):
+        first = _connect(server)
+        first.put("ns", "result", "k", np.arange(4), cost=0.5)
+        second = _connect(server)
+        assert second.get("ns", "result", "k") is not None
+        # The promoted L1 entry carries the server's cost metadata: its
+        # utility term is cost/bytes, not the neutral cost-less 1.0.
+        store = second._local._store("ns", "result")
+        (meta,) = store._meta.values()
+        assert meta[4] != 1.0
+        first.close()
+        second.close()
+
+
+class TestFingerprintShortCircuit:
+    def test_identical_reput_skips_the_round_trip(self, server):
+        backend = _connect(server)
+        value = np.arange(64, dtype=np.float64)
+        backend.put("ns", "cube", "k", value)
+        puts_before = server.server.store.puts
+        backend.put("ns", "cube", "k", value)  # byte-identical payload
+        assert server.server.store.puts == puts_before  # no wire write
+        stats = backend.breaker_stats()
+        assert stats["put_short_circuits"] == 1
+        assert stats["put_bytes_saved"] > 0
+        backend.close()
+
+    def test_changed_payload_is_written(self, server):
+        backend = _connect(server)
+        backend.put("ns", "cube", "k", np.arange(4))
+        backend.put("ns", "cube", "k", np.arange(5))  # different bytes
+        assert server.server.store.puts == 2
+        assert backend.breaker_stats()["put_short_circuits"] == 0
+        backend.close()
+
+    def test_server_miss_drops_the_fingerprint(self, server):
+        """An evicted entry must be re-storable: the digest map may never
+        short-circuit a put the server actually needs."""
+        backend = _connect(server)
+        value = np.arange(8)
+        backend.put("ns", "cube", "k", value)
+        server.server.store.clear()  # the server lost everything (eviction)
+        backend._local.clear()
+        assert backend.get("ns", "cube", "k") is None  # miss drops the digest
+        backend.put("ns", "cube", "k", value)
+        assert server.server.store.entry_count() == 1  # written again
+        backend.close()
+
+    def test_get_learns_the_fingerprint(self, server):
+        first = _connect(server)
+        value = np.arange(16, dtype=np.int64)
+        first.put("ns", "cube", "k", value)
+        second = _connect(server)
+        np.testing.assert_array_equal(second.get("ns", "cube", "k"), value)
+        puts_before = server.server.store.puts
+        second.put("ns", "cube", "k", value)  # learned from the get
+        assert server.server.store.puts == puts_before
+        assert second.breaker_stats()["put_short_circuits"] == 1
+        first.close()
+        second.close()
+
+
+# ----------------------------------------------------------------------
+# the miss log and the warm op
+# ----------------------------------------------------------------------
+class TestMissLogAndWarmOp:
+    def test_misses_are_recorded_per_namespace(self, server):
+        backend = _connect(server)
+        backend.get("ns-a", "cube", "k1")
+        backend.get("ns-a", "cube", "k2")
+        backend.get("ns-b", "cube", "k1")
+        log = backend.miss_log()
+        assert log["recorded"] == 3
+        assert log["counts"] == {"ns-a": 2, "ns-b": 1}
+        assert len(log["recent"]) == 3
+        backend.close()
+
+    def test_namespace_scope_and_clear(self, server):
+        backend = _connect(server)
+        backend.get("ns-a", "cube", "k")
+        backend.get("ns-b", "cube", "k")
+        scoped = backend.miss_log("ns-a")
+        assert [entry[0] for entry in scoped["recent"]] == ["ns-a"]
+        drained = backend.miss_log(clear=True)
+        assert drained["recorded"] == 2
+        assert backend.miss_log()["recent"] == []
+        backend.close()
+
+    def test_hits_are_not_recorded(self, server):
+        backend = _connect(server)
+        backend.put("ns", "cube", "k", 1.0)
+        backend._local.clear()
+        assert backend.get("ns", "cube", "k") == 1.0
+        assert backend.miss_log()["recorded"] == 0
+        backend.close()
+
+    def test_recent_log_is_bounded_and_deduped(self):
+        from repro.db.cache.server import MissLog
+
+        log = MissLog(max_recent=4)
+        for index in range(10):
+            log.record("ns", "result", b"k%d" % index)
+        assert len(log.snapshot()) == 4
+        log.record("ns", "result", b"k9")  # re-miss: de-duped, refreshed
+        assert len(log.snapshot()) == 4
+        assert log.recorded == 11
+
+    def test_stats_expose_miss_log_counter(self, server):
+        backend = _connect(server)
+        backend.get("ns", "cube", "nope")
+        assert backend.server_stats()["miss_log_recorded"] == 1
+        backend.close()
+
+    def test_old_protocol_ops_still_answered(self, server):
+        """Protocol v2 must keep serving a v1 client: the v1 op set (no cost
+        field, no warm op) round-trips unchanged."""
+        backend = _connect(server)
+        response, _ = backend._request({"op": "ping"})
+        assert response["protocol"] >= 2
+        # A v1-style put header (no cost field) is accepted verbatim.
+        from repro.db.cache.wire import encode_key, encode_payload, key_to_header
+
+        encoded_key = encode_key("ns", "cube", "k")
+        header = {
+            "op": "put",
+            "namespace": "ns",
+            "region": "cube",
+            "key": key_to_header(encoded_key),
+        }
+        response, _ = backend._request(header, encode_payload(1.5))
+        assert response["stored"] is True
+        assert server.server.store.entry_count("ns") == 1
+        backend.close()

@@ -1,0 +1,219 @@
+"""Tests for the background warm-ahead queue (:mod:`repro.db.cache.warming`).
+
+Contracts under test:
+
+* the queue de-duplicates by ``(database, query)`` fingerprint and drains
+  hottest-first with a deterministic tie-break;
+* a full queue drops the *coldest* task, never the incoming one;
+* the worker replays misses through the ordinary executor, warming the
+  active backend, and replays never re-record themselves as misses;
+* a dead (garbage-collected) database is skipped, not resurrected;
+* the executor hook records cold exact answers only while a queue is
+  installed, and never on warm hits;
+* the serving tier drains the queue between requests (``--warm-ahead``) and
+  reports the counters through ``stats``.
+"""
+
+from __future__ import annotations
+
+import gc
+
+import pytest
+
+from repro.datagen.ssb import SSBConfig, SSBGenerator, ssb_schema
+from repro.db.cache import LocalCacheBackend, backend_scope
+from repro.db.cache.warming import (
+    WarmAheadWorker,
+    WarmingQueue,
+    active_queue,
+    queue_scope,
+    record_query_miss,
+    set_active_queue,
+)
+from repro.db.engine import ExecutionEngine
+from repro.db.executor import QueryExecutor
+from repro.workloads.ssb_queries import ssb_query
+
+
+def _tiny_database(seed: int = 7):
+    return SSBGenerator(
+        SSBConfig(scale_factor=0.05, rows_per_scale_factor=2000, seed=seed)
+    ).build()
+
+
+class TestWarmingQueue:
+    def test_record_deduplicates_by_fingerprint(self, ssb_small):
+        queue = WarmingQueue()
+        query = ssb_query("Qc1", ssb_schema())
+        assert queue.record(ssb_small, query)
+        assert queue.record(ssb_small, query)
+        assert len(queue) == 1
+        stats = queue.stats()
+        assert stats["recorded"] == 2 and stats["deduplicated"] == 1
+
+    def test_drain_is_hottest_first_with_deterministic_ties(self, ssb_small):
+        queue = WarmingQueue()
+        cold = ssb_query("Qc1", ssb_schema())
+        hot = ssb_query("Qs2", ssb_schema())
+        queue.record(ssb_small, cold)
+        queue.record(ssb_small, hot)
+        queue.record(ssb_small, hot)  # two misses: hotter
+        tasks = queue.drain()
+        assert [task.query for task in tasks] == [hot, cold]
+        assert len(queue) == 0
+        # Equal miss counts fall back to first-seen order.
+        queue.record(ssb_small, cold)
+        queue.record(ssb_small, hot)
+        assert [task.query for task in queue.drain()] == [cold, hot]
+
+    def test_full_queue_drops_the_coldest(self, ssb_small):
+        queue = WarmingQueue(max_tasks=2)
+        q1 = ssb_query("Qc1", ssb_schema())
+        q2 = ssb_query("Qs2", ssb_schema())
+        q3 = ssb_query("Qc3", ssb_schema())
+        queue.record(ssb_small, q1)
+        queue.record(ssb_small, q1)  # q1 is hot
+        queue.record(ssb_small, q2)  # q2 is the coldest
+        queue.record(ssb_small, q3)  # overflow: q2 goes, q3 gets a seat
+        assert queue.stats()["dropped"] == 1
+        remaining = {task.query for task in queue.drain()}
+        assert remaining == {q1, q3}
+
+    def test_bad_max_tasks_rejected(self):
+        with pytest.raises(ValueError):
+            WarmingQueue(max_tasks=0)
+
+
+class TestWarmAheadWorker:
+    def test_replay_populates_the_cache(self, ssb_small):
+        backend = LocalCacheBackend(64)
+        with backend_scope(backend):
+            engine = ExecutionEngine.for_database(ssb_small)
+            query = ssb_query("Qc1", ssb_schema())
+            queue = WarmingQueue()
+            queue.record(ssb_small, query)
+            worker = WarmAheadWorker(queue)
+            assert worker.run_once() == 1
+            assert worker.replayed == 1
+            # The warmed answer serves the next execution without a recompute.
+            assert engine.cached_result(query) is not None
+
+    def test_replays_do_not_re_record_themselves(self, ssb_small):
+        backend = LocalCacheBackend(64)
+        with backend_scope(backend), queue_scope(WarmingQueue()) as queue:
+            query = ssb_query("Qc1", ssb_schema())
+            queue.record(ssb_small, query)
+            WarmAheadWorker(queue).run_once()
+            assert len(queue) == 0  # the replay did not enqueue a fresh miss
+            assert queue.stats()["recorded"] == 1
+
+    def test_dead_database_is_skipped(self):
+        queue = WarmingQueue()
+        database = _tiny_database()
+        queue.record(database, ssb_query("Qc1", ssb_schema()))
+        del database
+        gc.collect()
+        worker = WarmAheadWorker(queue)
+        assert worker.run_once() == 0
+        assert worker.skipped_dead == 1
+
+    def test_budget_caps_the_batch(self, ssb_small):
+        backend = LocalCacheBackend(64)
+        with backend_scope(backend):
+            queue = WarmingQueue()
+            for name in ("Qc1", "Qs2", "Qc3"):
+                queue.record(ssb_small, ssb_query(name, ssb_schema()))
+            worker = WarmAheadWorker(queue)
+            assert worker.run_once(max_tasks=3, budget_s=0.0) == 0  # no budget
+            assert worker.run_once(max_tasks=1) == 1  # bounded batch
+            assert len(queue) >= 1  # the rest stays queued
+
+    def test_stats_merge_queue_and_worker_counters(self, ssb_small):
+        queue = WarmingQueue()
+        queue.record(ssb_small, ssb_query("Qc1", ssb_schema()))
+        worker = WarmAheadWorker(queue)
+        stats = worker.stats()
+        assert stats["pending"] == 1 and stats["replayed"] == 0
+        assert "spent_s" in stats and "failed" in stats
+
+
+class TestExecutorHook:
+    def test_cold_execution_records_a_miss(self, ssb_small):
+        backend = LocalCacheBackend(64)
+        with backend_scope(backend), queue_scope(WarmingQueue()) as queue:
+            query = ssb_query("Qc1", ssb_schema())
+            QueryExecutor(ssb_small).execute(query)
+            assert queue.stats()["recorded"] == 1
+            QueryExecutor(ssb_small).execute(query)  # warm: no new miss
+            assert queue.stats()["recorded"] == 1
+
+    def test_no_queue_means_no_recording(self, ssb_small):
+        assert active_queue() is None
+        backend = LocalCacheBackend(64)
+        with backend_scope(backend):
+            QueryExecutor(ssb_small).execute(ssb_query("Qc1", ssb_schema()))
+        assert active_queue() is None
+
+    def test_scope_installs_and_restores(self):
+        queue = WarmingQueue()
+        with queue_scope(queue):
+            assert active_queue() is queue
+            inner = WarmingQueue()
+            previous = set_active_queue(inner)
+            assert previous is queue
+            set_active_queue(previous)
+        assert active_queue() is None
+
+    def test_record_query_miss_is_noop_without_queue(self, ssb_small):
+        record_query_miss(ssb_small, ssb_query("Qc1", ssb_schema()))  # no crash
+
+
+class TestServingWarmAhead:
+    def test_server_drains_the_queue_between_requests(self):
+        import json
+        import socket
+
+        from repro.serving.planner import QueryPlanner
+        from repro.serving.server import QueryServer, ServerThread
+
+        server = QueryServer(QueryPlanner(seed=7), workers=2, warm_ahead=True)
+        assert server.warming_queue is not None
+        with ServerThread(server) as handle:
+            with socket.create_connection(
+                ("127.0.0.1", handle.server.port), timeout=10
+            ) as sock:
+                stream = sock.makefile("rwb")
+
+                def request(message):
+                    stream.write((json.dumps(message) + "\n").encode())
+                    stream.flush()
+                    return json.loads(stream.readline())
+
+                registered = request(
+                    {
+                        "op": "register",
+                        "name": "demo",
+                        "kind": "ssb",
+                        "scale_factor": 0.05,
+                        "rows_per_scale_factor": 2000,
+                    }
+                )
+                assert registered["ok"], registered
+                answer = request(
+                    {"op": "query", "database": "demo", "mechanism": "PM", "query": "Qc1", "epsilon": 1.0}
+                )
+                assert answer["ok"], answer
+                # The cold exact answer was recorded as a warmable miss; the
+                # idle server may have drained it already — either way the
+                # counters are visible through stats.
+                stats = request({"op": "stats"})
+                warming = stats["result"]["warming"]
+                assert warming is not None
+                assert warming["recorded"] >= 1
+
+    def test_warm_ahead_off_reports_null_stats(self):
+        from repro.serving.server import QueryServer
+
+        server = QueryServer(workers=1)
+        assert server.warming_queue is None
+        assert server._op_stats()["warming"] is None
