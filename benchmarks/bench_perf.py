@@ -45,6 +45,11 @@ Beyond the per-experiment kernels the report tracks five scaling baselines:
   storage layer in fresh per-mode subprocesses (wall clock + peak RSS),
   plus a chunk-size sweep of the chunked kernels on the attached instance.
   The headline number is ``rss_reduction``; the rows must be identical.
+* ``telemetry_overhead`` — one warm serving query mix timed under three
+  telemetry configurations: the ``NullRegistry`` uninstrumented floor, the
+  default registry with tracing off, and tracing on.  The headline numbers
+  are ``overhead_pct_tracing_off`` (budget <3%) and
+  ``overhead_pct_tracing_on`` (budget <10%).
 """
 
 from __future__ import annotations
@@ -944,6 +949,123 @@ def bench_serving_throughput(repeats: int, quick_mode: bool = False) -> dict:
     return entry
 
 
+def bench_telemetry_overhead(repeats: int, quick_mode: bool = False) -> dict:
+    """Instrumentation cost of the observability layer on served requests.
+
+    One in-process server answers the same warm-cache query mix under three
+    telemetry configurations: a :class:`NullRegistry` baseline whose
+    instruments absorb every write (the *uninstrumented* floor), the
+    production default (a live registry, tracing off), and tracing on
+    (``--trace-path``).  The budget the docs promise is <3% overhead with
+    tracing off and <10% with tracing on, measured where it matters — on
+    whole served requests, client round-trip included.
+
+    This machine's absolute throughput drifts by tens of percent over
+    seconds, which dwarfs the single-digit budgets being pinned, so the
+    modes are interleaved at single-pass granularity — null, off, on,
+    null, off, on, ... — and each round contributes one *paired* overhead
+    ratio; the report takes the median across rounds.  Drift slow relative
+    to one pass cancels inside each pair, and a scheduler hiccup during
+    one pass skews only that round's ratio, which the median discards.
+    The registry and tracer are process-wide globals the server reads per
+    request, so toggling them between passes re-modes the running server
+    without a restart; one tracer stays open for the whole run so file
+    creation is not billed to the tracing mode.
+    """
+    import tempfile
+
+    from repro.dp.accountant import PrivacyBudget
+    from repro.obs.metrics import MetricsRegistry, NullRegistry, set_active_registry
+    from repro.obs.trace import Tracer, set_active_tracer
+    from repro.serving import (
+        BudgetLedger,
+        QueryPlanner,
+        QueryServer,
+        ServerThread,
+        ServingClient,
+    )
+
+    rows = 4_000 if quick_mode else 8_000
+    interleavings = (16 if quick_mode else 32) * max(1, repeats)
+    # Warm caches, noise resampled per trial.  The paper's experiment cells
+    # run ~100 trials per query; 32 keeps a served request representative
+    # (a few ms of mechanism work) without inflating bench runtime.
+    trials = 32
+    planner = QueryPlanner(seed=20230711)
+    planner.register("bench", "ssb", scale_factor=1.0, rows_per_scale_factor=rows, seed=7)
+    requests = [
+        ("PM", epsilon, query)
+        for query in ("Qc1", "Qc2", "Qs2")
+        for epsilon in (0.1, 0.5, 1.0)
+    ]
+
+    server = QueryServer(planner, BudgetLedger(PrivacyBudget(1e9)), port=0, workers=2)
+    null_registry, live_registry = NullRegistry(), MetricsRegistry()
+    rounds = {"null": [], "off": [], "on": []}
+    with tempfile.TemporaryDirectory() as tmp:
+        tracer = Tracer(os.path.join(tmp, "bench-trace.jsonl"))
+        previous_registry = set_active_registry(null_registry)
+        previous_tracer = set_active_tracer(None)
+        try:
+            with ServerThread(server):
+                with ServingClient(port=server.port) as client:
+
+                    def timed_pass() -> float:
+                        start = time.perf_counter()
+                        for mechanism, epsilon, query in requests:
+                            client.query("bench", mechanism, epsilon,
+                                         query=query, trials=trials)
+                        return time.perf_counter() - start
+
+                    timed_pass()  # untimed warm-up: steady state only
+                    for _ in range(interleavings):
+                        set_active_registry(null_registry)
+                        rounds["null"].append(timed_pass())
+                        set_active_registry(live_registry)
+                        rounds["off"].append(timed_pass())
+                        set_active_tracer(tracer)
+                        rounds["on"].append(timed_pass())
+                        set_active_tracer(None)
+        finally:
+            set_active_tracer(previous_tracer)
+            set_active_registry(previous_registry)
+            spans_written = tracer.spans_written
+            tracer.close()
+
+    def median(values: list) -> float:
+        ranked = sorted(values)
+        middle = len(ranked) // 2
+        if len(ranked) % 2:
+            return ranked[middle]
+        return (ranked[middle - 1] + ranked[middle]) / 2
+
+    def paired_overhead_pct(mode: str) -> float:
+        # Median of per-round paired ratios: a scheduler hiccup during one
+        # pass skews that single ratio, not a sum it is folded into.
+        return median([
+            (sample - null) / null * 100
+            for null, sample in zip(rounds["null"], rounds[mode])
+        ])
+
+    mode_requests = interleavings * len(requests)
+    return {
+        "requests_per_mode": mode_requests,
+        "interleavings": interleavings,
+        "query_mix": sorted({query for _, _, query in requests}),
+        "uninstrumented_rps": round(len(requests) / median(rounds["null"]), 2),
+        "instrumented_rps": round(len(requests) / median(rounds["off"]), 2),
+        "tracing_rps": round(len(requests) / median(rounds["on"]), 2),
+        "overhead_pct_tracing_off": round(paired_overhead_pct("off"), 2),
+        "overhead_pct_tracing_on": round(paired_overhead_pct("on"), 2),
+        "budget_pct": {"tracing_off": 3.0, "tracing_on": 10.0},
+        "spans_per_request": round(spans_written / mode_requests, 2),
+        "round_seconds": {
+            name: [round(sample, 6) for sample in samples]
+            for name, samples in rounds.items()
+        },
+    }
+
+
 def run_benchmarks(repeats: int = 3, quick_mode: bool = False) -> dict:
     # The parallel-runner baseline goes first: forked workers inherit the
     # parent's heap, so measuring it before the other kernels grow the
@@ -1037,8 +1159,16 @@ def run_benchmarks(repeats: int = 3, quick_mode: bool = False) -> dict:
           f"(cache hit rate {serving['cache_hit_rate']:.1%}, "
           f"{serving['coalesced']} coalesced)")
 
+    _clear_caches()
+    telemetry = bench_telemetry_overhead(repeats, quick_mode=quick_mode)
+    print(f"{'telemetry_overhead':>15}: baseline {telemetry['uninstrumented_rps']:.0f} rps, "
+          f"instrumented {telemetry['overhead_pct_tracing_off']:+.1f}% "
+          f"(budget <{telemetry['budget_pct']['tracing_off']:.0f}%), "
+          f"tracing {telemetry['overhead_pct_tracing_on']:+.1f}% "
+          f"(budget <{telemetry['budget_pct']['tracing_on']:.0f}%)")
+
     return {
-        "schema_version": 8,
+        "schema_version": 9,
         "repeats": repeats,
         "python": platform.python_version(),
         "machine": platform.machine(),
@@ -1052,6 +1182,7 @@ def run_benchmarks(repeats: int = 3, quick_mode: bool = False) -> dict:
         "fault_tolerance": fault,
         "columnar_storage": columnar,
         "serving_throughput": serving,
+        "telemetry_overhead": telemetry,
         "total_mean_s": round(sum(t["mean_s"] for t in timings.values()), 6),
     }
 

@@ -35,6 +35,8 @@ import pickle
 from dataclasses import dataclass, fields
 from typing import Any, Hashable, Optional, Protocol, runtime_checkable
 
+from repro.obs.metrics import unified_snapshot
+
 __all__ = [
     "BOUNDED_REGIONS",
     "CacheBackend",
@@ -43,6 +45,7 @@ __all__ = [
     "EVICTION_POLICIES",
     "REGIONS",
     "SHARED_REGIONS",
+    "telemetry_from_stats",
     "value_nbytes",
 ]
 
@@ -163,6 +166,31 @@ class CacheStats:
                 f" evictions={self.shared_evictions}"
             )
         return text
+
+
+def telemetry_from_stats(
+    stats: CacheStats,
+    name: str,
+    gauges: Optional[dict] = None,
+    subsystem_extra: Optional[dict] = None,
+) -> dict:
+    """A backend's :class:`CacheStats` in the unified telemetry schema.
+
+    Every backend's ``telemetry_snapshot()`` funnels through this, so the
+    conformance suite can assert one shape — ``counters`` carries the raw
+    tallies, ``gauges`` the derived rates (plus backend-specific occupancy),
+    and ``subsystem`` identifies the backend.  The legacy ``stats()`` /
+    :meth:`CacheStats.as_dict` surfaces stay untouched as the compatibility
+    shim for existing callers.
+    """
+    gauges = dict(gauges or {})
+    gauges.setdefault("hit_rate", round(stats.hit_rate, 6))
+    gauges.setdefault("shared_hit_rate", round(stats.shared_hit_rate, 6))
+    subsystem = {"name": "cache", "backend": name}
+    subsystem.update(subsystem_extra or {})
+    return unified_snapshot(
+        counters=stats.as_dict(), gauges=gauges, histograms={}, subsystem=subsystem
+    )
 
 
 @runtime_checkable

@@ -28,6 +28,7 @@ from repro.db.cache.backend import (
     DEFAULT_EVICTION_POLICY,
     EVICTION_POLICIES,
     CacheStats,
+    telemetry_from_stats,
     value_nbytes,
 )
 
@@ -306,6 +307,23 @@ class LocalCacheBackend:
             if namespace is None or ns == namespace
             for store in regions.values()
             if isinstance(store, UtilityCache)
+        )
+
+    def telemetry_snapshot(self) -> dict:
+        """This backend's counters in the unified telemetry schema
+        (``stats()`` remains the legacy-shaped compatibility surface)."""
+        return telemetry_from_stats(
+            self.stats(),
+            self.name,
+            gauges={
+                "entries": self.entry_count(),
+                "bytes": self.byte_count(),
+            },
+            subsystem_extra={
+                "policy": self.policy,
+                "max_entries": self.max_entries,
+                "degraded": False,
+            },
         )
 
     # ------------------------------------------------------------------

@@ -52,7 +52,12 @@ from typing import Any, Hashable, Optional
 
 import hashlib
 
-from repro.db.cache.backend import DEFAULT_EVICTION_POLICY, SHARED_REGIONS, CacheStats
+from repro.db.cache.backend import (
+    DEFAULT_EVICTION_POLICY,
+    SHARED_REGIONS,
+    CacheStats,
+    telemetry_from_stats,
+)
 from repro.db.cache.breaker import CircuitBreaker
 from repro.db.cache.local import LocalCacheBackend
 from repro.db.cache.shared import _freeze_value
@@ -65,6 +70,8 @@ from repro.db.cache.wire import (
     read_frame,
     write_frame,
 )
+from repro.obs.metrics import active_registry
+from repro.obs.trace import span, wire_context
 
 __all__ = ["RemoteCacheBackend", "parse_cache_url"]
 
@@ -316,6 +323,7 @@ class RemoteCacheBackend:
         self.breaker.record_success()
         self._count(self._bytes_sent, sent)
         self._count(self._bytes_received, received)
+        active_registry().counter("cache_remote_roundtrips_total").inc()
         if not response.get("ok"):
             # A structured refusal may come with the server about to drop
             # the link (the bad-frame path); never pool a connection whose
@@ -354,25 +362,35 @@ class RemoteCacheBackend:
             "region": region,
             "key": key_to_header(encoded_key),
         }
-        try:
-            response, payload = self._request(header)
-            if not response.get("hit"):
-                # The server does not hold the key (any more): forget its
-                # fingerprint so the next put writes it back.
-                self._digests.pop(encoded_key, None)
+        with span("cache.remote.get", region=region) as current:
+            # Propagate the trace over the wire (optional header field;
+            # servers that predate it ignore unknown fields — v2 policy).
+            context = wire_context()
+            if context is not None:
+                header["trace"] = context
+            try:
+                response, payload = self._request(header)
+                if not response.get("hit"):
+                    # The server does not hold the key (any more): forget its
+                    # fingerprint so the next put writes it back.
+                    self._digests.pop(encoded_key, None)
+                    self._count(self._shared_misses)
+                    if current is not None:
+                        current.set(hit=False)
+                    return None
+                value = decode_payload(payload)
+            except _REMOTE_ERRORS as error:
+                # A payload that decoded to garbage trips the breaker outright:
+                # the round trip "succeeded", so only an immediate trip stops
+                # the next op from decoding more garbage.  Transport errors
+                # have already been counted per-attempt inside _request.
+                self.breaker.trip(error)
+                return None
+            except RuntimeError:
                 self._count(self._shared_misses)
                 return None
-            value = decode_payload(payload)
-        except _REMOTE_ERRORS as error:
-            # A payload that decoded to garbage trips the breaker outright:
-            # the round trip "succeeded", so only an immediate trip stops
-            # the next op from decoding more garbage.  Transport errors
-            # have already been counted per-attempt inside _request.
-            self.breaker.trip(error)
-            return None
-        except RuntimeError:
-            self._count(self._shared_misses)
-            return None
+            if current is not None:
+                current.set(hit=True, nbytes=len(payload))
         self._count(self._shared_hits)
         self._remember_digest(encoded_key, payload)
         value = _freeze_value(value)
@@ -422,15 +440,21 @@ class RemoteCacheBackend:
         }
         if cost is not None:
             header["cost"] = round(float(cost), 9)
-        try:
-            response, _ = self._request(header, payload)
-            self._count(self._shared_puts)
-            if response.get("stored"):
-                self._remember_digest(encoded_key, payload)
-        except _REMOTE_ERRORS:
-            pass  # attempts already recorded; the breaker is open by now
-        except RuntimeError:
-            pass  # the server refused one entry; nothing to degrade over
+        with span("cache.remote.put", region=region, nbytes=len(payload)) as current:
+            context = wire_context()
+            if context is not None:
+                header["trace"] = context
+            try:
+                response, _ = self._request(header, payload)
+                self._count(self._shared_puts)
+                if response.get("stored"):
+                    self._remember_digest(encoded_key, payload)
+                elif current is not None:
+                    current.set(stored=False)
+            except _REMOTE_ERRORS:
+                pass  # attempts already recorded; the breaker is open by now
+            except RuntimeError:
+                pass  # the server refused one entry; nothing to degrade over
 
     def clear(self, namespace: Optional[str] = None) -> None:
         self._local.clear(namespace)
@@ -508,6 +532,39 @@ class RemoteCacheBackend:
             "bytes_sent": int(self._bytes_sent.value),
             "bytes_received": int(self._bytes_received.value),
         }
+
+    def telemetry_snapshot(self) -> dict:
+        """Client-side counters in the unified telemetry schema — wire
+        traffic and short-circuit savings included (``stats()`` remains the
+        legacy-shaped compatibility surface).  Deliberately no server round
+        trip: the server reports itself via its own ``telemetry`` op."""
+        breaker = self.breaker.stats()
+        io = self.remote_io()
+        snapshot = telemetry_from_stats(
+            self.stats(),
+            self.name,
+            gauges={
+                "entries": self._local.entry_count(),
+                "bytes": self._local.byte_count(),
+            },
+            subsystem_extra={
+                "policy": self._local.policy,
+                "max_entries": self._local.max_entries,
+                "degraded": self.degraded,
+                "breaker_state": breaker.get("state"),
+                "server": f"{self.host}:{self.port}",
+            },
+        )
+        snapshot["counters"].update(
+            {
+                "bytes_sent": io["bytes_sent"],
+                "bytes_received": io["bytes_received"],
+                "put_short_circuits": int(self._put_short_circuits.value),
+                "put_bytes_saved": int(self._put_bytes_saved.value),
+                "breaker_trips": int(breaker.get("trips", 0)),
+            }
+        )
+        return snapshot
 
     def breaker_stats(self) -> dict:
         """The circuit breaker's state and lifetime counters, plus the

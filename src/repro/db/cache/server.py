@@ -54,13 +54,17 @@ from repro.db.cache.wire import (
     read_frame_async,
     write_frame_async,
 )
+from repro.obs.metrics import render_prometheus, unified_snapshot
+from repro.obs.trace import record_span
 
 __all__ = ["CacheServer", "CacheServerThread", "CacheStore", "MissLog", "main"]
 
 #: Bumped when the persistence schema or the op set changes incompatibly.
 #: v2 added cost/size metadata on ``put``, the ``warm`` miss-log op and the
 #: byte-budget counters; every v1 op is answered unchanged, so old clients
-#: keep working against a v2 server.
+#: keep working against a v2 server.  Within v2, later additions stay
+#: backward compatible: the ``telemetry`` op and the optional ``trace``
+#: header field on get/put (ignored by servers that predate it).
 SERVER_PROTOCOL = 2
 
 
@@ -617,21 +621,37 @@ class CacheServer:
                 False,
             )
         if op == "get":
+            began = time.perf_counter()
             namespace, region, key = self._address(header)
             value = self.store.get(namespace, region, key)
             if value is None:
                 self.miss_log.record(namespace, region, key)
+                record_span(
+                    "cache_server.get", header.get("trace"),
+                    time.perf_counter() - began, region=region, hit=False,
+                )
                 return {"ok": True, "hit": False}, b"", False
             response = {"ok": True, "hit": True}
             cost = self.store.entry_cost(namespace, region, key)
             if cost is not None:
                 response["cost"] = cost
+            record_span(
+                "cache_server.get", header.get("trace"),
+                time.perf_counter() - began,
+                region=region, hit=True, nbytes=len(value),
+            )
             return response, value, False
         if op == "put":
+            began = time.perf_counter()
             namespace, region, key = self._address(header)
             cost = header.get("cost")
             stored = self.store.put(
                 namespace, region, key, payload, None if cost is None else float(cost)
+            )
+            record_span(
+                "cache_server.put", header.get("trace"),
+                time.perf_counter() - began,
+                region=region, stored=stored, nbytes=len(payload),
             )
             return {"ok": True, "stored": stored}, b"", False
         if op == "warm":
@@ -665,12 +685,59 @@ class CacheServer:
                 }
             )
             return {"ok": True, "stats": stats}, b"", False
+        if op == "telemetry":
+            snapshot = self.telemetry_snapshot()
+            return (
+                {
+                    "ok": True,
+                    "telemetry": snapshot,
+                    "prometheus": render_prometheus(snapshot, prefix="repro_cache_server"),
+                },
+                b"",
+                False,
+            )
         if op == "reset_stats":
             self.store.reset_stats()
             return {"ok": True}, b"", False
         if op == "shutdown":
             return {"ok": True, "stopping": True}, b"", True
         return {"ok": False, "error": f"unknown op {op!r}"}, b"", False
+
+    def telemetry_snapshot(self) -> dict:
+        """The server's state in the unified telemetry schema (the JSON half
+        of the ``telemetry`` op; the legacy ``stats`` op is the compatibility
+        shim and keeps its historical flat shape)."""
+        from repro import __version__
+
+        store = self.store.stats()
+        return unified_snapshot(
+            counters={
+                "hits": store["hits"],
+                "misses": store["misses"],
+                "puts": store["puts"],
+                "evictions": store["evictions"],
+                "rejected_puts": store["rejected_puts"],
+                "requests_served": self.requests_served,
+                "bytes_received": self.bytes_received,
+                "bytes_sent": self.bytes_sent,
+                "miss_log_recorded": self.miss_log.recorded,
+            },
+            gauges={
+                "entries": store["entries"],
+                "bytes_stored": store["bytes_stored"],
+                "loaded_from_disk": store["loaded_from_disk"],
+                "uptime_s": round(time.monotonic() - self._started_at, 3),
+            },
+            histograms={},
+            subsystem={
+                "name": "cache-server",
+                "version": __version__,
+                "protocol": SERVER_PROTOCOL,
+                "policy": store["policy"],
+                "persisted": store["persisted"],
+                "max_bytes": store["max_bytes"],
+            },
+        )
 
     @staticmethod
     def _address(header: dict) -> Tuple[str, str, bytes]:

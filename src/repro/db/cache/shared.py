@@ -43,6 +43,7 @@ from repro.db.cache.backend import (
     DEFAULT_EVICTION_POLICY,
     SHARED_REGIONS,
     CacheStats,
+    telemetry_from_stats,
     value_nbytes,
 )
 from repro.db.cache.local import LocalCacheBackend
@@ -287,6 +288,25 @@ class SharedMemoryCacheBackend:
         except _PROXY_ERRORS:
             self._broken = True
             return count
+
+    def telemetry_snapshot(self) -> dict:
+        """Both tiers' counters in the unified telemetry schema
+        (``stats()`` remains the legacy-shaped compatibility surface)."""
+        return telemetry_from_stats(
+            self.stats(),
+            self.name,
+            gauges={
+                "entries": self.entry_count(),
+                "bytes": self.byte_count(),
+                "shared_bytes": int(self._shared_bytes.value) if not self._broken else 0,
+            },
+            subsystem_extra={
+                "policy": self._local.policy,
+                "max_entries": self._local.max_entries,
+                "max_shared_entries": self.max_shared_entries,
+                "degraded": self._broken,
+            },
+        )
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -33,6 +33,8 @@ import weakref
 from typing import Any, Optional
 
 from repro.db.cache.fingerprints import query_fingerprint
+from repro.obs.metrics import active_registry
+from repro.obs.trace import span
 
 __all__ = [
     "WarmAheadWorker",
@@ -183,26 +185,34 @@ class WarmAheadWorker:
         # foreground threads keep recording while a replay runs).
         _SUPPRESS.active = True
         try:
-            batch = self.queue.drain(max_tasks)
-            for index, task in enumerate(batch):
-                if budget_s is not None and time.perf_counter() - began >= budget_s:
-                    self.queue.requeue(batch[index:])
-                    break
-                database = task.database_ref()
-                if database is None:
-                    self.skipped_dead += 1
-                    continue
-                try:
-                    QueryExecutor(database).execute(task.query)
-                    self.replayed += 1
-                    warmed += 1
-                except Exception:
-                    # A replay failure costs a future cache miss, nothing
-                    # more; the foreground path will surface any real defect.
-                    self.failed += 1
+            with span("warming.replay") as current:
+                batch = self.queue.drain(max_tasks)
+                for index, task in enumerate(batch):
+                    if budget_s is not None and time.perf_counter() - began >= budget_s:
+                        self.queue.requeue(batch[index:])
+                        break
+                    database = task.database_ref()
+                    if database is None:
+                        self.skipped_dead += 1
+                        continue
+                    try:
+                        QueryExecutor(database).execute(task.query)
+                        self.replayed += 1
+                        warmed += 1
+                    except Exception:
+                        # A replay failure costs a future cache miss, nothing
+                        # more; the foreground path will surface any real defect.
+                        self.failed += 1
+                if current is not None:
+                    current.set(replayed=warmed)
         finally:
             _SUPPRESS.active = False
-        self.spent_s += time.perf_counter() - began
+        elapsed = time.perf_counter() - began
+        self.spent_s += elapsed
+        if warmed:
+            registry = active_registry()
+            registry.counter("warming_replayed_total").inc(warmed)
+            registry.histogram("warming_replay_seconds").observe(elapsed)
         return warmed
 
     def stats(self) -> dict:

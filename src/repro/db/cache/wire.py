@@ -25,6 +25,14 @@ the remote backend client (:mod:`repro.db.cache.remote`):
   the raw payload bytes.  Headers carry the op and the base64-encoded key;
   payloads carry values, so array bytes never pass through JSON.
 
+Headers are plain JSON objects and *extensible*: readers ignore fields they
+do not know, which is how optional metadata rides along without a protocol
+bump.  The ``trace`` field on get/put (:data:`TRACE_HEADER_FIELD`, a
+``{"trace_id", "span_id"}`` dict from :func:`repro.obs.trace.wire_context`)
+propagates request traces across the wire — a v2 server records its
+handling as a child span, an older server simply ignores the field, and
+the bytes of every *response* are identical either way.
+
 Trust boundary: payload decoding falls back to pickle, so a cache server
 must only be shared by mutually trusting processes on a trusted network —
 the same boundary as the shared backend's ``multiprocessing.Manager`` tier.
@@ -44,6 +52,7 @@ import numpy as np
 __all__ = [
     "MAX_FRAME_HEADER",
     "MAX_FRAME_PAYLOAD",
+    "TRACE_HEADER_FIELD",
     "decode_payload",
     "encode_key",
     "encode_payload",
@@ -66,6 +75,10 @@ __all__ = [
 #: (they stay in its local tier).
 MAX_FRAME_HEADER = 1 << 20  # 1 MiB of JSON header
 MAX_FRAME_PAYLOAD = 1 << 26  # 64 MiB of value bytes
+
+#: The optional request-header field carrying a trace context over the wire
+#: (see the module docstring); named here so client and server agree on it.
+TRACE_HEADER_FIELD = "trace"
 
 
 # ----------------------------------------------------------------------

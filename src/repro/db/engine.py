@@ -60,6 +60,8 @@ from repro.db.predicates import ConjunctionPredicate, Predicate
 from repro.db.query import AggregateKind, Measure, StarJoinQuery
 from repro.db.storage.base import DEFAULT_CHUNK_ROWS, iter_chunks
 from repro.exceptions import QueryError
+from repro.obs.metrics import active_registry
+from repro.obs.trace import add_to_span, record_timed
 
 __all__ = ["ExecutionEngine", "predicate_fingerprint", "selection_fingerprint", "query_fingerprint"]
 
@@ -184,7 +186,18 @@ class ExecutionEngine:
         return self._chunk_rows
 
     def _get(self, region: str, key: Hashable) -> Any:
-        return self.backend.get(self._namespace, region, key)
+        # Every cache lookup in the system funnels through here, so this is
+        # the one instrumentation point for cache-outcome telemetry: the
+        # process registry counts hits/misses, and the current trace span
+        # (if a request is being traced) accumulates its own outcome tally.
+        value = self.backend.get(self._namespace, region, key)
+        if value is not None:
+            active_registry().counter("engine_cache_hits_total").inc()
+            add_to_span("cache_hits")
+        else:
+            active_registry().counter("engine_cache_misses_total").inc()
+            add_to_span("cache_misses")
+        return value
 
     def _put(self, region: str, key: Hashable, value: Any, cost: Optional[float] = None) -> None:
         """Store an artefact, with the wall-clock its computation took.
@@ -193,9 +206,14 @@ class ExecutionEngine:
         the cost channel (or a test double) is fed through the old four-arg
         signature, and values are never affected either way.
         """
+        active_registry().counter("engine_cache_puts_total").inc()
         if cost is None:
             self.backend.put(self._namespace, region, key, value)
             return
+        # The measured recompute cost doubles as a ready-made trace span:
+        # when a request is being traced, each kernel computation shows up
+        # as `engine.<region>` without any extra clock reads.
+        record_timed(f"engine.{region}", cost, region=region)
         try:
             self.backend.put(self._namespace, region, key, value, cost)
         except TypeError:

@@ -30,6 +30,8 @@ from repro.db.engine import ExecutionEngine
 from repro.db.predicates import ConjunctionPredicate
 from repro.db.query import Aggregate, AggregateKind, GroupBy, Measure, StarJoinQuery
 from repro.exceptions import QueryError
+from repro.obs.metrics import active_registry
+from repro.obs.trace import span
 
 __all__ = ["GroupedResult", "QueryExecutor"]
 
@@ -209,24 +211,33 @@ class QueryExecutor:
         recompute cost, so cost-aware eviction keeps expensive answers over
         cheap ones — and repeated trials of an experiment compute each once.
         """
+        registry = active_registry()
+        registry.counter("executor_queries_total").inc()
         cached = self.engine.cached_result(query)
         if cached is not None:
             return cached.copy() if isinstance(cached, GroupedResult) else cached
         # A cold exact answer is the signal the warm-ahead queue feeds on
         # (no-op unless a warming queue is installed for this process).
         record_query_miss(self.database, query)
-        began = time.perf_counter()
-        cube_answer = self.engine.count_answer_via_cube(query)
-        if cube_answer is not None:
-            self.engine.store_result(query, cube_answer, time.perf_counter() - began)
-            return cube_answer
-        mask = self.engine.selection_mask(query.predicates)
-        if query.is_grouped:
-            result = self._grouped(query, mask)
-            self.engine.store_result(query, result.copy(), time.perf_counter() - began)
-        else:
-            result = self._aggregate_masked(query.aggregate, mask)
-            self.engine.store_result(query, result, time.perf_counter() - began)
+        registry.counter("executor_cold_queries_total").inc()
+        with span("executor.execute", grouped=query.is_grouped):
+            began = time.perf_counter()
+            cube_answer = self.engine.count_answer_via_cube(query)
+            if cube_answer is not None:
+                elapsed = time.perf_counter() - began
+                self.engine.store_result(query, cube_answer, elapsed)
+                registry.histogram("executor_execute_seconds").observe(elapsed)
+                return cube_answer
+            mask = self.engine.selection_mask(query.predicates)
+            if query.is_grouped:
+                result = self._grouped(query, mask)
+                elapsed = time.perf_counter() - began
+                self.engine.store_result(query, result.copy(), elapsed)
+            else:
+                result = self._aggregate_masked(query.aggregate, mask)
+                elapsed = time.perf_counter() - began
+                self.engine.store_result(query, result, elapsed)
+            registry.histogram("executor_execute_seconds").observe(elapsed)
         return result
 
     # ------------------------------------------------------------------

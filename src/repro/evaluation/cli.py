@@ -23,6 +23,7 @@ EXPERIMENTS.md.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -34,6 +35,8 @@ from repro.db.cache import (
     EVICTION_POLICIES,
     active_backend,
 )
+from repro.obs.metrics import active_registry
+from repro.obs.trace import span
 from repro.evaluation.experiments import (
     ExperimentConfig,
     figure4,
@@ -65,6 +68,23 @@ EXPERIMENTS: dict[str, Callable[[ExperimentConfig], ExperimentResult]] = {
     "figure10": lambda config: figure10.run(config),
     "figure11": lambda config: figure11.run(config),
 }
+
+
+def _append_metrics(path: str, experiment: str, elapsed_s: float) -> None:
+    """Append one unified registry snapshot (JSON line) for a finished
+    experiment — the batch-run counterpart of the serving ``telemetry`` op.
+    With ``jobs > 1`` the session's registry is fork-shared, so the counters
+    cover every worker of the pool."""
+    snapshot = active_registry().snapshot(
+        subsystem={
+            "name": "evaluation",
+            "experiment": experiment,
+            "elapsed_s": round(elapsed_s, 6),
+            "ts_s": round(time.time(), 6),
+        }
+    )
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(snapshot, separators=(",", ":"), sort_keys=True) + "\n")
 
 
 def run_experiments(
@@ -110,13 +130,20 @@ def run_experiments(
             queue = active_queue()
             if queue is not None:
                 warming_worker = WarmAheadWorker(queue)
+        if config.metrics_path:
+            open(config.metrics_path, "w", encoding="utf-8").close()  # start clean
         for name in names:
             started = time.perf_counter()
             echo(f"\n=== running {name} ===")
-            result = EXPERIMENTS[name](config)
+            # One root span per experiment: scheduler cells, engine kernels
+            # and cache round-trips (local or over the wire) descend from it.
+            with span("evaluation.experiment", experiment=name):
+                result = EXPERIMENTS[name](config)
             elapsed = time.perf_counter() - started
             echo(result.to_text())
             echo(f"[{name} finished in {elapsed:.1f}s]")
+            if config.metrics_path:
+                _append_metrics(config.metrics_path, name, elapsed)
             if warming_worker is not None:
                 warmed = warming_worker.run_once(max_tasks=None)
                 if warmed:
@@ -296,6 +323,44 @@ def _build_parser() -> argparse.ArgumentParser:
             "sqlite journal so spent ε survives restarts and crashes"
         ),
     )
+    parser.add_argument(
+        "--trace-path",
+        default=None,
+        metavar="FILE",
+        help=(
+            "record request traces to this JSONL file (batch: one trace per "
+            "experiment spanning scheduler cells, engine kernels and cache "
+            "round-trips; with --serve: one per request); render with "
+            "python -m repro.obs.summarize — results are byte-identical "
+            "either way (see docs/OBSERVABILITY.md)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-path",
+        default=None,
+        metavar="FILE",
+        help=(
+            "append one unified telemetry snapshot (JSON line) per finished "
+            "experiment; with --jobs > 1 the counters aggregate across the "
+            "worker pool (batch runs only)"
+        ),
+    )
+    parser.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "with --serve: log requests slower than this threshold to "
+            "--slow-query-path as structured JSONL"
+        ),
+    )
+    parser.add_argument(
+        "--slow-query-path",
+        default=None,
+        metavar="FILE",
+        help="with --serve: destination of the slow-query log",
+    )
     return parser
 
 
@@ -335,6 +400,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.ledger_path and not args.serve:
         print("--ledger-path only applies with --serve", file=sys.stderr)
         return 2
+    if (args.slow_query_ms is not None or args.slow_query_path) and not args.serve:
+        print("--slow-query-ms/--slow-query-path only apply with --serve", file=sys.stderr)
+        return 2
+    if (args.slow_query_ms is None) != (args.slow_query_path is None):
+        print("--slow-query-ms and --slow-query-path go together", file=sys.stderr)
+        return 2
+    if args.metrics_path and args.serve:
+        print(
+            "--metrics-path only applies to batch runs; with --serve use the "
+            "'telemetry' op",
+            file=sys.stderr,
+        )
+        return 2
     if args.storage == "mapped" and args.data_dir is None:
         print("--storage mapped requires --data-dir", file=sys.stderr)
         return 2
@@ -352,6 +430,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     config.ledger_path = args.ledger_path
     config.storage = args.storage
     config.data_dir = str(args.data_dir) if args.data_dir is not None else None
+    config.trace_path = args.trace_path
+    config.metrics_path = args.metrics_path
 
     if args.serve:
         # Delegate to the serving entry point with this invocation's seed and
@@ -378,6 +458,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             serve_argv += ["--ledger-path", config.ledger_path]
         if config.storage == "mapped":
             serve_argv += ["--storage", "mapped", "--data-dir", config.data_dir]
+        if config.trace_path:
+            serve_argv += ["--trace-path", config.trace_path]
+        if args.slow_query_ms is not None:
+            serve_argv += [
+                "--slow-query-ms", str(args.slow_query_ms),
+                "--slow-query-path", args.slow_query_path,
+            ]
         return serve_main(serve_argv)
 
     try:

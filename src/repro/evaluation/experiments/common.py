@@ -154,6 +154,17 @@ class ExperimentConfig:
     data_dir:
         Directory the mapped instances are spilled to / attached from.
         Required when ``storage="mapped"``.
+    trace_path:
+        Record request traces (one JSON line per span) to this file for the
+        whole run — experiments, scheduler cells, engine kernels and cache
+        round-trips land in one connected trace per experiment.  ``None``
+        (the default) disables tracing; answers are byte-identical either
+        way (see ``docs/OBSERVABILITY.md``).
+    metrics_path:
+        Append one unified telemetry snapshot (JSON line) per experiment to
+        this file — the batch-run counterpart of the serving ``telemetry``
+        op.  With ``jobs > 1`` the session installs a fork-shared registry,
+        so worker increments aggregate into the dumped snapshots.
     """
 
     epsilons: tuple[float, ...] = PAPER_EPSILONS
@@ -173,6 +184,8 @@ class ExperimentConfig:
     ledger_path: Optional[str] = None
     storage: str = "memory"
     data_dir: Optional[str] = None
+    trace_path: Optional[str] = None
+    metrics_path: Optional[str] = None
 
     @classmethod
     def quick(cls) -> "ExperimentConfig":

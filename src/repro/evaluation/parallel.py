@@ -43,6 +43,7 @@ them by qualified name); drivers bind their configuration with
 
 from __future__ import annotations
 
+import functools
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
@@ -54,6 +55,14 @@ from repro.db.cache import make_backend, set_active_backend
 from repro.db.engine import ExecutionEngine
 from repro.db.executor import QueryExecutor
 from repro.evaluation.experiments.common import ExperimentConfig, cell_stream
+from repro.obs.metrics import MetricsRegistry, set_active_registry
+from repro.obs.trace import (
+    Tracer,
+    active_tracer,
+    resume_span,
+    set_active_tracer,
+    wire_context,
+)
 from repro.evaluation.runner import (
     EvaluationResult,
     evaluate_kstar_mechanism,
@@ -200,6 +209,23 @@ def run_kstar_cell(config: ExperimentConfig, cell: KStarCell) -> EvaluationResul
     )
 
 
+def _run_traced_cell(fn: Callable, context: Optional[dict], cell: Any):
+    """Worker-side wrapper re-parenting a cell under the driver's span.
+
+    ``context`` is the parent's :func:`wire_context`; the fork-inherited
+    module-global tracer writes the worker's spans into the same JSONL
+    file, so the merged trace stays connected across the pool boundary.
+    Module-level so the pool can pickle it by qualified name.
+    """
+    with resume_span(context, "runner.cell", kind=type(cell).__name__) as current:
+        result = fn(cell)
+        if current is not None:
+            mechanism = getattr(cell, "mechanism", None)
+            if mechanism is not None:
+                current.set(mechanism=mechanism, epsilon=getattr(cell, "epsilon", None))
+        return result
+
+
 # ----------------------------------------------------------------------
 # the scheduler
 # ----------------------------------------------------------------------
@@ -261,6 +287,11 @@ class TrialScheduler:
         jobs = min(self.jobs, len(cells))
         if jobs <= 1:
             return [fn(cell) for cell in cells]
+        if active_tracer() is not None:
+            # Ship the current span's identity with every cell so worker
+            # spans re-parent under it (contextvars do not cross fork).
+            # Only when tracing: the untraced pool path is unchanged.
+            fn = functools.partial(_run_traced_cell, fn, wire_context())
         chunksize = max(1, len(cells) // (self.jobs * 4))
         if self.persistent:
             pool = self._ensure_pool()
@@ -353,7 +384,11 @@ def evaluation_session(config: ExperimentConfig) -> Iterator[TrialScheduler]:
       counters are inherited by every worker;
     * one persistent :class:`TrialScheduler` that all drivers reached through
       :func:`scheduler_for` share — ``repro.evaluation.cli`` with any number
-      of experiments creates exactly one worker pool.
+      of experiments creates exactly one worker pool;
+    * a run-wide :class:`~repro.obs.metrics.MetricsRegistry` (fork-shared
+      with ``jobs > 1``, so worker increments aggregate into the parent's
+      snapshots) and, with ``config.trace_path``, a run-wide tracer whose
+      JSONL file collects spans from every process of the run.
 
     Teardown order matters and is the reverse: the pool is closed first (no
     worker may touch the shared tier afterwards), then the backend is closed
@@ -381,6 +416,13 @@ def evaluation_session(config: ExperimentConfig) -> Iterator[TrialScheduler]:
         from repro.db.cache.warming import WarmingQueue, set_active_queue
 
         previous_queue = set_active_queue(WarmingQueue())
+    # Telemetry, also pre-fork: with jobs > 1 the registry's catalog
+    # instruments are backed by fork-inherited shared memory, so worker
+    # increments land in the parent's snapshot; the tracer module global is
+    # likewise inherited, collecting the whole pool's spans in one file.
+    previous_registry = set_active_registry(MetricsRegistry(shared=config.jobs > 1))
+    tracer = Tracer(config.trace_path) if config.trace_path else None
+    previous_tracer = set_active_tracer(tracer) if tracer is not None else None
     previous_scheduler = _ACTIVE_SCHEDULER
     scheduler = TrialScheduler(config.jobs, persistent=True)
     _ACTIVE_SCHEDULER = scheduler
@@ -403,6 +445,10 @@ def evaluation_session(config: ExperimentConfig) -> Iterator[TrialScheduler]:
         if close is not None:
             close()
         set_active_backend(previous_backend)
+        if tracer is not None:
+            set_active_tracer(previous_tracer)
+            tracer.close()
+        set_active_registry(previous_registry)
         if config.warm_ahead:
             from repro.db.cache.warming import set_active_queue
 

@@ -1,0 +1,86 @@
+"""Unified observability: metrics registry, request tracing, slow-query log.
+
+The package gives every layer of the stack one telemetry vocabulary
+(see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.metrics` — the fork-aware :class:`MetricsRegistry`
+  (counters / gauges / fixed-bucket latency histograms with p50/p95/p99),
+  the unified ``{counters, gauges, histograms, subsystem}`` snapshot
+  schema every ``telemetry`` surface returns, and Prometheus-style
+  rendering;
+* :mod:`repro.obs.trace` — contextvar ``trace_id``/span propagation
+  through serving → planner → executor → engine → cache (threads, forked
+  workers and the cache wire included), exported as JSONL;
+* :mod:`repro.obs.slowlog` — the serving tier's threshold-filtered
+  structured slow-query log;
+* :mod:`repro.obs.summarize` — ``python -m repro.obs.summarize`` renders
+  a trace file into per-stage latency tables and the critical path.
+
+Nothing here ever influences computed answers: metrics and spans observe
+timings and outcomes the code produces anyway, and the parity suites pin
+byte-identical results with telemetry on or off.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    METRIC_CATALOG,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    UNIFIED_KEYS,
+    active_registry,
+    registry_scope,
+    render_prometheus,
+    set_active_registry,
+    unified_snapshot,
+)
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    active_tracer,
+    add_to_span,
+    annotate,
+    current_span,
+    record_span,
+    record_timed,
+    resume_span,
+    set_active_tracer,
+    span,
+    trace_scope,
+    wire_context,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "METRIC_CATALOG",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "SlowQueryLog",
+    "Span",
+    "Tracer",
+    "UNIFIED_KEYS",
+    "active_registry",
+    "active_tracer",
+    "add_to_span",
+    "annotate",
+    "current_span",
+    "record_span",
+    "record_timed",
+    "registry_scope",
+    "render_prometheus",
+    "resume_span",
+    "set_active_registry",
+    "set_active_tracer",
+    "span",
+    "trace_scope",
+    "unified_snapshot",
+    "wire_context",
+]

@@ -1,0 +1,465 @@
+"""Fork-aware metrics: counters, gauges and fixed-bucket latency histograms.
+
+The registry is the process-wide aggregation point for every subsystem's
+operational counters.  Two backings exist behind one interface:
+
+* **process-local** (the default): plain Python numbers, cheap enough for
+  the engine's per-kernel hot path;
+* **fork-shared** (``MetricsRegistry(shared=True)``): instruments named in
+  :data:`METRIC_CATALOG` are backed by ``multiprocessing.Value``/``Array``
+  created *before* the pool forks — the same pattern the shared and remote
+  cache backends use for their hit counters — so ``TrialScheduler`` workers
+  increment the parent's memory and one snapshot aggregates the whole run.
+  Instruments first touched *after* a fork fall back to process-local
+  storage (a child cannot retroactively share memory with its parent),
+  which is why the catalog pre-creates every name the instrumentation uses.
+
+Snapshots follow the unified telemetry schema used across the project
+(see ``docs/OBSERVABILITY.md``): a mapping with exactly the top-level keys
+``counters`` / ``gauges`` / ``histograms`` / ``subsystem``, where histogram
+entries carry cumulative bucket counts plus interpolated p50/p95/p99
+summaries.  :func:`render_prometheus` flattens a snapshot into
+Prometheus-style exposition text for the ``telemetry`` wire ops.
+
+Like the active cache backend and the warming queue, one registry is
+*active* per process (:func:`active_registry`); instrumentation sites
+always write somewhere, so there is no "is telemetry on?" branching on hot
+paths — installing a shared registry merely redirects the writes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from bisect import bisect_left
+from typing import Iterable, Optional, Sequence
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "METRIC_CATALOG",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "UNIFIED_KEYS",
+    "active_registry",
+    "registry_scope",
+    "render_prometheus",
+    "set_active_registry",
+    "unified_snapshot",
+]
+
+#: Upper bucket bounds (seconds) for latency histograms: ~log-spaced from
+#: 100µs to 10s, matching the range serving requests actually span.  The
+#: implicit final bucket catches everything slower.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Every instrument name the built-in instrumentation touches.  A shared
+#: registry pre-creates these so fork workers inherit the shared memory;
+#: the full meaning of each metric is catalogued in docs/OBSERVABILITY.md.
+METRIC_CATALOG: dict[str, tuple[str, ...]] = {
+    "counters": (
+        "engine_cache_hits_total",
+        "engine_cache_misses_total",
+        "engine_cache_puts_total",
+        "executor_queries_total",
+        "executor_cold_queries_total",
+        "warming_replayed_total",
+        "serving_requests_total",
+        "serving_overload_refusals_total",
+        "serving_slow_queries_total",
+        "cache_remote_roundtrips_total",
+        "traces_spans_total",
+    ),
+    "gauges": (
+        "serving_execution_ewma_seconds",
+        "serving_retry_after_ms",
+    ),
+    "histograms": (
+        "executor_execute_seconds",
+        "serving_request_seconds",
+        "serving_queue_wait_seconds",
+        "warming_replay_seconds",
+    ),
+}
+
+#: The exact top-level keys of a unified telemetry snapshot.
+UNIFIED_KEYS: tuple[str, ...] = ("counters", "gauges", "histograms", "subsystem")
+
+
+class Counter:
+    """A monotonically increasing integer (process-local backing)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class SharedCounter:
+    """A fork-inherited counter backed by ``multiprocessing.Value``."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = multiprocessing.Value("Q", 0)
+
+    def inc(self, amount: int = 1) -> None:
+        with self._value.get_lock():
+            self._value.value += amount
+
+    @property
+    def value(self) -> int:
+        return int(self._value.value)
+
+
+class Gauge:
+    """A float that goes up and down (last write wins)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class SharedGauge:
+    """A fork-inherited gauge backed by ``multiprocessing.Value``."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = multiprocessing.Value("d", 0.0)
+
+    def set(self, value: float) -> None:
+        with self._value.get_lock():
+            self._value.value = float(value)
+
+    @property
+    def value(self) -> float:
+        return float(self._value.value)
+
+
+def _percentile(quantile: float, bounds: Sequence[float], counts: Sequence[int]) -> float:
+    """Interpolated quantile from cumulative-style bucket counts.
+
+    ``counts`` has one entry per finite bound plus the overflow bucket.
+    Within the located bucket the value is linearly interpolated between
+    the bucket's bounds; the overflow bucket reports its lower bound (the
+    largest finite bound — the histogram cannot resolve beyond it).
+    """
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = quantile * total
+    cumulative = 0.0
+    for index, count in enumerate(counts):
+        if count == 0:
+            continue
+        lower = bounds[index - 1] if index > 0 else 0.0
+        if index >= len(bounds):  # overflow bucket
+            return float(bounds[-1])
+        upper = bounds[index]
+        if cumulative + count >= rank:
+            fraction = (rank - cumulative) / count
+            return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+        cumulative += count
+    return float(bounds[-1])
+
+
+class Histogram:
+    """Fixed-bucket latency histogram (process-local backing)."""
+
+    __slots__ = ("name", "bounds", "_counts", "_sum")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        self.name = name
+        self.bounds = tuple(float(b) for b in buckets)
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError("histogram buckets must be strictly increasing")
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self._counts[bisect_left(self.bounds, value)] += 1
+        self._sum += value
+
+    # -- snapshot ------------------------------------------------------
+    def _raw(self) -> tuple[list[int], float]:
+        return list(self._counts), self._sum
+
+    def summary(self) -> dict:
+        counts, total = self._raw()
+        observations = sum(counts)
+        buckets = {f"{bound:g}": count for bound, count in zip(self.bounds, counts)}
+        buckets["+Inf"] = counts[-1]
+        return {
+            "count": observations,
+            "sum_s": round(total, 9),
+            "p50_s": round(_percentile(0.50, self.bounds, counts), 9),
+            "p95_s": round(_percentile(0.95, self.bounds, counts), 9),
+            "p99_s": round(_percentile(0.99, self.bounds, counts), 9),
+            "buckets": buckets,
+        }
+
+
+class SharedHistogram(Histogram):
+    """A fork-inherited histogram: bucket counts in a ``multiprocessing.Array``,
+    the running sum in a ``Value`` (one lock guards both)."""
+
+    __slots__ = ("_lock",)
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS):
+        super().__init__(name, buckets)
+        self._counts = multiprocessing.Array("Q", len(self.bounds) + 1)
+        self._sum = multiprocessing.Value("d", 0.0)
+        self._lock = self._sum.get_lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum.value += value
+
+    def _raw(self) -> tuple[list[int], float]:
+        with self._lock:
+            return list(self._counts), float(self._sum.value)
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms with one snapshot schema.
+
+    ``shared=True`` pre-creates every :data:`METRIC_CATALOG` instrument with
+    fork-inherited backing; install such a registry *before* the worker pool
+    forks (``evaluation_session`` does) and all workers aggregate into it.
+    """
+
+    def __init__(self, shared: bool = False):
+        self.shared = bool(shared)
+        self._counters: dict[str, "Counter | SharedCounter"] = {}
+        self._gauges: dict[str, "Gauge | SharedGauge"] = {}
+        self._histograms: dict[str, Histogram] = {}
+        if self.shared:
+            for name in METRIC_CATALOG["counters"]:
+                self._counters[name] = SharedCounter(name)
+            for name in METRIC_CATALOG["gauges"]:
+                self._gauges[name] = SharedGauge(name)
+            for name in METRIC_CATALOG["histograms"]:
+                self._histograms[name] = SharedHistogram(name)
+
+    # -- instrument access (create on first use) -----------------------
+    def counter(self, name: str) -> "Counter | SharedCounter":
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters.setdefault(name, Counter(name))
+        return instrument
+
+    def gauge(self, name: str) -> "Gauge | SharedGauge":
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges.setdefault(name, Gauge(name))
+        return instrument
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms.setdefault(name, Histogram(name, buckets))
+        return instrument
+
+    # -- snapshots -----------------------------------------------------
+    def snapshot(self, subsystem: Optional[dict] = None) -> dict:
+        """The registry's state in the unified telemetry schema."""
+        return unified_snapshot(
+            counters={name: c.value for name, c in sorted(self._counters.items())},
+            gauges={name: g.value for name, g in sorted(self._gauges.items())},
+            histograms={name: h.summary() for name, h in sorted(self._histograms.items())},
+            subsystem=subsystem,
+        )
+
+    def reset(self) -> None:
+        """Drop every instrument (tests; not used on live paths)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        if self.shared:
+            self.__init__(shared=True)  # re-create the shared catalog
+
+
+class _NullInstrument:
+    """Absorbs writes; reads as zero.  Used to measure instrumentation cost."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    value = 0
+
+    def summary(self) -> dict:
+        return {"count": 0, "sum_s": 0.0, "p50_s": 0.0, "p95_s": 0.0,
+                "p99_s": 0.0, "buckets": {"+Inf": 0}}
+
+
+class NullRegistry(MetricsRegistry):
+    """A registry whose instruments do nothing — the *uninstrumented*
+    baseline of the ``telemetry_overhead`` bench, never installed in
+    production paths."""
+
+    def __init__(self):
+        super().__init__(shared=False)
+        self._null = _NullInstrument("null")
+
+    def counter(self, name: str):  # type: ignore[override]
+        return self._null
+
+    def gauge(self, name: str):  # type: ignore[override]
+        return self._null
+
+    def histogram(self, name: str, buckets=DEFAULT_BUCKETS):  # type: ignore[override]
+        return self._null
+
+    def snapshot(self, subsystem: Optional[dict] = None) -> dict:
+        return unified_snapshot(subsystem=subsystem)
+
+
+def unified_snapshot(
+    counters: Optional[dict] = None,
+    gauges: Optional[dict] = None,
+    histograms: Optional[dict] = None,
+    subsystem: Optional[dict] = None,
+) -> dict:
+    """Build a telemetry snapshot with the unified top-level schema.
+
+    Every ``stats()``-producing subsystem funnels through this so the shape
+    (:data:`UNIFIED_KEYS`, in order) is identical everywhere — the
+    conformance suite asserts it across backends and servers.
+    """
+    return {
+        "counters": dict(counters or {}),
+        "gauges": dict(gauges or {}),
+        "histograms": dict(histograms or {}),
+        "subsystem": dict(subsystem or {}),
+    }
+
+
+def _sanitize(name: str) -> str:
+    return "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+
+
+def render_prometheus(snapshot: dict, prefix: str = "repro") -> str:
+    """Flatten a unified snapshot into Prometheus exposition text.
+
+    Nested unified snapshots under ``subsystem`` (e.g. the serving server
+    embeds its cache backend's) are flattened with the subsystem path as a
+    name prefix; non-numeric subsystem fields are skipped — the JSON half
+    of the ``telemetry`` op carries them.
+    """
+    lines: list[str] = []
+
+    def emit(snap: dict, path: str) -> None:
+        for name, value in sorted(snap.get("counters", {}).items()):
+            metric = _sanitize(f"{path}_{name}")
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {int(value)}")
+        for name, value in sorted(snap.get("gauges", {}).items()):
+            metric = _sanitize(f"{path}_{name}")
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {float(value):g}")
+        for name, summary in sorted(snap.get("histograms", {}).items()):
+            metric = _sanitize(f"{path}_{name}")
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for bound, count in summary.get("buckets", {}).items():
+                cumulative += int(count)
+                lines.append(f'{metric}_bucket{{le="{bound}"}} {cumulative}')
+            lines.append(f"{metric}_sum {float(summary.get('sum_s', 0.0)):g}")
+            lines.append(f"{metric}_count {int(summary.get('count', 0))}")
+        subsystem = snap.get("subsystem", {})
+        for name, value in sorted(subsystem.items()):
+            if isinstance(value, dict) and set(UNIFIED_KEYS).issubset(value):
+                emit(value, f"{path}_{_sanitize(name)}")
+            elif isinstance(value, bool):
+                pass  # booleans are JSON-side state, not metrics
+            elif isinstance(value, (int, float)):
+                metric = _sanitize(f"{path}_{name}")
+                lines.append(f"# TYPE {metric} gauge")
+                lines.append(f"{metric} {float(value):g}")
+
+    emit(snapshot, prefix)
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# the process-wide active registry (mirrors the active-backend plumbing)
+# ----------------------------------------------------------------------
+_DEFAULT: Optional[MetricsRegistry] = None
+_ACTIVE: Optional[MetricsRegistry] = None
+
+
+def active_registry() -> MetricsRegistry:
+    """The registry instrumentation currently writes to.
+
+    Unlike the warming queue there is no "off" state: with nothing
+    installed a lazily created process-local registry absorbs the writes,
+    so call sites never branch.
+    """
+    global _DEFAULT
+    if _ACTIVE is not None:
+        return _ACTIVE
+    if _DEFAULT is None:
+        _DEFAULT = MetricsRegistry()
+    return _DEFAULT
+
+
+def set_active_registry(registry: Optional[MetricsRegistry]) -> Optional[MetricsRegistry]:
+    """Install ``registry`` process-wide (``None`` restores the lazy local
+    default); returns the previously installed registry."""
+    global _ACTIVE
+    previous, _ACTIVE = _ACTIVE, registry
+    return previous
+
+
+class registry_scope:
+    """``with registry_scope(registry):`` — install, restore on exit."""
+
+    def __init__(self, registry: Optional[MetricsRegistry]):
+        self.registry = registry
+        self._previous: Optional[MetricsRegistry] = None
+
+    def __enter__(self) -> Optional[MetricsRegistry]:
+        self._previous = set_active_registry(self.registry)
+        return self.registry
+
+    def __exit__(self, *_exc) -> None:
+        set_active_registry(self._previous)

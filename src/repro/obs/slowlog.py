@@ -1,0 +1,66 @@
+"""Structured slow-query log for the serving tier.
+
+``--slow-query-ms N`` makes the server append one JSON line for every
+request whose wall-clock (queue wait included) crosses the threshold::
+
+    {"ts_s": <epoch>, "elapsed_ms": ..., "threshold_ms": ...,
+     "trace_id": ... | null, "database": ..., "query": <fingerprint|name>,
+     "epsilon": ..., "trials": ..., "analyst": ...,
+     "stages": {"serve.plan": s, "serve.execute": s, "queue_wait": s, ...}}
+
+The per-stage timings come from the request's root span roll-up when
+tracing is on, and degrade to the coarse queue-wait/execution split the
+server measures anyway when it is off — the log works without tracing,
+it is just less detailed.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Optional
+
+__all__ = ["SlowQueryLog"]
+
+
+class SlowQueryLog:
+    """Threshold-filtered JSONL sink (thread-safe, append-only)."""
+
+    def __init__(self, path: str, threshold_ms: float):
+        if threshold_ms < 0:
+            raise ValueError("threshold_ms must be non-negative")
+        self.path = str(path)
+        self.threshold_ms = float(threshold_ms)
+        self.recorded = 0
+        self._lock = threading.Lock()
+        with open(self.path, "w", encoding="utf-8"):
+            pass  # truncate so each run's log starts clean
+
+    def record_if_slow(self, elapsed_s: float, **fields: Any) -> bool:
+        """Append a record when ``elapsed_s`` crosses the threshold; returns
+        whether it did.  ``fields`` must be JSON-serialisable."""
+        elapsed_ms = elapsed_s * 1000.0
+        if elapsed_ms < self.threshold_ms:
+            return False
+        record = {
+            "ts_s": round(time.time(), 6),
+            "pid": os.getpid(),
+            "elapsed_ms": round(elapsed_ms, 3),
+            "threshold_ms": self.threshold_ms,
+        }
+        record.update(fields)
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True) + "\n"
+        with self._lock:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line)
+            self.recorded += 1
+        return True
+
+    def stats(self) -> dict:
+        return {
+            "path": self.path,
+            "threshold_ms": self.threshold_ms,
+            "recorded": self.recorded,
+        }

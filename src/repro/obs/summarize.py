@@ -1,0 +1,208 @@
+"""Render a JSONL trace file: per-stage latency breakdowns + critical path.
+
+``python -m repro.obs.summarize TRACE.jsonl`` reads the spans exported by
+``--trace-path`` (serving server, evaluation CLI, or any ``trace_scope``)
+and prints:
+
+* a per-stage table — count, total/mean and exact p50/p95/p99 over the
+  recorded spans of each stage name;
+* the **critical path** of the slowest trace — from its root span, the
+  chain of heaviest children, with each hop's share of the root;
+* orphan diagnostics — spans whose ``parent_id`` names no span in their
+  trace (a healthy trace has zero; cross-process propagation bugs show
+  up here first).
+
+The module is import-safe for tests: :func:`load_spans`,
+:func:`stage_table`, :func:`critical_path` and :func:`orphan_spans` are
+plain functions over span dicts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from typing import Iterable, Optional
+
+__all__ = [
+    "critical_path",
+    "load_spans",
+    "main",
+    "orphan_spans",
+    "stage_table",
+]
+
+
+def load_spans(path: str) -> list[dict]:
+    """Parse a JSONL trace file; malformed lines are skipped, not fatal
+    (a crashed process may leave a torn final line)."""
+    spans: list[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and "span_id" in record:
+                spans.append(record)
+    return spans
+
+
+def _exact_percentile(values: list[float], quantile: float) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, max(0, round(quantile * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def stage_table(spans: Iterable[dict]) -> list[dict]:
+    """Aggregate spans by name: count, total, mean, p50/p95/p99 (seconds),
+    sorted by total descending."""
+    by_name: dict[str, list[float]] = defaultdict(list)
+    for record in spans:
+        by_name[str(record.get("name", "?"))].append(float(record.get("elapsed_s", 0.0)))
+    table = []
+    for name, samples in by_name.items():
+        total = sum(samples)
+        table.append({
+            "name": name,
+            "count": len(samples),
+            "total_s": total,
+            "mean_s": total / len(samples),
+            "p50_s": _exact_percentile(samples, 0.50),
+            "p95_s": _exact_percentile(samples, 0.95),
+            "p99_s": _exact_percentile(samples, 0.99),
+        })
+    table.sort(key=lambda row: -row["total_s"])
+    return table
+
+
+def orphan_spans(spans: Iterable[dict]) -> list[dict]:
+    """Spans whose ``parent_id`` names no span in the same trace (roots,
+    with ``parent_id`` null, are not orphans)."""
+    ids_by_trace: dict[str, set] = defaultdict(set)
+    records = list(spans)
+    for record in records:
+        ids_by_trace[record.get("trace_id", "")].add(record.get("span_id"))
+    return [
+        record for record in records
+        if record.get("parent_id") is not None
+        and record.get("parent_id") not in ids_by_trace[record.get("trace_id", "")]
+    ]
+
+
+def critical_path(spans: Iterable[dict], trace_id: Optional[str] = None) -> list[dict]:
+    """The heaviest root-to-leaf chain of one trace.
+
+    With no ``trace_id``, picks the trace whose root span is slowest.  At
+    each node the walk follows the child with the largest ``elapsed_s`` —
+    on a synchronous request path that is the stage the wall-clock actually
+    sat in.
+    """
+    records = list(spans)
+    if trace_id is not None:
+        records = [r for r in records if r.get("trace_id") == trace_id]
+    children: dict[Optional[str], list[dict]] = defaultdict(list)
+    by_id: dict[str, dict] = {}
+    for record in records:
+        by_id[record.get("span_id")] = record
+        children[record.get("parent_id")].append(record)
+    roots = [r for r in records if r.get("parent_id") not in by_id]
+    if not roots:
+        return []
+    root = max(roots, key=lambda r: float(r.get("elapsed_s", 0.0)))
+    path = [root]
+    seen = {root.get("span_id")}
+    node = root
+    while True:
+        kids = [k for k in children.get(node.get("span_id"), []) if k.get("span_id") not in seen]
+        if not kids:
+            return path
+        node = max(kids, key=lambda k: float(k.get("elapsed_s", 0.0)))
+        seen.add(node.get("span_id"))
+        path.append(node)
+
+
+def _format_ms(seconds: float) -> str:
+    return f"{seconds * 1000.0:.3f}"
+
+
+def render(spans: list[dict], source: str) -> str:
+    """The human-readable report the CLI prints."""
+    traces = {record.get("trace_id") for record in spans}
+    lines = [f"{len(spans)} span(s) across {len(traces)} trace(s) from {source}"]
+    if not spans:
+        return "\n".join(lines)
+
+    lines.append("")
+    lines.append("per-stage latency:")
+    header = (f"  {'stage':<28} {'count':>6} {'total_ms':>10} "
+              f"{'mean_ms':>9} {'p50_ms':>9} {'p95_ms':>9} {'p99_ms':>9}")
+    lines.append(header)
+    for row in stage_table(spans):
+        lines.append(
+            f"  {row['name']:<28} {row['count']:>6} {_format_ms(row['total_s']):>10} "
+            f"{_format_ms(row['mean_s']):>9} {_format_ms(row['p50_s']):>9} "
+            f"{_format_ms(row['p95_s']):>9} {_format_ms(row['p99_s']):>9}"
+        )
+
+    path = critical_path(spans)
+    if path:
+        root = path[0]
+        root_elapsed = max(float(root.get("elapsed_s", 0.0)), 1e-12)
+        lines.append("")
+        lines.append(
+            f"critical path (trace {root.get('trace_id')}, "
+            f"{_format_ms(root_elapsed)} ms):"
+        )
+        for depth, node in enumerate(path):
+            elapsed = float(node.get("elapsed_s", 0.0))
+            share = 100.0 * elapsed / root_elapsed
+            lines.append(
+                f"  {'  ' * depth}{node.get('name')}  "
+                f"{_format_ms(elapsed)} ms ({share:.0f}%)"
+            )
+
+    orphans = orphan_spans(spans)
+    lines.append("")
+    lines.append(f"orphan spans: {len(orphans)}")
+    for record in orphans[:5]:
+        lines.append(
+            f"  {record.get('name')} (span {record.get('span_id')}, "
+            f"parent {record.get('parent_id')} missing)"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.summarize",
+        description="Summarize a JSONL request trace: per-stage latency and critical path.",
+    )
+    parser.add_argument("trace", help="path to a --trace-path JSONL file")
+    parser.add_argument(
+        "--trace-id", default=None,
+        help="restrict the report to one trace id (default: all spans)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        spans = load_spans(args.trace)
+    except OSError as error:
+        print(f"error: cannot read {args.trace}: {error}", file=sys.stderr)
+        return 2
+    if args.trace_id is not None:
+        spans = [record for record in spans if record.get("trace_id") == args.trace_id]
+    try:
+        print(render(spans, args.trace))
+    except BrokenPipeError:  # e.g. `... | head` closed the pipe mid-report
+        sys.stderr.close()  # suppress the interpreter's epilogue warning
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,403 @@
+"""Request tracing: contextvar spans, JSONL export, wire propagation.
+
+A *trace* is one logical request; a *span* is one timed stage inside it.
+Spans form a tree: the serving request is the root, planning / execution /
+engine kernels / cache round-trips are descendants.  The current span rides
+a :class:`contextvars.ContextVar`, so propagation is automatic through
+ordinary calls and explicit at the three places work changes context:
+
+* **threads** — the serving server copies its context into the executor
+  thread (``contextvars.copy_context().run``);
+* **forked workers** — the scheduler ships :func:`wire_context` with each
+  cell and the worker re-parents via :func:`resume_span` (the tracer module
+  global is fork-inherited, so worker spans land in the same JSONL file);
+* **the cache wire** — the remote backend attaches :func:`wire_context` as
+  an optional ``trace`` header field (protocol-v2-compatible: servers that
+  predate it ignore unknown fields) and the cache server records its
+  handling as a child span via :func:`record_span`.
+
+Tracing is **off by default** and free when off: every entry point checks
+the module-global tracer first and yields without allocating.  Turning it
+on (``--trace-path``) must never change computed answers — spans only
+*observe* timings the code already takes; the parity suites pin
+byte-identical output with tracing on and off.
+
+Each completed span is one JSON line::
+
+    {"trace_id": ..., "span_id": ..., "parent_id": ..., "name": ...,
+     "start_s": <epoch>, "elapsed_s": ..., "pid": ..., ...attrs,
+     "stages": {"child-name": seconds, ...}}   # rolled-up child wall-clock
+
+``python -m repro.obs.summarize`` turns a trace file into per-stage latency
+tables and the critical path (see ``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "active_tracer",
+    "add_to_span",
+    "annotate",
+    "current_span",
+    "record_span",
+    "record_timed",
+    "resume_span",
+    "set_active_tracer",
+    "span",
+    "trace_scope",
+    "wire_context",
+]
+
+
+def _new_id() -> str:
+    return os.urandom(8).hex()
+
+
+class _JsonlWriter:
+    """Append-only JSONL sink that survives forks.
+
+    In the owning process, serialization and file IO run on a dedicated
+    writer thread: the instrumented request path only enqueues the record
+    dict, which is what keeps traced hot paths within the overhead budget.
+    The thread's handle is line-buffered, so every record reaches the OS
+    as one whole-line ``O_APPEND`` write.
+
+    Forked workers cannot rely on that thread (it does not survive the
+    fork, and a worker may exit via ``os._exit``, which skips buffered-file
+    finalization), so a write from any pid other than the creator's goes
+    through a synchronous append-and-flush on a per-process handle —
+    single-line ``O_APPEND`` writes keep concurrent processes from
+    corrupting each other's records.
+    """
+
+    #: Seconds between writer-thread drains.  Spans buffer in memory for at
+    #: most this long before reaching the file (``close()`` drains fully).
+    FLUSH_INTERVAL_S = 0.25
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._handle = None
+        self._pid: Optional[int] = None
+        self._origin_pid = os.getpid()
+        # Create/truncate up front so an empty trace run leaves an empty
+        # file rather than nothing (summarize can tell "no spans" from
+        # "wrong path").
+        with open(self.path, "w", encoding="utf-8"):
+            pass
+        self._buffer: list = []
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._drain_loop, name="repro-trace-writer", daemon=True
+        )
+        self._thread.start()
+
+    def _take_buffered(self) -> list:
+        with self._lock:
+            items, self._buffer = self._buffer, []
+        return items
+
+    def _drain_loop(self) -> None:
+        # Line buffering (``buffering=1``) flushes exactly at each newline,
+        # so every record is one raw append even with other processes
+        # writing the same file.
+        with open(self.path, "a", encoding="utf-8", buffering=1) as handle:
+            while True:
+                stopped = self._stop.wait(self.FLUSH_INTERVAL_S)
+                for item in self._take_buffered():
+                    if isinstance(item, tuple):  # a finished Span + elapsed
+                        item = item[0]._record(item[1])
+                    handle.write(
+                        json.dumps(item, separators=(",", ":"), sort_keys=True) + "\n"
+                    )
+                if stopped:
+                    return
+
+    def write(self, record: dict) -> None:
+        if os.getpid() == self._origin_pid:
+            with self._lock:
+                self._buffer.append(record)
+            return
+        self._write_sync(record)
+
+    def write_span(self, span: "Span", elapsed_s: float) -> None:
+        """Buffer a finished span; the writer thread builds its record.
+
+        This is the traced request path, so the caller pays one list append
+        under an uncontended lock — no serialization, no IO, and (unlike a
+        queue) no writer-thread wakeup; the writer polls on its own clock
+        and drains in bulk.  Safe because a span is immutable once its
+        ``with`` block exits.
+        """
+        if os.getpid() == self._origin_pid:
+            with self._lock:
+                self._buffer.append((span, elapsed_s))
+            return
+        self._write_sync(span._record(elapsed_s))
+
+    def _write_sync(self, record: dict) -> None:
+        # Forked worker: the writer thread did not survive the fork, so
+        # serialize and flush inline.
+        line = json.dumps(record, separators=(",", ":"), sort_keys=True) + "\n"
+        with self._lock:
+            pid = os.getpid()
+            if self._handle is None or self._pid != pid:
+                self._handle = open(self.path, "a", encoding="utf-8")
+                self._pid = pid
+            self._handle.write(line)
+            self._handle.flush()
+
+    def close(self) -> None:
+        if os.getpid() == self._origin_pid and self._thread.is_alive():
+            self._stop.set()
+            self._thread.join(timeout=10.0)
+        with self._lock:
+            if self._handle is not None and self._pid == os.getpid():
+                self._handle.close()
+            self._handle = None
+
+
+class Tracer:
+    """Owns the JSONL sink and counts what it wrote."""
+
+    def __init__(self, path: str):
+        self._writer = _JsonlWriter(path)
+        self.path = self._writer.path
+        self.spans_written = 0
+
+    def record(self, record: dict) -> None:
+        self.spans_written += 1
+        self._writer.write(record)
+
+    def record_finished(self, span: "Span", elapsed_s: float) -> None:
+        """Record a completed :class:`Span` (serialization deferred to the
+        writer thread — the cheap path for traced hot code)."""
+        self.spans_written += 1
+        self._writer.write_span(span, elapsed_s)
+
+    def close(self) -> None:
+        self._writer.close()
+
+
+class Span:
+    """One timed stage of a trace; ``attrs`` may be mutated inside the block."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name",
+                 "start_s", "_began", "attrs", "stages")
+
+    def __init__(self, name: str, trace_id: str, parent_id: Optional[str],
+                 attrs: Optional[dict] = None):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = _new_id()
+        self.parent_id = parent_id
+        self.start_s = time.time()
+        self._began = time.perf_counter()
+        self.attrs: dict[str, Any] = dict(attrs) if attrs else {}
+        self.stages: dict[str, float] = {}
+
+    def set(self, **attrs: Any) -> None:
+        self.attrs.update(attrs)
+
+    def add(self, key: str, amount: float = 1) -> None:
+        self.attrs[key] = self.attrs.get(key, 0) + amount
+
+    def _record(self, elapsed_s: float) -> dict:
+        record = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_s": round(self.start_s, 6),
+            "elapsed_s": round(elapsed_s, 9),
+            "pid": os.getpid(),
+        }
+        record.update(self.attrs)
+        if self.stages:
+            record["stages"] = {k: round(v, 9) for k, v in self.stages.items()}
+        return record
+
+
+_CURRENT: contextvars.ContextVar[Optional[Span]] = contextvars.ContextVar(
+    "repro_obs_span", default=None
+)
+
+#: The process-wide tracer; ``None`` means tracing is off (the default).
+#: Module-global on purpose: fork workers inherit it, so one ``--trace-path``
+#: collects the whole pool's spans.
+_TRACER: Optional[Tracer] = None
+
+
+def active_tracer() -> Optional[Tracer]:
+    """The installed tracer, or ``None`` when tracing is off."""
+    return _TRACER
+
+
+def set_active_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Install (or, with ``None``, remove) the process-wide tracer; returns
+    the previous one."""
+    global _TRACER
+    previous, _TRACER = _TRACER, tracer
+    return previous
+
+
+@contextmanager
+def trace_scope(path: Optional[str]) -> Iterator[Optional[Tracer]]:
+    """``with trace_scope(path):`` — trace the block to ``path`` (JSONL),
+    restoring the previous tracer (and closing this one) on exit.  A
+    ``None`` path yields without installing anything, so callers can wrap
+    unconditionally."""
+    if path is None:
+        yield None
+        return
+    tracer = Tracer(path)
+    previous = set_active_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_active_tracer(previous)
+        tracer.close()
+
+
+def current_span() -> Optional[Span]:
+    return _CURRENT.get()
+
+
+@contextmanager
+def span(name: str, **attrs: Any) -> Iterator[Optional[Span]]:
+    """Open a child span of the current one (a new trace if none).
+
+    No-op — ``yield None`` with no allocation — when tracing is off, which
+    is what keeps instrumented hot paths within the overhead budget.
+    """
+    tracer = _TRACER
+    if tracer is None:
+        yield None
+        return
+    parent = _CURRENT.get()
+    current = Span(
+        name,
+        trace_id=parent.trace_id if parent is not None else _new_id(),
+        parent_id=parent.span_id if parent is not None else None,
+        attrs=attrs,
+    )
+    token = _CURRENT.set(current)
+    try:
+        yield current
+    finally:
+        _CURRENT.reset(token)
+        elapsed = time.perf_counter() - current._began
+        if parent is not None:
+            parent.stages[name] = parent.stages.get(name, 0.0) + elapsed
+        tracer.record_finished(current, elapsed)
+
+
+@contextmanager
+def resume_span(context: Optional[dict], name: str, **attrs: Any) -> Iterator[Optional[Span]]:
+    """Open a span whose parent came over a process/wire boundary.
+
+    ``context`` is a :func:`wire_context` dict captured on the other side;
+    when it is ``None`` (tracing was off there) or no tracer is installed
+    here, the block runs untraced.
+    """
+    tracer = _TRACER
+    if tracer is None or not context:
+        yield None
+        return
+    current = Span(
+        name,
+        trace_id=str(context.get("trace_id", _new_id())),
+        parent_id=context.get("span_id"),
+        attrs=attrs,
+    )
+    token = _CURRENT.set(current)
+    try:
+        yield current
+    finally:
+        _CURRENT.reset(token)
+        tracer.record_finished(current, time.perf_counter() - current._began)
+
+
+def wire_context() -> Optional[dict]:
+    """The current span's identity as a JSON-safe dict, for shipping to a
+    worker process or a cache server (``None`` when not tracing)."""
+    current = _CURRENT.get() if _TRACER is not None else None
+    if current is None:
+        return None
+    return {"trace_id": current.trace_id, "span_id": current.span_id}
+
+
+def record_timed(name: str, elapsed_s: float, **attrs: Any) -> None:
+    """Record an already-measured duration as a child span of the current
+    one — zero extra clock reads, used for timings the code takes anyway
+    (engine kernels measure recompute cost for the cache's GDSF policy)."""
+    tracer = _TRACER
+    if tracer is None:
+        return
+    parent = _CURRENT.get()
+    record = {
+        "trace_id": parent.trace_id if parent is not None else _new_id(),
+        "span_id": _new_id(),
+        "parent_id": parent.span_id if parent is not None else None,
+        "name": name,
+        "start_s": round(time.time() - elapsed_s, 6),
+        "elapsed_s": round(elapsed_s, 9),
+        "pid": os.getpid(),
+    }
+    record.update(attrs)
+    if parent is not None:
+        parent.stages[name] = parent.stages.get(name, 0.0) + elapsed_s
+    tracer.record(record)
+
+
+def record_span(name: str, context: Optional[dict], elapsed_s: float, **attrs: Any) -> None:
+    """Record a span parented by a wire ``trace`` header (cache server side).
+
+    No contextvar involvement: the server measures its own handling time
+    and links it under the client's span so the merged JSONL reads as one
+    connected trace.  No-op without a tracer or without a context.
+    """
+    tracer = _TRACER
+    if tracer is None or not context:
+        return
+    record = {
+        "trace_id": str(context.get("trace_id", "")),
+        "span_id": _new_id(),
+        "parent_id": context.get("span_id"),
+        "name": name,
+        "start_s": round(time.time() - elapsed_s, 6),
+        "elapsed_s": round(elapsed_s, 9),
+        "pid": os.getpid(),
+    }
+    record.update(attrs)
+    tracer.record(record)
+
+
+def annotate(**attrs: Any) -> None:
+    """Merge attributes into the current span (no-op when not tracing)."""
+    if _TRACER is None:
+        return
+    current = _CURRENT.get()
+    if current is not None:
+        current.attrs.update(attrs)
+
+
+def add_to_span(key: str, amount: float = 1) -> None:
+    """Increment a numeric attribute on the current span (no-op when not
+    tracing) — how the engine folds cache hit/miss counts into whichever
+    request span is running."""
+    if _TRACER is None:
+        return
+    current = _CURRENT.get()
+    if current is not None:
+        current.attrs[key] = current.attrs.get(key, 0) + amount

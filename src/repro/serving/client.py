@@ -92,6 +92,11 @@ class ServingClient:
     def stats(self) -> dict:
         return self.request("stats")
 
+    def telemetry(self) -> dict:
+        """The server's unified telemetry snapshot plus Prometheus text
+        (``result["telemetry"]`` / ``result["prometheus"]``)."""
+        return self.request("telemetry")
+
     def health(self) -> dict:
         return self.request("health")
 

@@ -58,6 +58,7 @@ from repro.evaluation.runner import (
 from repro.exceptions import DataGenerationError, QueryError, ReproError
 from repro.graph.generators import amazon_like, deezer_like, powerlaw_graph
 from repro.graph.kstar import KStarQuery, kstar_count
+from repro.obs.trace import span
 from repro.serving.protocol import ServingError
 from repro.serving.singleflight import SingleFlight
 from repro.workloads.kstar_queries import kstar_query
@@ -500,15 +501,24 @@ class QueryPlanner:
             planned.epsilon,
             planned.trials,
         )
-        try:
-            if planned.entry.is_graph:
-                result = self._execute_kstar(planned, stream)
-            else:
-                result = self._execute_star(planned, stream)
-        except ServingError:
-            raise
-        except ReproError as error:
-            raise ServingError("query_error", str(error)) from None
+        # One span per *engine execution*: coalesced callers share it (their
+        # payloads flag `coalesced`), so traced time is never double-counted.
+        with span(
+            "serve.execute",
+            database=planned.entry.name,
+            mechanism=planned.mechanism,
+            query=str(planned.query_name),
+            trials=planned.trials,
+        ):
+            try:
+                if planned.entry.is_graph:
+                    result = self._execute_kstar(planned, stream)
+                else:
+                    result = self._execute_star(planned, stream)
+            except ServingError:
+                raise
+            except ReproError as error:
+                raise ServingError("query_error", str(error)) from None
         if result.unsupported:
             raise ServingError(
                 "unsupported",
@@ -542,15 +552,16 @@ class QueryPlanner:
             planned.mechanism, planned.epsilon, scenario=planned.entry.scenario
         )
         exact = QueryExecutor(database).execute(planned.query)
-        return evaluate_mechanism(
-            mechanism,
-            database,
-            planned.query,
-            trials=planned.trials,
-            rng=stream,
-            exact_answer=exact,
-            record_answers=True,
-        )
+        with span("mechanism.trials", mechanism=planned.mechanism, trials=planned.trials):
+            return evaluate_mechanism(
+                mechanism,
+                database,
+                planned.query,
+                trials=planned.trials,
+                rng=stream,
+                exact_answer=exact,
+                record_answers=True,
+            )
 
     def _execute_kstar(
         self, planned: PlannedQuery, stream: np.random.SeedSequence
@@ -558,15 +569,16 @@ class QueryPlanner:
         graph = planned.entry.database
         mechanism = make_kstar_mechanism(planned.mechanism, planned.epsilon)
         exact = kstar_count(graph, planned.query)
-        return evaluate_kstar_mechanism(
-            mechanism,
-            graph,
-            planned.query,
-            trials=planned.trials,
-            rng=stream,
-            exact_answer=exact,
-            record_answers=True,
-        )
+        with span("mechanism.trials", mechanism=planned.mechanism, trials=planned.trials):
+            return evaluate_kstar_mechanism(
+                mechanism,
+                graph,
+                planned.query,
+                trials=planned.trials,
+                rng=stream,
+                exact_answer=exact,
+                record_answers=True,
+            )
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:

@@ -3,8 +3,8 @@
 The protocol is deliberately minimal: newline-delimited JSON objects
 ("JSON lines") over a stream connection.  Every request is one object with
 an ``op`` field (``ping`` / ``register`` / ``query`` / ``budget`` /
-``stats`` / ``health`` / ``shutdown``) plus op-specific fields, and every
-response is one
+``stats`` / ``telemetry`` / ``health`` / ``shutdown``) plus op-specific
+fields, and every response is one
 object with ``ok`` — ``{"ok": true, "result": {...}}`` on success,
 ``{"ok": false, "error": {"code": ..., "message": ..., ...}}`` on failure.
 Requests may carry an ``id`` which the response echoes, so a client can

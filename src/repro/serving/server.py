@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import contextvars
 import json
 import signal
 import sys
@@ -33,6 +34,9 @@ from repro.db.cache import CACHE_BACKENDS, active_backend, make_backend, set_act
 from repro.db.cache import DEFAULT_EVICTION_POLICY, EVICTION_POLICIES
 from repro.db.cache.warming import WarmAheadWorker, WarmingQueue, set_active_queue
 from repro.dp.accountant import PrivacyBudget
+from repro.obs.metrics import active_registry, render_prometheus, unified_snapshot
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import Tracer, active_tracer, set_active_tracer, span
 from repro.serving.ledger import BudgetLedger
 from repro.serving.planner import QueryPlanner
 from repro.serving.protocol import (
@@ -62,6 +66,7 @@ class QueryServer:
         max_queue: int = 32,
         drain_timeout: float = 10.0,
         warm_ahead: bool = False,
+        slow_query_log: Optional[SlowQueryLog] = None,
     ):
         self.planner = planner if planner is not None else QueryPlanner()
         self.ledger = ledger if ledger is not None else BudgetLedger()
@@ -115,6 +120,10 @@ class QueryServer:
         )
         self._warming_busy = False
         self._previous_queue: Optional[WarmingQueue] = None
+        #: Structured slow-query JSONL (``--slow-query-ms``): requests slower
+        #: than the threshold are logged with trace id, query fingerprint,
+        #: ε and the root span's per-stage timings.  ``None`` = disabled.
+        self.slow_query_log = slow_query_log
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -294,6 +303,8 @@ class QueryServer:
             return self.ledger.summary(str(analyst) if analyst else None), False
         if op == "stats":
             return self._op_stats(), False
+        if op == "telemetry":
+            return self._op_telemetry(), False
         if op == "health":
             return self._op_health(), False
         if op == "shutdown":
@@ -301,7 +312,7 @@ class QueryServer:
         raise ServingError(
             "unknown_op",
             f"unknown op {op!r}; available: "
-            "ping, register, query, budget, stats, health, shutdown",
+            "ping, register, query, budget, stats, telemetry, health, shutdown",
         )
 
     def _op_ping(self) -> dict:
@@ -333,76 +344,147 @@ class QueryServer:
         return max(50, int(estimate * (self._queued + 1) * 1000))
 
     async def _op_query(self, message: dict) -> dict:
-        planned = self.planner.plan(message)
-        analyst = str(message.get("analyst") or "anonymous")
-        # Overload shedding before any budget is touched: when every
-        # execution slot is taken and the wait queue is full, refuse with a
-        # structured `overloaded` error (queue depth + retry hint) instead
-        # of queueing without bound.  A shed request costs no budget.
-        if self._capacity.locked() and self._queued >= self.max_queue:
-            self.requests_refused_overload += 1
-            raise ServingError(
-                "overloaded",
-                f"server at capacity ({self._inflight} in flight, "
-                f"{self._queued} queued); retry later",
-                in_flight=self._inflight,
-                queue_depth=self._queued,
-                max_inflight=self.max_inflight,
-                max_queue=self.max_queue,
-                retry_after_ms=self._retry_after_ms(),
-            )
-        self._queued += 1
-        try:
-            await self._capacity.acquire()
-        finally:
-            self._queued -= 1
-        self._inflight += 1
-        try:
-            # Each trial is an independent noisy release of the same
-            # statistic, so a request composes sequentially across its own
-            # trials: the charge is trials × ε.  (Within each trial, a
-            # GROUP BY's disjoint partitions still compose in parallel.)
-            charge = PrivacyBudget(planned.epsilon * planned.trials)
-            label = f"{planned.entry.name}:{planned.query_name}:{planned.mechanism}"
-            # Admission before execution: an exhausted analyst costs no
-            # engine work, and on a durable ledger the pending charge is on
-            # disk before the engine may run.
-            admission = self.ledger.admit(
-                analyst, charge, label=label, parallel=planned.parallel
-            )
-            loop = asyncio.get_running_loop()
-            started = loop.time()
-            try:
-                payload = await loop.run_in_executor(
-                    self._executor, self.planner.execute, planned
+        registry = active_registry()
+        registry.counter("serving_requests_total").inc()
+        request_began = time.perf_counter()
+        # The root span of the request trace; every downstream span —
+        # planning, execution, engine kernels, cache round-trips (including
+        # the remote cache server's side) — descends from it.  `span` yields
+        # None when tracing is off, and nothing below allocates in that case.
+        with span("serve.request") as root:
+            with span("serve.plan"):
+                planned = self.planner.plan(message)
+            analyst = str(message.get("analyst") or "anonymous")
+            if root is not None:
+                root.set(
+                    analyst=analyst,
+                    database=planned.entry.name,
+                    query=str(planned.query_name),
+                    mechanism=planned.mechanism,
+                    epsilon=planned.epsilon,
+                    trials=planned.trials,
                 )
-            except Exception:
-                # Nothing was released (unsupported combination, engine
-                # failure): the analyst gets the charge back along with the
-                # structured error.
-                self.ledger.refund_admission(admission)
-                raise
-            elapsed = loop.time() - started
-            self._execution_ewma = (
-                elapsed
-                if self._execution_ewma is None
-                else 0.8 * self._execution_ewma + 0.2 * elapsed
-            )
-            # The answer is about to go out: settle the journalled charge.
-            self.ledger.settle(admission)
-        finally:
-            self._inflight -= 1
-            self._capacity.release()
-        if not self.accuracy_metadata:
-            payload.pop("mean_relative_error", None)
-            payload.pop("median_relative_error", None)
-        payload["privacy"] = {
+            # Overload shedding before any budget is touched: when every
+            # execution slot is taken and the wait queue is full, refuse with a
+            # structured `overloaded` error (queue depth + retry hint) instead
+            # of queueing without bound.  A shed request costs no budget.
+            if self._capacity.locked() and self._queued >= self.max_queue:
+                self.requests_refused_overload += 1
+                registry.counter("serving_overload_refusals_total").inc()
+                if root is not None:
+                    root.set(outcome="overloaded")
+                raise ServingError(
+                    "overloaded",
+                    f"server at capacity ({self._inflight} in flight, "
+                    f"{self._queued} queued); retry later",
+                    in_flight=self._inflight,
+                    queue_depth=self._queued,
+                    max_inflight=self.max_inflight,
+                    max_queue=self.max_queue,
+                    retry_after_ms=self._retry_after_ms(),
+                )
+            self._queued += 1
+            queue_began = time.perf_counter()
+            try:
+                await self._capacity.acquire()
+            finally:
+                self._queued -= 1
+            queue_wait = time.perf_counter() - queue_began
+            registry.histogram("serving_queue_wait_seconds").observe(queue_wait)
+            if root is not None:
+                root.set(queue_wait_s=round(queue_wait, 9))
+            self._inflight += 1
+            try:
+                # Each trial is an independent noisy release of the same
+                # statistic, so a request composes sequentially across its own
+                # trials: the charge is trials × ε.  (Within each trial, a
+                # GROUP BY's disjoint partitions still compose in parallel.)
+                charge = PrivacyBudget(planned.epsilon * planned.trials)
+                label = f"{planned.entry.name}:{planned.query_name}:{planned.mechanism}"
+                # Admission before execution: an exhausted analyst costs no
+                # engine work, and on a durable ledger the pending charge is on
+                # disk before the engine may run.
+                admission = self.ledger.admit(
+                    analyst, charge, label=label, parallel=planned.parallel
+                )
+                loop = asyncio.get_running_loop()
+                started = loop.time()
+                try:
+                    if active_tracer() is not None:
+                        # contextvars do not follow run_in_executor by
+                        # themselves: ship a copy of this task's context so
+                        # the executor thread's spans parent under `root`.
+                        # Only when tracing — the untraced path is unchanged.
+                        context = contextvars.copy_context()
+                        payload = await loop.run_in_executor(
+                            self._executor, context.run, self.planner.execute, planned
+                        )
+                    else:
+                        payload = await loop.run_in_executor(
+                            self._executor, self.planner.execute, planned
+                        )
+                except Exception:
+                    # Nothing was released (unsupported combination, engine
+                    # failure): the analyst gets the charge back along with the
+                    # structured error.
+                    self.ledger.refund_admission(admission)
+                    if root is not None:
+                        root.set(outcome="error")
+                    raise
+                elapsed = loop.time() - started
+                self._execution_ewma = (
+                    elapsed
+                    if self._execution_ewma is None
+                    else 0.8 * self._execution_ewma + 0.2 * elapsed
+                )
+                registry.gauge("serving_execution_ewma_seconds").set(self._execution_ewma)
+                registry.gauge("serving_retry_after_ms").set(float(self._retry_after_ms()))
+                # The answer is about to go out: settle the journalled charge.
+                self.ledger.settle(admission)
+            finally:
+                self._inflight -= 1
+                self._capacity.release()
+            if not self.accuracy_metadata:
+                payload.pop("mean_relative_error", None)
+                payload.pop("median_relative_error", None)
+            payload["privacy"] = {
+                "analyst": analyst,
+                "epsilon_charged": charge.epsilon,
+                "composition": "parallel" if planned.parallel else "sequential",
+                "remaining_epsilon": self.ledger.summary(analyst)["remaining_epsilon"],
+            }
+            request_elapsed = time.perf_counter() - request_began
+            registry.histogram("serving_request_seconds").observe(request_elapsed)
+            if root is not None:
+                root.set(outcome="ok")
+            self._record_if_slow(request_elapsed, planned, label, analyst, root)
+            return payload
+
+    def _record_if_slow(self, elapsed_s, planned, label, analyst, root) -> None:
+        """Log the finished request if it crossed the slow-query threshold.
+
+        By the time this runs every child span has closed, so the root
+        span's ``stages`` roll-up gives the per-stage breakdown without any
+        extra bookkeeping on the fast path.
+        """
+        if self.slow_query_log is None:
+            return
+        fields = {
             "analyst": analyst,
-            "epsilon_charged": charge.epsilon,
-            "composition": "parallel" if planned.parallel else "sequential",
-            "remaining_epsilon": self.ledger.summary(analyst)["remaining_epsilon"],
+            "fingerprint": label,
+            "database": planned.entry.name,
+            "query": str(planned.query_name),
+            "mechanism": planned.mechanism,
+            "epsilon": planned.epsilon,
+            "trials": planned.trials,
         }
-        return payload
+        if root is not None:
+            fields["trace_id"] = root.trace_id
+            fields["stages_ms"] = {
+                name: round(total * 1000.0, 3) for name, total in root.stages.items()
+            }
+        if self.slow_query_log.record_if_slow(elapsed_s, **fields):
+            active_registry().counter("serving_slow_queries_total").inc()
 
     def _op_stats(self) -> dict:
         backend = active_backend()
@@ -426,8 +508,69 @@ class QueryServer:
             ),
         }
 
+    def telemetry_snapshot(self) -> dict:
+        """The full registry state plus server/backend context in the
+        unified telemetry schema (:data:`~repro.obs.metrics.UNIFIED_KEYS`).
+
+        The active registry carries the cross-cutting instrument catalog
+        (engine, executor, serving, warming counters/histograms); the
+        server's own admission counters and the cache backend's unified
+        snapshot ride along so one ``telemetry`` op shows the whole process.
+        """
+        from repro import __version__  # local import: repro/__init__ is layered above
+
+        registry = active_registry().snapshot()
+        backend = active_backend()
+        backend_telemetry = getattr(backend, "telemetry_snapshot", None)
+        tracer = active_tracer()
+        return unified_snapshot(
+            counters={
+                **registry["counters"],
+                "requests_served": self.requests_served,
+                "requests_refused_overload": self.requests_refused_overload,
+            },
+            gauges={
+                **registry["gauges"],
+                "uptime_s": round(time.monotonic() - self._started_at, 3),
+                "in_flight": self._inflight,
+                "queued": self._queued,
+                "execution_ewma_s": round(self._execution_ewma or 0.0, 9),
+            },
+            histograms=registry["histograms"],
+            subsystem={
+                "name": "serving",
+                "version": __version__,
+                "protocol": PROTOCOL_VERSION,
+                "tracing": tracer is not None,
+                "trace_spans_written": tracer.spans_written if tracer is not None else 0,
+                "cache": (
+                    backend_telemetry() if callable(backend_telemetry) else None
+                ),
+                "planner": self.planner.stats(),
+                "warming": (
+                    self.warming_worker.stats()
+                    if self.warming_worker is not None
+                    else None
+                ),
+                "slow_query_log": (
+                    self.slow_query_log.stats()
+                    if self.slow_query_log is not None
+                    else None
+                ),
+            },
+        )
+
+    def _op_telemetry(self) -> dict:
+        snapshot = self.telemetry_snapshot()
+        return {
+            "telemetry": snapshot,
+            "prometheus": render_prometheus(snapshot, prefix="repro_serving"),
+        }
+
     def _op_health(self) -> dict:
         """Queue / ledger / cache state in one cheap read-only probe."""
+        from repro import __version__  # local import: repro/__init__ is layered above
+
         backend = active_backend()
         breaker_stats = getattr(backend, "breaker_stats", None)
         saturated = (
@@ -441,6 +584,7 @@ class QueryServer:
             status = "ok"
         return {
             "status": status,
+            "version": __version__,
             "uptime_s": round(time.monotonic() - self._started_at, 3),
             "requests_served": self.requests_served,
             "requests_refused_overload": self.requests_refused_overload,
@@ -449,6 +593,8 @@ class QueryServer:
                 "queued": self._queued,
                 "max_inflight": self.max_inflight,
                 "max_queue": self.max_queue,
+                "overloaded": saturated,
+                "execution_ewma_s": round(self._execution_ewma or 0.0, 9),
                 "retry_after_ms": self._retry_after_ms() if saturated else 0,
             },
             "ledger": {
@@ -683,6 +829,34 @@ def _build_parser() -> argparse.ArgumentParser:
             '\'{"name": "demo", "kind": "ssb", "scale_factor": 0.1}\' (repeatable)'
         ),
     )
+    parser.add_argument(
+        "--trace-path",
+        default=None,
+        metavar="FILE",
+        help=(
+            "record request traces to this JSONL file: one span per stage "
+            "(serve/plan/execute/engine kernel/cache round-trip), rendered "
+            "by python -m repro.obs.summarize; answers are unchanged "
+            "(see docs/OBSERVABILITY.md)"
+        ),
+    )
+    parser.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "log queries slower than this threshold to --slow-query-path "
+            "as structured JSONL (trace id, query fingerprint, ε, "
+            "per-stage timings)"
+        ),
+    )
+    parser.add_argument(
+        "--slow-query-path",
+        default=None,
+        metavar="FILE",
+        help="destination of the slow-query log (requires --slow-query-ms)",
+    )
     return parser
 
 
@@ -698,6 +872,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.data_dir and args.storage != "mapped":
         print("--data-dir only applies with --storage mapped", file=sys.stderr)
         return 2
+    if (args.slow_query_ms is None) != (args.slow_query_path is None):
+        print("--slow-query-ms and --slow-query-path go together", file=sys.stderr)
+        return 2
     try:
         backend = make_backend(
             args.cache_backend,
@@ -711,6 +888,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"cannot build cache backend: {error}", file=sys.stderr)
         return 2
     previous = set_active_backend(backend)
+    # Install the tracer before anything serves: fork/thread consumers
+    # inherit the module global, so every span lands in one JSONL file.
+    tracer = Tracer(args.trace_path) if args.trace_path else None
+    previous_tracer = set_active_tracer(tracer) if tracer is not None else None
+    slow_query_log = (
+        SlowQueryLog(args.slow_query_path, args.slow_query_ms)
+        if args.slow_query_ms is not None
+        else None
+    )
     try:
         planner = QueryPlanner(seed=args.seed, storage=args.storage, data_dir=args.data_dir)
         for spec_text in args.register:
@@ -749,6 +935,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 max_inflight=args.max_inflight,
                 max_queue=args.max_queue,
                 warm_ahead=args.warm_ahead,
+                slow_query_log=slow_query_log,
             )
         except ValueError as error:
             print(f"invalid server configuration: {error}", file=sys.stderr)
@@ -760,8 +947,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         finally:
             ledger.close()  # aclose() already closed it; idempotent
         print("server stopped")
+        if tracer is not None:
+            print(f"trace: {tracer.spans_written} span(s) -> {tracer.path}")
+        if slow_query_log is not None:
+            print(
+                f"slow-query log: {slow_query_log.recorded} record(s) "
+                f"-> {slow_query_log.path}"
+            )
         return 0
     finally:
+        if tracer is not None:
+            set_active_tracer(previous_tracer)
+            tracer.close()
         close = getattr(backend, "close", None)
         if close is not None:
             close()

@@ -342,6 +342,23 @@ class TestOfflineParity:
         )
         assert local["mean_relative_error"] == shared["mean_relative_error"]
 
+    def test_parity_with_tracing_on(self, planner, tmp_path):
+        """--trace-path observes the request; the bytes must not move."""
+        from repro.obs.trace import trace_scope
+
+        request = {
+            "database": "demo",
+            "mechanism": "PM",
+            "epsilon": 0.5,
+            "query": "Qc3",
+            "trials": 2,
+        }
+        untraced = planner.execute(planner.plan(request))
+        with trace_scope(str(tmp_path / "trace.jsonl")):
+            traced = planner.execute(planner.plan(request))
+        assert json.dumps(traced["answers"]) == json.dumps(untraced["answers"])
+        assert traced["mean_relative_error"] == untraced["mean_relative_error"]
+
 
 class TestRemoteCacheServerParity:
     """Serving through a live out-of-process cache server: the bytes match
