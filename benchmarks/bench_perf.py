@@ -1066,6 +1066,179 @@ def bench_telemetry_overhead(repeats: int, quick_mode: bool = False) -> dict:
     }
 
 
+def bench_sharded_serving(repeats: int, quick_mode: bool = False) -> dict:
+    """Throughput scaling of the fleet router across serving shards, with
+    byte-identical answers pinned against a direct single server.
+
+    On this one-CPU container adding shards cannot scale *compute*, so the
+    kernel is deliberately latency-bound: every planner execution sleeps a
+    fixed simulated I/O latency, each shard admits one request at a time
+    (``workers=1, max_inflight=1`` — a shard is a serial resource), and the
+    four concurrent clients are analysts pre-picked so the router's hash
+    ring homes two on each shard.  One shard then serves ~1/latency rps and
+    two shards about twice that; the measured scaling is the router's
+    fan-out doing its job, not a parallel-CPU artefact (``cpus`` is recorded
+    so readers can tell).  The identity check is the real acceptance bar:
+    routed answers must match a direct, router-free server byte for byte.
+    """
+    import threading
+
+    from repro.dp.accountant import PrivacyBudget
+    from repro.serving import (
+        BudgetLedger,
+        FleetRouter,
+        FleetThread,
+        QueryPlanner,
+        QueryServer,
+        ServerThread,
+        ServingClient,
+    )
+
+    delay_s = 0.02
+    rows = 2_000
+    clients_n = 4
+    requests_per_client = 4 if quick_mode else 8
+    queries = ("Qc1", "Qc2", "Qs2")
+
+    class _LatencyPlanner(QueryPlanner):
+        """The serving planner with a fixed simulated I/O latency per
+        execution — the cache misses / storage reads a bigger deployment
+        pays per request, collapsed into one deterministic sleep."""
+
+        def execute(self, planned):
+            result = super().execute(planned)
+            time.sleep(delay_s)
+            return result
+
+    def build_shard(latency: bool = True):
+        planner_cls = _LatencyPlanner if latency else QueryPlanner
+        planner = planner_cls(seed=20230811)
+        planner.register(
+            "bench", "ssb", scale_factor=1.0, rows_per_scale_factor=rows, seed=7
+        )
+        return QueryServer(
+            planner,
+            BudgetLedger(PrivacyBudget(1e6)),
+            port=0,
+            workers=1,
+            max_inflight=1,
+            max_queue=64,
+        )
+
+    # Each client gets a distinct epsilon per request so no two in-flight
+    # requests share a fingerprint — single-flight coalescing would let one
+    # execution serve several clients and flatter the scaling numbers.
+    def request_plan(client: int):
+        return [
+            (queries[index % len(queries)], round(0.1 + 0.05 * client + 0.01 * index, 4))
+            for index in range(requests_per_client)
+        ]
+
+    def run_level(shard_count: int):
+        shards = [build_shard() for _ in range(shard_count)]
+        shard_threads = [ServerThread(shard) for shard in shards]
+        for thread in shard_threads:
+            thread.start()
+        labels = [f"127.0.0.1:{shard.port}" for shard in shards]
+        router = FleetRouter(labels)
+        # Pre-pick analysts so the clients split evenly across the shards
+        # (round-robin over home shards) — the scaling number measures the
+        # fleet, not the luck of the hash.
+        analysts = []
+        wanted = {label: 0 for label in labels}
+        candidate = 0
+        while len(analysts) < clients_n:
+            name = f"bench-{candidate}"
+            candidate += 1
+            home = router.home_shard(name)
+            if wanted[home] < (clients_n + shard_count - 1) // shard_count:
+                wanted[home] += 1
+                analysts.append(name)
+        samples = []
+        with FleetThread(router):
+            # Untimed warm-up: exact answers and masks computed once so the
+            # timed passes measure the serving steady state plus the
+            # simulated latency, not datagen.
+            with ServingClient(port=router.port) as client:
+                for query in queries:
+                    client.query("bench", "PM", 1.0, query=query, analyst=analysts[0])
+
+            def client_loop(index: int, barrier: threading.Barrier) -> None:
+                with ServingClient(port=router.port) as client:
+                    barrier.wait()
+                    for query, epsilon in request_plan(index):
+                        client.query(
+                            "bench", "PM", epsilon, query=query, analyst=analysts[index]
+                        )
+
+            for _ in range(repeats):
+                barrier = threading.Barrier(clients_n + 1)
+                threads = [
+                    threading.Thread(target=client_loop, args=(index, barrier))
+                    for index in range(clients_n)
+                ]
+                for thread in threads:
+                    thread.start()
+                barrier.wait()
+                start = time.perf_counter()
+                for thread in threads:
+                    thread.join()
+                samples.append(time.perf_counter() - start)
+            with ServingClient(port=router.port) as client:
+                routed = client.stats()["router"]["routed_per_shard"]
+            # The identity pass: every (query, epsilon) cell the clients
+            # replayed, once through the router — answers are pure functions
+            # of (seed, request), so one replay per cell suffices.
+            answers = {}
+            with ServingClient(port=router.port) as client:
+                for index in range(clients_n):
+                    for query, epsilon in request_plan(index):
+                        payload = client.query(
+                            "bench", "PM", epsilon, query=query, analyst=analysts[index]
+                        )
+                        answers[(query, epsilon)] = json.dumps(payload["answers"])
+        for thread in shard_threads:
+            thread.stop()
+        total = clients_n * requests_per_client
+        mean = sum(samples) / len(samples)
+        return {
+            "shards": shard_count,
+            "requests": total,
+            "mean_s": round(mean, 6),
+            "rps": round(total / mean, 2),
+            "samples": [round(sample, 6) for sample in samples],
+            "routed_per_shard": routed,
+        }, answers
+
+    one_shard, answers_one = run_level(1)
+    two_shards, answers_two = run_level(2)
+
+    # Reference: a direct, router-free server answering the same cells.
+    reference = build_shard(latency=False)
+    direct_answers = {}
+    with ServerThread(reference):
+        with ServingClient(port=reference.port) as client:
+            for index in range(clients_n):
+                for query, epsilon in request_plan(index):
+                    payload = client.query(
+                        "bench", "PM", epsilon, query=query, analyst="direct"
+                    )
+                    direct_answers[(query, epsilon)] = json.dumps(payload["answers"])
+
+    results_identical = answers_one == answers_two == direct_answers
+    return {
+        "delay_s": delay_s,
+        "rows_per_scale_factor": rows,
+        "clients": clients_n,
+        "requests_per_client": requests_per_client,
+        "cpus": os.cpu_count() or 1,
+        "query_mix": list(queries),
+        "levels": {"1": one_shard, "2": two_shards},
+        "throughput_scaling": round(two_shards["rps"] / one_shard["rps"], 2),
+        "results_identical": results_identical,
+    }
+
+
 def run_benchmarks(repeats: int = 3, quick_mode: bool = False) -> dict:
     # The parallel-runner baseline goes first: forked workers inherit the
     # parent's heap, so measuring it before the other kernels grow the
@@ -1160,6 +1333,14 @@ def run_benchmarks(repeats: int = 3, quick_mode: bool = False) -> dict:
           f"{serving['coalesced']} coalesced)")
 
     _clear_caches()
+    sharded = bench_sharded_serving(repeats, quick_mode=quick_mode)
+    print(f"{'sharded_serving':>15}: 1 shard {sharded['levels']['1']['rps']:.0f} rps -> "
+          f"2 shards {sharded['levels']['2']['rps']:.0f} rps "
+          f"({sharded['throughput_scaling']}x, "
+          f"identical={sharded['results_identical']}, "
+          f"{sharded['cpus']} cpu(s), latency-bound)")
+
+    _clear_caches()
     telemetry = bench_telemetry_overhead(repeats, quick_mode=quick_mode)
     print(f"{'telemetry_overhead':>15}: baseline {telemetry['uninstrumented_rps']:.0f} rps, "
           f"instrumented {telemetry['overhead_pct_tracing_off']:+.1f}% "
@@ -1168,7 +1349,7 @@ def run_benchmarks(repeats: int = 3, quick_mode: bool = False) -> dict:
           f"(budget <{telemetry['budget_pct']['tracing_on']:.0f}%)")
 
     return {
-        "schema_version": 9,
+        "schema_version": 10,
         "repeats": repeats,
         "python": platform.python_version(),
         "machine": platform.machine(),
@@ -1182,6 +1363,7 @@ def run_benchmarks(repeats: int = 3, quick_mode: bool = False) -> dict:
         "fault_tolerance": fault,
         "columnar_storage": columnar,
         "serving_throughput": serving,
+        "sharded_serving": sharded,
         "telemetry_overhead": telemetry,
         "total_mean_s": round(sum(t["mean_s"] for t in timings.values()), 6),
     }

@@ -48,7 +48,9 @@ from repro.db.cache.fingerprints import (
 )
 from repro.db.cache.local import LocalCacheBackend, LruCache
 from repro.db.cache.remote import RemoteCacheBackend, parse_cache_url
+from repro.db.cache.ring import HashRing
 from repro.db.cache.shared import SharedMemoryCacheBackend
+from repro.db.cache.sharded import ShardedCacheBackend, parse_shard_urls
 
 __all__ = [
     "BOUNDED_REGIONS",
@@ -57,11 +59,13 @@ __all__ = [
     "CacheStats",
     "DEFAULT_EVICTION_POLICY",
     "EVICTION_POLICIES",
+    "HashRing",
     "LocalCacheBackend",
     "LruCache",
     "REGIONS",
     "RemoteCacheBackend",
     "SHARED_REGIONS",
+    "ShardedCacheBackend",
     "SharedMemoryCacheBackend",
     "active_backend",
     "backend_scope",
@@ -69,6 +73,7 @@ __all__ = [
     "make_backend",
     "measure_fingerprint",
     "parse_cache_url",
+    "parse_shard_urls",
     "predicate_fingerprint",
     "query_fingerprint",
     "selection_fingerprint",
@@ -87,6 +92,7 @@ def make_backend(
     path: "str | None" = None,
     policy: str = DEFAULT_EVICTION_POLICY,
     max_bytes: "int | None" = None,
+    replicas: int = 1,
 ) -> CacheBackend:
     """Build a cache backend by its configuration name.
 
@@ -100,7 +106,12 @@ def make_backend(
     bounded at 16 × that budget.  The remote backend needs a server: ``url``
     (``--cache-url host:port``) names a running
     ``python -m repro.db.cache.server``; ``path`` (``--cache-path``) starts
-    an embedded one persisting to that sqlite file instead.
+    an embedded one persisting to that sqlite file instead.  A
+    *comma-separated* ``url`` list (``--cache-url h:p1,h:p2``) shards the
+    keyspace across those servers on a consistent-hash ring
+    (:class:`~repro.db.cache.sharded.ShardedCacheBackend`); ``replicas``
+    then writes each entry to that many distinct shards and reads fail over
+    when a primary's breaker is open.
     """
     shared_bytes = None if max_bytes is None else int(max_bytes) * 16
     if name == "local":
@@ -114,8 +125,22 @@ def make_backend(
             max_shared_bytes=shared_bytes,
         )
     if name == "remote":
+        shard_labels = parse_shard_urls(url) if url is not None else None
+        if shard_labels is not None and len(shard_labels) > 1:
+            if path is not None:
+                raise ValueError("pass either a shard url list or path=, not both")
+            return ShardedCacheBackend(
+                urls=shard_labels,
+                replicas=replicas,
+                max_entries=max_entries,
+                server_max_entries=max_entries * 16,
+                policy=policy,
+                max_bytes=max_bytes,
+                server_max_bytes=shared_bytes,
+            )
         return RemoteCacheBackend(
-            url=url, path=path, max_entries=max_entries,
+            url=shard_labels[0] if shard_labels is not None else None,
+            path=path, max_entries=max_entries,
             server_max_entries=max_entries * 16,
             policy=policy,
             max_bytes=max_bytes,

@@ -182,7 +182,14 @@ class RemoteCacheBackend:
             failure_threshold=breaker_threshold,
             reset_timeout=breaker_reset_timeout,
         )
-        self._jitter = random.Random()  # independent of the global stream
+        # Backoff jitter RNG: lazily (re)seeded per pid by _jitter_rng().  A
+        # single generator created here would be inherited byte-identically
+        # by every forked pool worker, so jobs=N workers hitting a struggling
+        # server would back off in lockstep — a thundering herd precisely
+        # when the server least needs one.  Same pattern as the pid-keyed
+        # connection pool below.  Independent of the global random stream.
+        self._jitter: Optional[random.Random] = None
+        self._jitter_pid: Optional[int] = None
         self.max_connections = max(1, int(max_connections))
         self._server_handle = None
         if path is not None:
@@ -269,9 +276,24 @@ class RemoteCacheBackend:
         with counter.get_lock():
             counter.value += amount
 
+    def _jitter_rng(self) -> random.Random:
+        """This process's backoff-jitter generator, reseeded after a fork.
+
+        Seeded from (pid, monotonic entropy, instance id) so forked workers —
+        which inherit this object's state copy-on-write — draw *divergent*
+        jitter sequences instead of the parent's, and two backends in one
+        process stay independent of each other.  Deliberately not derived
+        from any experiment seed: jitter timing never touches results.
+        """
+        pid = os.getpid()
+        if self._jitter is None or self._jitter_pid != pid:
+            self._jitter = random.Random(f"{pid}:{time.time_ns()}:{id(self)}")
+            self._jitter_pid = pid
+        return self._jitter
+
     def _backoff(self, attempt: int) -> None:
         delay = min(self.backoff_base * (2**attempt), self.backoff_max)
-        time.sleep(delay * (1.0 + 0.5 * self._jitter.random()))
+        time.sleep(delay * (1.0 + 0.5 * self._jitter_rng().random()))
 
     def _request(self, header: dict, payload: bytes = b"") -> tuple[dict, bytes]:
         """One request/response round-trip, with bounded retry.

@@ -1,0 +1,95 @@
+"""Consistent-hash ring shared by the sharded cache tier and the fleet router.
+
+Two placement problems in the sharded serving fleet need the same answer:
+
+* the :class:`~repro.db.cache.sharded.ShardedCacheBackend` must send each
+  ``(namespace, region, key)`` address to a stable cache shard, and
+* the fleet router must pin each analyst to one *home* serving shard so the
+  per-analyst ``BudgetLedger`` admit/refuse decision stays atomic (a single
+  sqlite journal per shard, exactly as in the single-server deployment).
+
+Both use this ring.  It is the textbook construction: every node is hashed
+onto a 64-bit circle at ``vnodes`` points (virtual nodes smooth out the
+placement variance of a handful of physical shards), a key is hashed onto the
+same circle, and it belongs to the first node clockwise from its position.
+``preference(key, n)`` keeps walking clockwise to produce the ordered failover
+list — the first entry is the primary, subsequent distinct nodes host
+replicas.
+
+Hashes are sha256 (stable across processes, platforms and Python releases —
+``hash()`` is salted per-process and would desynchronise router and clients),
+so every participant that knows the shard list derives the identical
+placement with no coordination.  Adding or removing one node moves only the
+keys adjacent to its points: roughly ``1/n`` of the keyspace, not all of it.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Hashable, List, Sequence, Tuple
+
+__all__ = ["HashRing"]
+
+
+def _position(data: bytes) -> int:
+    """A point on the 64-bit circle."""
+    return int.from_bytes(hashlib.sha256(data).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent placement of keys onto a fixed set of named nodes."""
+
+    def __init__(self, nodes: Sequence[str], vnodes: int = 64):
+        ordered = list(dict.fromkeys(str(node) for node in nodes))
+        if not ordered:
+            raise ValueError("HashRing needs at least one node")
+        if len(ordered) != len(nodes):
+            raise ValueError(f"duplicate ring nodes in {list(nodes)!r}")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.nodes: Tuple[str, ...] = tuple(ordered)
+        self.vnodes = int(vnodes)
+        points: List[Tuple[int, str]] = []
+        for node in self.nodes:
+            for replica in range(self.vnodes):
+                points.append((_position(f"{node}#{replica}".encode("utf-8")), node))
+        points.sort()
+        self._points = points
+        self._positions = [position for position, _ in points]
+
+    @staticmethod
+    def key_position(key: Hashable) -> int:
+        data = key if isinstance(key, bytes) else str(key).encode("utf-8")
+        return _position(data)
+
+    def node(self, key: Hashable) -> str:
+        """The primary owner of ``key``."""
+        return self.preference(key, 1)[0]
+
+    def preference(self, key: Hashable, count: int) -> List[str]:
+        """The first ``count`` *distinct* nodes clockwise from ``key``.
+
+        ``preference(k, n)[0]`` is the primary; the rest are the replica /
+        failover order.  ``count`` is clamped to the number of nodes.
+        """
+        wanted = max(1, min(int(count), len(self.nodes)))
+        start = bisect.bisect_right(self._positions, self.key_position(key))
+        chosen: List[str] = []
+        for offset in range(len(self._points)):
+            node = self._points[(start + offset) % len(self._points)][1]
+            if node not in chosen:
+                chosen.append(node)
+                if len(chosen) == wanted:
+                    break
+        return chosen
+
+    def spread(self, keys: Sequence[Hashable]) -> dict:
+        """Histogram of primary assignments — handy for tests and telemetry."""
+        counts = {node: 0 for node in self.nodes}
+        for key in keys:
+            counts[self.node(key)] += 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HashRing(nodes={list(self.nodes)!r}, vnodes={self.vnodes})"

@@ -170,17 +170,32 @@ class WarmAheadWorker:
         self.replayed = 0
         self.failed = 0
         self.skipped_dead = 0
+        self.requeued_on_stop = 0
         self.spent_s = 0.0
+        # Shutdown handshake: `_stop` tells a drain in progress to wind down
+        # (finish the current replay, requeue the rest); `_idle` is set
+        # whenever no drain is running, so stop() can join deterministically.
+        self._stop = threading.Event()
+        self._idle = threading.Event()
+        self._idle.set()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stop.is_set()
 
     def run_once(
         self, max_tasks: Optional[int] = 8, budget_s: Optional[float] = None
     ) -> int:
         """Replay up to ``max_tasks`` queued misses (``budget_s`` caps the
-        wall-clock spent); returns how many were replayed."""
+        wall-clock spent); returns how many were replayed.  Returns 0
+        immediately once :meth:`stop` has been called."""
         from repro.db.executor import QueryExecutor  # lazy: avoids a cycle
 
+        if self._stop.is_set():
+            return 0
         began = time.perf_counter()
         warmed = 0
+        self._idle.clear()
         # Replays must not re-record themselves as misses (this thread only —
         # foreground threads keep recording while a replay runs).
         _SUPPRESS.active = True
@@ -188,6 +203,15 @@ class WarmAheadWorker:
             with span("warming.replay") as current:
                 batch = self.queue.drain(max_tasks)
                 for index, task in enumerate(batch):
+                    if self._stop.is_set():
+                        # Mid-drain stop: the replay that already started ran
+                        # to completion (cache writes are atomic per entry);
+                        # everything not yet replayed goes back on the queue
+                        # so no observed miss is lost to the shutdown.
+                        remainder = batch[index:]
+                        self.queue.requeue(remainder)
+                        self.requeued_on_stop += len(remainder)
+                        break
                     if budget_s is not None and time.perf_counter() - began >= budget_s:
                         self.queue.requeue(batch[index:])
                         break
@@ -207,6 +231,7 @@ class WarmAheadWorker:
                     current.set(replayed=warmed)
         finally:
             _SUPPRESS.active = False
+            self._idle.set()
         elapsed = time.perf_counter() - began
         self.spent_s += elapsed
         if warmed:
@@ -215,6 +240,25 @@ class WarmAheadWorker:
             registry.histogram("warming_replay_seconds").observe(elapsed)
         return warmed
 
+    def stop(self, timeout: float = 10.0) -> None:
+        """Deterministic shutdown: no further drains start, and a drain in
+        progress finishes its current replay and requeues the remainder of
+        its batch (:attr:`requeued_on_stop` counts them).
+
+        Blocks until the in-progress drain (if any) has wound down.  Raises
+        ``RuntimeError`` if it has not within ``timeout`` — the same loud
+        contract ``ServerThread.stop`` honours — because a replay stuck in
+        the engine would otherwise leak silently as a busy thread past
+        shutdown.  ``stop`` is idempotent; a worker once stopped stays
+        stopped (``run_once`` returns 0).
+        """
+        self._stop.set()
+        if not self._idle.wait(timeout):
+            raise RuntimeError(
+                f"warm-ahead drain did not stop within {timeout}s; "
+                "a replay is stuck in the engine"
+            )
+
     def stats(self) -> dict:
         stats = self.queue.stats()
         stats.update(
@@ -222,6 +266,8 @@ class WarmAheadWorker:
                 "replayed": self.replayed,
                 "failed": self.failed,
                 "skipped_dead": self.skipped_dead,
+                "requeued_on_stop": self.requeued_on_stop,
+                "stopped": self._stop.is_set(),
                 "spent_s": round(self.spent_s, 6),
             }
         )

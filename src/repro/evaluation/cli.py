@@ -218,10 +218,23 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--cache-url",
         default=None,
-        metavar="HOST:PORT",
+        metavar="HOST:PORT[,HOST:PORT...]",
         help=(
             "with --cache-backend remote: address of a running cache server "
-            "(python -m repro.db.cache.server)"
+            "(python -m repro.db.cache.server); a comma-separated list shards "
+            "the keyspace across those servers on a consistent-hash ring "
+            "(results are identical either way; see docs/CACHE.md)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-replicas",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "with a sharded --cache-url list: write each entry to N distinct "
+            "shards; reads fail over to a replica when the primary shard's "
+            "circuit breaker is open, before degrading to local-only"
         ),
     )
     parser.add_argument(
@@ -397,6 +410,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.cache_replicas < 1:
+        print("--cache-replicas must be >= 1", file=sys.stderr)
+        return 2
+    if args.cache_replicas > 1 and not (args.cache_url and "," in args.cache_url):
+        print(
+            "--cache-replicas > 1 requires a sharded --cache-url list "
+            "(host:port,host:port,...)",
+            file=sys.stderr,
+        )
+        return 2
     if args.ledger_path and not args.serve:
         print("--ledger-path only applies with --serve", file=sys.stderr)
         return 2
@@ -426,6 +449,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     config.cache_max_bytes = args.cache_max_bytes
     config.warm_ahead = args.warm_ahead
     config.cache_url = args.cache_url
+    config.cache_replicas = args.cache_replicas
     config.cache_path = args.cache_path
     config.ledger_path = args.ledger_path
     config.storage = args.storage
@@ -452,6 +476,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             serve_argv += ["--warm-ahead"]
         if config.cache_url:
             serve_argv += ["--cache-url", config.cache_url]
+        if config.cache_replicas > 1:
+            serve_argv += ["--cache-replicas", str(config.cache_replicas)]
         if config.cache_path:
             serve_argv += ["--cache-path", config.cache_path]
         if config.ledger_path:

@@ -134,7 +134,13 @@ class ExperimentConfig:
     cache_url:
         ``host:port`` of a running cache server
         (``python -m repro.db.cache.server``); only meaningful with
-        ``cache_backend="remote"``.
+        ``cache_backend="remote"``.  A comma-separated list shards the
+        keyspace across those servers on a consistent-hash ring (results
+        are byte-identical either way; see ``docs/CACHE.md``).
+    cache_replicas:
+        With a sharded ``cache_url`` list: how many distinct shards hold
+        each entry.  Reads fail over to a replica when the primary shard's
+        circuit breaker is open, before degrading to local-only.
     cache_path:
         Alternative to ``cache_url``: a sqlite file an *embedded* cache
         server (started and stopped with the run) persists entries to, so a
@@ -180,6 +186,7 @@ class ExperimentConfig:
     cache_max_bytes: Optional[int] = None
     warm_ahead: bool = False
     cache_url: Optional[str] = None
+    cache_replicas: int = 1
     cache_path: Optional[str] = None
     ledger_path: Optional[str] = None
     storage: str = "memory"

@@ -407,6 +407,7 @@ def evaluation_session(config: ExperimentConfig) -> Iterator[TrialScheduler]:
         path=config.cache_path,
         policy=config.cache_policy,
         max_bytes=config.cache_max_bytes,
+        replicas=getattr(config, "cache_replicas", 1),
     )
     previous_backend = set_active_backend(backend)
     # Opt-in warm-ahead: the queue is installed before the pool forks so the

@@ -18,7 +18,11 @@ analytics service over the same engine, mechanisms and cache backends:
 * :mod:`repro.serving.singleflight` — concurrent identical requests share one
   engine execution;
 * :mod:`repro.serving.client` — blocking JSON-line client;
-* :mod:`repro.serving.protocol` — the wire format and structured errors.
+* :mod:`repro.serving.protocol` — the wire format and structured errors;
+* :mod:`repro.serving.fleet` — the router/gateway that scales all of the
+  above to N server shards (``python -m repro.serving.fleet``): analysts
+  are pinned to home shards on a consistent-hash ring (budget atomicity),
+  registrations broadcast, telemetry aggregates fleet-wide.
 
 See ``docs/SERVING.md`` for the protocol, the ledger semantics and the
 determinism guarantees.
@@ -26,6 +30,7 @@ determinism guarantees.
 
 from repro.serving.client import ServingClient
 from repro.serving.durable import LedgerJournal
+from repro.serving.fleet import FleetRouter, FleetThread
 from repro.serving.ledger import DEFAULT_ANALYST_BUDGET, Admission, BudgetLedger
 from repro.serving.planner import PlannedQuery, QueryPlanner, request_stream, serialize_answer
 from repro.serving.protocol import ERROR_CODES, PROTOCOL_VERSION, ServingError
@@ -38,6 +43,8 @@ __all__ = [
     "DEFAULT_ANALYST_BUDGET",
     "LedgerJournal",
     "ERROR_CODES",
+    "FleetRouter",
+    "FleetThread",
     "PROTOCOL_VERSION",
     "PlannedQuery",
     "QueryPlanner",

@@ -1,0 +1,29 @@
+"""The serving fleet: one router/gateway in front of N query servers.
+
+``python -m repro.serving.fleet --shard host:port --shard host:port`` starts
+a lightweight asyncio router speaking the ordinary JSON-line serving
+protocol (:mod:`repro.serving.protocol`), so every existing client —
+:class:`~repro.serving.client.ServingClient`, the demos, the benchmarks —
+talks to a fleet exactly as it talks to a single server.
+
+Routing rules (see :class:`~repro.serving.fleet.router.FleetRouter`):
+
+* ``query`` / ``budget`` — forwarded to the analyst's **home shard**, chosen
+  on a :class:`~repro.db.cache.ring.HashRing` over the shard list.  One
+  analyst always lands on one server, so the per-analyst ``BudgetLedger``
+  admit/refuse decision stays exactly as atomic (and exactly as durable,
+  one sqlite journal per shard) as in the single-server deployment.
+* ``register`` — broadcast to every shard: each serving process must hold
+  the database to answer for its analysts.
+* ``stats`` / ``telemetry`` / ``health`` — fan out and aggregate; the
+  telemetry op sums fleet-wide counters and labels each shard's snapshot.
+* ``shutdown`` — broadcast, then the router itself stops.
+
+An unreachable shard answers with the structured ``shard_unavailable``
+error code; clients that predate the code read it as ``internal`` (the
+``from_payload`` downgrade rule), so old clients keep working.
+"""
+
+from repro.serving.fleet.router import FleetRouter, FleetThread, main
+
+__all__ = ["FleetRouter", "FleetThread", "main"]

@@ -1,0 +1,7 @@
+"""``python -m repro.serving.fleet`` — start the fleet router."""
+
+import sys
+
+from repro.serving.fleet.router import main
+
+sys.exit(main())

@@ -1,0 +1,584 @@
+"""The asyncio fleet router (see the package docstring for the topology).
+
+The router holds no engine, no ledger and no cache: it parses just enough of
+each request to pick a shard, relays the bytes, and relays the answer back —
+the deliberate thinness that makes it safe to put in front of everything.
+Per-shard connections are pooled; like the cache client's pool, a failure on
+a *pooled* socket is ambiguous (the shard may merely have restarted since
+the socket was pooled), so it costs one free retry on a fresh connection
+before the shard is declared unavailable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+import threading
+import time
+from typing import Optional, Sequence
+
+from repro.db.cache.remote import parse_cache_url
+from repro.db.cache.ring import HashRing
+from repro.obs.metrics import active_registry, render_prometheus, unified_snapshot
+from repro.serving.protocol import (
+    PROTOCOL_VERSION,
+    ServingError,
+    decode_line,
+    encode_message,
+    error_response,
+    ok_response,
+)
+
+__all__ = ["FleetRouter", "FleetThread", "main"]
+
+#: Errors that mean "this shard connection is gone" — eligible for the
+#: pooled-socket free retry, then for ``shard_unavailable``.
+_LINK_ERRORS = (ConnectionError, OSError, EOFError, asyncio.TimeoutError)
+
+
+class _Link:
+    """One pooled shard connection."""
+
+    __slots__ = ("reader", "writer")
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self.reader = reader
+        self.writer = writer
+
+    def close(self) -> None:
+        try:
+            self.writer.close()
+        except Exception:
+            pass
+
+
+class FleetRouter:
+    """Route serving-protocol requests across N ``QueryServer`` shards."""
+
+    def __init__(
+        self,
+        shards: Sequence[str],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        vnodes: int = 64,
+        connect_timeout: float = 10.0,
+        op_timeout: float = 120.0,
+        max_pool: int = 4,
+        drain_timeout: float = 10.0,
+    ):
+        labels = []
+        for shard in shards:
+            for part in str(shard).split(","):
+                part = part.strip()
+                if not part:
+                    continue
+                shard_host, shard_port = parse_cache_url(part)  # same host:port grammar
+                labels.append(f"{shard_host}:{shard_port}")
+        if not labels:
+            raise ValueError("fleet router needs at least one --shard host:port")
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate shards: {labels!r}")
+        self.shards = tuple(labels)
+        self.ring = HashRing(self.shards, vnodes=vnodes)
+        self.host = host
+        self.port = port  # 0 = ephemeral; replaced with the bound port on start
+        self.connect_timeout = float(connect_timeout)
+        self.op_timeout = float(op_timeout)
+        self.max_pool = max(1, int(max_pool))
+        self.drain_timeout = float(drain_timeout)
+        self._pools: dict[str, list[_Link]] = {label: [] for label in self.shards}
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._busy: set[asyncio.StreamWriter] = set()
+        self._draining = False
+        self._started_at = time.monotonic()
+        self.requests_routed = 0
+        self.forward_failures = 0
+        self.routed_per_shard = {label: 0 for label in self.shards}
+
+    # ------------------------------------------------------------------
+    # lifecycle (mirrors QueryServer)
+    # ------------------------------------------------------------------
+    async def start(self) -> "FleetRouter":
+        self._shutdown = asyncio.Event()
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    def request_shutdown(self) -> None:
+        if self._shutdown is not None:
+            self._shutdown.set()
+
+    async def serve_until_shutdown(self) -> None:
+        if self._server is None:
+            await self.start()
+        loop = asyncio.get_running_loop()
+        installed: list[signal.Signals] = []
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, self.request_shutdown)
+                installed.append(signum)
+            except (ValueError, NotImplementedError, RuntimeError):
+                pass
+        try:
+            await self._shutdown.wait()
+        finally:
+            for signum in installed:
+                loop.remove_signal_handler(signum)
+            await self.aclose()
+
+    async def aclose(self) -> None:
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        for writer in list(self._writers - self._busy):
+            writer.close()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.drain_timeout
+        while self._busy and loop.time() < deadline:
+            await asyncio.sleep(0.02)
+        for writer in list(self._writers):
+            writer.close()
+        if self._server is not None:
+            await self._server.wait_closed()
+            self._server = None
+        for pool in self._pools.values():
+            while pool:
+                pool.pop().close()
+
+    # ------------------------------------------------------------------
+    # shard links
+    # ------------------------------------------------------------------
+    async def _checkout(self, shard: str) -> tuple[_Link, bool]:
+        pool = self._pools[shard]
+        if pool:
+            return pool.pop(), True
+        shard_host, shard_port = parse_cache_url(shard)
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(shard_host, shard_port), self.connect_timeout
+        )
+        return _Link(reader, writer), False
+
+    def _checkin(self, shard: str, link: _Link) -> None:
+        pool = self._pools[shard]
+        if len(pool) < self.max_pool and not self._draining:
+            pool.append(link)
+        else:
+            link.close()
+
+    async def _forward(self, shard: str, message: dict) -> dict:
+        """One round trip to a shard; the raw response object comes back.
+
+        A failure on a pooled link gets one free retry on a fresh
+        connection (the shard may have restarted since the link was
+        pooled); a fresh connection failing means the shard is down —
+        ``shard_unavailable``.
+        """
+        line = encode_message(message)
+        last_error: Optional[Exception] = None
+        for _ in range(2):
+            try:
+                link, pooled = await self._checkout(shard)
+            except _LINK_ERRORS as error:
+                last_error = error
+                break
+            try:
+                link.writer.write(line)
+                await link.writer.drain()
+                raw = await asyncio.wait_for(link.reader.readline(), self.op_timeout)
+                if not raw:
+                    raise ConnectionError("shard closed the connection")
+                response = decode_line(raw)
+            except (_LINK_ERRORS + (ServingError,)) as error:
+                link.close()
+                last_error = error
+                if pooled:
+                    continue
+                break
+            self._checkin(shard, link)
+            self.routed_per_shard[shard] += 1
+            return response
+        self.forward_failures += 1
+        active_registry().counter("fleet_forward_failures_total").inc()
+        raise ServingError(
+            "shard_unavailable",
+            f"shard {shard} is unreachable: {last_error}",
+            shard=shard,
+        )
+
+    async def _broadcast(self, message: dict) -> dict:
+        """Send one message to every shard; per-shard responses (exceptions
+        mapped to their error payloads) keyed by shard label."""
+        results = await asyncio.gather(
+            *(self._forward(shard, message) for shard in self.shards),
+            return_exceptions=True,
+        )
+        responses = {}
+        for shard, result in zip(self.shards, results):
+            if isinstance(result, ServingError):
+                responses[shard] = error_response(result)
+            elif isinstance(result, BaseException):
+                raise result
+            else:
+                responses[shard] = result
+        return responses
+
+    # ------------------------------------------------------------------
+    # connection handling (mirrors QueryServer._handle)
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ConnectionError:
+                    break
+                except ValueError:
+                    too_long = ServingError("bad_request", "request line too long")
+                    try:
+                        writer.write(encode_message(error_response(too_long)))
+                        await writer.drain()
+                    except ConnectionError:
+                        pass
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                self._busy.add(writer)
+                try:
+                    response, stop_after = await self._respond(line)
+                    try:
+                        writer.write(encode_message(response))
+                        await writer.drain()
+                    except ConnectionError:
+                        break
+                finally:
+                    self._busy.discard(writer)
+                if stop_after:
+                    self.request_shutdown()
+                    break
+                if self._draining:
+                    break
+        except asyncio.CancelledError:
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+
+    async def _respond(self, line: bytes) -> tuple[dict, bool]:
+        request_id = None
+        try:
+            message = decode_line(line)
+            request_id = message.get("id")
+            response, stop_after = await self._dispatch(message, request_id)
+            self.requests_routed += 1
+            return response, stop_after
+        except ServingError as error:
+            return error_response(error, request_id), False
+        except Exception as error:  # never leak a traceback onto the wire
+            internal = ServingError("internal", f"{type(error).__name__}: {error}")
+            return error_response(internal, request_id), False
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def home_shard(self, analyst: str) -> str:
+        """The analyst's home shard: every request of one analyst lands on
+        one server, so that server's ledger is the one source of truth for
+        the analyst's budget — admit/refuse needs no cross-shard protocol."""
+        return self.ring.node(f"analyst:{analyst}")
+
+    async def _dispatch(self, message: dict, request_id) -> tuple[dict, bool]:
+        op = message.get("op")
+        if op == "query" or (op == "budget" and message.get("analyst")):
+            analyst = str(message.get("analyst") or "anonymous")
+            # Relay the shard's response object verbatim (it already carries
+            # ok/result-or-error and echoes the id we forwarded), so budget
+            # refusals, overload hints etc. reach the client untouched.
+            return await self._forward(self.home_shard(analyst), message), False
+        if op == "budget":
+            # No analyst named: a global summary only exists as the union of
+            # every shard's ledger, so return it per shard.
+            responses = await self._broadcast({"op": "budget"})
+            shards = {
+                shard: (response.get("result") if response.get("ok") else None)
+                for shard, response in responses.items()
+            }
+            return ok_response({"shards": shards}, request_id), False
+        if op == "ping":
+            return await self._op_ping(message, request_id), False
+        if op == "register":
+            return await self._op_register(message, request_id), False
+        if op == "stats":
+            return await self._op_stats(message, request_id), False
+        if op == "telemetry":
+            return await self._op_telemetry(message, request_id), False
+        if op == "health":
+            return await self._op_health(message, request_id), False
+        if op == "shutdown":
+            await self._broadcast({"op": "shutdown"})
+            return ok_response(
+                {"stopping": True, "shards": len(self.shards)}, request_id
+            ), True
+        raise ServingError(
+            "unknown_op",
+            f"unknown op {op!r}; available: "
+            "ping, register, query, budget, stats, telemetry, health, shutdown",
+        )
+
+    async def _op_ping(self, message: dict, request_id) -> dict:
+        response = await self._forward(self.shards[0], {"op": "ping"})
+        result = dict(response.get("result") or {})
+        result["fleet"] = {
+            "router": True,
+            "shards": list(self.shards),
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+        }
+        return ok_response(result, request_id)
+
+    async def _op_register(self, message: dict, request_id) -> dict:
+        """Broadcast a registration: every shard must hold the database.
+
+        Registration is idempotent per (name, spec) — re-registering the
+        same spec is a no-op on a shard that already has it — so a partial
+        failure is safe to retry: the shards that succeeded simply confirm.
+        """
+        forwarded = {key: value for key, value in message.items() if key != "id"}
+        responses = await self._broadcast(forwarded)
+        failed = {
+            shard: response.get("error")
+            for shard, response in responses.items()
+            if not response.get("ok")
+        }
+        if failed:
+            # Relay the first real failure (e.g. already_registered with a
+            # conflicting spec) so the client sees the shard's own code; a
+            # transport-level failure surfaces as shard_unavailable.
+            first = next(iter(failed.values())) or {}
+            raise ServingError.from_payload({**first, "failed_shards": sorted(failed)})
+        first_ok = next(iter(responses.values()))
+        result = dict(first_ok.get("result") or {})
+        result["registered_on"] = sorted(responses)
+        return ok_response(result, request_id)
+
+    async def _op_stats(self, message: dict, request_id) -> dict:
+        responses = await self._broadcast({"op": "stats"})
+        shards = {
+            shard: (response.get("result") if response.get("ok") else None)
+            for shard, response in responses.items()
+        }
+        served = sum(
+            (result or {}).get("requests_served", 0) for result in shards.values()
+        )
+        return ok_response(
+            {
+                "router": self.router_stats(),
+                "requests_served": served,
+                "shards": shards,
+            },
+            request_id,
+        )
+
+    async def _op_telemetry(self, message: dict, request_id) -> dict:
+        """The fleet-wide ``telemetry`` op: counters summed across shards,
+        one labelled subsystem entry per shard, full per-shard snapshots on
+        the side.  Gauges are *not* summed (most are levels or ratios);
+        in-flight/queued depth — the two meaningfully additive ones — are.
+        """
+        responses = await self._broadcast({"op": "telemetry"})
+        counters: dict = {}
+        gauges = {"shards_reachable": 0, "in_flight": 0, "queued": 0}
+        subsystems = []
+        per_shard = {}
+        for shard, response in responses.items():
+            if not response.get("ok"):
+                per_shard[shard] = None
+                subsystems.append({"shard": shard, "reachable": False})
+                continue
+            snapshot = (response.get("result") or {}).get("telemetry") or {}
+            per_shard[shard] = snapshot
+            gauges["shards_reachable"] += 1
+            for key, amount in (snapshot.get("counters") or {}).items():
+                if isinstance(amount, (int, float)) and not isinstance(amount, bool):
+                    counters[key] = counters.get(key, 0) + amount
+            shard_gauges = snapshot.get("gauges") or {}
+            for key in ("in_flight", "queued"):
+                amount = shard_gauges.get(key, 0)
+                if isinstance(amount, (int, float)) and not isinstance(amount, bool):
+                    gauges[key] += amount
+            subsystems.append(
+                {"shard": shard, "reachable": True, **(snapshot.get("subsystem") or {})}
+            )
+        counters.update(
+            {f"fleet_{key}": value for key, value in self.router_stats()["counters"].items()}
+        )
+        aggregated = unified_snapshot(
+            counters=counters,
+            gauges=gauges,
+            histograms={},
+            subsystem={
+                "name": "fleet",
+                "protocol": PROTOCOL_VERSION,
+                "router": f"{self.host}:{self.port}",
+                "shards": subsystems,
+            },
+        )
+        return ok_response(
+            {
+                "telemetry": aggregated,
+                "prometheus": render_prometheus(aggregated, prefix="repro_fleet"),
+                "shards": per_shard,
+            },
+            request_id,
+        )
+
+    async def _op_health(self, message: dict, request_id) -> dict:
+        responses = await self._broadcast({"op": "health"})
+        shards = {}
+        for shard, response in responses.items():
+            if response.get("ok"):
+                shards[shard] = response.get("result")
+            else:
+                shards[shard] = {"status": "unreachable", "error": response.get("error")}
+        statuses = [(result or {}).get("status") for result in shards.values()]
+        status = "ok" if all(item == "ok" for item in statuses) else "degraded"
+        return ok_response(
+            {
+                "status": status,
+                "uptime_s": round(time.monotonic() - self._started_at, 3),
+                "router": self.router_stats(),
+                "shards": shards,
+            },
+            request_id,
+        )
+
+    def router_stats(self) -> dict:
+        return {
+            "shards": list(self.shards),
+            "counters": {
+                "requests_routed": self.requests_routed,
+                "forward_failures": self.forward_failures,
+            },
+            "routed_per_shard": dict(self.routed_per_shard),
+        }
+
+
+class FleetThread:
+    """Host a :class:`FleetRouter` on a background event-loop thread —
+    the embedded form for tests and benchmarks, mirroring ``ServerThread``
+    (including its loud ``stop``: a hung drain raises, never leaks)."""
+
+    def __init__(self, router: FleetRouter):
+        self.router = router
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._started = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    def start(self) -> "FleetThread":
+        self._thread = threading.Thread(target=self._run, name="fleet-loop", daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise RuntimeError("fleet event loop failed to start within 30s")
+        if self._error is not None:
+            raise self._error
+        return self
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self.router.start())
+        except BaseException as error:
+            self._error = error
+            self._started.set()
+            self._loop.close()
+            return
+        self._started.set()
+        try:
+            self._loop.run_until_complete(self.router.serve_until_shutdown())
+        finally:
+            self._loop.close()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._thread is None or not self._thread.is_alive():
+            return
+        self._loop.call_soon_threadsafe(self.router.request_shutdown)
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise RuntimeError(
+                f"fleet event loop did not stop within {timeout}s "
+                "(a relay or drain is hung); the thread is still alive"
+            )
+
+    def __enter__(self) -> "FleetThread":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+
+# ----------------------------------------------------------------------
+# command line
+# ----------------------------------------------------------------------
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fleet",
+        description="Route DP serving traffic across query-server shards.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=8640, help="bind port (0 = ephemeral)")
+    parser.add_argument(
+        "--shard",
+        action="append",
+        required=True,
+        metavar="HOST:PORT",
+        help="a query-server shard (repeat per shard; comma lists accepted)",
+    )
+    parser.add_argument(
+        "--vnodes", type=int, default=64, help="virtual nodes per shard on the hash ring"
+    )
+    parser.add_argument(
+        "--op-timeout",
+        type=float,
+        default=120.0,
+        help="per-request deadline for a shard round trip (seconds)",
+    )
+    return parser
+
+
+async def _serve(args: argparse.Namespace) -> None:
+    router = FleetRouter(
+        shards=args.shard,
+        host=args.host,
+        port=args.port,
+        vnodes=args.vnodes,
+        op_timeout=args.op_timeout,
+    )
+    await router.start()
+    print(
+        f"fleet router on {router.host}:{router.port} "
+        f"fronting {len(router.shards)} shard(s): {', '.join(router.shards)}",
+        flush=True,
+    )
+    await router.serve_until_shutdown()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        asyncio.run(_serve(args))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -49,6 +49,7 @@ ERROR_CODES = (
     "budget_exhausted",   # the ledger refused admission
     "overloaded",         # admission queue full; retry after retry_after_ms
     "internal",           # unexpected server-side failure
+    "shard_unavailable",  # fleet router could not reach the analyst's shard
 )
 
 

@@ -48,7 +48,13 @@ from repro.serving.protocol import (
     ok_response,
 )
 
-__all__ = ["QueryServer", "ServerThread", "main"]
+__all__ = ["COLD_START_EXECUTION_ESTIMATE_S", "QueryServer", "ServerThread", "main"]
+
+#: Per-request execution-time guess used by ``retry_after_ms`` before the
+#: first query completes (no EWMA yet).  The *estimate* is fixed; the hint is
+#: not — it scales with the backlog, so refused clients of a cold, slammed
+#: server spread their retries instead of stampeding back together.
+COLD_START_EXECUTION_ESTIMATE_S = 0.1
 
 
 class QueryServer:
@@ -186,10 +192,24 @@ class QueryServer:
         if self._server is not None:
             await self._server.wait_closed()
             self._server = None
-        self._executor.shutdown(wait=True, cancel_futures=True)
+        # Warm-ahead winds down *before* the executor: a drain in progress
+        # finishes its current replay and requeues the rest, so no observed
+        # miss is lost and no replay is abandoned mid-write.  A hung drain
+        # raises (same contract as ServerThread.stop); the executor is then
+        # released without waiting so the loud failure is a traceback, not a
+        # deadlock on the stuck worker thread.
+        drain_error: Optional[RuntimeError] = None
+        if self.warming_worker is not None:
+            try:
+                self.warming_worker.stop(timeout=self.drain_timeout)
+            except RuntimeError as error:
+                drain_error = error
+        self._executor.shutdown(wait=drain_error is None, cancel_futures=True)
         if self.warming_queue is not None:
             set_active_queue(self._previous_queue)
         self.ledger.close()
+        if drain_error is not None:
+            raise drain_error
 
     # ------------------------------------------------------------------
     # connection handling
@@ -339,9 +359,20 @@ class QueryServer:
     def _retry_after_ms(self) -> int:
         """Backpressure hint for ``overloaded`` refusals: roughly how long
         until a queue slot frees up, from an EWMA of recent execution times
-        scaled by the current queue depth (floor 50 ms)."""
-        estimate = self._execution_ewma if self._execution_ewma is not None else 0.1
-        return max(50, int(estimate * (self._queued + 1) * 1000))
+        scaled by the whole backlog ahead of a new arrival — executing *and*
+        queued requests both stand between the refused client and a slot
+        (floor 50 ms).  A cold server (no EWMA yet) uses the fixed
+        per-request guess :data:`COLD_START_EXECUTION_ESTIMATE_S`, scaled by
+        the same backlog: under an instant overload the hint must grow with
+        queue depth, or every refused client comes back at once ~100 ms
+        later and the stampede repeats."""
+        estimate = (
+            self._execution_ewma
+            if self._execution_ewma is not None
+            else COLD_START_EXECUTION_ESTIMATE_S
+        )
+        backlog = self._inflight + self._queued
+        return max(50, int(estimate * (backlog + 1) * 1000))
 
     async def _op_query(self, message: dict) -> dict:
         registry = active_registry()
@@ -785,11 +816,24 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--cache-url",
         default=None,
-        metavar="HOST:PORT",
+        metavar="HOST:PORT[,HOST:PORT...]",
         help=(
             "with --cache-backend remote: address of a running cache server "
             "(python -m repro.db.cache.server) — a batch run against the same "
-            "server warms this serving process, and vice versa"
+            "server warms this serving process, and vice versa.  A "
+            "comma-separated list shards the keyspace across those servers "
+            "on a consistent-hash ring (see docs/CACHE.md, 'Sharded fleet')"
+        ),
+    )
+    parser.add_argument(
+        "--cache-replicas",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "with a sharded --cache-url list: write each entry to N distinct "
+            "shards; reads fail over to a replica when the primary's circuit "
+            "breaker is open (before degrading to local-only)"
         ),
     )
     parser.add_argument(
@@ -866,6 +910,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.cache_backend != "remote" and (args.cache_url or args.cache_path):
         print("--cache-url/--cache-path require --cache-backend remote", file=sys.stderr)
         return 2
+    if args.cache_replicas < 1:
+        print("--cache-replicas must be >= 1", file=sys.stderr)
+        return 2
+    if args.cache_replicas > 1 and not (args.cache_url and "," in args.cache_url):
+        print(
+            "--cache-replicas > 1 requires a sharded --cache-url list "
+            "(host:port,host:port,...)",
+            file=sys.stderr,
+        )
+        return 2
     if args.storage == "mapped" and not args.data_dir:
         print("--storage mapped requires --data-dir", file=sys.stderr)
         return 2
@@ -883,6 +937,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             path=args.cache_path,
             policy=args.cache_policy,
             max_bytes=args.cache_max_bytes,
+            replicas=args.cache_replicas,
         )
     except ValueError as error:
         print(f"cannot build cache backend: {error}", file=sys.stderr)

@@ -19,6 +19,7 @@ The contracts under test (see docs/SERVING.md and docs/CACHE.md):
 """
 
 import json
+import multiprocessing
 import os
 import signal
 import socket
@@ -32,7 +33,12 @@ from pathlib import Path
 
 import pytest
 
-from repro.db.cache import LocalCacheBackend, RemoteCacheBackend, backend_scope
+from repro.db.cache import (
+    LocalCacheBackend,
+    RemoteCacheBackend,
+    ShardedCacheBackend,
+    backend_scope,
+)
 from repro.db.cache.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
 from repro.db.cache.server import CacheServerThread
 from repro.db.cache.wire import MAX_FRAME_HEADER, MAX_FRAME_PAYLOAD, read_frame
@@ -46,6 +52,7 @@ from repro.serving import (
     ServingClient,
     ServingError,
 )
+from repro.serving.server import COLD_START_EXECUTION_ESTIMATE_S
 from repro.testing import ChaosProxy, FaultSpec
 
 SEED = 909090
@@ -1005,3 +1012,169 @@ class TestLedgerCLIWiring:
 
         assert cli_main(["--ledger-path", "x.db"]) == 2
         assert "--serve" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# backoff jitter must not be correlated across forked workers
+# ----------------------------------------------------------------------
+def _draw_jitter_sequence(backend, queue):
+    queue.put([backend._jitter_rng().random() for _ in range(8)])
+
+
+class TestBackoffJitterSeeding:
+    """A pool of forked workers retrying against the same flaky server must
+    not share one jitter stream — identical streams re-synchronise every
+    worker's backoff and turn the retries into a thundering herd."""
+
+    def test_forked_workers_draw_divergent_jitter(self):
+        if not hasattr(os, "fork"):
+            pytest.skip("fork-based workers are a POSIX feature")
+        mp = multiprocessing.get_context("fork")
+        backend = _resilient_backend(port=65001)  # never connects: jitter only
+        try:
+            # Seed the parent's stream *before* forking — the regression was
+            # children inheriting exactly this state.
+            parent = [backend._jitter_rng().random() for _ in range(8)]
+            queue = mp.Queue()
+            workers = [
+                mp.Process(target=_draw_jitter_sequence, args=(backend, queue))
+                for _ in range(3)
+            ]
+            for worker in workers:
+                worker.start()
+            sequences = [queue.get(timeout=30) for _ in workers]
+            for worker in workers:
+                worker.join(timeout=30)
+            streams = [parent] + sequences
+            for i in range(len(streams)):
+                for j in range(i + 1, len(streams)):
+                    assert streams[i] != streams[j]
+        finally:
+            backend.close()
+
+    def test_rng_reseeds_when_pid_changes(self):
+        backend = _resilient_backend(port=65001)
+        try:
+            first = backend._jitter_rng()
+            assert backend._jitter_rng() is first  # stable within one process
+            # Simulate waking up in a forked child: the recorded pid no
+            # longer matches, so the next draw must come from a fresh RNG.
+            backend._jitter_pid -= 1
+            assert backend._jitter_rng() is not first
+        finally:
+            backend.close()
+
+    def test_two_backends_in_one_process_diverge(self):
+        a = _resilient_backend(port=65001)
+        b = _resilient_backend(port=65002)
+        try:
+            draws_a = [a._jitter_rng().random() for _ in range(8)]
+            draws_b = [b._jitter_rng().random() for _ in range(8)]
+            assert draws_a != draws_b
+        finally:
+            a.close()
+            b.close()
+
+
+# ----------------------------------------------------------------------
+# the overload retry hint must scale with the backlog
+# ----------------------------------------------------------------------
+class TestRetryAfterScalesWithBacklog:
+    """A cold server (no execution EWMA yet) used to hint a flat 100 ms
+    whatever the queue looked like, so every shed client came back at once
+    and was shed again.  The cold estimate now multiplies by the backlog."""
+
+    def _bare_server(self, planner, **kwargs):
+        return QueryServer(
+            planner, BudgetLedger(PrivacyBudget(1.0)), workers=1, **kwargs
+        )
+
+    def test_cold_hint_scales_with_queue_depth(self, planner):
+        server = self._bare_server(planner, max_queue=16)
+        try:
+            server._execution_ewma = None
+            for inflight, queued in [(0, 0), (1, 0), (1, 4), (1, 16)]:
+                server._inflight, server._queued = inflight, queued
+                backlog = inflight + queued
+                expected = max(
+                    50, int(COLD_START_EXECUTION_ESTIMATE_S * (backlog + 1) * 1000)
+                )
+                assert server._retry_after_ms() == expected
+        finally:
+            server._executor.shutdown(wait=False)
+
+    def test_cold_hint_is_monotone_in_backlog(self, planner):
+        server = self._bare_server(planner, max_queue=32)
+        try:
+            server._execution_ewma = None
+            server._inflight = 1
+            hints = []
+            for queued in (0, 2, 8, 32):
+                server._queued = queued
+                hints.append(server._retry_after_ms())
+            assert hints == sorted(hints)
+            assert hints[-1] > hints[0]  # deeper backlog, later retry
+        finally:
+            server._executor.shutdown(wait=False)
+
+    def test_warm_hint_uses_measured_ewma(self, planner):
+        server = self._bare_server(planner, max_queue=8)
+        try:
+            server._execution_ewma = 0.3
+            server._inflight, server._queued = 1, 1
+            assert server._retry_after_ms() == int(0.3 * 3 * 1000)
+        finally:
+            server._executor.shutdown(wait=False)
+
+
+# ----------------------------------------------------------------------
+# the sharded backend with chaos on one shard
+# ----------------------------------------------------------------------
+class TestShardedBackendUnderChaos:
+    def test_chaos_on_one_shard_never_changes_bytes(self, planner):
+        """One cache shard's network turns to garbage mid-run, heals, and
+        the breaker recovers — the answers never move (the replicated shard
+        and the recompute rung absorb the damage)."""
+        request = {
+            "database": "demo",
+            "mechanism": "PM",
+            "epsilon": 0.5,
+            "query": "Qc3",
+            "trials": 2,
+        }
+        with backend_scope(LocalCacheBackend(64)):
+            reference = planner.execute(planner.plan(request))
+        with CacheServerThread(max_entries=2048) as steady:
+            with CacheServerThread(max_entries=2048) as flaky:
+                with ChaosProxy("127.0.0.1", flaky.server.port) as proxy:
+                    backend = ShardedCacheBackend(
+                        shards=[
+                            _resilient_backend(steady.server.port),
+                            _resilient_backend(proxy.port),
+                        ],
+                        replicas=2,
+                    )
+                    try:
+                        with backend_scope(backend):
+                            first = planner.execute(planner.plan(request))
+                            # The flaky shard's network turns to garbage.
+                            proxy.set_faults(corrupt_rate=1.0)
+                            for shard in backend.shards:
+                                shard._local.clear()
+                            during = planner.execute(planner.plan(request))
+                            # The network heals; the breaker probes back.
+                            proxy.set_faults()
+                            time.sleep(0.25)  # past breaker_reset_timeout
+                            after = planner.execute(planner.plan(request))
+                        assert proxy.stats()["chunks_seen"] > 0
+                        assert backend.degraded is False
+                        assert backend.breaker_stats()["state"] == "closed"
+                    finally:
+                        backend.close()
+        assert (
+            json.dumps(reference["answers"])
+            == json.dumps(first["answers"])
+            == json.dumps(during["answers"])
+            == json.dumps(after["answers"])
+        )
+        assert reference["mean_relative_error"] == first["mean_relative_error"]

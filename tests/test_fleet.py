@@ -1,0 +1,671 @@
+"""Tests for the sharded serving fleet (see docs/SERVING.md, "Sharded fleet").
+
+The contracts under test:
+
+* the consistent-hash ring is deterministic across processes, spreads keys
+  roughly evenly, and moves only ~1/n of the keyspace when a node joins;
+* ``ShardedCacheBackend`` places each artefact on a stable shard, writes
+  replicas when asked, fails reads over to a replica *only* when the
+  primary's breaker is open, and aggregates stats/telemetry fleet-wide;
+* the fleet router pins each analyst to one home shard (ledger atomicity),
+  relays answers byte-identically, and aggregates stats/telemetry/health;
+* router × shards × replicated cache serves the exact bytes of a single
+  server and of the offline runner — including with one cache shard killed
+  mid-run.
+"""
+
+import json
+
+import pytest
+
+from repro.db.cache import (
+    RemoteCacheBackend,
+    ShardedCacheBackend,
+    backend_scope,
+    make_backend,
+    parse_shard_urls,
+)
+from repro.db.cache.ring import HashRing
+from repro.db.cache.server import CacheServerThread
+from repro.db.cache.wire import encode_key
+from repro.db.executor import QueryExecutor
+from repro.dp.accountant import PrivacyBudget
+from repro.evaluation.runner import evaluate_mechanism, make_star_mechanism
+from repro.serving import (
+    BudgetLedger,
+    FleetRouter,
+    FleetThread,
+    QueryPlanner,
+    QueryServer,
+    ServerThread,
+    ServingClient,
+    ServingError,
+    request_stream,
+    serialize_answer,
+)
+
+SEED = 515151
+DEMO_SPEC = dict(scale_factor=1.0, rows_per_scale_factor=2000, seed=5)
+
+
+def _fresh_planner():
+    planner = QueryPlanner(seed=SEED)
+    planner.register("demo", "ssb", **DEMO_SPEC)
+    return planner
+
+
+# ----------------------------------------------------------------------
+# the hash ring
+# ----------------------------------------------------------------------
+class TestHashRing:
+    NODES = ["127.0.0.1:9001", "127.0.0.1:9002", "127.0.0.1:9003"]
+
+    def test_placement_is_deterministic(self):
+        a = HashRing(self.NODES)
+        b = HashRing(list(self.NODES))  # a fresh, identically configured ring
+        keys = [f"key-{i}" for i in range(200)]
+        assert [a.node(k) for k in keys] == [b.node(k) for k in keys]
+
+    def test_placement_ignores_node_declaration_order(self):
+        # Every participant that knows the shard *set* must agree on
+        # placement, whatever order its --shard flags arrived in.
+        a = HashRing(self.NODES)
+        b = HashRing(list(reversed(self.NODES)))
+        keys = [f"key-{i}" for i in range(200)]
+        assert [a.node(k) for k in keys] == [b.node(k) for k in keys]
+
+    def test_spread_is_roughly_even(self):
+        ring = HashRing(self.NODES, vnodes=64)
+        counts = ring.spread([f"key-{i}" for i in range(3000)])
+        assert sum(counts.values()) == 3000
+        for node in self.NODES:
+            assert 3000 * 0.15 <= counts[node] <= 3000 * 0.55
+
+    def test_adding_a_node_moves_a_minority_of_keys(self):
+        keys = [f"key-{i}" for i in range(2000)]
+        before = HashRing(self.NODES)
+        after = HashRing(self.NODES + ["127.0.0.1:9004"])
+        moved = sum(1 for k in keys if before.node(k) != after.node(k))
+        # The textbook guarantee: ~1/n of the keyspace, never a reshuffle.
+        assert 0 < moved < len(keys) * 0.45
+
+    def test_preference_lists_distinct_nodes_primary_first(self):
+        ring = HashRing(self.NODES)
+        for i in range(50):
+            order = ring.preference(f"key-{i}", 3)
+            assert len(order) == 3
+            assert len(set(order)) == 3
+            assert order[0] == ring.node(f"key-{i}")
+
+    def test_preference_count_is_clamped(self):
+        ring = HashRing(self.NODES)
+        assert len(ring.preference("k", 99)) == len(self.NODES)
+        assert len(ring.preference("k", 0)) == 1
+
+    def test_bytes_keys_hash_as_given(self):
+        # encode_key() output must not be round-tripped through str() —
+        # the ring hashes the canonical bytes directly.
+        ring = HashRing(self.NODES)
+        payload = encode_key("ns", "result", ("q", 1))
+        assert ring.key_position(payload) != ring.key_position(str(payload))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+        with pytest.raises(ValueError):
+            HashRing(["a", "a"])
+        with pytest.raises(ValueError):
+            HashRing(["a"], vnodes=0)
+
+
+class TestParseShardUrls:
+    def test_normalises_and_splits(self):
+        assert parse_shard_urls("tcp://h:1, h2:9") == ["h:1", "h2:9"]
+
+    def test_single_url_is_fine(self):
+        assert parse_shard_urls("localhost:8642") == ["localhost:8642"]
+
+    def test_duplicates_are_rejected(self):
+        with pytest.raises(ValueError):
+            parse_shard_urls("h:1,h:1")
+
+    def test_empty_is_rejected(self):
+        with pytest.raises(ValueError):
+            parse_shard_urls(" , ")
+
+
+# ----------------------------------------------------------------------
+# the sharded cache backend
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def cache_servers():
+    handles = [CacheServerThread(max_entries=256) for _ in range(2)]
+    for handle in handles:
+        handle.start()
+    try:
+        yield handles
+    finally:
+        for handle in handles:
+            handle.stop()
+
+
+def _sharded(handles, **kwargs):
+    urls = [f"127.0.0.1:{handle.server.port}" for handle in handles]
+    kwargs.setdefault("op_timeout", 2.0)
+    kwargs.setdefault("retry_attempts", 1)
+    kwargs.setdefault("backoff_base", 0.01)
+    kwargs.setdefault("backoff_max", 0.02)
+    return ShardedCacheBackend(urls=urls, **kwargs)
+
+
+class TestShardedCacheBackend:
+    def test_requires_exactly_one_source(self):
+        with pytest.raises(ValueError):
+            ShardedCacheBackend()
+        with pytest.raises(ValueError):
+            ShardedCacheBackend(urls=["h:1"], shards=[])
+
+    def test_round_trip_and_stable_placement(self, cache_servers):
+        backend = _sharded(cache_servers)
+        try:
+            for i in range(32):
+                backend.put("ns", "result", ("q", i), {"value": i})
+            for i in range(32):
+                assert backend.get("ns", "result", ("q", i)) == {"value": i}
+            # Placement is a pure function of the address: a second,
+            # independently constructed backend reads the same shards.
+            twin = _sharded(cache_servers)
+            try:
+                for i in range(32):
+                    assert twin.get("ns", "result", ("q", i)) == {"value": i}
+            finally:
+                twin.close()
+        finally:
+            backend.close()
+
+    def test_keys_spread_across_shards(self, cache_servers):
+        backend = _sharded(cache_servers)
+        try:
+            for i in range(64):
+                backend.put("ns", "result", ("q", i), i)
+            held = [shard.server_stats() for shard in backend.shards]
+            # Both shards ended up holding something (64 keys, 2 shards —
+            # an empty shard would mean the ring is degenerate).
+            per_shard = [stats["entries"] for stats in held]
+            assert all(count > 0 for count in per_shard)
+            assert sum(per_shard) == 64
+        finally:
+            backend.close()
+
+    def test_replicated_put_lands_on_both_shards(self, cache_servers):
+        backend = _sharded(cache_servers, replicas=2)
+        try:
+            for i in range(8):
+                backend.put("ns", "result", ("q", i), i)
+            for stats in (shard.server_stats() for shard in backend.shards):
+                assert stats["entries"] == 8
+            # entry_count is a capacity gauge over real storage: each copy
+            # counts once per holding tier (2 shards × (L1 + server) × 8).
+            assert backend.entry_count() == 32
+        finally:
+            backend.close()
+
+    def test_replicate_namespaces_restricts_copies(self, cache_servers):
+        backend = _sharded(cache_servers, replicas=2, replicate_namespaces={"hot"})
+        try:
+            assert backend._copies("hot") == 2
+            assert backend._copies("cold") == 1
+        finally:
+            backend.close()
+
+    def test_healthy_primary_miss_does_not_failover(self, cache_servers):
+        backend = _sharded(cache_servers, replicas=2)
+        try:
+            assert backend.get("ns", "result", ("absent", 1)) is None
+            assert backend.failover_hits == 0
+        finally:
+            backend.close()
+
+    def test_read_fails_over_when_primary_breaker_opens(self, cache_servers):
+        backend = _sharded(
+            cache_servers,
+            replicas=2,
+            breaker_threshold=1,
+            breaker_reset_timeout=60.0,
+        )
+        try:
+            backend.put("ns", "result", ("q", 0), {"value": 0})
+            placement = backend._placement("ns", "result", ("q", 0))
+            primary = backend._by_label[placement[0]]
+            replica = backend._by_label[placement[1]]
+            # Kill the primary shard's server and open its breaker.
+            victim = next(
+                handle
+                for handle in cache_servers
+                if handle.server.port == primary.port
+            )
+            victim.stop()
+            primary._local.clear()  # drop the L1 copy: force the remote path
+            replica._local.clear()
+            # The first read already recovers in-line: the failed primary
+            # request trips the breaker (threshold=1), the ladder sees the
+            # primary degraded and consults the replica within the same get.
+            assert backend.get("ns", "result", ("q", 0)) == {"value": 0}
+            assert primary.degraded is True
+            assert backend.failover_hits == 1
+            assert backend.degraded is False  # one healthy shard remains
+            breaker = backend.breaker_stats()
+            assert breaker["state"] == "degraded"
+            assert breaker["open_shards"] == [placement[0]]
+            assert breaker["failover_hits"] == 1
+        finally:
+            backend.close()
+
+    def test_stats_and_telemetry_aggregate(self, cache_servers):
+        backend = _sharded(cache_servers)
+        try:
+            backend.put("ns", "result", ("q", 0), 1)
+            backend.get("ns", "result", ("q", 0))
+            backend.get("ns", "result", ("missing", 0))
+            stats = backend.stats()
+            assert stats.hits >= 1 and stats.misses >= 1
+            snapshot = backend.telemetry_snapshot()
+            assert snapshot["subsystem"]["backend"] == "sharded"
+            assert snapshot["gauges"]["shards"] == 2
+            labels = {sub["shard"] for sub in snapshot["subsystem"]["shards"]}
+            assert labels == set(backend.labels)
+            assert snapshot["counters"]["failover_hits"] == 0
+            assert snapshot["counters"]["bytes_sent"] > 0
+        finally:
+            backend.close()
+
+    def test_clear_fans_out(self, cache_servers):
+        backend = _sharded(cache_servers)
+        try:
+            for i in range(8):
+                backend.put("ns", "result", ("q", i), i)
+            backend.clear()
+            for stats in (shard.server_stats() for shard in backend.shards):
+                assert stats["entries"] == 0
+        finally:
+            backend.close()
+
+
+class TestMakeBackendSharding:
+    def test_comma_list_builds_sharded_backend(self, cache_servers):
+        urls = ",".join(f"127.0.0.1:{h.server.port}" for h in cache_servers)
+        backend = make_backend("remote", url=urls, replicas=2)
+        try:
+            assert isinstance(backend, ShardedCacheBackend)
+            assert backend.replicas == 2
+            assert len(backend.shards) == 2
+        finally:
+            backend.close()
+
+    def test_single_url_stays_unsharded(self, cache_servers):
+        backend = make_backend(
+            "remote", url=f"127.0.0.1:{cache_servers[0].server.port}"
+        )
+        try:
+            assert isinstance(backend, RemoteCacheBackend)
+        finally:
+            backend.close()
+
+    def test_sharding_refuses_embedded_path(self, cache_servers, tmp_path):
+        urls = ",".join(f"127.0.0.1:{h.server.port}" for h in cache_servers)
+        with pytest.raises(ValueError):
+            make_backend("remote", url=urls, path=str(tmp_path / "cache.db"))
+
+
+# ----------------------------------------------------------------------
+# the fleet router
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def fleet():
+    """Two serving shards behind one router, each with its own ledger."""
+    servers = [
+        QueryServer(_fresh_planner(), BudgetLedger(PrivacyBudget(1.0)), workers=2)
+        for _ in range(2)
+    ]
+    threads = [ServerThread(server) for server in servers]
+    for thread in threads:
+        thread.start()
+    router = FleetRouter([f"127.0.0.1:{server.port}" for server in servers])
+    fleet_thread = FleetThread(router)
+    fleet_thread.start()
+    try:
+        yield router, servers
+    finally:
+        fleet_thread.stop()
+        for thread in threads:
+            thread.stop()
+
+
+class TestFleetRouting:
+    def test_ping_reports_fleet(self, fleet):
+        router, _ = fleet
+        with ServingClient(port=router.port) as client:
+            info = client.ping()
+        assert info["protocol"] == 1
+        assert info["fleet"]["router"] is True
+        assert set(info["fleet"]["shards"]) == set(router.shards)
+
+    def test_analyst_is_pinned_to_home_shard(self, fleet):
+        router, servers = fleet
+        by_label = {
+            f"127.0.0.1:{server.port}": server for server in servers
+        }
+        analysts = [f"analyst-{i}" for i in range(8)]
+        with ServingClient(port=router.port) as client:
+            for analyst in analysts:
+                client.query("demo", "PM", 0.1, query="Qc1", analyst=analyst)
+        for analyst in analysts:
+            home = by_label[router.home_shard(analyst)]
+            # The analyst's budget lives on exactly its home shard's ledger.
+            assert home.ledger.summary(analyst)["spent_epsilon"] == pytest.approx(0.1)
+            for server in by_label.values():
+                if server is not home:
+                    assert analyst not in set(server.ledger.analysts())
+
+    def test_budget_with_analyst_routes_home(self, fleet):
+        router, _ = fleet
+        with ServingClient(port=router.port) as client:
+            client.query("demo", "PM", 0.25, query="Qc1", analyst="alice")
+            budget = client.budget("alice")
+        assert budget["spent_epsilon"] == pytest.approx(0.25)
+
+    def test_budget_refusal_is_atomic_across_the_fleet(self, fleet):
+        router, _ = fleet
+        with ServingClient(port=router.port) as client:
+            client.query("demo", "PM", 0.6, query="Qc1", analyst="carol")
+            with pytest.raises(ServingError) as info:
+                client.query("demo", "PM", 0.6, query="Qc1", analyst="carol")
+            assert info.value.code == "budget_exhausted"
+            assert client.budget("carol")["spent_epsilon"] == pytest.approx(0.6)
+
+    def test_global_budget_broadcasts(self, fleet):
+        router, _ = fleet
+        with ServingClient(port=router.port) as client:
+            client.query("demo", "PM", 0.2, query="Qc1", analyst="alice")
+            summary = client.budget()
+        assert set(summary["shards"]) == set(router.shards)
+
+    def test_register_broadcasts_to_every_shard(self, fleet):
+        router, servers = fleet
+        with ServingClient(port=router.port) as client:
+            info = client.register("demo", "ssb", **DEMO_SPEC)
+            assert info["already_registered"] is True
+            assert set(info["registered_on"]) == set(router.shards)
+            client.register(
+                "g9", "kstar", generator="powerlaw", num_nodes=50, num_edges=100, seed=2
+            )
+        for server in servers:
+            names = {entry["name"] for entry in server.planner.databases()}
+            assert "g9" in names
+
+    def test_stats_and_telemetry_aggregate(self, fleet):
+        router, _ = fleet
+        with ServingClient(port=router.port) as client:
+            client.query("demo", "PM", 0.1, query="Qc1", analyst="alice")
+            client.query("demo", "PM", 0.1, query="Qc1", analyst="bob")
+            stats = client.stats()
+            telemetry = client.telemetry()
+            health = client.health()
+        assert set(stats["shards"]) == set(router.shards)
+        assert stats["requests_served"] >= 2
+        assert stats["router"]["counters"]["requests_routed"] >= 2
+        assert sum(stats["router"]["routed_per_shard"].values()) >= 2
+        snapshot = telemetry["telemetry"]
+        assert snapshot["subsystem"]["name"] == "fleet"
+        assert snapshot["gauges"]["shards_reachable"] == 2
+        shard_labels = {sub["shard"] for sub in snapshot["subsystem"]["shards"]}
+        assert shard_labels == set(router.shards)
+        assert health["status"] == "ok"
+        assert set(health["shards"]) == set(router.shards)
+
+    def test_unknown_op_is_structured(self, fleet):
+        router, _ = fleet
+        with ServingClient(port=router.port) as client:
+            with pytest.raises(ServingError) as info:
+                client.request("wibble")
+        assert info.value.code == "unknown_op"
+
+    def test_dead_shard_is_a_structured_refusal(self, fleet):
+        import time
+
+        router, servers = fleet
+        victim = servers[0]
+        victim_label = f"127.0.0.1:{victim.port}"
+        survivor_label = f"127.0.0.1:{servers[1].port}"
+        unlucky = next(
+            f"unlucky-{i}"
+            for i in range(100)
+            if router.home_shard(f"unlucky-{i}") == victim_label
+        )
+        lucky = next(
+            f"lucky-{i}"
+            for i in range(100)
+            if router.home_shard(f"lucky-{i}") == survivor_label
+        )
+        # Kill the victim shard via its own shutdown op (the fixture's
+        # stop() is a no-op on an already-stopped thread), then wait for
+        # the port to actually close.
+        with ServingClient(port=victim.port) as direct:
+            direct.shutdown()
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            try:
+                with ServingClient(port=victim.port, timeout=0.2) as probe:
+                    probe.ping()
+            except OSError:
+                break
+            time.sleep(0.05)
+        with ServingClient(port=router.port) as client:
+            with pytest.raises(ServingError) as info:
+                client.query("demo", "PM", 0.1, query="Qc1", analyst=unlucky)
+            assert info.value.code == "shard_unavailable"
+            assert info.value.details.get("shard") == victim_label
+            # The healthy shard keeps serving its own analysts.
+            result = client.query("demo", "PM", 0.1, query="Qc1", analyst=lucky)
+            assert "answer" in result
+            health = client.health()
+            assert health["status"] == "degraded"
+            assert health["shards"][victim_label]["status"] == "unreachable"
+
+
+# ----------------------------------------------------------------------
+# fleet parity: router × shards × jobs == single server == offline runner
+# ----------------------------------------------------------------------
+class TestFleetParity:
+    REQUESTS = [
+        ("PM", "Qc1", 0.5, 2),
+        ("R2T", "Qs2", 0.5, 2),
+        ("PM", "Qc3", 0.3, 3),
+    ]
+
+    def _offline_answers(self, planner, planned):
+        entry = planned.entry
+        mechanism = make_star_mechanism(
+            planned.mechanism, planned.epsilon, scenario=entry.scenario
+        )
+        return evaluate_mechanism(
+            mechanism,
+            entry.database,
+            planned.query,
+            trials=planned.trials,
+            rng=request_stream(
+                planner.seed,
+                entry.name,
+                planned.mechanism,
+                planned.query_label,
+                planned.epsilon,
+                planned.trials,
+            ),
+            exact_answer=QueryExecutor(entry.database).execute(planned.query),
+            record_answers=True,
+        )
+
+    def test_fleet_matches_single_server_and_offline(self, fleet):
+        router, _ = fleet
+        # Reference 1: one standalone server, its own planner and ledger.
+        single = QueryServer(_fresh_planner(), BudgetLedger(PrivacyBudget(10.0)))
+        with ServerThread(single):
+            with ServingClient(port=single.port) as direct, ServingClient(
+                port=router.port
+            ) as routed:
+                for index, (mechanism, query, epsilon, trials) in enumerate(
+                    self.REQUESTS
+                ):
+                    analyst = f"parity-{index}"
+                    via_fleet = routed.query(
+                        "demo", mechanism, epsilon,
+                        query=query, trials=trials, analyst=analyst,
+                    )
+                    via_single = direct.query(
+                        "demo", mechanism, epsilon,
+                        query=query, trials=trials, analyst=analyst,
+                    )
+                    assert json.dumps(via_fleet["answers"]) == json.dumps(
+                        via_single["answers"]
+                    )
+                    assert (
+                        via_fleet["mean_relative_error"]
+                        == via_single["mean_relative_error"]
+                    )
+                    # Reference 2: the offline runner path.
+                    reference = _fresh_planner()
+                    planned = reference.plan(
+                        {
+                            "database": "demo",
+                            "mechanism": mechanism,
+                            "epsilon": epsilon,
+                            "query": query,
+                            "trials": trials,
+                        }
+                    )
+                    offline = self._offline_answers(reference, planned)
+                    assert via_fleet["answers"] == [
+                        serialize_answer(a) for a in offline.answers
+                    ]
+
+    def test_repeat_query_through_router_is_deterministic(self, fleet):
+        router, _ = fleet
+        with ServingClient(port=router.port) as client:
+            first = client.query("demo", "PM", 0.1, query="Qc1", analyst="det")
+            second = client.query("demo", "PM", 0.1, query="Qc1", analyst="det")
+        assert json.dumps(first["answers"]) == json.dumps(second["answers"])
+
+
+class TestFleetWithShardedCache:
+    """The full topology: router × serving shards × sharded+replicated cache,
+    with one cache shard killed mid-run — the bytes must not move."""
+
+    REQUEST = {"mechanism": "PM", "epsilon": 0.5, "query": "Qc3", "trials": 2}
+
+    def test_kill_a_cache_shard_mid_run_answers_identical(self, cache_servers):
+        urls = [f"127.0.0.1:{h.server.port}" for h in cache_servers]
+        backend = ShardedCacheBackend(
+            urls=urls,
+            replicas=2,
+            op_timeout=1.0,
+            retry_attempts=1,
+            backoff_base=0.01,
+            backoff_max=0.02,
+            breaker_threshold=1,
+            breaker_reset_timeout=60.0,
+        )
+        reference_planner = _fresh_planner()
+        request = {"database": "demo", **self.REQUEST}
+        reference = reference_planner.execute(reference_planner.plan(request))
+        try:
+            with backend_scope(backend):
+                planner = _fresh_planner()
+                before = planner.execute(planner.plan(request))
+                # Kill one cache shard mid-run and drop the L1 copies so the
+                # next pass exercises the remote failover ladder.
+                cache_servers[0].stop()
+                for shard in backend.shards:
+                    shard._local.clear()
+                after = planner.execute(planner.plan(request))
+            assert (
+                json.dumps(before["answers"])
+                == json.dumps(after["answers"])
+                == json.dumps(reference["answers"])
+            )
+            assert before["mean_relative_error"] == reference["mean_relative_error"]
+        finally:
+            backend.close()
+
+
+# ----------------------------------------------------------------------
+# CLI wiring for the sharded flags
+# ----------------------------------------------------------------------
+class TestFleetCLIWiring:
+    def test_eval_cli_rejects_replicas_without_a_shard_list(self, capsys):
+        from repro.evaluation.cli import main as cli_main
+
+        code = cli_main(
+            ["--cache-backend", "remote", "--cache-url", "h:1", "--cache-replicas", "2"]
+        )
+        assert code == 2
+        assert "--cache-replicas" in capsys.readouterr().err
+
+    def test_eval_cli_rejects_nonpositive_replicas(self, capsys):
+        from repro.evaluation.cli import main as cli_main
+
+        assert cli_main(["--cache-replicas", "0"]) == 2
+
+    def test_serving_main_rejects_replicas_without_a_shard_list(self, capsys):
+        from repro.serving.server import main as serve_main
+
+        code = serve_main(
+            [
+                "--port",
+                "0",
+                "--cache-backend",
+                "remote",
+                "--cache-url",
+                "h:1",
+                "--cache-replicas",
+                "2",
+            ]
+        )
+        assert code == 2
+        assert "--cache-replicas" in capsys.readouterr().err
+
+    def test_eval_cli_forwards_shard_list_and_replicas_to_serve(self, monkeypatch):
+        import repro.serving.server as server_module
+        from repro.evaluation.cli import main as cli_main
+
+        captured = {}
+
+        def fake_main(argv):
+            captured["argv"] = list(argv)
+            return 0
+
+        monkeypatch.setattr(server_module, "main", fake_main)
+        code = cli_main(
+            [
+                "--serve",
+                "--cache-backend",
+                "remote",
+                "--cache-url",
+                "h:1,h:2",
+                "--cache-replicas",
+                "2",
+            ]
+        )
+        assert code == 0
+        argv = captured["argv"]
+        assert argv[argv.index("--cache-url") + 1] == "h:1,h:2"
+        assert argv[argv.index("--cache-replicas") + 1] == "2"
+
+    def test_fleet_main_requires_a_shard(self, capsys):
+        from repro.serving.fleet.router import main as fleet_main
+
+        with pytest.raises(SystemExit):
+            fleet_main([])  # --shard is required
+
+    def test_fleet_router_rejects_duplicate_shards(self):
+        with pytest.raises(ValueError):
+            FleetRouter(["h:1", "h:1"])

@@ -217,3 +217,108 @@ class TestServingWarmAhead:
         server = QueryServer(workers=1)
         assert server.warming_queue is None
         assert server._op_stats()["warming"] is None
+
+
+class TestWorkerStop:
+    """Deterministic shutdown: ``stop()`` lets an in-progress replay finish,
+    requeues the rest of the drained batch, and raises loudly (the
+    ``ServerThread.stop`` contract) if the drain hangs."""
+
+    def test_stop_before_run_leaves_the_queue_intact(self, ssb_small):
+        queue = WarmingQueue()
+        queue.record(ssb_small, ssb_query("Qc1", ssb_schema()))
+        worker = WarmAheadWorker(queue)
+        worker.stop()
+        worker.stop()  # idempotent
+        assert worker.stopped is True
+        assert worker.run_once() == 0
+        assert len(queue) == 1  # a stopped worker never drains
+        assert worker.stats()["stopped"] is True
+
+    def test_stop_mid_drain_finishes_the_replay_and_requeues(
+        self, ssb_small, monkeypatch
+    ):
+        import threading
+
+        import repro.db.executor as executor_module
+
+        started = threading.Event()
+        release = threading.Event()
+        completed = []
+
+        class _BlockingExecutor:
+            def __init__(self, database):
+                pass
+
+            def execute(self, query):
+                started.set()
+                assert release.wait(10), "the test never released the replay"
+                completed.append(query)
+                return 0.0
+
+        monkeypatch.setattr(executor_module, "QueryExecutor", _BlockingExecutor)
+        queue = WarmingQueue()
+        for name in ("Qc1", "Qs2", "Qc3"):
+            queue.record(ssb_small, ssb_query(name, ssb_schema()))
+        worker = WarmAheadWorker(queue)
+        runner = threading.Thread(target=worker.run_once)
+        runner.start()
+        try:
+            assert started.wait(10), "the drain never reached the first replay"
+            stopper = threading.Thread(target=worker.stop)
+            stopper.start()
+            # stop() has signalled but must *wait*: the replay is mid-flight.
+            assert worker.stopped is True or started.is_set()
+            release.set()
+            stopper.join(timeout=10)
+            assert not stopper.is_alive()
+        finally:
+            release.set()
+            runner.join(timeout=10)
+        # The in-progress replay ran to completion; the two never-started
+        # tasks went back on the queue, no observed miss lost.
+        assert len(completed) == 1
+        assert worker.replayed == 1
+        assert worker.requeued_on_stop == 2
+        assert len(queue) == 2
+        assert worker.stats()["requeued_on_stop"] == 2
+
+    def test_hung_drain_raises_instead_of_leaking(self, ssb_small, monkeypatch):
+        import threading
+
+        import repro.db.executor as executor_module
+
+        started = threading.Event()
+        release = threading.Event()
+
+        class _HungExecutor:
+            def __init__(self, database):
+                pass
+
+            def execute(self, query):
+                started.set()
+                release.wait(30)
+
+        monkeypatch.setattr(executor_module, "QueryExecutor", _HungExecutor)
+        queue = WarmingQueue()
+        queue.record(ssb_small, ssb_query("Qc1", ssb_schema()))
+        worker = WarmAheadWorker(queue)
+        runner = threading.Thread(target=worker.run_once)
+        runner.start()
+        try:
+            assert started.wait(10)
+            with pytest.raises(RuntimeError, match="did not stop"):
+                worker.stop(timeout=0.2)
+        finally:
+            release.set()
+            runner.join(timeout=10)
+
+    def test_server_shutdown_stops_the_worker(self):
+        from repro.serving.planner import QueryPlanner
+        from repro.serving.server import QueryServer, ServerThread
+
+        server = QueryServer(QueryPlanner(seed=7), workers=1, warm_ahead=True)
+        assert server.warming_worker is not None
+        with ServerThread(server):
+            pass  # a clean start/stop cycle
+        assert server.warming_worker.stopped is True
